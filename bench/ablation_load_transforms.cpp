@@ -1,0 +1,76 @@
+/// **Ablation G**: the paper (§4.2) names three ways of increasing the
+/// workload — shrinking interarrival times (their choice), scaling run
+/// times, and multi-submitting jobs — and picks the first "as it does not
+/// change the outlook (i.e. area) of all processed jobs". This bench runs
+/// all three at a matched doubling of offered load and shows how the
+/// resulting pressure differs in kind, not just degree.
+
+#include <cstdio>
+
+#include "exp/bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dynp;
+  util::CliParser cli(
+      "ablation_load_transforms — shrinking factor 0.5 vs run-time x2 vs "
+      "2x multi-submission (each doubles offered load)");
+  exp::add_bench_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto opt = exp::read_bench_options(cli);
+  if (!opt) return 1;
+
+  std::printf("Ablation G — load-increasing transforms (FCFS, replan; "
+              "scale: %zu sets x %zu jobs)\n\n",
+              opt->scale.sets, opt->scale.jobs);
+
+  const auto config = core::static_config(policies::PolicyKind::kFcfs);
+
+  for (const auto& model : opt->traces) {
+    const auto sets = workload::generate_ensemble(
+        model, opt->scale.sets, opt->scale.jobs, opt->scale.seed);
+
+    util::TextTable t;
+    t.set_header({"transform", "SLDwA", "bounded sld", "util %", "avg wait [s]"},
+                 {util::Align::kLeft});
+
+    struct Variant {
+      const char* name;
+      workload::JobSet (*apply)(const workload::JobSet&);
+    };
+    const Variant variants[] = {
+        {"baseline (x1 load)",
+         [](const workload::JobSet& s) { return s.with_shrinking_factor(1.0); }},
+        {"shrinking factor 0.5",
+         [](const workload::JobSet& s) { return s.with_shrinking_factor(0.5); }},
+        {"run times x2",
+         [](const workload::JobSet& s) { return s.with_runtime_scaling(2.0); }},
+        {"multi-submission x2",
+         [](const workload::JobSet& s) { return s.with_multisubmission(2); }},
+    };
+
+    for (const Variant& v : variants) {
+      std::vector<double> sldwa, bsld, util_pct, wait;
+      for (const auto& base : sets) {
+        const auto r = core::simulate(v.apply(base), config);
+        sldwa.push_back(r.summary.sldwa);
+        bsld.push_back(r.summary.avg_bounded_slowdown);
+        util_pct.push_back(r.summary.utilization * 100);
+        wait.push_back(r.summary.avg_wait);
+      }
+      t.add_row({v.name,
+                 util::fmt_fixed(util::trimmed_mean_drop_extremes(sldwa), 2),
+                 util::fmt_fixed(util::trimmed_mean_drop_extremes(bsld), 2),
+                 util::fmt_fixed(util::trimmed_mean_drop_extremes(util_pct), 1),
+                 util::fmt_fixed(util::trimmed_mean_drop_extremes(wait), 0)});
+    }
+    std::printf("--- %s ---\n%s\n", model.name.c_str(), t.to_string().c_str());
+  }
+  std::printf("reading: all three roughly double offered load, but run-time "
+              "scaling also doubles every job's area/length (longer blocking "
+              "intervals), and multi-submission doubles instantaneous "
+              "parallelism demand; shrinking is the only transform that "
+              "preserves the per-job outlook, as the paper argues.\n");
+  return 0;
+}

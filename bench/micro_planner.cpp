@@ -1,0 +1,135 @@
+/// Micro benchmarks (google-benchmark) for the performance-critical
+/// substrate: resource-profile queries/allocations, full planner passes at
+/// different queue depths, policy ordering, decider decisions, and
+/// end-to-end simulation throughput per trace.
+
+#include <benchmark/benchmark.h>
+
+#include "core/decider.hpp"
+#include "core/simulation.hpp"
+#include "policies/policy.hpp"
+#include "rms/planner.hpp"
+#include "rms/profile.hpp"
+#include "util/rng.hpp"
+#include "workload/models.hpp"
+
+namespace {
+
+using namespace dynp;
+
+/// Builds a busy profile with `n` random finite reservations.
+rms::ResourceProfile busy_profile(std::uint32_t capacity, int n,
+                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  rms::ResourceProfile p(capacity);
+  for (int i = 0; i < n; ++i) {
+    const auto width =
+        static_cast<std::uint32_t>(1 + rng.next_below(capacity / 4 + 1));
+    const Time dur = static_cast<Time>(60 + rng.next_below(10000));
+    const Time start = p.earliest_start(
+        static_cast<Time>(rng.next_below(100000)), width, dur);
+    p.allocate(start, dur, width);
+  }
+  return p;
+}
+
+void BM_ProfileEarliestStart(benchmark::State& state) {
+  const auto p = busy_profile(430, static_cast<int>(state.range(0)), 1);
+  util::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.earliest_start(
+        static_cast<Time>(rng.next_below(100000)),
+        static_cast<std::uint32_t>(1 + rng.next_below(64)),
+        static_cast<Time>(60 + rng.next_below(5000))));
+  }
+}
+BENCHMARK(BM_ProfileEarliestStart)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ProfileAllocate(benchmark::State& state) {
+  const auto base = busy_profile(430, static_cast<int>(state.range(0)), 3);
+  util::Xoshiro256 rng(4);
+  for (auto _ : state) {
+    rms::ResourceProfile p = base;  // copy cost included; same for all args
+    const Time start = p.earliest_start(0, 8, 600);
+    p.allocate(start, 600, 8);
+    benchmark::DoNotOptimize(p.segment_count());
+  }
+}
+BENCHMARK(BM_ProfileAllocate)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_PlannerFullPass(benchmark::State& state) {
+  // Plan `n` waiting jobs from scratch — one candidate schedule of the
+  // self-tuning step at queue depth n.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const workload::JobSet set =
+      workload::generate(workload::ctc_model(), n, 99);
+  std::vector<JobId> waiting(n);
+  for (std::size_t i = 0; i < n; ++i) waiting[i] = static_cast<JobId>(i);
+  const auto ordered =
+      policies::order(policies::PolicyKind::kSjf, waiting, set.jobs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rms::Planner::plan(430, 0, {}, ordered, set.jobs()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PlannerFullPass)->Arg(10)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_PolicyOrder(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const workload::JobSet set =
+      workload::generate(workload::sdsc_model(), n, 7);
+  std::vector<JobId> waiting(n);
+  for (std::size_t i = 0; i < n; ++i) waiting[i] = static_cast<JobId>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policies::order(policies::PolicyKind::kSjf, waiting, set.jobs()));
+  }
+}
+BENCHMARK(BM_PolicyOrder)->Arg(100)->Arg(2000);
+
+void BM_DeciderDecide(benchmark::State& state) {
+  const core::AdvancedDecider decider;
+  const core::DecisionInput input{{3.0, 2.0, 3.0}, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decider.decide(input));
+  }
+}
+BENCHMARK(BM_DeciderDecide);
+
+void BM_SimulateStatic(benchmark::State& state) {
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 1000, 5)
+          .with_shrinking_factor(0.8);
+  const auto config = core::static_config(policies::PolicyKind::kFcfs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simulate(set, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulateStatic)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateDynP(benchmark::State& state) {
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 1000, 5)
+          .with_shrinking_factor(0.8);
+  const auto config = core::dynp_config(core::make_advanced_decider());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simulate(set, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulateDynP)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateWorkload(benchmark::State& state) {
+  const auto model = workload::lanl_model();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::generate(model, 1000, ++seed));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_GenerateWorkload)->Unit(benchmark::kMillisecond);
+
+}  // namespace

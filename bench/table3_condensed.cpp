@@ -1,0 +1,72 @@
+/// Regenerates **Table 3**: per-trace averages (over all shrinking factors)
+/// of the dynP-vs-SJF differences — relative SLDwA improvement in percent
+/// and absolute utilisation gain in percentage points, for the advanced and
+/// the SJF-preferred decider. This is the paper's one-number-per-trace
+/// summary of Table 5.
+
+#include <cstdio>
+
+#include "exp/bench_common.hpp"
+#include "exp/paper_reference.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dynp;
+  util::CliParser cli(
+      "table3_condensed — average dynP-vs-SJF differences per trace (the "
+      "paper's Table 3)");
+  exp::add_bench_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto opt = exp::read_bench_options(cli);
+  if (!opt) return 1;
+
+  std::printf("Table 3 — condensed results (averages over shrinking factors "
+              "%zu..; scale: %zu sets x %zu jobs)\n"
+              "positive SLDwA differences are good, negative bad (paper "
+              "values in parentheses)\n\n",
+              exp::paper_shrinking_factors().size(), opt->scale.sets,
+              opt->scale.jobs);
+
+  util::TextTable t;
+  t.set_header({"trace", "SLDwA d% adv", "SLDwA d% pref", "util dPP adv",
+                "util dPP pref"},
+               {util::Align::kLeft});
+
+  const std::vector<core::SimulationConfig> configs = {
+      core::static_config(policies::PolicyKind::kSjf),
+      core::dynp_config(core::make_advanced_decider()),
+      core::dynp_config(exp::sjf_preferred_decider())};
+
+  for (const auto& model : opt->traces) {
+    const exp::SweepRunner runner(model, opt->scale);
+    double rel_adv = 0, rel_pref = 0, du_adv = 0, du_pref = 0;
+    const auto factors = exp::paper_shrinking_factors();
+    for (const double factor : factors) {
+      std::array<exp::CombinedPoint, 3> p;
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        p[c] = runner.run(factor, configs[c], opt->threads);
+      }
+      rel_adv += 100.0 * (p[0].sldwa - p[1].sldwa) / p[0].sldwa;
+      rel_pref += 100.0 * (p[0].sldwa - p[2].sldwa) / p[0].sldwa;
+      du_adv += p[1].utilization - p[0].utilization;
+      du_pref += p[2].utilization - p[0].utilization;
+    }
+    const auto n = static_cast<double>(factors.size());
+    const exp::PaperCondensedRow* ref = nullptr;
+    for (const auto& row : exp::paper_table3()) {
+      if (model.name == row.name) ref = &row;
+    }
+    t.add_row(
+        {model.name,
+         util::fmt_signed(rel_adv / n, 2) +
+             (ref ? " (" + util::fmt_signed(ref->rel_adv, 2) + ")" : ""),
+         util::fmt_signed(rel_pref / n, 2) +
+             (ref ? " (" + util::fmt_signed(ref->rel_pref, 2) + ")" : ""),
+         util::fmt_signed(du_adv / n, 2) +
+             (ref ? " (" + util::fmt_signed(ref->dutil_adv, 2) + ")" : ""),
+         util::fmt_signed(du_pref / n, 2) +
+             (ref ? " (" + util::fmt_signed(ref->dutil_pref, 2) + ")" : "")});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// Regenerates **Table 4 / Figure 1 / Figure 2**: SLDwA and utilisation of
+/// the three static policies (FCFS, SJF, LJF — backfilling implicit via
+/// planning) over shrinking factors 1.0..0.6 on all four traces, with the
+/// paper's published values printed alongside. With --csv-dir the Figure 1
+/// (SLDwA) and Figure 2 (utilisation) series are written as CSV.
+
+#include <cstdio>
+
+#include "exp/bench_common.hpp"
+#include "exp/paper_reference.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dynp;
+
+void run_trace(const workload::TraceModel& model,
+               const exp::PaperStaticTrace& ref, const exp::BenchOptions& opt,
+               util::CsvWriter& fig1, util::CsvWriter& fig2) {
+  const exp::SweepRunner runner(model, opt.scale);
+  const std::vector<core::SimulationConfig> configs = {
+      core::static_config(policies::PolicyKind::kFcfs),
+      core::static_config(policies::PolicyKind::kSjf),
+      core::static_config(policies::PolicyKind::kLjf)};
+
+  util::TextTable t;
+  t.set_header({"factor", "SLDwA FCFS", "SJF", "LJF", "(paper F/S/L)",
+                "util% FCFS", "SJF", "LJF", "(paper F/S/L)"},
+               {util::Align::kLeft});
+
+  for (std::size_t f = 0; f < exp::paper_shrinking_factors().size(); ++f) {
+    const double factor = exp::paper_shrinking_factors()[f];
+    std::array<exp::CombinedPoint, 3> points;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      points[c] = runner.run(factor, configs[c], opt.threads);
+    }
+    const exp::PaperStaticRow& prow = ref.rows[f];
+    t.add_row({util::fmt_fixed(factor, 1),
+               util::fmt_fixed(points[0].sldwa, 2),
+               util::fmt_fixed(points[1].sldwa, 2),
+               util::fmt_fixed(points[2].sldwa, 2),
+               util::fmt_fixed(prow.sldwa_fcfs, 2) + "/" +
+                   util::fmt_fixed(prow.sldwa_sjf, 2) + "/" +
+                   util::fmt_fixed(prow.sldwa_ljf, 2),
+               util::fmt_fixed(points[0].utilization, 2),
+               util::fmt_fixed(points[1].utilization, 2),
+               util::fmt_fixed(points[2].utilization, 2),
+               util::fmt_fixed(prow.util_fcfs, 2) + "/" +
+                   util::fmt_fixed(prow.util_sjf, 2) + "/" +
+                   util::fmt_fixed(prow.util_ljf, 2)});
+    fig1.add_row(std::vector<std::string>{
+        model.name, util::fmt_fixed(factor, 1),
+        util::fmt_fixed(points[0].sldwa, 4), util::fmt_fixed(points[1].sldwa, 4),
+        util::fmt_fixed(points[2].sldwa, 4)});
+    fig2.add_row(std::vector<std::string>{
+        model.name, util::fmt_fixed(factor, 1),
+        util::fmt_fixed(points[0].utilization, 4),
+        util::fmt_fixed(points[1].utilization, 4),
+        util::fmt_fixed(points[2].utilization, 4)});
+  }
+  std::printf("--- %s ---\n%s\n", model.name.c_str(), t.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "table4_static_policies — SLDwA and utilisation of FCFS/SJF/LJF vs the "
+      "paper's Table 4 (Figures 1 and 2)");
+  exp::add_bench_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto opt = exp::read_bench_options(cli);
+  if (!opt) return 1;
+
+  std::printf("Table 4 / Figures 1+2 — static policies (scale: %zu sets x "
+              "%zu jobs; paper: 10 x 10000)\n\n",
+              opt->scale.sets, opt->scale.jobs);
+
+  util::CsvWriter fig1({"trace", "factor", "sldwa_fcfs", "sldwa_sjf",
+                        "sldwa_ljf"});
+  util::CsvWriter fig2({"trace", "factor", "util_fcfs", "util_sjf",
+                        "util_ljf"});
+  for (const auto& model : opt->traces) {
+    for (const auto& ref : exp::paper_table4()) {
+      if (model.name == ref.name) run_trace(model, ref, *opt, fig1, fig2);
+    }
+  }
+  if (!opt->csv_dir.empty()) {
+    const std::string p1 = opt->csv_dir + "/fig1_sldwa_static.csv";
+    const std::string p2 = opt->csv_dir + "/fig2_util_static.csv";
+    if (fig1.write_file(p1) && fig2.write_file(p2)) {
+      std::printf("figure series written: %s, %s\n", p1.c_str(), p2.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write CSV files under %s\n",
+                   opt->csv_dir.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

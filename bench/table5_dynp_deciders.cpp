@@ -1,0 +1,130 @@
+/// Regenerates **Table 5 / Figure 3 / Figure 4**: the self-tuning dynP
+/// scheduler with the fair advanced decider and the unfair SJF-preferred
+/// decider, against the static SJF baseline. Prints SLDwA, the relative
+/// SLDwA difference to SJF (positive = dynP better, as in the paper),
+/// utilisation and its absolute difference in percentage points — paper
+/// values alongside. With --csv-dir the Figure 3/4 series are written.
+
+#include <cstdio>
+
+#include "exp/bench_common.hpp"
+#include "exp/paper_reference.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dynp;
+
+void run_trace(const workload::TraceModel& model,
+               const exp::PaperDynpTrace& ref, const exp::BenchOptions& opt,
+               util::CsvWriter& fig3, util::CsvWriter& fig4) {
+  const exp::SweepRunner runner(model, opt.scale);
+  const std::vector<core::SimulationConfig> configs = {
+      core::static_config(policies::PolicyKind::kSjf),
+      core::dynp_config(core::make_advanced_decider()),
+      core::dynp_config(exp::sjf_preferred_decider())};
+
+  util::TextTable t;
+  t.set_header({"factor", "SJF", "adv.", "SJF-pref.", "d%adv", "d%pref",
+                "(paper d%)", "util SJF", "adv.", "SJF-pref.", "dPPadv",
+                "dPPpref", "(paper dPP)"},
+               {util::Align::kLeft});
+
+  double sum_rel_adv = 0, sum_rel_pref = 0, sum_du_adv = 0, sum_du_pref = 0;
+  for (std::size_t f = 0; f < exp::paper_shrinking_factors().size(); ++f) {
+    const double factor = exp::paper_shrinking_factors()[f];
+    std::array<exp::CombinedPoint, 3> p;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      p[c] = runner.run(factor, configs[c], opt.threads);
+    }
+    // Positive = dynP better (smaller slowdown), as the paper defines it.
+    const double rel_adv = 100.0 * (p[0].sldwa - p[1].sldwa) / p[0].sldwa;
+    const double rel_pref = 100.0 * (p[0].sldwa - p[2].sldwa) / p[0].sldwa;
+    const double du_adv = p[1].utilization - p[0].utilization;
+    const double du_pref = p[2].utilization - p[0].utilization;
+    sum_rel_adv += rel_adv;
+    sum_rel_pref += rel_pref;
+    sum_du_adv += du_adv;
+    sum_du_pref += du_pref;
+
+    const exp::PaperDynpRow& prow = ref.rows[f];
+    t.add_row({util::fmt_fixed(factor, 1), util::fmt_fixed(p[0].sldwa, 2),
+               util::fmt_fixed(p[1].sldwa, 2), util::fmt_fixed(p[2].sldwa, 2),
+               util::fmt_signed(rel_adv, 1), util::fmt_signed(rel_pref, 1),
+               util::fmt_signed(prow.rel_adv, 1) + "/" +
+                   util::fmt_signed(prow.rel_pref, 1),
+               util::fmt_fixed(p[0].utilization, 2),
+               util::fmt_fixed(p[1].utilization, 2),
+               util::fmt_fixed(p[2].utilization, 2),
+               util::fmt_signed(du_adv, 2), util::fmt_signed(du_pref, 2),
+               util::fmt_signed(prow.dutil_adv, 2) + "/" +
+                   util::fmt_signed(prow.dutil_pref, 2)});
+
+    fig3.add_row(std::vector<std::string>{
+        model.name, util::fmt_fixed(factor, 1), util::fmt_fixed(p[0].sldwa, 4),
+        util::fmt_fixed(p[1].sldwa, 4), util::fmt_fixed(p[2].sldwa, 4)});
+    fig4.add_row(std::vector<std::string>{
+        model.name, util::fmt_fixed(factor, 1),
+        util::fmt_fixed(p[0].utilization, 4),
+        util::fmt_fixed(p[1].utilization, 4),
+        util::fmt_fixed(p[2].utilization, 4)});
+  }
+  t.add_rule();
+  const auto n = static_cast<double>(exp::paper_shrinking_factors().size());
+  // Table 3 reference values for this trace, for the averages row.
+  const exp::PaperCondensedRow* t3 = nullptr;
+  for (const auto& row : exp::paper_table3()) {
+    if (model.name == row.name) t3 = &row;
+  }
+  t.add_row({"average", "", "", "", util::fmt_signed(sum_rel_adv / n, 2),
+             util::fmt_signed(sum_rel_pref / n, 2),
+             t3 ? util::fmt_signed(t3->rel_adv, 2) + "/" +
+                      util::fmt_signed(t3->rel_pref, 2)
+                : "",
+             "", "", "", util::fmt_signed(sum_du_adv / n, 2),
+             util::fmt_signed(sum_du_pref / n, 2),
+             t3 ? util::fmt_signed(t3->dutil_adv, 2) + "/" +
+                      util::fmt_signed(t3->dutil_pref, 2)
+                : ""});
+  std::printf("--- %s ---\n%s\n", model.name.c_str(), t.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "table5_dynp_deciders — self-tuning dynP (advanced and SJF-preferred "
+      "deciders) vs static SJF; the paper's Table 5 (Figures 3 and 4)");
+  exp::add_bench_options(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto opt = exp::read_bench_options(cli);
+  if (!opt) return 1;
+
+  std::printf("Table 5 / Figures 3+4 — dynP deciders vs SJF (scale: %zu sets "
+              "x %zu jobs; paper: 10 x 10000)\n"
+              "d%% = SLDwA improvement over SJF (positive good), dPP = "
+              "utilisation difference in percentage points\n\n",
+              opt->scale.sets, opt->scale.jobs);
+
+  util::CsvWriter fig3({"trace", "factor", "sldwa_sjf", "sldwa_advanced",
+                        "sldwa_sjf_preferred"});
+  util::CsvWriter fig4({"trace", "factor", "util_sjf", "util_advanced",
+                        "util_sjf_preferred"});
+  for (const auto& model : opt->traces) {
+    for (const auto& ref : exp::paper_table5()) {
+      if (model.name == ref.name) run_trace(model, ref, *opt, fig3, fig4);
+    }
+  }
+  if (!opt->csv_dir.empty()) {
+    const std::string p3 = opt->csv_dir + "/fig3_sldwa_dynp.csv";
+    const std::string p4 = opt->csv_dir + "/fig4_util_dynp.csv";
+    if (fig3.write_file(p3) && fig4.write_file(p4)) {
+      std::printf("figure series written: %s, %s\n", p3.c_str(), p4.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write CSV files under %s\n",
+                   opt->csv_dir.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

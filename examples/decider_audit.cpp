@@ -1,0 +1,70 @@
+/// Auditing the self-tuning step: wraps each decider in a RecordingDecider
+/// and reports how often the candidate schedules tie, how often the decision
+/// keeps the active policy, and how the choices distribute over the pool —
+/// quantifying the structural fact the paper's Table 1 revolves around:
+/// tie handling dominates decider behaviour.
+///
+///   $ ./build/examples/decider_audit --trace CTC --factor 0.8
+
+#include <cstdio>
+#include <memory>
+
+#include "core/recording_decider.hpp"
+#include "core/simulation.hpp"
+#include "exp/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dynp;
+
+  util::CliParser cli("decider_audit — decision statistics per decider");
+  cli.add_option("trace", "CTC", "trace model");
+  cli.add_option("jobs", "2000", "number of jobs");
+  cli.add_option("factor", "0.8", "shrinking factor");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto model = workload::model_by_name(cli.get("trace"));
+  const workload::JobSet jobs =
+      workload::generate(model, static_cast<std::size_t>(cli.get_int("jobs")),
+                         7)
+          .with_shrinking_factor(cli.get_double("factor"));
+
+  const std::vector<std::shared_ptr<const core::Decider>> inners = {
+      core::make_simple_decider(),
+      core::make_advanced_decider(),
+      exp::sjf_preferred_decider(),
+      core::make_threshold_decider(5.0),
+  };
+
+  util::TextTable t;
+  t.set_header({"decider", "decisions", "ties %", "stay %", "switches",
+                "F/S/L choices", "SLDwA"},
+               {util::Align::kLeft});
+  for (const auto& inner : inners) {
+    const auto rec = std::make_shared<core::RecordingDecider>(inner);
+    const auto r = core::simulate(jobs, core::dynp_config(rec));
+    std::array<std::size_t, 3> per_policy{};
+    for (const auto& record : rec->records()) {
+      if (record.chosen < 3) ++per_policy[record.chosen];
+    }
+    t.add_row({inner->name(), std::to_string(r.decisions),
+               util::fmt_fixed(100 * rec->tie_fraction(), 1),
+               util::fmt_fixed(100 * rec->stay_fraction(), 1),
+               std::to_string(r.switches),
+               std::to_string(per_policy[0]) + "/" +
+                   std::to_string(per_policy[1]) + "/" +
+                   std::to_string(per_policy[2]),
+               util::fmt_fixed(r.summary.sldwa, 3)});
+  }
+  std::printf("decider audit on %s, %zu jobs, factor %s\n\n%s\n",
+              model.name.c_str(), jobs.size(), cli.get("factor").c_str(),
+              t.to_string().c_str());
+  std::printf(
+      "reading: a large tie fraction is normal (single-job queues, equal "
+      "orders); the simple decider's low stay%% at high tie%% is exactly the "
+      "flaw Table 1 documents — it resolves ties away from the active "
+      "policy.\n");
+  return 0;
+}

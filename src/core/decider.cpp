@@ -1,0 +1,161 @@
+#include "core/decider.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace dynp::core {
+
+bool value_equal(double a, double b, double rel_eps) noexcept {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= rel_eps * scale;
+}
+
+bool value_less(double a, double b, double rel_eps) noexcept {
+  return a < b && !value_equal(a, b, rel_eps);
+}
+
+namespace {
+
+/// Smallest value in \p values under the epsilon comparison.
+[[nodiscard]] double min_value(const std::vector<double>& values) noexcept {
+  return *std::min_element(values.begin(), values.end());
+}
+
+/// True when values[i] ties the minimum.
+[[nodiscard]] bool in_argmin(const std::vector<double>& values,
+                             std::size_t i) noexcept {
+  return value_equal(values[i], min_value(values));
+}
+
+}  // namespace
+
+std::size_t SimpleDecider::decide(const DecisionInput& input) const {
+  const auto& v = input.values;
+  DYNP_EXPECTS(!v.empty());
+  DYNP_EXPECTS(input.old_index < v.size());
+  // First policy in pool order that is <= every later policy. For the pool
+  // (FCFS, SJF, LJF) this reproduces all 20 decisions of Table 1, including
+  // the four wrong ones (cases 1, 6b, 8c, 10c).
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    bool leq_all_later = true;
+    for (std::size_t j = i + 1; j < v.size(); ++j) {
+      if (value_less(v[j], v[i])) {
+        leq_all_later = false;
+        break;
+      }
+    }
+    if (leq_all_later) return i;
+  }
+  return v.size() - 1;
+}
+
+std::size_t AdvancedDecider::decide(const DecisionInput& input) const {
+  const auto& v = input.values;
+  DYNP_EXPECTS(!v.empty());
+  DYNP_EXPECTS(input.old_index < v.size());
+  // Stay with the old policy whenever it ties the minimum ("correct
+  // decision" column of Table 1)...
+  if (in_argmin(v, input.old_index)) return input.old_index;
+  // ...otherwise take the best policy; exact ties resolve in pool order
+  // (FCFS before SJF before LJF), matching cases 6c, 8b and 10a.
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (in_argmin(v, i)) return i;
+  }
+  DYNP_ASSERT(false);
+  return input.old_index;
+}
+
+PreferredDecider::PreferredDecider(std::size_t preferred_index,
+                                   std::string display_name,
+                                   double threshold_pct)
+    : preferred_(preferred_index),
+      name_(std::move(display_name)),
+      threshold_pct_(threshold_pct) {
+  DYNP_EXPECTS(threshold_pct >= 0);
+}
+
+std::size_t PreferredDecider::decide(const DecisionInput& input) const {
+  const auto& v = input.values;
+  DYNP_EXPECTS(!v.empty());
+  DYNP_EXPECTS(input.old_index < v.size());
+  DYNP_EXPECTS(preferred_ < v.size());
+
+  // The preferred policy wins whenever it is within the threshold of the
+  // best value: it only has to *match* the competition, never beat it. With
+  // threshold 0 this is "stay unless clearly (strictly) better elsewhere" /
+  // "switch back on equal performance" from §3.
+  const double best = min_value(v);
+  const double allowance = best + std::abs(best) * threshold_pct_ / 100.0;
+  if (v[preferred_] <= allowance ||
+      value_equal(v[preferred_], allowance)) {
+    return preferred_;
+  }
+
+  // Otherwise decide fairly among the remaining policies: keep the old one
+  // if it ties the minimum, else best-in-pool-order.
+  if (input.old_index != preferred_ && in_argmin(v, input.old_index)) {
+    return input.old_index;
+  }
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != preferred_ && in_argmin(v, i)) return i;
+  }
+  DYNP_ASSERT(false);
+  return input.old_index;
+}
+
+ThresholdDecider::ThresholdDecider(double threshold_pct)
+    : threshold_pct_(threshold_pct) {
+  DYNP_EXPECTS(threshold_pct >= 0);
+}
+
+std::string ThresholdDecider::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "threshold(%.1f%%)", threshold_pct_);
+  return buf;
+}
+
+std::size_t ThresholdDecider::decide(const DecisionInput& input) const {
+  const auto& v = input.values;
+  DYNP_EXPECTS(!v.empty());
+  DYNP_EXPECTS(input.old_index < v.size());
+
+  // Stay with the active policy unless the best alternative beats it by
+  // more than the threshold percentage.
+  const double best = min_value(v);
+  const double allowance =
+      best + std::abs(best) * threshold_pct_ / 100.0;
+  if (v[input.old_index] <= allowance ||
+      value_equal(v[input.old_index], allowance)) {
+    return input.old_index;
+  }
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (in_argmin(v, i)) return i;
+  }
+  DYNP_ASSERT(false);
+  return input.old_index;
+}
+
+std::shared_ptr<const Decider> make_simple_decider() {
+  return std::make_shared<SimpleDecider>();
+}
+
+std::shared_ptr<const Decider> make_advanced_decider() {
+  return std::make_shared<AdvancedDecider>();
+}
+
+std::shared_ptr<const Decider> make_preferred_decider(
+    std::size_t preferred_index, std::string display_name,
+    double threshold_pct) {
+  return std::make_shared<PreferredDecider>(preferred_index,
+                                            std::move(display_name),
+                                            threshold_pct);
+}
+
+std::shared_ptr<const Decider> make_threshold_decider(double threshold_pct) {
+  return std::make_shared<ThresholdDecider>(threshold_pct);
+}
+
+}  // namespace dynp::core

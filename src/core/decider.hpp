@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file decider.hpp
+/// Decider mechanisms of the self-tuning dynP scheduler family.
+///
+/// At every self-tuning step the scheduler has one performance value per
+/// candidate policy (lower = better) plus the currently active policy. The
+/// decider picks the policy to use next:
+///
+///  * `SimpleDecider`  — the original three-if construct ([21]): the first
+///    policy in pool order that is no worse than all later ones. Ignores the
+///    old policy; Table 1 shows it decides wrongly in 4 of 20 cases.
+///  * `AdvancedDecider` — the "fair" decider ([20]): stays with the old
+///    policy whenever it ties the minimum, otherwise picks the best policy
+///    (pool order breaks exact ties).
+///  * `PreferredDecider` — the paper's contribution, deliberately *unfair*:
+///    sticks with a preferred policy P unless some other policy is strictly
+///    better (by more than a configurable threshold percentage), and returns
+///    to P as soon as P is at least equal to the best alternative. With
+///    threshold 0 this is exactly the paper's mechanism.
+///
+/// Values are compared with a small relative epsilon so that two policies
+/// producing the *same* schedule (hence the same value up to rounding) are
+/// treated as equal.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynp::core {
+
+/// Everything a decider may look at.
+struct DecisionInput {
+  /// One value per candidate policy (same order as the scheduler's pool);
+  /// lower is better.
+  std::vector<double> values;
+  /// Index of the currently active policy within the pool.
+  std::size_t old_index = 0;
+};
+
+/// Decider interface. Implementations must be stateless with respect to the
+/// decision history (all state they may use is in `DecisionInput`), so a
+/// single instance can serve many concurrent simulations.
+class Decider {
+ public:
+  virtual ~Decider() = default;
+
+  /// Returns the pool index of the policy to use next.
+  [[nodiscard]] virtual std::size_t decide(const DecisionInput& input) const = 0;
+
+  /// Short display name ("simple", "advanced", "SJF-preferred", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Relative-epsilon comparison helpers shared by the deciders (exposed for
+/// tests). `value_equal(a, b)` treats values within `rel_eps x max(1,|a|,|b|)`
+/// as equal.
+[[nodiscard]] bool value_equal(double a, double b,
+                               double rel_eps = 1e-9) noexcept;
+[[nodiscard]] bool value_less(double a, double b,
+                              double rel_eps = 1e-9) noexcept;
+
+/// The original simple decider.
+class SimpleDecider final : public Decider {
+ public:
+  [[nodiscard]] std::size_t decide(const DecisionInput& input) const override;
+  [[nodiscard]] std::string name() const override { return "simple"; }
+};
+
+/// The fair advanced decider.
+class AdvancedDecider final : public Decider {
+ public:
+  [[nodiscard]] std::size_t decide(const DecisionInput& input) const override;
+  [[nodiscard]] std::string name() const override { return "advanced"; }
+};
+
+/// The unfair preferred decider (paper §3).
+class PreferredDecider final : public Decider {
+ public:
+  /// \param preferred_index pool index of the preferred policy
+  /// \param display_name    e.g. "SJF-preferred"
+  /// \param threshold_pct   switch away from the preferred policy only when
+  ///        the best alternative is better by more than this percentage
+  ///        (0 = the paper's strict mechanism)
+  PreferredDecider(std::size_t preferred_index, std::string display_name,
+                   double threshold_pct = 0.0);
+
+  [[nodiscard]] std::size_t decide(const DecisionInput& input) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::size_t preferred_index() const noexcept {
+    return preferred_;
+  }
+  [[nodiscard]] double threshold_pct() const noexcept { return threshold_pct_; }
+
+ private:
+  std::size_t preferred_;
+  std::string name_;
+  double threshold_pct_;
+};
+
+/// The fair threshold decider from the dynP scheduler family ([20]): like
+/// the advanced decider, but sticky around the *currently active* policy —
+/// it switches only when the best alternative beats the old policy by more
+/// than `threshold_pct` percent. With threshold 0 it degenerates to the
+/// advanced decider. Unlike `PreferredDecider` it has no globally preferred
+/// policy; the stickiness follows whatever is active.
+class ThresholdDecider final : public Decider {
+ public:
+  explicit ThresholdDecider(double threshold_pct);
+
+  [[nodiscard]] std::size_t decide(const DecisionInput& input) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double threshold_pct() const noexcept { return threshold_pct_; }
+
+ private:
+  double threshold_pct_;
+};
+
+/// Convenience factories.
+[[nodiscard]] std::shared_ptr<const Decider> make_simple_decider();
+[[nodiscard]] std::shared_ptr<const Decider> make_advanced_decider();
+[[nodiscard]] std::shared_ptr<const Decider> make_preferred_decider(
+    std::size_t preferred_index, std::string display_name,
+    double threshold_pct = 0.0);
+[[nodiscard]] std::shared_ptr<const Decider> make_threshold_decider(
+    double threshold_pct);
+
+}  // namespace dynp::core

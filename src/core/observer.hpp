@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file observer.hpp
+/// Observation hooks into a running simulation: live tracing, custom
+/// statistics, animation, debugging. The observer is non-owning and called
+/// synchronously from the simulation loop; callbacks must not mutate the
+/// scheduler (they receive const views only).
+
+#include "core/decider.hpp"
+#include "metrics/metrics.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::core {
+
+/// Receives simulation lifecycle events. Default implementations do nothing,
+/// so implementors override only what they need.
+class SimulationObserver {
+ public:
+  virtual ~SimulationObserver() = default;
+
+  /// A job entered the waiting queue.
+  virtual void on_job_submitted(Time /*now*/, const workload::Job& /*job*/) {}
+
+  /// A job began executing.
+  virtual void on_job_started(Time /*now*/, const workload::Job& /*job*/) {}
+
+  /// A job completed; \p outcome carries its final timings.
+  virtual void on_job_finished(Time /*now*/, const workload::Job& /*job*/,
+                               const metrics::JobOutcome& /*outcome*/) {}
+
+  /// The self-tuning step decided (dynP only). \p input holds the candidate
+  /// values (pool order) and the previously active index; \p chosen is the
+  /// decider's pick.
+  virtual void on_decision(Time /*now*/, const DecisionInput& /*input*/,
+                           std::size_t /*chosen*/) {}
+};
+
+}  // namespace dynp::core

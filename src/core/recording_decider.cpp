@@ -1,0 +1,44 @@
+#include "core/recording_decider.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dynp::core {
+
+RecordingDecider::RecordingDecider(std::shared_ptr<const Decider> inner)
+    : inner_(std::move(inner)) {
+  DYNP_EXPECTS(inner_ != nullptr);
+}
+
+std::size_t RecordingDecider::decide(const DecisionInput& input) const {
+  const std::size_t chosen = inner_->decide(input);
+  records_.push_back(DecisionRecord{input.values, input.old_index, chosen});
+  return chosen;
+}
+
+std::string RecordingDecider::name() const {
+  return inner_->name() + "+rec";
+}
+
+double RecordingDecider::tie_fraction() const noexcept {
+  if (records_.empty()) return 0.0;
+  std::size_t ties = 0;
+  for (const DecisionRecord& r : records_) {
+    const auto [lo, hi] =
+        std::minmax_element(r.values.begin(), r.values.end());
+    if (value_equal(*lo, *hi)) ++ties;
+  }
+  return static_cast<double>(ties) / static_cast<double>(records_.size());
+}
+
+double RecordingDecider::stay_fraction() const noexcept {
+  if (records_.empty()) return 0.0;
+  std::size_t stays = 0;
+  for (const DecisionRecord& r : records_) {
+    if (r.chosen == r.old_index) ++stays;
+  }
+  return static_cast<double>(stays) / static_cast<double>(records_.size());
+}
+
+}  // namespace dynp::core

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file recording_decider.hpp
+/// A decorator that wraps any decider and records every decision it makes —
+/// the candidate values, the previously active policy and the choice. Used
+/// to audit decider behaviour offline (e.g. how often candidates tie, how
+/// often the decision depends on the old policy) without touching the
+/// wrapped decider or the scheduler.
+
+#include <memory>
+#include <vector>
+
+#include "core/decider.hpp"
+
+namespace dynp::core {
+
+/// One recorded decision.
+struct DecisionRecord {
+  std::vector<double> values;  ///< candidate values, pool order
+  std::size_t old_index = 0;   ///< active policy before the decision
+  std::size_t chosen = 0;      ///< the wrapped decider's pick
+};
+
+/// Wraps another decider and appends a `DecisionRecord` per call.
+///
+/// The record buffer is internal mutable state: use one instance per
+/// simulation and do not share across threads (the same caveat as any
+/// stateful decider).
+class RecordingDecider final : public Decider {
+ public:
+  explicit RecordingDecider(std::shared_ptr<const Decider> inner);
+
+  [[nodiscard]] std::size_t decide(const DecisionInput& input) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const std::vector<DecisionRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() noexcept { records_.clear(); }
+
+  /// Fraction of recorded decisions where all candidate values tied
+  /// (within the decider epsilon). 0 when nothing was recorded.
+  [[nodiscard]] double tie_fraction() const noexcept;
+
+  /// Fraction of recorded decisions that kept the previously active policy.
+  [[nodiscard]] double stay_fraction() const noexcept;
+
+ private:
+  std::shared_ptr<const Decider> inner_;
+  mutable std::vector<DecisionRecord> records_;
+};
+
+}  // namespace dynp::core

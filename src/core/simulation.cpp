@@ -1,0 +1,398 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+
+#include "rms/planner.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace dynp::core {
+
+std::string SimulationConfig::label() const {
+  std::string base = mode == SchedulerMode::kStatic
+                         ? policies::name(static_policy)
+                         : std::string("dynP/") +
+                               (decider ? decider->name() : "?");
+  if (semantics == PlannerSemantics::kGuarantee) base += "[guarantee]";
+  if (semantics == PlannerSemantics::kQueueingEasy) base += "[EASY]";
+  return base;
+}
+
+SimulationConfig static_config(policies::PolicyKind policy) {
+  SimulationConfig config;
+  config.mode = SchedulerMode::kStatic;
+  config.static_policy = policy;
+  return config;
+}
+
+SimulationConfig dynp_config(std::shared_ptr<const Decider> decider) {
+  SimulationConfig config;
+  config.mode = SchedulerMode::kDynP;
+  config.decider = std::move(decider);
+  return config;
+}
+
+namespace {
+
+/// The scheduler process: owns all mutable run state; one instance per
+/// simulation, used from one thread.
+class SchedulerSim final : public sim::Process {
+ public:
+  SchedulerSim(const workload::JobSet& set, const SimulationConfig& config)
+      : set_(set),
+        config_(config),
+        jobs_(set.jobs()),
+        policy_index_(config.initial_index),
+        profile_(set.machine().nodes, 0) {
+    DYNP_EXPECTS(config.mode == SchedulerMode::kStatic ||
+                 (config.decider != nullptr && !config.pool.empty() &&
+                  config.initial_index < config.pool.size()));
+    // A queueing RMS has no full schedule to evaluate, so the self-tuning
+    // dynP step is only defined on the planning semantics.
+    DYNP_EXPECTS(config.semantics != PlannerSemantics::kQueueingEasy ||
+                 config.mode == SchedulerMode::kStatic);
+    outcomes_.resize(jobs_.size());
+    reserved_.assign(jobs_.size(), -1.0);
+    if (config.mode == SchedulerMode::kDynP) {
+      result_.decisions_per_policy.assign(config.pool.size(), 0);
+      result_.time_in_policy.assign(config.pool.size(), 0.0);
+    }
+  }
+
+  [[nodiscard]] SimulationResult run() {
+    for (const workload::Job& job : jobs_) {
+      engine_.schedule(job.submit, sim::EventKind::kSubmit, job.id);
+    }
+    engine_.run(*this);
+    DYNP_ENSURES(waiting_.empty());
+    DYNP_ENSURES(running_.empty());
+    result_.events = engine_.processed();
+    result_.outcomes = std::move(outcomes_);
+    result_.summary =
+        metrics::summarize(result_.outcomes, set_.machine().nodes);
+    return std::move(result_);
+  }
+
+  void handle(const sim::Event& event) override {
+    const Time now = engine_.now();
+    if (config_.mode == SchedulerMode::kDynP) {
+      // Time-in-policy accounting up to this event.
+      result_.time_in_policy[policy_index_] += now - last_event_time_;
+      last_event_time_ = now;
+    }
+    if (guarantee_mode()) profile_.trim_before(now);
+
+    if (event.kind == sim::EventKind::kSubmit) {
+      waiting_.push_back(event.job);
+      if (guarantee_mode()) insert_reservation(event.job, now);
+      if (config_.observer != nullptr) {
+        config_.observer->on_job_submitted(now, jobs_[event.job]);
+      }
+    } else {
+      finish_job(event.job, now);
+    }
+
+    switch (config_.semantics) {
+      case PlannerSemantics::kGuarantee:
+        guarantee_pass(now, event.kind);
+        break;
+      case PlannerSemantics::kReplan:
+        replan_pass(now, event.kind);
+        break;
+      case PlannerSemantics::kQueueingEasy:
+        queueing_pass(now);
+        break;
+    }
+  }
+
+ private:
+  [[nodiscard]] bool guarantee_mode() const noexcept {
+    return config_.semantics == PlannerSemantics::kGuarantee;
+  }
+
+  [[nodiscard]] bool tune_at(sim::EventKind trigger) const noexcept {
+    if (config_.mode != SchedulerMode::kDynP) return false;
+    return trigger == sim::EventKind::kSubmit ? config_.tune_on_submit
+                                              : config_.tune_on_finish;
+  }
+
+  [[nodiscard]] policies::PolicyKind active_policy() const noexcept {
+    return config_.mode == SchedulerMode::kStatic
+               ? config_.static_policy
+               : config_.pool[policy_index_];
+  }
+
+  void finish_job(JobId id, Time now) {
+    const auto it = std::find_if(
+        running_.begin(), running_.end(),
+        [id](const rms::RunningJob& r) { return r.id == id; });
+    DYNP_ASSERT(it != running_.end());
+    if (guarantee_mode() && it->estimated_end > now) {
+      // Release the phantom tail of the reservation (actual < estimate):
+      // this freed capacity is what compression harvests.
+      profile_.deallocate(now, it->estimated_end - now, it->width);
+    }
+    running_.erase(it);
+    outcomes_[id].end = now;
+    if (config_.observer != nullptr) {
+      config_.observer->on_job_finished(now, jobs_[id], outcomes_[id]);
+    }
+  }
+
+  /// Records a decision and returns the chosen pool index.
+  std::size_t decide(DecisionInput input, Time now) {
+    const std::size_t chosen = config_.decider->decide(input);
+    DYNP_ASSERT(chosen < config_.pool.size());
+    if (config_.observer != nullptr) {
+      config_.observer->on_decision(now, input, chosen);
+    }
+    ++result_.decisions;
+    ++result_.decisions_per_policy[chosen];
+    if (chosen != policy_index_) {
+      ++result_.switches;
+      result_.policy_timeline.push_back(
+          SimulationResult::PolicySwitch{now, policy_index_, chosen});
+      policy_index_ = chosen;
+    }
+    return chosen;
+  }
+
+  void record_start(JobId id, Time now) {
+    const workload::Job& job = jobs_[id];
+    outcomes_[id] = metrics::JobOutcome{
+        id,        job.submit,          now, now + job.actual_runtime,
+        job.width, job.actual_runtime};
+    running_.push_back(
+        rms::RunningJob{id, job.width, now + job.estimated_runtime});
+    engine_.schedule(now + job.actual_runtime, sim::EventKind::kFinish, id);
+    if (config_.observer != nullptr) {
+      config_.observer->on_job_started(now, job);
+    }
+  }
+
+  // ----- kReplan semantics: full schedule from scratch at every event -----
+
+  void replan_pass(Time now, sim::EventKind trigger) {
+    if (waiting_.empty()) return;
+    rms::Schedule schedule;
+    if (tune_at(trigger)) {
+      std::vector<rms::Schedule> candidates;
+      candidates.reserve(config_.pool.size());
+      DecisionInput input;
+      input.values.reserve(config_.pool.size());
+      input.old_index = policy_index_;
+      for (const policies::PolicyKind policy : config_.pool) {
+        candidates.push_back(plan_with(policy, now));
+        input.values.push_back(metrics::evaluate_preview(
+            config_.preview, candidates.back(), jobs_, now));
+      }
+      schedule = std::move(candidates[decide(std::move(input), now)]);
+    } else {
+      schedule = plan_with(active_policy(), now);
+    }
+
+    const std::vector<JobId> due = schedule.starting_at(now);
+    for (const JobId id : due) record_start(id, now);
+    std::erase_if(waiting_, [&](JobId id) {
+      return std::find(due.begin(), due.end(), id) != due.end();
+    });
+  }
+
+  [[nodiscard]] rms::Schedule plan_with(policies::PolicyKind policy,
+                                        Time now) const {
+    return rms::Planner::plan(set_.machine().nodes, now, running_,
+                              policies::order(policy, waiting_, jobs_),
+                              jobs_);
+  }
+
+  // ----- kGuarantee semantics: reservations + policy-ordered compression --
+
+  /// Places a newly submitted job at its earliest feasible start without
+  /// moving any existing reservation; this start is the job's guarantee.
+  void insert_reservation(JobId id, Time now) {
+    const workload::Job& job = jobs_[id];
+    const Time start =
+        profile_.earliest_start(now, job.width, job.estimated_runtime);
+    profile_.allocate(start, job.estimated_runtime, job.width);
+    reserved_[id] = start;
+  }
+
+  /// One compression sweep in \p order: every waiting job is re-placed at
+  /// its earliest feasible start, which is never later than its current
+  /// reservation (its own old slot is always available again). Returns the
+  /// number of jobs that moved.
+  static std::size_t compress_once(rms::ResourceProfile& profile,
+                                   std::vector<Time>& reserved,
+                                   const std::vector<JobId>& order,
+                                   const std::vector<workload::Job>& jobs,
+                                   Time now) {
+    std::size_t moves = 0;
+    for (const JobId id : order) {
+      const workload::Job& job = jobs[id];
+      DYNP_ASSERT(reserved[id] >= now);
+      profile.deallocate(reserved[id], job.estimated_runtime, job.width);
+      const Time start =
+          profile.earliest_start(now, job.width, job.estimated_runtime);
+      DYNP_ASSERT(start <= reserved[id]);
+      if (start < reserved[id]) {
+        reserved[id] = start;
+        ++moves;
+      }
+      profile.allocate(start, job.estimated_runtime, job.width);
+    }
+    return moves;
+  }
+
+  /// Compression to fixpoint (moving one job can unblock another that was
+  /// processed earlier in the sweep). Terminates: every sweep with a move
+  /// strictly decreases the sum of reservations, and a sweep without moves
+  /// ends the loop.
+  static void compress(rms::ResourceProfile& profile,
+                       std::vector<Time>& reserved,
+                       const std::vector<JobId>& order,
+                       const std::vector<workload::Job>& jobs, Time now) {
+    constexpr int kMaxSweeps = 64;
+    for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+      if (compress_once(profile, reserved, order, jobs, now) == 0) break;
+    }
+  }
+
+  [[nodiscard]] rms::Schedule schedule_from(
+      const std::vector<Time>& reserved) const {
+    std::vector<rms::PlannedJob> planned;
+    planned.reserve(waiting_.size());
+    for (const JobId id : waiting_) {
+      planned.push_back(rms::PlannedJob{id, reserved[id]});
+    }
+    return rms::Schedule{std::move(planned)};
+  }
+
+  void guarantee_pass(Time now, sim::EventKind trigger) {
+    if (waiting_.empty()) return;
+
+    if (tune_at(trigger)) {
+      // One compressed candidate per pool policy, each on its own copy of
+      // the reservation state; the chosen candidate becomes reality.
+      std::vector<rms::ResourceProfile> profiles;
+      std::vector<std::vector<Time>> reservations;
+      profiles.reserve(config_.pool.size());
+      reservations.reserve(config_.pool.size());
+      DecisionInput input;
+      input.values.reserve(config_.pool.size());
+      input.old_index = policy_index_;
+      for (const policies::PolicyKind policy : config_.pool) {
+        profiles.push_back(profile_);
+        reservations.push_back(reserved_);
+        compress(profiles.back(), reservations.back(),
+                 policies::order(policy, waiting_, jobs_), jobs_, now);
+        input.values.push_back(metrics::evaluate_preview(
+            config_.preview, schedule_from(reservations.back()), jobs_, now));
+      }
+      const std::size_t chosen = decide(std::move(input), now);
+      profile_ = std::move(profiles[chosen]);
+      reserved_ = std::move(reservations[chosen]);
+    } else {
+      compress(profile_, reserved_,
+               policies::order(active_policy(), waiting_, jobs_), jobs_, now);
+    }
+
+    // Jobs whose reservation came due start now; their allocation is already
+    // in the profile and simply carries over as the running reservation.
+    std::vector<JobId> due;
+    for (const JobId id : waiting_) {
+      DYNP_ASSERT(reserved_[id] >= now);
+      if (reserved_[id] <= now) due.push_back(id);
+    }
+    for (const JobId id : due) record_start(id, now);
+    std::erase_if(waiting_, [&](JobId id) {
+      return std::find(due.begin(), due.end(), id) != due.end();
+    });
+  }
+
+  // ----- kQueueingEasy semantics: policy queue + EASY backfilling ---------
+
+  /// EASY scheduling cycle (Lifka's algorithm on top of a policy-ordered
+  /// queue): start queue-head jobs while they fit; when the head does not
+  /// fit, compute its *shadow time* (earliest start given the running jobs'
+  /// estimated ends) and the *extra* nodes left at that instant, then let
+  /// later jobs start immediately iff they either finish (by estimate)
+  /// before the shadow time or use no more than the extra nodes — i.e. they
+  /// never delay the head's reservation.
+  void queueing_pass(Time now) {
+    if (waiting_.empty()) return;
+    std::vector<JobId> queue =
+        policies::order(active_policy(), waiting_, jobs_);
+    std::vector<JobId> started;
+
+    std::uint32_t used = 0;
+    for (const rms::RunningJob& r : running_) used += r.width;
+    const std::uint32_t capacity = set_.machine().nodes;
+
+    std::size_t head = 0;
+    // Phase 1: the queue drains in policy order while jobs fit.
+    while (head < queue.size() &&
+           jobs_[queue[head]].width <= capacity - used) {
+      used += jobs_[queue[head]].width;
+      started.push_back(queue[head]);
+      ++head;
+    }
+
+    if (head < queue.size()) {
+      // Phase 2: reservation for the blocked head, then one backfill sweep.
+      const workload::Job& blocked = jobs_[queue[head]];
+      const rms::ResourceProfile profile =
+          rms::Planner::base_profile(capacity, now, running_);
+      const Time shadow = profile.earliest_start(
+          now, blocked.width, blocked.estimated_runtime);
+      const std::uint32_t free_at_shadow = profile.free_at(shadow);
+      std::uint32_t extra =
+          free_at_shadow >= blocked.width ? free_at_shadow - blocked.width : 0;
+
+      for (std::size_t i = head + 1; i < queue.size(); ++i) {
+        const workload::Job& job = jobs_[queue[i]];
+        if (job.width > capacity - used) continue;
+        const bool ends_before_shadow = now + job.estimated_runtime <= shadow;
+        const bool fits_extra = job.width <= extra;
+        if (ends_before_shadow || fits_extra) {
+          used += job.width;
+          started.push_back(queue[i]);
+          // A backfill running past the shadow time consumes the slack the
+          // head job leaves at its reservation.
+          if (!ends_before_shadow) extra -= job.width;
+        }
+      }
+    }
+
+    for (const JobId id : started) record_start(id, now);
+    std::erase_if(waiting_, [&](JobId id) {
+      return std::find(started.begin(), started.end(), id) != started.end();
+    });
+  }
+
+  const workload::JobSet& set_;
+  const SimulationConfig& config_;
+  const std::vector<workload::Job>& jobs_;
+
+  sim::Engine engine_;
+  std::vector<JobId> waiting_;  // in arrival order
+  std::vector<rms::RunningJob> running_;
+  std::vector<metrics::JobOutcome> outcomes_;
+  std::size_t policy_index_;
+  Time last_event_time_ = 0;
+  SimulationResult result_;
+
+  // kGuarantee state: the live profile (running reservations + waiting-job
+  // guarantees) and each waiting job's guaranteed start, indexed by JobId.
+  rms::ResourceProfile profile_;
+  std::vector<Time> reserved_;
+};
+
+}  // namespace
+
+SimulationResult simulate(const workload::JobSet& set,
+                          const SimulationConfig& config) {
+  SchedulerSim sim(set, config);
+  return sim.run();
+}
+
+}  // namespace dynp::core

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file simulation.hpp
+/// The scheduler simulation: a planning-based RMS driven by the
+/// discrete-event engine, running either a single static policy or the
+/// self-tuning dynP scheduler with a pluggable decider.
+///
+/// Event semantics follow the paper (§3): a scheduling pass happens whenever
+/// jobs are submitted and whenever executed jobs finish. In dynP mode the
+/// pass first performs a *self-tuning step* — compute one full candidate
+/// schedule per pool policy, score each with the preview metric, ask the
+/// decider — and then adopts the chosen policy's schedule. Jobs planned at
+/// the current instant start executing; an early finish (actual < estimated
+/// run time) triggers the next pass, which is where backfilling gains
+/// materialise.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/decider.hpp"
+#include "core/observer.hpp"
+#include "metrics/metrics.hpp"
+#include "policies/policy.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::core {
+
+/// How the scheduler chooses planning order.
+enum class SchedulerMode : std::uint8_t {
+  kStatic,  ///< one fixed policy for the whole run
+  kDynP,    ///< self-tuning dynP: switch policies via the decider
+};
+
+/// Planning semantics of the RMS.
+///
+/// * `kGuarantee`: the RMS assigns every job a **start-time guarantee** when
+///   it is submitted (earliest feasible slot, no existing reservation moves).
+///   Whenever a job finishes early — the common case, given over-estimation
+///   factors above 2 — the scheduler runs *compression*: waiting jobs are
+///   re-placed **in policy order**, each at its earliest feasible start,
+///   which by construction is never later than its current guarantee. The
+///   policy therefore decides who harvests freed capacity first, but no job
+///   can be starved past its original guarantee — exactly the user contract
+///   of a planning-based RMS such as CCS.
+/// * `kReplan` (default, and the reading that reproduces the paper's
+///   curves — the large policy spreads of Table 4, e.g. LJF's KTH slowdown
+///   of 120 vs FCFS's 46, require reordering waiting jobs wholesale): the
+///   full schedule is rebuilt from scratch in policy order at every event;
+///   planned starts may move arbitrarily, so SJF/LJF can starve long/short
+///   jobs, bounded in practice by the workload's nightly and weekly arrival
+///   lulls (see the `ablation_semantics` bench).
+/// * `kQueueingEasy`: not a planning RMS at all, but the classic *queueing*
+///   alternative the paper contrasts with ([6], Hovestadt et al.): jobs wait
+///   in a policy-ordered queue, only the head job holds a reservation, and
+///   later jobs backfill aggressively if they do not delay the head (EASY
+///   backfilling, Lifka [9]). No full schedule exists, so the self-tuning
+///   dynP step is impossible — static policies only; provided as the
+///   baseline for the planning-vs-queueing ablation.
+enum class PlannerSemantics : std::uint8_t {
+  kReplan,
+  kGuarantee,
+  kQueueingEasy,
+};
+
+/// Full configuration of one simulation run.
+struct SimulationConfig {
+  SchedulerMode mode = SchedulerMode::kStatic;
+
+  /// Planning semantics (see `PlannerSemantics`).
+  PlannerSemantics semantics = PlannerSemantics::kReplan;
+
+  /// Policy used in static mode.
+  policies::PolicyKind static_policy = policies::PolicyKind::kFcfs;
+
+  /// Candidate pool in dynP mode; the order defines decider tie-breaking
+  /// (the paper's pool is FCFS, SJF, LJF).
+  std::vector<policies::PolicyKind> pool = policies::paper_pool();
+
+  /// Decider used in dynP mode (required there, ignored in static mode).
+  std::shared_ptr<const Decider> decider;
+
+  /// Pool index of the policy active before the first decision.
+  std::size_t initial_index = 0;
+
+  /// Metric scoring the candidate schedules.
+  metrics::PreviewMetric preview = metrics::PreviewMetric::kSldwa;
+
+  /// Optional observation hooks (non-owning; may be nullptr). Called
+  /// synchronously from the simulation loop.
+  SimulationObserver* observer = nullptr;
+
+  /// Self-tuning step on submit events (paper: on).
+  bool tune_on_submit = true;
+  /// Self-tuning step on finish events (paper: on; §3 mentions submit-only
+  /// as an unstudied option — Ablation B studies it).
+  bool tune_on_finish = true;
+
+  /// Display label, e.g. "FCFS" or "dynP/SJF-preferred".
+  [[nodiscard]] std::string label() const;
+};
+
+/// Convenience: configuration for a static policy.
+[[nodiscard]] SimulationConfig static_config(policies::PolicyKind policy);
+
+/// Convenience: paper-style dynP configuration (pool FCFS/SJF/LJF, SLDwA
+/// preview) with the given decider.
+[[nodiscard]] SimulationConfig dynp_config(std::shared_ptr<const Decider> decider);
+
+/// Everything a simulation run produces.
+struct SimulationResult {
+  metrics::ScheduleSummary summary;
+  /// Per-job outcomes, indexed by JobId.
+  std::vector<metrics::JobOutcome> outcomes;
+  /// Events processed (submits + finishes).
+  std::uint64_t events = 0;
+  /// Self-tuning decisions taken (dynP only).
+  std::uint64_t decisions = 0;
+  /// Decisions that changed the active policy (dynP only).
+  std::uint64_t switches = 0;
+  /// Decisions per pool policy (dynP only; indexed like the pool).
+  std::vector<std::uint64_t> decisions_per_policy;
+  /// Simulated seconds spent under each pool policy (dynP only).
+  std::vector<double> time_in_policy;
+
+  /// One policy-switch record (dynP only).
+  struct PolicySwitch {
+    Time when = 0;
+    std::size_t from = 0;  ///< pool index before the switch
+    std::size_t to = 0;    ///< pool index after the switch
+  };
+  /// Chronological switch history (dynP only; empty if no switch happened).
+  std::vector<PolicySwitch> policy_timeline;
+};
+
+/// Runs \p config over \p set to completion. Deterministic: identical inputs
+/// give identical results.
+[[nodiscard]] SimulationResult simulate(const workload::JobSet& set,
+                                        const SimulationConfig& config);
+
+}  // namespace dynp::core

@@ -1,0 +1,114 @@
+#include "exp/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dynp::exp {
+namespace {
+
+/// Time range [t0, t1] covered by the outcomes (submission to last end).
+[[nodiscard]] std::pair<Time, Time> time_range(
+    const std::vector<metrics::JobOutcome>& outcomes) {
+  Time t0 = outcomes.front().submit, t1 = outcomes.front().end;
+  for (const auto& o : outcomes) {
+    t0 = std::min(t0, o.submit);
+    t1 = std::max(t1, o.end);
+  }
+  return {t0, t1};
+}
+
+}  // namespace
+
+std::string render_utilization_ascii(
+    const std::vector<metrics::JobOutcome>& outcomes, std::uint32_t nodes,
+    const AsciiPlotOptions& options) {
+  DYNP_EXPECTS(nodes >= 1);
+  DYNP_EXPECTS(options.columns >= 2 && options.rows >= 2);
+  if (outcomes.empty()) return "(no jobs)\n";
+
+  const auto [t0, t1] = time_range(outcomes);
+  const double span = std::max(1.0, t1 - t0);
+  const double bucket = span / static_cast<double>(options.columns);
+
+  // Mean busy node-seconds per bucket.
+  std::vector<double> busy(options.columns, 0.0);
+  for (const auto& o : outcomes) {
+    const double lo = o.start, hi = o.end;
+    auto first = static_cast<std::size_t>((lo - t0) / bucket);
+    auto last = static_cast<std::size_t>((hi - t0) / bucket);
+    first = std::min(first, options.columns - 1);
+    last = std::min(last, options.columns - 1);
+    for (std::size_t b = first; b <= last; ++b) {
+      const double b_lo = t0 + static_cast<double>(b) * bucket;
+      const double b_hi = b_lo + bucket;
+      const double overlap = std::min(hi, b_hi) - std::max(lo, b_lo);
+      if (overlap > 0) busy[b] += overlap * o.width;
+    }
+  }
+
+  std::ostringstream out;
+  for (std::size_t row = 0; row < options.rows; ++row) {
+    const double level =
+        static_cast<double>(options.rows - row) /
+        static_cast<double>(options.rows);
+    // Y-axis label on the top, middle and bottom rows.
+    if (row == 0 || row == options.rows / 2 || row + 1 == options.rows) {
+      char label[8];
+      std::snprintf(label, sizeof label, "%3.0f%%|", level * 100);
+      out << label;
+    } else {
+      out << "    |";
+    }
+    for (std::size_t b = 0; b < options.columns; ++b) {
+      const double util = busy[b] / (bucket * nodes);
+      out << (util + 1e-12 >= level ? '#' : ' ');
+    }
+    out << '\n';
+  }
+  out << "    +" << std::string(options.columns, '-') << '\n';
+  std::ostringstream axis;
+  axis << "     t=" << static_cast<long long>(t0);
+  const std::string end_label =
+      "t=" + std::to_string(static_cast<long long>(t1));
+  std::string line = axis.str();
+  const std::size_t total = options.columns + 5;
+  if (line.size() + end_label.size() + 1 < total) {
+    line += std::string(total - line.size() - end_label.size(), ' ');
+    line += end_label;
+  }
+  out << line << '\n';
+  return out.str();
+}
+
+std::string render_policy_strip_ascii(
+    const core::SimulationResult& result,
+    const std::vector<policies::PolicyKind>& pool,
+    const AsciiPlotOptions& options) {
+  if (result.decisions == 0 || result.outcomes.empty() || pool.empty()) {
+    return {};
+  }
+  const auto [t0, t1] = time_range(result.outcomes);
+  const double span = std::max(1.0, t1 - t0);
+  const double bucket = span / static_cast<double>(options.columns);
+
+  std::ostringstream out;
+  out << "pol |";
+  std::size_t switch_index = 0;
+  std::size_t active = 0;  // dynP starts at pool index initial (0 by default)
+  for (std::size_t b = 0; b < options.columns; ++b) {
+    const double b_end = t0 + static_cast<double>(b + 1) * bucket;
+    while (switch_index < result.policy_timeline.size() &&
+           result.policy_timeline[switch_index].when <= b_end) {
+      active = result.policy_timeline[switch_index].to;
+      ++switch_index;
+    }
+    out << policies::name(pool[std::min(active, pool.size() - 1)])[0];
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace dynp::exp

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file ascii_plot.hpp
+/// Terminal visualisation of simulation results: a machine-utilisation
+/// timeline and a dynP policy strip, rendered as fixed-width ASCII. Used by
+/// the `dynp_sim` tool's `--plot` flag and the examples; handy for eyeballing
+/// schedules without leaving the terminal.
+
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "metrics/metrics.hpp"
+
+namespace dynp::exp {
+
+/// Options for the ASCII plots.
+struct AsciiPlotOptions {
+  std::size_t columns = 100;  ///< time buckets (one character each)
+  std::size_t rows = 12;      ///< vertical resolution of the utilisation plot
+};
+
+/// Renders machine utilisation over time: each column is one time bucket,
+/// bar height = mean busy-node fraction in that bucket. Returns a multi-line
+/// string ending in a time axis.
+[[nodiscard]] std::string render_utilization_ascii(
+    const std::vector<metrics::JobOutcome>& outcomes, std::uint32_t nodes,
+    const AsciiPlotOptions& options = {});
+
+/// Renders the dynP policy strip: one character per time bucket showing the
+/// dominant active policy ('F', 'S', 'L', or the first letter of extension
+/// policies), derived from the switch timeline. Empty string when the run
+/// had no dynP decisions.
+[[nodiscard]] std::string render_policy_strip_ascii(
+    const core::SimulationResult& result,
+    const std::vector<policies::PolicyKind>& pool,
+    const AsciiPlotOptions& options = {});
+
+}  // namespace dynp::exp

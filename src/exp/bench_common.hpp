@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared command-line handling for the table/figure bench binaries: every
+/// binary accepts the same scale options (--sets, --jobs, --seed, --full,
+/// --quick, --threads, --trace, --csv-dir) so runs are comparable.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/cli.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::exp {
+
+/// Parsed common bench options.
+struct BenchOptions {
+  ExperimentScale scale;
+  std::size_t threads = 0;            ///< 0 = hardware concurrency
+  std::vector<workload::TraceModel> traces;  ///< selected trace models
+  std::string csv_dir;                ///< empty = no CSV output
+};
+
+/// Registers the common options on \p cli.
+inline void add_bench_options(util::CliParser& cli) {
+  cli.add_option("sets", "5", "job sets per trace (paper: 10)");
+  cli.add_option("jobs", "1500", "jobs per set (paper: 10000)");
+  cli.add_option("seed", "42", "master random seed");
+  cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
+  cli.add_option("trace", "all", "trace to run: CTC, KTH, LANL, SDSC or all");
+  cli.add_option("csv-dir", "", "directory for figure CSV series (optional)");
+  cli.add_flag("full", "paper scale: 10 sets x 10000 jobs (slow)");
+  cli.add_flag("quick", "smoke-test scale: 3 sets x 400 jobs");
+}
+
+/// Extracts `BenchOptions` after `cli.parse` succeeded. Returns nullopt on
+/// an invalid trace name (message already printed).
+inline std::optional<BenchOptions> read_bench_options(
+    const util::CliParser& cli) {
+  BenchOptions opt;
+  opt.scale.sets = static_cast<std::size_t>(cli.get_int("sets"));
+  opt.scale.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  opt.scale.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  if (cli.get_flag("full")) opt.scale = ExperimentScale::paper();
+  if (cli.get_flag("quick")) opt.scale = ExperimentScale{3, 400, opt.scale.seed};
+  opt.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  opt.csv_dir = cli.get("csv-dir");
+
+  const std::string trace = cli.get("trace");
+  if (trace == "all" || trace == "ALL") {
+    opt.traces = workload::paper_models();
+  } else {
+    try {
+      opt.traces = {workload::model_by_name(trace)};
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+}  // namespace dynp::exp

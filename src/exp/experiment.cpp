@@ -1,0 +1,81 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dynp::exp {
+
+std::vector<double> paper_shrinking_factors() {
+  return {1.0, 0.9, 0.8, 0.7, 0.6};
+}
+
+SweepRunner::SweepRunner(workload::TraceModel model, ExperimentScale scale)
+    : model_(std::move(model)),
+      scale_(scale),
+      ensemble_(workload::generate_ensemble(model_, scale.sets, scale.jobs,
+                                            scale.seed)) {}
+
+CombinedPoint SweepRunner::run(double factor,
+                               const core::SimulationConfig& config,
+                               std::size_t threads) const {
+  const std::size_t n = ensemble_.size();
+  std::vector<core::SimulationResult> results(n);
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        const workload::JobSet scaled =
+            ensemble_[i].with_shrinking_factor(factor);
+        results[i] = core::simulate(scaled, config);
+      },
+      threads);
+
+  CombinedPoint point;
+  std::vector<double> bsld, resp, sw, dec;
+  for (const core::SimulationResult& r : results) {
+    point.sldwa_per_set.push_back(r.summary.sldwa);
+    point.util_per_set.push_back(r.summary.utilization * 100.0);
+    bsld.push_back(r.summary.avg_bounded_slowdown);
+    resp.push_back(r.summary.avg_response);
+    sw.push_back(static_cast<double>(r.switches));
+    dec.push_back(static_cast<double>(r.decisions));
+  }
+  point.sldwa = util::trimmed_mean_drop_extremes(point.sldwa_per_set);
+  point.utilization = util::trimmed_mean_drop_extremes(point.util_per_set);
+  util::OnlineStats sldwa_stats, util_stats;
+  for (const double v : point.sldwa_per_set) sldwa_stats.add(v);
+  for (const double v : point.util_per_set) util_stats.add(v);
+  point.sldwa_stddev = sldwa_stats.stddev();
+  point.util_stddev = util_stats.stddev();
+  point.avg_bounded_slowdown = util::trimmed_mean_drop_extremes(bsld);
+  point.avg_response = util::trimmed_mean_drop_extremes(resp);
+  point.switches = util::mean(sw);
+  point.decisions = util::mean(dec);
+  return point;
+}
+
+std::shared_ptr<const core::Decider> sjf_preferred_decider(
+    double threshold_pct) {
+  return preferred_decider_for(policies::PolicyKind::kSjf,
+                               policies::paper_pool(), threshold_pct);
+}
+
+std::shared_ptr<const core::Decider> preferred_decider_for(
+    policies::PolicyKind policy, const std::vector<policies::PolicyKind>& pool,
+    double threshold_pct) {
+  const auto it = std::find(pool.begin(), pool.end(), policy);
+  if (it == pool.end()) {
+    throw std::invalid_argument("preferred policy is not in the pool");
+  }
+  const auto index = static_cast<std::size_t>(it - pool.begin());
+  std::string label = std::string(policies::name(policy)) + "-preferred";
+  if (threshold_pct > 0) {
+    label += "(" + util::fmt_fixed(threshold_pct, 1) + "%)";
+  }
+  return core::make_preferred_decider(index, std::move(label), threshold_pct);
+}
+
+}  // namespace dynp::exp

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file experiment.hpp
+/// The evaluation harness: generates the paper's input ensembles (N job sets
+/// per trace), sweeps shrinking factors and scheduler configurations, and
+/// combines per-set results with the paper's trimming rule (drop min and
+/// max, average the remaining sets).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::exp {
+
+/// The paper's workload sweep: shrinking factors 1.0 down to 0.6 in steps
+/// of 0.1.
+[[nodiscard]] std::vector<double> paper_shrinking_factors();
+
+/// Scale of an experiment. The paper uses 10 sets x 10,000 jobs; the default
+/// here is reduced so the whole suite runs in minutes on one core (pass
+/// --full to the bench binaries for paper scale).
+struct ExperimentScale {
+  std::size_t sets = 5;
+  std::size_t jobs = 1500;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] static ExperimentScale paper() { return {10, 10000, 42}; }
+};
+
+/// Results for one (trace, factor, scheduler) point, combined over the
+/// ensemble with `trimmed_mean_drop_extremes`.
+struct CombinedPoint {
+  double sldwa = 0;
+  double utilization = 0;      ///< in percent, as the paper reports it
+  double avg_bounded_slowdown = 0;
+  double avg_response = 0;
+  double switches = 0;         ///< mean policy switches per run (dynP)
+  double decisions = 0;        ///< mean decisions per run (dynP)
+  double sldwa_stddev = 0;     ///< dispersion across the (untrimmed) sets
+  double util_stddev = 0;      ///< dispersion across the (untrimmed) sets, pp
+  /// Per-set raw values (before trimming), for dispersion analysis.
+  std::vector<double> sldwa_per_set;
+  std::vector<double> util_per_set;
+};
+
+/// Pre-generates one trace's ensemble and runs sweep points against it.
+/// Thread-safe for concurrent `run` calls (the ensemble is immutable after
+/// construction).
+class SweepRunner {
+ public:
+  SweepRunner(workload::TraceModel model, ExperimentScale scale);
+
+  [[nodiscard]] const workload::TraceModel& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] const std::vector<workload::JobSet>& ensemble() const noexcept {
+    return ensemble_;
+  }
+
+  /// Simulates every set at the given shrinking factor under \p config and
+  /// combines the results. Sets are simulated in parallel over \p threads
+  /// workers (0 = hardware concurrency).
+  [[nodiscard]] CombinedPoint run(double factor,
+                                  const core::SimulationConfig& config,
+                                  std::size_t threads = 0) const;
+
+ private:
+  workload::TraceModel model_;
+  ExperimentScale scale_;
+  std::vector<workload::JobSet> ensemble_;
+};
+
+/// Builds the paper's SJF-preferred decider over the paper pool
+/// (index 1 = SJF), with optional threshold percentage.
+[[nodiscard]] std::shared_ptr<const core::Decider> sjf_preferred_decider(
+    double threshold_pct = 0.0);
+
+/// Builds a preferred decider for an arbitrary pool policy by name.
+[[nodiscard]] std::shared_ptr<const core::Decider> preferred_decider_for(
+    policies::PolicyKind policy, const std::vector<policies::PolicyKind>& pool,
+    double threshold_pct = 0.0);
+
+}  // namespace dynp::exp

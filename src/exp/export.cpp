@@ -1,0 +1,50 @@
+#include "exp/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace dynp::exp {
+
+void write_outcomes_csv(std::ostream& out,
+                        const std::vector<metrics::JobOutcome>& outcomes) {
+  out << "job,submit,start,end,width,actual_runtime,wait,response,"
+         "slowdown,bounded_slowdown\n";
+  for (const metrics::JobOutcome& o : outcomes) {
+    out << o.id << ',' << o.submit << ',' << o.start << ',' << o.end << ','
+        << o.width << ',' << o.actual_runtime << ',' << o.wait() << ','
+        << o.response() << ',' << metrics::slowdown(o) << ',' << metrics::bounded_slowdown(o)
+        << '\n';
+  }
+}
+
+bool write_outcomes_csv_file(const std::string& path,
+                             const std::vector<metrics::JobOutcome>& outcomes) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_outcomes_csv(out, outcomes);
+  return static_cast<bool>(out);
+}
+
+void write_policy_timeline_csv(std::ostream& out,
+                               const core::SimulationResult& result,
+                               const std::vector<std::string>& pool_names) {
+  out << "time,from_index,to_index,from_policy,to_policy\n";
+  for (const auto& sw : result.policy_timeline) {
+    DYNP_EXPECTS(sw.from < pool_names.size() && sw.to < pool_names.size());
+    out << sw.when << ',' << sw.from << ',' << sw.to << ','
+        << pool_names[sw.from] << ',' << pool_names[sw.to] << '\n';
+  }
+}
+
+bool write_policy_timeline_csv_file(const std::string& path,
+                                    const core::SimulationResult& result,
+                                    const std::vector<std::string>& pool_names) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_policy_timeline_csv(out, result, pool_names);
+  return static_cast<bool>(out);
+}
+
+}  // namespace dynp::exp

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file export.hpp
+/// CSV export of simulation results: per-job outcomes (a Gantt-ready table)
+/// and the dynP policy-switch timeline. Useful for plotting schedules and
+/// for diffing runs across schedulers.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "metrics/metrics.hpp"
+
+namespace dynp::exp {
+
+/// Writes one row per job: id, submit, start, end, width, actual runtime,
+/// wait, response, slowdown, bounded slowdown. Sorted by job id.
+void write_outcomes_csv(std::ostream& out,
+                        const std::vector<metrics::JobOutcome>& outcomes);
+
+/// Convenience file overload; returns false on I/O failure.
+[[nodiscard]] bool write_outcomes_csv_file(
+    const std::string& path, const std::vector<metrics::JobOutcome>& outcomes);
+
+/// Writes the dynP policy timeline: one row per switch (time, from-index,
+/// to-index, policy names resolved against \p pool_names).
+void write_policy_timeline_csv(std::ostream& out,
+                               const core::SimulationResult& result,
+                               const std::vector<std::string>& pool_names);
+
+/// Convenience file overload; returns false on I/O failure.
+[[nodiscard]] bool write_policy_timeline_csv_file(
+    const std::string& path, const core::SimulationResult& result,
+    const std::vector<std::string>& pool_names);
+
+}  // namespace dynp::exp

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file paper_reference.hpp
+/// The published numbers of the paper (Tables 2-5), embedded so every bench
+/// binary can print paper-vs-measured side by side. Values transcribed from
+/// the IPPS 2004 text.
+
+#include <array>
+#include <cstddef>
+
+namespace dynp::exp {
+
+/// Index order of the four traces everywhere in this module.
+inline constexpr std::array<const char*, 4> kTraceNames = {"CTC", "KTH",
+                                                           "LANL", "SDSC"};
+
+/// Table 2 — basic trace properties.
+struct PaperTraceProperties {
+  const char* name;
+  long long jobs_in_trace;
+  double width_min, width_avg, width_max;
+  double machine_nodes;
+  double est_min, est_avg, est_max;
+  double act_min, act_avg, act_max;
+  double overestimation;
+  double ia_min, ia_avg, ia_max;
+};
+
+[[nodiscard]] const std::array<PaperTraceProperties, 4>& paper_table2();
+
+/// Table 4 — static policies: SLDwA and utilisation per shrinking factor.
+struct PaperStaticRow {
+  double factor;
+  double sldwa_fcfs, sldwa_sjf, sldwa_ljf;
+  double util_fcfs, util_sjf, util_ljf;  // percent
+};
+
+struct PaperStaticTrace {
+  const char* name;
+  std::array<PaperStaticRow, 5> rows;  // factors 1.0 .. 0.6
+};
+
+[[nodiscard]] const std::array<PaperStaticTrace, 4>& paper_table4();
+
+/// Table 5 — dynP deciders vs SJF per shrinking factor.
+struct PaperDynpRow {
+  double factor;
+  double sldwa_sjf, sldwa_adv, sldwa_pref;
+  double rel_adv, rel_pref;    // % improvement over SJF (positive = better)
+  double util_sjf, util_adv, util_pref;  // percent
+  double dutil_adv, dutil_pref;          // percentage-points vs SJF
+};
+
+struct PaperDynpTrace {
+  const char* name;
+  std::array<PaperDynpRow, 5> rows;
+};
+
+[[nodiscard]] const std::array<PaperDynpTrace, 4>& paper_table5();
+
+/// Table 3 — per-trace averages of the Table 5 differences.
+struct PaperCondensedRow {
+  const char* name;
+  double rel_adv, rel_pref;    // SLDwA improvement over SJF, %
+  double dutil_adv, dutil_pref;  // utilisation gain over SJF, pp
+};
+
+[[nodiscard]] const std::array<PaperCondensedRow, 4>& paper_table3();
+
+}  // namespace dynp::exp

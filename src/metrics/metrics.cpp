@@ -1,0 +1,130 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dynp::metrics {
+
+double slowdown(const JobOutcome& o, double floor_runtime) noexcept {
+  const double run = std::max(o.actual_runtime, floor_runtime);
+  return o.response() / run;
+}
+
+double bounded_slowdown(const JobOutcome& o, double tau) noexcept {
+  return std::max(o.response() / std::max(o.actual_runtime, tau), 1.0);
+}
+
+ScheduleSummary summarize(const std::vector<JobOutcome>& outcomes,
+                          std::uint32_t nodes) {
+  DYNP_EXPECTS(nodes >= 1);
+  ScheduleSummary s;
+  s.jobs = outcomes.size();
+  if (outcomes.empty()) return s;
+
+  double weighted_sld = 0, weight = 0;
+  double sld_sum = 0, bsld_sum = 0, resp_sum = 0, wait_sum = 0;
+  double width_resp = 0, width_sum = 0;
+  double area_total = 0;
+  Time first_submit = outcomes.front().submit;
+  Time last_submit = outcomes.front().submit;
+  Time last_end = outcomes.front().end;
+  for (const JobOutcome& o : outcomes) {
+    last_submit = std::max(last_submit, o.submit);
+    const double sld = slowdown(o);
+    const double a = o.area();
+    weighted_sld += a * sld;
+    weight += a;
+    sld_sum += sld;
+    bsld_sum += bounded_slowdown(o);
+    resp_sum += o.response();
+    wait_sum += o.wait();
+    s.max_wait = std::max(s.max_wait, o.wait());
+    width_resp += static_cast<double>(o.width) * o.response();
+    width_sum += static_cast<double>(o.width);
+    area_total += a;
+    first_submit = std::min(first_submit, o.submit);
+    last_end = std::max(last_end, o.end);
+  }
+  const auto n = static_cast<double>(outcomes.size());
+  s.sldwa = weight > 0 ? weighted_sld / weight : 0;
+  s.avg_slowdown = sld_sum / n;
+  s.avg_bounded_slowdown = bsld_sum / n;
+  s.avg_response = resp_sum / n;
+  s.artww = width_sum > 0 ? width_resp / width_sum : 0;
+  s.avg_wait = wait_sum / n;
+  s.makespan = last_end - first_submit;
+  s.utilization_makespan =
+      s.makespan > 0
+          ? area_total / (static_cast<double>(nodes) * s.makespan)
+          : 0;
+  const double window = last_submit - first_submit;
+  if (window > 0) {
+    double used = 0;
+    for (const JobOutcome& o : outcomes) {
+      const Time lo = std::max(o.start, first_submit);
+      const Time hi = std::min(o.end, last_submit);
+      if (hi > lo) used += static_cast<double>(o.width) * (hi - lo);
+    }
+    s.utilization = used / (static_cast<double>(nodes) * window);
+  }
+  return s;
+}
+
+const char* name(PreviewMetric metric) noexcept {
+  switch (metric) {
+    case PreviewMetric::kSldwa: return "SLDwA";
+    case PreviewMetric::kAvgResponse: return "ART";
+    case PreviewMetric::kAvgSlowdown: return "SLD";
+    case PreviewMetric::kBoundedSlowdown: return "BSLD";
+    case PreviewMetric::kArtww: return "ARTwW";
+    case PreviewMetric::kMaxCompletion: return "MAXC";
+  }
+  return "?";
+}
+
+double evaluate_preview(PreviewMetric metric, const rms::Schedule& schedule,
+                        const std::vector<workload::Job>& jobs, Time now) {
+  if (schedule.empty()) return 0.0;
+
+  double acc = 0, weight = 0, max_completion = now;
+  for (const rms::PlannedJob& p : schedule.entries()) {
+    DYNP_EXPECTS(p.id < jobs.size());
+    const workload::Job& job = jobs[p.id];
+    const double est = std::max(job.estimated_runtime, 1.0);
+    const double completion = p.start + job.estimated_runtime;
+    const double response = completion - job.submit;
+    switch (metric) {
+      case PreviewMetric::kSldwa: {
+        const double area = job.estimated_area();
+        acc += area * (response / est);
+        weight += area;
+        break;
+      }
+      case PreviewMetric::kAvgResponse:
+        acc += response;
+        weight += 1;
+        break;
+      case PreviewMetric::kAvgSlowdown:
+        acc += response / est;
+        weight += 1;
+        break;
+      case PreviewMetric::kBoundedSlowdown:
+        acc += std::max(response / std::max(est, 60.0), 1.0);
+        weight += 1;
+        break;
+      case PreviewMetric::kArtww:
+        acc += static_cast<double>(job.width) * response;
+        weight += static_cast<double>(job.width);
+        break;
+      case PreviewMetric::kMaxCompletion:
+        max_completion = std::max(max_completion, completion);
+        break;
+    }
+  }
+  if (metric == PreviewMetric::kMaxCompletion) return max_completion - now;
+  return weight > 0 ? acc / weight : 0.0;
+}
+
+}  // namespace dynp::metrics

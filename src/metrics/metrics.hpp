@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Performance metrics (paper §4.1), in two flavours:
+///
+///  * **outcome metrics** — computed after the simulation from actual start
+///    and completion times: slowdown, bounded slowdown s^60, slowdown
+///    weighted by area (SLDwA, the paper's headline metric), response and
+///    wait times, ARTwW, and machine utilisation;
+///  * **preview metrics** — computed during the run on a *candidate*
+///    schedule, from planned start times and run-time *estimates* (all the
+///    scheduler can know). The self-tuning step scores each policy's
+///    candidate with one preview metric; all previews are oriented so that
+///    *lower is better*.
+
+#include <vector>
+
+#include "rms/planner.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::metrics {
+
+/// What happened to one job.
+struct JobOutcome {
+  JobId id = 0;
+  Time submit = 0;
+  Time start = 0;
+  Time end = 0;
+  std::uint32_t width = 1;
+  Time actual_runtime = 0;
+
+  [[nodiscard]] double wait() const noexcept { return start - submit; }
+  [[nodiscard]] double response() const noexcept { return end - submit; }
+  [[nodiscard]] double area() const noexcept {
+    return actual_runtime * static_cast<double>(width);
+  }
+};
+
+/// Job slowdown s = response / run time. Run times below \p floor_runtime
+/// are floored to keep the ratio finite (SLDwA is immune — a zero-area job
+/// has zero weight — but the unweighted average is not).
+[[nodiscard]] double slowdown(const JobOutcome& o,
+                              double floor_runtime = 1.0) noexcept;
+
+/// Bounded slowdown s^tau = max(response / max(run time, tau), 1)
+/// (Feitelson, JSSPP 2001); tau defaults to the paper's 60 s.
+[[nodiscard]] double bounded_slowdown(const JobOutcome& o,
+                                      double tau = 60.0) noexcept;
+
+/// Aggregate results of one simulation run.
+struct ScheduleSummary {
+  std::size_t jobs = 0;
+  /// Slowdown weighted by job area: sum(a_i s_i) / sum(a_i).
+  double sldwa = 0;
+  double avg_slowdown = 0;
+  double avg_bounded_slowdown = 0;
+  double avg_response = 0;
+  /// Average response time weighted by width (ARTwW).
+  double artww = 0;
+  double avg_wait = 0;
+  double max_wait = 0;
+  /// Steady-state utilisation, in [0, 1]: node-seconds actually used during
+  /// the submission window [first submit, last submit], divided by the
+  /// machine capacity over that window (job intervals are clipped to the
+  /// window). Insensitive to the cool-down drain after arrivals stop, which
+  /// otherwise dominates at small job counts. 0 when the window is empty.
+  double utilization = 0;
+  /// Total actual area / (nodes x makespan), in [0, 1] — the naive
+  /// whole-run definition, kept for reference.
+  double utilization_makespan = 0;
+  /// Last completion minus first submission.
+  double makespan = 0;
+};
+
+/// Summarises completed-job outcomes for a machine with \p nodes nodes.
+[[nodiscard]] ScheduleSummary summarize(const std::vector<JobOutcome>& outcomes,
+                                        std::uint32_t nodes);
+
+/// Preview metric used by the self-tuning step to score candidate schedules.
+enum class PreviewMetric : std::uint8_t {
+  kSldwa,            ///< estimated-area-weighted slowdown of planned jobs (paper default)
+  kAvgResponse,      ///< mean planned response time
+  kAvgSlowdown,      ///< mean planned slowdown
+  kBoundedSlowdown,  ///< mean planned bounded slowdown (tau = 60 s)
+  kArtww,            ///< planned response time weighted by width
+  kMaxCompletion,    ///< latest planned completion (a makespan/utilisation proxy)
+};
+
+/// Human-readable preview-metric name.
+[[nodiscard]] const char* name(PreviewMetric metric) noexcept;
+
+/// Scores a candidate schedule; lower is better for every metric. An empty
+/// schedule scores 0 (all policies tie, so the decider keeps its policy).
+/// Planned response of job j = planned start + estimated run time - submit.
+[[nodiscard]] double evaluate_preview(PreviewMetric metric,
+                                      const rms::Schedule& schedule,
+                                      const std::vector<workload::Job>& jobs,
+                                      Time now);
+
+}  // namespace dynp::metrics

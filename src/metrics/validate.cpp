@@ -1,0 +1,77 @@
+#include "metrics/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace dynp::metrics {
+namespace {
+
+[[nodiscard]] std::string describe(const char* what, JobId job, double a,
+                                   double b) {
+  std::ostringstream oss;
+  oss << what << " (job " << job << ": " << a << " vs " << b << ")";
+  return oss.str();
+}
+
+}  // namespace
+
+ValidationReport validate_outcomes(const workload::JobSet& set,
+                                   const std::vector<JobOutcome>& outcomes) {
+  ValidationReport report;
+
+  if (outcomes.size() < set.size()) {
+    for (std::size_t i = outcomes.size(); i < set.size(); ++i) {
+      report.issues.push_back(
+          {ValidationIssue::Kind::kMissingJob, static_cast<JobId>(i), 0,
+           "job missing from outcomes"});
+    }
+  }
+
+  // Per-job consistency.
+  const std::size_t n = std::min(outcomes.size(), set.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobOutcome& o = outcomes[i];
+    const workload::Job& j = set[i];
+    if (o.start < j.submit) {
+      report.issues.push_back({ValidationIssue::Kind::kStartBeforeSubmit,
+                               j.id, o.start,
+                               describe("start before submit", j.id, o.start,
+                                        j.submit)});
+    }
+    if (o.end != o.start + j.actual_runtime) {
+      report.issues.push_back({ValidationIssue::Kind::kWrongDuration, j.id,
+                               o.end,
+                               describe("duration mismatch", j.id,
+                                        o.end - o.start, j.actual_runtime)});
+    }
+    if (o.width != j.width) {
+      report.issues.push_back({ValidationIssue::Kind::kWidthMismatch, j.id,
+                               o.start,
+                               describe("width mismatch", j.id, o.width,
+                                        j.width)});
+    }
+  }
+
+  // Global capacity: sweep the start/end deltas.
+  std::map<Time, std::int64_t> delta;
+  for (std::size_t i = 0; i < n; ++i) {
+    delta[outcomes[i].start] += outcomes[i].width;
+    delta[outcomes[i].end] -= outcomes[i].width;
+  }
+  std::int64_t used = 0;
+  const auto capacity = static_cast<std::int64_t>(set.machine().nodes);
+  for (const auto& [t, d] : delta) {
+    used += d;
+    if (used > capacity) {
+      std::ostringstream oss;
+      oss << "capacity exceeded at t=" << t << ": " << used << " > "
+          << capacity;
+      report.issues.push_back(
+          {ValidationIssue::Kind::kOversubscribed, 0, t, oss.str()});
+    }
+  }
+  return report;
+}
+
+}  // namespace dynp::metrics

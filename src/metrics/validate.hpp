@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file validate.hpp
+/// Schedule validation: checks that a set of job outcomes is a physically
+/// possible execution on the machine. Used by the test suite, the CLI tool
+/// and available to users ingesting externally produced schedules.
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::metrics {
+
+/// One detected violation.
+struct ValidationIssue {
+  enum class Kind : std::uint8_t {
+    kStartBeforeSubmit,   ///< a job started before it was submitted
+    kWrongDuration,       ///< end - start != actual runtime
+    kOversubscribed,      ///< more nodes in use than the machine has
+    kWidthMismatch,       ///< outcome width differs from the job's width
+    kMissingJob,          ///< job present in the set but not in the outcomes
+  };
+  Kind kind;
+  JobId job = 0;      ///< offending job (0 for kOversubscribed)
+  Time when = 0;      ///< instant of the violation where applicable
+  std::string detail; ///< human-readable description
+};
+
+/// Result of a validation pass.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+};
+
+/// Validates \p outcomes against the job set they were produced from:
+/// per-job consistency (start >= submit, duration == actual runtime, width)
+/// and global capacity (at no instant are more than `set.machine().nodes`
+/// nodes in use). Runs in O(n log n).
+[[nodiscard]] ValidationReport validate_outcomes(
+    const workload::JobSet& set, const std::vector<JobOutcome>& outcomes);
+
+}  // namespace dynp::metrics

@@ -1,0 +1,75 @@
+#include "policies/policy.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <tuple>
+
+namespace dynp::policies {
+
+const char* name(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kFcfs: return "FCFS";
+    case PolicyKind::kSjf: return "SJF";
+    case PolicyKind::kLjf: return "LJF";
+    case PolicyKind::kSaf: return "SAF";
+    case PolicyKind::kWf: return "WF";
+  }
+  return "?";
+}
+
+PolicyKind policy_by_name(const std::string& text) {
+  std::string upper;
+  upper.reserve(text.size());
+  for (const char c : text) {
+    upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  if (upper == "FCFS") return PolicyKind::kFcfs;
+  if (upper == "SJF") return PolicyKind::kSjf;
+  if (upper == "LJF") return PolicyKind::kLjf;
+  if (upper == "SAF") return PolicyKind::kSaf;
+  if (upper == "WF") return PolicyKind::kWf;
+  throw std::invalid_argument("unknown policy: " + text);
+}
+
+std::vector<PolicyKind> paper_pool() {
+  return {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf};
+}
+
+bool precedes(PolicyKind kind, const workload::Job& a,
+              const workload::Job& b) noexcept {
+  // Primary key per policy; (submit, id) always break remaining ties so the
+  // order is total and deterministic.
+  const auto tail = [](const workload::Job& j) {
+    return std::make_tuple(j.submit, j.id);
+  };
+  switch (kind) {
+    case PolicyKind::kFcfs:
+      return tail(a) < tail(b);
+    case PolicyKind::kSjf:
+      return std::tuple_cat(std::make_tuple(a.estimated_runtime), tail(a)) <
+             std::tuple_cat(std::make_tuple(b.estimated_runtime), tail(b));
+    case PolicyKind::kLjf:
+      return std::tuple_cat(std::make_tuple(-a.estimated_runtime), tail(a)) <
+             std::tuple_cat(std::make_tuple(-b.estimated_runtime), tail(b));
+    case PolicyKind::kSaf:
+      return std::tuple_cat(std::make_tuple(a.estimated_area()), tail(a)) <
+             std::tuple_cat(std::make_tuple(b.estimated_area()), tail(b));
+    case PolicyKind::kWf:
+      return std::tuple_cat(std::make_tuple(-static_cast<double>(a.width)),
+                            tail(a)) <
+             std::tuple_cat(std::make_tuple(-static_cast<double>(b.width)),
+                            tail(b));
+  }
+  return false;
+}
+
+std::vector<JobId> order(PolicyKind kind, std::vector<JobId> waiting,
+                         const std::vector<workload::Job>& jobs) {
+  std::sort(waiting.begin(), waiting.end(), [&](JobId x, JobId y) {
+    return precedes(kind, jobs[x], jobs[y]);
+  });
+  return waiting;
+}
+
+}  // namespace dynp::policies

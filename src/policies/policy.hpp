@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file policy.hpp
+/// Scheduling policies = priority orders over the waiting queue. The
+/// planning-based RMS plans jobs in exactly this order (earliest feasible
+/// start each), so the policy fully determines the candidate schedule.
+///
+/// FCFS, SJF and LJF are the three policies of the paper (the ones CCS
+/// implements); SAF (smallest area first) and WF (widest first) are provided
+/// as extension policies for experiments with larger dynP pools.
+
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace dynp::policies {
+
+/// Available scheduling policies.
+enum class PolicyKind : std::uint8_t {
+  kFcfs,  ///< first come, first serve (by submission time)
+  kSjf,   ///< shortest (estimated run time) job first
+  kLjf,   ///< longest (estimated run time) job first
+  kSaf,   ///< smallest estimated area (estimate x width) first — extension
+  kWf,    ///< widest job first — extension
+};
+
+/// Human-readable policy name ("FCFS", "SJF", ...).
+[[nodiscard]] const char* name(PolicyKind kind) noexcept;
+
+/// Parses a policy name (case-insensitive); throws `std::invalid_argument`
+/// for unknown names.
+[[nodiscard]] PolicyKind policy_by_name(const std::string& name);
+
+/// The paper's policy pool, in the paper's canonical (tie-breaking) order:
+/// FCFS, SJF, LJF.
+[[nodiscard]] std::vector<PolicyKind> paper_pool();
+
+/// Returns \p waiting reordered by \p kind's priority. The sort is stable
+/// with (submit time, id) as the final tie-breakers, so the result is fully
+/// deterministic.
+[[nodiscard]] std::vector<JobId> order(PolicyKind kind,
+                                       std::vector<JobId> waiting,
+                                       const std::vector<workload::Job>& jobs);
+
+/// Three-way priority comparison used by `order` (exposed for tests):
+/// returns true when job \p a precedes job \p b under \p kind.
+[[nodiscard]] bool precedes(PolicyKind kind, const workload::Job& a,
+                            const workload::Job& b) noexcept;
+
+}  // namespace dynp::policies

@@ -1,0 +1,45 @@
+#include "rms/planner.hpp"
+
+namespace dynp::rms {
+
+std::vector<JobId> Schedule::starting_at(Time now) const {
+  std::vector<JobId> ids;
+  for (const PlannedJob& p : entries_) {
+    if (p.start <= now) ids.push_back(p.id);
+  }
+  return ids;
+}
+
+ResourceProfile Planner::base_profile(std::uint32_t capacity, Time now,
+                                      const std::vector<RunningJob>& running) {
+  ResourceProfile profile(capacity, now);
+  for (const RunningJob& r : running) {
+    // A running job keeps its nodes until its estimated end; if the estimate
+    // has already elapsed (job running into its limit at exactly `now`), it
+    // no longer reserves future capacity.
+    if (r.estimated_end > now) {
+      profile.allocate(now, r.estimated_end - now, r.width);
+    }
+  }
+  return profile;
+}
+
+Schedule Planner::plan(std::uint32_t capacity, Time now,
+                       const std::vector<RunningJob>& running,
+                       const std::vector<JobId>& ordered_wait,
+                       const std::vector<workload::Job>& jobs) {
+  ResourceProfile profile = base_profile(capacity, now, running);
+  std::vector<PlannedJob> planned;
+  planned.reserve(ordered_wait.size());
+  for (const JobId id : ordered_wait) {
+    DYNP_EXPECTS(id < jobs.size());
+    const workload::Job& job = jobs[id];
+    const Time start =
+        profile.earliest_start(now, job.width, job.estimated_runtime);
+    profile.allocate(start, job.estimated_runtime, job.width);
+    planned.push_back(PlannedJob{id, start});
+  }
+  return Schedule{std::move(planned)};
+}
+
+}  // namespace dynp::rms

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file planner.hpp
+/// The planner of the planning-based RMS: given the running jobs and the
+/// waiting queue *in policy order*, it computes a full schedule — a planned
+/// start time for every waiting job — by placing each job at its earliest
+/// feasible start in the resource profile. Placing jobs in priority order at
+/// their earliest feasible start is what realises *implicit backfilling*:
+/// a later-priority job slides into any hole the earlier jobs left open.
+
+#include <vector>
+
+#include "rms/profile.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::rms {
+
+/// A job currently executing: it occupies `width` nodes until its estimated
+/// end (the planner cannot know the actual finish in advance).
+struct RunningJob {
+  JobId id = 0;
+  std::uint32_t width = 1;
+  Time estimated_end = 0;
+};
+
+/// One planned (still waiting) job.
+struct PlannedJob {
+  JobId id = 0;
+  Time start = 0;  ///< planned start time (>= planning instant)
+};
+
+/// A full schedule: planned start times for all waiting jobs, in the order
+/// they were planned (= the policy's priority order).
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<PlannedJob> entries)
+      : entries_(std::move(entries)) {}
+
+  [[nodiscard]] const std::vector<PlannedJob>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Ids of jobs whose planned start equals \p now — these begin executing.
+  [[nodiscard]] std::vector<JobId> starting_at(Time now) const;
+
+ private:
+  std::vector<PlannedJob> entries_;
+};
+
+/// Stateless planning routine (a class only to cache the profile buffer
+/// between calls; `plan` is const-correct and reentrant per instance).
+class Planner {
+ public:
+  /// Computes a full schedule.
+  ///
+  /// \param capacity     machine size in nodes
+  /// \param now          planning instant; no job is planned earlier
+  /// \param running      executing jobs (occupy nodes until estimated end)
+  /// \param ordered_wait waiting jobs in policy priority order
+  /// \param jobs         job table indexed by JobId (for width/estimate)
+  [[nodiscard]] static Schedule plan(std::uint32_t capacity, Time now,
+                                     const std::vector<RunningJob>& running,
+                                     const std::vector<JobId>& ordered_wait,
+                                     const std::vector<workload::Job>& jobs);
+
+  /// Builds the profile of running-job reservations only (exposed for tests
+  /// and for utilisation probes).
+  [[nodiscard]] static ResourceProfile base_profile(
+      std::uint32_t capacity, Time now, const std::vector<RunningJob>& running);
+};
+
+}  // namespace dynp::rms

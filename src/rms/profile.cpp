@@ -1,0 +1,122 @@
+#include "rms/profile.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dynp::rms {
+
+ResourceProfile::ResourceProfile(std::uint32_t capacity, Time origin)
+    : capacity_(capacity) {
+  DYNP_EXPECTS(capacity >= 1);
+  segments_.push_back(Segment{origin, capacity});
+}
+
+std::size_t ResourceProfile::segment_index(Time t) const {
+  DYNP_EXPECTS(t >= segments_.front().start);
+  // Last segment whose start <= t.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](Time value, const Segment& s) { return value < s.start; });
+  return static_cast<std::size_t>(it - segments_.begin()) - 1;
+}
+
+std::uint32_t ResourceProfile::free_at(Time t) const {
+  return segments_[segment_index(t)].free;
+}
+
+Time ResourceProfile::earliest_start(Time earliest, std::uint32_t width,
+                                     Time duration) const {
+  DYNP_EXPECTS(width >= 1 && width <= capacity_);
+  DYNP_EXPECTS(duration >= 0);
+  earliest = std::max(earliest, segments_.front().start);
+
+  constexpr Time kInf = std::numeric_limits<Time>::infinity();
+  Time window_start = kInf;  // start of the current feasible run
+  for (std::size_t i = segment_index(earliest); i < segments_.size(); ++i) {
+    const Segment& seg = segments_[i];
+    if (seg.free < width) {
+      window_start = kInf;
+      continue;
+    }
+    if (window_start == kInf) {
+      window_start = std::max(earliest, seg.start);
+    }
+    const Time seg_end =
+        i + 1 < segments_.size() ? segments_[i + 1].start : kInf;
+    // Written as an addition so the feasibility check computes the window
+    // end exactly like `allocate`'s boundary split (`start + duration`):
+    // a freed reservation is then always re-admittable at its own slot,
+    // which subtraction can miss by one ulp.
+    if (window_start + duration <= seg_end) {
+      return window_start;
+    }
+  }
+  // Unreachable: the final segment is unbounded with full capacity free.
+  DYNP_ASSERT(window_start != kInf);
+  return window_start;
+}
+
+std::size_t ResourceProfile::split_at(Time t) {
+  const std::size_t i = segment_index(t);
+  if (segments_[i].start == t) return i;
+  segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                   Segment{t, segments_[i].free});
+  return i + 1;
+}
+
+void ResourceProfile::apply(Time start, Time end, std::int64_t delta) {
+  if (end <= start) return;
+  const std::size_t first = split_at(start);
+  const std::size_t last = split_at(end);  // boundary after the affected range
+  for (std::size_t i = first; i < last; ++i) {
+    const std::int64_t updated =
+        static_cast<std::int64_t>(segments_[i].free) + delta;
+    DYNP_ASSERT(updated >= 0 &&
+                updated <= static_cast<std::int64_t>(capacity_));
+    segments_[i].free = static_cast<std::uint32_t>(updated);
+  }
+  // Re-merge equal neighbours to keep the profile minimal (O(active
+  // reservations) segments). Segments before the touched range are already
+  // pairwise distinct, so compaction starts just before it.
+  (void)last;
+  const std::size_t merge_from = first > 0 ? first - 1 : 0;
+  std::size_t write = merge_from;
+  for (std::size_t read = merge_from + 1; read < segments_.size(); ++read) {
+    if (segments_[read].free == segments_[write].free) continue;
+    segments_[++write] = segments_[read];
+  }
+  segments_.resize(write + 1);
+}
+
+void ResourceProfile::allocate(Time start, Time duration, std::uint32_t width) {
+  DYNP_EXPECTS(width <= capacity_);
+  apply(start, start + duration, -static_cast<std::int64_t>(width));
+}
+
+void ResourceProfile::deallocate(Time start, Time duration,
+                                 std::uint32_t width) {
+  DYNP_EXPECTS(width <= capacity_);
+  apply(start, start + duration, static_cast<std::int64_t>(width));
+}
+
+void ResourceProfile::trim_before(Time t) {
+  if (t <= segments_.front().start) return;
+  const std::size_t i = segment_index(t);
+  if (i > 0) {
+    segments_.erase(segments_.begin(),
+                    segments_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  segments_.front().start = t;
+}
+
+bool ResourceProfile::invariants_ok() const noexcept {
+  if (segments_.empty()) return false;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].free > capacity_) return false;
+    if (i > 0 && segments_[i].start <= segments_[i - 1].start) return false;
+    if (i > 0 && segments_[i].free == segments_[i - 1].free) return false;
+  }
+  return segments_.back().free == capacity_;
+}
+
+}  // namespace dynp::rms

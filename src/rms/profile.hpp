@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file profile.hpp
+/// The resource profile of a planning-based RMS: a piecewise-constant
+/// timeline of free node counts, supporting "earliest feasible start" queries
+/// and interval allocation. This is the data structure that makes planning —
+/// and with it implicit backfilling — possible (paper §3; Hovestadt et al.,
+/// "Queuing vs. Planning", JSSPP 2003).
+///
+/// Representation: a sorted vector of segments (start time, free nodes); each
+/// segment extends to the next one's start, the last to infinity. Because
+/// all allocations are finite, the final segment always has the full machine
+/// free, so every query terminates.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::rms {
+
+/// Piecewise-constant free-capacity timeline.
+class ResourceProfile {
+ public:
+  /// One maximal constant-capacity interval. `start` is inclusive; the
+  /// segment ends where the next begins (the last is unbounded).
+  struct Segment {
+    Time start;
+    std::uint32_t free;
+  };
+
+  /// A profile for a machine with \p capacity nodes, entirely free from
+  /// \p origin onwards.
+  explicit ResourceProfile(std::uint32_t capacity, Time origin = 0);
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+  /// Free nodes at time \p t (t must not precede the profile origin).
+  [[nodiscard]] std::uint32_t free_at(Time t) const;
+
+  /// Earliest time >= \p earliest at which \p width nodes are continuously
+  /// free for \p duration seconds. Requires width <= capacity.
+  [[nodiscard]] Time earliest_start(Time earliest, std::uint32_t width,
+                                    Time duration) const;
+
+  /// Reserves \p width nodes during [start, start+duration). The interval
+  /// must fit (callers obtain `start` from `earliest_start`).
+  void allocate(Time start, Time duration, std::uint32_t width);
+
+  /// Releases a previous reservation (exact inverse of `allocate`).
+  void deallocate(Time start, Time duration, std::uint32_t width);
+
+  /// Forgets all structure before time \p t (the new origin). Used by
+  /// long-running incremental schedulers to keep the profile at
+  /// O(active reservations): segments wholly in the past are never queried
+  /// again (all queries and allocations are at or after "now").
+  void trim_before(Time t);
+
+  /// Number of segments (profile complexity; O(active reservations)).
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size();
+  }
+
+  [[nodiscard]] const std::vector<Segment>& segments() const noexcept {
+    return segments_;
+  }
+
+  /// Checks the representation invariants (sorted, merged, bounded free
+  /// counts, full capacity in the unbounded tail). Used by tests and debug
+  /// assertions.
+  [[nodiscard]] bool invariants_ok() const noexcept;
+
+ private:
+  /// Index of the segment containing time \p t.
+  [[nodiscard]] std::size_t segment_index(Time t) const;
+
+  /// Ensures a segment boundary exists exactly at \p t; returns its index.
+  std::size_t split_at(Time t);
+
+  /// Adds \p delta to the free count over [start, end) and re-merges.
+  void apply(Time start, Time end, std::int64_t delta);
+
+  std::uint32_t capacity_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace dynp::rms

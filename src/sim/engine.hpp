@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file engine.hpp
+/// Minimal discrete-event engine: a clock plus the event calendar, driving a
+/// `Process` handler until the calendar drains. The scheduler simulations in
+/// `src/core` are Processes; keeping the engine separate lets tests drive
+/// synthetic event streams directly.
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace dynp::sim {
+
+/// Callback interface for event consumers.
+class Process {
+ public:
+  virtual ~Process() = default;
+  /// Handles one event. `Engine::now()` already equals `event.time` when this
+  /// is invoked. The handler may schedule further events (at or after now).
+  virtual void handle(const Event& event) = 0;
+};
+
+/// The simulation engine. Single-threaded by design (CP.1: the unit of
+/// parallelism in this library is a whole simulation, never one engine).
+class Engine {
+ public:
+  /// Current simulation time (the time of the event being processed, or of
+  /// the last processed event once `run` returns).
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Number of events processed so far.
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Schedules an event; \p time must not precede the current time.
+  void schedule(Time time, EventKind kind, JobId job) {
+    DYNP_EXPECTS(time >= now_);
+    queue_.push(time, kind, job);
+  }
+
+  /// Runs until the calendar is empty, dispatching every event to \p process.
+  void run(Process& process) {
+    while (!queue_.empty()) {
+      const Event event = queue_.pop();
+      now_ = event.time;
+      ++processed_;
+      process.handle(event);
+    }
+  }
+
+  /// Runs until the calendar is empty or \p limit events were dispatched;
+  /// returns true if the calendar drained.
+  bool run_bounded(Process& process, std::uint64_t limit) {
+    while (!queue_.empty() && limit-- > 0) {
+      const Event event = queue_.pop();
+      now_ = event.time;
+      ++processed_;
+      process.handle(event);
+    }
+    return queue_.empty();
+  }
+
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace dynp::sim

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// The event calendar of the discrete-event simulation: a binary min-heap
+/// ordered by (time, kind, insertion sequence). The sequence number makes the
+/// ordering total and therefore the simulation fully deterministic.
+///
+/// At equal times, job-finish events are processed before job-submit events
+/// so that a replan triggered by a submission already sees the freed
+/// resources — the same convention a real RMS's event loop realises by
+/// handling completion interrupts before queue insertions.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::sim {
+
+/// What happened.
+enum class EventKind : std::uint8_t {
+  kFinish = 0,  ///< a running job completed (processed first at equal times)
+  kSubmit = 1,  ///< a new job arrived
+};
+
+/// One calendar entry.
+struct Event {
+  Time time = 0;
+  EventKind kind = EventKind::kSubmit;
+  JobId job = 0;
+  std::uint64_t seq = 0;  ///< assigned by the queue; breaks remaining ties
+};
+
+/// Strict-weak ordering: earlier time first; finish before submit; then FIFO.
+struct EventAfter {
+  [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.seq > b.seq;
+  }
+};
+
+/// Deterministic event calendar.
+class EventQueue {
+ public:
+  /// Inserts an event; the queue assigns the tie-breaking sequence number.
+  void push(Time time, EventKind kind, JobId job) {
+    DYNP_EXPECTS(time >= last_popped_time_);
+    heap_.push(Event{time, kind, job, next_seq_++});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] const Event& top() const {
+    DYNP_EXPECTS(!heap_.empty());
+    return heap_.top();
+  }
+
+  /// Removes and returns the earliest event. Time never goes backwards.
+  Event pop() {
+    DYNP_EXPECTS(!heap_.empty());
+    Event e = heap_.top();
+    heap_.pop();
+    DYNP_ENSURES(e.time >= last_popped_time_);
+    last_popped_time_ = e.time;
+    return e;
+  }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::uint64_t next_seq_ = 0;
+  Time last_popped_time_ = 0;
+};
+
+}  // namespace dynp::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file assert.hpp
+/// Contract-checking macros in the spirit of the C++ Core Guidelines
+/// `Expects`/`Ensures` (GSL). Violations abort with a diagnostic; they are
+/// active in all build types because the simulator's correctness arguments
+/// (profile invariants, heap ordering) depend on them.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dynp::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "dynp: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace dynp::detail
+
+/// Precondition check: argument/state requirements at function entry.
+#define DYNP_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::dynp::detail::contract_violation("precondition", #cond,      \
+                                               __FILE__, __LINE__))
+
+/// Postcondition / invariant check.
+#define DYNP_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::dynp::detail::contract_violation("postcondition", #cond,     \
+                                               __FILE__, __LINE__))
+
+/// Internal invariant check (mid-function).
+#define DYNP_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::dynp::detail::contract_violation("invariant", #cond,         \
+                                               __FILE__, __LINE__))

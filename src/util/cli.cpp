@@ -1,0 +1,119 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dynp::util {
+
+CliParser::CliParser(std::string program) : program_(std::move(program)) {}
+
+void CliParser::add_option(std::string name, std::string default_value,
+                           std::string help_text) {
+  DYNP_EXPECTS(find(name) == nullptr);
+  options_.push_back(Option{std::move(name), default_value,
+                            std::move(default_value), std::move(help_text),
+                            /*is_flag=*/false, /*seen=*/false});
+}
+
+void CliParser::add_flag(std::string name, std::string help_text) {
+  DYNP_EXPECTS(find(name) == nullptr);
+  options_.push_back(Option{std::move(name), "false", "false",
+                            std::move(help_text), /*is_flag=*/true,
+                            /*seen=*/false});
+}
+
+const CliParser::Option* CliParser::find(const std::string& name) const {
+  for (const auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+CliParser::Option* CliParser::find(const std::string& name) {
+  for (auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      return false;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    Option* opt = find(arg);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "unknown option: --%s (try --help)\n", arg.c_str());
+      return false;
+    }
+    if (opt->is_flag) {
+      if (has_value && value != "true" && value != "false") {
+        std::fprintf(stderr, "flag --%s takes no value\n", arg.c_str());
+        return false;
+      }
+      opt->value = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "option --%s requires a value\n", arg.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      opt->value = value;
+    }
+    opt->seen = true;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const Option* opt = find(name);
+  DYNP_EXPECTS(opt != nullptr);
+  return opt->value;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return get(name) == "true";
+}
+
+std::string CliParser::help() const {
+  std::ostringstream oss;
+  oss << program_ << "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    oss << "  --" << opt.name;
+    if (!opt.is_flag) oss << " <value>";
+    oss << "\n      " << opt.help;
+    if (!opt.is_flag) oss << " (default: " << opt.default_value << ")";
+    oss << "\n";
+  }
+  oss << "  --help\n      show this message\n";
+  return oss.str();
+}
+
+}  // namespace dynp::util

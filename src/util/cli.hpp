@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line option parser shared by the bench and example
+/// binaries. Supports `--name value`, `--name=value` and boolean flags, with
+/// typed accessors and an auto-generated `--help` text.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynp::util {
+
+/// Declarative CLI parser. Declare options up front, then `parse(argc, argv)`.
+class CliParser {
+ public:
+  /// \param program one-line description printed at the top of --help.
+  explicit CliParser(std::string program);
+
+  /// Declares a string-valued option with a default.
+  void add_option(std::string name, std::string default_value,
+                  std::string help);
+
+  /// Declares a boolean flag (defaults to false; present => true).
+  void add_flag(std::string name, std::string help);
+
+  /// Parses argv. Returns false (after printing a message to stderr) on
+  /// unknown options or missing values; prints help and returns false when
+  /// `--help` is given.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Renders the help text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  [[nodiscard]] const Option* find(const std::string& name) const;
+  [[nodiscard]] Option* find(const std::string& name);
+
+  std::string program_;
+  std::vector<Option> options_;
+};
+
+}  // namespace dynp::util

@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file distributions.hpp
+/// Fully-specified random distributions (independent of the standard
+/// library's implementation-defined algorithms) used by the synthetic
+/// workload generators.
+///
+/// Each distribution is a small value type with a `sample(Xoshiro256&)`
+/// member. Composition helpers (`Bounded`, `Mixture`) build the hyper- and
+/// truncated distributions the trace models need.
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dynp::util {
+
+/// Continuous uniform on [lo, hi).
+class UniformReal {
+ public:
+  UniformReal(double lo, double hi) : lo_(lo), hi_(hi) {
+    DYNP_EXPECTS(lo <= hi);
+  }
+
+  [[nodiscard]] double sample(Xoshiro256& rng) const noexcept {
+    return lo_ + (hi_ - lo_) * rng.next_double();
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Exponential with the given mean (= 1/rate).
+class Exponential {
+ public:
+  explicit Exponential(double mean) : mean_(mean) { DYNP_EXPECTS(mean > 0); }
+
+  [[nodiscard]] double sample(Xoshiro256& rng) const noexcept {
+    // Inverse CDF; 1 - u avoids log(0).
+    return -mean_ * std::log1p(-rng.next_double());
+  }
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+ private:
+  double mean_;
+};
+
+/// Lognormal parameterised by the underlying normal's (mu, sigma).
+/// `Lognormal::from_mean_cv` builds one from a target mean and coefficient of
+/// variation, which is how trace models are calibrated.
+class Lognormal {
+ public:
+  Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+    DYNP_EXPECTS(sigma >= 0);
+  }
+
+  /// Calibration constructor: choose (mu, sigma) so that the distribution has
+  /// the requested mean and coefficient of variation (stddev / mean).
+  [[nodiscard]] static Lognormal from_mean_cv(double mean, double cv) {
+    DYNP_EXPECTS(mean > 0);
+    DYNP_EXPECTS(cv >= 0);
+    const double sigma2 = std::log1p(cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return {mu, std::sqrt(sigma2)};
+  }
+
+  [[nodiscard]] double sample(Xoshiro256& rng) const noexcept {
+    return std::exp(mu_ + sigma_ * standard_normal(rng));
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+  }
+
+  /// One standard-normal variate via Marsaglia's polar method (deterministic
+  /// given the generator stream; no internal caching so streams stay aligned).
+  [[nodiscard]] static double standard_normal(Xoshiro256& rng) noexcept {
+    for (;;) {
+      const double u = 2.0 * rng.next_double() - 1.0;
+      const double v = 2.0 * rng.next_double() - 1.0;
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * std::sqrt(-2.0 * std::log(s) / s);
+      }
+    }
+  }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Two-branch hyper-exponential: with probability p sample Exponential(m1),
+/// otherwise Exponential(m2). Captures the bursty interarrival behaviour of
+/// production traces (many back-to-back script submissions plus long gaps).
+class HyperExponential {
+ public:
+  HyperExponential(double p, double mean1, double mean2)
+      : p_(p), e1_(mean1), e2_(mean2) {
+    DYNP_EXPECTS(p >= 0 && p <= 1);
+  }
+
+  [[nodiscard]] double sample(Xoshiro256& rng) const noexcept {
+    return rng.next_double() < p_ ? e1_.sample(rng) : e2_.sample(rng);
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return p_ * e1_.mean() + (1 - p_) * e2_.mean();
+  }
+
+ private:
+  double p_;
+  Exponential e1_;
+  Exponential e2_;
+};
+
+/// Discrete distribution over explicit (value, weight) pairs.
+/// Sampling is O(log n) via the cumulative-weight table.
+class DiscreteValues {
+ public:
+  explicit DiscreteValues(std::vector<std::pair<double, double>> value_weight)
+      : values_() {
+    DYNP_EXPECTS(!value_weight.empty());
+    double total = 0;
+    values_.reserve(value_weight.size());
+    for (const auto& [value, weight] : value_weight) {
+      DYNP_EXPECTS(weight >= 0);
+      total += weight;
+      values_.emplace_back(value, total);
+    }
+    DYNP_EXPECTS(total > 0);
+    for (auto& [value, cum] : values_) cum /= total;
+  }
+
+  [[nodiscard]] double sample(Xoshiro256& rng) const noexcept {
+    const double u = rng.next_double();
+    // Binary search over cumulative weights.
+    std::size_t lo = 0, hi = values_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (values_[mid].second < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return values_[lo].first;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> values_;  // (value, cumulative prob)
+};
+
+/// Clamps another distribution's samples into [lo, hi] by resampling (up to a
+/// fixed retry budget, then hard clamping). Keeps the shape of the inner
+/// distribution while honouring the trace's published min/max columns.
+template <class Inner>
+class Bounded {
+ public:
+  Bounded(Inner inner, double lo, double hi)
+      : inner_(std::move(inner)), lo_(lo), hi_(hi) {
+    DYNP_EXPECTS(lo <= hi);
+  }
+
+  [[nodiscard]] double sample(Xoshiro256& rng) const noexcept {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const double x = inner_.sample(rng);
+      if (x >= lo_ && x <= hi_) return x;
+    }
+    const double x = inner_.sample(rng);
+    return x < lo_ ? lo_ : (x > hi_ ? hi_ : x);
+  }
+
+ private:
+  Inner inner_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace dynp::util

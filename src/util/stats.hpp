@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file stats.hpp
+/// Summary statistics used throughout the evaluation: online (Welford)
+/// accumulators, quantiles, and the paper's "drop min and max, average the
+/// rest" combining rule for repeated job sets (§4.2).
+
+#include <cstddef>
+#include <vector>
+
+namespace dynp::util {
+
+/// Numerically-stable online accumulator for count/mean/variance/min/max.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction step).
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of \p values; 0 for an empty vector.
+[[nodiscard]] double mean(const std::vector<double>& values) noexcept;
+
+/// The paper's combining rule: drop one minimum and one maximum observation,
+/// average the remainder. With fewer than three observations this degrades to
+/// the plain mean (there is nothing sensible to trim).
+[[nodiscard]] double trimmed_mean_drop_extremes(std::vector<double> values) noexcept;
+
+/// Linear-interpolation quantile, q in [0, 1]. Sorts a copy.
+[[nodiscard]] double quantile(std::vector<double> values, double q) noexcept;
+
+/// Median via `quantile(values, 0.5)`.
+[[nodiscard]] double median(std::vector<double> values) noexcept;
+
+}  // namespace dynp::util

@@ -1,0 +1,151 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace dynp::util {
+
+void TextTable::set_header(std::vector<std::string> header,
+                           std::vector<Align> align) {
+  header_ = std::move(header);
+  align_ = std::move(align);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+void TextTable::render(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  if (cols == 0) return;
+
+  std::vector<std::size_t> width(cols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = std::max(width[c], header_[c].size());
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& s, std::size_t c) {
+    const Align a = c < align_.size() ? align_[c] : Align::kRight;
+    std::string out;
+    const std::size_t fill = width[c] - std::min(width[c], s.size());
+    if (a == Align::kLeft) {
+      out = s + std::string(fill, ' ');
+    } else {
+      out = std::string(fill, ' ') + s;
+    }
+    return out;
+  };
+
+  const auto rule = [&] {
+    std::string r;
+    for (std::size_t c = 0; c < cols; ++c) {
+      r += std::string(width[c], '-');
+      if (c + 1 < cols) r += "-+-";
+    }
+    return r;
+  };
+
+  if (!header_.empty()) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << pad(c < header_.size() ? header_[c] : "", c);
+      if (c + 1 < cols) os << " | ";
+    }
+    os << '\n' << rule() << '\n';
+  }
+
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << rule() << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << pad(c < row.size() ? row[c] : "", c);
+      if (c + 1 < cols) os << " | ";
+    }
+    os << '\n';
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(decimals) << v;
+  return oss.str();
+}
+
+std::string fmt_count(long long v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  if (neg) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string fmt_signed(double v, int decimals) {
+  std::string s = fmt_fixed(v, decimals);
+  if (v >= 0.0) s.insert(s.begin(), '+');
+  return s;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (const double v : row) {
+    std::ostringstream oss;
+    oss << std::setprecision(10) << v;
+    cells.push_back(oss.str());
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  rows_.push_back(row);
+}
+
+void CsvWriter::render(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  render(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace dynp::util

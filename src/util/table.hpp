@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table rendering and CSV emission for the benchmark harness.
+/// All paper tables are printed through `TextTable` so the layout is uniform;
+/// figures are emitted as CSV series readable by any plotting tool.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dynp::util {
+
+/// Column alignment for `TextTable`.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: add a header, then rows of pre-formatted cells.
+/// Rendering pads each column to its widest cell and draws a rule under the
+/// header. Rows of a single empty cell render as separator rules, which the
+/// paper tables use between trace blocks.
+class TextTable {
+ public:
+  /// Sets the header row and per-column alignment (alignment vector may be
+  /// shorter than the header; missing entries default to right-aligned).
+  void set_header(std::vector<std::string> header,
+                  std::vector<Align> align = {});
+
+  /// Appends a data row. Rows may be ragged; short rows are padded.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator rule.
+  void add_rule();
+
+  /// Renders the table to \p os.
+  void render(std::ostream& os) const;
+
+  /// Convenience: render to a string.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Formats \p v with \p decimals fixed decimal places.
+[[nodiscard]] std::string fmt_fixed(double v, int decimals);
+
+/// Formats \p v with a thousands separator (e.g. 79,302), for counts.
+[[nodiscard]] std::string fmt_count(long long v);
+
+/// Formats a signed value with explicit '+' for positive numbers, as the
+/// paper's difference columns do.
+[[nodiscard]] std::string fmt_signed(double v, int decimals);
+
+/// Writes rows of doubles as CSV with a header line. Used for figure series.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<double>& row);
+  void add_row(const std::vector<std::string>& row);
+
+  /// Writes to \p path; returns false (and leaves no partial file behind is
+  /// not guaranteed) on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  void render(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dynp::util

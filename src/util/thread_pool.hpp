@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool plus a `parallel_for` helper used to run
+/// independent simulations (trace x factor x job-set x scheduler) in
+/// parallel. The simulation core itself is single-threaded and shares no
+/// mutable state between tasks (C++ Core Guidelines CP.2); the pool only
+/// partitions an index range.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dynp::util {
+
+/// Fixed-size worker pool. Tasks are `std::function<void()>`; `wait_idle`
+/// blocks until every submitted task has finished. Exceptions escaping a task
+/// terminate (tasks are expected to handle their own errors).
+class ThreadPool {
+ public:
+  /// \param threads number of workers; 0 selects `hardware_concurrency()`
+  ///        (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task for execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs `body(i)` for every i in [0, count), distributing iterations over a
+/// transient pool of `threads` workers (0 = hardware concurrency). Blocks
+/// until all iterations complete. Iterations must be independent.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace dynp::util

@@ -1,0 +1,126 @@
+#include "workload/feitelson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace dynp::workload {
+namespace {
+
+/// Largest power of two not exceeding \p n.
+[[nodiscard]] std::uint32_t floor_pow2(std::uint32_t n) {
+  std::uint32_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+/// Width sampler: powers of two log-uniform with probability p, else
+/// uniform integer in [1, nodes].
+[[nodiscard]] std::uint32_t sample_width(const FeitelsonParams& params,
+                                         util::Xoshiro256& rng) {
+  if (rng.next_double() < params.p_power_of_two) {
+    const std::uint32_t max_pow = floor_pow2(params.nodes);
+    int max_exp = 0;
+    while ((1u << (max_exp + 1)) <= max_pow) ++max_exp;
+    const auto exponent = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(max_exp) + 1));
+    return 1u << exponent;
+  }
+  return static_cast<std::uint32_t>(1 + rng.next_below(params.nodes));
+}
+
+/// Expected width of `sample_width`, needed to normalise the width-runtime
+/// coupling so the overall mean run time stays on target.
+[[nodiscard]] double expected_width(const FeitelsonParams& params) {
+  const std::uint32_t max_pow = floor_pow2(params.nodes);
+  int levels = 1;
+  double sum = 1;
+  for (std::uint32_t p = 2; p <= max_pow; p *= 2) {
+    sum += p;
+    ++levels;
+  }
+  const double pow_mean = sum / levels;
+  const double uni_mean = (1.0 + params.nodes) / 2.0;
+  return params.p_power_of_two * pow_mean +
+         (1.0 - params.p_power_of_two) * uni_mean;
+}
+
+}  // namespace
+
+JobSet generate_feitelson(const FeitelsonParams& params, std::size_t n_jobs,
+                          std::uint64_t seed) {
+  DYNP_EXPECTS(params.nodes >= 1);
+  DYNP_EXPECTS(params.short_prob > 0 && params.short_prob < 1);
+  DYNP_EXPECTS(params.short_fraction > 0 && params.short_fraction < 1);
+  DYNP_EXPECTS(params.repeat_prob >= 0 && params.repeat_prob < 1);
+  DYNP_EXPECTS(params.max_overestimate >= 1);
+
+  util::Xoshiro256 rng(seed);
+
+  // Hyper-exponential run-time branches preserving the overall mean:
+  // short_prob * short_mean + (1-short_prob) * long_mean = mean_runtime.
+  const double short_mean = params.short_fraction * params.mean_runtime;
+  const double long_mean =
+      (params.mean_runtime - params.short_prob * short_mean) /
+      (1.0 - params.short_prob);
+  const double mean_w = expected_width(params);
+
+  // Normalisation of the width coupling so E[runtime] stays on target:
+  // E[(w / mean_w)^gamma] over the width distribution, estimated once with
+  // a fixed-seed pass (deterministic).
+  double coupling_norm = 1.0;
+  {
+    util::Xoshiro256 cal(0xFE17E15011ULL);
+    double sum = 0;
+    constexpr int kSamples = 8192;
+    for (int i = 0; i < kSamples; ++i) {
+      sum += std::pow(sample_width(params, cal) / mean_w,
+                      params.runtime_width_exponent);
+    }
+    coupling_norm = sum / kSamples;
+  }
+
+  std::vector<Job> jobs;
+  jobs.reserve(n_jobs);
+  Time now = 0;
+
+  while (jobs.size() < n_jobs) {
+    // One job body...
+    const std::uint32_t width = sample_width(params, rng);
+    const double branch_mean =
+        rng.next_double() < params.short_prob ? short_mean : long_mean;
+    const double coupling =
+        std::pow(width / mean_w, params.runtime_width_exponent) /
+        coupling_norm;
+    double actual = -branch_mean * coupling * std::log1p(-rng.next_double());
+    actual = std::max(1.0, std::ceil(actual));
+
+    double estimate =
+        actual * (1.0 + (params.max_overestimate - 1.0) * rng.next_double());
+    estimate = std::ceil(estimate / 60.0) * 60.0;
+    estimate = std::max(estimate, actual);
+
+    // ...submitted 1 + Geometric(repeat_prob) times.
+    Time submit = now;
+    for (;;) {
+      Job job;
+      job.submit = std::round(submit);
+      job.width = width;
+      job.estimated_runtime = estimate;
+      job.actual_runtime = actual;
+      jobs.push_back(job);
+      if (jobs.size() >= n_jobs ||
+          rng.next_double() >= params.repeat_prob) {
+        break;
+      }
+      submit += -params.mean_think_time * std::log1p(-rng.next_double());
+    }
+    now += -params.mean_interarrival * std::log1p(-rng.next_double());
+  }
+
+  return JobSet{Machine{"FEITELSON", params.nodes}, std::move(jobs)};
+}
+
+}  // namespace dynp::workload

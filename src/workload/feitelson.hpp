@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file feitelson.hpp
+/// The classic Feitelson'96 workload model (paper reference [1]: Feitelson,
+/// "A Survey of Scheduling in Multiprogrammed Parallel Systems"), provided
+/// as a second, independent generator next to the Table-2-calibrated trace
+/// models: useful for sensitivity studies ("does the dynP result survive a
+/// different workload model?") and as a neutral default for new machines.
+///
+/// Model ingredients, following the published structure:
+///  * **widths** emphasise powers of two (observed on all production MPPs):
+///    with probability `p_power_of_two` a power of two is drawn
+///    log-uniformly from [1, nodes], otherwise a uniform integer;
+///  * **run times** are hyper-exponential with a weak positive correlation
+///    to width (wider jobs run longer on average);
+///  * **repeated runs**: users resubmit the same binary — each generated job
+///    body is submitted `1 + Geometric(repeat_prob)` times, separated by
+///    exponential think times;
+///  * **arrivals** are Poisson (exponential interarrival).
+///
+/// Feitelson'96 predates user run-time estimates; the planning RMS needs
+/// them, so estimates are drawn as actual x Uniform[1, max_overestimate],
+/// rounded up to whole minutes (the standard bridge used when driving
+/// backfilling simulators with this model).
+
+#include <cstdint>
+
+#include "workload/job.hpp"
+
+namespace dynp::workload {
+
+/// Parameters of the Feitelson'96-style generator.
+struct FeitelsonParams {
+  std::uint32_t nodes = 128;
+
+  double mean_interarrival = 600;   ///< Poisson arrivals [s]
+  double mean_runtime = 3000;       ///< overall mean actual run time [s]
+  /// Hyper-exponential branch: with `short_prob`, the mean is
+  /// `short_fraction x mean_runtime`; otherwise the complementary long
+  /// branch keeps the overall mean.
+  double short_prob = 0.7;
+  double short_fraction = 0.2;
+
+  double p_power_of_two = 0.75;     ///< width is a power of two this often
+  /// Width-runtime coupling: the conditional mean run time scales with
+  /// (width / mean width)^runtime_width_exponent (0 = independent).
+  double runtime_width_exponent = 0.3;
+
+  double repeat_prob = 0.25;        ///< geometric continuation probability
+  double mean_think_time = 1200;    ///< gap between reruns [s]
+
+  double max_overestimate = 5.0;    ///< estimate = actual x U[1, this]
+};
+
+/// Generates \p n_jobs jobs (counting repetitions) deterministically from
+/// \p seed. Submission times are whole seconds; the planning contract
+/// (actual <= estimated run time) holds for every job.
+[[nodiscard]] JobSet generate_feitelson(const FeitelsonParams& params,
+                                        std::size_t n_jobs,
+                                        std::uint64_t seed);
+
+}  // namespace dynp::workload

@@ -1,0 +1,69 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynp::workload {
+
+JobSet::JobSet(Machine machine, std::vector<Job> jobs)
+    : machine_(std::move(machine)), jobs_(std::move(jobs)) {
+  DYNP_EXPECTS(machine_.nodes >= 1);
+  normalize();
+}
+
+void JobSet::normalize() {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].id = static_cast<JobId>(i);
+    DYNP_ENSURES(jobs_[i].valid());
+    DYNP_ENSURES(jobs_[i].width <= machine_.nodes);
+  }
+}
+
+JobSet JobSet::with_shrinking_factor(double factor) const {
+  DYNP_EXPECTS(factor > 0);
+  std::vector<Job> scaled = jobs_;
+  for (Job& job : scaled) job.submit = std::round(job.submit * factor);
+  return JobSet{machine_, std::move(scaled)};
+}
+
+JobSet JobSet::with_runtime_scaling(double factor) const {
+  DYNP_EXPECTS(factor > 0);
+  std::vector<Job> scaled = jobs_;
+  for (Job& job : scaled) {
+    job.actual_runtime = std::max(1.0, std::round(job.actual_runtime * factor));
+    job.estimated_runtime =
+        std::max(job.actual_runtime, std::round(job.estimated_runtime * factor));
+  }
+  return JobSet{machine_, std::move(scaled)};
+}
+
+JobSet JobSet::with_multisubmission(unsigned copies) const {
+  DYNP_EXPECTS(copies >= 1);
+  std::vector<Job> expanded;
+  expanded.reserve(jobs_.size() * copies);
+  for (const Job& job : jobs_) {
+    for (unsigned c = 0; c < copies; ++c) expanded.push_back(job);
+  }
+  return JobSet{machine_, std::move(expanded)};
+}
+
+std::vector<Job> sanitize_jobs(std::vector<Job> jobs, const Machine& machine) {
+  for (Job& job : jobs) {
+    job.width = std::max<std::uint32_t>(1, std::min(job.width, machine.nodes));
+    job.estimated_runtime = std::max(job.estimated_runtime, 0.0);
+    job.actual_runtime =
+        std::clamp(job.actual_runtime, 0.0, job.estimated_runtime);
+    job.submit = std::max(job.submit, 0.0);
+  }
+  return jobs;
+}
+
+double JobSet::total_area() const noexcept {
+  double total = 0;
+  for (const Job& job : jobs_) total += job.area();
+  return total;
+}
+
+}  // namespace dynp::workload

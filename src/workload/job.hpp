@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file job.hpp
+/// The job and job-set model used throughout the library.
+///
+/// Following the paper (§4.2), a job is defined by its submission time, the
+/// number of requested resources ("width") and the estimated run time
+/// ("length"); the simulator additionally needs the actual run time. A
+/// planning-based RMS requires run-time estimates, and treats them as hard
+/// upper bounds (jobs never exceed their estimate).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dynp {
+
+/// Simulation time in seconds. Trace submit times are integer seconds, but
+/// shrinking factors (0.9, 0.8, ...) produce fractional times, so time is a
+/// double throughout.
+using Time = double;
+
+/// Dense job identifier, also the index into `JobSet::jobs`.
+using JobId = std::uint32_t;
+
+namespace workload {
+
+/// One batch job.
+struct Job {
+  JobId id = 0;
+  /// Submission time, seconds from trace start.
+  Time submit = 0;
+  /// Requested resources (processors/nodes).
+  std::uint32_t width = 1;
+  /// User-supplied run-time estimate in seconds (upper bound; the planner
+  /// reserves resources for this long).
+  Time estimated_runtime = 0;
+  /// Actual run time in seconds; `actual_runtime <= estimated_runtime`.
+  Time actual_runtime = 0;
+
+  /// Actual resource consumption: actual run time x width. This is the
+  /// weight used by the SLDwA metric.
+  [[nodiscard]] double area() const noexcept {
+    return actual_runtime * static_cast<double>(width);
+  }
+
+  /// Resource reservation the planner must make: estimate x width.
+  [[nodiscard]] double estimated_area() const noexcept {
+    return estimated_runtime * static_cast<double>(width);
+  }
+
+  /// Validates the planning-RMS job contract.
+  [[nodiscard]] bool valid() const noexcept {
+    return width >= 1 && estimated_runtime >= 0 && actual_runtime >= 0 &&
+           actual_runtime <= estimated_runtime && submit >= 0;
+  }
+};
+
+/// The machine a job set targets.
+struct Machine {
+  std::string name;
+  std::uint32_t nodes = 1;
+};
+
+/// An ordered collection of jobs for one machine. Invariant: jobs are sorted
+/// by submit time (ties keep insertion order) and `jobs[i].id == i`.
+class JobSet {
+ public:
+  JobSet() = default;
+  JobSet(Machine machine, std::vector<Job> jobs);
+
+  [[nodiscard]] const Machine& machine() const noexcept { return machine_; }
+  [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return jobs_.empty(); }
+  [[nodiscard]] const Job& operator[](std::size_t i) const {
+    DYNP_EXPECTS(i < jobs_.size());
+    return jobs_[i];
+  }
+
+  /// Applies the paper's workload-increasing transform: every submission time
+  /// is multiplied by \p factor (the "shrinking factor"; < 1 compresses the
+  /// arrival process and thereby increases load without changing job areas).
+  /// Scaled submission times are rounded to whole seconds: trace timestamps
+  /// are integral, and keeping every simulation time integral makes all
+  /// double arithmetic in the planner exact (no one-ulp boundary slivers in
+  /// the resource profile).
+  [[nodiscard]] JobSet with_shrinking_factor(double factor) const;
+
+  /// The second load-increasing approach from §4.2: scales both estimated
+  /// and actual run times by \p factor (> 1 increases load, and unlike
+  /// shrinking it changes the jobs' areas). Run times are rounded to whole
+  /// seconds; estimates keep covering actuals.
+  [[nodiscard]] JobSet with_runtime_scaling(double factor) const;
+
+  /// The third load-increasing approach from §4.2: submits every job
+  /// \p copies times (same submit time, width and run times). Copies are
+  /// interleaved at the original submission instants.
+  [[nodiscard]] JobSet with_multisubmission(unsigned copies) const;
+
+  /// Total actual area of all jobs (node-seconds of real work).
+  [[nodiscard]] double total_area() const noexcept;
+
+ private:
+  void normalize();
+
+  Machine machine_;
+  std::vector<Job> jobs_;
+};
+
+/// Repairs raw jobs that violate the planning-RMS contract (used when
+/// ingesting external traces): width is clamped to [1, machine nodes],
+/// negative times to 0, and the actual run time to the estimate. The result
+/// satisfies the `JobSet` constructor's preconditions.
+[[nodiscard]] std::vector<Job> sanitize_jobs(std::vector<Job> jobs,
+                                             const Machine& machine);
+
+}  // namespace workload
+}  // namespace dynp

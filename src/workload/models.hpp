@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file models.hpp
+/// Parametric per-trace workload models.
+///
+/// The paper evaluates on synthetic job sets "based on" four Parallel
+/// Workloads Archive traces (CTC SP2, KTH SP2, LANL CM-5, SDSC SP2). The raw
+/// logs are not redistributable and unavailable offline, so this module
+/// implements the closest synthetic equivalent: a generative model per trace,
+/// calibrated against the published Table 2 statistics (width min/avg/max,
+/// estimated and actual run time min/avg/max, mean over-estimation factor,
+/// mean interarrival time) plus a width-runtime correlation target chosen so
+/// that the offered load at shrinking factor 1.0 matches the utilisation the
+/// paper reports (Table 4).
+///
+/// Model structure, per job:
+///  * width  ~ discrete distribution over power-of-two-biased values,
+///             rebalanced at construction to hit the published mean exactly;
+///  * estimate ~ point mass at the queue limit (users requesting "max") mixed
+///             with a bounded lognormal, scaled by (width/mean width)^gamma to
+///             realise the width-runtime correlation (gamma solved by
+///             bisection), rounded up to whole minutes; an internal
+///             fixed-seed Monte Carlo pass rescales the lognormal so the
+///             post-truncation mean hits the published value;
+///  * actual  = estimate x fraction, where fraction is 1 with probability
+///             p_full (jobs running into their limit) and Beta-like u^alpha
+///             otherwise, alpha solved so E[actual]/E[estimate] matches the
+///             published over-estimation factor; floored at 1 second;
+///  * arrivals ~ two-branch hyper-exponential (burst + background) targeting
+///             `ia_mean / load_calibration`, modulated by diurnal and weekend
+///             rate cycles whose backlog drains bound policy-induced
+///             starvation (the trace-derived sets the paper used inherit
+///             these cycles from the logs).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::workload {
+
+/// Tunable description of one trace's statistical shape. Obtain the four
+/// calibrated instances from `ctc_model()` et al.; the fields are public so
+/// users can build models for their own machines.
+struct TraceModel {
+  std::string name;
+  std::uint32_t nodes = 1;
+
+  /// (width value, relative weight) pairs; rebalanced to `width_mean`.
+  std::vector<std::pair<double, double>> width_values;
+  double width_mean = 1.0;
+
+  double est_min = 60.0;    ///< smallest possible estimate [s]
+  double est_max = 64800.0; ///< queue limit [s]
+  double est_mean = 10000;  ///< published mean estimate [s]
+  double est_cv = 1.3;      ///< lognormal coefficient of variation
+  double p_est_max = 0.1;   ///< point mass at the queue limit
+  double est_round = 60.0;  ///< estimates rounded up to this granularity [s]
+
+  double p_full = 0.1;      ///< P(actual run time == estimate)
+  double runtime_fraction = 0.5;  ///< target E[actual] / E[estimate]
+  double act_max = 1e18;    ///< trace-specific cap on actual run time [s]
+
+  /// Target E[width x estimate] / (E[width] x E[estimate]); 1.0 = independent.
+  double area_correlation = 1.0;
+
+  double ia_mean = 500.0;       ///< published mean interarrival [s]
+  double ia_burst_prob = 0.3;   ///< fraction of burst (script) submissions
+  double ia_burst_mean = 4.0;   ///< mean gap within a burst [s]
+
+  /// Effective-load calibration: the generator targets a realised mean
+  /// interarrival of `ia_mean / load_calibration`. The paper's utilisation
+  /// at shrinking factor 1.0 exceeds the offered load implied by the
+  /// published per-column means for LANL and SDSC (their synthetic sets
+  /// carry more area per second than the product of Table 2 means); this
+  /// factor reproduces that effective load without inflating the
+  /// width-runtime correlation, which would distort SJF/LJF behaviour.
+  double load_calibration = 1.0;
+
+  /// Diurnal arrival-rate modulation depth in [0, 1); 0 disables. The PWA
+  /// traces have strong day/night cycles; the nightly lull drains the
+  /// backlog and bounds policy-induced starvation, which is essential for
+  /// reproducing the paper's SJF results.
+  double diurnal_amplitude = 0.0;
+
+  /// Weekend arrival-rate multiplier in (0, 1]; 1 disables. Two days out of
+  /// every seven run at this fraction of the weekday rate, giving the deep
+  /// weekly drain production logs exhibit (the realised mean interarrival is
+  /// recalibrated automatically).
+  double weekend_factor = 1.0;
+};
+
+/// Calibrated models for the four traces of the paper (Table 2).
+[[nodiscard]] TraceModel ctc_model();
+[[nodiscard]] TraceModel kth_model();
+[[nodiscard]] TraceModel lanl_model();
+[[nodiscard]] TraceModel sdsc_model();
+
+/// All four paper models in paper order (CTC, KTH, LANL, SDSC).
+[[nodiscard]] std::vector<TraceModel> paper_models();
+
+/// Looks up one of the paper models by case-insensitive name; throws
+/// `std::invalid_argument` for unknown names.
+[[nodiscard]] TraceModel model_by_name(const std::string& name);
+
+/// A trace model after its deterministic calibration passes (width-mean
+/// rebalance, correlation-exponent bisection, post-truncation mean fitting,
+/// arrival-scale fitting). Construction costs a few milliseconds; reuse one
+/// sampler to generate many job sets.
+class CalibratedSampler {
+ public:
+  explicit CalibratedSampler(const TraceModel& model);
+  ~CalibratedSampler();
+
+  CalibratedSampler(CalibratedSampler&&) noexcept;
+  CalibratedSampler& operator=(CalibratedSampler&&) noexcept;
+  CalibratedSampler(const CalibratedSampler&) = delete;
+  CalibratedSampler& operator=(const CalibratedSampler&) = delete;
+
+  /// Generates \p n_jobs jobs deterministically from \p seed.
+  [[nodiscard]] JobSet generate(std::size_t n_jobs, std::uint64_t seed) const;
+
+  [[nodiscard]] const TraceModel& model() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Generates \p n_jobs jobs from \p model. Deterministic in \p seed.
+/// Convenience wrapper: calibrates on every call — construct a
+/// `CalibratedSampler` once when generating many sets.
+[[nodiscard]] JobSet generate(const TraceModel& model, std::size_t n_jobs,
+                              std::uint64_t seed);
+
+/// Generates the paper's input ensemble: \p n_sets independent job sets of
+/// \p n_jobs each, with per-set seeds derived from (\p master_seed, set
+/// index). Sets differ only in their random streams.
+[[nodiscard]] std::vector<JobSet> generate_ensemble(const TraceModel& model,
+                                                    std::size_t n_sets,
+                                                    std::size_t n_jobs,
+                                                    std::uint64_t master_seed);
+
+}  // namespace dynp::workload

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file swf.hpp
+/// Reader/writer for the Standard Workload Format (SWF) used by the Parallel
+/// Workloads Archive, so that users who have the real CTC/KTH/LANL/SDSC logs
+/// can feed them to the simulator directly.
+///
+/// SWF is line-oriented: `;`-prefixed header comments followed by 18
+/// whitespace-separated fields per job. We consume the fields the paper's job
+/// model needs: submit time (2), run time (4), requested processors (8,
+/// falling back to allocated processors, 5) and requested time (9, the
+/// estimate, falling back to run time). Jobs with unusable fields (negative
+/// or missing width/run time) are skipped and counted.
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace dynp::workload {
+
+/// Result of parsing an SWF stream.
+struct SwfParseResult {
+  JobSet set;
+  /// Lines that looked like job records but had unusable fields.
+  std::size_t skipped_records = 0;
+  /// Header comment lines encountered.
+  std::size_t header_lines = 0;
+};
+
+/// Parses SWF text from \p in for machine \p machine. Jobs wider than the
+/// machine or with actual > estimated run time are sanitized per the
+/// planning-RMS contract (width capped, actual clamped to the estimate).
+[[nodiscard]] SwfParseResult read_swf(std::istream& in, Machine machine);
+
+/// Convenience overload reading from a file. Throws `std::runtime_error`
+/// when the file cannot be opened.
+[[nodiscard]] SwfParseResult read_swf_file(const std::string& path,
+                                           Machine machine);
+
+/// Writes \p set in SWF (18 fields; unknown fields emitted as -1), with a
+/// small comment header recording the machine. Round-trips through
+/// `read_swf`.
+void write_swf(std::ostream& out, const JobSet& set);
+
+/// Convenience overload writing to a file. Returns false on I/O failure.
+[[nodiscard]] bool write_swf_file(const std::string& path, const JobSet& set);
+
+}  // namespace dynp::workload

@@ -1,0 +1,33 @@
+#include "workload/trace_stats.hpp"
+
+namespace dynp::workload {
+
+TraceStats compute_stats(const JobSet& set) {
+  TraceStats stats;
+  stats.job_count = set.size();
+  Time prev_submit = 0;
+  bool first = true;
+  for (const Job& job : set.jobs()) {
+    stats.width.add(static_cast<double>(job.width));
+    stats.estimated_runtime.add(job.estimated_runtime);
+    stats.actual_runtime.add(job.actual_runtime);
+    if (!first) stats.interarrival.add(job.submit - prev_submit);
+    prev_submit = job.submit;
+    first = false;
+  }
+  if (stats.actual_runtime.mean() > 0) {
+    stats.overestimation_factor =
+        stats.estimated_runtime.mean() / stats.actual_runtime.mean();
+  }
+  if (!set.empty()) {
+    const Time span = set.jobs().back().submit - set.jobs().front().submit;
+    if (span > 0) {
+      stats.offered_load =
+          set.total_area() /
+          (static_cast<double>(set.machine().nodes) * span);
+    }
+  }
+  return stats;
+}
+
+}  // namespace dynp::workload

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file trace_stats.hpp
+/// Table-2-style descriptive statistics for a job set: width, estimated and
+/// actual run time, over-estimation factor and interarrival times. Used both
+/// to validate the synthetic generators against the published trace
+/// characteristics and by `bench/table2_trace_properties`.
+
+#include "util/stats.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::workload {
+
+/// Descriptive statistics over one job set (the columns of the paper's
+/// Table 2).
+struct TraceStats {
+  std::size_t job_count = 0;
+  util::OnlineStats width;
+  util::OnlineStats estimated_runtime;
+  util::OnlineStats actual_runtime;
+  util::OnlineStats interarrival;
+  /// The paper's "average overest. factor": mean estimated run time divided
+  /// by mean actual run time (matches the published values, e.g. CTC
+  /// 24324/10958 = 2.220).
+  double overestimation_factor = 0.0;
+  /// Offered load at shrinking factor 1: total actual area divided by
+  /// (machine nodes x submission span). A lower bound on achievable
+  /// utilisation pressure.
+  double offered_load = 0.0;
+};
+
+/// Computes statistics for \p set.
+[[nodiscard]] TraceStats compute_stats(const JobSet& set);
+
+}  // namespace dynp::workload

@@ -1,0 +1,191 @@
+#include "core/decider.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynp::core {
+namespace {
+
+constexpr std::size_t kFcfs = 0, kSjf = 1, kLjf = 2;
+
+[[nodiscard]] DecisionInput input(std::vector<double> values,
+                                  std::size_t old_index) {
+  return DecisionInput{std::move(values), old_index};
+}
+
+TEST(ValueCompare, ExactAndEpsilonEquality) {
+  EXPECT_TRUE(value_equal(1.0, 1.0));
+  EXPECT_TRUE(value_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(value_equal(1.0, 1.001));
+  EXPECT_TRUE(value_equal(1e6, 1e6 * (1 + 1e-12)));
+  EXPECT_FALSE(value_less(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(value_less(1.0, 2.0));
+  EXPECT_FALSE(value_less(2.0, 1.0));
+}
+
+TEST(SimpleDecider, PicksStrictMinimum) {
+  const SimpleDecider d;
+  EXPECT_EQ(d.decide(input({5, 3, 8}, kFcfs)), kSjf);
+  EXPECT_EQ(d.decide(input({2, 3, 8}, kLjf)), kFcfs);
+  EXPECT_EQ(d.decide(input({5, 3, 1}, kFcfs)), kLjf);
+}
+
+TEST(SimpleDecider, AllEqualFavorsFcfs) {
+  const SimpleDecider d;
+  // Table 1 case 1: wrong decision — FCFS regardless of the old policy.
+  EXPECT_EQ(d.decide(input({4, 4, 4}, kLjf)), kFcfs);
+  EXPECT_EQ(d.decide(input({4, 4, 4}, kSjf)), kFcfs);
+}
+
+TEST(SimpleDecider, IgnoresOldPolicy) {
+  const SimpleDecider d;
+  for (std::size_t old_index : {kFcfs, kSjf, kLjf}) {
+    EXPECT_EQ(d.decide(input({3, 3, 9}, old_index)), kFcfs);
+  }
+}
+
+TEST(SimpleDecider, SingleCandidate) {
+  const SimpleDecider d;
+  EXPECT_EQ(d.decide(input({7}, 0)), 0u);
+}
+
+TEST(AdvancedDecider, KeepsOldPolicyOnTies) {
+  const AdvancedDecider d;
+  EXPECT_EQ(d.decide(input({4, 4, 4}, kSjf)), kSjf);
+  EXPECT_EQ(d.decide(input({4, 4, 4}, kLjf)), kLjf);
+  EXPECT_EQ(d.decide(input({3, 3, 9}, kSjf)), kSjf);  // case 6b fixed
+}
+
+TEST(AdvancedDecider, SwitchesToStrictWinner) {
+  const AdvancedDecider d;
+  EXPECT_EQ(d.decide(input({5, 2, 8}, kFcfs)), kSjf);
+  EXPECT_EQ(d.decide(input({5, 8, 2}, kSjf)), kLjf);
+}
+
+TEST(AdvancedDecider, TieWithoutOldPolicyResolvesInPoolOrder) {
+  const AdvancedDecider d;
+  // FCFS = SJF < LJF, old = LJF: pick FCFS (case 6c).
+  EXPECT_EQ(d.decide(input({3, 3, 9}, kLjf)), kFcfs);
+  // SJF = LJF < FCFS, old = FCFS: pick SJF (case 10a).
+  EXPECT_EQ(d.decide(input({9, 3, 3}, kFcfs)), kSjf);
+}
+
+TEST(PreferredDecider, StaysWithPreferredOnTie) {
+  const PreferredDecider d(kSjf, "SJF-preferred");
+  // Equal performance: the preferred policy wins even from elsewhere.
+  EXPECT_EQ(d.decide(input({4, 4, 4}, kLjf)), kSjf);
+  EXPECT_EQ(d.decide(input({4, 4, 9}, kFcfs)), kSjf);
+}
+
+TEST(PreferredDecider, SwitchesOnlyWhenStrictlyBeaten) {
+  const PreferredDecider d(kSjf, "SJF-preferred");
+  EXPECT_EQ(d.decide(input({3, 4, 9}, kSjf)), kFcfs);   // FCFS clearly better
+  EXPECT_EQ(d.decide(input({4, 4, 3}, kSjf)), kLjf);    // LJF clearly better
+  EXPECT_EQ(d.decide(input({4, 4, 4.0000000001}, kSjf)), kSjf);
+}
+
+TEST(PreferredDecider, SwitchesBackOnEqualPerformance) {
+  const PreferredDecider d(kSjf, "SJF-preferred");
+  // Currently on FCFS; SJF only matches it — switch back (paper §3).
+  EXPECT_EQ(d.decide(input({5, 5, 9}, kFcfs)), kSjf);
+}
+
+TEST(PreferredDecider, FairAmongOthersWhenPreferredLoses) {
+  const PreferredDecider d(kSjf, "SJF-preferred");
+  // SJF worst; FCFS = LJF tie: keep the old non-preferred policy.
+  EXPECT_EQ(d.decide(input({3, 9, 3}, kLjf)), kLjf);
+  EXPECT_EQ(d.decide(input({3, 9, 3}, kFcfs)), kFcfs);
+  // Old policy is the (losing) preferred one: pool order picks FCFS.
+  EXPECT_EQ(d.decide(input({3, 9, 3}, kSjf)), kFcfs);
+}
+
+TEST(PreferredDecider, ThresholdToleratesSmallLosses) {
+  const PreferredDecider d(kSjf, "SJF-preferred(5%)", 5.0);
+  // SJF is 4% worse than the best: within threshold, stay.
+  EXPECT_EQ(d.decide(input({100, 104, 120}, kSjf)), kSjf);
+  // 6% worse: beyond threshold, switch.
+  EXPECT_EQ(d.decide(input({100, 106, 120}, kSjf)), kFcfs);
+}
+
+TEST(PreferredDecider, ZeroThresholdIsStrictMechanism) {
+  const PreferredDecider d(kSjf, "SJF-preferred", 0.0);
+  EXPECT_EQ(d.decide(input({100, 100.0001, 120}, kSjf)), kFcfs);
+  EXPECT_EQ(d.decide(input({100, 100, 120}, kSjf)), kSjf);
+}
+
+TEST(PreferredDecider, AccessorsExposeConfiguration) {
+  const PreferredDecider d(kLjf, "LJF-preferred", 2.5);
+  EXPECT_EQ(d.preferred_index(), kLjf);
+  EXPECT_DOUBLE_EQ(d.threshold_pct(), 2.5);
+  EXPECT_EQ(d.name(), "LJF-preferred");
+}
+
+TEST(Factories, ProduceWorkingDeciders) {
+  const auto simple = make_simple_decider();
+  const auto advanced = make_advanced_decider();
+  const auto preferred = make_preferred_decider(kSjf, "SJF-preferred");
+  EXPECT_EQ(simple->decide(input({4, 4, 4}, kLjf)), kFcfs);
+  EXPECT_EQ(advanced->decide(input({4, 4, 4}, kLjf)), kLjf);
+  EXPECT_EQ(preferred->decide(input({4, 4, 4}, kLjf)), kSjf);
+  EXPECT_EQ(simple->name(), "simple");
+  EXPECT_EQ(advanced->name(), "advanced");
+  EXPECT_EQ(preferred->name(), "SJF-preferred");
+}
+
+TEST(ThresholdDecider, ZeroThresholdMatchesAdvanced) {
+  const ThresholdDecider t(0.0);
+  const AdvancedDecider a;
+  const std::vector<std::vector<double>> cases = {
+      {4, 4, 4}, {3, 4, 5}, {5, 3, 3}, {3, 3, 5}, {5, 5, 3}};
+  for (const auto& values : cases) {
+    for (std::size_t old_index : {kFcfs, kSjf, kLjf}) {
+      EXPECT_EQ(t.decide(input(values, old_index)),
+                a.decide(input(values, old_index)))
+          << values[0] << "," << values[1] << "," << values[2]
+          << " old=" << old_index;
+    }
+  }
+}
+
+TEST(ThresholdDecider, SticksWithActivePolicyWithinThreshold) {
+  const ThresholdDecider d(5.0);
+  // Old policy is 4% worse than the best: stay.
+  EXPECT_EQ(d.decide(input({100, 104, 120}, kSjf)), kSjf);
+  // 6% worse: switch to the best.
+  EXPECT_EQ(d.decide(input({100, 106, 120}, kSjf)), kFcfs);
+}
+
+TEST(ThresholdDecider, UnlikePreferredItFollowsTheActivePolicy) {
+  const ThresholdDecider d(10.0);
+  // Whatever is active gets the stickiness, not one fixed policy.
+  EXPECT_EQ(d.decide(input({105, 100, 120}, kFcfs)), kFcfs);
+  EXPECT_EQ(d.decide(input({100, 105, 120}, kSjf)), kSjf);
+  EXPECT_EQ(d.decide(input({100, 120, 105}, kLjf)), kLjf);
+}
+
+TEST(ThresholdDecider, NameEncodesThreshold) {
+  EXPECT_EQ(ThresholdDecider(2.5).name(), "threshold(2.5%)");
+  EXPECT_EQ(make_threshold_decider(10)->name(), "threshold(10.0%)");
+}
+
+TEST(Deciders, TwoPolicyPool) {
+  // dynP pools are not limited to three policies.
+  const AdvancedDecider adv;
+  EXPECT_EQ(adv.decide(input({5, 5}, 1)), 1u);
+  EXPECT_EQ(adv.decide(input({5, 4}, 0)), 1u);
+  const SimpleDecider simple;
+  EXPECT_EQ(simple.decide(input({5, 5}, 1)), 0u);
+  const PreferredDecider pref(1, "p");
+  EXPECT_EQ(pref.decide(input({5, 5}, 0)), 1u);
+}
+
+TEST(Deciders, FivePolicyPool) {
+  const AdvancedDecider adv;
+  EXPECT_EQ(adv.decide(input({9, 8, 7, 7, 9}, 4)), 2u);
+  EXPECT_EQ(adv.decide(input({9, 8, 7, 7, 9}, 3)), 3u);
+  const PreferredDecider pref(4, "p4");
+  EXPECT_EQ(pref.decide(input({9, 8, 7, 7, 7}, 0)), 4u);
+  EXPECT_EQ(pref.decide(input({9, 8, 7, 7, 8}, 0)), 2u);
+}
+
+}  // namespace
+}  // namespace dynp::core

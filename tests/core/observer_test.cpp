@@ -1,0 +1,111 @@
+#include "core/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace dynp::core {
+namespace {
+
+using policies::PolicyKind;
+using workload::Job;
+using workload::JobSet;
+using workload::Machine;
+
+[[nodiscard]] Job make_job(Time submit, std::uint32_t width, Time est,
+                           Time act) {
+  Job j;
+  j.submit = submit;
+  j.width = width;
+  j.estimated_runtime = est;
+  j.actual_runtime = act;
+  return j;
+}
+
+/// Counts and cross-checks every callback.
+class CountingObserver final : public SimulationObserver {
+ public:
+  void on_job_submitted(Time now, const workload::Job& job) override {
+    ++submitted;
+    EXPECT_DOUBLE_EQ(now, job.submit);
+    last_time = now;
+  }
+  void on_job_started(Time now, const workload::Job& job) override {
+    ++started;
+    EXPECT_GE(now, job.submit);
+    last_time = now;
+  }
+  void on_job_finished(Time now, const workload::Job& job,
+                       const metrics::JobOutcome& outcome) override {
+    ++finished;
+    EXPECT_DOUBLE_EQ(now, outcome.end);
+    EXPECT_EQ(outcome.id, job.id);
+    last_time = now;
+  }
+  void on_decision(Time /*now*/, const DecisionInput& input,
+                   std::size_t chosen) override {
+    ++decisions;
+    EXPECT_LT(chosen, input.values.size());
+  }
+
+  int submitted = 0, started = 0, finished = 0, decisions = 0;
+  Time last_time = 0;
+};
+
+[[nodiscard]] JobSet small_set() {
+  return JobSet(Machine{"m", 2},
+                {make_job(0, 1, 100, 60), make_job(5, 2, 80, 80),
+                 make_job(9, 1, 30, 10)});
+}
+
+TEST(Observer, StaticRunFiresJobCallbacks) {
+  CountingObserver obs;
+  SimulationConfig config = static_config(PolicyKind::kFcfs);
+  config.observer = &obs;
+  const auto r = simulate(small_set(), config);
+  EXPECT_EQ(obs.submitted, 3);
+  EXPECT_EQ(obs.started, 3);
+  EXPECT_EQ(obs.finished, 3);
+  EXPECT_EQ(obs.decisions, 0);  // no dynP decisions in static mode
+  EXPECT_DOUBLE_EQ(obs.last_time, r.summary.makespan);
+}
+
+TEST(Observer, DynPRunFiresDecisionCallbacks) {
+  CountingObserver obs;
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.observer = &obs;
+  const auto r = simulate(small_set(), config);
+  EXPECT_EQ(static_cast<std::uint64_t>(obs.decisions), r.decisions);
+  EXPECT_GT(obs.decisions, 0);
+}
+
+TEST(Observer, FiresForAllSemantics) {
+  for (const PlannerSemantics semantics :
+       {PlannerSemantics::kReplan, PlannerSemantics::kGuarantee,
+        PlannerSemantics::kQueueingEasy}) {
+    CountingObserver obs;
+    SimulationConfig config = static_config(PolicyKind::kSjf);
+    config.semantics = semantics;
+    config.observer = &obs;
+    (void)simulate(small_set(), config);
+    EXPECT_EQ(obs.submitted, 3) << static_cast<int>(semantics);
+    EXPECT_EQ(obs.started, 3) << static_cast<int>(semantics);
+    EXPECT_EQ(obs.finished, 3) << static_cast<int>(semantics);
+  }
+}
+
+TEST(Observer, NullObserverIsFine) {
+  SimulationConfig config = static_config(PolicyKind::kFcfs);
+  config.observer = nullptr;
+  EXPECT_NO_THROW((void)simulate(small_set(), config));
+}
+
+TEST(Observer, DefaultImplementationsDoNothing) {
+  SimulationObserver base;
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.observer = &base;
+  EXPECT_NO_THROW((void)simulate(small_set(), config));
+}
+
+}  // namespace
+}  // namespace dynp::core

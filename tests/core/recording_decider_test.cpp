@@ -1,0 +1,55 @@
+#include "core/recording_decider.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::core {
+namespace {
+
+TEST(RecordingDecider, ForwardsAndRecords) {
+  const auto rec =
+      std::make_shared<RecordingDecider>(make_advanced_decider());
+  EXPECT_EQ(rec->decide({{5, 3, 9}, 0}), 1u);
+  EXPECT_EQ(rec->decide({{4, 4, 4}, 2}), 2u);
+  ASSERT_EQ(rec->records().size(), 2u);
+  EXPECT_EQ(rec->records()[0].chosen, 1u);
+  EXPECT_EQ(rec->records()[0].old_index, 0u);
+  EXPECT_EQ(rec->records()[1].values, (std::vector<double>{4, 4, 4}));
+  EXPECT_EQ(rec->name(), "advanced+rec");
+}
+
+TEST(RecordingDecider, TieAndStayFractions) {
+  const auto rec =
+      std::make_shared<RecordingDecider>(make_advanced_decider());
+  EXPECT_DOUBLE_EQ(rec->tie_fraction(), 0.0);  // nothing recorded yet
+  (void)rec->decide({{4, 4, 4}, 1});  // tie, stays
+  (void)rec->decide({{5, 3, 9}, 0});  // no tie, switches
+  (void)rec->decide({{3, 5, 9}, 0});  // no tie, stays
+  (void)rec->decide({{7, 7, 7}, 2});  // tie, stays
+  EXPECT_DOUBLE_EQ(rec->tie_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(rec->stay_fraction(), 0.75);
+  rec->clear();
+  EXPECT_TRUE(rec->records().empty());
+}
+
+TEST(RecordingDecider, AuditsAWholeSimulation) {
+  const workload::JobSet set =
+      workload::generate(workload::ctc_model(), 800, 7)
+          .with_shrinking_factor(0.8);
+  const auto rec =
+      std::make_shared<RecordingDecider>(make_advanced_decider());
+  const auto r = core::simulate(set, core::dynp_config(rec));
+  // Every self-tuning decision was recorded.
+  EXPECT_EQ(rec->records().size(), r.decisions);
+  // The advanced decider keeps the active policy at every tie, so the stay
+  // fraction can never be below the tie fraction.
+  EXPECT_GE(rec->stay_fraction(), rec->tie_fraction());
+  // At light-to-moderate load, ties (single waiting job, equal orders) are
+  // common — the structural fact Table 1's design revolves around.
+  EXPECT_GT(rec->tie_fraction(), 0.2);
+}
+
+}  // namespace
+}  // namespace dynp::core

@@ -1,0 +1,177 @@
+/// Randomised (but fixed-seed, hence deterministic) property tests for the
+/// scheduler semantics, checked against first principles rather than
+/// hand-computed scenarios.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/simulation.hpp"
+#include "metrics/validate.hpp"
+#include "util/rng.hpp"
+
+namespace dynp::core {
+namespace {
+
+using policies::PolicyKind;
+using workload::Job;
+using workload::JobSet;
+using workload::Machine;
+
+/// Random job set with controllable size/load shape.
+[[nodiscard]] JobSet random_set(std::uint64_t seed, std::uint32_t nodes,
+                                std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Job> jobs;
+  Time now = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Job j;
+    j.submit = now;
+    j.width = static_cast<std::uint32_t>(1 + rng.next_below(nodes));
+    const double est = 60.0 * static_cast<double>(1 + rng.next_below(40));
+    j.estimated_runtime = est;
+    j.actual_runtime = std::max(
+        1.0, std::floor(est * (0.2 + 0.8 * rng.next_double())));
+    jobs.push_back(j);
+    now += static_cast<Time>(rng.next_below(400));
+  }
+  return JobSet{Machine{"rand", nodes}, std::move(jobs)};
+}
+
+struct PropertyCase {
+  std::uint64_t seed;
+  std::uint32_t nodes;
+  std::size_t jobs;
+};
+
+class SchedulerProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(SchedulerProperty, AllSemanticsProduceValidSchedules) {
+  const auto p = GetParam();
+  const JobSet set = random_set(p.seed, p.nodes, p.jobs);
+  for (const PlannerSemantics semantics :
+       {PlannerSemantics::kReplan, PlannerSemantics::kGuarantee,
+        PlannerSemantics::kQueueingEasy}) {
+    for (const PolicyKind policy :
+         {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf}) {
+      auto config = static_config(policy);
+      config.semantics = semantics;
+      const auto r = simulate(set, config);
+      const auto report = metrics::validate_outcomes(set, r.outcomes);
+      ASSERT_TRUE(report.ok())
+          << config.label() << " seed " << p.seed << ": "
+          << (report.issues.empty() ? "" : report.issues[0].detail);
+    }
+  }
+}
+
+TEST_P(SchedulerProperty, DynPValidUnderBothPlanningSemantics) {
+  const auto p = GetParam();
+  const JobSet set = random_set(p.seed ^ 0xABCD, p.nodes, p.jobs);
+  for (const PlannerSemantics semantics :
+       {PlannerSemantics::kReplan, PlannerSemantics::kGuarantee}) {
+    auto config = dynp_config(make_advanced_decider());
+    config.semantics = semantics;
+    const auto r = simulate(set, config);
+    const auto report = metrics::validate_outcomes(set, r.outcomes);
+    ASSERT_TRUE(report.ok()) << config.label() << " seed " << p.seed;
+  }
+}
+
+TEST_P(SchedulerProperty, FcfsReplanNeverReordersEqualWidthFullMachineJobs) {
+  // Full-width jobs under FCFS must run in arrival order: any inversion
+  // would mean the planner reordered equal-priority jobs.
+  const auto p = GetParam();
+  util::Xoshiro256 rng(p.seed ^ 0x77);
+  std::vector<Job> jobs;
+  Time now = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    Job j;
+    j.submit = now;
+    j.width = p.nodes;  // full machine
+    j.estimated_runtime = 60.0 * static_cast<double>(1 + rng.next_below(20));
+    j.actual_runtime = j.estimated_runtime;
+    jobs.push_back(j);
+    now += static_cast<Time>(rng.next_below(300));
+  }
+  const JobSet set(Machine{"serial", p.nodes}, std::move(jobs));
+  const auto r = simulate(set, static_config(PolicyKind::kFcfs));
+  for (std::size_t i = 1; i < r.outcomes.size(); ++i) {
+    EXPECT_GE(r.outcomes[i].start, r.outcomes[i - 1].end);
+  }
+}
+
+TEST_P(SchedulerProperty, GuaranteeNeverStartsLaterThanInsertionPromise) {
+  // Re-simulate under guarantees and verify every job starts no later than
+  // the worst-case promise computable at its submission: the end of all
+  // estimated work ahead of it (a crude upper bound that replanning cannot
+  // exceed under monotone compression).
+  const auto p = GetParam();
+  const JobSet set = random_set(p.seed ^ 0x5151, p.nodes, p.jobs);
+  auto config = static_config(PolicyKind::kSjf);
+  config.semantics = PlannerSemantics::kGuarantee;
+  const auto r = simulate(set, config);
+  // Upper bound: serialised estimated work of all earlier-or-equal arrivals.
+  double serial_work = 0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    serial_work += set[i].estimated_runtime *
+                   static_cast<double>(set[i].width) /
+                   static_cast<double>(p.nodes);
+    EXPECT_LE(r.outcomes[i].start,
+              set[i].submit + serial_work + set[i].estimated_runtime)
+        << "job " << i;
+  }
+}
+
+TEST_P(SchedulerProperty, EasyNeverDelaysTheQueueHeadPastItsShadow) {
+  // Under EASY-FCFS the queue head's wait is bounded by the estimated ends
+  // of the jobs running when it reached the head. Global corollary we can
+  // check cheaply: no job waits longer than the total estimated work ahead
+  // of it (serialised), same crude bound as above.
+  const auto p = GetParam();
+  const JobSet set = random_set(p.seed ^ 0x9999, p.nodes, p.jobs);
+  auto config = static_config(PolicyKind::kFcfs);
+  config.semantics = PlannerSemantics::kQueueingEasy;
+  const auto r = simulate(set, config);
+  double serial_work = 0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    serial_work += set[i].estimated_runtime *
+                   static_cast<double>(set[i].width) /
+                   static_cast<double>(p.nodes);
+    EXPECT_LE(r.outcomes[i].start,
+              set[i].submit + serial_work + set[i].estimated_runtime)
+        << "job " << i;
+  }
+}
+
+TEST_P(SchedulerProperty, ReplanFcfsMatchesEasyFcfsOnWaitOrderRoughly) {
+  // Both are FCFS-with-backfilling variants; their mean waits should be in
+  // the same ballpark (within 3x) on any workload — a coarse coupling check
+  // that catches gross semantic regressions in either implementation.
+  const auto p = GetParam();
+  const JobSet set = random_set(p.seed ^ 0x1234, p.nodes, p.jobs);
+  auto replan = static_config(PolicyKind::kFcfs);
+  auto easy = static_config(PolicyKind::kFcfs);
+  easy.semantics = PlannerSemantics::kQueueingEasy;
+  const double w1 = simulate(set, replan).summary.avg_wait;
+  const double w2 = simulate(set, easy).summary.avg_wait;
+  const double lo = std::min(w1, w2), hi = std::max(w1, w2);
+  if (hi > 60.0) {  // ignore near-idle workloads
+    EXPECT_LT(hi, lo * 3 + 600) << "replan " << w1 << " vs easy " << w2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, SchedulerProperty,
+    ::testing::Values(PropertyCase{1, 4, 120}, PropertyCase{2, 16, 150},
+                      PropertyCase{3, 64, 150}, PropertyCase{4, 7, 200},
+                      PropertyCase{5, 128, 100}, PropertyCase{6, 1, 80}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_nodes" +
+             std::to_string(info.param.nodes);
+    });
+
+}  // namespace
+}  // namespace dynp::core

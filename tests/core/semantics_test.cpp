@@ -1,0 +1,238 @@
+/// Behavioural tests for the three RMS semantics (replan, guarantee,
+/// queueing/EASY) and for the dynP bookkeeping that depends on them.
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace dynp::core {
+namespace {
+
+using policies::PolicyKind;
+using workload::Job;
+using workload::JobSet;
+using workload::Machine;
+
+[[nodiscard]] Job make_job(Time submit, std::uint32_t width, Time est,
+                           Time act) {
+  Job j;
+  j.submit = submit;
+  j.width = width;
+  j.estimated_runtime = est;
+  j.actual_runtime = act;
+  return j;
+}
+
+[[nodiscard]] SimulationConfig with_semantics(SimulationConfig config,
+                                              PlannerSemantics semantics) {
+  config.semantics = semantics;
+  return config;
+}
+
+// --------------------------- guarantee semantics ---------------------------
+
+TEST(GuaranteeSemantics, NoJobIsDelayedPastItsGuarantee) {
+  // Under SJF-replan the long job 1 is starved by the stream of short jobs;
+  // under guarantees it keeps the start it was promised at submission.
+  std::vector<Job> jobs = {make_job(0, 1, 100, 100),   // 0: blocker
+                           make_job(1, 1, 1000, 1000)};  // 1: long job
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back(make_job(2 + i * 50, 1, 60, 60));  // stream of shorts
+  }
+  const JobSet set(Machine{"m", 1}, std::move(jobs));
+
+  const auto guarantee = simulate(
+      set, with_semantics(static_config(PolicyKind::kSjf),
+                          PlannerSemantics::kGuarantee));
+  const auto replan = simulate(
+      set, with_semantics(static_config(PolicyKind::kSjf),
+                          PlannerSemantics::kReplan));
+  // Job 1's guarantee was set when only the blocker was ahead: start <= 100
+  // plus whatever was already promised to earlier-arriving shorts.
+  EXPECT_LE(guarantee.outcomes[1].start, 200.0);
+  // Replan-SJF pushes it behind every short job.
+  EXPECT_GT(replan.outcomes[1].start, guarantee.outcomes[1].start);
+}
+
+TEST(GuaranteeSemantics, CompressionHarvestsEarlyFinishes) {
+  // Blocker estimated 1000 but actually 100: the queued job must be pulled
+  // forward to t=100 by compression.
+  const JobSet set(Machine{"m", 2},
+                   {make_job(0, 2, 1000, 100), make_job(1, 2, 50, 50)});
+  const auto r = simulate(
+      set, with_semantics(static_config(PolicyKind::kFcfs),
+                          PlannerSemantics::kGuarantee));
+  EXPECT_DOUBLE_EQ(r.outcomes[1].start, 100.0);
+}
+
+TEST(GuaranteeSemantics, CompressionOrderFollowsPolicy) {
+  // Blocker (width 2, est 1000, act 100) hides two 1-wide queued jobs that
+  // both fit after the early finish, but only one at a time two cannot...
+  // Both are 2-wide so only one can run at once; compression order (= the
+  // policy) decides which one gets the freed capacity first.
+  const JobSet set(Machine{"m", 2},
+                   {make_job(0, 2, 1000, 100),
+                    make_job(1, 2, 300, 300),    // longer
+                    make_job(2, 2, 100, 100)});  // shorter
+  const auto sjf = simulate(
+      set, with_semantics(static_config(PolicyKind::kSjf),
+                          PlannerSemantics::kGuarantee));
+  EXPECT_DOUBLE_EQ(sjf.outcomes[2].start, 100.0);  // shorter first
+  EXPECT_DOUBLE_EQ(sjf.outcomes[1].start, 200.0);
+  const auto ljf = simulate(
+      set, with_semantics(static_config(PolicyKind::kLjf),
+                          PlannerSemantics::kGuarantee));
+  EXPECT_DOUBLE_EQ(ljf.outcomes[1].start, 100.0);  // longer first
+  EXPECT_DOUBLE_EQ(ljf.outcomes[2].start, 400.0);
+}
+
+TEST(GuaranteeSemantics, InsertionBackfillsWithoutDelayingReservations) {
+  // 3 of 4 nodes busy until 100; a wide job reserves [100, 300); a narrow
+  // short job submitted later fits in the hole before 100.
+  const JobSet set(Machine{"m", 4},
+                   {make_job(0, 3, 100, 100), make_job(1, 4, 200, 200),
+                    make_job(2, 1, 50, 50)});
+  const auto r = simulate(
+      set, with_semantics(static_config(PolicyKind::kFcfs),
+                          PlannerSemantics::kGuarantee));
+  EXPECT_DOUBLE_EQ(r.outcomes[2].start, 2.0);
+  EXPECT_DOUBLE_EQ(r.outcomes[1].start, 100.0);
+}
+
+// --------------------------- queueing / EASY -------------------------------
+
+TEST(EasySemantics, HeadStartsWhenItFits) {
+  const JobSet set(Machine{"m", 4}, {make_job(0, 4, 100, 100)});
+  const auto r = simulate(
+      set, with_semantics(static_config(PolicyKind::kFcfs),
+                          PlannerSemantics::kQueueingEasy));
+  EXPECT_DOUBLE_EQ(r.outcomes[0].start, 0.0);
+}
+
+TEST(EasySemantics, BackfillsShortJobBeforeShadow) {
+  // Head (job 1, width 4) blocked until t=100; job 2 (1 wide, est 50) ends
+  // before the shadow time and may start immediately.
+  const JobSet set(Machine{"m", 4},
+                   {make_job(0, 3, 100, 100), make_job(1, 4, 200, 200),
+                    make_job(2, 1, 50, 50)});
+  const auto r = simulate(
+      set, with_semantics(static_config(PolicyKind::kFcfs),
+                          PlannerSemantics::kQueueingEasy));
+  EXPECT_DOUBLE_EQ(r.outcomes[2].start, 2.0);
+  EXPECT_DOUBLE_EQ(r.outcomes[1].start, 100.0);  // head not delayed
+}
+
+TEST(EasySemantics, RefusesBackfillThatWouldDelayHead) {
+  // Job 2 is narrow but too long to end before the shadow and too wide for
+  // the extra nodes at the shadow (head takes the whole machine).
+  const JobSet set(Machine{"m", 4},
+                   {make_job(0, 3, 100, 100), make_job(1, 4, 200, 200),
+                    make_job(2, 1, 500, 500)});
+  const auto r = simulate(
+      set, with_semantics(static_config(PolicyKind::kFcfs),
+                          PlannerSemantics::kQueueingEasy));
+  EXPECT_DOUBLE_EQ(r.outcomes[1].start, 100.0);   // head exactly on time
+  EXPECT_GE(r.outcomes[2].start, 300.0);          // backfill rejected
+}
+
+TEST(EasySemantics, ExtraNodesAllowLongNarrowBackfill) {
+  // Job 0 uses 3 of 4 nodes until t=100; the head (2-wide) is blocked with
+  // shadow time 100 and 2 extra nodes there, so the long 1-wide job may
+  // start in the hole immediately even though it runs far past the shadow.
+  const JobSet set(Machine{"m", 4},
+                   {make_job(0, 3, 100, 100), make_job(1, 2, 200, 200),
+                    make_job(2, 1, 500, 500)});
+  const auto r = simulate(
+      set, with_semantics(static_config(PolicyKind::kFcfs),
+                          PlannerSemantics::kQueueingEasy));
+  EXPECT_DOUBLE_EQ(r.outcomes[2].start, 2.0);    // took an extra node
+  EXPECT_DOUBLE_EQ(r.outcomes[1].start, 100.0);  // head exactly on time
+}
+
+TEST(EasySemantics, ExtraNodeBudgetIsConsumed) {
+  // The head (3-wide) leaves one extra node at its shadow: the first long
+  // 1-wide candidate takes it; the second must wait for the head to finish.
+  const JobSet set(Machine{"m", 4},
+                   {make_job(0, 3, 100, 100),
+                    make_job(1, 3, 200, 200),    // head: extra = 1 at shadow
+                    make_job(2, 1, 500, 500),    // candidate A
+                    make_job(3, 1, 500, 500)});  // candidate B
+  const auto r = simulate(
+      set, with_semantics(static_config(PolicyKind::kFcfs),
+                          PlannerSemantics::kQueueingEasy));
+  EXPECT_DOUBLE_EQ(r.outcomes[2].start, 2.0);    // A takes the extra node
+  EXPECT_DOUBLE_EQ(r.outcomes[1].start, 100.0);  // head on time
+  EXPECT_GE(r.outcomes[3].start, 300.0);         // B waits for the head
+}
+
+TEST(EasySemantics, DynPModeIsRejected) {
+  const JobSet set(Machine{"m", 2}, {make_job(0, 1, 10, 10)});
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.semantics = PlannerSemantics::kQueueingEasy;
+  EXPECT_DEATH((void)simulate(set, config), "precondition");
+}
+
+// --------------------------- cross-semantics -------------------------------
+
+TEST(Semantics, AllThreeCompleteEveryJob) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 60; ++i) {
+    const Time est = 60.0 * (1 + i % 9);
+    jobs.push_back(make_job(i * 17, 1 + static_cast<std::uint32_t>(i % 5),
+                            est, std::max(1.0, est * 0.5)));
+  }
+  const JobSet set(Machine{"m", 6}, std::move(jobs));
+  for (const PlannerSemantics semantics :
+       {PlannerSemantics::kReplan, PlannerSemantics::kGuarantee,
+        PlannerSemantics::kQueueingEasy}) {
+    const auto r = simulate(
+        set, with_semantics(static_config(PolicyKind::kFcfs), semantics));
+    ASSERT_EQ(r.outcomes.size(), set.size());
+    for (const auto& o : r.outcomes) {
+      EXPECT_GE(o.start, o.submit);
+      EXPECT_DOUBLE_EQ(o.end, o.start + o.actual_runtime);
+    }
+  }
+}
+
+TEST(Semantics, LabelsIdentifyTheVariant) {
+  auto fcfs = static_config(PolicyKind::kFcfs);
+  EXPECT_EQ(fcfs.label(), "FCFS");
+  fcfs.semantics = PlannerSemantics::kGuarantee;
+  EXPECT_EQ(fcfs.label(), "FCFS[guarantee]");
+  fcfs.semantics = PlannerSemantics::kQueueingEasy;
+  EXPECT_EQ(fcfs.label(), "FCFS[EASY]");
+}
+
+// --------------------------- policy timeline -------------------------------
+
+TEST(PolicyTimeline, RecordsSwitches) {
+  std::vector<Job> jobs = {make_job(0, 1, 1000, 1000)};
+  for (int i = 0; i < 10; ++i) {
+    const Time len = 100.0 - 9.0 * i;
+    jobs.push_back(make_job(1 + i, 1, len, len));
+  }
+  const JobSet set(Machine{"m", 1}, std::move(jobs));
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.semantics = PlannerSemantics::kReplan;
+  const auto r = simulate(set, config);
+  ASSERT_EQ(r.policy_timeline.size(), r.switches);
+  Time prev = 0;
+  for (const auto& sw : r.policy_timeline) {
+    EXPECT_GE(sw.when, prev);
+    EXPECT_NE(sw.from, sw.to);
+    EXPECT_LT(sw.to, config.pool.size());
+    prev = sw.when;
+  }
+}
+
+TEST(PolicyTimeline, EmptyWithoutSwitches) {
+  const JobSet set(Machine{"m", 4}, {make_job(0, 1, 10, 10)});
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  const auto r = simulate(set, config);
+  EXPECT_TRUE(r.policy_timeline.empty());
+  EXPECT_EQ(r.switches, 0u);
+}
+
+}  // namespace
+}  // namespace dynp::core

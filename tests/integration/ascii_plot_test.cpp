@@ -1,0 +1,84 @@
+#include "exp/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::exp {
+namespace {
+
+using metrics::JobOutcome;
+
+[[nodiscard]] JobOutcome outcome(Time submit, Time start, Time run,
+                                 std::uint32_t width) {
+  JobOutcome o;
+  o.submit = submit;
+  o.start = start;
+  o.end = start + run;
+  o.width = width;
+  o.actual_runtime = run;
+  return o;
+}
+
+TEST(AsciiUtilization, EmptyOutcomes) {
+  EXPECT_EQ(render_utilization_ascii({}, 4), "(no jobs)\n");
+}
+
+TEST(AsciiUtilization, FullyBusyMachineFillsEveryColumn) {
+  // One job occupying the whole machine for the whole span.
+  const std::vector<JobOutcome> outs = {outcome(0, 0, 1000, 8)};
+  AsciiPlotOptions opt;
+  opt.columns = 20;
+  opt.rows = 4;
+  const std::string plot = render_utilization_ascii(outs, 8, opt);
+  // The top row (100% threshold) must be solid '#'.
+  const std::string first_line = plot.substr(0, plot.find('\n'));
+  EXPECT_EQ(first_line.substr(5), std::string(20, '#'));
+}
+
+TEST(AsciiUtilization, IdleMachineIsBlank) {
+  // 1 of 8 nodes busy: only rows at or below 12.5% fill.
+  const std::vector<JobOutcome> outs = {outcome(0, 0, 1000, 1)};
+  AsciiPlotOptions opt;
+  opt.columns = 10;
+  opt.rows = 4;  // thresholds 100/75/50/25%
+  const std::string plot = render_utilization_ascii(outs, 8, opt);
+  // No '#' anywhere (1/8 = 12.5% < lowest 25% threshold).
+  EXPECT_EQ(plot.find('#'), std::string::npos);
+}
+
+TEST(AsciiUtilization, HasTimeAxis) {
+  const std::vector<JobOutcome> outs = {outcome(0, 0, 500, 2),
+                                        outcome(100, 200, 500, 2)};
+  const std::string plot = render_utilization_ascii(outs, 4);
+  EXPECT_NE(plot.find("t=0"), std::string::npos);
+  EXPECT_NE(plot.find("t=700"), std::string::npos);
+}
+
+TEST(AsciiPolicyStrip, EmptyForStaticRuns) {
+  const workload::JobSet set = workload::generate(workload::kth_model(), 60, 3);
+  const auto r =
+      core::simulate(set, core::static_config(policies::PolicyKind::kFcfs));
+  EXPECT_TRUE(render_policy_strip_ascii(r, policies::paper_pool()).empty());
+}
+
+TEST(AsciiPolicyStrip, OneCharPerColumnForDynP) {
+  const workload::JobSet set = workload::generate(workload::kth_model(), 300, 3)
+                                   .with_shrinking_factor(0.7);
+  const auto r =
+      core::simulate(set, core::dynp_config(core::make_advanced_decider()));
+  AsciiPlotOptions opt;
+  opt.columns = 40;
+  const std::string strip =
+      render_policy_strip_ascii(r, policies::paper_pool(), opt);
+  ASSERT_FALSE(strip.empty());
+  // "pol |" + 40 chars + newline.
+  EXPECT_EQ(strip.size(), 5 + 40 + 1);
+  for (const char c : strip.substr(5, 40)) {
+    EXPECT_TRUE(c == 'F' || c == 'S' || c == 'L') << c;
+  }
+}
+
+}  // namespace
+}  // namespace dynp::exp

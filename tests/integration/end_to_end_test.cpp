@@ -1,0 +1,149 @@
+/// End-to-end property tests: run every scheduler configuration on generated
+/// workloads and check global invariants of the produced schedules.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/simulation.hpp"
+#include "exp/experiment.hpp"
+#include "workload/models.hpp"
+
+namespace dynp {
+namespace {
+
+using core::SimulationConfig;
+using core::SimulationResult;
+using policies::PolicyKind;
+
+[[nodiscard]] std::vector<SimulationConfig> all_configs() {
+  std::vector<SimulationConfig> configs = {
+      core::static_config(PolicyKind::kFcfs),
+      core::static_config(PolicyKind::kSjf),
+      core::static_config(PolicyKind::kLjf),
+      core::dynp_config(core::make_simple_decider()),
+      core::dynp_config(core::make_advanced_decider()),
+      core::dynp_config(exp::sjf_preferred_decider()),
+  };
+  // The same matrix under guarantee semantics...
+  const std::size_t base = configs.size();
+  for (std::size_t i = 0; i < base; ++i) {
+    SimulationConfig c = configs[i];
+    c.semantics = core::PlannerSemantics::kGuarantee;
+    configs.push_back(std::move(c));
+  }
+  // ...and the static policies under queueing/EASY.
+  for (const PolicyKind policy :
+       {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf}) {
+    SimulationConfig c = core::static_config(policy);
+    c.semantics = core::PlannerSemantics::kQueueingEasy;
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+/// Verifies that at no instant more nodes are used than the machine has, by
+/// sweeping the start/end events of all outcomes.
+void expect_no_oversubscription(const SimulationResult& r,
+                                std::uint32_t nodes) {
+  std::map<Time, std::int64_t> delta;
+  for (const auto& o : r.outcomes) {
+    delta[o.start] += o.width;
+    delta[o.end] -= o.width;
+  }
+  std::int64_t used = 0;
+  for (const auto& [t, d] : delta) {
+    used += d;
+    ASSERT_LE(used, static_cast<std::int64_t>(nodes)) << "at t=" << t;
+    ASSERT_GE(used, 0) << "at t=" << t;
+  }
+  ASSERT_EQ(used, 0);
+}
+
+class EndToEnd : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EndToEnd, ScheduleInvariantsHoldOnGeneratedWorkload) {
+  const auto models = workload::paper_models();
+  const workload::TraceModel model = models[1];  // KTH: small machine = dense
+  const workload::JobSet set =
+      workload::generate(model, 300, 1234).with_shrinking_factor(0.8);
+  const SimulationConfig config = all_configs()[GetParam()];
+  const SimulationResult r = core::simulate(set, config);
+
+  ASSERT_EQ(r.outcomes.size(), set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto& o = r.outcomes[i];
+    const auto& j = set[i];
+    // Every job ran: started no earlier than submitted, for its actual time.
+    EXPECT_GE(o.start, j.submit) << config.label() << " job " << i;
+    EXPECT_DOUBLE_EQ(o.end, o.start + j.actual_runtime);
+    EXPECT_EQ(o.width, j.width);
+  }
+  expect_no_oversubscription(r, set.machine().nodes);
+  EXPECT_GT(r.summary.utilization, 0.0);
+  EXPECT_LE(r.summary.utilization, 1.0);
+  EXPECT_GE(r.summary.sldwa, 1.0);
+}
+
+[[nodiscard]] std::string scheduler_name(
+    const ::testing::TestParamInfo<std::size_t>& info) {
+  static const char* kNames[] = {
+      "FCFS",          "SJF",          "LJF",
+      "dynPsimple",    "dynPadvanced", "dynPSJFpreferred",
+      "FCFSguarantee", "SJFguarantee", "LJFguarantee",
+      "dynPsimpleG",   "dynPadvancedG", "dynPSJFpreferredG",
+      "FCFSeasy",      "SJFeasy",      "LJFeasy"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, EndToEnd,
+                         ::testing::Range<std::size_t>(0, 15),
+                         scheduler_name);
+
+TEST(EndToEnd, HigherLoadNeverLowersUtilizationMuch) {
+  // Shrinking the interarrival times (more load) should raise utilisation
+  // monotonically up to saturation; allow slack for noise.
+  // LANL has the tightest runtime cap of the four traces (7 h), so 800 jobs
+  // give a long submission window relative to any single job and the
+  // utilisation signal is not dominated by a few giant jobs.
+  const workload::JobSet base = workload::generate(workload::lanl_model(), 800, 7);
+  double prev_util = 0;
+  for (const double factor : {1.0, 0.8, 0.6}) {
+    const auto r = core::simulate(base.with_shrinking_factor(factor),
+                                  core::static_config(PolicyKind::kFcfs));
+    EXPECT_GT(r.summary.utilization, prev_util - 0.03) << factor;
+    prev_util = r.summary.utilization;
+  }
+  // At factor 0.6 LANL offers ~1.05 load: the machine should be near-saturated.
+  EXPECT_GT(prev_util, 0.7);
+}
+
+TEST(EndToEnd, DynPWithSinglePolicyPoolMatchesStatic) {
+  const workload::JobSet set = workload::generate(workload::sdsc_model(), 200, 3);
+  core::SimulationConfig dynp = core::dynp_config(core::make_advanced_decider());
+  dynp.pool = {PolicyKind::kSjf};
+  dynp.initial_index = 0;
+  const auto a = core::simulate(set, dynp);
+  const auto b = core::simulate(set, core::static_config(PolicyKind::kSjf));
+  EXPECT_DOUBLE_EQ(a.summary.sldwa, b.summary.sldwa);
+  EXPECT_DOUBLE_EQ(a.summary.utilization, b.summary.utilization);
+  EXPECT_EQ(a.switches, 0u);
+}
+
+TEST(EndToEnd, PreferredDeciderWithHugeThresholdNeverLeavesPreferred) {
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 250, 9).with_shrinking_factor(0.7);
+  core::SimulationConfig config =
+      core::dynp_config(exp::sjf_preferred_decider(1e9));
+  const auto r = core::simulate(set, config);
+  // All decisions fall on SJF (pool index 1).
+  EXPECT_EQ(r.decisions_per_policy[0], 0u);
+  EXPECT_EQ(r.decisions_per_policy[2], 0u);
+  // And the outcome equals static SJF.
+  const auto sjf = core::simulate(set, core::static_config(PolicyKind::kSjf));
+  EXPECT_DOUBLE_EQ(r.summary.sldwa, sjf.summary.sldwa);
+}
+
+}  // namespace
+}  // namespace dynp

@@ -1,0 +1,131 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/paper_reference.hpp"
+#include "util/stats.hpp"
+
+namespace dynp::exp {
+namespace {
+
+TEST(PaperShrinkingFactors, MatchesPaperSweep) {
+  EXPECT_EQ(paper_shrinking_factors(),
+            (std::vector<double>{1.0, 0.9, 0.8, 0.7, 0.6}));
+}
+
+TEST(SweepRunner, BuildsEnsembleOfRequestedShape) {
+  const ExperimentScale scale{4, 50, 7};
+  const SweepRunner runner(workload::kth_model(), scale);
+  ASSERT_EQ(runner.ensemble().size(), 4u);
+  for (const auto& set : runner.ensemble()) {
+    EXPECT_EQ(set.size(), 50u);
+    EXPECT_EQ(set.machine().nodes, 100u);
+  }
+}
+
+TEST(SweepRunner, RunCombinesWithTrimming) {
+  const SweepRunner runner(workload::kth_model(), ExperimentScale{5, 120, 11});
+  const CombinedPoint p =
+      runner.run(1.0, core::static_config(policies::PolicyKind::kFcfs), 1);
+  ASSERT_EQ(p.sldwa_per_set.size(), 5u);
+  EXPECT_DOUBLE_EQ(
+      p.sldwa, util::trimmed_mean_drop_extremes(p.sldwa_per_set));
+  EXPECT_DOUBLE_EQ(p.utilization,
+                   util::trimmed_mean_drop_extremes(p.util_per_set));
+  EXPECT_GT(p.sldwa, 0.99);
+  EXPECT_GT(p.utilization, 0.0);
+  EXPECT_LE(p.utilization, 100.0);
+}
+
+TEST(SweepRunner, DeterministicAcrossInstances) {
+  const ExperimentScale scale{3, 80, 5};
+  const SweepRunner a(workload::sdsc_model(), scale);
+  const SweepRunner b(workload::sdsc_model(), scale);
+  const auto config = core::static_config(policies::PolicyKind::kSjf);
+  const CombinedPoint pa = a.run(0.8, config, 1);
+  const CombinedPoint pb = b.run(0.8, config, 1);
+  EXPECT_DOUBLE_EQ(pa.sldwa, pb.sldwa);
+  EXPECT_DOUBLE_EQ(pa.utilization, pb.utilization);
+}
+
+TEST(SweepRunner, ThreadCountDoesNotChangeResults) {
+  const SweepRunner runner(workload::kth_model(), ExperimentScale{4, 80, 3});
+  const auto config = core::dynp_config(core::make_advanced_decider());
+  const CombinedPoint serial = runner.run(0.9, config, 1);
+  const CombinedPoint parallel = runner.run(0.9, config, 4);
+  EXPECT_DOUBLE_EQ(serial.sldwa, parallel.sldwa);
+  EXPECT_DOUBLE_EQ(serial.utilization, parallel.utilization);
+}
+
+TEST(Deciders, SjfPreferredTargetsPoolIndexOne) {
+  const auto d = sjf_preferred_decider();
+  EXPECT_EQ(d->name(), "SJF-preferred");
+  // SJF ties the minimum -> chosen.
+  EXPECT_EQ(d->decide({{5, 5, 5}, 0}), 1u);
+}
+
+TEST(Deciders, PreferredForArbitraryPolicy) {
+  const auto pool = policies::paper_pool();
+  const auto d =
+      preferred_decider_for(policies::PolicyKind::kLjf, pool, 2.0);
+  EXPECT_EQ(d->name(), "LJF-preferred(2.0%)");
+  EXPECT_EQ(d->decide({{5, 5, 5}, 0}), 2u);
+  EXPECT_THROW(
+      (void)preferred_decider_for(policies::PolicyKind::kSaf, pool, 0.0),
+      std::invalid_argument);
+}
+
+TEST(PaperReference, TablesAreInternallyConsistent) {
+  // Table 3 is the per-trace average of Table 5's difference columns.
+  const auto& t5 = paper_table5();
+  const auto& t3 = paper_table3();
+  for (std::size_t t = 0; t < 4; ++t) {
+    double rel_adv = 0, rel_pref = 0, du_adv = 0, du_pref = 0;
+    for (const auto& row : t5[t].rows) {
+      rel_adv += row.rel_adv;
+      rel_pref += row.rel_pref;
+      du_adv += row.dutil_adv;
+      du_pref += row.dutil_pref;
+    }
+    EXPECT_NEAR(rel_adv / 5, t3[t].rel_adv, 0.02) << t5[t].name;
+    EXPECT_NEAR(rel_pref / 5, t3[t].rel_pref, 0.02) << t5[t].name;
+    EXPECT_NEAR(du_adv / 5, t3[t].dutil_adv, 0.02) << t5[t].name;
+    EXPECT_NEAR(du_pref / 5, t3[t].dutil_pref, 0.02) << t5[t].name;
+  }
+}
+
+TEST(PaperReference, Table5SjfColumnMatchesTable4) {
+  const auto& t4 = paper_table4();
+  const auto& t5 = paper_table5();
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t f = 0; f < 5; ++f) {
+      EXPECT_DOUBLE_EQ(t4[t].rows[f].sldwa_sjf, t5[t].rows[f].sldwa_sjf);
+      EXPECT_DOUBLE_EQ(t4[t].rows[f].util_sjf, t5[t].rows[f].util_sjf);
+    }
+  }
+}
+
+TEST(PaperReference, QualitativeShapeFacts) {
+  // Facts the paper's prose highlights; our benches are judged against the
+  // same shape, so pin them here.
+  const auto& t4 = paper_table4();
+  for (const auto& trace : t4) {
+    for (const auto& row : trace.rows) {
+      // LJF always achieves the highest utilisation of the three...
+      EXPECT_GE(row.util_ljf, row.util_fcfs) << trace.name;
+      EXPECT_GE(row.util_ljf, row.util_sjf) << trace.name;
+      // ...at the cost of the worst slowdown.
+      EXPECT_GE(row.sldwa_ljf, row.sldwa_fcfs) << trace.name;
+      EXPECT_GE(row.sldwa_ljf, row.sldwa_sjf) << trace.name;
+      // SJF has the lowest utilisation.
+      EXPECT_LE(row.util_sjf, row.util_fcfs) << trace.name;
+    }
+  }
+  // KTH: SJF is the best slowdown at every workload.
+  for (const auto& row : t4[1].rows) {
+    EXPECT_LE(row.sldwa_sjf, row.sldwa_fcfs);
+  }
+}
+
+}  // namespace
+}  // namespace dynp::exp

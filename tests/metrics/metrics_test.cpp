@@ -1,0 +1,242 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynp::metrics {
+namespace {
+
+[[nodiscard]] JobOutcome outcome(Time submit, Time start, Time run,
+                                 std::uint32_t width) {
+  JobOutcome o;
+  o.submit = submit;
+  o.start = start;
+  o.end = start + run;
+  o.width = width;
+  o.actual_runtime = run;
+  return o;
+}
+
+TEST(Slowdown, NoWaitIsOne) {
+  EXPECT_DOUBLE_EQ(slowdown(outcome(0, 0, 100, 1)), 1.0);
+}
+
+TEST(Slowdown, PaperExampleHalfSecondJob) {
+  // Paper §4.1: a 0.5 s job waiting 10 minutes has slowdown 1201.
+  // (Our default floor of 1 s would change this, so use floor 0.5.)
+  const JobOutcome o = outcome(0, 600, 0.5, 1);
+  EXPECT_DOUBLE_EQ(slowdown(o, 0.5), 600.5 / 0.5);
+}
+
+TEST(Slowdown, PaperExampleTwentySecondJob) {
+  // A 20 s job with the same 10-minute wait has slowdown 31.
+  const JobOutcome o = outcome(0, 600, 20, 1);
+  EXPECT_DOUBLE_EQ(slowdown(o), 620.0 / 20.0);
+}
+
+TEST(Slowdown, FloorGuardsZeroRuntime) {
+  const JobOutcome o = outcome(0, 100, 0, 1);
+  EXPECT_DOUBLE_EQ(slowdown(o), 100.0);  // response 100 / floor 1
+}
+
+TEST(BoundedSlowdown, ShortJobsCapped) {
+  // Feitelson s^60: runtime below 60 s is replaced by 60 s.
+  const JobOutcome o = outcome(0, 600, 0.5, 1);
+  EXPECT_DOUBLE_EQ(bounded_slowdown(o), 600.5 / 60.0);
+}
+
+TEST(BoundedSlowdown, NeverBelowOne) {
+  EXPECT_DOUBLE_EQ(bounded_slowdown(outcome(0, 0, 1, 1)), 1.0);
+}
+
+TEST(BoundedSlowdown, LongJobsUnaffected) {
+  const JobOutcome o = outcome(0, 100, 200, 1);
+  EXPECT_DOUBLE_EQ(bounded_slowdown(o), 300.0 / 200.0);
+}
+
+/// Deterministic pseudo-random outcomes with runtimes >= 1 s for the
+/// SLDwA/ARTwW identity test.
+void util_identity_jobs(std::vector<JobOutcome>& outs) {
+  std::uint64_t x = 12345;
+  const auto next = [&x] {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (x >> 33) % 1000;
+  };
+  for (int i = 0; i < 200; ++i) {
+    const Time submit = static_cast<Time>(next());
+    const Time wait = static_cast<Time>(next());
+    const Time run = static_cast<Time>(1 + next());
+    JobOutcome o;
+    o.id = static_cast<JobId>(i);
+    o.submit = submit;
+    o.start = submit + wait;
+    o.end = o.start + run;
+    o.actual_runtime = run;
+    o.width = static_cast<std::uint32_t>(1 + next() % 32);
+    outs.push_back(o);
+  }
+}
+
+TEST(Summarize, EmptyOutcomes) {
+  const ScheduleSummary s = summarize({}, 10);
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.sldwa, 0.0);
+  EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+}
+
+TEST(Summarize, SldwaWeightsByArea) {
+  // Paper §4.1 worked example: 0.5 s and 20 s single-node jobs, both waiting
+  // 600 s. Weighted contributions 600.5 and 620.
+  const std::vector<JobOutcome> outs = {outcome(0, 600, 0.5, 1),
+                                        outcome(0, 600, 20, 1)};
+  const ScheduleSummary s = summarize(outs, 10);
+  const double s1 = 600.5 / 1.0;  // floored runtime 1 s
+  const double s2 = 620.0 / 20.0;
+  const double expected = (0.5 * s1 + 20.0 * s2) / 20.5;
+  EXPECT_DOUBLE_EQ(s.sldwa, expected);
+}
+
+TEST(Summarize, UtilizationAndMakespan) {
+  // Two 4-node jobs of 100 s back to back on an 8-node machine, submitted at
+  // t=0 and t=50.
+  const std::vector<JobOutcome> outs = {outcome(0, 0, 100, 4),
+                                        outcome(50, 100, 100, 4)};
+  const ScheduleSummary s = summarize(outs, 8);
+  EXPECT_DOUBLE_EQ(s.makespan, 200.0);
+  EXPECT_DOUBLE_EQ(s.utilization_makespan, 800.0 / (8.0 * 200.0));
+  // Submission window [0, 50): only job 0 runs there, using 4 x 50.
+  EXPECT_DOUBLE_EQ(s.utilization, 200.0 / (8.0 * 50.0));
+}
+
+TEST(Summarize, UtilizationClipsJobsToSubmissionWindow) {
+  // Job started before the window closes but running far past it only
+  // counts its in-window share.
+  const std::vector<JobOutcome> outs = {outcome(0, 0, 1000, 2),
+                                        outcome(100, 100, 10, 2)};
+  const ScheduleSummary s = summarize(outs, 4);
+  // Window [0, 100): job 0 contributes 2*100, job 1 starts at the boundary.
+  EXPECT_DOUBLE_EQ(s.utilization, 200.0 / (4.0 * 100.0));
+}
+
+TEST(Summarize, SingleSubmitInstantGivesZeroUtilization) {
+  const std::vector<JobOutcome> outs = {outcome(0, 0, 100, 4),
+                                        outcome(0, 100, 100, 4)};
+  const ScheduleSummary s = summarize(outs, 8);
+  EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+  EXPECT_GT(s.utilization_makespan, 0.0);
+}
+
+TEST(Summarize, ResponseAndWaitAverages) {
+  const std::vector<JobOutcome> outs = {outcome(0, 10, 100, 1),
+                                        outcome(0, 30, 100, 1)};
+  const ScheduleSummary s = summarize(outs, 4);
+  EXPECT_DOUBLE_EQ(s.avg_wait, 20.0);
+  EXPECT_DOUBLE_EQ(s.avg_response, 120.0);
+  EXPECT_DOUBLE_EQ(s.max_wait, 30.0);
+}
+
+TEST(Summarize, PaperIdentitySldwaVsArtww) {
+  // §4.1: "The average slowdown weighted by job area is equal to the average
+  // response time weighted by job width" — per job, a_i * s_i = w_i * resp_i
+  // exactly, so SLDwA * sum(a) == ARTwW * sum(w). (Holds when no run time is
+  // floored, i.e. all actual run times >= 1 s.)
+  std::vector<JobOutcome> outs;
+  util_identity_jobs(outs);
+  const ScheduleSummary s = summarize(outs, 64);
+  double area = 0, width = 0;
+  for (const auto& o : outs) {
+    area += o.area();
+    width += o.width;
+  }
+  EXPECT_NEAR(s.sldwa * area, s.artww * width, 1e-6 * s.sldwa * area);
+}
+
+TEST(Summarize, ArtwwWeightsByWidth) {
+  const std::vector<JobOutcome> outs = {outcome(0, 0, 100, 1),
+                                        outcome(0, 0, 200, 3)};
+  const ScheduleSummary s = summarize(outs, 4);
+  EXPECT_DOUBLE_EQ(s.artww, (1.0 * 100 + 3.0 * 200) / 4.0);
+}
+
+// --- preview metrics ---
+
+[[nodiscard]] std::vector<workload::Job> preview_jobs() {
+  using workload::Job;
+  // job 0: submit 0, width 2, est 100; job 1: submit 50, width 1, est 200.
+  Job a;
+  a.id = 0;
+  a.submit = 0;
+  a.width = 2;
+  a.estimated_runtime = 100;
+  a.actual_runtime = 100;
+  Job b;
+  b.id = 1;
+  b.submit = 50;
+  b.width = 1;
+  b.estimated_runtime = 200;
+  b.actual_runtime = 200;
+  return {a, b};
+}
+
+TEST(PreviewMetric, EmptyScheduleScoresZero) {
+  for (const PreviewMetric m :
+       {PreviewMetric::kSldwa, PreviewMetric::kAvgResponse,
+        PreviewMetric::kAvgSlowdown, PreviewMetric::kBoundedSlowdown,
+        PreviewMetric::kArtww, PreviewMetric::kMaxCompletion}) {
+    EXPECT_DOUBLE_EQ(evaluate_preview(m, rms::Schedule{}, preview_jobs(), 10),
+                     0.0)
+        << name(m);
+  }
+}
+
+TEST(PreviewMetric, SldwaUsesEstimates) {
+  const auto jobs = preview_jobs();
+  // Planned: job 0 at t=100, job 1 at t=100 (now = 100).
+  const rms::Schedule sched(std::vector<rms::PlannedJob>{{0, 100}, {1, 100}});
+  // job 0: response = 100+100-0 = 200, sld = 2, area = 200.
+  // job 1: response = 100+200-50 = 250, sld = 1.25, area = 200.
+  const double expected = (200 * 2.0 + 200 * 1.25) / 400.0;
+  EXPECT_DOUBLE_EQ(
+      evaluate_preview(PreviewMetric::kSldwa, sched, jobs, 100), expected);
+}
+
+TEST(PreviewMetric, AvgResponse) {
+  const auto jobs = preview_jobs();
+  const rms::Schedule sched(std::vector<rms::PlannedJob>{{0, 100}, {1, 100}});
+  EXPECT_DOUBLE_EQ(
+      evaluate_preview(PreviewMetric::kAvgResponse, sched, jobs, 100),
+      (200.0 + 250.0) / 2.0);
+}
+
+TEST(PreviewMetric, MaxCompletionIsRelativeToNow) {
+  const auto jobs = preview_jobs();
+  const rms::Schedule sched(std::vector<rms::PlannedJob>{{0, 100}, {1, 150}});
+  // completions: 200 and 350; now = 100 -> 250.
+  EXPECT_DOUBLE_EQ(
+      evaluate_preview(PreviewMetric::kMaxCompletion, sched, jobs, 100),
+      250.0);
+}
+
+TEST(PreviewMetric, LowerIsBetterOrientation) {
+  // A schedule that delays both jobs scores strictly worse (higher) on every
+  // metric.
+  const auto jobs = preview_jobs();
+  const rms::Schedule good(std::vector<rms::PlannedJob>{{0, 100}, {1, 100}});
+  const rms::Schedule bad(std::vector<rms::PlannedJob>{{0, 500}, {1, 600}});
+  for (const PreviewMetric m :
+       {PreviewMetric::kSldwa, PreviewMetric::kAvgResponse,
+        PreviewMetric::kAvgSlowdown, PreviewMetric::kBoundedSlowdown,
+        PreviewMetric::kArtww, PreviewMetric::kMaxCompletion}) {
+    EXPECT_LT(evaluate_preview(m, good, jobs, 100),
+              evaluate_preview(m, bad, jobs, 100))
+        << name(m);
+  }
+}
+
+TEST(PreviewMetricNames, AllDistinct) {
+  EXPECT_STREQ(name(PreviewMetric::kSldwa), "SLDwA");
+  EXPECT_STREQ(name(PreviewMetric::kAvgResponse), "ART");
+  EXPECT_STREQ(name(PreviewMetric::kArtww), "ARTwW");
+}
+
+}  // namespace
+}  // namespace dynp::metrics

@@ -1,0 +1,117 @@
+#include "metrics/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::metrics {
+namespace {
+
+using workload::Job;
+using workload::JobSet;
+using workload::Machine;
+
+[[nodiscard]] Job make_job(Time submit, std::uint32_t width, Time est,
+                           Time act) {
+  Job j;
+  j.submit = submit;
+  j.width = width;
+  j.estimated_runtime = est;
+  j.actual_runtime = act;
+  return j;
+}
+
+[[nodiscard]] JobOutcome outcome_for(const Job& j, Time start) {
+  JobOutcome o;
+  o.id = j.id;
+  o.submit = j.submit;
+  o.start = start;
+  o.end = start + j.actual_runtime;
+  o.width = j.width;
+  o.actual_runtime = j.actual_runtime;
+  return o;
+}
+
+TEST(Validate, AcceptsAConsistentSchedule) {
+  const JobSet set(Machine{"m", 4},
+                   {make_job(0, 2, 100, 100), make_job(0, 2, 100, 100)});
+  const std::vector<JobOutcome> outs = {outcome_for(set[0], 0),
+                                        outcome_for(set[1], 0)};
+  EXPECT_TRUE(validate_outcomes(set, outs).ok());
+}
+
+TEST(Validate, FlagsStartBeforeSubmit) {
+  const JobSet set(Machine{"m", 4}, {make_job(50, 2, 100, 100)});
+  const std::vector<JobOutcome> outs = {outcome_for(set[0], 40)};
+  const auto report = validate_outcomes(set, outs);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind,
+            ValidationIssue::Kind::kStartBeforeSubmit);
+}
+
+TEST(Validate, FlagsWrongDuration) {
+  const JobSet set(Machine{"m", 4}, {make_job(0, 2, 100, 100)});
+  auto o = outcome_for(set[0], 0);
+  o.end = 50;  // should be 100
+  const auto report = validate_outcomes(set, {o});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].kind, ValidationIssue::Kind::kWrongDuration);
+}
+
+TEST(Validate, FlagsOversubscription) {
+  const JobSet set(Machine{"m", 4},
+                   {make_job(0, 3, 100, 100), make_job(0, 3, 100, 100)});
+  // Both run simultaneously: 6 > 4 nodes.
+  const std::vector<JobOutcome> outs = {outcome_for(set[0], 0),
+                                        outcome_for(set[1], 0)};
+  const auto report = validate_outcomes(set, outs);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& issue : report.issues) {
+    if (issue.kind == ValidationIssue::Kind::kOversubscribed) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, FlagsWidthMismatch) {
+  const JobSet set(Machine{"m", 4}, {make_job(0, 2, 100, 100)});
+  auto o = outcome_for(set[0], 0);
+  o.width = 1;
+  const auto report = validate_outcomes(set, {o});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].kind, ValidationIssue::Kind::kWidthMismatch);
+}
+
+TEST(Validate, FlagsMissingJobs) {
+  const JobSet set(Machine{"m", 4},
+                   {make_job(0, 1, 10, 10), make_job(1, 1, 10, 10)});
+  const std::vector<JobOutcome> outs = {outcome_for(set[0], 0)};
+  const auto report = validate_outcomes(set, outs);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].kind, ValidationIssue::Kind::kMissingJob);
+  EXPECT_EQ(report.issues[0].job, 1u);
+}
+
+TEST(Validate, EverySimulatorOutputValidates) {
+  const JobSet set = workload::generate(workload::sdsc_model(), 400, 17)
+                         .with_shrinking_factor(0.7);
+  for (const core::PlannerSemantics semantics :
+       {core::PlannerSemantics::kReplan, core::PlannerSemantics::kGuarantee,
+        core::PlannerSemantics::kQueueingEasy}) {
+    for (const auto policy :
+         {policies::PolicyKind::kFcfs, policies::PolicyKind::kSjf,
+          policies::PolicyKind::kLjf}) {
+      auto config = core::static_config(policy);
+      config.semantics = semantics;
+      const auto r = core::simulate(set, config);
+      const auto report = validate_outcomes(set, r.outcomes);
+      EXPECT_TRUE(report.ok())
+          << config.label() << ": "
+          << (report.issues.empty() ? "" : report.issues[0].detail);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynp::metrics

@@ -1,0 +1,98 @@
+#include "policies/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynp::policies {
+namespace {
+
+using workload::Job;
+
+[[nodiscard]] Job make_job(JobId id, Time submit, std::uint32_t width,
+                           Time est) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.width = width;
+  j.estimated_runtime = est;
+  j.actual_runtime = est;
+  return j;
+}
+
+class PolicyOrdering : public ::testing::Test {
+ protected:
+  // id:      0    1    2    3
+  // submit:  0   10   20   30
+  // est:    50  200   50   10
+  // width:   4    1    8    2
+  std::vector<Job> jobs_ = {make_job(0, 0, 4, 50), make_job(1, 10, 1, 200),
+                            make_job(2, 20, 8, 50), make_job(3, 30, 2, 10)};
+  std::vector<JobId> all_ = {0, 1, 2, 3};
+};
+
+TEST_F(PolicyOrdering, FcfsBySubmitTime) {
+  EXPECT_EQ(order(PolicyKind::kFcfs, {3, 1, 0, 2}, jobs_),
+            (std::vector<JobId>{0, 1, 2, 3}));
+}
+
+TEST_F(PolicyOrdering, SjfByEstimateThenSubmit) {
+  // est: 3(10) < 0(50) = 2(50) < 1(200); tie 0 vs 2 resolved by submit.
+  EXPECT_EQ(order(PolicyKind::kSjf, all_, jobs_),
+            (std::vector<JobId>{3, 0, 2, 1}));
+}
+
+TEST_F(PolicyOrdering, LjfByEstimateDescThenSubmit) {
+  EXPECT_EQ(order(PolicyKind::kLjf, all_, jobs_),
+            (std::vector<JobId>{1, 0, 2, 3}));
+}
+
+TEST_F(PolicyOrdering, SafBySmallestEstimatedArea) {
+  // areas: 0:200, 1:200, 2:400, 3:20 -> 3, then 0 vs 1 tie by submit.
+  EXPECT_EQ(order(PolicyKind::kSaf, all_, jobs_),
+            (std::vector<JobId>{3, 0, 1, 2}));
+}
+
+TEST_F(PolicyOrdering, WfByWidthDesc) {
+  EXPECT_EQ(order(PolicyKind::kWf, all_, jobs_),
+            (std::vector<JobId>{2, 0, 3, 1}));
+}
+
+TEST_F(PolicyOrdering, EmptyQueue) {
+  EXPECT_TRUE(order(PolicyKind::kSjf, {}, jobs_).empty());
+}
+
+TEST_F(PolicyOrdering, PrecedesIsStrictWeakOrdering) {
+  for (const PolicyKind kind :
+       {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf,
+        PolicyKind::kSaf, PolicyKind::kWf}) {
+    for (const Job& a : jobs_) {
+      EXPECT_FALSE(precedes(kind, a, a)) << name(kind);  // irreflexive
+      for (const Job& b : jobs_) {
+        if (a.id == b.id) continue;
+        // Totality via antisymmetry: exactly one direction holds (all keys
+        // are distinct after (submit, id) tie-breaking).
+        EXPECT_NE(precedes(kind, a, b), precedes(kind, b, a)) << name(kind);
+      }
+    }
+  }
+}
+
+TEST(PolicyNames, RoundTrip) {
+  for (const PolicyKind kind :
+       {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf,
+        PolicyKind::kSaf, PolicyKind::kWf}) {
+    EXPECT_EQ(policy_by_name(name(kind)), kind);
+  }
+  EXPECT_EQ(policy_by_name("fcfs"), PolicyKind::kFcfs);
+  EXPECT_THROW((void)policy_by_name("bogus"), std::invalid_argument);
+}
+
+TEST(PolicyPool, PaperPoolOrder) {
+  const auto pool = paper_pool();
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool[0], PolicyKind::kFcfs);
+  EXPECT_EQ(pool[1], PolicyKind::kSjf);
+  EXPECT_EQ(pool[2], PolicyKind::kLjf);
+}
+
+}  // namespace
+}  // namespace dynp::policies

@@ -1,0 +1,119 @@
+#include "rms/planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynp::rms {
+namespace {
+
+using workload::Job;
+
+[[nodiscard]] Job make_job(JobId id, Time submit, std::uint32_t width,
+                           Time est, Time act) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.width = width;
+  j.estimated_runtime = est;
+  j.actual_runtime = act;
+  return j;
+}
+
+TEST(Planner, EmptyQueueGivesEmptySchedule) {
+  const Schedule s = Planner::plan(8, 0, {}, {}, {});
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.starting_at(0).empty());
+}
+
+TEST(Planner, SingleJobStartsImmediately) {
+  const std::vector<Job> jobs = {make_job(0, 0, 4, 100, 50)};
+  const Schedule s = Planner::plan(8, 0, {}, {0}, jobs);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.entries()[0].start, 0.0);
+  EXPECT_EQ(s.starting_at(0), std::vector<JobId>{0});
+}
+
+TEST(Planner, RunningJobsBlockResources) {
+  const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100)};
+  const std::vector<RunningJob> running = {{99, 8, 500}};
+  const Schedule s = Planner::plan(8, 0, running, {0}, jobs);
+  // The machine is fully occupied until the running job's estimated end.
+  EXPECT_DOUBLE_EQ(s.entries()[0].start, 500.0);
+  EXPECT_TRUE(s.starting_at(0).empty());
+}
+
+TEST(Planner, RunningJobPastItsEstimateReservesNothing) {
+  const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100)};
+  // estimated_end == now: the reservation is empty, the waiting job plans now.
+  const std::vector<RunningJob> running = {{99, 8, 1000}};
+  const Schedule s = Planner::plan(8, 1000, running, {0}, jobs);
+  EXPECT_DOUBLE_EQ(s.entries()[0].start, 1000.0);
+}
+
+TEST(Planner, SequentialPackingWhenTooWideTogether) {
+  const std::vector<Job> jobs = {make_job(0, 0, 6, 100, 100),
+                                 make_job(1, 0, 6, 100, 100)};
+  const Schedule s = Planner::plan(8, 0, {}, {0, 1}, jobs);
+  EXPECT_DOUBLE_EQ(s.entries()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.entries()[1].start, 100.0);
+}
+
+TEST(Planner, ImplicitBackfilling) {
+  // Priority order: wide job first (cannot start until t=100), narrow short
+  // job second — it backfills into the idle nodes without delaying the wide
+  // job, exactly the "planning implies backfilling" property from the paper.
+  const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100),
+                                 make_job(1, 0, 2, 50, 50)};
+  const std::vector<RunningJob> running = {{99, 4, 100}};  // 4 busy until 100
+  const Schedule s = Planner::plan(8, 0, running, {0, 1}, jobs);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.entries()[0].start, 100.0);  // wide job waits
+  EXPECT_DOUBLE_EQ(s.entries()[1].start, 0.0);    // short job backfills now
+  EXPECT_EQ(s.starting_at(0), std::vector<JobId>{1});
+}
+
+TEST(Planner, BackfillNeverDelaysHigherPriorityJob) {
+  // The backfill candidate is too long for the hole, so it must go behind
+  // the wide job, not delay it.
+  const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100),
+                                 make_job(1, 0, 2, 500, 500)};
+  const std::vector<RunningJob> running = {{99, 4, 100}};
+  const Schedule s = Planner::plan(8, 0, running, {0, 1}, jobs);
+  EXPECT_DOUBLE_EQ(s.entries()[0].start, 100.0);
+  // Hole [0,100) is only 100 long; the 500-long job starts after the wide
+  // job completes (there are 0 free nodes left during [100, 200)).
+  EXPECT_DOUBLE_EQ(s.entries()[1].start, 200.0);
+}
+
+TEST(Planner, PlanNeverStartsBeforeNow) {
+  const std::vector<Job> jobs = {make_job(0, 0, 1, 10, 10)};
+  const Schedule s = Planner::plan(8, 12345, {}, {0}, jobs);
+  EXPECT_GE(s.entries()[0].start, 12345.0);
+}
+
+TEST(Planner, OrderDeterminesPlacement) {
+  const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100),
+                                 make_job(1, 0, 8, 50, 50)};
+  const Schedule forward = Planner::plan(8, 0, {}, {0, 1}, jobs);
+  const Schedule backward = Planner::plan(8, 0, {}, {1, 0}, jobs);
+  EXPECT_DOUBLE_EQ(forward.entries()[0].start, 0.0);    // job 0 first
+  EXPECT_DOUBLE_EQ(forward.entries()[1].start, 100.0);  // job 1 after
+  EXPECT_DOUBLE_EQ(backward.entries()[0].start, 0.0);   // job 1 first
+  EXPECT_DOUBLE_EQ(backward.entries()[1].start, 50.0);  // job 0 after
+}
+
+TEST(Planner, BaseProfileReflectsRunningJobs) {
+  const std::vector<RunningJob> running = {{1, 3, 100}, {2, 2, 200}};
+  const ResourceProfile p = Planner::base_profile(8, 0, running);
+  EXPECT_EQ(p.free_at(0), 3u);
+  EXPECT_EQ(p.free_at(150), 6u);
+  EXPECT_EQ(p.free_at(250), 8u);
+}
+
+TEST(Schedule, StartingAtFiltersByTime) {
+  const Schedule s(std::vector<PlannedJob>{{0, 10.0}, {1, 20.0}, {2, 10.0}});
+  EXPECT_EQ(s.starting_at(10), (std::vector<JobId>{0, 2}));
+  EXPECT_TRUE(s.starting_at(5).empty());
+}
+
+}  // namespace
+}  // namespace dynp::rms

@@ -1,0 +1,128 @@
+/// Property tests: the segment-based ResourceProfile must agree with a naive
+/// dense-array reference model under random workloads.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rms/profile.hpp"
+#include "util/rng.hpp"
+
+namespace dynp::rms {
+namespace {
+
+/// Brute-force reference: free capacity stored per integer second.
+class DenseProfile {
+ public:
+  DenseProfile(std::uint32_t capacity, std::size_t horizon)
+      : capacity_(capacity), free_(horizon, capacity) {}
+
+  void allocate(std::size_t start, std::size_t duration, std::uint32_t width) {
+    for (std::size_t t = start; t < start + duration && t < free_.size(); ++t) {
+      free_[t] -= width;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t free_at(std::size_t t) const {
+    return t < free_.size() ? free_[t] : capacity_;
+  }
+
+  [[nodiscard]] std::size_t earliest_start(std::size_t earliest,
+                                           std::uint32_t width,
+                                           std::size_t duration) const {
+    for (std::size_t s = earliest;; ++s) {
+      bool fits = true;
+      for (std::size_t t = s; t < s + duration; ++t) {
+        if (free_at(t) < width) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) return s;
+    }
+  }
+
+ private:
+  std::uint32_t capacity_;
+  std::vector<std::uint32_t> free_;
+};
+
+struct PropertyCase {
+  std::uint64_t seed;
+  std::uint32_t capacity;
+  int allocations;
+};
+
+class ProfileProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ProfileProperty, MatchesDenseReference) {
+  const PropertyCase param = GetParam();
+  util::Xoshiro256 rng(param.seed);
+  constexpr std::size_t kHorizon = 4000;
+
+  ResourceProfile profile(param.capacity);
+  DenseProfile dense(param.capacity, kHorizon);
+
+  for (int i = 0; i < param.allocations; ++i) {
+    const auto width = static_cast<std::uint32_t>(
+        1 + rng.next_below(param.capacity));
+    const auto duration = 1 + rng.next_below(60);
+    const auto earliest = rng.next_below(1000);
+
+    const Time got = profile.earliest_start(
+        static_cast<Time>(earliest), width, static_cast<Time>(duration));
+    const std::size_t want = dense.earliest_start(
+        static_cast<std::size_t>(earliest), width,
+        static_cast<std::size_t>(duration));
+    ASSERT_DOUBLE_EQ(got, static_cast<Time>(want))
+        << "alloc #" << i << " width=" << width << " dur=" << duration
+        << " earliest=" << earliest;
+
+    profile.allocate(got, static_cast<Time>(duration), width);
+    dense.allocate(want, static_cast<std::size_t>(duration), width);
+    ASSERT_TRUE(profile.invariants_ok());
+
+    // Spot-check free levels at random instants.
+    for (int probe = 0; probe < 8; ++probe) {
+      const std::size_t t = rng.next_below(kHorizon);
+      ASSERT_EQ(profile.free_at(static_cast<Time>(t)), dense.free_at(t))
+          << "probe at t=" << t << " after alloc #" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, ProfileProperty,
+    ::testing::Values(PropertyCase{1, 1, 60}, PropertyCase{2, 2, 80},
+                      PropertyCase{3, 7, 120}, PropertyCase{4, 16, 150},
+                      PropertyCase{5, 64, 150}, PropertyCase{6, 128, 200},
+                      PropertyCase{7, 3, 200}, PropertyCase{8, 1024, 150}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_cap" +
+             std::to_string(info.param.capacity);
+    });
+
+TEST(ProfilePropertyExtra, AllocateDeallocateRoundTripsToFlat) {
+  util::Xoshiro256 rng(77);
+  ResourceProfile profile(32);
+  struct Alloc {
+    Time start, dur;
+    std::uint32_t width;
+  };
+  std::vector<Alloc> allocs;
+  for (int i = 0; i < 100; ++i) {
+    const auto width = static_cast<std::uint32_t>(1 + rng.next_below(8));
+    const Time dur = static_cast<Time>(1 + rng.next_below(50));
+    const Time start =
+        profile.earliest_start(static_cast<Time>(rng.next_below(500)), width, dur);
+    profile.allocate(start, dur, width);
+    allocs.push_back({start, dur, width});
+  }
+  for (const Alloc& a : allocs) profile.deallocate(a.start, a.dur, a.width);
+  EXPECT_EQ(profile.segment_count(), 1u);
+  EXPECT_EQ(profile.free_at(0), 32u);
+  EXPECT_TRUE(profile.invariants_ok());
+}
+
+}  // namespace
+}  // namespace dynp::rms

@@ -1,0 +1,160 @@
+#include "rms/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynp::rms {
+namespace {
+
+TEST(ResourceProfile, FreshProfileIsFullyFree) {
+  const ResourceProfile p(64);
+  EXPECT_EQ(p.capacity(), 64u);
+  EXPECT_EQ(p.free_at(0), 64u);
+  EXPECT_EQ(p.free_at(1e9), 64u);
+  EXPECT_EQ(p.segment_count(), 1u);
+  EXPECT_TRUE(p.invariants_ok());
+}
+
+TEST(ResourceProfile, AllocateCarvesAnInterval) {
+  ResourceProfile p(10);
+  p.allocate(100, 50, 4);
+  EXPECT_EQ(p.free_at(99), 10u);
+  EXPECT_EQ(p.free_at(100), 6u);
+  EXPECT_EQ(p.free_at(149), 6u);
+  EXPECT_EQ(p.free_at(150), 10u);
+  EXPECT_TRUE(p.invariants_ok());
+}
+
+TEST(ResourceProfile, OverlappingAllocationsStack) {
+  ResourceProfile p(10);
+  p.allocate(0, 100, 3);
+  p.allocate(50, 100, 3);
+  EXPECT_EQ(p.free_at(25), 7u);
+  EXPECT_EQ(p.free_at(75), 4u);
+  EXPECT_EQ(p.free_at(125), 7u);
+  EXPECT_EQ(p.free_at(151), 10u);
+  EXPECT_TRUE(p.invariants_ok());
+}
+
+TEST(ResourceProfile, DeallocateRestores) {
+  ResourceProfile p(10);
+  p.allocate(10, 20, 5);
+  p.deallocate(10, 20, 5);
+  EXPECT_EQ(p.free_at(15), 10u);
+  EXPECT_EQ(p.segment_count(), 1u);
+  EXPECT_TRUE(p.invariants_ok());
+}
+
+TEST(ResourceProfile, ZeroDurationAllocateIsNoop) {
+  ResourceProfile p(10);
+  p.allocate(10, 0, 5);
+  EXPECT_EQ(p.free_at(10), 10u);
+  EXPECT_EQ(p.segment_count(), 1u);
+}
+
+TEST(ResourceProfile, AdjacentEqualSegmentsMerge) {
+  ResourceProfile p(10);
+  p.allocate(0, 10, 4);
+  p.allocate(10, 10, 4);  // same free level, adjacent
+  EXPECT_EQ(p.free_at(5), 6u);
+  EXPECT_EQ(p.free_at(15), 6u);
+  // One merged busy segment plus the free tail.
+  EXPECT_EQ(p.segment_count(), 2u);
+  EXPECT_TRUE(p.invariants_ok());
+}
+
+TEST(ResourceProfile, EarliestStartOnEmptyProfileIsRequestTime) {
+  const ResourceProfile p(8);
+  EXPECT_DOUBLE_EQ(p.earliest_start(123, 8, 1000), 123.0);
+}
+
+TEST(ResourceProfile, EarliestStartSkipsBusyInterval) {
+  ResourceProfile p(8);
+  p.allocate(0, 100, 8);  // machine fully busy until t=100
+  EXPECT_DOUBLE_EQ(p.earliest_start(0, 1, 10), 100.0);
+}
+
+TEST(ResourceProfile, EarliestStartFindsHole) {
+  ResourceProfile p(8);
+  p.allocate(0, 100, 6);    // 2 free until 100
+  p.allocate(100, 100, 8);  // full from 100 to 200
+  // A 2-wide 50s job fits in the first hole.
+  EXPECT_DOUBLE_EQ(p.earliest_start(0, 2, 50), 0.0);
+  // A 2-wide 150s job does not fit before 200 (hole too short).
+  EXPECT_DOUBLE_EQ(p.earliest_start(0, 2, 150), 200.0);
+  // A 4-wide job cannot use the first hole at all.
+  EXPECT_DOUBLE_EQ(p.earliest_start(0, 4, 10), 200.0);
+}
+
+TEST(ResourceProfile, EarliestStartWindowSpansSegments) {
+  ResourceProfile p(8);
+  p.allocate(0, 50, 6);   // 2 free in [0,50)
+  p.allocate(50, 50, 4);  // 4 free in [50,100)
+  // A width-2 job of 80s can start at 0: free >= 2 throughout [0,80).
+  EXPECT_DOUBLE_EQ(p.earliest_start(0, 2, 80), 0.0);
+  // A width-3 job must wait for t=50.
+  EXPECT_DOUBLE_EQ(p.earliest_start(0, 3, 10), 50.0);
+}
+
+TEST(ResourceProfile, EarliestStartRespectsEarliestBound) {
+  ResourceProfile p(8);
+  EXPECT_DOUBLE_EQ(p.earliest_start(500, 4, 10), 500.0);
+}
+
+TEST(ResourceProfile, AllocateAtQueryResultAlwaysFits) {
+  ResourceProfile p(16);
+  p.allocate(0, 100, 10);
+  p.allocate(30, 200, 4);
+  const Time s = p.earliest_start(0, 8, 60);
+  p.allocate(s, 60, 8);  // asserts internally if it does not fit
+  EXPECT_TRUE(p.invariants_ok());
+}
+
+TEST(ResourceProfile, FullWidthJobSerializesMachine) {
+  ResourceProfile p(4);
+  p.allocate(0, 10, 4);
+  EXPECT_DOUBLE_EQ(p.earliest_start(0, 1, 1), 10.0);
+  EXPECT_EQ(p.free_at(5), 0u);
+}
+
+TEST(ResourceProfile, TrimBeforeDropsPastStructure) {
+  ResourceProfile p(8);
+  p.allocate(0, 10, 2);    // wholly in the past after trim
+  p.allocate(20, 30, 4);   // spans the trim point
+  p.trim_before(25);
+  // Past segments gone; the state at and after 25 is intact.
+  EXPECT_EQ(p.free_at(25), 4u);
+  EXPECT_EQ(p.free_at(49), 4u);
+  EXPECT_EQ(p.free_at(50), 8u);
+  EXPECT_LE(p.segment_count(), 2u);
+  EXPECT_TRUE(p.invariants_ok());
+}
+
+TEST(ResourceProfile, TrimBeforeOriginIsNoop) {
+  ResourceProfile p(8);
+  p.allocate(10, 10, 3);
+  const std::size_t segments = p.segment_count();
+  p.trim_before(0);
+  EXPECT_EQ(p.segment_count(), segments);
+  EXPECT_EQ(p.free_at(15), 5u);
+}
+
+TEST(ResourceProfile, TrimThenAllocateStillWorks) {
+  ResourceProfile p(4);
+  p.allocate(0, 100, 4);
+  p.trim_before(50);
+  EXPECT_DOUBLE_EQ(p.earliest_start(50, 2, 10), 100.0);
+  p.deallocate(50, 50, 4);  // early finish frees the remaining tail
+  EXPECT_DOUBLE_EQ(p.earliest_start(50, 2, 10), 50.0);
+  EXPECT_TRUE(p.invariants_ok());
+}
+
+TEST(ResourceProfile, NonZeroOrigin) {
+  ResourceProfile p(4, 1000);
+  EXPECT_EQ(p.free_at(1000), 4u);
+  EXPECT_DOUBLE_EQ(p.earliest_start(500, 2, 10), 1000.0);
+  p.allocate(1000, 10, 4);
+  EXPECT_DOUBLE_EQ(p.earliest_start(1000, 1, 1), 1010.0);
+}
+
+}  // namespace
+}  // namespace dynp::rms

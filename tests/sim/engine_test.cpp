@@ -1,0 +1,84 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dynp::sim {
+namespace {
+
+/// Records every event it sees; optionally schedules follow-ups.
+class Recorder : public Process {
+ public:
+  explicit Recorder(Engine& engine) : engine_(&engine) {}
+
+  void handle(const Event& event) override {
+    seen.push_back(event);
+    times.push_back(engine_->now());
+    if (chain_depth > 0) {
+      --chain_depth;
+      engine_->schedule(engine_->now() + 5, EventKind::kFinish, event.job);
+    }
+  }
+
+  std::vector<Event> seen;
+  std::vector<Time> times;
+  int chain_depth = 0;
+
+ private:
+  Engine* engine_;
+};
+
+TEST(Engine, StartsAtTimeZero) {
+  const Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.processed(), 0u);
+}
+
+TEST(Engine, DispatchesInOrderAndAdvancesClock) {
+  Engine engine;
+  Recorder rec(engine);
+  engine.schedule(10, EventKind::kSubmit, 1);
+  engine.schedule(5, EventKind::kSubmit, 0);
+  engine.run(rec);
+  ASSERT_EQ(rec.seen.size(), 2u);
+  EXPECT_EQ(rec.seen[0].job, 0u);
+  EXPECT_EQ(rec.seen[1].job, 1u);
+  EXPECT_DOUBLE_EQ(rec.times[0], 5.0);
+  EXPECT_DOUBLE_EQ(rec.times[1], 10.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+  EXPECT_EQ(engine.processed(), 2u);
+}
+
+TEST(Engine, HandlerMaySchedule) {
+  Engine engine;
+  Recorder rec(engine);
+  rec.chain_depth = 3;
+  engine.schedule(0, EventKind::kSubmit, 42);
+  engine.run(rec);
+  // 1 seed + 3 chained events at t = 5, 10, 15.
+  ASSERT_EQ(rec.seen.size(), 4u);
+  EXPECT_DOUBLE_EQ(engine.now(), 15.0);
+}
+
+TEST(Engine, RunBoundedStopsAtLimit) {
+  Engine engine;
+  Recorder rec(engine);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    engine.schedule(static_cast<Time>(i), EventKind::kSubmit, i);
+  }
+  EXPECT_FALSE(engine.run_bounded(rec, 4));
+  EXPECT_EQ(rec.seen.size(), 4u);
+  EXPECT_TRUE(engine.run_bounded(rec, 100));
+  EXPECT_EQ(rec.seen.size(), 10u);
+}
+
+TEST(Engine, RunOnEmptyCalendarReturnsImmediately) {
+  Engine engine;
+  Recorder rec(engine);
+  engine.run(rec);
+  EXPECT_TRUE(rec.seen.empty());
+}
+
+}  // namespace
+}  // namespace dynp::sim

@@ -1,0 +1,80 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynp::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  const EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(30, EventKind::kSubmit, 3);
+  q.push(10, EventKind::kSubmit, 1);
+  q.push(20, EventKind::kSubmit, 2);
+  EXPECT_EQ(q.pop().job, 1u);
+  EXPECT_EQ(q.pop().job, 2u);
+  EXPECT_EQ(q.pop().job, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FinishBeforeSubmitAtEqualTime) {
+  EventQueue q;
+  q.push(10, EventKind::kSubmit, 1);
+  q.push(10, EventKind::kFinish, 2);
+  const Event first = q.pop();
+  EXPECT_EQ(first.kind, EventKind::kFinish);
+  EXPECT_EQ(first.job, 2u);
+  EXPECT_EQ(q.pop().kind, EventKind::kSubmit);
+}
+
+TEST(EventQueue, FifoAmongFullTies) {
+  EventQueue q;
+  q.push(5, EventKind::kSubmit, 10);
+  q.push(5, EventKind::kSubmit, 11);
+  q.push(5, EventKind::kSubmit, 12);
+  EXPECT_EQ(q.pop().job, 10u);
+  EXPECT_EQ(q.pop().job, 11u);
+  EXPECT_EQ(q.pop().job, 12u);
+}
+
+TEST(EventQueue, TopDoesNotRemove) {
+  EventQueue q;
+  q.push(1, EventKind::kSubmit, 7);
+  EXPECT_EQ(q.top().job, 7u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  q.push(10, EventKind::kSubmit, 1);
+  q.push(40, EventKind::kSubmit, 4);
+  EXPECT_EQ(q.pop().job, 1u);
+  // Pushing at the current (last-popped) time is allowed.
+  q.push(10, EventKind::kFinish, 2);
+  q.push(20, EventKind::kSubmit, 3);
+  EXPECT_EQ(q.pop().job, 2u);
+  EXPECT_EQ(q.pop().job, 3u);
+  EXPECT_EQ(q.pop().job, 4u);
+}
+
+TEST(EventQueue, ManyEventsComeOutSorted) {
+  EventQueue q;
+  // Deterministic pseudo-shuffle of times.
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    q.push(static_cast<Time>((i * 7919) % 1009), EventKind::kSubmit, i);
+  }
+  Time last = -1;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+}  // namespace
+}  // namespace dynp::sim

@@ -1,0 +1,73 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynp::util {
+namespace {
+
+[[nodiscard]] bool parse(CliParser& cli, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return cli.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliParser, DefaultsApplyWithoutArguments) {
+  CliParser cli("test");
+  cli.add_option("jobs", "100", "n jobs");
+  cli.add_flag("full", "full scale");
+  EXPECT_TRUE(parse(cli, {}));
+  EXPECT_EQ(cli.get("jobs"), "100");
+  EXPECT_EQ(cli.get_int("jobs"), 100);
+  EXPECT_FALSE(cli.get_flag("full"));
+}
+
+TEST(CliParser, SpaceSeparatedValue) {
+  CliParser cli("test");
+  cli.add_option("jobs", "100", "n jobs");
+  EXPECT_TRUE(parse(cli, {"--jobs", "250"}));
+  EXPECT_EQ(cli.get_int("jobs"), 250);
+}
+
+TEST(CliParser, EqualsSeparatedValue) {
+  CliParser cli("test");
+  cli.add_option("factor", "1.0", "shrinking factor");
+  EXPECT_TRUE(parse(cli, {"--factor=0.7"}));
+  EXPECT_DOUBLE_EQ(cli.get_double("factor"), 0.7);
+}
+
+TEST(CliParser, FlagPresenceSetsTrue) {
+  CliParser cli("test");
+  cli.add_flag("quick", "quick mode");
+  EXPECT_TRUE(parse(cli, {"--quick"}));
+  EXPECT_TRUE(cli.get_flag("quick"));
+}
+
+TEST(CliParser, UnknownOptionFails) {
+  CliParser cli("test");
+  EXPECT_FALSE(parse(cli, {"--nope"}));
+}
+
+TEST(CliParser, MissingValueFails) {
+  CliParser cli("test");
+  cli.add_option("jobs", "100", "n jobs");
+  EXPECT_FALSE(parse(cli, {"--jobs"}));
+}
+
+TEST(CliParser, PositionalArgumentFails) {
+  CliParser cli("test");
+  EXPECT_FALSE(parse(cli, {"stray"}));
+}
+
+TEST(CliParser, HelpReturnsFalseAndListsOptions) {
+  CliParser cli("my tool");
+  cli.add_option("jobs", "100", "number of jobs");
+  EXPECT_FALSE(parse(cli, {"--help"}));
+  const std::string h = cli.help();
+  EXPECT_NE(h.find("my tool"), std::string::npos);
+  EXPECT_NE(h.find("--jobs"), std::string::npos);
+  EXPECT_NE(h.find("number of jobs"), std::string::npos);
+  EXPECT_NE(h.find("default: 100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynp::util

@@ -1,0 +1,129 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace dynp::util {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(UniformReal, RangeAndMean) {
+  Xoshiro256 rng(1);
+  const UniformReal dist(2.0, 6.0);
+  OnlineStats s;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = dist.sample(rng);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LT(x, 6.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 4.0, 0.02);
+}
+
+TEST(Exponential, MeanMatches) {
+  Xoshiro256 rng(2);
+  const Exponential dist(250.0);
+  OnlineStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(dist.sample(rng));
+  EXPECT_NEAR(s.mean(), 250.0, 250.0 * 0.02);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(s.stddev(), 250.0, 250.0 * 0.05);
+}
+
+TEST(Exponential, AlwaysNonNegative) {
+  Xoshiro256 rng(3);
+  const Exponential dist(1.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(dist.sample(rng), 0.0);
+}
+
+TEST(Lognormal, FromMeanCvMatchesTargets) {
+  Xoshiro256 rng(4);
+  const double mean = 10000, cv = 1.5;
+  const Lognormal dist = Lognormal::from_mean_cv(mean, cv);
+  EXPECT_NEAR(dist.mean(), mean, 1e-6);
+  OnlineStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(dist.sample(rng));
+  EXPECT_NEAR(s.mean(), mean, mean * 0.05);
+  EXPECT_NEAR(s.stddev() / s.mean(), cv, cv * 0.1);
+}
+
+TEST(Lognormal, StrictlyPositive) {
+  Xoshiro256 rng(5);
+  const Lognormal dist = Lognormal::from_mean_cv(1.0, 3.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(dist.sample(rng), 0.0);
+}
+
+TEST(Lognormal, StandardNormalMoments) {
+  Xoshiro256 rng(6);
+  OnlineStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(Lognormal::standard_normal(rng));
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(HyperExponential, MixtureMean) {
+  Xoshiro256 rng(7);
+  const HyperExponential dist(0.3, 5.0, 1000.0);
+  EXPECT_NEAR(dist.mean(), 0.3 * 5 + 0.7 * 1000, 1e-9);
+  OnlineStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(dist.sample(rng));
+  EXPECT_NEAR(s.mean(), dist.mean(), dist.mean() * 0.03);
+}
+
+TEST(HyperExponential, DegenerateBranchProbabilities) {
+  Xoshiro256 rng(8);
+  const HyperExponential all_first(1.0, 10.0, 1000.0);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(all_first.sample(rng));
+  EXPECT_NEAR(s.mean(), 10.0, 0.5);
+}
+
+TEST(DiscreteValues, SinglePoint) {
+  Xoshiro256 rng(9);
+  const DiscreteValues dist({{42.0, 1.0}});
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(dist.sample(rng), 42.0);
+}
+
+TEST(DiscreteValues, WeightsRespected) {
+  Xoshiro256 rng(10);
+  const DiscreteValues dist({{1.0, 0.7}, {2.0, 0.2}, {3.0, 0.1}});
+  std::array<int, 4> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(dist.sample(rng))];
+  }
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.7, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.2, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kN), 0.1, 0.01);
+}
+
+TEST(DiscreteValues, ZeroWeightValueNeverSampled) {
+  Xoshiro256 rng(11);
+  const DiscreteValues dist({{1.0, 1.0}, {99.0, 0.0}});
+  for (int i = 0; i < 10000; ++i) EXPECT_DOUBLE_EQ(dist.sample(rng), 1.0);
+}
+
+TEST(Bounded, SamplesStayInBounds) {
+  Xoshiro256 rng(12);
+  const Bounded<Lognormal> dist(Lognormal::from_mean_cv(100.0, 2.0), 20.0,
+                                500.0);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = dist.sample(rng);
+    ASSERT_GE(x, 20.0);
+    ASSERT_LE(x, 500.0);
+  }
+}
+
+TEST(Bounded, DegenerateIntervalClampsEverything) {
+  Xoshiro256 rng(13);
+  const Bounded<Exponential> dist(Exponential(100.0), 50.0, 50.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_DOUBLE_EQ(dist.sample(rng), 50.0);
+}
+
+}  // namespace
+}  // namespace dynp::util

@@ -1,0 +1,88 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dynp::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, Determinism) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanIsHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowStaysInRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  std::array<int, 8> counts{};
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.next_below(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kN / 8.0, kN * 0.01);
+  }
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~0ULL);
+}
+
+TEST(DeriveSeed, DistinctStreamsForDistinctLabels) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      seeds.insert(derive_seed(42, a, b));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 64u);
+}
+
+TEST(DeriveSeed, DeterministicInAllArguments) {
+  EXPECT_EQ(derive_seed(1, 2, 3, 4), derive_seed(1, 2, 3, 4));
+  EXPECT_NE(derive_seed(1, 2, 3, 4), derive_seed(2, 2, 3, 4));
+  EXPECT_NE(derive_seed(1, 2, 3, 4), derive_seed(1, 3, 3, 4));
+  EXPECT_NE(derive_seed(1, 2, 3, 4), derive_seed(1, 2, 4, 4));
+  EXPECT_NE(derive_seed(1, 2, 3, 4), derive_seed(1, 2, 3, 5));
+}
+
+}  // namespace
+}  // namespace dynp::util

@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dynp::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleObservation) {
+  OnlineStats s;
+  s.add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Xoshiro256 rng(123);
+  OnlineStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100 - 50;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(TrimmedMean, DropsOneMinAndOneMax) {
+  // The paper's rule: 10 sets, drop min and max, average remaining 8.
+  const std::vector<double> values = {5, 1, 9, 5, 5, 5, 5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes(values), 5.0);
+}
+
+TEST(TrimmedMean, SmallInputsFallBackToMean) {
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({}), 0.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({2.0, 4.0}), 3.0);
+}
+
+TEST(TrimmedMean, ThreeValuesKeepsMiddle) {
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({10.0, 2.0, 30.0}), 10.0);
+}
+
+TEST(TrimmedMean, DuplicatedExtremesDropOnlyOneEach) {
+  // min=1 appears twice: only one copy is dropped.
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({1, 1, 4, 9}), (1.0 + 4.0) / 2);
+}
+
+TEST(Quantile, EdgeCases) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.5), 3.0);
+}
+
+}  // namespace
+}  // namespace dynp::util

@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dynp::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.set_header({"name", "value"}, {Align::kLeft, Align::kRight});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsColumnsToWidestCell) {
+  TextTable t;
+  t.set_header({"c1", "c2"});
+  t.add_row({"x", "longvalue"});
+  std::istringstream lines(t.to_string());
+  std::string first, second;
+  std::getline(lines, first);
+  std::getline(lines, second);
+  EXPECT_EQ(first.size(), second.size());
+}
+
+TEST(TextTable, RaggedRowsArePadded) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW({ (void)t.to_string(); });
+}
+
+TEST(TextTable, RuleRows) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.to_string();
+  // 1 header rule + 1 explicit rule.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("-\n", pos)) != std::string::npos) {
+    ++rules;
+    ++pos;
+  }
+  EXPECT_GE(rules, 2u);
+}
+
+TEST(TextTable, EmptyRendersNothing) {
+  const TextTable t;
+  EXPECT_TRUE(t.to_string().empty());
+}
+
+TEST(FmtFixed, Decimals) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(79302), "79,302");
+  EXPECT_EQ(fmt_count(201387), "201,387");
+  EXPECT_EQ(fmt_count(-12345), "-12,345");
+}
+
+TEST(FmtSigned, ExplicitPlus) {
+  EXPECT_EQ(fmt_signed(1.5, 2), "+1.50");
+  EXPECT_EQ(fmt_signed(-0.72, 2), "-0.72");
+  EXPECT_EQ(fmt_signed(0.0, 2), "+0.00");
+}
+
+TEST(CsvWriter, RendersHeaderAndNumericRows) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row(std::vector<double>{1.0, 2.5});
+  csv.add_row(std::vector<std::string>{"a", "b"});
+  std::ostringstream oss;
+  csv.render(oss);
+  EXPECT_EQ(oss.str(), "x,y\n1,2.5\na,b\n");
+}
+
+}  // namespace
+}  // namespace dynp::util

@@ -1,0 +1,116 @@
+#include "workload/feitelson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "workload/trace_stats.hpp"
+
+namespace dynp::workload {
+namespace {
+
+TEST(Feitelson, Deterministic) {
+  const FeitelsonParams params;
+  const JobSet a = generate_feitelson(params, 500, 7);
+  const JobSet b = generate_feitelson(params, 500, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].submit, b[i].submit);
+    EXPECT_EQ(a[i].width, b[i].width);
+    EXPECT_DOUBLE_EQ(a[i].actual_runtime, b[i].actual_runtime);
+  }
+}
+
+TEST(Feitelson, RequestedJobCount) {
+  EXPECT_EQ(generate_feitelson({}, 777, 3).size(), 777u);
+  EXPECT_EQ(generate_feitelson({}, 1, 3).size(), 1u);
+}
+
+TEST(Feitelson, PlanningContractHolds) {
+  const JobSet set = generate_feitelson({}, 3000, 11);
+  for (const Job& job : set.jobs()) {
+    ASSERT_TRUE(job.valid());
+    ASSERT_GE(job.actual_runtime, 1.0);
+    ASSERT_LE(job.width, set.machine().nodes);
+    // Estimates are minute-granular and cover the actual.
+    EXPECT_GE(job.estimated_runtime, job.actual_runtime);
+  }
+}
+
+TEST(Feitelson, PowersOfTwoDominateWidths) {
+  const JobSet set = generate_feitelson({}, 20000, 5);
+  std::size_t pow2 = 0;
+  for (const Job& job : set.jobs()) {
+    if ((job.width & (job.width - 1)) == 0) ++pow2;
+  }
+  // p_power_of_two = 0.75 plus the uniform branch occasionally hitting one.
+  EXPECT_GT(static_cast<double>(pow2) / static_cast<double>(set.size()), 0.7);
+}
+
+TEST(Feitelson, MeanRuntimeOnTarget) {
+  FeitelsonParams params;
+  params.mean_runtime = 4000;
+  const TraceStats s = compute_stats(generate_feitelson(params, 30000, 9));
+  EXPECT_NEAR(s.actual_runtime.mean(), 4000, 4000 * 0.08);
+}
+
+TEST(Feitelson, RepetitionProducesIdenticalBodies) {
+  FeitelsonParams params;
+  params.repeat_prob = 0.9;  // long rerun chains
+  const JobSet set = generate_feitelson(params, 2000, 13);
+  // Count (width, actual) bodies appearing more than once.
+  std::map<std::pair<std::uint32_t, double>, int> bodies;
+  for (const Job& job : set.jobs()) {
+    ++bodies[{job.width, job.actual_runtime}];
+  }
+  std::size_t repeated = 0;
+  for (const auto& [body, count] : bodies) {
+    if (count > 1) repeated += static_cast<std::size_t>(count);
+  }
+  EXPECT_GT(static_cast<double>(repeated) / static_cast<double>(set.size()),
+            0.5);
+}
+
+TEST(Feitelson, NoRepetitionWhenProbZero) {
+  FeitelsonParams params;
+  params.repeat_prob = 0.0;
+  params.mean_interarrival = 100;
+  const JobSet set = generate_feitelson(params, 300, 17);
+  // Interarrival count == n-1 and strictly increasing blocks are plausible;
+  // mainly: distinct submits dominate (Poisson arrivals, second-rounded).
+  const TraceStats s = compute_stats(set);
+  EXPECT_NEAR(s.interarrival.mean(), 100, 25);
+}
+
+TEST(Feitelson, WiderJobsRunLongerOnAverage) {
+  FeitelsonParams params;
+  params.runtime_width_exponent = 0.5;
+  const JobSet set = generate_feitelson(params, 30000, 19);
+  double narrow_sum = 0, wide_sum = 0;
+  std::size_t narrow_n = 0, wide_n = 0;
+  for (const Job& job : set.jobs()) {
+    if (job.width <= 4) {
+      narrow_sum += job.actual_runtime;
+      ++narrow_n;
+    } else if (job.width >= 32) {
+      wide_sum += job.actual_runtime;
+      ++wide_n;
+    }
+  }
+  ASSERT_GT(narrow_n, 100u);
+  ASSERT_GT(wide_n, 100u);
+  EXPECT_GT(wide_sum / static_cast<double>(wide_n),
+            narrow_sum / static_cast<double>(narrow_n));
+}
+
+TEST(Feitelson, WholeSecondTimestamps) {
+  const JobSet set = generate_feitelson({}, 1000, 23);
+  for (const Job& job : set.jobs()) {
+    EXPECT_DOUBLE_EQ(job.submit, std::round(job.submit));
+    EXPECT_DOUBLE_EQ(job.actual_runtime, std::round(job.actual_runtime));
+  }
+}
+
+}  // namespace
+}  // namespace dynp::workload

@@ -1,0 +1,143 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynp::workload {
+namespace {
+
+[[nodiscard]] Job make_job(Time submit, std::uint32_t width, Time est,
+                           Time act) {
+  Job j;
+  j.submit = submit;
+  j.width = width;
+  j.estimated_runtime = est;
+  j.actual_runtime = act;
+  return j;
+}
+
+TEST(Job, AreaDefinitions) {
+  const Job j = make_job(0, 4, 100, 60);
+  EXPECT_DOUBLE_EQ(j.area(), 240.0);
+  EXPECT_DOUBLE_EQ(j.estimated_area(), 400.0);
+}
+
+TEST(Job, ValidityContract) {
+  EXPECT_TRUE(make_job(0, 1, 10, 10).valid());
+  EXPECT_TRUE(make_job(5, 2, 10, 3).valid());
+  // Actual exceeding the estimate violates the planning contract.
+  EXPECT_FALSE(make_job(0, 1, 10, 11).valid());
+  EXPECT_FALSE(make_job(-1, 1, 10, 5).valid());
+  EXPECT_FALSE(make_job(0, 0, 10, 5).valid());
+}
+
+TEST(JobSet, SortsBySubmitAndReassignsIds) {
+  std::vector<Job> jobs = {make_job(50, 1, 10, 5), make_job(10, 2, 20, 20),
+                           make_job(30, 1, 5, 5)};
+  const JobSet set(Machine{"m", 4}, std::move(jobs));
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set[0].submit, 10);
+  EXPECT_DOUBLE_EQ(set[1].submit, 30);
+  EXPECT_DOUBLE_EQ(set[2].submit, 50);
+  for (JobId i = 0; i < 3; ++i) EXPECT_EQ(set[i].id, i);
+}
+
+TEST(JobSet, StableOrderForEqualSubmitTimes) {
+  std::vector<Job> jobs = {make_job(10, 1, 100, 50), make_job(10, 2, 200, 60)};
+  const JobSet set(Machine{"m", 4}, std::move(jobs));
+  EXPECT_EQ(set[0].width, 1u);
+  EXPECT_EQ(set[1].width, 2u);
+}
+
+TEST(JobSet, ShrinkingFactorScalesSubmitOnly) {
+  std::vector<Job> jobs = {make_job(0, 1, 10, 5), make_job(100, 2, 20, 10)};
+  const JobSet base(Machine{"m", 4}, std::move(jobs));
+  const JobSet shrunk = base.with_shrinking_factor(0.6);
+  ASSERT_EQ(shrunk.size(), 2u);
+  EXPECT_DOUBLE_EQ(shrunk[1].submit, 60.0);
+  EXPECT_DOUBLE_EQ(shrunk[1].estimated_runtime, 20.0);
+  EXPECT_DOUBLE_EQ(shrunk[1].actual_runtime, 10.0);
+  EXPECT_EQ(shrunk[1].width, 2u);
+  // Factor 1.0 is the identity.
+  const JobSet same = base.with_shrinking_factor(1.0);
+  EXPECT_DOUBLE_EQ(same[1].submit, 100.0);
+}
+
+TEST(JobSet, ShrinkingPreservesTotalArea) {
+  std::vector<Job> jobs = {make_job(0, 3, 10, 7), make_job(40, 2, 30, 30)};
+  const JobSet base(Machine{"m", 8}, std::move(jobs));
+  EXPECT_DOUBLE_EQ(base.with_shrinking_factor(0.7).total_area(),
+                   base.total_area());
+}
+
+TEST(JobSet, RuntimeScalingScalesBothRuntimes) {
+  std::vector<Job> jobs = {make_job(0, 2, 100, 40), make_job(10, 1, 60, 60)};
+  const JobSet base(Machine{"m", 4}, std::move(jobs));
+  const JobSet scaled = base.with_runtime_scaling(2.0);
+  EXPECT_DOUBLE_EQ(scaled[0].estimated_runtime, 200.0);
+  EXPECT_DOUBLE_EQ(scaled[0].actual_runtime, 80.0);
+  EXPECT_DOUBLE_EQ(scaled[1].actual_runtime, 120.0);
+  // Submission times untouched.
+  EXPECT_DOUBLE_EQ(scaled[1].submit, 10.0);
+  // Area doubles (unlike shrinking).
+  EXPECT_DOUBLE_EQ(scaled.total_area(), 2.0 * base.total_area());
+}
+
+TEST(JobSet, RuntimeScalingKeepsContractOnShrink) {
+  // Scaling down rounds both; the estimate must still cover the actual.
+  std::vector<Job> jobs = {make_job(0, 1, 61, 61)};
+  const JobSet base(Machine{"m", 4}, std::move(jobs));
+  const JobSet scaled = base.with_runtime_scaling(0.013);
+  EXPECT_GE(scaled[0].estimated_runtime, scaled[0].actual_runtime);
+  EXPECT_GE(scaled[0].actual_runtime, 1.0);
+  EXPECT_TRUE(scaled[0].valid());
+}
+
+TEST(JobSet, MultisubmissionDuplicatesJobs) {
+  std::vector<Job> jobs = {make_job(0, 2, 100, 40), make_job(10, 1, 60, 60)};
+  const JobSet base(Machine{"m", 4}, std::move(jobs));
+  const JobSet multi = base.with_multisubmission(3);
+  ASSERT_EQ(multi.size(), 6u);
+  // Copies share submit/width/runtimes; ids are reassigned densely.
+  EXPECT_DOUBLE_EQ(multi[0].submit, 0.0);
+  EXPECT_DOUBLE_EQ(multi[2].submit, 0.0);
+  EXPECT_DOUBLE_EQ(multi[3].submit, 10.0);
+  for (JobId i = 0; i < 6; ++i) EXPECT_EQ(multi[i].id, i);
+  EXPECT_DOUBLE_EQ(multi.total_area(), 3.0 * base.total_area());
+}
+
+TEST(JobSet, MultisubmissionByOneIsIdentity) {
+  std::vector<Job> jobs = {make_job(0, 2, 100, 40)};
+  const JobSet base(Machine{"m", 4}, std::move(jobs));
+  EXPECT_EQ(base.with_multisubmission(1).size(), base.size());
+}
+
+TEST(JobSet, TotalArea) {
+  std::vector<Job> jobs = {make_job(0, 2, 10, 10), make_job(5, 3, 10, 4)};
+  const JobSet set(Machine{"m", 8}, std::move(jobs));
+  EXPECT_DOUBLE_EQ(set.total_area(), 2 * 10 + 3 * 4);
+}
+
+TEST(SanitizeJobs, ClampsContractViolations) {
+  const Machine machine{"m", 8};
+  std::vector<Job> raw = {make_job(0, 2, 10, 10)};
+  raw[0].width = 100;          // wider than the machine
+  raw[0].actual_runtime = 50;  // exceeds the estimate
+  raw[0].submit = -3;          // negative time
+  const std::vector<Job> fixed = sanitize_jobs(std::move(raw), machine);
+  EXPECT_EQ(fixed[0].width, 8u);
+  EXPECT_LE(fixed[0].actual_runtime, fixed[0].estimated_runtime);
+  EXPECT_GE(fixed[0].submit, 0.0);
+  EXPECT_TRUE(fixed[0].valid());
+  // The sanitized vector satisfies the JobSet constructor contract.
+  const JobSet set(machine, fixed);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(JobSet, EmptySetBehaves) {
+  const JobSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.total_area(), 0.0);
+}
+
+}  // namespace
+}  // namespace dynp::workload

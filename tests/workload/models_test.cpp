@@ -1,0 +1,225 @@
+#include "workload/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <utility>
+
+#include "exp/paper_reference.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace dynp::workload {
+namespace {
+
+constexpr std::size_t kJobs = 20000;
+
+class ModelCalibration : public ::testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] static TraceModel model_for(int index) {
+    return paper_models()[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] static const exp::PaperTraceProperties& reference(int index) {
+    return exp::paper_table2()[static_cast<std::size_t>(index)];
+  }
+};
+
+TEST_P(ModelCalibration, WidthColumnsMatchTable2) {
+  const TraceModel model = model_for(GetParam());
+  const TraceStats s = compute_stats(generate(model, kJobs, 1));
+  const auto& ref = reference(GetParam());
+  EXPECT_NEAR(s.width.mean(), ref.width_avg, ref.width_avg * 0.05)
+      << model.name;
+  EXPECT_GE(s.width.min(), ref.width_min);
+  EXPECT_LE(s.width.max(), ref.width_max);
+}
+
+TEST_P(ModelCalibration, RuntimeColumnsMatchTable2) {
+  const TraceModel model = model_for(GetParam());
+  const TraceStats s = compute_stats(generate(model, kJobs, 2));
+  const auto& ref = reference(GetParam());
+  EXPECT_NEAR(s.estimated_runtime.mean(), ref.est_avg, ref.est_avg * 0.08)
+      << model.name;
+  EXPECT_NEAR(s.actual_runtime.mean(), ref.act_avg, ref.act_avg * 0.10)
+      << model.name;
+  EXPECT_LE(s.estimated_runtime.max(), ref.est_max);
+  EXPECT_LE(s.actual_runtime.max(), ref.act_max);
+  EXPECT_NEAR(s.overestimation_factor, ref.overestimation,
+              ref.overestimation * 0.10)
+      << model.name;
+}
+
+TEST_P(ModelCalibration, InterarrivalMeanMatchesCalibratedTarget) {
+  const TraceModel model = model_for(GetParam());
+  const TraceStats s = compute_stats(generate(model, kJobs, 3));
+  const auto& ref = reference(GetParam());
+  // The generator targets the published mean divided by the trace's
+  // effective-load calibration (see TraceModel::load_calibration): the
+  // paper's utilisation at factor 1.0 implies more offered area per second
+  // than the product of Table 2 means for LANL and SDSC.
+  const double target = ref.ia_avg / model.load_calibration;
+  EXPECT_NEAR(s.interarrival.mean(), target, target * 0.05) << model.name;
+}
+
+TEST_P(ModelCalibration, PlanningContractHolds) {
+  const TraceModel model = model_for(GetParam());
+  const JobSet set = generate(model, 5000, 4);
+  for (const Job& job : set.jobs()) {
+    ASSERT_TRUE(job.valid());
+    ASSERT_GE(job.actual_runtime, 1.0);
+    ASSERT_LE(job.width, model.nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTraces, ModelCalibration,
+                         ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return exp::kTraceNames[static_cast<std::size_t>(
+                               info.param)];
+                         });
+
+TEST(Models, GenerateIsDeterministic) {
+  const TraceModel model = kth_model();
+  const JobSet a = generate(model, 500, 99);
+  const JobSet b = generate(model, 500, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].submit, b[i].submit);
+    EXPECT_EQ(a[i].width, b[i].width);
+    EXPECT_DOUBLE_EQ(a[i].estimated_runtime, b[i].estimated_runtime);
+    EXPECT_DOUBLE_EQ(a[i].actual_runtime, b[i].actual_runtime);
+  }
+}
+
+TEST(Models, DifferentSeedsGiveDifferentSets) {
+  const TraceModel model = kth_model();
+  const JobSet a = generate(model, 100, 1);
+  const JobSet b = generate(model, 100, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].width != b[i].width ||
+        a[i].estimated_runtime != b[i].estimated_runtime) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Models, EnsembleDerivesDistinctSeeds) {
+  const auto sets = generate_ensemble(sdsc_model(), 3, 200, 7);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_NE(sets[0][10].estimated_runtime, sets[1][10].estimated_runtime);
+}
+
+TEST(Models, ModelByNameIsCaseInsensitive) {
+  EXPECT_EQ(model_by_name("ctc").name, "CTC");
+  EXPECT_EQ(model_by_name("LaNl").name, "LANL");
+  EXPECT_THROW((void)model_by_name("unknown"), std::invalid_argument);
+}
+
+TEST(Models, EstimatesAreMinuteRounded) {
+  const JobSet set = generate(ctc_model(), 2000, 5);
+  for (const Job& job : set.jobs()) {
+    // Estimates are rounded up to whole minutes (unless raised to cover the
+    // actual run time, which the generator never needs to do).
+    const double remainder = std::fmod(job.estimated_runtime, 60.0);
+    EXPECT_NEAR(std::min(remainder, 60.0 - remainder), 0.0, 1e-6);
+  }
+}
+
+TEST(Models, LanlWidthsArePowersOfTwoTimes32) {
+  const JobSet set = generate(lanl_model(), 2000, 6);
+  for (const Job& job : set.jobs()) {
+    EXPECT_GE(job.width, 32u);
+    // All LANL widths are in {32, 64, 128, 256, 512, 1024}.
+    EXPECT_EQ((job.width & (job.width - 1)), 0u) << job.width;
+  }
+}
+
+TEST(Models, DiurnalModulationChangesArrivalsOnly) {
+  TraceModel model = kth_model();
+  model.diurnal_amplitude = 0.8;
+  const JobSet plain = generate(kth_model(), 300, 11);
+  const JobSet modulated = generate(model, 300, 11);
+  // Same job bodies (width/runtimes draw from the same stream positions)...
+  EXPECT_EQ(plain[5].width, modulated[5].width);
+  // ...but different submission times after the first gap.
+  bool any_diff = false;
+  for (std::size_t i = 1; i < plain.size(); ++i) {
+    if (plain[i].submit != modulated[i].submit) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Models, WeekendFactorThinsWeekendArrivals) {
+  TraceModel model = kth_model();
+  model.weekend_factor = 0.1;
+  const JobSet set = generate(model, 20000, 31);
+  // Count arrivals by day-of-week; weekdays (0-4) must dominate days 5-6.
+  std::array<double, 7> per_day{};
+  for (const Job& job : set.jobs()) {
+    per_day[static_cast<std::size_t>(std::fmod(job.submit / 86400.0, 7.0))] += 1;
+  }
+  const double weekday_rate = (per_day[0] + per_day[1] + per_day[2] +
+                               per_day[3] + per_day[4]) / 5.0;
+  const double weekend_rate = (per_day[5] + per_day[6]) / 2.0;
+  EXPECT_LT(weekend_rate, weekday_rate * 0.3);
+}
+
+TEST(Models, WeekendFactorPreservesMeanInterarrival) {
+  TraceModel model = sdsc_model();  // has weekend_factor + diurnal enabled
+  const TraceStats s = compute_stats(generate(model, 20000, 33));
+  const double target = model.ia_mean / model.load_calibration;
+  EXPECT_NEAR(s.interarrival.mean(), target, target * 0.05);
+}
+
+TEST(Models, SubmitTimesAreWholeSeconds) {
+  const JobSet set = generate(ctc_model(), 2000, 8);
+  for (const Job& job : set.jobs()) {
+    EXPECT_DOUBLE_EQ(job.submit, std::round(job.submit));
+    EXPECT_DOUBLE_EQ(job.actual_runtime, std::round(job.actual_runtime));
+  }
+}
+
+TEST(Models, CalibratedSamplerMatchesFreeFunction) {
+  const TraceModel model = ctc_model();
+  const CalibratedSampler sampler(model);
+  const JobSet a = sampler.generate(300, 99);
+  const JobSet b = generate(model, 300, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].submit, b[i].submit);
+    EXPECT_EQ(a[i].width, b[i].width);
+    EXPECT_DOUBLE_EQ(a[i].estimated_runtime, b[i].estimated_runtime);
+    EXPECT_DOUBLE_EQ(a[i].actual_runtime, b[i].actual_runtime);
+  }
+  EXPECT_EQ(sampler.model().name, "CTC");
+}
+
+TEST(Models, CalibratedSamplerIsReusableAndMovable) {
+  CalibratedSampler sampler(kth_model());
+  const JobSet first = sampler.generate(50, 1);
+  const JobSet second = sampler.generate(50, 2);
+  EXPECT_NE(first[0].estimated_runtime, second[0].estimated_runtime);
+  CalibratedSampler moved = std::move(sampler);
+  const JobSet third = moved.generate(50, 1);
+  EXPECT_DOUBLE_EQ(third[0].estimated_runtime, first[0].estimated_runtime);
+}
+
+TEST(Models, OfferedLoadIsInPlausibleBand) {
+  // The area correlation targets were chosen so that offered load at factor
+  // 1.0 lands near the paper's utilisation (Table 4, shrink 1.0).
+  const std::array<double, 4> target = {76.2, 69.3, 63.6, 79.4};
+  const auto models = paper_models();
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const TraceStats s = compute_stats(generate(models[i], kJobs, 21));
+    EXPECT_NEAR(s.offered_load * 100.0, target[i], 14.0) << models[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace dynp::workload

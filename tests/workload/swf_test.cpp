@@ -1,0 +1,96 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dynp::workload {
+namespace {
+
+constexpr const char* kSample =
+    "; SWF header comment\n"
+    "; MaxProcs: 64\n"
+    "1 0 5 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+    "2 50 0 300 8 -1 -1 8 300 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+
+TEST(SwfReader, ParsesFieldsWeUse) {
+  std::istringstream in(kSample);
+  const SwfParseResult r = read_swf(in, Machine{"test", 64});
+  EXPECT_EQ(r.header_lines, 2u);
+  EXPECT_EQ(r.skipped_records, 0u);
+  ASSERT_EQ(r.set.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.set[0].submit, 0.0);
+  EXPECT_EQ(r.set[0].width, 4u);
+  EXPECT_DOUBLE_EQ(r.set[0].actual_runtime, 100.0);
+  EXPECT_DOUBLE_EQ(r.set[0].estimated_runtime, 200.0);
+  EXPECT_DOUBLE_EQ(r.set[1].submit, 50.0);
+}
+
+TEST(SwfReader, SkipsBrokenRecords) {
+  std::istringstream in(
+      "1 0 0 100 -1 -1 -1 -1 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"  // no width
+      "garbage line\n"
+      "2 10 0 100 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const SwfParseResult r = read_swf(in, Machine{"test", 64});
+  EXPECT_EQ(r.set.size(), 1u);
+  EXPECT_EQ(r.skipped_records, 2u);
+}
+
+TEST(SwfReader, FallsBackToAllocatedProcessors) {
+  std::istringstream in(
+      "1 0 0 100 16 -1 -1 -1 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const SwfParseResult r = read_swf(in, Machine{"test", 64});
+  ASSERT_EQ(r.set.size(), 1u);
+  EXPECT_EQ(r.set[0].width, 16u);
+}
+
+TEST(SwfReader, FallsBackToRunTimeAsEstimate) {
+  std::istringstream in(
+      "1 0 0 123 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const SwfParseResult r = read_swf(in, Machine{"test", 64});
+  ASSERT_EQ(r.set.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.set[0].estimated_runtime, 123.0);
+  EXPECT_DOUBLE_EQ(r.set[0].actual_runtime, 123.0);
+}
+
+TEST(SwfReader, EstimateIsRaisedToCoverRunTime) {
+  // run time 500 > requested time 200: planning contract requires
+  // estimate >= actual.
+  std::istringstream in(
+      "1 0 0 500 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const SwfParseResult r = read_swf(in, Machine{"test", 64});
+  ASSERT_EQ(r.set.size(), 1u);
+  EXPECT_GE(r.set[0].estimated_runtime, r.set[0].actual_runtime);
+}
+
+TEST(SwfReader, CapsWidthAtMachineSize) {
+  std::istringstream in(
+      "1 0 0 100 128 -1 -1 128 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const SwfParseResult r = read_swf(in, Machine{"small", 32});
+  ASSERT_EQ(r.set.size(), 1u);
+  EXPECT_EQ(r.set[0].width, 32u);
+}
+
+TEST(SwfRoundTrip, WriteThenReadPreservesJobs) {
+  const JobSet original(
+      Machine{"rt", 16},
+      {Job{0, 0, 4, 100, 60}, Job{0, 25, 8, 500, 500}, Job{0, 90, 1, 60, 1}});
+  std::stringstream buffer;
+  write_swf(buffer, original);
+  const SwfParseResult r = read_swf(buffer, Machine{"rt", 16});
+  ASSERT_EQ(r.set.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.set[i].submit, original[i].submit);
+    EXPECT_EQ(r.set[i].width, original[i].width);
+    EXPECT_DOUBLE_EQ(r.set[i].estimated_runtime, original[i].estimated_runtime);
+    EXPECT_DOUBLE_EQ(r.set[i].actual_runtime, original[i].actual_runtime);
+  }
+}
+
+TEST(SwfReader, MissingFileThrows) {
+  EXPECT_THROW((void)read_swf_file("/nonexistent/path.swf", Machine{"x", 4}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dynp::workload

@@ -1,0 +1,68 @@
+#include "workload/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynp::workload {
+namespace {
+
+[[nodiscard]] Job make_job(Time submit, std::uint32_t width, Time est,
+                           Time act) {
+  Job j;
+  j.submit = submit;
+  j.width = width;
+  j.estimated_runtime = est;
+  j.actual_runtime = act;
+  return j;
+}
+
+TEST(TraceStats, EmptySet) {
+  const TraceStats s = compute_stats(JobSet{});
+  EXPECT_EQ(s.job_count, 0u);
+  EXPECT_DOUBLE_EQ(s.overestimation_factor, 0.0);
+  EXPECT_DOUBLE_EQ(s.offered_load, 0.0);
+}
+
+TEST(TraceStats, SingleJobHasNoInterarrival) {
+  const JobSet set(Machine{"m", 4}, {make_job(10, 2, 100, 50)});
+  const TraceStats s = compute_stats(set);
+  EXPECT_EQ(s.job_count, 1u);
+  EXPECT_EQ(s.interarrival.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.width.mean(), 2.0);
+}
+
+TEST(TraceStats, ColumnsMatchHandComputation) {
+  const JobSet set(Machine{"m", 16},
+                   {make_job(0, 2, 100, 50), make_job(10, 4, 200, 100),
+                    make_job(40, 6, 300, 150)});
+  const TraceStats s = compute_stats(set);
+  EXPECT_EQ(s.job_count, 3u);
+  EXPECT_DOUBLE_EQ(s.width.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.width.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.width.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.estimated_runtime.mean(), 200.0);
+  EXPECT_DOUBLE_EQ(s.actual_runtime.mean(), 100.0);
+  // Interarrivals: 10, 30.
+  EXPECT_DOUBLE_EQ(s.interarrival.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s.interarrival.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.interarrival.max(), 30.0);
+}
+
+TEST(TraceStats, OverestimationIsRatioOfMeans) {
+  // The paper's overestimation column is avg(est)/avg(act): CTC
+  // 24324/10958 = 2.220, not the mean of per-job ratios.
+  const JobSet set(Machine{"m", 8},
+                   {make_job(0, 1, 100, 100), make_job(1, 1, 300, 100)});
+  const TraceStats s = compute_stats(set);
+  EXPECT_DOUBLE_EQ(s.overestimation_factor, 400.0 / 200.0);
+}
+
+TEST(TraceStats, OfferedLoadUsesActualAreaOverSpan) {
+  // Two jobs: areas 2*50=100 and 4*100=400; span 100 s; 10 nodes.
+  const JobSet set(Machine{"m", 10},
+                   {make_job(0, 2, 100, 50), make_job(100, 4, 200, 100)});
+  const TraceStats s = compute_stats(set);
+  EXPECT_DOUBLE_EQ(s.offered_load, 500.0 / (10.0 * 100.0));
+}
+
+}  // namespace
+}  // namespace dynp::workload

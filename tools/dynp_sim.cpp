@@ -1,0 +1,230 @@
+/// dynp_sim — the command-line front end of the library.
+///
+/// Runs one scheduler configuration over a workload that is either read from
+/// a Standard Workload Format (SWF) file or generated from one of the
+/// calibrated trace models, and reports the paper's metrics. Optionally
+/// validates the produced schedule and exports outcome / policy-timeline
+/// CSVs.
+///
+/// Examples:
+///   dynp_sim --trace KTH --jobs 5000 --factor 0.8 --scheduler dynp-sjf-pref
+///   dynp_sim --swf CTC-SP2.swf --nodes 430 --scheduler sjf
+///   dynp_sim --trace SDSC --scheduler fcfs --semantics easy --export /tmp
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "exp/experiment.hpp"
+#include "exp/ascii_plot.hpp"
+#include "exp/export.hpp"
+#include "metrics/validate.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/feitelson.hpp"
+#include "workload/models.hpp"
+#include "workload/swf.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace {
+
+using namespace dynp;
+
+/// Builds the scheduler configuration from the --scheduler/--semantics
+/// options; returns false with a message on unknown names.
+[[nodiscard]] bool make_config(const std::string& scheduler,
+                               const std::string& semantics, double threshold,
+                               core::SimulationConfig& config) {
+  if (scheduler == "fcfs" || scheduler == "sjf" || scheduler == "ljf" ||
+      scheduler == "saf" || scheduler == "wf") {
+    config = core::static_config(policies::policy_by_name(scheduler));
+  } else if (scheduler == "dynp-simple") {
+    config = core::dynp_config(core::make_simple_decider());
+  } else if (scheduler == "dynp-advanced") {
+    config = core::dynp_config(core::make_advanced_decider());
+  } else if (scheduler == "dynp-sjf-pref") {
+    config = core::dynp_config(exp::sjf_preferred_decider(threshold));
+  } else if (scheduler == "dynp-threshold") {
+    config = core::dynp_config(core::make_threshold_decider(threshold));
+  } else {
+    std::fprintf(stderr,
+                 "unknown --scheduler '%s' (use fcfs|sjf|ljf|saf|wf|"
+                 "dynp-simple|dynp-advanced|dynp-sjf-pref|dynp-threshold)\n",
+                 scheduler.c_str());
+    return false;
+  }
+
+  if (semantics == "replan") {
+    config.semantics = core::PlannerSemantics::kReplan;
+  } else if (semantics == "guarantee") {
+    config.semantics = core::PlannerSemantics::kGuarantee;
+  } else if (semantics == "easy") {
+    config.semantics = core::PlannerSemantics::kQueueingEasy;
+    if (config.mode == core::SchedulerMode::kDynP) {
+      std::fprintf(stderr,
+                   "--semantics easy is a queueing RMS: dynP needs full "
+                   "schedules and is not available there\n");
+      return false;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "unknown --semantics '%s' (use replan|guarantee|easy)\n",
+                 semantics.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "dynp_sim — simulate a job scheduler over an SWF trace or a synthetic "
+      "workload");
+  cli.add_option("swf", "", "SWF input file (overrides --trace)");
+  cli.add_option("nodes", "0", "machine size for --swf input (required there)");
+  cli.add_option("trace", "KTH", "synthetic trace model: CTC, KTH, LANL, SDSC or feitelson");
+  cli.add_option("jobs", "5000", "jobs to generate (synthetic input)");
+  cli.add_option("seed", "42", "random seed (synthetic input)");
+  cli.add_option("factor", "1.0", "shrinking factor applied to submissions");
+  cli.add_option("scheduler", "dynp-sjf-pref",
+                 "fcfs|sjf|ljf|saf|wf|dynp-simple|dynp-advanced|"
+                 "dynp-sjf-pref|dynp-threshold");
+  cli.add_option("threshold", "0", "decider threshold in percent");
+  cli.add_option("semantics", "replan", "replan|guarantee|easy");
+  cli.add_option("export", "", "directory for outcome/timeline CSV export");
+  cli.add_flag("validate", "run the schedule validator on the result");
+  cli.add_flag("plot", "render an ASCII utilisation timeline (and dynP "
+               "policy strip)");
+  cli.add_flag("stats", "print workload statistics before simulating");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // --- workload ---
+  workload::JobSet jobs;
+  if (const std::string swf = cli.get("swf"); !swf.empty()) {
+    const auto nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+    if (nodes == 0) {
+      std::fprintf(stderr, "--swf input requires --nodes\n");
+      return 1;
+    }
+    try {
+      auto parsed = workload::read_swf_file(swf, workload::Machine{swf, nodes});
+      std::printf("read %zu jobs from %s (%zu records skipped)\n",
+                  parsed.set.size(), swf.c_str(), parsed.skipped_records);
+      jobs = std::move(parsed.set);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else if (cli.get("trace") == "feitelson") {
+    workload::FeitelsonParams params;  // defaults; see feitelson.hpp
+    jobs = workload::generate_feitelson(
+        params, static_cast<std::size_t>(cli.get_int("jobs")),
+        static_cast<std::uint64_t>(cli.get_int("seed")));
+  } else {
+    workload::TraceModel model;
+    try {
+      model = workload::model_by_name(cli.get("trace"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    jobs = workload::generate(model,
+                              static_cast<std::size_t>(cli.get_int("jobs")),
+                              static_cast<std::uint64_t>(cli.get_int("seed")));
+  }
+  jobs = jobs.with_shrinking_factor(cli.get_double("factor"));
+
+  if (cli.get_flag("stats")) {
+    const workload::TraceStats s = workload::compute_stats(jobs);
+    std::printf("workload: %zu jobs, width avg %.2f, est avg %.0f s, act avg "
+                "%.0f s, overest %.3f, interarrival avg %.0f s, offered load "
+                "%.1f%%\n",
+                jobs.size(), s.width.mean(), s.estimated_runtime.mean(),
+                s.actual_runtime.mean(), s.overestimation_factor,
+                s.interarrival.mean(), s.offered_load * 100);
+  }
+
+  // --- scheduler ---
+  core::SimulationConfig config;
+  if (!make_config(cli.get("scheduler"), cli.get("semantics"),
+                   cli.get_double("threshold"), config)) {
+    return 1;
+  }
+
+  const core::SimulationResult r = core::simulate(jobs, config);
+
+  // --- report ---
+  util::TextTable t;
+  t.set_header({"metric", "value"}, {util::Align::kLeft, util::Align::kRight});
+  t.add_row({"scheduler", config.label()});
+  t.add_row({"jobs", util::fmt_count(static_cast<long long>(r.outcomes.size()))});
+  t.add_row({"SLDwA", util::fmt_fixed(r.summary.sldwa, 3)});
+  t.add_row({"avg slowdown", util::fmt_fixed(r.summary.avg_slowdown, 3)});
+  t.add_row({"avg bounded slowdown",
+             util::fmt_fixed(r.summary.avg_bounded_slowdown, 3)});
+  t.add_row({"avg response [s]", util::fmt_fixed(r.summary.avg_response, 0)});
+  t.add_row({"avg wait [s]", util::fmt_fixed(r.summary.avg_wait, 0)});
+  t.add_row({"max wait [s]", util::fmt_fixed(r.summary.max_wait, 0)});
+  t.add_row({"ARTwW [s]", util::fmt_fixed(r.summary.artww, 0)});
+  t.add_row({"utilisation [%]",
+             util::fmt_fixed(r.summary.utilization * 100, 2)});
+  t.add_row({"makespan [s]", util::fmt_fixed(r.summary.makespan, 0)});
+  if (config.mode == core::SchedulerMode::kDynP) {
+    t.add_row({"decisions", std::to_string(r.decisions)});
+    t.add_row({"policy switches", std::to_string(r.switches)});
+    for (std::size_t i = 0; i < config.pool.size(); ++i) {
+      t.add_row({std::string("time in ") + policies::name(config.pool[i]) +
+                     " [%]",
+                 util::fmt_fixed(100.0 * r.time_in_policy[i] /
+                                     std::max(1.0, r.summary.makespan),
+                                 1)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  if (cli.get_flag("plot")) {
+    std::printf("\nutilisation over time:\n%s",
+                exp::render_utilization_ascii(r.outcomes,
+                                              jobs.machine().nodes)
+                    .c_str());
+    const std::string strip =
+        exp::render_policy_strip_ascii(r, config.pool);
+    if (!strip.empty()) {
+      std::printf("%s     (F = FCFS, S = SJF, L = LJF; dominant policy per "
+                  "bucket)\n",
+                  strip.c_str());
+    }
+  }
+
+  if (cli.get_flag("validate")) {
+    const auto report = metrics::validate_outcomes(jobs, r.outcomes);
+    if (report.ok()) {
+      std::printf("validation: OK (schedule is physically consistent)\n");
+    } else {
+      std::printf("validation: %zu issue(s):\n", report.issues.size());
+      for (std::size_t i = 0; i < std::min<std::size_t>(10, report.issues.size());
+           ++i) {
+        std::printf("  %s\n", report.issues[i].detail.c_str());
+      }
+      return 2;
+    }
+  }
+
+  if (const std::string dir = cli.get("export"); !dir.empty()) {
+    std::vector<std::string> names;
+    for (const auto p : config.pool) names.emplace_back(policies::name(p));
+    const bool ok =
+        exp::write_outcomes_csv_file(dir + "/outcomes.csv", r.outcomes) &&
+        (config.mode != core::SchedulerMode::kDynP ||
+         exp::write_policy_timeline_csv_file(dir + "/policy_timeline.csv", r,
+                                             names));
+    if (!ok) {
+      std::fprintf(stderr, "export to %s failed\n", dir.c_str());
+      return 1;
+    }
+    std::printf("exported CSVs to %s\n", dir.c_str());
+  }
+  return 0;
+}
