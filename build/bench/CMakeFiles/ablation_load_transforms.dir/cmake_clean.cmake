@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_load_transforms.dir/ablation_load_transforms.cpp.o"
+  "CMakeFiles/ablation_load_transforms.dir/ablation_load_transforms.cpp.o.d"
+  "ablation_load_transforms"
+  "ablation_load_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_pool.dir/ablation_policy_pool.cpp.o"
+  "CMakeFiles/ablation_policy_pool.dir/ablation_policy_pool.cpp.o.d"
+  "ablation_policy_pool"
+  "ablation_policy_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

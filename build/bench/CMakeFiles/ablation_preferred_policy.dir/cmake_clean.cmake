@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preferred_policy.dir/ablation_preferred_policy.cpp.o"
+  "CMakeFiles/ablation_preferred_policy.dir/ablation_preferred_policy.cpp.o.d"
+  "ablation_preferred_policy"
+  "ablation_preferred_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preferred_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

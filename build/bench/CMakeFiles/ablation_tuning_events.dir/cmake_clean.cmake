@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tuning_events.dir/ablation_tuning_events.cpp.o"
+  "CMakeFiles/ablation_tuning_events.dir/ablation_tuning_events.cpp.o.d"
+  "ablation_tuning_events"
+  "ablation_tuning_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tuning_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_trace_properties.dir/table2_trace_properties.cpp.o"
+  "CMakeFiles/table2_trace_properties.dir/table2_trace_properties.cpp.o.d"
+  "table2_trace_properties"
+  "table2_trace_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_trace_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

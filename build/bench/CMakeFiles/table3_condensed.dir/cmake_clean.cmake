@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_condensed.dir/table3_condensed.cpp.o"
+  "CMakeFiles/table3_condensed.dir/table3_condensed.cpp.o.d"
+  "table3_condensed"
+  "table3_condensed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_condensed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_static_policies.dir/table4_static_policies.cpp.o"
+  "CMakeFiles/table4_static_policies.dir/table4_static_policies.cpp.o.d"
+  "table4_static_policies"
+  "table4_static_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_static_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

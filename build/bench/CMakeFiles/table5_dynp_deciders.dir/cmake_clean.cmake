@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_dynp_deciders.dir/table5_dynp_deciders.cpp.o"
+  "CMakeFiles/table5_dynp_deciders.dir/table5_dynp_deciders.cpp.o.d"
+  "table5_dynp_deciders"
+  "table5_dynp_deciders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dynp_deciders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

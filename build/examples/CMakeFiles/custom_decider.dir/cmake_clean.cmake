@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_decider.dir/custom_decider.cpp.o"
+  "CMakeFiles/custom_decider.dir/custom_decider.cpp.o.d"
+  "custom_decider"
+  "custom_decider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_decider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decider_audit.dir/decider_audit.cpp.o"
+  "CMakeFiles/decider_audit.dir/decider_audit.cpp.o.d"
+  "decider_audit"
+  "decider_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decider_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_export.dir/schedule_export.cpp.o"
+  "CMakeFiles/schedule_export.dir/schedule_export.cpp.o.d"
+  "schedule_export"
+  "schedule_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_workshop.dir/trace_workshop.cpp.o"
+  "CMakeFiles/trace_workshop.dir/trace_workshop.cpp.o.d"
+  "trace_workshop"
+  "trace_workshop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_workshop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynp_core.dir/decider.cpp.o"
+  "CMakeFiles/dynp_core.dir/decider.cpp.o.d"
+  "CMakeFiles/dynp_core.dir/recording_decider.cpp.o"
+  "CMakeFiles/dynp_core.dir/recording_decider.cpp.o.d"
+  "CMakeFiles/dynp_core.dir/simulation.cpp.o"
+  "CMakeFiles/dynp_core.dir/simulation.cpp.o.d"
+  "libdynp_core.a"
+  "libdynp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

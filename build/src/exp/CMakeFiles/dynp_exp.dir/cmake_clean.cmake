@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynp_exp.dir/ascii_plot.cpp.o"
+  "CMakeFiles/dynp_exp.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/dynp_exp.dir/experiment.cpp.o"
+  "CMakeFiles/dynp_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/dynp_exp.dir/export.cpp.o"
+  "CMakeFiles/dynp_exp.dir/export.cpp.o.d"
+  "CMakeFiles/dynp_exp.dir/paper_reference.cpp.o"
+  "CMakeFiles/dynp_exp.dir/paper_reference.cpp.o.d"
+  "libdynp_exp.a"
+  "libdynp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynp_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/dynp_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/dynp_metrics.dir/validate.cpp.o"
+  "CMakeFiles/dynp_metrics.dir/validate.cpp.o.d"
+  "libdynp_metrics.a"
+  "libdynp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

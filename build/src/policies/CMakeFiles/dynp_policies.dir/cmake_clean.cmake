@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynp_policies.dir/policy.cpp.o"
+  "CMakeFiles/dynp_policies.dir/policy.cpp.o.d"
+  "libdynp_policies.a"
+  "libdynp_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynp_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

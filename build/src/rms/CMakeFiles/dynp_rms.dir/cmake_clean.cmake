@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynp_rms.dir/planner.cpp.o"
+  "CMakeFiles/dynp_rms.dir/planner.cpp.o.d"
+  "CMakeFiles/dynp_rms.dir/profile.cpp.o"
+  "CMakeFiles/dynp_rms.dir/profile.cpp.o.d"
+  "libdynp_rms.a"
+  "libdynp_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynp_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynp_rms.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynp_util.dir/cli.cpp.o"
+  "CMakeFiles/dynp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dynp_util.dir/stats.cpp.o"
+  "CMakeFiles/dynp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dynp_util.dir/table.cpp.o"
+  "CMakeFiles/dynp_util.dir/table.cpp.o.d"
+  "CMakeFiles/dynp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dynp_util.dir/thread_pool.cpp.o.d"
+  "libdynp_util.a"
+  "libdynp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/feitelson.cpp" "src/workload/CMakeFiles/dynp_workload.dir/feitelson.cpp.o" "gcc" "src/workload/CMakeFiles/dynp_workload.dir/feitelson.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/dynp_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/dynp_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/models.cpp" "src/workload/CMakeFiles/dynp_workload.dir/models.cpp.o" "gcc" "src/workload/CMakeFiles/dynp_workload.dir/models.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/dynp_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/dynp_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/trace_stats.cpp" "src/workload/CMakeFiles/dynp_workload.dir/trace_stats.cpp.o" "gcc" "src/workload/CMakeFiles/dynp_workload.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dynp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynp_workload.dir/feitelson.cpp.o"
+  "CMakeFiles/dynp_workload.dir/feitelson.cpp.o.d"
+  "CMakeFiles/dynp_workload.dir/job.cpp.o"
+  "CMakeFiles/dynp_workload.dir/job.cpp.o.d"
+  "CMakeFiles/dynp_workload.dir/models.cpp.o"
+  "CMakeFiles/dynp_workload.dir/models.cpp.o.d"
+  "CMakeFiles/dynp_workload.dir/swf.cpp.o"
+  "CMakeFiles/dynp_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/dynp_workload.dir/trace_stats.cpp.o"
+  "CMakeFiles/dynp_workload.dir/trace_stats.cpp.o.d"
+  "libdynp_workload.a"
+  "libdynp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/decider_table1_test.cpp" "tests/CMakeFiles/test_core.dir/core/decider_table1_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/decider_table1_test.cpp.o.d"
+  "/root/repo/tests/core/decider_test.cpp" "tests/CMakeFiles/test_core.dir/core/decider_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/decider_test.cpp.o.d"
+  "/root/repo/tests/core/observer_test.cpp" "tests/CMakeFiles/test_core.dir/core/observer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/observer_test.cpp.o.d"
+  "/root/repo/tests/core/recording_decider_test.cpp" "tests/CMakeFiles/test_core.dir/core/recording_decider_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/recording_decider_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/scheduler_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scheduler_property_test.cpp.o.d"
+  "/root/repo/tests/core/semantics_test.cpp" "tests/CMakeFiles/test_core.dir/core/semantics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/semantics_test.cpp.o.d"
+  "/root/repo/tests/core/simulation_test.cpp" "tests/CMakeFiles/test_core.dir/core/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/simulation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/dynp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dynp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/dynp_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/dynp_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dynp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dynp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dynp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

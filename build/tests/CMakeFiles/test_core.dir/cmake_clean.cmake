@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/decider_table1_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/decider_table1_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/decider_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/decider_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/observer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/observer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/recording_decider_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/recording_decider_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scheduler_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scheduler_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/semantics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/semantics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/simulation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/simulation_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/ascii_plot_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/ascii_plot_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/experiment_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/experiment_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/export_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/export_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/shape_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/shape_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

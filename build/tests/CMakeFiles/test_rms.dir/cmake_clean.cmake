@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rms.dir/rms/planner_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/planner_test.cpp.o.d"
+  "CMakeFiles/test_rms.dir/rms/profile_property_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/profile_property_test.cpp.o.d"
+  "CMakeFiles/test_rms.dir/rms/profile_test.cpp.o"
+  "CMakeFiles/test_rms.dir/rms/profile_test.cpp.o.d"
+  "test_rms"
+  "test_rms.pdb"
+  "test_rms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

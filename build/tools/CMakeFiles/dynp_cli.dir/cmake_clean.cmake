@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynp_cli.dir/dynp_sim.cpp.o"
+  "CMakeFiles/dynp_cli.dir/dynp_sim.cpp.o.d"
+  "dynp_sim"
+  "dynp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
