@@ -1,0 +1,69 @@
+/// Macro benchmarks (google-benchmark): end-to-end `core::simulate`
+/// throughput — whole discrete-event runs, reported as events per second —
+/// across the trace models and planner semantics. These complement the
+/// micro benchmarks in micro_planner.cpp: the micro suite isolates the
+/// planner's inner loops, this one measures what a user of the library
+/// actually waits for. For a one-shot JSON report of the same shape (and
+/// the checked-in BENCH_planner.json), see tools/bench_report.
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulation.hpp"
+#include "workload/models.hpp"
+
+namespace {
+
+using namespace dynp;
+
+void BM_Macro(benchmark::State& state, const workload::TraceModel model,
+              std::size_t jobs, double factor, core::SimulationConfig config) {
+  const workload::JobSet set =
+      workload::generate(model, jobs, 42).with_shrinking_factor(factor);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const core::SimulationResult r = core::simulate(set, config);
+    events += r.events;
+    benchmark::DoNotOptimize(r.summary.sldwa);
+  }
+  // items/sec in the report = simulation events (submits + finishes) per
+  // wall-clock second, the macro throughput metric of DESIGN.md §7.
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+[[nodiscard]] core::SimulationConfig dynp(core::PlannerSemantics semantics) {
+  core::SimulationConfig config =
+      core::dynp_config(core::make_advanced_decider());
+  config.semantics = semantics;
+  return config;
+}
+
+[[nodiscard]] core::SimulationConfig fcfs(core::PlannerSemantics semantics) {
+  core::SimulationConfig config =
+      core::static_config(policies::PolicyKind::kFcfs);
+  config.semantics = semantics;
+  return config;
+}
+
+BENCHMARK_CAPTURE(BM_Macro, kth_replan_dynp, workload::kth_model(), 1000, 0.8,
+                  dynp(core::PlannerSemantics::kReplan))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Macro, kth_guarantee_dynp, workload::kth_model(), 1000,
+                  0.8, dynp(core::PlannerSemantics::kGuarantee))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Macro, kth_easy_fcfs, workload::kth_model(), 1000, 0.8,
+                  fcfs(core::PlannerSemantics::kQueueingEasy))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Macro, ctc_replan_dynp, workload::ctc_model(), 1000, 1.0,
+                  dynp(core::PlannerSemantics::kReplan))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Macro, ctc_guarantee_dynp, workload::ctc_model(), 1000,
+                  1.0, dynp(core::PlannerSemantics::kGuarantee))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Macro, sdsc_replan_dynp, workload::sdsc_model(), 1000,
+                  1.0, dynp(core::PlannerSemantics::kReplan))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Macro, lanl_replan_dynp, workload::lanl_model(), 1000,
+                  1.0, dynp(core::PlannerSemantics::kReplan))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/macro_simulation.cpp" "bench/CMakeFiles/macro_simulation.dir/macro_simulation.cpp.o" "gcc" "bench/CMakeFiles/macro_simulation.dir/macro_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/dynp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dynp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/dynp_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/dynp_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dynp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dynp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dynp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

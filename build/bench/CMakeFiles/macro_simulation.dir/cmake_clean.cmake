@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_simulation.dir/macro_simulation.cpp.o"
+  "CMakeFiles/macro_simulation.dir/macro_simulation.cpp.o.d"
+  "macro_simulation"
+  "macro_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for macro_simulation.
+# This may be replaced when dependencies are built.

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/decider_table1_test.cpp" "tests/CMakeFiles/test_core.dir/core/decider_table1_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/decider_table1_test.cpp.o.d"
   "/root/repo/tests/core/decider_test.cpp" "tests/CMakeFiles/test_core.dir/core/decider_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/decider_test.cpp.o.d"
+  "/root/repo/tests/core/determinism_test.cpp" "tests/CMakeFiles/test_core.dir/core/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/determinism_test.cpp.o.d"
   "/root/repo/tests/core/observer_test.cpp" "tests/CMakeFiles/test_core.dir/core/observer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/observer_test.cpp.o.d"
   "/root/repo/tests/core/recording_decider_test.cpp" "tests/CMakeFiles/test_core.dir/core/recording_decider_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/recording_decider_test.cpp.o.d"
   "/root/repo/tests/core/scheduler_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/scheduler_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scheduler_property_test.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_core.dir/core/decider_table1_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/decider_test.cpp.o"
   "CMakeFiles/test_core.dir/core/decider_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/determinism_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/determinism_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/observer_test.cpp.o"
   "CMakeFiles/test_core.dir/core/observer_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/recording_decider_test.cpp.o"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/policies/policy_queue_test.cpp" "tests/CMakeFiles/test_policies.dir/policies/policy_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_policies.dir/policies/policy_queue_test.cpp.o.d"
   "/root/repo/tests/policies/policy_test.cpp" "tests/CMakeFiles/test_policies.dir/policies/policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_policies.dir/policies/policy_test.cpp.o.d"
   )
 

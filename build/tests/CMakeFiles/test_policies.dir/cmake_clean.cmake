@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_policies.dir/policies/policy_queue_test.cpp.o"
+  "CMakeFiles/test_policies.dir/policies/policy_queue_test.cpp.o.d"
   "CMakeFiles/test_policies.dir/policies/policy_test.cpp.o"
   "CMakeFiles/test_policies.dir/policies/policy_test.cpp.o.d"
   "test_policies"

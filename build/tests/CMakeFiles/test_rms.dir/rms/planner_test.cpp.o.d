@@ -294,4 +294,5 @@ tests/CMakeFiles/test_rms.dir/rms/planner_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h
+ /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/src/util/rng.hpp

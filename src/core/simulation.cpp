@@ -1,10 +1,15 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <thread>
 
 #include "rms/planner.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dynp::core {
 
@@ -35,7 +40,9 @@ SimulationConfig dynp_config(std::shared_ptr<const Decider> decider) {
 namespace {
 
 /// The scheduler process: owns all mutable run state; one instance per
-/// simulation, used from one thread.
+/// simulation. The main loop is single-threaded; with `parallel_tuning` the
+/// per-policy candidate evaluations additionally run on a private worker
+/// pool, each task confined to its own candidate slot.
 class SchedulerSim final : public sim::Process {
  public:
   SchedulerSim(const workload::JobSet& set, const SimulationConfig& config)
@@ -43,7 +50,8 @@ class SchedulerSim final : public sim::Process {
         config_(config),
         jobs_(set.jobs()),
         policy_index_(config.initial_index),
-        profile_(set.machine().nodes, 0) {
+        profile_(set.machine().nodes, 0),
+        base_profile_(set.machine().nodes, 0) {
     DYNP_EXPECTS(config.mode == SchedulerMode::kStatic ||
                  (config.decider != nullptr && !config.pool.empty() &&
                   config.initial_index < config.pool.size()));
@@ -53,10 +61,31 @@ class SchedulerSim final : public sim::Process {
                  config.mode == SchedulerMode::kStatic);
     outcomes_.resize(jobs_.size());
     reserved_.assign(jobs_.size(), -1.0);
+    running_slot_.assign(jobs_.size(), kNotRunning);
+    started_mark_.assign(jobs_.size(), 0);
     if (config.mode == SchedulerMode::kDynP) {
       result_.decisions_per_policy.assign(config.pool.size(), 0);
       result_.time_in_policy.assign(config.pool.size(), 0.0);
+      queues_.reserve(config.pool.size());
+      for (const policies::PolicyKind kind : config.pool) {
+        queues_.emplace_back(kind, jobs_);
+      }
+      candidates_.resize(config.pool.size());
+      if (config.parallel_tuning && config.pool.size() > 1) {
+        std::size_t threads = config.tuning_threads != 0
+                                  ? config.tuning_threads
+                                  : std::max<std::size_t>(
+                                        1, std::thread::hardware_concurrency());
+        threads = std::min(threads, config.pool.size());
+        if (threads > 1) {
+          workers_ = std::make_unique<util::ThreadPool>(threads);
+        }
+      }
+    } else {
+      queues_.emplace_back(config.static_policy, jobs_);
+      candidates_.resize(1);
     }
+    slot_reusable_.assign(candidates_.size(), 0);
   }
 
   [[nodiscard]] SimulationResult run() {
@@ -84,6 +113,10 @@ class SchedulerSim final : public sim::Process {
 
     if (event.kind == sim::EventKind::kSubmit) {
       waiting_.push_back(event.job);
+      insert_pos_.clear();
+      for (policies::SortedQueue& queue : queues_) {
+        insert_pos_.push_back(queue.insert(event.job));
+      }
       if (guarantee_mode()) insert_reservation(event.job, now);
       if (config_.observer != nullptr) {
         config_.observer->on_job_submitted(now, jobs_[event.job]);
@@ -106,6 +139,19 @@ class SchedulerSim final : public sim::Process {
   }
 
  private:
+  static constexpr std::uint32_t kNotRunning =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Per-pool-policy scratch, reused across events so the hot path stops
+  /// allocating a fresh profile + schedule per candidate per event.
+  struct Candidate {
+    rms::PlanScratch scratch;         ///< planning scratch (replan only)
+    rms::ResourceProfile profile{1};  ///< profile copy (guarantee only)
+    rms::Schedule schedule;           ///< candidate (replan) or preview
+    std::vector<Time> reserved;       ///< reservation copy (guarantee only)
+    double value = 0;                 ///< preview-metric score
+  };
+
   [[nodiscard]] bool guarantee_mode() const noexcept {
     return config_.semantics == PlannerSemantics::kGuarantee;
   }
@@ -122,17 +168,44 @@ class SchedulerSim final : public sim::Process {
                : config_.pool[policy_index_];
   }
 
+  /// The incrementally maintained priority order of the waiting jobs under
+  /// \p kind (every pool policy, or the static policy, has a live queue).
+  [[nodiscard]] const std::vector<JobId>& ordered_wait(
+      policies::PolicyKind kind) const {
+    for (const policies::SortedQueue& queue : queues_) {
+      if (queue.kind() == kind) return queue.ids();
+    }
+    DYNP_ASSERT(false);
+    return queues_.front().ids();
+  }
+
+  /// Runs one candidate-evaluation task per pool policy, sequentially or on
+  /// the worker pool. Bit-identical either way: tasks are independent (each
+  /// touches only its own candidate slot) and callers consume the results
+  /// in pool order.
+  void run_tuning_tasks(const std::function<void(std::size_t)>& task) {
+    if (workers_ != nullptr) {
+      util::parallel_invoke(*workers_, config_.pool.size(), task);
+    } else {
+      for (std::size_t i = 0; i < config_.pool.size(); ++i) task(i);
+    }
+  }
+
   void finish_job(JobId id, Time now) {
-    const auto it = std::find_if(
-        running_.begin(), running_.end(),
-        [id](const rms::RunningJob& r) { return r.id == id; });
-    DYNP_ASSERT(it != running_.end());
-    if (guarantee_mode() && it->estimated_end > now) {
+    const std::uint32_t slot = running_slot_[id];
+    DYNP_ASSERT(slot != kNotRunning && slot < running_.size());
+    const rms::RunningJob finished = running_[slot];
+    if (guarantee_mode() && finished.estimated_end > now) {
       // Release the phantom tail of the reservation (actual < estimate):
       // this freed capacity is what compression harvests.
-      profile_.deallocate(now, it->estimated_end - now, it->width);
+      profile_.deallocate(now, finished.estimated_end - now, finished.width);
     }
-    running_.erase(it);
+    // Swap-remove: running-job order is irrelevant (the base profile is a
+    // canonical merged representation whatever the allocation order).
+    running_[slot] = running_.back();
+    running_.pop_back();
+    if (slot < running_.size()) running_slot_[running_[slot].id] = slot;
+    running_slot_[id] = kNotRunning;
     outcomes_[id].end = now;
     if (config_.observer != nullptr) {
       config_.observer->on_job_finished(now, jobs_[id], outcomes_[id]);
@@ -162,6 +235,7 @@ class SchedulerSim final : public sim::Process {
     outcomes_[id] = metrics::JobOutcome{
         id,        job.submit,          now, now + job.actual_runtime,
         job.width, job.actual_runtime};
+    running_slot_[id] = static_cast<std::uint32_t>(running_.size());
     running_.push_back(
         rms::RunningJob{id, job.width, now + job.estimated_runtime});
     engine_.schedule(now + job.actual_runtime, sim::EventKind::kFinish, id);
@@ -170,39 +244,100 @@ class SchedulerSim final : public sim::Process {
     }
   }
 
+  /// Starts every job in `due_` and removes them from the waiting set and
+  /// all policy queues via the JobId-indexed mark vector — one linear pass
+  /// per container instead of a nested find per member.
+  void start_due(Time now) {
+    if (due_.empty()) return;
+    for (const JobId id : due_) record_start(id, now);
+    for (const JobId id : due_) started_mark_[id] = 1;
+    std::erase_if(waiting_,
+                  [this](JobId id) { return started_mark_[id] != 0; });
+    for (policies::SortedQueue& queue : queues_) {
+      queue.remove_marked(started_mark_);
+    }
+    for (const JobId id : due_) started_mark_[id] = 0;
+  }
+
   // ----- kReplan semantics: full schedule from scratch at every event -----
 
+  /// True iff candidate \p c's stored schedule can seed an incremental
+  /// replan at \p now: a planned start that slid into the past would be
+  /// re-planned at or after `now` by a fresh pass, so the stored prefix
+  /// would no longer be verbatim-reproducible.
+  [[nodiscard]] static bool replayable_at(const Candidate& c, Time now) {
+    for (const rms::PlannedJob& p : c.schedule.entries()) {
+      if (p.start < now) return false;
+    }
+    return true;
+  }
+
+  /// Plans candidate slot \p i (slot index == queue index == pool index) for
+  /// the event at \p now. On a submit event with a reusable slot — the
+  /// previous pass planned this slot against the current waiting set minus
+  /// the new job, and no planned start slid into the past — the replan is
+  /// incremental; otherwise it is a full pass. A finish event always replans
+  /// fully (freed capacity can move any start) and thereby re-arms the slot.
+  void plan_candidate(std::size_t i, Time now, bool submit_event) {
+    Candidate& c = candidates_[i];
+    if (submit_event && slot_reusable_[i] != 0 && replayable_at(c, now)) {
+      rms::Planner::replan_inserted_into(base_profile_, now, queues_[i].ids(),
+                                         insert_pos_[i], jobs_, c.scratch,
+                                         c.schedule);
+    } else {
+      rms::Planner::plan_into(base_profile_, now, queues_[i].ids(), jobs_,
+                              c.scratch, c.schedule);
+    }
+  }
+
   void replan_pass(Time now, sim::EventKind trigger) {
-    if (waiting_.empty()) return;
-    rms::Schedule schedule;
-    if (tune_at(trigger)) {
-      std::vector<rms::Schedule> candidates;
-      candidates.reserve(config_.pool.size());
+    if (waiting_.empty()) {
+      std::fill(slot_reusable_.begin(), slot_reusable_.end(), char{0});
+      return;
+    }
+    const bool tuned = tune_at(trigger);
+    const bool submit_event = trigger == sim::EventKind::kSubmit;
+    // The running-jobs profile is identical for every candidate: build it
+    // once per event and let each candidate copy it.
+    rms::Planner::base_profile_into(set_.machine().nodes, now, running_,
+                                    base_profile_);
+    std::size_t chosen;
+    if (tuned) {
       DecisionInput input;
       input.values.reserve(config_.pool.size());
       input.old_index = policy_index_;
-      for (const policies::PolicyKind policy : config_.pool) {
-        candidates.push_back(plan_with(policy, now));
-        input.values.push_back(metrics::evaluate_preview(
-            config_.preview, candidates.back(), jobs_, now));
-      }
-      schedule = std::move(candidates[decide(std::move(input), now)]);
+      run_tuning_tasks([&](std::size_t i) {
+        Candidate& c = candidates_[i];
+        plan_candidate(i, now, submit_event);
+        c.value = metrics::evaluate_preview(config_.preview, c.schedule,
+                                            jobs_, now);
+      });
+      for (const Candidate& c : candidates_) input.values.push_back(c.value);
+      chosen = decide(std::move(input), now);
     } else {
-      schedule = plan_with(active_policy(), now);
+      // Static mode keeps its single queue/candidate at slot 0; a non-tuning
+      // dynP pass uses the active policy's slot (queues_ is in pool order).
+      chosen = config_.mode == SchedulerMode::kStatic ? 0 : policy_index_;
+      plan_candidate(chosen, now, submit_event);
     }
 
-    const std::vector<JobId> due = schedule.starting_at(now);
-    for (const JobId id : due) record_start(id, now);
-    std::erase_if(waiting_, [&](JobId id) {
-      return std::find(due.begin(), due.end(), id) != due.end();
-    });
-  }
-
-  [[nodiscard]] rms::Schedule plan_with(policies::PolicyKind policy,
-                                        Time now) const {
-    return rms::Planner::plan(set_.machine().nodes, now, running_,
-                              policies::order(policy, waiting_, jobs_),
-                              jobs_);
+    due_.clear();
+    candidates_[chosen].schedule.starting_at_into(now, due_);
+    // Which slots can seed the next event's incremental replan? A slot must
+    // have been planned *this* pass (its schedule matches the waiting set),
+    // and must survive this event's starts. Starting jobs invalidates every
+    // slot except the chosen one: a started job's allocation in the chosen
+    // slot's profile is exactly its reservation in the next base profile
+    // (same interval, from the same instant), so dropping its schedule entry
+    // keeps that slot consistent — while the other slots planned the job at
+    // a different place and must replan from scratch.
+    for (std::size_t i = 0; i < slot_reusable_.size(); ++i) {
+      const bool planned = tuned || i == chosen;
+      slot_reusable_[i] =
+          planned && (due_.empty() || i == chosen) ? char{1} : char{0};
+    }
+    if (!due_.empty()) candidates_[chosen].schedule.drop_started(now);
+    start_due(now);
   }
 
   // ----- kGuarantee semantics: reservations + policy-ordered compression --
@@ -257,14 +392,14 @@ class SchedulerSim final : public sim::Process {
     }
   }
 
-  [[nodiscard]] rms::Schedule schedule_from(
-      const std::vector<Time>& reserved) const {
-    std::vector<rms::PlannedJob> planned;
-    planned.reserve(waiting_.size());
+  /// Builds the preview schedule of the waiting jobs from \p reserved into
+  /// \p out (storage reused).
+  void preview_into(const std::vector<Time>& reserved,
+                    rms::Schedule& out) const {
+    out.clear();
     for (const JobId id : waiting_) {
-      planned.push_back(rms::PlannedJob{id, reserved[id]});
+      out.push_back(rms::PlannedJob{id, reserved[id]});
     }
-    return rms::Schedule{std::move(planned)};
   }
 
   void guarantee_pass(Time now, sim::EventKind trigger) {
@@ -273,40 +408,36 @@ class SchedulerSim final : public sim::Process {
     if (tune_at(trigger)) {
       // One compressed candidate per pool policy, each on its own copy of
       // the reservation state; the chosen candidate becomes reality.
-      std::vector<rms::ResourceProfile> profiles;
-      std::vector<std::vector<Time>> reservations;
-      profiles.reserve(config_.pool.size());
-      reservations.reserve(config_.pool.size());
       DecisionInput input;
       input.values.reserve(config_.pool.size());
       input.old_index = policy_index_;
-      for (const policies::PolicyKind policy : config_.pool) {
-        profiles.push_back(profile_);
-        reservations.push_back(reserved_);
-        compress(profiles.back(), reservations.back(),
-                 policies::order(policy, waiting_, jobs_), jobs_, now);
-        input.values.push_back(metrics::evaluate_preview(
-            config_.preview, schedule_from(reservations.back()), jobs_, now));
-      }
+      run_tuning_tasks([&](std::size_t i) {
+        Candidate& c = candidates_[i];
+        c.profile = profile_;
+        c.reserved = reserved_;
+        compress(c.profile, c.reserved, ordered_wait(config_.pool[i]), jobs_,
+                 now);
+        preview_into(c.reserved, c.schedule);
+        c.value = metrics::evaluate_preview(config_.preview, c.schedule,
+                                            jobs_, now);
+      });
+      for (const Candidate& c : candidates_) input.values.push_back(c.value);
       const std::size_t chosen = decide(std::move(input), now);
-      profile_ = std::move(profiles[chosen]);
-      reserved_ = std::move(reservations[chosen]);
+      profile_ = candidates_[chosen].profile;
+      reserved_ = candidates_[chosen].reserved;
     } else {
-      compress(profile_, reserved_,
-               policies::order(active_policy(), waiting_, jobs_), jobs_, now);
+      compress(profile_, reserved_, ordered_wait(active_policy()), jobs_,
+               now);
     }
 
     // Jobs whose reservation came due start now; their allocation is already
     // in the profile and simply carries over as the running reservation.
-    std::vector<JobId> due;
+    due_.clear();
     for (const JobId id : waiting_) {
       DYNP_ASSERT(reserved_[id] >= now);
-      if (reserved_[id] <= now) due.push_back(id);
+      if (reserved_[id] <= now) due_.push_back(id);
     }
-    for (const JobId id : due) record_start(id, now);
-    std::erase_if(waiting_, [&](JobId id) {
-      return std::find(due.begin(), due.end(), id) != due.end();
-    });
+    start_due(now);
   }
 
   // ----- kQueueingEasy semantics: policy queue + EASY backfilling ---------
@@ -320,9 +451,8 @@ class SchedulerSim final : public sim::Process {
   /// never delay the head's reservation.
   void queueing_pass(Time now) {
     if (waiting_.empty()) return;
-    std::vector<JobId> queue =
-        policies::order(active_policy(), waiting_, jobs_);
-    std::vector<JobId> started;
+    const std::vector<JobId>& queue = ordered_wait(active_policy());
+    due_.clear();
 
     std::uint32_t used = 0;
     for (const rms::RunningJob& r : running_) used += r.width;
@@ -333,18 +463,17 @@ class SchedulerSim final : public sim::Process {
     while (head < queue.size() &&
            jobs_[queue[head]].width <= capacity - used) {
       used += jobs_[queue[head]].width;
-      started.push_back(queue[head]);
+      due_.push_back(queue[head]);
       ++head;
     }
 
     if (head < queue.size()) {
       // Phase 2: reservation for the blocked head, then one backfill sweep.
       const workload::Job& blocked = jobs_[queue[head]];
-      const rms::ResourceProfile profile =
-          rms::Planner::base_profile(capacity, now, running_);
-      const Time shadow = profile.earliest_start(
+      rms::Planner::base_profile_into(capacity, now, running_, base_profile_);
+      const Time shadow = base_profile_.earliest_start(
           now, blocked.width, blocked.estimated_runtime);
-      const std::uint32_t free_at_shadow = profile.free_at(shadow);
+      const std::uint32_t free_at_shadow = base_profile_.free_at(shadow);
       std::uint32_t extra =
           free_at_shadow >= blocked.width ? free_at_shadow - blocked.width : 0;
 
@@ -355,7 +484,7 @@ class SchedulerSim final : public sim::Process {
         const bool fits_extra = job.width <= extra;
         if (ends_before_shadow || fits_extra) {
           used += job.width;
-          started.push_back(queue[i]);
+          due_.push_back(queue[i]);
           // A backfill running past the shadow time consumes the slack the
           // head job leaves at its reservation.
           if (!ends_before_shadow) extra -= job.width;
@@ -363,10 +492,7 @@ class SchedulerSim final : public sim::Process {
       }
     }
 
-    for (const JobId id : started) record_start(id, now);
-    std::erase_if(waiting_, [&](JobId id) {
-      return std::find(started.begin(), started.end(), id) != started.end();
-    });
+    start_due(now);
   }
 
   const workload::JobSet& set_;
@@ -381,10 +507,29 @@ class SchedulerSim final : public sim::Process {
   Time last_event_time_ = 0;
   SimulationResult result_;
 
+  // Incremental scheduling state: one policy-ordered queue per pool policy
+  // (or the single static policy), the JobId -> running_ slot index, and
+  // reusable scratch for the per-event planning work.
+  std::vector<policies::SortedQueue> queues_;
+  std::vector<std::uint32_t> running_slot_;
+  std::vector<char> started_mark_;  // JobId -> pending-removal flag
+  std::vector<JobId> due_;          // scratch: jobs starting at this event
+  std::vector<Candidate> candidates_;
+
+  // Incremental-replan bookkeeping: where the latest submit landed in each
+  // policy queue, and which candidate slots still hold a plan of the current
+  // waiting set (see `replan_pass` for the re-arming rules).
+  std::vector<std::size_t> insert_pos_;  // queue index -> insertion position
+  std::vector<char> slot_reusable_;      // slot index -> plan still valid
+  std::unique_ptr<util::ThreadPool> workers_;  // parallel tuning (optional)
+
   // kGuarantee state: the live profile (running reservations + waiting-job
   // guarantees) and each waiting job's guaranteed start, indexed by JobId.
   rms::ResourceProfile profile_;
   std::vector<Time> reserved_;
+
+  // Shared per-event base profile of the running jobs (replan/queueing).
+  rms::ResourceProfile base_profile_;
 };
 
 }  // namespace

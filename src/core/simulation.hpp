@@ -96,6 +96,16 @@ struct SimulationConfig {
   /// as an unstudied option — Ablation B studies it).
   bool tune_on_finish = true;
 
+  /// Evaluate the self-tuning candidate schedules concurrently, one worker
+  /// task per pool policy, instead of in a sequential loop. Results are
+  /// bit-identical either way: each candidate works on its own copy of the
+  /// planning state and the decider consumes the scores in pool order.
+  /// Off by default (the sequential path has no synchronisation cost).
+  bool parallel_tuning = false;
+  /// Worker threads for parallel tuning (0 = hardware concurrency; capped at
+  /// the pool size). Ignored unless `parallel_tuning` is set.
+  std::size_t tuning_threads = 0;
+
   /// Display label, e.g. "FCFS" or "dynP/SJF-preferred".
   [[nodiscard]] std::string label() const;
 };

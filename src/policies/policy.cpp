@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "util/assert.hpp"
+
 namespace dynp::policies {
 
 const char* name(PolicyKind kind) noexcept {
@@ -70,6 +72,31 @@ std::vector<JobId> order(PolicyKind kind, std::vector<JobId> waiting,
     return precedes(kind, jobs[x], jobs[y]);
   });
   return waiting;
+}
+
+std::size_t SortedQueue::insert(JobId id) {
+  const auto it = std::lower_bound(
+      ids_.begin(), ids_.end(), id, [&](JobId member, JobId value) {
+        return precedes(kind_, (*jobs_)[member], (*jobs_)[value]);
+      });
+  const std::size_t pos = static_cast<std::size_t>(it - ids_.begin());
+  ids_.insert(it, id);
+  return pos;
+}
+
+void SortedQueue::remove(JobId id) {
+  // `precedes` is a strict total order, so lower_bound lands exactly on the
+  // member (no equal-range scan needed).
+  const auto it = std::lower_bound(
+      ids_.begin(), ids_.end(), id, [&](JobId member, JobId value) {
+        return precedes(kind_, (*jobs_)[member], (*jobs_)[value]);
+      });
+  DYNP_EXPECTS(it != ids_.end() && *it == id);
+  ids_.erase(it);
+}
+
+void SortedQueue::remove_marked(const std::vector<char>& mark) {
+  std::erase_if(ids_, [&](JobId id) { return mark[id] != 0; });
 }
 
 }  // namespace dynp::policies

@@ -48,4 +48,46 @@ enum class PolicyKind : std::uint8_t {
 [[nodiscard]] bool precedes(PolicyKind kind, const workload::Job& a,
                             const workload::Job& b) noexcept;
 
+/// An incrementally maintained policy-ordered waiting queue.
+///
+/// The self-tuning scheduler needs every pool policy's priority order of the
+/// waiting jobs at every submit/finish event; re-sorting the whole queue per
+/// policy per event is O(n log n) each. Because each event only adds one job
+/// (submit) or removes the started ones, the order can instead be maintained
+/// incrementally: `insert` places a job at its priority position (binary
+/// search + vector insert), `remove`/`remove_marked` erase members.
+///
+/// Invariant (checked by the property test): `ids()` always equals
+/// `order(kind, <current members>, jobs)` — `precedes` is a strict total
+/// order (ties broken by submit time then id), so that order is unique.
+class SortedQueue {
+ public:
+  /// \p jobs must outlive the queue (ids index into it).
+  SortedQueue(PolicyKind kind, const std::vector<workload::Job>& jobs)
+      : kind_(kind), jobs_(&jobs) {}
+
+  [[nodiscard]] PolicyKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::vector<JobId>& ids() const noexcept { return ids_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+
+  /// Inserts \p id at its priority position and returns that position.
+  /// Must not already be a member. (The position tells incremental planners
+  /// how much of the previous order — and thus of the previous schedule —
+  /// is unchanged: everything before it.)
+  std::size_t insert(JobId id);
+
+  /// Removes member \p id (precondition: it was inserted).
+  void remove(JobId id);
+
+  /// Removes every member whose `mark[id]` is non-zero in one linear pass —
+  /// O(n) regardless of how many jobs start at once.
+  void remove_marked(const std::vector<char>& mark);
+
+ private:
+  PolicyKind kind_;
+  const std::vector<workload::Job>* jobs_;
+  std::vector<JobId> ids_;
+};
+
 }  // namespace dynp::policies

@@ -1,45 +1,232 @@
 #include "rms/planner.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 namespace dynp::rms {
 
 std::vector<JobId> Schedule::starting_at(Time now) const {
   std::vector<JobId> ids;
-  for (const PlannedJob& p : entries_) {
-    if (p.start <= now) ids.push_back(p.id);
-  }
+  starting_at_into(now, ids);
   return ids;
+}
+
+void Schedule::starting_at_into(Time now, std::vector<JobId>& out) const {
+  for (const PlannedJob& p : entries_) {
+    if (p.start <= now) out.push_back(p.id);
+  }
 }
 
 ResourceProfile Planner::base_profile(std::uint32_t capacity, Time now,
                                       const std::vector<RunningJob>& running) {
   ResourceProfile profile(capacity, now);
+  base_profile_into(capacity, now, running, profile);
+  return profile;
+}
+
+void Planner::base_profile_into(std::uint32_t capacity, Time now,
+                                const std::vector<RunningJob>& running,
+                                ResourceProfile& out) {
+  out.reset(capacity, now);
   for (const RunningJob& r : running) {
     // A running job keeps its nodes until its estimated end; if the estimate
     // has already elapsed (job running into its limit at exactly `now`), it
     // no longer reserves future capacity.
     if (r.estimated_end > now) {
-      profile.allocate(now, r.estimated_end - now, r.width);
+      out.allocate(now, r.estimated_end - now, r.width);
     }
   }
-  return profile;
 }
 
 Schedule Planner::plan(std::uint32_t capacity, Time now,
                        const std::vector<RunningJob>& running,
                        const std::vector<JobId>& ordered_wait,
                        const std::vector<workload::Job>& jobs) {
-  ResourceProfile profile = base_profile(capacity, now, running);
-  std::vector<PlannedJob> planned;
-  planned.reserve(ordered_wait.size());
-  for (const JobId id : ordered_wait) {
+  ResourceProfile base = base_profile(capacity, now, running);
+  PlanScratch scratch;
+  Schedule schedule;
+  plan_into(base, now, ordered_wait, jobs, scratch, schedule);
+  return schedule;
+}
+
+namespace {
+
+/// Groups jobs by identical (width, estimated run time): queries of one
+/// class are interchangeable for the planner, so within a pass a class's
+/// previous result lower-bounds its next one.
+void build_job_classes(PlanScratch::ClassTable& table,
+                       const std::vector<workload::Job>& jobs) {
+  table.job_class.resize(jobs.size());
+  std::vector<std::uint32_t> by_shape(jobs.size());
+  std::iota(by_shape.begin(), by_shape.end(), 0);
+  std::sort(by_shape.begin(), by_shape.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const workload::Job& ja = jobs[a];
+              const workload::Job& jb = jobs[b];
+              if (ja.width != jb.width) return ja.width < jb.width;
+              return ja.estimated_runtime < jb.estimated_runtime;
+            });
+  std::uint32_t next_class = 0;
+  for (std::size_t i = 0; i < by_shape.size(); ++i) {
+    if (i > 0) {
+      const workload::Job& prev = jobs[by_shape[i - 1]];
+      const workload::Job& cur = jobs[by_shape[i]];
+      if (prev.width != cur.width ||
+          prev.estimated_runtime != cur.estimated_runtime) {
+        ++next_class;
+      }
+    }
+    table.job_class[by_shape[i]] = next_class;
+  }
+  table.class_count = by_shape.empty() ? 0 : next_class + 1;
+}
+
+}  // namespace
+
+void Planner::prepare_scratch(PlanScratch& scratch,
+                              const ResourceProfile& base,
+                              const std::vector<workload::Job>& jobs) {
+  // (Re)build the acceleration tables when the job table or machine changed.
+  PlanScratch::ClassTable& classes = scratch.classes_;
+  if (classes.job_class.size() != jobs.size()) {
+    build_job_classes(classes, jobs);
+    scratch.class_floor_.assign(classes.class_count, 0);
+    scratch.class_epoch_.assign(classes.class_count, 0);
+    scratch.epoch_ = 0;
+  }
+  if (scratch.width_floor_.size() !=
+      static_cast<std::size_t>(base.capacity()) + 1) {
+    scratch.width_floor_.assign(base.capacity() + 1, 0);
+    scratch.width_epoch_.assign(base.capacity() + 1, 0);
+    scratch.width_dom_dur_.assign(base.capacity() + 1, 0);
+    scratch.width_dom_start_.assign(base.capacity() + 1, 0);
+    scratch.width_dom_epoch_.assign(base.capacity() + 1, 0);
+    scratch.epoch_ = 0;
+  }
+  // New pass: invalidate all floors by epoch bump (O(1)); on the rare
+  // wraparound, clear the stamps so no stale floor can match.
+  if (++scratch.epoch_ == 0) {
+    std::fill(scratch.class_epoch_.begin(), scratch.class_epoch_.end(), 0);
+    std::fill(scratch.width_epoch_.begin(), scratch.width_epoch_.end(), 0);
+    std::fill(scratch.width_dom_epoch_.begin(),
+              scratch.width_dom_epoch_.end(), 0);
+    scratch.epoch_ = 1;
+  }
+}
+
+void Planner::plan_into(const ResourceProfile& base, Time now,
+                        const std::vector<JobId>& ordered_wait,
+                        const std::vector<workload::Job>& jobs,
+                        PlanScratch& scratch, Schedule& out) {
+  scratch.profile_ = base;
+  out.clear();
+  prepare_scratch(scratch, base, jobs);
+  plan_range(scratch, now, ordered_wait, 0, jobs, out);
+}
+
+void Planner::plan_range(PlanScratch& scratch, Time now,
+                         const std::vector<JobId>& ordered_wait,
+                         std::size_t from,
+                         const std::vector<workload::Job>& jobs,
+                         Schedule& out) {
+  ResourceProfile& profile = scratch.profile_;
+  const PlanScratch::ClassTable& classes = scratch.classes_;
+  const std::uint32_t epoch = scratch.epoch_;
+
+  for (std::size_t w = from; w < ordered_wait.size(); ++w) {
+    const JobId id = ordered_wait[w];
     DYNP_EXPECTS(id < jobs.size());
     const workload::Job& job = jobs[id];
+    const std::uint32_t width = job.width;
+    const std::uint32_t cls = classes.job_class[id];
+
+    // Seed the query with the sound lower bounds gathered earlier in this
+    // pass (the profile only fills during planning, so both are monotone):
+    // the first-fit floor for this width and the class's previous start.
+    Time seed = now;
+    if (scratch.width_epoch_[width] == epoch) {
+      seed = std::max(seed, scratch.width_floor_[width]);
+    }
+    const Time width_seed = seed;
+    if (scratch.width_dom_epoch_[width] == epoch &&
+        job.estimated_runtime >= scratch.width_dom_dur_[width]) {
+      seed = std::max(seed, scratch.width_dom_start_[width]);
+    }
+    if (scratch.class_epoch_[cls] == epoch) {
+      seed = std::max(seed, scratch.class_floor_[cls]);
+    }
+
+    Time first_fit;
     const Time start =
-        profile.earliest_start(now, job.width, job.estimated_runtime);
-    profile.allocate(start, job.estimated_runtime, job.width);
-    planned.push_back(PlannedJob{id, start});
+        profile.place(seed, width, job.estimated_runtime, first_fit);
+    // The first-fit report is only a valid width floor if the scan started
+    // no later than the true width-w first fit — i.e. if the class floor
+    // (which encodes a duration constraint) did not push the seed past it.
+    if (seed == width_seed) {
+      scratch.width_floor_[width] = first_fit;
+      scratch.width_epoch_[width] = epoch;
+    }
+    scratch.class_floor_[cls] = start;
+    scratch.class_epoch_[cls] = epoch;
+    if (scratch.width_dom_epoch_[width] != epoch ||
+        job.estimated_runtime >= scratch.width_dom_dur_[width]) {
+      scratch.width_dom_dur_[width] = job.estimated_runtime;
+      scratch.width_dom_start_[width] = start;
+      scratch.width_dom_epoch_[width] = epoch;
+    }
+
+    out.push_back(PlannedJob{id, start});
   }
-  return Schedule{std::move(planned)};
+}
+
+void Planner::replan_inserted_into(const ResourceProfile& base, Time now,
+                                   const std::vector<JobId>& ordered_wait,
+                                   std::size_t pos,
+                                   const std::vector<workload::Job>& jobs,
+                                   PlanScratch& scratch, Schedule& out) {
+  DYNP_EXPECTS(pos < ordered_wait.size());
+  DYNP_EXPECTS(out.size() + 1 == ordered_wait.size());
+  DYNP_EXPECTS(scratch.classes_.job_class.size() == jobs.size());
+
+  if (pos + 1 == ordered_wait.size()) {
+    // Tail insertion (always the case under FCFS): the retained profile
+    // already contains the base plus every previous placement — which a
+    // fresh pass would reproduce verbatim — so planning the new job is a
+    // single query. The floors stay stamped with the previous epoch and are
+    // simply not consulted.
+    ResourceProfile& profile = scratch.profile_;
+    const workload::Job& job = jobs[ordered_wait[pos]];
+    Time first_fit;
+    const Time start =
+        profile.place(now, job.width, job.estimated_runtime, first_fit);
+    out.push_back(PlannedJob{ordered_wait[pos], start});
+    return;
+  }
+
+  // Mid-order insertion: replay the unchanged prefix from its stored starts
+  // (allocations only, no feasibility queries), then plan the tail fresh.
+  out.truncate(pos);
+  scratch.profile_ = base;
+  prepare_scratch(scratch, base, jobs);
+  const std::uint32_t epoch = scratch.epoch_;
+  for (const PlannedJob& p : out.entries()) {
+    const workload::Job& job = jobs[p.id];
+    scratch.profile_.allocate(p.start, job.estimated_runtime, job.width);
+    // The replayed starts are exactly what this pass would have planned, so
+    // they seed the class floors just as a fresh pass would. (The width
+    // floors need the first-fit report of a real query; leaving them
+    // unstamped merely skips an optimisation.)
+    const std::uint32_t cls = scratch.classes_.job_class[p.id];
+    scratch.class_floor_[cls] = p.start;
+    scratch.class_epoch_[cls] = epoch;
+    if (scratch.width_dom_epoch_[job.width] != epoch ||
+        job.estimated_runtime >= scratch.width_dom_dur_[job.width]) {
+      scratch.width_dom_dur_[job.width] = job.estimated_runtime;
+      scratch.width_dom_start_[job.width] = p.start;
+      scratch.width_dom_epoch_[job.width] = epoch;
+    }
+  }
+  plan_range(scratch, now, ordered_wait, pos, jobs, out);
 }
 
 }  // namespace dynp::rms

@@ -46,8 +46,82 @@ class Schedule {
   /// Ids of jobs whose planned start equals \p now — these begin executing.
   [[nodiscard]] std::vector<JobId> starting_at(Time now) const;
 
+  /// Appends the ids of jobs whose planned start equals \p now to \p out
+  /// (allocation-free variant of `starting_at` for hot-path callers).
+  void starting_at_into(Time now, std::vector<JobId>& out) const;
+
+  /// Drops all entries but keeps the allocated storage (scratch reuse).
+  void clear() noexcept { entries_.clear(); }
+
+  /// Keeps only the first \p n entries (no-op if there are fewer). Used by
+  /// the incremental replanner to retain a still-valid schedule prefix.
+  void truncate(std::size_t n) {
+    if (n < entries_.size()) entries_.resize(n);
+  }
+
+  /// Removes every entry with start <= \p now — the jobs that just began
+  /// executing — keeping the rest in planning order. Their allocations stay
+  /// in the planning profile, where they are exactly the running-job
+  /// reservations the next base profile would contain, which is what keeps
+  /// the adopted schedule reusable across a start (see
+  /// `Planner::replan_inserted_into`).
+  void drop_started(Time now) {
+    std::erase_if(entries_,
+                  [now](const PlannedJob& p) { return p.start <= now; });
+  }
+
+  /// Appends one planned job (append order = planning = policy order).
+  void push_back(PlannedJob planned) { entries_.push_back(planned); }
+
  private:
   std::vector<PlannedJob> entries_;
+};
+
+/// Reusable scratch state for `Planner::plan_into`: the planning profile
+/// buffer plus the query-acceleration tables. Reusing one scratch across
+/// calls (one per concurrent planning task) removes the per-candidate
+/// profile/vector allocations from the self-tuning hot path, and the
+/// acceleration tables let repeated `earliest_start` queries skip the
+/// crowded profile prefix:
+///
+///  * jobs are grouped into (width, estimate) equivalence classes once per
+///    job table; within one planning pass the profile only *fills*, so a
+///    class's previous planned start is a sound lower bound for the next
+///    query of the same class;
+///  * per width, the first-fit time reported by `earliest_start` bounds
+///    every later same-width query below, whatever its duration.
+///
+/// Both bounds are reset (by epoch stamping, O(1)) at the start of every
+/// pass, so `plan_into` returns exactly what a scratch-free plan would.
+class PlanScratch {
+ public:
+  PlanScratch() = default;
+
+  /// The (width, estimate) equivalence classes of a job table.
+  struct ClassTable {
+    std::vector<std::uint32_t> job_class;  ///< JobId -> class index
+    std::uint32_t class_count = 0;
+  };
+
+ private:
+  friend class Planner;
+
+  ResourceProfile profile_{1};
+  ClassTable classes_;
+  std::uint32_t epoch_ = 0;               ///< current planning pass
+  std::vector<Time> class_floor_;         ///< class -> last planned start
+  std::vector<std::uint32_t> class_epoch_;
+  std::vector<Time> width_floor_;         ///< width -> first-fit time
+  std::vector<std::uint32_t> width_epoch_;
+  // Per-width dominance pair: the (duration, start) of the last planned job
+  // of that width whose duration was >= every predecessor's (both
+  // coordinates are then monotone). A later same-width query with duration
+  // >= the stored one can never start earlier — its window would have fit
+  // the stored job already, on a then-emptier profile. Under SJF order
+  // (ascending durations) this chains through the whole pass.
+  std::vector<Time> width_dom_dur_;
+  std::vector<Time> width_dom_start_;
+  std::vector<std::uint32_t> width_dom_epoch_;
 };
 
 /// Stateless planning routine (a class only to cache the profile buffer
@@ -66,10 +140,75 @@ class Planner {
                                      const std::vector<JobId>& ordered_wait,
                                      const std::vector<workload::Job>& jobs);
 
+  /// Allocation-free planning entry point for the self-tuning hot path:
+  /// plans `ordered_wait` on top of a prebuilt running-jobs \p base profile
+  /// (built once per event and shared across all per-policy candidates
+  /// instead of being rebuilt inside each call), reusing \p scratch's
+  /// buffers and acceleration tables, and writing the schedule into \p out
+  /// (cleared first, storage reused). Produces exactly the schedule `plan`
+  /// would. A scratch must not be shared between concurrent calls, and its
+  /// cached job classes assume the same job table across calls (they are
+  /// rebuilt when the table size changes; pass a fresh scratch for a
+  /// different table of equal size).
+  static void plan_into(const ResourceProfile& base, Time now,
+                        const std::vector<JobId>& ordered_wait,
+                        const std::vector<workload::Job>& jobs,
+                        PlanScratch& scratch, Schedule& out);
+
   /// Builds the profile of running-job reservations only (exposed for tests
   /// and for utilisation probes).
   [[nodiscard]] static ResourceProfile base_profile(
       std::uint32_t capacity, Time now, const std::vector<RunningJob>& running);
+
+  /// As `base_profile`, but reusing \p out's storage (hot-path variant).
+  static void base_profile_into(std::uint32_t capacity, Time now,
+                                const std::vector<RunningJob>& running,
+                                ResourceProfile& out);
+
+  /// Incremental replan for the dominant event shape of the replan-semantics
+  /// scheduler: exactly one job was inserted into the policy order at
+  /// position \p pos and *nothing else changed* since the previous
+  /// `plan_into`/`replan_inserted_into` call on this (\p scratch, \p out)
+  /// pair. Produces exactly what a fresh
+  /// `plan_into(base, now, ordered_wait, jobs, scratch, out)` would, but
+  /// reuses the previous result: the order prefix before \p pos is
+  /// unchanged, and a fresh pass provably reproduces its planned starts
+  /// verbatim (the planning recursion only depends on the profile at or
+  /// after `now`, which the prefix allocations determine identically), so
+  /// only the tail from \p pos on needs feasibility queries. When the job
+  /// landed at the tail (always under FCFS, whose order is insertion order),
+  /// the retained scratch profile already *is* the planning state before the
+  /// new job and the whole replan collapses to one query.
+  ///
+  /// Caller-checked preconditions (the scheduler falls back to `plan_into`
+  /// when any fails):
+  ///  * `out` holds this scratch's previous schedule, whose order was
+  ///    `ordered_wait` minus the job at \p pos;
+  ///  * the running set, job table and machine are unchanged since then, and
+  ///    `now` is at or after the previous planning instant;
+  ///  * no previously planned start lies before \p now (none started, none
+  ///    slid into the past).
+  static void replan_inserted_into(const ResourceProfile& base, Time now,
+                                   const std::vector<JobId>& ordered_wait,
+                                   std::size_t pos,
+                                   const std::vector<workload::Job>& jobs,
+                                   PlanScratch& scratch, Schedule& out);
+
+ private:
+  /// Rebuilds `scratch`'s acceleration tables if the job table or machine
+  /// changed, then opens a new floor epoch.
+  static void prepare_scratch(PlanScratch& scratch,
+                              const ResourceProfile& base,
+                              const std::vector<workload::Job>& jobs);
+
+  /// Plans `ordered_wait[from..]` onto `scratch.profile_`, appending to
+  /// \p out (the shared tail loop of `plan_into` and
+  /// `replan_inserted_into`).
+  static void plan_range(PlanScratch& scratch, Time now,
+                         const std::vector<JobId>& ordered_wait,
+                         std::size_t from,
+                         const std::vector<workload::Job>& jobs,
+                         Schedule& out);
 };
 
 }  // namespace dynp::rms

@@ -1,66 +1,222 @@
 #include "rms/profile.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
 namespace dynp::rms {
+
+namespace {
+
+/// First index in [i, n) with frees[i] >= width (n if none). This is one
+/// half of the planner's innermost loop — at high load most of the profile
+/// has too few free nodes and the scan's job is to skip it. Free counts fit
+/// in 31 bits (machine sizes), so the SSE2 path can use signed 32-bit
+/// compares, testing four segments per step.
+#if defined(__SSE2__) && defined(__GNUC__)
+/// AVX2 variant of the skip scan below, eight segments per step. Compiled
+/// with a per-function target attribute and selected at run time, so the
+/// binary stays baseline-SSE2 portable.
+__attribute__((target("avx2"))) std::size_t find_fit_avx2(
+    const std::uint32_t* frees, std::size_t i, std::size_t n,
+    std::uint32_t width) {
+  const __m256i vwidth = _mm256_set1_epi32(static_cast<int>(width));
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(frees + i));
+    const unsigned less = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpgt_epi32(vwidth, v)));
+    if (less != 0xFFFFFFFFu) {
+      return i + static_cast<std::size_t>(std::countr_zero(~less) / 4);
+    }
+  }
+  for (; i < n && frees[i] < width; ++i) {
+  }
+  return i;
+}
+
+const bool kHaveAvx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+
+std::size_t find_fit(const std::uint32_t* frees, std::size_t i, std::size_t n,
+                     std::uint32_t width) {
+#if defined(__SSE2__)
+#if defined(__GNUC__)
+  if (kHaveAvx2) return find_fit_avx2(frees, i, n, width);
+#endif
+  const __m128i vwidth = _mm_set1_epi32(static_cast<int>(width));
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(frees + i));
+    const int less = _mm_movemask_epi8(_mm_cmplt_epi32(v, vwidth));
+    if (less != 0xFFFF) {
+      // First lane that fits = first zero bit group in the mask.
+      return i + static_cast<std::size_t>(
+                     std::countr_zero(static_cast<unsigned>(~less & 0xFFFF)) /
+                     4);
+    }
+  }
+#endif
+  for (; i < n && frees[i] < width; ++i) {
+  }
+  return i;
+}
+
+}  // namespace
 
 ResourceProfile::ResourceProfile(std::uint32_t capacity, Time origin)
     : capacity_(capacity) {
   DYNP_EXPECTS(capacity >= 1);
-  segments_.push_back(Segment{origin, capacity});
+  starts_.push_back(origin);
+  frees_.push_back(capacity);
+}
+
+void ResourceProfile::reset(std::uint32_t capacity, Time origin) {
+  DYNP_EXPECTS(capacity >= 1);
+  capacity_ = capacity;
+  cursor_ = 0;
+  starts_.clear();
+  frees_.clear();
+  starts_.push_back(origin);
+  frees_.push_back(capacity);
 }
 
 std::size_t ResourceProfile::segment_index(Time t) const {
-  DYNP_EXPECTS(t >= segments_.front().start);
-  // Last segment whose start <= t.
-  const auto it = std::upper_bound(
-      segments_.begin(), segments_.end(), t,
-      [](Time value, const Segment& s) { return value < s.start; });
-  return static_cast<std::size_t>(it - segments_.begin()) - 1;
+  DYNP_EXPECTS(t >= starts_.front());
+  // Last segment whose start <= t. Gallop right from the cursor hint (the
+  // usual case: an allocation lands where the preceding query answered),
+  // then binary-search the remaining bracket.
+  const std::size_t n = starts_.size();
+  std::size_t lo = cursor_ < n && starts_[cursor_] <= t ? cursor_ : 0;
+  std::size_t hi = lo + 1;
+  for (std::size_t step = 1; hi < n && starts_[hi] <= t; step <<= 1) {
+    lo = hi;
+    hi += step;
+  }
+  hi = std::min(hi, n);
+  const auto first = starts_.begin();
+  const auto it = std::upper_bound(first + static_cast<std::ptrdiff_t>(lo) + 1,
+                                   first + static_cast<std::ptrdiff_t>(hi), t);
+  cursor_ = static_cast<std::size_t>(it - first) - 1;
+  return cursor_;
 }
 
 std::uint32_t ResourceProfile::free_at(Time t) const {
-  return segments_[segment_index(t)].free;
+  return frees_[segment_index(t)];
 }
 
 Time ResourceProfile::earliest_start(Time earliest, std::uint32_t width,
                                      Time duration) const {
+  Time first_fit;
+  return earliest_start(earliest, width, duration, first_fit);
+}
+
+Time ResourceProfile::earliest_start(Time earliest, std::uint32_t width,
+                                     Time duration, Time& first_fit) const {
   DYNP_EXPECTS(width >= 1 && width <= capacity_);
   DYNP_EXPECTS(duration >= 0);
-  earliest = std::max(earliest, segments_.front().start);
+  earliest = std::max(earliest, starts_.front());
 
   constexpr Time kInf = std::numeric_limits<Time>::infinity();
-  Time window_start = kInf;  // start of the current feasible run
-  for (std::size_t i = segment_index(earliest); i < segments_.size(); ++i) {
-    const Segment& seg = segments_[i];
-    if (seg.free < width) {
-      window_start = kInf;
-      continue;
+  const std::size_t n = starts_.size();
+  first_fit = kInf;
+  std::size_t i = segment_index(earliest);
+  for (;;) {
+    i = find_fit(frees_.data(), i, n, width);
+    // The final segment always has the full machine free, so a fit exists.
+    DYNP_ASSERT(i < n);
+    const Time window_start = std::max(earliest, starts_[i]);
+    if (first_fit == kInf) first_fit = window_start;
+    // Walk the feasible run until it covers the duration or breaks. The
+    // window end is computed as an addition so the feasibility check matches
+    // `allocate`'s boundary split (`start + duration`) exactly: a freed
+    // reservation is then always re-admittable at its own slot, which
+    // subtraction can miss by one ulp.
+    std::size_t j = i;
+    for (;;) {
+      const Time seg_end = j + 1 < n ? starts_[j + 1] : kInf;
+      if (window_start + duration <= seg_end) {
+        cursor_ = i;  // the allocation that follows starts here
+        return window_start;
+      }
+      ++j;  // seg_end was finite here, so j + 1 < n held
+      if (frees_[j] < width) break;
     }
-    if (window_start == kInf) {
-      window_start = std::max(earliest, seg.start);
-    }
-    const Time seg_end =
-        i + 1 < segments_.size() ? segments_[i + 1].start : kInf;
-    // Written as an addition so the feasibility check computes the window
-    // end exactly like `allocate`'s boundary split (`start + duration`):
-    // a freed reservation is then always re-admittable at its own slot,
-    // which subtraction can miss by one ulp.
-    if (window_start + duration <= seg_end) {
-      return window_start;
-    }
+    i = j + 1;  // resume after the segment that broke the run
   }
-  // Unreachable: the final segment is unbounded with full capacity free.
-  DYNP_ASSERT(window_start != kInf);
-  return window_start;
+}
+
+Time ResourceProfile::place(Time earliest, std::uint32_t width, Time duration,
+                            Time& first_fit) {
+  DYNP_EXPECTS(width >= 1 && width <= capacity_);
+  DYNP_EXPECTS(duration >= 0);
+  earliest = std::max(earliest, starts_.front());
+
+  constexpr Time kInf = std::numeric_limits<Time>::infinity();
+  const std::size_t n = starts_.size();
+  first_fit = kInf;
+  std::size_t i = segment_index(earliest);
+  for (;;) {
+    i = find_fit(frees_.data(), i, n, width);
+    DYNP_ASSERT(i < n);
+    const Time window_start = std::max(earliest, starts_[i]);
+    if (first_fit == kInf) first_fit = window_start;
+    std::size_t j = i;
+    for (;;) {
+      const Time seg_end = j + 1 < n ? starts_[j + 1] : kInf;
+      if (window_start + duration <= seg_end) {
+        cursor_ = i;
+        if (duration > 0) allocate_run(window_start, duration, width, i, j);
+        return window_start;
+      }
+      ++j;  // seg_end was finite here, so j + 1 < n held
+      if (frees_[j] < width) break;
+    }
+    i = j + 1;  // resume after the segment that broke the run
+  }
+}
+
+void ResourceProfile::allocate_run(Time start, Time duration,
+                                   std::uint32_t width, std::size_t i,
+                                   std::size_t j) {
+  // [start, start + duration) lies within the feasible run [i, j] the query
+  // walked: starts_[i] <= start < end <= (start of segment j + 1, or inf).
+  // Splitting the boundaries in place here is what the fused query+allocate
+  // saves over `apply`, which would re-locate both via `segment_index`.
+  const Time end = start + duration;
+  std::size_t first = i;
+  if (starts_[i] != start) {
+    starts_.insert(starts_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                   start);
+    frees_.insert(frees_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  frees_[i]);
+    first = i + 1;
+    ++j;
+  }
+  DYNP_ASSERT(starts_[j] < end);
+  if (!(j + 1 < starts_.size() && starts_[j + 1] == end)) {
+    starts_.insert(starts_.begin() + static_cast<std::ptrdiff_t>(j) + 1, end);
+    frees_.insert(frees_.begin() + static_cast<std::ptrdiff_t>(j) + 1,
+                  frees_[j]);
+  }
+  const std::size_t last = j + 1;  // boundary after the affected range
+  for (std::size_t s = first; s < last; ++s) {
+    DYNP_ASSERT(frees_[s] >= width);
+    frees_[s] -= width;
+  }
+  merge_range(first, last);
 }
 
 std::size_t ResourceProfile::split_at(Time t) {
   const std::size_t i = segment_index(t);
-  if (segments_[i].start == t) return i;
-  segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                   Segment{t, segments_[i].free});
+  if (starts_[i] == t) return i;
+  starts_.insert(starts_.begin() + static_cast<std::ptrdiff_t>(i) + 1, t);
+  frees_.insert(frees_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                frees_[i]);
   return i + 1;
 }
 
@@ -70,22 +226,35 @@ void ResourceProfile::apply(Time start, Time end, std::int64_t delta) {
   const std::size_t last = split_at(end);  // boundary after the affected range
   for (std::size_t i = first; i < last; ++i) {
     const std::int64_t updated =
-        static_cast<std::int64_t>(segments_[i].free) + delta;
+        static_cast<std::int64_t>(frees_[i]) + delta;
     DYNP_ASSERT(updated >= 0 &&
                 updated <= static_cast<std::int64_t>(capacity_));
-    segments_[i].free = static_cast<std::uint32_t>(updated);
+    frees_[i] = static_cast<std::uint32_t>(updated);
   }
+  merge_range(first, last);
+}
+
+void ResourceProfile::merge_range(std::size_t first, std::size_t last) {
   // Re-merge equal neighbours to keep the profile minimal (O(active
-  // reservations) segments). Segments before the touched range are already
-  // pairwise distinct, so compaction starts just before it.
-  (void)last;
+  // reservations) segments). Segments outside [first-1, last] are untouched
+  // and already pairwise distinct, so compaction is bounded by the touched
+  // range: the segment at `last` kept its free count and stays distinct from
+  // its successor. When nothing merges, the tail is never visited at all.
   const std::size_t merge_from = first > 0 ? first - 1 : 0;
+  const std::size_t merge_to = std::min(last, starts_.size() - 1);
   std::size_t write = merge_from;
-  for (std::size_t read = merge_from + 1; read < segments_.size(); ++read) {
-    if (segments_[read].free == segments_[write].free) continue;
-    segments_[++write] = segments_[read];
+  for (std::size_t read = merge_from + 1; read <= merge_to; ++read) {
+    if (frees_[read] == frees_[write]) continue;
+    ++write;
+    starts_[write] = starts_[read];
+    frees_[write] = frees_[read];
   }
-  segments_.resize(write + 1);
+  if (write < merge_to) {
+    starts_.erase(starts_.begin() + static_cast<std::ptrdiff_t>(write) + 1,
+                  starts_.begin() + static_cast<std::ptrdiff_t>(merge_to) + 1);
+    frees_.erase(frees_.begin() + static_cast<std::ptrdiff_t>(write) + 1,
+                 frees_.begin() + static_cast<std::ptrdiff_t>(merge_to) + 1);
+  }
 }
 
 void ResourceProfile::allocate(Time start, Time duration, std::uint32_t width) {
@@ -100,23 +269,26 @@ void ResourceProfile::deallocate(Time start, Time duration,
 }
 
 void ResourceProfile::trim_before(Time t) {
-  if (t <= segments_.front().start) return;
+  if (t <= starts_.front()) return;
   const std::size_t i = segment_index(t);
   if (i > 0) {
-    segments_.erase(segments_.begin(),
-                    segments_.begin() + static_cast<std::ptrdiff_t>(i));
+    starts_.erase(starts_.begin(),
+                  starts_.begin() + static_cast<std::ptrdiff_t>(i));
+    frees_.erase(frees_.begin(),
+                 frees_.begin() + static_cast<std::ptrdiff_t>(i));
   }
-  segments_.front().start = t;
+  starts_.front() = t;
+  cursor_ = 0;
 }
 
 bool ResourceProfile::invariants_ok() const noexcept {
-  if (segments_.empty()) return false;
-  for (std::size_t i = 0; i < segments_.size(); ++i) {
-    if (segments_[i].free > capacity_) return false;
-    if (i > 0 && segments_[i].start <= segments_[i - 1].start) return false;
-    if (i > 0 && segments_[i].free == segments_[i - 1].free) return false;
+  if (starts_.empty() || starts_.size() != frees_.size()) return false;
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    if (frees_[i] > capacity_) return false;
+    if (i > 0 && starts_[i] <= starts_[i - 1]) return false;
+    if (i > 0 && frees_[i] == frees_[i - 1]) return false;
   }
-  return segments_.back().free == capacity_;
+  return frees_.back() == capacity_;
 }
 
 }  // namespace dynp::rms

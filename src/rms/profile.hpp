@@ -7,10 +7,14 @@
 /// and with it implicit backfilling — possible (paper §3; Hovestadt et al.,
 /// "Queuing vs. Planning", JSSPP 2003).
 ///
-/// Representation: a sorted vector of segments (start time, free nodes); each
-/// segment extends to the next one's start, the last to infinity. Because
-/// all allocations are finite, the final segment always has the full machine
-/// free, so every query terminates.
+/// Representation: two parallel sorted vectors (segment start times, free
+/// node counts); each segment extends to the next one's start, the last to
+/// infinity. Because all allocations are finite, the final segment always
+/// has the full machine free, so every query terminates. The
+/// structure-of-arrays split exists for the planner's hot path: the
+/// "earliest feasible start" scan spends most of its time skipping segments
+/// with too few free nodes, which over a dense `free` array is a branchless
+/// (and on x86, SIMD) sweep instead of a strided pointer chase.
 
 #include <cstdint>
 #include <vector>
@@ -23,13 +27,6 @@ namespace dynp::rms {
 /// Piecewise-constant free-capacity timeline.
 class ResourceProfile {
  public:
-  /// One maximal constant-capacity interval. `start` is inclusive; the
-  /// segment ends where the next begins (the last is unbounded).
-  struct Segment {
-    Time start;
-    std::uint32_t free;
-  };
-
   /// A profile for a machine with \p capacity nodes, entirely free from
   /// \p origin onwards.
   explicit ResourceProfile(std::uint32_t capacity, Time origin = 0);
@@ -44,12 +41,34 @@ class ResourceProfile {
   [[nodiscard]] Time earliest_start(Time earliest, std::uint32_t width,
                                     Time duration) const;
 
+  /// As `earliest_start`, additionally reporting in \p first_fit the start
+  /// of the first segment at or after \p earliest with at least \p width
+  /// nodes free — i.e. no width-wide job can start before \p first_fit
+  /// *whatever its duration*. Hot-path planners cache this to skip the
+  /// crowded profile prefix on later queries (see `Planner::plan_into`).
+  [[nodiscard]] Time earliest_start(Time earliest, std::uint32_t width,
+                                    Time duration, Time& first_fit) const;
+
   /// Reserves \p width nodes during [start, start+duration). The interval
   /// must fit (callers obtain `start` from `earliest_start`).
   void allocate(Time start, Time duration, std::uint32_t width);
 
+  /// Fused `earliest_start` + `allocate`: finds the earliest feasible start,
+  /// reserves it, and returns it (also reporting \p first_fit as the 4-arg
+  /// `earliest_start` does). Exactly equivalent to the two separate calls,
+  /// but the allocation reuses the feasible run the query just walked
+  /// instead of re-locating both interval boundaries — this is the planner's
+  /// innermost operation (one per waiting job per candidate per event).
+  Time place(Time earliest, std::uint32_t width, Time duration,
+             Time& first_fit);
+
   /// Releases a previous reservation (exact inverse of `allocate`).
   void deallocate(Time start, Time duration, std::uint32_t width);
+
+  /// Reinitialises to a fully free profile (as after construction), reusing
+  /// the existing segment storage. Used by incremental planners that rebuild
+  /// a base profile every event without reallocating.
+  void reset(std::uint32_t capacity, Time origin = 0);
 
   /// Forgets all structure before time \p t (the new origin). Used by
   /// long-running incremental schedulers to keep the profile at
@@ -59,11 +78,18 @@ class ResourceProfile {
 
   /// Number of segments (profile complexity; O(active reservations)).
   [[nodiscard]] std::size_t segment_count() const noexcept {
-    return segments_.size();
+    return starts_.size();
   }
 
-  [[nodiscard]] const std::vector<Segment>& segments() const noexcept {
-    return segments_;
+  /// Segment start times, sorted ascending (parallel to `segment_frees`).
+  [[nodiscard]] const std::vector<Time>& segment_starts() const noexcept {
+    return starts_;
+  }
+
+  /// Free node count per segment (parallel to `segment_starts`).
+  [[nodiscard]] const std::vector<std::uint32_t>& segment_frees()
+      const noexcept {
+    return frees_;
   }
 
   /// Checks the representation invariants (sorted, merged, bounded free
@@ -81,8 +107,25 @@ class ResourceProfile {
   /// Adds \p delta to the free count over [start, end) and re-merges.
   void apply(Time start, Time end, std::int64_t delta);
 
+  /// Allocation half of `place`: reserves [start, start+duration) given the
+  /// feasible run [i, j] the query walked (duration > 0).
+  void allocate_run(Time start, Time duration, std::uint32_t width,
+                    std::size_t i, std::size_t j);
+
+  /// Merges equal neighbours over the touched range [first-1, last].
+  void merge_range(std::size_t first, std::size_t last);
+
   std::uint32_t capacity_;
-  std::vector<Segment> segments_;
+  std::vector<Time> starts_;          ///< segment start times (sorted)
+  std::vector<std::uint32_t> frees_;  ///< free nodes per segment
+
+  /// Last segment index a query or edit touched — a pure search hint
+  /// (validated before use, so staleness never changes results). Queries
+  /// and the allocation that typically follows them land in the same
+  /// region, which turns most segment lookups into O(1). A consequence:
+  /// concurrent queries on one instance are a data race; give each
+  /// concurrent planning task its own profile (planners already do).
+  mutable std::size_t cursor_ = 0;
 };
 
 }  // namespace dynp::rms

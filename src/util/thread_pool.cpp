@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <latch>
 
 namespace dynp::util {
 
@@ -80,6 +81,19 @@ void parallel_for(std::size_t count,
     });
   }
   pool.wait_idle();
+}
+
+void parallel_invoke(ThreadPool& pool, std::size_t count,
+                     const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::latch done(static_cast<std::ptrdiff_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&body, &done, i] {
+      body(i);
+      done.count_down();
+    });
+  }
+  done.wait();
 }
 
 }  // namespace dynp::util

@@ -59,4 +59,13 @@ class ThreadPool {
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 
+/// Futures-style fork/join on an existing pool: submits `body(i)` for every
+/// i in [0, count) and blocks until the last one finishes. Unlike
+/// `pool.wait_idle()`, this waits only for *these* tasks, so a pool can be
+/// shared by nested or interleaved invocations. Tasks must be independent
+/// and must not throw. The caller's thread does not execute tasks, so the
+/// invocation also works from inside another pool task.
+void parallel_invoke(ThreadPool& pool, std::size_t count,
+                     const std::function<void(std::size_t)>& body);
+
 }  // namespace dynp::util

@@ -1,0 +1,82 @@
+/// Determinism of parallel self-tuning: with `parallel_tuning` on, each pool
+/// candidate is planned by a worker task on its own planning state, and the
+/// decider still consumes the scores in pool order — so the entire
+/// simulation outcome must be bit-identical to the sequential evaluation,
+/// whatever the thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/simulation.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::core {
+namespace {
+
+void expect_identical(const SimulationResult& a, const SimulationResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].id, b.outcomes[i].id) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.outcomes[i].start, b.outcomes[i].start) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.outcomes[i].end, b.outcomes[i].end) << "job " << i;
+  }
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.decisions_per_policy, b.decisions_per_policy);
+  ASSERT_EQ(a.time_in_policy.size(), b.time_in_policy.size());
+  for (std::size_t i = 0; i < a.time_in_policy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.time_in_policy[i], b.time_in_policy[i]) << "policy " << i;
+  }
+  ASSERT_EQ(a.policy_timeline.size(), b.policy_timeline.size());
+  for (std::size_t i = 0; i < a.policy_timeline.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.policy_timeline[i].when, b.policy_timeline[i].when);
+    EXPECT_EQ(a.policy_timeline[i].from, b.policy_timeline[i].from);
+    EXPECT_EQ(a.policy_timeline[i].to, b.policy_timeline[i].to);
+  }
+  EXPECT_DOUBLE_EQ(a.summary.sldwa, b.summary.sldwa);
+  EXPECT_DOUBLE_EQ(a.summary.makespan, b.summary.makespan);
+}
+
+void check_parallel_matches_sequential(const workload::JobSet& set,
+                                       SimulationConfig config) {
+  config.parallel_tuning = false;
+  const SimulationResult sequential = simulate(set, config);
+  // A run without any policy switch would not prove much.
+  EXPECT_GT(sequential.switches, 0u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{3}}) {
+    config.parallel_tuning = true;
+    config.tuning_threads = threads;
+    const SimulationResult parallel = simulate(set, config);
+    SCOPED_TRACE(threads);
+    expect_identical(sequential, parallel);
+  }
+}
+
+TEST(ParallelTuningDeterminism, ReplanSemantics) {
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 800, 11)
+          .with_shrinking_factor(0.8);
+  check_parallel_matches_sequential(
+      set, dynp_config(make_advanced_decider()));
+}
+
+TEST(ParallelTuningDeterminism, GuaranteeSemantics) {
+  const workload::JobSet set =
+      workload::generate(workload::ctc_model(), 600, 23)
+          .with_shrinking_factor(0.9);
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.semantics = PlannerSemantics::kGuarantee;
+  check_parallel_matches_sequential(set, config);
+}
+
+TEST(ParallelTuningDeterminism, SimpleDeciderReplan) {
+  const workload::JobSet set =
+      workload::generate(workload::sdsc_model(), 600, 31);
+  check_parallel_matches_sequential(set, dynp_config(make_simple_decider()));
+}
+
+}  // namespace
+}  // namespace dynp::core

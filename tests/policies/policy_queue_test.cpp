@@ -1,0 +1,99 @@
+/// Property test for the incrementally maintained SortedQueue: after any
+/// sequence of insert / remove / remove_marked operations, `ids()` must
+/// equal a fresh `policies::order` over the current members — the invariant
+/// the self-tuning scheduler relies on when it swaps per-event re-sorts for
+/// incremental maintenance.
+
+#include "policies/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::policies {
+namespace {
+
+/// Random jobs with deliberately small value ranges: ties in every sort key
+/// are common, so the (submit, id) tie-breaking path is exercised as hard as
+/// the primary comparisons.
+[[nodiscard]] std::vector<workload::Job> random_jobs(std::size_t n,
+                                                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<workload::Job> jobs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workload::Job& j = jobs[i];
+    j.id = static_cast<JobId>(i);
+    j.submit = static_cast<Time>(rng.next_below(40));
+    j.width = static_cast<std::uint32_t>(1 + rng.next_below(8));
+    j.estimated_runtime = static_cast<Time>(60 * (1 + rng.next_below(6)));
+    j.actual_runtime = j.estimated_runtime;
+  }
+  return jobs;
+}
+
+class SortedQueueProperty : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(SortedQueueProperty, MatchesFreshOrderUnderRandomOps) {
+  const PolicyKind kind = GetParam();
+  const std::vector<workload::Job> jobs =
+      random_jobs(120, 9001 + static_cast<std::uint64_t>(kind));
+  util::Xoshiro256 rng(17);
+
+  SortedQueue queue(kind, jobs);
+  std::vector<JobId> members;  // reference membership, insertion order
+  std::vector<JobId> pool;     // ids not currently in the queue
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool.push_back(static_cast<JobId>(i));
+  }
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t dice = rng.next_below(10);
+    if (!pool.empty() && (members.empty() || dice < 5)) {
+      // Insert a random non-member; its reported position must be where it
+      // actually landed.
+      const auto k = static_cast<std::size_t>(rng.next_below(pool.size()));
+      const JobId id = pool[k];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(k));
+      const std::size_t pos = queue.insert(id);
+      ASSERT_LT(pos, queue.size());
+      EXPECT_EQ(queue.ids()[pos], id);
+      members.push_back(id);
+    } else if (!members.empty() && dice < 8) {
+      const auto k = static_cast<std::size_t>(rng.next_below(members.size()));
+      const JobId id = members[k];
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(k));
+      queue.remove(id);
+      pool.push_back(id);
+    } else if (!members.empty()) {
+      // Batch removal of a random subset — the started-jobs path.
+      std::vector<char> mark(jobs.size(), 0);
+      std::vector<JobId> kept;
+      for (const JobId id : members) {
+        if (rng.next_below(3) == 0) {
+          mark[id] = 1;
+          pool.push_back(id);
+        } else {
+          kept.push_back(id);
+        }
+      }
+      queue.remove_marked(mark);
+      members = kept;
+    }
+    ASSERT_EQ(queue.ids(), order(kind, members, jobs)) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SortedQueueProperty,
+    ::testing::Values(PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf,
+                      PolicyKind::kSaf, PolicyKind::kWf),
+    [](const ::testing::TestParamInfo<PolicyKind>& info) {
+      return std::string(name(info.param));
+    });
+
+}  // namespace
+}  // namespace dynp::policies

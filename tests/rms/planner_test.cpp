@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "util/rng.hpp"
+
 namespace dynp::rms {
 namespace {
 
@@ -107,6 +111,97 @@ TEST(Planner, BaseProfileReflectsRunningJobs) {
   EXPECT_EQ(p.free_at(0), 3u);
   EXPECT_EQ(p.free_at(150), 6u);
   EXPECT_EQ(p.free_at(250), 8u);
+}
+
+TEST(Planner, PlanIntoReusedScratchMatchesPlan) {
+  // One scratch across many unrelated planning rounds (different instants,
+  // running sets, orders): the reused buffers and epoch-stamped floor tables
+  // must never let one round's state leak into the next. The reference is
+  // the allocating `Planner::plan`.
+  util::Xoshiro256 rng(321);
+  constexpr std::uint32_t kCapacity = 32;
+  std::vector<Job> jobs;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    jobs.push_back(make_job(
+        i, 0, 1 + static_cast<std::uint32_t>(rng.next_below(kCapacity)),
+        static_cast<Time>(60 * (1 + rng.next_below(8))), 0));
+  }
+
+  PlanScratch scratch;
+  Schedule got;
+  for (int round = 0; round < 30; ++round) {
+    const Time now = static_cast<Time>(rng.next_below(5000));
+    // Running jobs occupy disjoint nodes, so their widths sum to at most the
+    // machine capacity (as in any real simulation state).
+    std::vector<RunningJob> running;
+    std::uint32_t free = kCapacity;
+    for (std::uint64_t r = rng.next_below(5); r > 0 && free > 0; --r) {
+      const auto width =
+          1 + static_cast<std::uint32_t>(rng.next_below(free));
+      free -= width;
+      running.push_back({1000 + static_cast<JobId>(r), width,
+                         now + static_cast<Time>(rng.next_below(2000))});
+    }
+    std::vector<JobId> wait;
+    for (std::uint32_t id = 0; id < jobs.size(); ++id) {
+      if (rng.next_below(2) != 0) wait.push_back(id);
+    }
+    for (std::size_t i = wait.size(); i > 1; --i) {  // random order
+      std::swap(wait[i - 1],
+                wait[static_cast<std::size_t>(rng.next_below(i))]);
+    }
+
+    const ResourceProfile base =
+        Planner::base_profile(kCapacity, now, running);
+    Planner::plan_into(base, now, wait, jobs, scratch, got);
+    const Schedule want = Planner::plan(kCapacity, now, running, wait, jobs);
+    ASSERT_EQ(got.size(), want.size()) << "round " << round;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got.entries()[i].id, want.entries()[i].id) << "round " << round;
+      EXPECT_DOUBLE_EQ(got.entries()[i].start, want.entries()[i].start)
+          << "round " << round << " entry " << i;
+    }
+  }
+}
+
+TEST(Planner, ReplanInsertedMatchesFreshPlan) {
+  // Grow an order one random insertion at a time, replanning incrementally
+  // (tail fast path and mid-order replay both occur), and compare each step
+  // against a from-scratch plan of the same order. This is exactly the
+  // submit-event contract `replan_inserted_into` documents.
+  util::Xoshiro256 rng(654);
+  constexpr std::uint32_t kCapacity = 32;
+  std::vector<Job> jobs;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    jobs.push_back(make_job(
+        i, 0, 1 + static_cast<std::uint32_t>(rng.next_below(kCapacity)),
+        static_cast<Time>(60 * (1 + rng.next_below(8))), 0));
+  }
+  const std::vector<RunningJob> running = {{100, 5, 300}, {101, 9, 120}};
+  const Time now = 0;
+  const ResourceProfile base = Planner::base_profile(kCapacity, now, running);
+
+  PlanScratch inc_scratch;
+  Schedule inc;
+  std::vector<JobId> wait;
+  Planner::plan_into(base, now, wait, jobs, inc_scratch, inc);
+
+  PlanScratch fresh_scratch;
+  Schedule fresh;
+  for (std::uint32_t id = 0; id < jobs.size(); ++id) {
+    const auto pos = static_cast<std::size_t>(rng.next_below(wait.size() + 1));
+    wait.insert(wait.begin() + static_cast<std::ptrdiff_t>(pos), id);
+    Planner::replan_inserted_into(base, now, wait, pos, jobs, inc_scratch,
+                                  inc);
+    Planner::plan_into(base, now, wait, jobs, fresh_scratch, fresh);
+    ASSERT_EQ(inc.size(), fresh.size()) << "insert #" << id;
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(inc.entries()[i].id, fresh.entries()[i].id)
+          << "insert #" << id << " entry " << i;
+      EXPECT_DOUBLE_EQ(inc.entries()[i].start, fresh.entries()[i].start)
+          << "insert #" << id << " entry " << i;
+    }
+  }
 }
 
 TEST(Schedule, StartingAtFiltersByTime) {

@@ -102,6 +102,33 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.capacity);
     });
 
+TEST(ProfilePropertyExtra, PlaceMatchesQueryThenAllocate) {
+  // The fused query+allocate must be indistinguishable — same start, same
+  // first-fit report, byte-identical segments — from the two separate calls
+  // it replaces, including zero-duration queries (which allocate nothing).
+  util::Xoshiro256 rng(99);
+  ResourceProfile two_step(64);
+  ResourceProfile fused(64);
+  for (int i = 0; i < 300; ++i) {
+    const auto width = static_cast<std::uint32_t>(1 + rng.next_below(16));
+    const Time duration = static_cast<Time>(rng.next_below(40));
+    const Time earliest = static_cast<Time>(rng.next_below(800));
+
+    Time want_fit = -1;
+    Time got_fit = -1;
+    const Time want = two_step.earliest_start(earliest, width, duration,
+                                              want_fit);
+    two_step.allocate(want, duration, width);
+    const Time got = fused.place(earliest, width, duration, got_fit);
+
+    ASSERT_DOUBLE_EQ(got, want) << "op #" << i;
+    ASSERT_DOUBLE_EQ(got_fit, want_fit) << "op #" << i;
+    ASSERT_EQ(fused.segment_starts(), two_step.segment_starts()) << "op #" << i;
+    ASSERT_EQ(fused.segment_frees(), two_step.segment_frees()) << "op #" << i;
+    ASSERT_TRUE(fused.invariants_ok());
+  }
+}
+
 TEST(ProfilePropertyExtra, AllocateDeallocateRoundTripsToFlat) {
   util::Xoshiro256 rng(77);
   ResourceProfile profile(32);

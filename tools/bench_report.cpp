@@ -1,0 +1,176 @@
+/// bench_report — end-to-end scheduler throughput report.
+///
+/// Runs a fixed set of macro scenarios (trace model x planner semantics x
+/// scheduler) through `core::simulate`, measures wall time per run, and
+/// writes the results as JSON (default: BENCH_planner.json, intended to be
+/// checked in at the repo root so the numbers travel with the code they
+/// measure). The first scenario — 10k KTH jobs through the self-tuning
+/// replan scheduler — is the headline workload of the incremental planning
+/// core; see DESIGN.md §7.
+///
+/// Examples:
+///   bench_report                                # full run, BENCH_planner.json
+///   bench_report --smoke                        # seconds-long sanity run
+///   bench_report --out /tmp/report.json
+///   bench_report --baseline-seconds 14.3        # record a reference time
+///                                               # (e.g. the pre-optimisation
+///                                               # build) for scenario #1
+///
+/// `--smoke` shrinks every scenario to a few hundred jobs so the binary
+/// doubles as a ctest smoke target: it exercises every semantics and both
+/// scheduler modes end to end in well under a minute.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "policies/policy.hpp"
+#include "util/cli.hpp"
+#include "workload/models.hpp"
+
+namespace {
+
+using namespace dynp;
+
+struct Scenario {
+  const char* name;
+  const char* trace;      ///< trace model name (see workload::model_by_name)
+  std::size_t jobs;       ///< full-run job count (--smoke shrinks it)
+  const char* scheduler;  ///< dynp-advanced | fcfs | sjf
+  const char* semantics;  ///< replan | guarantee | easy
+  double factor;          ///< arrival shrinking factor
+};
+
+/// The first row is the acceptance workload of the incremental planning
+/// work; the rest cover the remaining semantics and the queueing baseline.
+constexpr Scenario kScenarios[] = {
+    {"dynp_replan_kth_10k", "KTH", 10000, "dynp-advanced", "replan", 0.5},
+    {"dynp_replan_ctc", "CTC", 2000, "dynp-advanced", "replan", 1.0},
+    {"dynp_guarantee_kth", "KTH", 2000, "dynp-advanced", "guarantee", 0.5},
+    {"static_sjf_replan_sdsc", "SDSC", 2000, "sjf", "replan", 1.0},
+    {"queueing_easy_fcfs_kth", "KTH", 2000, "fcfs", "easy", 1.0},
+};
+
+[[nodiscard]] core::SimulationConfig make_config(const Scenario& s) {
+  core::SimulationConfig config;
+  if (std::string(s.scheduler) == "dynp-advanced") {
+    config = core::dynp_config(core::make_advanced_decider());
+  } else {
+    config = core::static_config(policies::policy_by_name(s.scheduler));
+  }
+  const std::string semantics = s.semantics;
+  config.semantics = semantics == "replan" ? core::PlannerSemantics::kReplan
+                     : semantics == "guarantee"
+                         ? core::PlannerSemantics::kGuarantee
+                         : core::PlannerSemantics::kQueueingEasy;
+  return config;
+}
+
+struct Row {
+  const Scenario* scenario = nullptr;
+  std::size_t jobs = 0;
+  std::uint64_t events = 0;
+  double seconds = 0;
+  double events_per_sec = 0;
+  double sldwa = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t switches = 0;
+};
+
+[[nodiscard]] Row run_scenario(const Scenario& s, std::size_t jobs) {
+  const workload::JobSet set =
+      workload::generate(workload::model_by_name(s.trace), jobs, 42)
+          .with_shrinking_factor(s.factor);
+  const core::SimulationConfig config = make_config(s);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::SimulationResult r = core::simulate(set, config);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.scenario = &s;
+  row.jobs = jobs;
+  row.events = r.events;
+  row.seconds = std::chrono::duration<double>(t1 - t0).count();
+  row.events_per_sec =
+      row.seconds > 0 ? static_cast<double>(r.events) / row.seconds : 0.0;
+  row.sldwa = r.summary.sldwa;
+  row.decisions = r.decisions;
+  row.switches = r.switches;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "bench_report — end-to-end scheduler throughput (events/second) per "
+      "trace model and planner semantics, written as JSON");
+  cli.add_option("out", "BENCH_planner.json", "output JSON path");
+  cli.add_option("baseline-seconds", "0",
+                 "reference wall time for the first scenario (e.g. measured "
+                 "on the pre-optimisation build); recorded with the implied "
+                 "speedup when non-zero");
+  cli.add_flag("smoke", "shrink every scenario to a fast sanity run");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const bool smoke = cli.get_flag("smoke");
+  const double baseline = cli.get_double("baseline-seconds");
+  const std::string out_path = cli.get("out");
+
+  std::printf("%-24s %6s %8s %9s %12s %8s\n", "scenario", "jobs", "events",
+              "seconds", "events/sec", "SLDwA");
+  std::vector<Row> rows;
+  for (const Scenario& s : kScenarios) {
+    const std::size_t jobs = smoke ? std::min<std::size_t>(s.jobs, 300) : s.jobs;
+    const Row row = run_scenario(s, jobs);
+    std::printf("%-24s %6zu %8llu %9.3f %12.0f %8.3f\n", s.name, row.jobs,
+                static_cast<unsigned long long>(row.events), row.seconds,
+                row.events_per_sec, row.sldwa);
+    rows.push_back(row);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"dynp macro simulation throughput\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out,
+               "  \"note\": \"one simulate() per scenario, steady_clock wall "
+               "time; seed 42 synthetic workloads\",\n");
+  std::fprintf(out, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const Scenario& s = *r.scenario;
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"trace\": \"%s\", \"jobs\": %zu, "
+        "\"scheduler\": \"%s\", \"semantics\": \"%s\", \"factor\": %g, "
+        "\"events\": %llu, \"seconds\": %.3f, \"events_per_sec\": %.1f, "
+        "\"sldwa\": %.4f, \"decisions\": %llu, \"switches\": %llu}%s\n",
+        s.name, s.trace, r.jobs, s.scheduler, s.semantics, s.factor,
+        static_cast<unsigned long long>(r.events), r.seconds,
+        r.events_per_sec, r.sldwa,
+        static_cast<unsigned long long>(r.decisions),
+        static_cast<unsigned long long>(r.switches),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]");
+  if (baseline > 0 && !rows.empty() && rows.front().seconds > 0) {
+    std::fprintf(out,
+                 ",\n  \"baseline\": {\"scenario\": \"%s\", \"seconds\": "
+                 "%.3f, \"speedup\": %.2f}",
+                 rows.front().scenario->name, baseline,
+                 baseline / rows.front().seconds);
+  }
+  std::fprintf(out, "\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
