@@ -1,0 +1,299 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace dynp::core {
+
+namespace {
+
+/// Argmin membership under the deciders' epsilon comparison.
+[[nodiscard]] bool ties_minimum(const std::vector<double>& v, std::size_t i) {
+  const double best = *std::min_element(v.begin(), v.end());
+  return value_equal(v[i], best);
+}
+
+/// First pool index tying the minimum, skipping \p skip (use `v.size()` to
+/// skip nothing). The deciders' tie-break is pool order.
+[[nodiscard]] std::size_t first_argmin(const std::vector<double>& v,
+                                       std::size_t skip) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != skip && ties_minimum(v, i)) return i;
+  }
+  return v.size();
+}
+
+/// Re-derivation of `SimpleDecider`: the first policy in pool order that no
+/// later policy strictly beats.
+[[nodiscard]] std::size_t rederive_simple(const std::vector<double>& v) {
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    bool beaten = false;
+    for (std::size_t j = i + 1; j < v.size(); ++j) {
+      beaten = beaten || value_less(v[j], v[i]);
+    }
+    if (!beaten) return i;
+  }
+  return v.size() - 1;
+}
+
+/// Re-derivation of `AdvancedDecider`: stay while tying the minimum, else
+/// best in pool order.
+[[nodiscard]] std::size_t rederive_advanced(const std::vector<double>& v,
+                                            std::size_t old_index) {
+  if (ties_minimum(v, old_index)) return old_index;
+  return first_argmin(v, v.size());
+}
+
+/// The preferred/threshold deciders' allowance band above the minimum.
+[[nodiscard]] double allowance(const std::vector<double>& v, double pct) {
+  const double best = *std::min_element(v.begin(), v.end());
+  return best + std::abs(best) * pct / 100.0;
+}
+
+[[nodiscard]] std::size_t rederive_preferred(const std::vector<double>& v,
+                                             std::size_t old_index,
+                                             std::size_t preferred,
+                                             double pct) {
+  const double allow = allowance(v, pct);
+  if (v[preferred] <= allow || value_equal(v[preferred], allow)) {
+    return preferred;
+  }
+  if (old_index != preferred && ties_minimum(v, old_index)) return old_index;
+  return first_argmin(v, preferred);
+}
+
+[[nodiscard]] std::size_t rederive_threshold(const std::vector<double>& v,
+                                             std::size_t old_index,
+                                             double pct) {
+  const double allow = allowance(v, pct);
+  if (v[old_index] <= allow || value_equal(v[old_index], allow)) {
+    return old_index;
+  }
+  return first_argmin(v, v.size());
+}
+
+}  // namespace
+
+ScheduleAuditor::ScheduleAuditor(std::uint32_t capacity,
+                                 const std::vector<workload::Job>& jobs,
+                                 std::vector<policies::PolicyKind> pool,
+                                 const Decider* decider)
+    : capacity_(capacity),
+      jobs_(jobs),
+      pool_(std::move(pool)),
+      decider_(decider) {
+  DYNP_EXPECTS(capacity_ >= 1);
+  DYNP_EXPECTS(!pool_.empty());
+}
+
+const char* ScheduleAuditor::ctx(const AuditEvent& ev, const char* policy,
+                                 JobId job) {
+  char job_str[16];
+  if (job == kNoJob) {
+    job_str[0] = '-';
+    job_str[1] = '\0';
+  } else {
+    std::snprintf(job_str, sizeof job_str, "%" PRIu32, job);
+  }
+  std::snprintf(ctx_, sizeof ctx_,
+                "event=%" PRIu64 " now=%.6f policy=%s job=%s",
+                ev.event_id, ev.now, policy != nullptr ? policy : "-",
+                job_str);
+  return ctx_;
+}
+
+void ScheduleAuditor::expect(bool ok, const char* what, const AuditEvent& ev,
+                             const char* policy, JobId job) {
+  ++checks_;
+  if (ok) return;
+  ctx(ev, policy, job);
+  std::snprintf(msg_, sizeof msg_, "%s", ctx_);
+  ::dynp::detail::contract_violation_ex("audit invariant", what, __FILE__,
+                                        __LINE__, msg_);
+}
+
+void ScheduleAuditor::check_queues(
+    const AuditEvent& ev, const std::vector<JobId>& waiting,
+    const std::vector<policies::SortedQueue>& queues) {
+  for (const policies::SortedQueue& queue : queues) {
+    const char* policy = policies::name(queue.kind());
+    // A fresh full sort of the current waiting set is the specification the
+    // incremental queue must match exactly (the order is a strict total
+    // order, so it is unique — see SortedQueue's class invariant).
+    sort_scratch_ = policies::order(queue.kind(), waiting, jobs_);
+    expect(queue.ids() == sort_scratch_,
+           "incremental queue equals fresh policy sort", ev, policy, kNoJob);
+  }
+}
+
+void ScheduleAuditor::check_feasible(
+    const AuditEvent& ev, const char* policy, Time now,
+    const std::vector<rms::RunningJob>& running,
+    const std::vector<rms::PlannedJob>& planned) {
+  // Sweep line over reservation deltas, independent of ResourceProfile:
+  // running jobs occupy [now, estimated_end), planned jobs
+  // [start, start + estimate). Frees sort before claims at equal times,
+  // matching the profile's half-open interval semantics.
+  sweep_.clear();
+  for (const rms::RunningJob& r : running) {
+    if (r.estimated_end > now) {
+      sweep_.emplace_back(now, static_cast<std::int64_t>(r.width));
+      sweep_.emplace_back(r.estimated_end,
+                          -static_cast<std::int64_t>(r.width));
+    }
+  }
+  for (const rms::PlannedJob& p : planned) {
+    const workload::Job& job = jobs_[p.id];
+    if (job.estimated_runtime <= 0) continue;
+    sweep_.emplace_back(p.start, static_cast<std::int64_t>(job.width));
+    sweep_.emplace_back(p.start + job.estimated_runtime,
+                        -static_cast<std::int64_t>(job.width));
+  }
+  std::sort(sweep_.begin(), sweep_.end());
+  std::int64_t used = 0;
+  bool within = true;
+  for (const auto& [time, delta] : sweep_) {
+    used += delta;
+    within = within && used <= static_cast<std::int64_t>(capacity_);
+  }
+  expect(within, "reservations never exceed machine capacity", ev, policy,
+         kNoJob);
+  expect(used == 0, "reservation sweep balances", ev, policy, kNoJob);
+}
+
+void ScheduleAuditor::check_schedule(
+    const AuditEvent& ev, const char* policy, Time now,
+    const rms::Schedule& schedule, const std::vector<JobId>& queue_order,
+    const std::vector<rms::RunningJob>& running) {
+  expect(schedule.size() == queue_order.size(),
+         "schedule covers the whole policy queue", ev, policy, kNoJob);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const rms::PlannedJob& p = schedule.entries()[i];
+    expect(p.id == queue_order[i], "schedule follows policy order", ev,
+           policy, p.id);
+    expect(p.start >= now, "planned start not in the past", ev, policy, p.id);
+    expect(p.start >= jobs_[p.id].submit, "planned start after submission",
+           ev, policy, p.id);
+  }
+  check_feasible(ev, policy, now, running, schedule.entries());
+
+  // The determinism anchor: whatever incremental path produced this
+  // schedule (retained scratch profile, replayed prefix, parallel worker),
+  // a from-scratch plan of the same queue must reproduce it byte for byte.
+  fresh_ = rms::Planner::plan(capacity_, now, running, queue_order, jobs_);
+  bool identical = fresh_.size() == schedule.size();
+  JobId offender = kNoJob;
+  for (std::size_t i = 0; identical && i < fresh_.size(); ++i) {
+    const rms::PlannedJob& a = schedule.entries()[i];
+    const rms::PlannedJob& b = fresh_.entries()[i];
+    if (a.id != b.id || a.start != b.start) {
+      identical = false;
+      offender = a.id;
+    }
+  }
+  expect(identical, "incremental schedule bit-identical to fresh plan", ev,
+         policy, offender);
+}
+
+void ScheduleAuditor::check_decision(const AuditEvent& ev) {
+  const DecisionInput& input = *ev.decision;
+  const std::vector<double>& v = input.values;
+  expect(v.size() == pool_.size(), "decision covers the whole pool", ev,
+         nullptr, kNoJob);
+  expect(ev.chosen < v.size(), "chosen index within pool", ev, nullptr,
+         kNoJob);
+
+  // Re-derive the expected choice from the published argmin rules. Custom
+  // deciders (outside the paper's family) only get the bounds check above.
+  std::size_t expected = v.size();
+  if (dynamic_cast<const SimpleDecider*>(decider_) != nullptr) {
+    expected = rederive_simple(v);
+  } else if (dynamic_cast<const AdvancedDecider*>(decider_) != nullptr) {
+    expected = rederive_advanced(v, input.old_index);
+  } else if (const auto* preferred =
+                 dynamic_cast<const PreferredDecider*>(decider_)) {
+    expected = rederive_preferred(v, input.old_index,
+                                  preferred->preferred_index(),
+                                  preferred->threshold_pct());
+  } else if (const auto* threshold =
+                 dynamic_cast<const ThresholdDecider*>(decider_)) {
+    expected = rederive_threshold(v, input.old_index,
+                                  threshold->threshold_pct());
+  }
+  if (expected != v.size()) {
+    expect(ev.chosen == expected, "decider choice matches argmin rules", ev,
+           policies::name(pool_[ev.chosen]), kNoJob);
+  }
+}
+
+void ScheduleAuditor::audit_replan_pass(
+    const AuditEvent& ev, const std::vector<rms::RunningJob>& running,
+    const std::vector<JobId>& waiting,
+    const std::vector<policies::SortedQueue>& queues,
+    const rms::ResourceProfile& base,
+    const std::vector<const rms::Schedule*>& audited) {
+  DYNP_EXPECTS(audited.size() == queues.size() &&
+               queues.size() == pool_.size());
+  ++events_;
+  expect(base.invariants_ok(),
+         "base profile sorted/merged with bounded free counts", ev, nullptr,
+         kNoJob);
+  check_queues(ev, waiting, queues);
+  expect(ev.chosen < audited.size() && audited[ev.chosen] != nullptr,
+         "committed schedule was planned this pass", ev, nullptr, kNoJob);
+  for (std::size_t slot = 0; slot < audited.size(); ++slot) {
+    if (audited[slot] == nullptr) continue;
+    check_schedule(ev, policies::name(pool_[slot]), ev.now, *audited[slot],
+                   queues[slot].ids(), running);
+  }
+  if (ev.tuned && ev.decision != nullptr) check_decision(ev);
+}
+
+void ScheduleAuditor::audit_guarantee_pass(
+    const AuditEvent& ev, const std::vector<rms::RunningJob>& running,
+    const std::vector<JobId>& waiting,
+    const std::vector<policies::SortedQueue>& queues,
+    const rms::ResourceProfile& profile, const std::vector<Time>& reserved) {
+  DYNP_EXPECTS(reserved.size() == jobs_.size());
+  ++events_;
+  expect(profile.invariants_ok(),
+         "guarantee profile sorted/merged with bounded free counts", ev,
+         nullptr, kNoJob);
+  check_queues(ev, waiting, queues);
+  const char* policy = ev.tuned ? policies::name(pool_[ev.chosen]) : nullptr;
+  planned_scratch_.clear();
+  for (const JobId id : waiting) {
+    const Time start = reserved[id];
+    expect(start >= ev.now, "reservation not in the past", ev, policy, id);
+    expect(start >= jobs_[id].submit, "reservation after submission", ev,
+           policy, id);
+    planned_scratch_.push_back(rms::PlannedJob{id, start});
+  }
+  check_feasible(ev, policy, ev.now, running, planned_scratch_);
+  if (ev.tuned && ev.decision != nullptr) check_decision(ev);
+}
+
+void ScheduleAuditor::audit_queueing_pass(
+    const AuditEvent& ev, const std::vector<rms::RunningJob>& running,
+    const std::vector<JobId>& waiting,
+    const std::vector<policies::SortedQueue>& queues,
+    const std::vector<JobId>& due) {
+  DYNP_EXPECTS(!queues.empty());
+  ++events_;
+  check_queues(ev, waiting, queues);
+  std::int64_t used = 0;
+  for (const rms::RunningJob& r : running) used += r.width;
+  for (const JobId id : due) {
+    const bool is_waiting =
+        std::find(waiting.begin(), waiting.end(), id) != waiting.end();
+    expect(is_waiting, "started job was waiting", ev, nullptr, id);
+    used += jobs_[id].width;
+  }
+  expect(used <= static_cast<std::int64_t>(capacity_),
+         "started jobs fit the free machine", ev, nullptr, kNoJob);
+}
+
+}  // namespace dynp::core

@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file audit.hpp
+/// The schedule invariant auditor: an independent re-verification layer that
+/// validates the scheduler's full state after every scheduling event. The
+/// incremental planning core (shared base profiles, bounded re-merge,
+/// incremental replan, per-policy sorted queues, parallel tuning) earns its
+/// speed by *not* recomputing from scratch; the auditor is the machinery
+/// that proves those shortcuts stay bit-identical to the from-scratch
+/// semantics as the system grows.
+///
+/// Enabled per run via `SimulationConfig::audit` (or globally via the
+/// `DYNP_AUDIT` CMake option / `dynp_sim --audit`). Checks are deliberately
+/// implemented *independently* of the data structures they verify: schedule
+/// feasibility uses a sweep line instead of `ResourceProfile`, queue order
+/// uses a fresh `policies::order` sort instead of the incremental queues,
+/// and decider choices are re-derived from the SLDwA argmin rules rather
+/// than by re-invoking the decider. A violation aborts through the
+/// `DYNP_EXPECTS` contract machinery with a structured diagnostic carrying
+/// the event id, policy, and offending job.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decider.hpp"
+#include "policies/policy.hpp"
+#include "rms/planner.hpp"
+#include "rms/profile.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::core {
+
+/// Identity of one audited scheduling pass.
+struct AuditEvent {
+  std::uint64_t event_id = 0;  ///< engine event ordinal (1-based)
+  Time now = 0;                ///< simulation time of the pass
+  bool tuned = false;          ///< a self-tuning decision happened
+  std::size_t chosen = 0;      ///< pool/slot index of the committed schedule
+  /// Candidate values + previous policy (only meaningful when `tuned`).
+  const DecisionInput* decision = nullptr;
+};
+
+/// Independent invariant checker for the three planner semantics. One
+/// instance per simulation; all methods abort (via the contract handler) on
+/// the first violation, so a completed run implies zero violations.
+class ScheduleAuditor {
+ public:
+  /// \param capacity machine size in nodes
+  /// \param jobs     job table indexed by JobId (must outlive the auditor)
+  /// \param pool     the scheduler's policy pool (pool order = slot order)
+  /// \param decider  decider under audit (null in static mode)
+  ScheduleAuditor(std::uint32_t capacity,
+                  const std::vector<workload::Job>& jobs,
+                  std::vector<policies::PolicyKind> pool,
+                  const Decider* decider);
+
+  /// Audits one replan-semantics pass, after planning and the decision but
+  /// before jobs start: every audited candidate schedule (slot ->
+  /// schedule, null = not planned this pass) must cover its policy queue
+  /// exactly, respect `start >= max(now, submit)`, fit the machine jointly
+  /// with the running jobs, and — the determinism anchor — reproduce a
+  /// from-scratch `Planner::plan` byte for byte. Also validates the shared
+  /// base profile's representation invariants, all incremental queues
+  /// against fresh sorts, and the decider's choice.
+  void audit_replan_pass(const AuditEvent& ev,
+                         const std::vector<rms::RunningJob>& running,
+                         const std::vector<JobId>& waiting,
+                         const std::vector<policies::SortedQueue>& queues,
+                         const rms::ResourceProfile& base,
+                         const std::vector<const rms::Schedule*>& audited);
+
+  /// Audits one guarantee-semantics pass after compression committed:
+  /// profile representation invariants, every reservation at or after both
+  /// `now` and the job's submit time, the running + reserved set jointly
+  /// feasible, fresh-sort queue equality, and the decision if one happened.
+  void audit_guarantee_pass(const AuditEvent& ev,
+                            const std::vector<rms::RunningJob>& running,
+                            const std::vector<JobId>& waiting,
+                            const std::vector<policies::SortedQueue>& queues,
+                            const rms::ResourceProfile& profile,
+                            const std::vector<Time>& reserved);
+
+  /// Audits one EASY queueing pass before the due jobs start: queue order
+  /// against a fresh sort, the due set a subset of the waiting queue, and
+  /// running + due widths within machine capacity.
+  void audit_queueing_pass(const AuditEvent& ev,
+                           const std::vector<rms::RunningJob>& running,
+                           const std::vector<JobId>& waiting,
+                           const std::vector<policies::SortedQueue>& queues,
+                           const std::vector<JobId>& due);
+
+  /// Scheduling passes audited.
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  /// Individual invariant checks evaluated (all passed, or we aborted).
+  [[nodiscard]] std::uint64_t checks() const noexcept { return checks_; }
+
+ private:
+  /// Formats the structured diagnostic context ("event=.. now=.. policy=..
+  /// job=..") into `ctx_` and returns it. `policy` / `job` may be null /
+  /// `kNoJob` when not applicable.
+  const char* ctx(const AuditEvent& ev, const char* policy, JobId job);
+
+  static constexpr JobId kNoJob = static_cast<JobId>(-1);
+
+  void check_queues(const AuditEvent& ev,
+                    const std::vector<JobId>& waiting,
+                    const std::vector<policies::SortedQueue>& queues);
+
+  /// Joint feasibility of running jobs (clipped to now) and \p planned
+  /// intervals via an event sweep, independent of `ResourceProfile`.
+  void check_feasible(const AuditEvent& ev, const char* policy, Time now,
+                      const std::vector<rms::RunningJob>& running,
+                      const std::vector<rms::PlannedJob>& planned);
+
+  void check_schedule(const AuditEvent& ev, const char* policy, Time now,
+                      const rms::Schedule& schedule,
+                      const std::vector<JobId>& queue_order,
+                      const std::vector<rms::RunningJob>& running);
+
+  void check_decision(const AuditEvent& ev);
+
+  /// One counted check.
+  void expect(bool ok, const char* what, const AuditEvent& ev,
+              const char* policy, JobId job);
+
+  std::uint32_t capacity_;
+  const std::vector<workload::Job>& jobs_;
+  std::vector<policies::PolicyKind> pool_;
+  const Decider* decider_;
+
+  std::uint64_t events_ = 0;
+  std::uint64_t checks_ = 0;
+
+  // Scratch (audit mode is opt-in, but there is no reason to churn the
+  // allocator on every event).
+  std::vector<JobId> sort_scratch_;
+  std::vector<std::pair<Time, std::int64_t>> sweep_;  ///< (time, +/- width)
+  std::vector<rms::PlannedJob> planned_scratch_;
+  rms::Schedule fresh_;
+  char ctx_[160] = {};
+  char msg_[224] = {};
+};
+
+}  // namespace dynp::core

@@ -6,12 +6,29 @@
 #include <memory>
 #include <thread>
 
+#include "core/audit.hpp"
 #include "rms/planner.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dynp::core {
+
+namespace {
+
+/// True when the schedule invariant auditor should run: per-config opt-in,
+/// or globally forced by building with `-DDYNP_AUDIT=ON` (which defines
+/// `DYNP_AUDIT_FORCE` so the whole test suite runs audited).
+[[nodiscard]] bool audit_enabled(const SimulationConfig& config) noexcept {
+#if defined(DYNP_AUDIT_FORCE)
+  static_cast<void>(config);
+  return true;
+#else
+  return config.audit;
+#endif
+}
+
+}  // namespace
 
 std::string SimulationConfig::label() const {
   std::string base = mode == SchedulerMode::kStatic
@@ -86,6 +103,18 @@ class SchedulerSim final : public sim::Process {
       candidates_.resize(1);
     }
     slot_reusable_.assign(candidates_.size(), 0);
+    if (audit_enabled(config)) {
+      // The auditor's pool mirrors the slot layout: the dynP pool, or the
+      // single static policy at slot 0.
+      std::vector<policies::PolicyKind> audit_pool =
+          config.mode == SchedulerMode::kDynP
+              ? config.pool
+              : std::vector<policies::PolicyKind>{config.static_policy};
+      auditor_ = std::make_unique<ScheduleAuditor>(
+          set.machine().nodes, jobs_, std::move(audit_pool),
+          config.decider.get());
+      audit_views_.resize(candidates_.size());
+    }
   }
 
   [[nodiscard]] SimulationResult run() {
@@ -96,6 +125,10 @@ class SchedulerSim final : public sim::Process {
     DYNP_ENSURES(waiting_.empty());
     DYNP_ENSURES(running_.empty());
     result_.events = engine_.processed();
+    if (auditor_ != nullptr) {
+      result_.audit_events = auditor_->events();
+      result_.audit_checks = auditor_->checks();
+    }
     result_.outcomes = std::move(outcomes_);
     result_.summary =
         metrics::summarize(result_.outcomes, set_.machine().nodes);
@@ -213,7 +246,7 @@ class SchedulerSim final : public sim::Process {
   }
 
   /// Records a decision and returns the chosen pool index.
-  std::size_t decide(DecisionInput input, Time now) {
+  std::size_t decide(const DecisionInput& input, Time now) {
     const std::size_t chosen = config_.decider->decide(input);
     DYNP_ASSERT(chosen < config_.pool.size());
     if (config_.observer != nullptr) {
@@ -302,8 +335,8 @@ class SchedulerSim final : public sim::Process {
     rms::Planner::base_profile_into(set_.machine().nodes, now, running_,
                                     base_profile_);
     std::size_t chosen;
+    DecisionInput input;  // outlives decide() so the auditor can re-check it
     if (tuned) {
-      DecisionInput input;
       input.values.reserve(config_.pool.size());
       input.old_index = policy_index_;
       run_tuning_tasks([&](std::size_t i) {
@@ -313,12 +346,23 @@ class SchedulerSim final : public sim::Process {
                                             jobs_, now);
       });
       for (const Candidate& c : candidates_) input.values.push_back(c.value);
-      chosen = decide(std::move(input), now);
+      chosen = decide(input, now);
     } else {
       // Static mode keeps its single queue/candidate at slot 0; a non-tuning
       // dynP pass uses the active policy's slot (queues_ is in pool order).
       chosen = config_.mode == SchedulerMode::kStatic ? 0 : policy_index_;
       plan_candidate(chosen, now, submit_event);
+    }
+
+    if (auditor_ != nullptr) {
+      std::fill(audit_views_.begin(), audit_views_.end(), nullptr);
+      for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        if (tuned || i == chosen) audit_views_[i] = &candidates_[i].schedule;
+      }
+      auditor_->audit_replan_pass(
+          AuditEvent{engine_.processed(), now, tuned, chosen,
+                     tuned ? &input : nullptr},
+          running_, waiting_, queues_, base_profile_, audit_views_);
     }
 
     due_.clear();
@@ -405,10 +449,12 @@ class SchedulerSim final : public sim::Process {
   void guarantee_pass(Time now, sim::EventKind trigger) {
     if (waiting_.empty()) return;
 
-    if (tune_at(trigger)) {
+    const bool tuned = tune_at(trigger);
+    std::size_t chosen = policy_index_;
+    DecisionInput input;  // outlives decide() so the auditor can re-check it
+    if (tuned) {
       // One compressed candidate per pool policy, each on its own copy of
       // the reservation state; the chosen candidate becomes reality.
-      DecisionInput input;
       input.values.reserve(config_.pool.size());
       input.old_index = policy_index_;
       run_tuning_tasks([&](std::size_t i) {
@@ -422,12 +468,19 @@ class SchedulerSim final : public sim::Process {
                                             jobs_, now);
       });
       for (const Candidate& c : candidates_) input.values.push_back(c.value);
-      const std::size_t chosen = decide(std::move(input), now);
+      chosen = decide(input, now);
       profile_ = candidates_[chosen].profile;
       reserved_ = candidates_[chosen].reserved;
     } else {
       compress(profile_, reserved_, ordered_wait(active_policy()), jobs_,
                now);
+    }
+
+    if (auditor_ != nullptr) {
+      auditor_->audit_guarantee_pass(
+          AuditEvent{engine_.processed(), now, tuned, chosen,
+                     tuned ? &input : nullptr},
+          running_, waiting_, queues_, profile_, reserved_);
     }
 
     // Jobs whose reservation came due start now; their allocation is already
@@ -492,6 +545,12 @@ class SchedulerSim final : public sim::Process {
       }
     }
 
+    if (auditor_ != nullptr) {
+      auditor_->audit_queueing_pass(
+          AuditEvent{engine_.processed(), now, false, 0, nullptr}, running_,
+          waiting_, queues_, due_);
+    }
+
     start_due(now);
   }
 
@@ -522,6 +581,11 @@ class SchedulerSim final : public sim::Process {
   std::vector<std::size_t> insert_pos_;  // queue index -> insertion position
   std::vector<char> slot_reusable_;      // slot index -> plan still valid
   std::unique_ptr<util::ThreadPool> workers_;  // parallel tuning (optional)
+
+  // Invariant auditor (null unless enabled; see `audit_enabled`) and its
+  // per-event view of which candidate slots were planned this pass.
+  std::unique_ptr<ScheduleAuditor> auditor_;
+  std::vector<const rms::Schedule*> audit_views_;
 
   // kGuarantee state: the live profile (running reservations + waiting-job
   // guarantees) and each waiting job's guaranteed start, indexed by JobId.

@@ -106,6 +106,14 @@ struct SimulationConfig {
   /// the pool size). Ignored unless `parallel_tuning` is set.
   std::size_t tuning_threads = 0;
 
+  /// Runs the schedule invariant auditor (`core/audit.hpp`) after every
+  /// scheduling event: candidate and committed schedules re-verified against
+  /// from-scratch plans, incremental queues against fresh sorts, decider
+  /// choices against the argmin rules. The first violation aborts through
+  /// the contract machinery with a structured diagnostic. Also forced on for
+  /// every run when the library is built with `-DDYNP_AUDIT=ON`.
+  bool audit = false;
+
   /// Display label, e.g. "FCFS" or "dynP/SJF-preferred".
   [[nodiscard]] std::string label() const;
 };
@@ -141,6 +149,12 @@ struct SimulationResult {
   };
   /// Chronological switch history (dynP only; empty if no switch happened).
   std::vector<PolicySwitch> policy_timeline;
+
+  /// Scheduling passes audited and individual invariant checks evaluated
+  /// (both 0 unless the auditor ran; a returned result implies every check
+  /// passed — the auditor aborts on the first violation).
+  std::uint64_t audit_events = 0;
+  std::uint64_t audit_checks = 0;
 };
 
 /// Runs \p config over \p set to completion. Deterministic: identical inputs

@@ -27,6 +27,7 @@ ResourceProfile Planner::base_profile(std::uint32_t capacity, Time now,
 void Planner::base_profile_into(std::uint32_t capacity, Time now,
                                 const std::vector<RunningJob>& running,
                                 ResourceProfile& out) {
+  DYNP_EXPECTS(capacity >= 1);
   out.reset(capacity, now);
   for (const RunningJob& r : running) {
     // A running job keeps its nodes until its estimated end; if the estimate
@@ -118,6 +119,7 @@ void Planner::plan_into(const ResourceProfile& base, Time now,
                         const std::vector<JobId>& ordered_wait,
                         const std::vector<workload::Job>& jobs,
                         PlanScratch& scratch, Schedule& out) {
+  DYNP_EXPECTS(ordered_wait.size() <= jobs.size());
   scratch.profile_ = base;
   out.clear();
   prepare_scratch(scratch, base, jobs);

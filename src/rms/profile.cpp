@@ -269,6 +269,7 @@ void ResourceProfile::deallocate(Time start, Time duration,
 }
 
 void ResourceProfile::trim_before(Time t) {
+  DYNP_EXPECTS(!starts_.empty());
   if (t <= starts_.front()) return;
   const std::size_t i = segment_index(t);
   if (i > 0) {
@@ -279,6 +280,8 @@ void ResourceProfile::trim_before(Time t) {
   }
   starts_.front() = t;
   cursor_ = 0;
+  // The unbounded tail keeps the whole machine free whatever was dropped.
+  DYNP_ENSURES(frees_.back() == capacity_);
 }
 
 bool ResourceProfile::invariants_ok() const noexcept {

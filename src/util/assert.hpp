@@ -2,23 +2,130 @@
 
 /// \file assert.hpp
 /// Contract-checking macros in the spirit of the C++ Core Guidelines
-/// `Expects`/`Ensures` (GSL). Violations abort with a diagnostic; they are
-/// active in all build types because the simulator's correctness arguments
-/// (profile invariants, heap ordering) depend on them.
+/// `Expects`/`Ensures` (GSL). Violations route through an installable
+/// handler; the default prints a diagnostic and aborts. They are active in
+/// all build types because the simulator's correctness arguments (profile
+/// invariants, heap ordering, audit checks) depend on them.
+///
+/// Tests install a throwing handler (`ScopedContractThrower`) so contract
+/// checks become observable with `EXPECT_THROW` instead of being untestable
+/// aborts. Handlers may throw (a `[[noreturn]]` function is allowed to exit
+/// by exception); a handler that *returns* still aborts, so the macros'
+/// noreturn guarantee holds for all callers.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
-namespace dynp::detail {
+namespace dynp {
 
-[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
-                                            const char* file, int line) {
-  std::fprintf(stderr, "dynp: %s violated: (%s) at %s:%d\n", kind, expr, file,
-               line);
+/// Everything known about one failed contract check. `detail` is optional
+/// structured context (e.g. the schedule auditor's "event=12 policy=SJF
+/// job=7" breadcrumb); empty when the plain macros fire.
+struct ContractViolation {
+  const char* kind = "";  ///< "precondition", "postcondition", ...
+  const char* expr = "";  ///< stringified condition
+  const char* file = "";
+  int line = 0;
+  const char* detail = "";  ///< structured context, "" if none
+
+  /// One-line human-readable rendering (the default handler's message and
+  /// `ContractViolationError::what()`).
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "dynp: ";
+    s += kind;
+    s += " violated: (";
+    s += expr;
+    s += ") at ";
+    s += file;
+    s += ':';
+    s += std::to_string(line);
+    if (detail[0] != '\0') {
+      s += " [";
+      s += detail;
+      s += ']';
+    }
+    return s;
+  }
+};
+
+/// Thrown by the test handler installed via `ScopedContractThrower`.
+class ContractViolationError : public std::logic_error {
+ public:
+  explicit ContractViolationError(const ContractViolation& v)
+      : std::logic_error(v.to_string()), violation_(v) {}
+
+  [[nodiscard]] const ContractViolation& violation() const noexcept {
+    return violation_;
+  }
+
+ private:
+  ContractViolation violation_;
+};
+
+/// A violation handler either throws or does not return (a returning handler
+/// falls through to `std::abort`). Must be reentrant: contract checks fire
+/// from parallel tuning workers too.
+using ContractHandler = void (*)(const ContractViolation&);
+
+namespace detail {
+
+/// Installed handler; null selects the default print-and-abort behaviour.
+/// Atomic because workers and the main thread may check contracts while a
+/// test (re)installs a handler.
+inline std::atomic<ContractHandler> g_contract_handler{nullptr};
+
+[[noreturn]] inline void contract_violation_ex(const char* kind,
+                                               const char* expr,
+                                               const char* file, int line,
+                                               const char* detail) {
+  const ContractViolation v{kind, expr, file, line, detail};
+  if (ContractHandler handler =
+          g_contract_handler.load(std::memory_order_acquire)) {
+    handler(v);  // may throw; a returning handler aborts below
+  } else {
+    std::fprintf(stderr, "%s\n", v.to_string().c_str());
+  }
   std::abort();
 }
 
-}  // namespace dynp::detail
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  contract_violation_ex(kind, expr, file, line, "");
+}
+
+}  // namespace detail
+
+/// Installs \p handler for all contract violations and returns the previous
+/// one (null = default print-and-abort). Pass null to restore the default.
+inline ContractHandler set_contract_handler(ContractHandler handler) noexcept {
+  return detail::g_contract_handler.exchange(handler,
+                                             std::memory_order_acq_rel);
+}
+
+/// RAII: makes contract violations throw `ContractViolationError` for the
+/// lifetime of the object, then restores the previous handler. Intended for
+/// tests (`EXPECT_THROW(profile.allocate(...), ContractViolationError)`).
+class ScopedContractThrower {
+ public:
+  ScopedContractThrower()
+      : previous_(set_contract_handler(
+            [](const ContractViolation& v) -> void {
+              throw ContractViolationError(v);
+            })) {}
+
+  ScopedContractThrower(const ScopedContractThrower&) = delete;
+  ScopedContractThrower& operator=(const ScopedContractThrower&) = delete;
+
+  ~ScopedContractThrower() { set_contract_handler(previous_); }
+
+ private:
+  ContractHandler previous_;
+};
+
+}  // namespace dynp
 
 /// Precondition check: argument/state requirements at function entry.
 #define DYNP_EXPECTS(cond)                                                  \
@@ -37,3 +144,15 @@ namespace dynp::detail {
   ((cond) ? static_cast<void>(0)                                           \
           : ::dynp::detail::contract_violation("invariant", #cond,         \
                                                __FILE__, __LINE__))
+
+/// Invariant check with structured context: \p ctx is a null-terminated
+/// C string (typically a scratch buffer) carried into the diagnostic and
+/// the `ContractViolation` record as its `detail`. Used by the schedule
+/// auditor to attach "event=... policy=... job=..." breadcrumbs to a
+/// failure. (The parameter is deliberately not named `detail`: that would
+/// macro-replace the `::dynp::detail` namespace qualifier below.)
+#define DYNP_CHECK_CTX(cond, ctx)                                           \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::dynp::detail::contract_violation_ex("audit invariant", #cond, \
+                                                  __FILE__, __LINE__,       \
+                                                  (ctx)))

@@ -1,9 +1,44 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <exception>
 #include <latch>
+#include <mutex>
 
 namespace dynp::util {
+
+namespace {
+
+/// First-exception capture shared by the fork/join helpers: `run` shields a
+/// task body, `rethrow` re-raises the captured exception at the join point.
+class FirstError {
+ public:
+  void run(const std::function<void(std::size_t)>& body, std::size_t i) noexcept {
+    if (failed_.load(std::memory_order_acquire)) return;
+    try {
+      body(i);
+    } catch (...) {
+      const std::lock_guard lock(mutex_);
+      if (!failed_.load(std::memory_order_relaxed)) {
+        error_ = std::current_exception();
+        failed_.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+  void rethrow() {
+    if (failed_.load(std::memory_order_acquire)) {
+      std::rethrow_exception(error_);
+    }
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  std::mutex mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -70,30 +105,34 @@ void parallel_for(std::size_t count,
     return;
   }
   std::atomic<std::size_t> next{0};
+  FirstError error;
   ThreadPool pool(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     pool.submit([&] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
-        body(i);
+        error.run(body, i);
       }
     });
   }
   pool.wait_idle();
+  error.rethrow();
 }
 
 void parallel_invoke(ThreadPool& pool, std::size_t count,
                      const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  FirstError error;
   std::latch done(static_cast<std::ptrdiff_t>(count));
   for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&body, &done, i] {
-      body(i);
+    pool.submit([&body, &done, &error, i] {
+      error.run(body, i);
       done.count_down();
     });
   }
   done.wait();
+  error.rethrow();
 }
 
 }  // namespace dynp::util

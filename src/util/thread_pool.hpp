@@ -55,16 +55,23 @@ class ThreadPool {
 
 /// Runs `body(i)` for every i in [0, count), distributing iterations over a
 /// transient pool of `threads` workers (0 = hardware concurrency). Blocks
-/// until all iterations complete. Iterations must be independent.
+/// until all iterations complete. Iterations must be independent. An
+/// exception escaping an iteration is captured (first one wins) and
+/// rethrown here after all workers drain; remaining iterations may be
+/// skipped once a throw is observed.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 
 /// Futures-style fork/join on an existing pool: submits `body(i)` for every
 /// i in [0, count) and blocks until the last one finishes. Unlike
 /// `pool.wait_idle()`, this waits only for *these* tasks, so a pool can be
-/// shared by nested or interleaved invocations. Tasks must be independent
-/// and must not throw. The caller's thread does not execute tasks, so the
-/// invocation also works from inside another pool task.
+/// shared by nested or interleaved invocations. Tasks must be independent.
+/// An exception escaping a task is captured (first one wins) and rethrown
+/// here after every task of this invocation completed, so the contract
+/// machinery's throwing test handler propagates cleanly out of worker
+/// tasks instead of terminating the process. The caller's thread does not
+/// execute tasks, so the invocation also works from inside another pool
+/// task.
 void parallel_invoke(ThreadPool& pool, std::size_t count,
                      const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,93 @@
+/// TSan stress for the parallel candidate-evaluation path: repeated full
+/// simulations with `parallel_tuning` on, compared bit for bit against the
+/// sequential evaluation — including with the schedule invariant auditor
+/// enabled, which reads the committed candidate state on the main thread
+/// right after the workers join. Run under ThreadSanitizer via
+/// `ctest --preset tsan`; the same assertions hold (cheaply) in a plain
+/// build.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/simulation.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::core {
+namespace {
+
+void expect_identical(const SimulationResult& a, const SimulationResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].start, b.outcomes[i].start) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.outcomes[i].end, b.outcomes[i].end) << "job " << i;
+  }
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.decisions_per_policy, b.decisions_per_policy);
+  EXPECT_DOUBLE_EQ(a.summary.sldwa, b.summary.sldwa);
+  EXPECT_DOUBLE_EQ(a.summary.makespan, b.summary.makespan);
+}
+
+TEST(ParallelTuningStress, RepeatedParallelRunsMatchSequential) {
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 400, 17)
+          .with_shrinking_factor(0.8);
+  SimulationConfig config = dynp_config(make_advanced_decider());
+
+  config.parallel_tuning = false;
+  const SimulationResult sequential = simulate(set, config);
+  EXPECT_GT(sequential.switches, 0u);
+
+  config.parallel_tuning = true;
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{3},
+                                    std::size_t{4}}) {
+    config.tuning_threads = threads;
+    // Repetition matters under TSan: each run re-creates the worker pool
+    // and re-races the per-candidate planning tasks.
+    for (int rep = 0; rep < 2; ++rep) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                        << " rep=" << rep);
+      expect_identical(sequential, simulate(set, config));
+    }
+  }
+}
+
+TEST(ParallelTuningStress, AuditedParallelRunMatchesSequential) {
+  // The auditor walks every candidate schedule after the workers joined;
+  // under TSan this verifies the join publishes the workers' writes.
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 300, 29)
+          .with_shrinking_factor(0.9);
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.audit = true;
+
+  config.parallel_tuning = false;
+  const SimulationResult sequential = simulate(set, config);
+  EXPECT_GT(sequential.audit_events, 0u);
+
+  config.parallel_tuning = true;
+  config.tuning_threads = 3;
+  const SimulationResult parallel = simulate(set, config);
+  EXPECT_EQ(parallel.audit_events, sequential.audit_events);
+  EXPECT_EQ(parallel.audit_checks, sequential.audit_checks);
+  expect_identical(sequential, parallel);
+}
+
+TEST(ParallelTuningStress, GuaranteeSemanticsParallelMatchesSequential) {
+  const workload::JobSet set =
+      workload::generate(workload::ctc_model(), 300, 41);
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.semantics = PlannerSemantics::kGuarantee;
+
+  config.parallel_tuning = false;
+  const SimulationResult sequential = simulate(set, config);
+
+  config.parallel_tuning = true;
+  config.tuning_threads = 3;
+  expect_identical(sequential, simulate(set, config));
+}
+
+}  // namespace
+}  // namespace dynp::core

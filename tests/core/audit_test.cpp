@@ -1,0 +1,350 @@
+/// Tests for the schedule invariant auditor (core/audit.hpp). Two layers:
+///
+///  * unit: fabricated scheduler states — consistent ones must pass, and
+///    each class of corruption (stale queue, infeasible packing, start
+///    before submit, tampered planned start, wrong decider choice, bad
+///    reservation, oversubscribed EASY start) must trip the matching check.
+///    `ScopedContractThrower` turns the audit abort into a catchable
+///    `ContractViolationError` carrying the structured breadcrumb;
+///  * integration: a full audited simulation must report zero violations
+///    and reproduce the unaudited run bit for bit.
+
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "rms/planner.hpp"
+#include "rms/profile.hpp"
+#include "util/assert.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::core {
+namespace {
+
+using policies::PolicyKind;
+using policies::SortedQueue;
+using rms::PlannedJob;
+using rms::RunningJob;
+using rms::Schedule;
+
+constexpr std::uint32_t kCapacity = 8;
+
+/// Three width-2 jobs submitted at t=0 (ids 0..2), FCFS order = id order.
+std::vector<workload::Job> make_jobs(std::uint32_t width = 2,
+                                     Time submit2 = 0) {
+  return {
+      {0, 0, width, 100, 100},
+      {1, 0, width, 100, 100},
+      {2, submit2, width, 100, 100},
+  };
+}
+
+SortedQueue make_queue(PolicyKind kind, const std::vector<workload::Job>& jobs,
+                       const std::vector<JobId>& members) {
+  SortedQueue queue(kind, jobs);
+  for (const JobId id : members) queue.insert(id);
+  return queue;
+}
+
+AuditEvent plain_event(Time now = 0) { return AuditEvent{1, now, false, 0}; }
+
+TEST(ScheduleAuditor, ConsistentReplanStatePasses) {
+  const std::vector<workload::Job> jobs = make_jobs();
+  ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
+  const std::vector<JobId> waiting = {0, 1, 2};
+  const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
+  const Schedule planned =
+      rms::Planner::plan(kCapacity, 0, {}, queue.ids(), jobs);
+  const rms::ResourceProfile base(kCapacity);
+
+  ScopedContractThrower thrower;
+  EXPECT_NO_THROW(auditor.audit_replan_pass(plain_event(), {}, waiting,
+                                            {queue}, base, {&planned}));
+  EXPECT_EQ(auditor.events(), 1u);
+  EXPECT_GT(auditor.checks(), 0u);
+}
+
+TEST(ScheduleAuditor, DetectsStaleIncrementalQueue) {
+  const std::vector<workload::Job> jobs = make_jobs();
+  ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
+  // The queue lost job 1: a fresh sort of the waiting set disagrees.
+  const std::vector<JobId> waiting = {0, 1, 2};
+  const SortedQueue stale = make_queue(PolicyKind::kFcfs, jobs, {0, 2});
+  const Schedule planned;
+  const rms::ResourceProfile base(kCapacity);
+
+  ScopedContractThrower thrower;
+  try {
+    auditor.audit_replan_pass(plain_event(), {}, waiting, {stale}, base,
+                              {&planned});
+    FAIL() << "stale queue not detected";
+  } catch (const ContractViolationError& e) {
+    EXPECT_NE(std::string(e.violation().expr).find("fresh policy sort"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.violation().detail).find("policy=FCFS"),
+              std::string::npos);
+  }
+}
+
+TEST(ScheduleAuditor, DetectsInfeasiblePacking) {
+  // Three width-4 jobs all planned at t=0 on an 8-node machine: 12 > 8.
+  const std::vector<workload::Job> jobs = make_jobs(/*width=*/4);
+  ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
+  const std::vector<JobId> waiting = {0, 1, 2};
+  const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
+  const Schedule overpacked(
+      std::vector<PlannedJob>{{0, 0}, {1, 0}, {2, 0}});
+  const rms::ResourceProfile base(kCapacity);
+
+  ScopedContractThrower thrower;
+  try {
+    auditor.audit_replan_pass(plain_event(), {}, waiting, {queue}, base,
+                              {&overpacked});
+    FAIL() << "oversubscription not detected";
+  } catch (const ContractViolationError& e) {
+    EXPECT_NE(std::string(e.violation().expr).find("exceed machine capacity"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.violation().detail).find("event=1"),
+              std::string::npos);
+  }
+}
+
+TEST(ScheduleAuditor, DetectsStartBeforeSubmission) {
+  // Job 2 is submitted at t=50 but the schedule starts it at t=0.
+  const std::vector<workload::Job> jobs = make_jobs(/*width=*/2,
+                                                    /*submit2=*/50);
+  ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
+  const std::vector<JobId> waiting = {0, 1, 2};
+  const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
+  const Schedule premature(
+      std::vector<PlannedJob>{{0, 0}, {1, 0}, {2, 0}});
+  const rms::ResourceProfile base(kCapacity);
+
+  ScopedContractThrower thrower;
+  try {
+    auditor.audit_replan_pass(plain_event(), {}, waiting, {queue}, base,
+                              {&premature});
+    FAIL() << "start before submit not detected";
+  } catch (const ContractViolationError& e) {
+    EXPECT_NE(std::string(e.violation().expr).find("after submission"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.violation().detail).find("job=2"),
+              std::string::npos);
+  }
+}
+
+TEST(ScheduleAuditor, DetectsDivergenceFromFreshPlan) {
+  // A delayed-but-feasible start: every local check holds, only the
+  // bit-identical comparison against a from-scratch plan catches it. This
+  // is the check that guards the incremental replanner.
+  const std::vector<workload::Job> jobs = {{0, 0, 2, 100, 100}};
+  ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
+  const std::vector<JobId> waiting = {0};
+  const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
+  const Schedule delayed(std::vector<PlannedJob>{{0, 64}});
+  const rms::ResourceProfile base(kCapacity);
+
+  ScopedContractThrower thrower;
+  try {
+    auditor.audit_replan_pass(plain_event(), {}, waiting, {queue}, base,
+                              {&delayed});
+    FAIL() << "divergence from fresh plan not detected";
+  } catch (const ContractViolationError& e) {
+    EXPECT_NE(std::string(e.violation().expr).find("bit-identical"),
+              std::string::npos);
+  }
+}
+
+class DeciderAuditFixture : public ::testing::Test {
+ protected:
+  DeciderAuditFixture()
+      : jobs_(make_jobs()),
+        decider_(make_advanced_decider()),
+        auditor_(kCapacity, jobs_, policies::paper_pool(), decider_.get()),
+        queues_{SortedQueue(PolicyKind::kFcfs, jobs_),
+                SortedQueue(PolicyKind::kSjf, jobs_),
+                SortedQueue(PolicyKind::kLjf, jobs_)},
+        base_(kCapacity) {}
+
+  /// A tuned pass with empty queues: only the decision is under test.
+  void audit_choice(std::size_t chosen, const DecisionInput& input) {
+    const AuditEvent ev{1, 0, /*tuned=*/true, chosen, &input};
+    auditor_.audit_replan_pass(ev, {}, {}, queues_, base_,
+                               {&empty_, &empty_, &empty_});
+  }
+
+  std::vector<workload::Job> jobs_;
+  std::shared_ptr<const Decider> decider_;
+  ScheduleAuditor auditor_;
+  std::vector<SortedQueue> queues_;
+  rms::ResourceProfile base_;
+  Schedule empty_;
+};
+
+TEST_F(DeciderAuditFixture, AcceptsArgminConsistentChoice) {
+  ScopedContractThrower thrower;
+  // Advanced decider, old policy beaten: must pick the minimum (index 1).
+  EXPECT_NO_THROW(audit_choice(1, DecisionInput{{2.0, 1.0, 1.5}, 0}));
+  // Old policy ties the minimum: staying is the mandated choice.
+  EXPECT_NO_THROW(audit_choice(2, DecisionInput{{5.0, 1.0, 1.0}, 2}));
+}
+
+TEST_F(DeciderAuditFixture, DetectsArgminInconsistentChoice) {
+  ScopedContractThrower thrower;
+  // Claiming slot 2 when the advanced rules mandate slot 1.
+  try {
+    audit_choice(2, DecisionInput{{2.0, 1.0, 1.5}, 0});
+    FAIL() << "wrong decider choice not detected";
+  } catch (const ContractViolationError& e) {
+    EXPECT_NE(std::string(e.violation().expr).find("argmin rules"),
+              std::string::npos);
+  }
+}
+
+TEST(ScheduleAuditor, GuaranteePassAcceptsValidReservations) {
+  const std::vector<workload::Job> jobs = make_jobs();
+  ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
+  const std::vector<JobId> waiting = {1, 2};
+  const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
+  const std::vector<RunningJob> running = {{0, 2, 100}};
+  const std::vector<Time> reserved = {0, 10, 20};
+
+  ScopedContractThrower thrower;
+  EXPECT_NO_THROW(auditor.audit_guarantee_pass(plain_event(/*now=*/5),
+                                               running, waiting, {queue},
+                                               rms::ResourceProfile(kCapacity),
+                                               reserved));
+  EXPECT_EQ(auditor.events(), 1u);
+}
+
+TEST(ScheduleAuditor, GuaranteePassDetectsReservationInThePast) {
+  const std::vector<workload::Job> jobs = make_jobs();
+  ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
+  const std::vector<JobId> waiting = {1, 2};
+  const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
+  const std::vector<Time> reserved = {0, 2, 20};  // job 1 reserved before now
+
+  ScopedContractThrower thrower;
+  try {
+    auditor.audit_guarantee_pass(plain_event(/*now=*/5), {}, waiting, {queue},
+                                 rms::ResourceProfile(kCapacity), reserved);
+    FAIL() << "past reservation not detected";
+  } catch (const ContractViolationError& e) {
+    EXPECT_NE(std::string(e.violation().expr).find("not in the past"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.violation().detail).find("job=1"),
+              std::string::npos);
+  }
+}
+
+TEST(ScheduleAuditor, QueueingPassDetectsStartOfNonWaitingJob) {
+  const std::vector<workload::Job> jobs = make_jobs();
+  ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
+  const std::vector<JobId> waiting = {0};
+  const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
+
+  ScopedContractThrower thrower;
+  try {
+    auditor.audit_queueing_pass(plain_event(), {}, waiting, {queue},
+                                /*due=*/{1});
+    FAIL() << "non-waiting start not detected";
+  } catch (const ContractViolationError& e) {
+    EXPECT_NE(std::string(e.violation().expr).find("was waiting"),
+              std::string::npos);
+  }
+}
+
+TEST(ScheduleAuditor, QueueingPassDetectsOversubscribedStart) {
+  const std::vector<workload::Job> jobs = make_jobs(/*width=*/4);
+  ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
+  const std::vector<JobId> waiting = {1};
+  const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
+  // 6 nodes running + a width-4 start = 10 > 8.
+  const std::vector<RunningJob> running = {{0, 6, 100}};
+
+  ScopedContractThrower thrower;
+  try {
+    auditor.audit_queueing_pass(plain_event(), running, waiting, {queue},
+                                /*due=*/{1});
+    FAIL() << "oversubscribed start not detected";
+  } catch (const ContractViolationError& e) {
+    EXPECT_NE(std::string(e.violation().expr).find("fit the free machine"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Integration: full audited runs.
+
+void expect_same_run(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_DOUBLE_EQ(a.summary.sldwa, b.summary.sldwa);
+  EXPECT_DOUBLE_EQ(a.summary.makespan, b.summary.makespan);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.switches, b.switches);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].start, b.outcomes[i].start) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.outcomes[i].end, b.outcomes[i].end) << "job " << i;
+  }
+}
+
+TEST(AuditedSimulation, ReplanRunIsCleanAndBitIdentical) {
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 400, 11)
+          .with_shrinking_factor(0.8);
+  SimulationConfig config = dynp_config(make_advanced_decider());
+
+  const SimulationResult plain = simulate(set, config);
+  EXPECT_EQ(plain.audit_events, 0u);
+  EXPECT_EQ(plain.audit_checks, 0u);
+
+  config.audit = true;
+  const SimulationResult audited = simulate(set, config);
+  EXPECT_GT(audited.audit_events, 0u);
+  EXPECT_GT(audited.audit_checks, audited.audit_events);
+  expect_same_run(plain, audited);
+}
+
+TEST(AuditedSimulation, GuaranteeRunIsCleanAndBitIdentical) {
+  const workload::JobSet set =
+      workload::generate(workload::ctc_model(), 300, 23);
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.semantics = PlannerSemantics::kGuarantee;
+
+  const SimulationResult plain = simulate(set, config);
+  config.audit = true;
+  const SimulationResult audited = simulate(set, config);
+  EXPECT_GT(audited.audit_events, 0u);
+  expect_same_run(plain, audited);
+}
+
+TEST(AuditedSimulation, EasyQueueingRunIsCleanAndBitIdentical) {
+  const workload::JobSet set =
+      workload::generate(workload::sdsc_model(), 300, 31);
+  SimulationConfig config = static_config(policies::PolicyKind::kFcfs);
+  config.semantics = PlannerSemantics::kQueueingEasy;
+
+  const SimulationResult plain = simulate(set, config);
+  config.audit = true;
+  const SimulationResult audited = simulate(set, config);
+  EXPECT_GT(audited.audit_events, 0u);
+  expect_same_run(plain, audited);
+}
+
+TEST(AuditedSimulation, StaticReplanRunIsClean) {
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 300, 7);
+  SimulationConfig config = static_config(policies::PolicyKind::kSjf);
+  config.audit = true;
+  const SimulationResult audited = simulate(set, config);
+  EXPECT_GT(audited.audit_events, 0u);
+  EXPECT_GT(audited.audit_checks, 0u);
+}
+
+}  // namespace
+}  // namespace dynp::core

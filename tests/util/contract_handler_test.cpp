@@ -1,0 +1,124 @@
+/// Tests for the installable contract-violation handler (util/assert.hpp):
+/// `ScopedContractThrower` turns the otherwise-aborting DYNP_EXPECTS family
+/// into observable `ContractViolationError` throws, which is what makes
+/// every other contract test in the suite possible.
+
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace dynp {
+namespace {
+
+int checked_positive(int x) {
+  DYNP_EXPECTS(x > 0);
+  return x;
+}
+
+void checked_postcondition(bool ok) { DYNP_ENSURES(ok); }
+
+void checked_invariant(bool ok) { DYNP_ASSERT(ok); }
+
+TEST(ContractHandler, ScopedThrowerTurnsViolationsIntoExceptions) {
+  ScopedContractThrower thrower;
+  EXPECT_THROW(checked_positive(-1), ContractViolationError);
+  EXPECT_THROW(checked_positive(0), ContractViolationError);
+  EXPECT_EQ(checked_positive(7), 7);
+}
+
+TEST(ContractHandler, ViolationRecordCarriesKindExprAndLocation) {
+  ScopedContractThrower thrower;
+  try {
+    checked_positive(-1);
+    FAIL() << "expected ContractViolationError";
+  } catch (const ContractViolationError& e) {
+    const ContractViolation& v = e.violation();
+    EXPECT_STREQ(v.kind, "precondition");
+    EXPECT_NE(std::string(v.expr).find("x > 0"), std::string::npos);
+    EXPECT_NE(std::string(v.file).find("contract_handler_test"),
+              std::string::npos);
+    EXPECT_GT(v.line, 0);
+    EXPECT_STREQ(v.detail, "");
+    EXPECT_NE(std::string(e.what()).find("precondition violated"),
+              std::string::npos);
+  }
+}
+
+TEST(ContractHandler, EachMacroReportsItsKind) {
+  ScopedContractThrower thrower;
+  try {
+    checked_postcondition(false);
+    FAIL();
+  } catch (const ContractViolationError& e) {
+    EXPECT_STREQ(e.violation().kind, "postcondition");
+  }
+  try {
+    checked_invariant(false);
+    FAIL();
+  } catch (const ContractViolationError& e) {
+    EXPECT_STREQ(e.violation().kind, "invariant");
+  }
+}
+
+TEST(ContractHandler, CheckCtxCarriesStructuredDetail) {
+  ScopedContractThrower thrower;
+  const char* breadcrumb = "event=7 now=3.5 policy=SJF job=12";
+  try {
+    DYNP_CHECK_CTX(false, breadcrumb);
+    FAIL();
+  } catch (const ContractViolationError& e) {
+    EXPECT_STREQ(e.violation().kind, "audit invariant");
+    EXPECT_STREQ(e.violation().detail, breadcrumb);
+    // The rendered message embeds the breadcrumb in brackets.
+    EXPECT_NE(std::string(e.what()).find("[event=7 now=3.5 policy=SJF job=12]"),
+              std::string::npos);
+  }
+}
+
+TEST(ContractHandler, SetHandlerReturnsPrevious) {
+  const ContractHandler custom = [](const ContractViolation& v) {
+    throw std::runtime_error(v.to_string());
+  };
+  const ContractHandler before = set_contract_handler(custom);
+  EXPECT_EQ(set_contract_handler(before), custom);
+}
+
+TEST(ContractHandler, ScopeExitRestoresPreviousHandler) {
+  // Install a distinguishable outer handler, wrap a throwing scope inside
+  // it, and verify the outer handler is back afterwards.
+  const ContractHandler outer = [](const ContractViolation& v) {
+    throw std::runtime_error(v.to_string());
+  };
+  const ContractHandler original = set_contract_handler(outer);
+  {
+    ScopedContractThrower thrower;
+    EXPECT_THROW(checked_positive(-1), ContractViolationError);
+  }
+  EXPECT_THROW(checked_positive(-1), std::runtime_error);
+  set_contract_handler(original);
+}
+
+TEST(ContractHandler, NestedScopesUnwindInOrder) {
+  ScopedContractThrower outer;
+  {
+    ScopedContractThrower inner;
+    EXPECT_THROW(checked_positive(-1), ContractViolationError);
+  }
+  EXPECT_THROW(checked_positive(-1), ContractViolationError);
+}
+
+TEST(ContractHandler, LibraryPreconditionsBecomeTestable) {
+  // A real contract from the library, not a test fixture: JobSet::operator[]
+  // requires the index to be in range.
+  ScopedContractThrower thrower;
+  const workload::JobSet empty;
+  EXPECT_THROW(static_cast<void>(empty[0]), ContractViolationError);
+}
+
+}  // namespace
+}  // namespace dynp

@@ -95,6 +95,8 @@ int main(int argc, char** argv) {
   cli.add_option("semantics", "replan", "replan|guarantee|easy");
   cli.add_option("export", "", "directory for outcome/timeline CSV export");
   cli.add_flag("validate", "run the schedule validator on the result");
+  cli.add_flag("audit", "run the schedule invariant auditor on every "
+               "scheduling event (aborts on the first violation)");
   cli.add_flag("plot", "render an ASCII utilisation timeline (and dynP "
                "policy strip)");
   cli.add_flag("stats", "print workload statistics before simulating");
@@ -152,6 +154,7 @@ int main(int argc, char** argv) {
                    cli.get_double("threshold"), config)) {
     return 1;
   }
+  config.audit = cli.get_flag("audit");
 
   const core::SimulationResult r = core::simulate(jobs, config);
 
@@ -183,6 +186,15 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", t.to_string().c_str());
+
+  if (r.audit_events > 0) {
+    // The auditor aborts on the first violation, so reaching this line
+    // means every check passed.
+    std::printf("audit: %llu events audited, %llu invariant checks, "
+                "0 violations\n",
+                static_cast<unsigned long long>(r.audit_events),
+                static_cast<unsigned long long>(r.audit_checks));
+  }
 
   if (cli.get_flag("plot")) {
     std::printf("\nutilisation over time:\n%s",

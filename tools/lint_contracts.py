@@ -1,0 +1,339 @@
+#!/usr/bin/env python3
+"""Repo-specific contract lint for the dynP scheduler sources.
+
+Machine-enforces the invariant style the codebase relies on (see
+docs/architecture.md, "Correctness tooling"):
+
+  R1 contract-missing   Public mutating methods of classes declared in
+                        src/rms and src/core — non-const non-static methods,
+                        plus static methods taking a non-const reference
+                        (out-parameter style) — must check at least one
+                        DYNP_EXPECTS / DYNP_ENSURES / DYNP_ASSERT /
+                        DYNP_CHECK_CTX in their definition. Trivial bodies
+                        (at most two statements, no loop) are exempt, as are
+                        declarations carrying a `// lint: no-contract(<why>)`
+                        waiver on or directly above the declaration.
+  R2 naked-abort        No std::abort / abort( in src/ outside
+                        util/assert.hpp — failures must route through the
+                        contract machinery so the installable handler and
+                        structured diagnostics apply.
+  R3 naked-printf       No stdout printing (printf / std::printf / puts /
+                        std::cout) in library code under src/; reporting
+                        belongs to tools/, bench/ and examples/. (fprintf to
+                        stderr and snprintf formatting stay allowed.)
+  R4 unseeded-rng       No rand()/srand() and no default-constructed
+                        standard engines (std::mt19937 etc.) in src/ —
+                        determinism requires the seeded SplitMix/xoshiro
+                        generators from util/rng.hpp.
+  R5 banned-include     Hot-path headers (profile, planner, engine, event
+                        queue, policy) must not pull in iostream-family or
+                        cstdio headers.
+
+Usage: lint_contracts.py [repo-root]   (exit 0 = clean, 1 = findings)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CONTRACT_RE = re.compile(r"\bDYNP_(EXPECTS|ENSURES|ASSERT|CHECK_CTX)\s*\(")
+WAIVER = "lint: no-contract"
+
+# R1 scope: the planning core and the scheduler core.
+CONTRACT_DIRS = ("src/rms", "src/core")
+
+# R5 scope and ban list.
+HOT_HEADERS = (
+    "src/rms/profile.hpp",
+    "src/rms/planner.hpp",
+    "src/sim/engine.hpp",
+    "src/sim/event_queue.hpp",
+    "src/policies/policy.hpp",
+)
+BANNED_INCLUDES = ("iostream", "fstream", "sstream", "iomanip", "regex",
+                   "cstdio", "stdio.h")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving offsets/newlines."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            for k in range(i, j):
+                out[k] = " "
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            for k in range(i, j + 2):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 2
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j = j + 2 if text[j] == "\\" else j + 1
+            for k in range(i, min(j + 1, n)):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def match_brace(text: str, open_pos: int) -> int:
+    """Position just past the brace matching text[open_pos] == '{'."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+CLASS_RE = re.compile(
+    r"\b(class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{;()]*)?\{")
+
+# One method declaration/definition inside a class body. The params group
+# has no nested parens anywhere in this codebase.
+METHOD_RE = re.compile(
+    r"(?P<prefix>[^;{}()]*?)"
+    r"\b(?P<name>~?[A-Za-z_]\w*|operator\s*[^\s(]+)\s*"
+    r"\((?P<params>[^()]*)\)\s*"
+    r"(?P<qual>(?:const|noexcept|override|final|->\s*[\w:<>&\s]+|\s)*)"
+    r"(?P<term>\{|;|=)")
+
+ACCESS_RE = re.compile(r"\b(public|protected|private)\s*:")
+
+
+def has_nonconst_ref_param(params: str) -> bool:
+    for param in params.split(","):
+        if "&" in param and not param.strip().startswith("const "):
+            return True
+    return False
+
+
+def is_trivial_body(body: str) -> bool:
+    return body.count(";") <= 2 and not re.search(r"\b(for|while)\s*\(", body)
+
+
+def blank_nested_classes(body: str) -> str:
+    """Blanks nested class/struct bodies so their methods are not attributed
+    to the enclosing class (they are linted when their own match is visited).
+    """
+    out = body
+    for m in CLASS_RE.finditer(body):
+        open_pos = m.end() - 1
+        end = match_brace(body, open_pos)
+        out = out[: m.start()] + "".join(
+            ch if ch == "\n" else " " for ch in body[m.start():end]
+        ) + out[end:]
+    return out
+
+
+def find_cpp_definition(class_name: str, method: str,
+                        cpp_texts: dict[Path, str]) -> str | None:
+    pattern = re.compile(
+        rf"\b{re.escape(class_name)}\s*::\s*{re.escape(method)}\s*\([^()]*\)"
+        rf"[^;{{]*\{{")
+    for text in cpp_texts.values():
+        m = pattern.search(text)
+        if m:
+            open_pos = text.find("{", m.end() - 1)
+            return text[open_pos:match_brace(text, open_pos)]
+    return None
+
+
+def lint_contracts_in(path: Path, raw: str, cpp_texts: dict[Path, str],
+                      findings: list[Finding]) -> None:
+    text = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+
+    def is_waived(line: int) -> bool:
+        for ln in (line, line - 1):
+            if 1 <= ln <= len(raw_lines) and WAIVER in raw_lines[ln - 1]:
+                return True
+        return False
+
+    for cm in CLASS_RE.finditer(text):
+        kind, class_name = cm.group(1), cm.group(2)
+        body_open = cm.end() - 1
+        body_end = match_brace(text, body_open)
+        body = blank_nested_classes(text[body_open + 1:body_end - 1])
+        body_base = body_open + 1
+
+        # Access regions: struct default public, class default private.
+        access = "public" if kind == "struct" else "private"
+        regions = []  # (start, end, access)
+        last = 0
+        for am in ACCESS_RE.finditer(body):
+            regions.append((last, am.start(), access))
+            access, last = am.group(1), am.end()
+        regions.append((last, len(body), access))
+
+        pos = 0
+        while True:
+            mm = METHOD_RE.search(body, pos)
+            if mm is None:
+                break
+            name = mm.group("name")
+            decl_line = line_of(text, body_base + mm.start("name"))
+            term = mm.group("term")
+            inline_body = None
+            if term == "{":
+                open_pos = body_base + mm.end() - 1
+                end = match_brace(text, open_pos)
+                inline_body = text[open_pos:end]
+                pos = end - body_base
+            elif term == "=":
+                pos = mm.end()  # defaulted/deleted/pure virtual
+                continue
+            else:
+                pos = mm.end()
+
+            acc = next(a for s, e, a in regions
+                       if s <= mm.start("name") < e)
+            prefix = mm.group("prefix")
+            qualifiers = mm.group("qual")
+            is_static = bool(re.search(r"\bstatic\b", prefix))
+            is_const = bool(re.search(r"\bconst\b", qualifiers))
+            is_special = (name == class_name or name.startswith("~")
+                          or name.startswith("operator"))
+            # `name(...)` matches function *calls* too when scanning region
+            # text loosely; require the prefix to look like a declaration
+            # (ends with a type-ish token or is empty for ctors).
+            looks_like_call = bool(re.search(r"[=.\->(,!&|+]\s*$", prefix))
+
+            if (acc != "public" or is_special or is_const or looks_like_call):
+                continue
+            mutating = not is_static or has_nonconst_ref_param(
+                mm.group("params"))
+            if not mutating:
+                continue
+
+            if term == "=":
+                continue
+            definition = inline_body
+            if definition is None:
+                definition = find_cpp_definition(class_name, name, cpp_texts)
+            if definition is None:
+                continue  # declaration without a findable body (e.g. macro)
+            if is_trivial_body(definition):
+                continue
+            if CONTRACT_RE.search(definition) or is_waived(decl_line):
+                continue
+            findings.append(Finding(
+                path, decl_line, "contract-missing",
+                f"public mutating method '{class_name}::{name}' checks no "
+                f"DYNP_EXPECTS/DYNP_ASSERT contract (add one or waive with "
+                f"'// {WAIVER}(<reason>)')"))
+
+
+def lint_line_rules(path: Path, rel: str, raw: str,
+                    findings: list[Finding]) -> None:
+    text = strip_comments_and_strings(raw)
+    in_assert_hpp = rel == "src/util/assert.hpp"
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not in_assert_hpp:
+            if re.search(r"\bstd\s*::\s*abort\s*\(|(?<![\w.])abort\s*\(",
+                         line):
+                findings.append(Finding(
+                    path, i, "naked-abort",
+                    "abort outside util/assert.hpp — fail through "
+                    "DYNP_EXPECTS/DYNP_ASSERT so the contract handler and "
+                    "structured diagnostics apply"))
+            if re.search(r"(?<![\w.])(?:std\s*::\s*)?printf\s*\(|"
+                         r"(?<![\w.])puts\s*\(|\bstd\s*::\s*cout\b", line):
+                findings.append(Finding(
+                    path, i, "naked-printf",
+                    "stdout printing in library code — reporting belongs to "
+                    "tools/, bench/ or examples/"))
+        if re.search(r"(?<![\w.])(?:std\s*::\s*)?s?rand\s*\(", line):
+            findings.append(Finding(
+                path, i, "unseeded-rng",
+                "rand()/srand() — use the seeded generators in util/rng.hpp"))
+        if re.search(r"\bstd\s*::\s*(mt19937(?:_64)?|minstd_rand0?|"
+                     r"default_random_engine)\s*(?:\w+\s*)?[;{(]\s*[)};]?\s*$",
+                     line) and "(" not in line.split("std::")[-1].split(";")[0]:
+            findings.append(Finding(
+                path, i, "unseeded-rng",
+                "default-constructed standard engine — seed explicitly via "
+                "util/rng.hpp"))
+
+
+def lint_hot_header_includes(path: Path, raw: str,
+                             findings: list[Finding]) -> None:
+    for i, line in enumerate(raw.splitlines(), start=1):
+        m = re.match(r'\s*#\s*include\s*[<"]([^>"]+)[>"]', line)
+        if m and m.group(1) in BANNED_INCLUDES:
+            findings.append(Finding(
+                path, i, "banned-include",
+                f"<{m.group(1)}> in a hot-path header — keep I/O and "
+                f"formatting out of the planning core"))
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_contracts: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+
+    sources = sorted(src.rglob("*.hpp")) + sorted(src.rglob("*.cpp"))
+    texts = {p: p.read_text(encoding="utf-8") for p in sources}
+
+    # R2/R3/R4 over all of src/.
+    for path, raw in texts.items():
+        lint_line_rules(path, path.relative_to(root).as_posix(), raw, findings)
+
+    # R5 over the hot headers.
+    for rel in HOT_HEADERS:
+        path = root / rel
+        if path.exists():
+            lint_hot_header_includes(path, texts.get(path) or
+                                     path.read_text(encoding="utf-8"),
+                                     findings)
+
+    # R1 over rms/core class surfaces.
+    for d in CONTRACT_DIRS:
+        base = root / d
+        cpp_texts = {p: strip_comments_and_strings(texts[p])
+                     for p in sorted(base.glob("*.cpp"))}
+        for header in sorted(base.glob("*.hpp")):
+            lint_contracts_in(header, texts[header], cpp_texts, findings)
+
+    for f in sorted(findings, key=lambda f: (str(f.path), f.line)):
+        print(f)
+    if findings:
+        print(f"lint_contracts: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_contracts: clean ({len(sources)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
