@@ -6,14 +6,16 @@
 
 namespace dynp::core {
 
-RecordingDecider::RecordingDecider(std::shared_ptr<const Decider> inner)
-    : inner_(std::move(inner)) {
+RecordingDecider::RecordingDecider(std::shared_ptr<const Decider> inner,
+                                   obs::Tracer* tracer)
+    : inner_(std::move(inner)), tracer_(tracer) {
   DYNP_EXPECTS(inner_ != nullptr);
 }
 
 std::size_t RecordingDecider::decide(const DecisionInput& input) const {
   const std::size_t chosen = inner_->decide(input);
   records_.push_back(DecisionRecord{input.values, input.old_index, chosen});
+  if (tracer_ != nullptr) tracer_->decision(records_.back());
   return chosen;
 }
 

@@ -5,21 +5,22 @@
 /// the candidate values, the previously active policy and the choice. Used
 /// to audit decider behaviour offline (e.g. how often candidates tie, how
 /// often the decision depends on the old policy) without touching the
-/// wrapped decider or the scheduler.
+/// wrapped decider or the scheduler. Optionally streams each record to an
+/// `obs::Tracer` as it happens, so the decision log lands in the same trace
+/// file as the scheduling events.
 
 #include <memory>
 #include <vector>
 
 #include "core/decider.hpp"
+#include "obs/trace.hpp"
 
 namespace dynp::core {
 
-/// One recorded decision.
-struct DecisionRecord {
-  std::vector<double> values;  ///< candidate values, pool order
-  std::size_t old_index = 0;   ///< active policy before the decision
-  std::size_t chosen = 0;      ///< the wrapped decider's pick
-};
+/// One recorded decision. The record type is shared with the tracer
+/// (`obs::DecisionRecord`) so the decorator's buffer and the trace stream
+/// carry identical data.
+using DecisionRecord = obs::DecisionRecord;
 
 /// Wraps another decider and appends a `DecisionRecord` per call.
 ///
@@ -28,7 +29,11 @@ struct DecisionRecord {
 /// stateful decider).
 class RecordingDecider final : public Decider {
  public:
-  explicit RecordingDecider(std::shared_ptr<const Decider> inner);
+  /// \param inner  the wrapped decider (required)
+  /// \param tracer optional sink: every record is additionally emitted as a
+  ///        trace decision record (non-owning; must outlive the decider).
+  explicit RecordingDecider(std::shared_ptr<const Decider> inner,
+                            obs::Tracer* tracer = nullptr);
 
   [[nodiscard]] std::size_t decide(const DecisionInput& input) const override;
   [[nodiscard]] std::string name() const override;
@@ -47,6 +52,7 @@ class RecordingDecider final : public Decider {
 
  private:
   std::shared_ptr<const Decider> inner_;
+  obs::Tracer* tracer_;
   mutable std::vector<DecisionRecord> records_;
 };
 

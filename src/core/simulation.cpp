@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/audit.hpp"
+#include "obs/obs.hpp"
 #include "rms/planner.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
@@ -115,6 +116,40 @@ class SchedulerSim final : public sim::Process {
           config.decider.get());
       audit_views_.resize(candidates_.size());
     }
+#if !defined(DYNP_OBS_DISABLED)
+    if (config.instruments.any()) {
+      obs_ = std::make_unique<Instruments>();
+      obs_->registry = config.instruments.registry;
+      obs_->tracer = config.instruments.tracer;
+      obs_->profiler = config.instruments.profiler;
+      if (obs_->registry != nullptr) {
+        obs::Registry& reg = *obs_->registry;
+        obs_->submit_events = &reg.counter("sim.events.submit");
+        obs_->finish_events = &reg.counter("sim.events.finish");
+        obs_->jobs_started = &reg.counter("sim.jobs.started");
+        obs_->decisions = &reg.counter("sim.decider.decisions");
+        obs_->switches = &reg.counter("sim.decider.switches");
+        if (config.mode == SchedulerMode::kDynP) {
+          obs_->policy_picks.reserve(config.pool.size());
+          for (const policies::PolicyKind kind : config.pool) {
+            obs_->policy_picks.push_back(&reg.counter(
+                std::string("sim.decider.pick.") + policies::name(kind)));
+          }
+        }
+        obs_->queue_depth =
+            &reg.histogram("sim.queue_depth", obs::exponential_edges(1, 2, 12));
+        obs_->profile_segments = &reg.histogram(
+            "planner.profile_segments", obs::exponential_edges(1, 2, 14));
+      }
+      if (obs_->profiler != nullptr && workers_ != nullptr) {
+        obs::PhaseProfiler* prof = obs_->profiler;
+        workers_->set_task_timer([prof](double wait_us, double run_us) {
+          prof->record(obs::Phase::kPoolTaskWait, wait_us);
+          prof->record(obs::Phase::kPoolTaskRun, run_us);
+        });
+      }
+    }
+#endif
   }
 
   [[nodiscard]] SimulationResult run() {
@@ -136,7 +171,11 @@ class SchedulerSim final : public sim::Process {
   }
 
   void handle(const sim::Event& event) override {
+    DYNP_OBS_SCOPED(profiler(), obs::Phase::kEvent);
     const Time now = engine_.now();
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ != nullptr) begin_event_record(event, now);
+#endif
     if (config_.mode == SchedulerMode::kDynP) {
       // Time-in-policy accounting up to this event.
       result_.time_in_policy[policy_index_] += now - last_event_time_;
@@ -147,8 +186,11 @@ class SchedulerSim final : public sim::Process {
     if (event.kind == sim::EventKind::kSubmit) {
       waiting_.push_back(event.job);
       insert_pos_.clear();
-      for (policies::SortedQueue& queue : queues_) {
-        insert_pos_.push_back(queue.insert(event.job));
+      {
+        DYNP_OBS_SCOPED(profiler(), obs::Phase::kQueueInsert);
+        for (policies::SortedQueue& queue : queues_) {
+          insert_pos_.push_back(queue.insert(event.job));
+        }
       }
       if (guarantee_mode()) insert_reservation(event.job, now);
       if (config_.observer != nullptr) {
@@ -158,6 +200,11 @@ class SchedulerSim final : public sim::Process {
       finish_job(event.job, now);
     }
 
+#if !defined(DYNP_OBS_DISABLED)
+    // Waiting count going into the pass; the difference after it is the
+    // number of jobs that started at this event.
+    const std::size_t waiting_before = waiting_.size();
+#endif
     switch (config_.semantics) {
       case PlannerSemantics::kGuarantee:
         guarantee_pass(now, event.kind);
@@ -169,6 +216,9 @@ class SchedulerSim final : public sim::Process {
         queueing_pass(now);
         break;
     }
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ != nullptr) finish_event_record(waiting_before - waiting_.size());
+#endif
   }
 
  private:
@@ -184,6 +234,75 @@ class SchedulerSim final : public sim::Process {
     std::vector<Time> reserved;       ///< reservation copy (guarantee only)
     double value = 0;                 ///< preview-metric score
   };
+
+#if !defined(DYNP_OBS_DISABLED)
+  /// Pre-resolved instrument handles (one registry name lookup at
+  /// construction instead of one per event) plus the per-event record
+  /// scratch. Built only when the config wires at least one sink; every
+  /// use site is additionally compiled out under `-DDYNP_OBS=OFF`.
+  struct Instruments {
+    obs::Registry* registry = nullptr;
+    obs::Tracer* tracer = nullptr;
+    obs::PhaseProfiler* profiler = nullptr;
+
+    obs::Counter* submit_events = nullptr;
+    obs::Counter* finish_events = nullptr;
+    obs::Counter* jobs_started = nullptr;
+    obs::Counter* decisions = nullptr;
+    obs::Counter* switches = nullptr;
+    std::vector<obs::Counter*> policy_picks;  ///< pool order (dynP only)
+    obs::Histogram* queue_depth = nullptr;
+    obs::Histogram* profile_segments = nullptr;
+
+    obs::SchedEventRecord record;  ///< scratch for the in-flight event
+    rms::PlanStats plan_seen;      ///< cumulative totals at the last event
+  };
+
+  [[nodiscard]] obs::PhaseProfiler* profiler() const noexcept {
+    return obs_ != nullptr ? obs_->profiler : nullptr;
+  }
+
+  /// Opens the per-event record (called first thing in `handle`).
+  void begin_event_record(const sim::Event& event, Time now) {
+    obs::SchedEventRecord& r = obs_->record;
+    r = obs::SchedEventRecord{};
+    r.seq = engine_.processed();  // 1-based ordinal of the current event
+    r.sim_time = now;
+    r.submit = event.kind == sim::EventKind::kSubmit;
+  }
+
+  /// Completes and emits the per-event record after the scheduling pass:
+  /// planner work is attributed to this event by diffing the cumulative
+  /// per-candidate scratch totals against the previous event's snapshot.
+  void finish_event_record(std::size_t started) {
+    obs::SchedEventRecord& r = obs_->record;
+    r.queue_depth = waiting_.size();
+    r.started = started;
+    rms::PlanStats total;
+    for (const Candidate& c : candidates_) {
+      const rms::PlanStats& s = c.scratch.stats();
+      total.full_plans += s.full_plans;
+      total.incremental_plans += s.incremental_plans;
+      total.jobs_placed += s.jobs_placed;
+      total.jobs_replayed += s.jobs_replayed;
+    }
+    r.full_plans = total.full_plans - obs_->plan_seen.full_plans;
+    r.incremental_plans =
+        total.incremental_plans - obs_->plan_seen.incremental_plans;
+    r.jobs_placed = total.jobs_placed - obs_->plan_seen.jobs_placed;
+    r.jobs_replayed = total.jobs_replayed - obs_->plan_seen.jobs_replayed;
+    obs_->plan_seen = total;
+    r.profile_segments = guarantee_mode() ? profile_.segment_count()
+                                          : base_profile_.segment_count();
+    if (obs_->registry != nullptr) {
+      (r.submit ? obs_->submit_events : obs_->finish_events)->add();
+      if (started != 0) obs_->jobs_started->add(started);
+      obs_->queue_depth->observe(static_cast<double>(r.queue_depth));
+      obs_->profile_segments->observe(static_cast<double>(r.profile_segments));
+    }
+    if (obs_->tracer != nullptr) obs_->tracer->event(r);
+  }
+#endif
 
   [[nodiscard]] bool guarantee_mode() const noexcept {
     return config_.semantics == PlannerSemantics::kGuarantee;
@@ -247,8 +366,29 @@ class SchedulerSim final : public sim::Process {
 
   /// Records a decision and returns the chosen pool index.
   std::size_t decide(const DecisionInput& input, Time now) {
-    const std::size_t chosen = config_.decider->decide(input);
+    std::size_t chosen;
+    {
+      DYNP_OBS_SCOPED(profiler(), obs::Phase::kDecide);
+      chosen = config_.decider->decide(input);
+    }
     DYNP_ASSERT(chosen < config_.pool.size());
+#if !defined(DYNP_OBS_DISABLED)
+    // Record the verdict before `policy_index_` mutates below, while the
+    // old/new comparison is still observable.
+    if (obs_ != nullptr) {
+      obs::SchedEventRecord& r = obs_->record;
+      r.tuned = true;
+      r.decision.values = input.values;
+      r.decision.old_index = input.old_index;
+      r.decision.chosen = chosen;
+      r.switched = chosen != policy_index_;
+      if (obs_->registry != nullptr) {
+        obs_->decisions->add();
+        obs_->policy_picks[chosen]->add();
+        if (chosen != policy_index_) obs_->switches->add();
+      }
+    }
+#endif
     if (config_.observer != nullptr) {
       config_.observer->on_decision(now, input, chosen);
     }
@@ -282,6 +422,7 @@ class SchedulerSim final : public sim::Process {
   /// per container instead of a nested find per member.
   void start_due(Time now) {
     if (due_.empty()) return;
+    DYNP_OBS_SCOPED(profiler(), obs::Phase::kCommit);
     for (const JobId id : due_) record_start(id, now);
     for (const JobId id : due_) started_mark_[id] = 1;
     std::erase_if(waiting_,
@@ -314,10 +455,12 @@ class SchedulerSim final : public sim::Process {
   void plan_candidate(std::size_t i, Time now, bool submit_event) {
     Candidate& c = candidates_[i];
     if (submit_event && slot_reusable_[i] != 0 && replayable_at(c, now)) {
+      DYNP_OBS_SCOPED(profiler(), obs::Phase::kPlanIncremental);
       rms::Planner::replan_inserted_into(base_profile_, now, queues_[i].ids(),
                                          insert_pos_[i], jobs_, c.scratch,
                                          c.schedule);
     } else {
+      DYNP_OBS_SCOPED(profiler(), obs::Phase::kPlanFull);
       rms::Planner::plan_into(base_profile_, now, queues_[i].ids(), jobs_,
                               c.scratch, c.schedule);
     }
@@ -332,8 +475,11 @@ class SchedulerSim final : public sim::Process {
     const bool submit_event = trigger == sim::EventKind::kSubmit;
     // The running-jobs profile is identical for every candidate: build it
     // once per event and let each candidate copy it.
-    rms::Planner::base_profile_into(set_.machine().nodes, now, running_,
-                                    base_profile_);
+    {
+      DYNP_OBS_SCOPED(profiler(), obs::Phase::kBaseProfile);
+      rms::Planner::base_profile_into(set_.machine().nodes, now, running_,
+                                      base_profile_);
+    }
     std::size_t chosen;
     DecisionInput input;  // outlives decide() so the auditor can re-check it
     if (tuned) {
@@ -342,6 +488,7 @@ class SchedulerSim final : public sim::Process {
       run_tuning_tasks([&](std::size_t i) {
         Candidate& c = candidates_[i];
         plan_candidate(i, now, submit_event);
+        DYNP_OBS_SCOPED(profiler(), obs::Phase::kPreviewScore);
         c.value = metrics::evaluate_preview(config_.preview, c.schedule,
                                             jobs_, now);
       });
@@ -461,9 +608,13 @@ class SchedulerSim final : public sim::Process {
         Candidate& c = candidates_[i];
         c.profile = profile_;
         c.reserved = reserved_;
-        compress(c.profile, c.reserved, ordered_wait(config_.pool[i]), jobs_,
-                 now);
+        {
+          DYNP_OBS_SCOPED(profiler(), obs::Phase::kCompress);
+          compress(c.profile, c.reserved, ordered_wait(config_.pool[i]),
+                   jobs_, now);
+        }
         preview_into(c.reserved, c.schedule);
+        DYNP_OBS_SCOPED(profiler(), obs::Phase::kPreviewScore);
         c.value = metrics::evaluate_preview(config_.preview, c.schedule,
                                             jobs_, now);
       });
@@ -472,6 +623,7 @@ class SchedulerSim final : public sim::Process {
       profile_ = candidates_[chosen].profile;
       reserved_ = candidates_[chosen].reserved;
     } else {
+      DYNP_OBS_SCOPED(profiler(), obs::Phase::kCompress);
       compress(profile_, reserved_, ordered_wait(active_policy()), jobs_,
                now);
     }
@@ -586,6 +738,11 @@ class SchedulerSim final : public sim::Process {
   // per-event view of which candidate slots were planned this pass.
   std::unique_ptr<ScheduleAuditor> auditor_;
   std::vector<const rms::Schedule*> audit_views_;
+
+#if !defined(DYNP_OBS_DISABLED)
+  // Instrumentation handles (null unless the config wires a sink).
+  std::unique_ptr<Instruments> obs_;
+#endif
 
   // kGuarantee state: the live profile (running reservations + waiting-job
   // guarantees) and each waiting job's guaranteed start, indexed by JobId.

@@ -21,6 +21,7 @@
 #include "core/decider.hpp"
 #include "core/observer.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/instruments.hpp"
 #include "policies/policy.hpp"
 #include "workload/job.hpp"
 
@@ -89,6 +90,13 @@ struct SimulationConfig {
   /// Optional observation hooks (non-owning; may be nullptr). Called
   /// synchronously from the simulation loop.
   SimulationObserver* observer = nullptr;
+
+  /// Instrumentation sinks (metrics registry, event tracer, phase profiler;
+  /// see `obs/instruments.hpp`). All optional and non-owning. Purely
+  /// observational: wiring them never changes a scheduling decision, and a
+  /// library built with `-DDYNP_OBS=OFF` ignores them entirely — the
+  /// simulation is bit-identical either way.
+  obs::RunInstruments instruments;
 
   /// Self-tuning step on submit events (paper: on).
   bool tune_on_submit = true;

@@ -21,7 +21,8 @@ SweepRunner::SweepRunner(workload::TraceModel model, ExperimentScale scale)
 
 CombinedPoint SweepRunner::run(double factor,
                                const core::SimulationConfig& config,
-                               std::size_t threads) const {
+                               std::size_t threads,
+                               obs::Registry* registry) const {
   const std::size_t n = ensemble_.size();
   std::vector<core::SimulationResult> results(n);
   util::parallel_for(
@@ -29,7 +30,13 @@ CombinedPoint SweepRunner::run(double factor,
       [&](std::size_t i) {
         const workload::JobSet scaled =
             ensemble_[i].with_shrinking_factor(factor);
-        results[i] = core::simulate(scaled, config);
+        if (registry != nullptr) {
+          core::SimulationConfig run_config = config;
+          run_config.instruments.registry = registry;
+          results[i] = core::simulate(scaled, run_config);
+        } else {
+          results[i] = core::simulate(scaled, config);
+        }
       },
       threads);
 

@@ -61,10 +61,14 @@ class SweepRunner {
 
   /// Simulates every set at the given shrinking factor under \p config and
   /// combines the results. Sets are simulated in parallel over \p threads
-  /// workers (0 = hardware concurrency).
+  /// workers (0 = hardware concurrency). When \p registry is non-null every
+  /// per-set simulation aggregates its metrics into it (the obs instruments
+  /// are thread-safe, so concurrent sets simply sum); tracers/profilers are
+  /// per-run sinks and not wired here.
   [[nodiscard]] CombinedPoint run(double factor,
                                   const core::SimulationConfig& config,
-                                  std::size_t threads = 0) const;
+                                  std::size_t threads = 0,
+                                  obs::Registry* registry = nullptr) const;
 
  private:
   workload::TraceModel model_;

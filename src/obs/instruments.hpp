@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file instruments.hpp
+/// The lightweight seam between the scheduler and the instrumentation layer:
+/// a bundle of non-owning sink pointers that `SimulationConfig` carries.
+/// Forward declarations only, so including this from core headers costs
+/// nothing; the full subsystem lives behind `obs/obs.hpp`.
+
+namespace dynp::obs {
+
+class Registry;
+class Tracer;
+class PhaseProfiler;
+
+/// Whether the instrumentation hooks are compiled into this build. With
+/// `-DDYNP_OBS=OFF` every hook (metric updates, trace records, phase
+/// scopes) is preprocessed away and a wired `RunInstruments` is ignored;
+/// simulations are guaranteed bit-identical either way (the hooks only ever
+/// read scheduler state).
+#if defined(DYNP_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Instrumentation sinks for one run (all optional, all non-owning; the
+/// caller keeps ownership and outlives the simulation). A shared `Registry`
+/// across concurrent runs aggregates; a `Tracer` interleaves records, so
+/// give each traced run its own.
+struct RunInstruments {
+  Registry* registry = nullptr;
+  Tracer* tracer = nullptr;
+  PhaseProfiler* profiler = nullptr;
+
+  [[nodiscard]] bool any() const noexcept {
+    return registry != nullptr || tracer != nullptr || profiler != nullptr;
+  }
+};
+
+}  // namespace dynp::obs

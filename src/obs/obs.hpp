@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file obs.hpp
+/// Umbrella header of the instrumentation layer: metrics registry
+/// (`obs/registry.hpp`), structured event tracer (`obs/trace.hpp`), phase
+/// profiler (`obs/profiler.hpp`) and the `RunInstruments` seam
+/// (`obs/instruments.hpp`). See DESIGN.md §9 for the architecture and the
+/// zero-overhead-when-disabled guarantees.
+
+#include "obs/instruments.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"

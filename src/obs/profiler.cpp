@@ -1,0 +1,54 @@
+#include "obs/profiler.hpp"
+
+namespace dynp::obs {
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kEvent:
+      return "event";
+    case Phase::kQueueInsert:
+      return "queue_insert";
+    case Phase::kBaseProfile:
+      return "base_profile";
+    case Phase::kPlanFull:
+      return "plan_full";
+    case Phase::kPlanIncremental:
+      return "plan_incremental";
+    case Phase::kPreviewScore:
+      return "preview_score";
+    case Phase::kDecide:
+      return "decide";
+    case Phase::kCompress:
+      return "compress";
+    case Phase::kCommit:
+      return "commit";
+    case Phase::kPoolTaskWait:
+      return "pool_task_wait";
+    case Phase::kPoolTaskRun:
+      return "pool_task_run";
+  }
+  return "unknown";
+}
+
+PhaseProfiler::PhaseProfiler(Registry& registry, Tracer* tracer)
+    : tracer_(tracer) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::string name =
+        std::string("phase.") + phase_name(static_cast<Phase>(i)) + "_us";
+    histograms_[i] = &registry.histogram(name, default_latency_edges_us());
+  }
+}
+
+void PhaseProfiler::record(Phase phase, double us) noexcept {
+  histograms_[static_cast<std::size_t>(phase)]->observe(us);
+}
+
+void PhaseProfiler::record_span(Phase phase,
+                                std::chrono::steady_clock::time_point start,
+                                std::chrono::steady_clock::time_point end) {
+  record(phase,
+         std::chrono::duration<double, std::micro>(end - start).count());
+  if (tracer_ != nullptr) tracer_->span(phase_name(phase), start, end);
+}
+
+}  // namespace dynp::obs

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file profiler.hpp
+/// The phase profiler: RAII scoped timers over the named phases of the dynP
+/// pipeline, feeding per-phase latency histograms in a `Registry` and
+/// (optionally) spans into a `Tracer`. Scopes are cheap — two
+/// `steady_clock` reads plus one lock-free histogram update — and free when
+/// the profiler pointer is null, so the hot paths carry a single branch per
+/// phase when profiling is off at runtime. Building with `-DDYNP_OBS=OFF`
+/// removes even that branch: the `DYNP_OBS_SCOPED` macro (and every other
+/// instrumentation hook) compiles to nothing.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace dynp::obs {
+
+/// The instrumented phases of the scheduling pipeline.
+enum class Phase : std::uint8_t {
+  kEvent = 0,         ///< one whole scheduling event (core/simulation)
+  kQueueInsert,       ///< per-policy sorted-queue insertion (policies)
+  kBaseProfile,       ///< running-jobs base profile build (rms/planner)
+  kPlanFull,          ///< from-scratch candidate plan (rms/planner)
+  kPlanIncremental,   ///< incremental replan after a submit (rms/planner)
+  kPreviewScore,      ///< preview-metric evaluation of one candidate
+  kDecide,            ///< decider scoring (core/decider)
+  kCompress,          ///< guarantee-semantics compression sweep
+  kCommit,            ///< starting due jobs + queue removal
+  kPoolTaskWait,      ///< thread-pool task queue wait (util/thread_pool)
+  kPoolTaskRun,       ///< thread-pool task execution (util/thread_pool)
+};
+inline constexpr std::size_t kPhaseCount = 11;
+
+/// Stable phase name ("plan_full", ...; used as `phase.<name>_us` histogram
+/// names and as trace span names).
+[[nodiscard]] const char* phase_name(Phase phase) noexcept;
+
+/// Binds the phase histograms in \p registry (named `phase.<name>_us`,
+/// microsecond latency buckets) and optionally mirrors every scope as a
+/// trace span. `record`/`record_span` are thread-safe (worker tasks report
+/// through the same profiler).
+class PhaseProfiler {
+ public:
+  explicit PhaseProfiler(Registry& registry, Tracer* tracer = nullptr);
+
+  /// Feeds \p us into the phase's histogram (no trace span — for externally
+  /// timed observations such as the thread-pool task timer).
+  void record(Phase phase, double us) noexcept;
+
+  /// Feeds the duration into the histogram and, when a tracer is attached,
+  /// emits the span.
+  void record_span(Phase phase, std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end);
+
+  /// RAII scope: times from construction to destruction. A null profiler
+  /// makes the scope a no-op (no clock reads).
+  class Scope {
+   public:
+    Scope(PhaseProfiler* profiler, Phase phase) noexcept
+        : profiler_(profiler),
+          phase_(phase),
+          start_(profiler != nullptr ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{}) {}
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    ~Scope() {
+      if (profiler_ != nullptr) {
+        profiler_->record_span(phase_, start_,
+                               std::chrono::steady_clock::now());
+      }
+    }
+
+   private:
+    PhaseProfiler* profiler_;
+    Phase phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  std::array<Histogram*, kPhaseCount> histograms_{};
+  Tracer* tracer_;
+};
+
+// Scoped-phase macro used at the instrumentation sites. With the library
+// built normally it declares a `PhaseProfiler::Scope`; under -DDYNP_OBS=OFF
+// (which defines DYNP_OBS_DISABLED globally) it expands to nothing, so the
+// hot paths are bit-for-bit the uninstrumented code.
+#define DYNP_OBS_CONCAT_IMPL(a, b) a##b
+#define DYNP_OBS_CONCAT(a, b) DYNP_OBS_CONCAT_IMPL(a, b)
+#if !defined(DYNP_OBS_DISABLED)
+#define DYNP_OBS_SCOPED(profiler, phase)                          \
+  const ::dynp::obs::PhaseProfiler::Scope DYNP_OBS_CONCAT(        \
+      dynp_obs_scope_, __LINE__)((profiler), (phase))
+#else
+#define DYNP_OBS_SCOPED(profiler, phase) static_cast<void>(0)
+#endif
+
+}  // namespace dynp::obs

@@ -1,0 +1,250 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace dynp::obs {
+
+namespace {
+
+/// Relaxed CAS accumulate: applies \p combine until the exchange sticks.
+template <typename Combine>
+void atomic_combine(std::atomic<double>& target, double v, Combine combine) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, combine(cur, v),
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// JSON-safe double formatting (shortest round-trippable-ish form; the
+/// instruments never produce NaN/inf, but clamp defensively so a snapshot is
+/// always parseable).
+[[nodiscard]] std::string fmt_double(double v) {
+  if (v != v || v > 1e300 || v < -1e300) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)), counts_(edges_.size() + 1) {
+  DYNP_EXPECTS(!edges_.empty());
+  DYNP_EXPECTS(std::is_sorted(edges_.begin(), edges_.end()));
+  DYNP_EXPECTS(std::adjacent_find(edges_.begin(), edges_.end()) ==
+               edges_.end());
+}
+
+void Histogram::observe(double v) noexcept {
+  // First edge >= v is the owning bucket; past-the-end = overflow bucket.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - edges_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_combine(sum_, v, [](double a, double b) { return a + b; });
+  atomic_combine(min_, v, [](double a, double b) { return std::min(a, b); });
+  atomic_combine(max_, v, [](double a, double b) { return std::max(a, b); });
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double below = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double in_bucket =
+        static_cast<double>(counts_[i].load(std::memory_order_relaxed));
+    if (below + in_bucket >= target && in_bucket > 0) {
+      if (i == counts_.size() - 1) return max();  // overflow bucket
+      const double hi = edges_[i];
+      const double lo = i == 0 ? std::min(min(), hi) : edges_[i - 1];
+      const double frac = in_bucket > 0 ? (target - below) / in_bucket : 1.0;
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    below += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& upper_edges) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(upper_edges);
+  } else {
+    DYNP_EXPECTS(slot->edges() == upper_edges);
+  }
+  return *slot;
+}
+
+bool Registry::empty() const {
+  const std::lock_guard lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void Registry::write_json(std::ostream& out, int indent) const {
+  const std::lock_guard lock(mutex_);
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+
+  out << pad << "{\n";
+  out << pad << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << pad << "    \"" << json_escape(name)
+        << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  out << pad << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << pad << "    \"" << json_escape(name)
+        << "\": " << fmt_double(g->value());
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  out << pad << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << pad << "    \"" << json_escape(name)
+        << "\": {\n";
+    out << pad << "      \"count\": " << h->count()
+        << ", \"sum\": " << fmt_double(h->sum())
+        << ", \"min\": " << fmt_double(h->min())
+        << ", \"max\": " << fmt_double(h->max())
+        << ", \"mean\": " << fmt_double(h->mean()) << ",\n";
+    out << pad << "      \"p50\": " << fmt_double(h->quantile(0.50))
+        << ", \"p90\": " << fmt_double(h->quantile(0.90))
+        << ", \"p99\": " << fmt_double(h->quantile(0.99)) << ",\n";
+    // Buckets as two parallel arrays (compact, and the overflow bucket needs
+    // no "+inf" edge literal, which plain JSON lacks).
+    out << pad << "      \"le\": [";
+    for (std::size_t i = 0; i < h->edges().size(); ++i) {
+      out << (i == 0 ? "" : ", ") << fmt_double(h->edges()[i]);
+    }
+    out << "],\n" << pad << "      \"bucket_counts\": [";
+    for (std::size_t i = 0; i <= h->edges().size(); ++i) {
+      out << (i == 0 ? "" : ", ") << h->bucket_count(i);
+    }
+    out << "]\n" << pad << "    }";
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad + "  ") << "}\n";
+  out << pad << "}";
+}
+
+bool Registry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+util::TextTable Registry::summary_table() const {
+  const std::lock_guard lock(mutex_);
+  util::TextTable t;
+  t.set_header({"instrument", "count", "mean", "p50", "p90", "max"},
+               {util::Align::kLeft});
+  for (const auto& [name, h] : histograms_) {
+    t.add_row({name, util::fmt_count(static_cast<long long>(h->count())),
+               util::fmt_fixed(h->mean(), 2), util::fmt_fixed(h->quantile(0.5), 2),
+               util::fmt_fixed(h->quantile(0.9), 2),
+               util::fmt_fixed(h->max(), 2)});
+  }
+  if (!histograms_.empty() && !counters_.empty()) t.add_rule();
+  for (const auto& [name, c] : counters_) {
+    t.add_row({name, util::fmt_count(static_cast<long long>(c->value())), "",
+               "", "", ""});
+  }
+  for (const auto& [name, g] : gauges_) {
+    t.add_row({name, util::fmt_fixed(g->value(), 2), "", "", "", ""});
+  }
+  return t;
+}
+
+std::vector<double> exponential_edges(double first, double factor,
+                                      std::size_t count) {
+  DYNP_EXPECTS(first > 0 && factor > 1 && count > 0);
+  std::vector<double> edges;
+  edges.reserve(count);
+  double edge = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return edges;
+}
+
+const std::vector<double>& default_latency_edges_us() {
+  static const std::vector<double> edges = exponential_edges(1.0, 2.0, 23);
+  return edges;
+}
+
+}  // namespace dynp::obs

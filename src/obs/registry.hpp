@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file registry.hpp
+/// The metrics registry of the instrumentation layer: counters, gauges and
+/// fixed-bucket histograms registered by name. Designed for hot paths shared
+/// by the simulation loop and its thread-pool workers:
+///
+///  * registration (name lookup) is cold and mutex-guarded; callers resolve
+///    a handle once and keep the reference — handles are stable for the
+///    registry's lifetime;
+///  * observation is lock-free: counters and bucket counts are relaxed
+///    atomics, so workers aggregate into one registry without contention
+///    beyond cache-line traffic, and totals are exact whatever the thread
+///    interleaving.
+///
+/// Snapshots are emitted as JSON (for persistence next to run results; see
+/// `tools/validate_trace.py` for the schema checker) and as a `util/table`
+/// summary with bucket-interpolated quantiles (for terminal reporting).
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace dynp::obs {
+
+/// Monotone event count. `add` is wait-free; cross-thread totals are exact
+/// (relaxed ordering only weakens visibility timing, not the sum).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. the current queue depth at dump time).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket \c i counts observations \c v with
+/// `edges[i-1] < v <= edges[i]` (the first bucket has no lower bound); one
+/// final overflow bucket counts `v > edges.back()`. Observation is lock-free
+/// — a binary search over the (immutable) edges plus relaxed atomic updates
+/// — and safe from any number of threads; `sum`/`min`/`max` use CAS loops so
+/// no compare-exchange progress is ever lost.
+class Histogram {
+ public:
+  /// \param upper_edges bucket upper bounds, strictly ascending, non-empty.
+  explicit Histogram(std::vector<double> upper_edges);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& edges() const noexcept {
+    return edges_;
+  }
+  /// Count in bucket \p i; `i == edges().size()` addresses the overflow
+  /// bucket.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// 0 when empty (so snapshots never contain infinities).
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  /// covering bucket; the overflow bucket reports `max()`. 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< edges + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  /// Infinity sentinels make concurrent first observations race-free; the
+  /// accessors report 0 instead while the histogram is empty.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Name -> instrument directory. One registry aggregates a whole run (or a
+/// whole experiment batch — instruments are thread-safe, so concurrent
+/// simulations may share it; their observations sum).
+class Registry {
+ public:
+  /// Returns the counter registered under \p name, creating it on first
+  /// use. The reference stays valid for the registry's lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name);
+
+  /// As `counter`, for gauges.
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+
+  /// As `counter`, for histograms. Repeat registrations under one name must
+  /// pass identical edges (the first registration wins; a mismatch is a
+  /// contract violation).
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     const std::vector<double>& upper_edges);
+
+  [[nodiscard]] bool empty() const;
+
+  /// Writes the full snapshot as a JSON object:
+  /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// min, max, mean, p50, p90, p99, le: [...], bucket_counts: [...]}}}`.
+  /// Every line is prefixed with \p indent spaces so the object can be
+  /// embedded in a larger handwritten JSON document (see tools/bench_report).
+  void write_json(std::ostream& out, int indent = 0) const;
+
+  /// Convenience file overload; returns false on I/O failure.
+  [[nodiscard]] bool write_json_file(const std::string& path) const;
+
+  /// Terminal summary: counters (name, value) and histograms (name, count,
+  /// mean, p50, p90, max).
+  [[nodiscard]] util::TextTable summary_table() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Geometric bucket edges: first, first*factor, first*factor^2, ...
+/// (\p count edges; factor > 1).
+[[nodiscard]] std::vector<double> exponential_edges(double first,
+                                                    double factor,
+                                                    std::size_t count);
+
+/// The default latency bucketing used by the phase profiler: 1 us doubling
+/// up to ~4.2 s (23 edges), which spans a single profile query up to a full
+/// 10k-job planning pass.
+[[nodiscard]] const std::vector<double>& default_latency_edges_us();
+
+}  // namespace dynp::obs

@@ -1,0 +1,246 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace dynp::obs {
+
+namespace {
+
+void append_double(std::string& line, double v) {
+  if (v != v || v > 1e300 || v < -1e300) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  line += buf;
+}
+
+void append_u64(std::string& line, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  line += buf;
+}
+
+void append_values(std::string& line, const std::vector<double>& values) {
+  line += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) line += ", ";
+    append_double(line, values[i]);
+  }
+  line += ']';
+}
+
+void append_decision_fields(std::string& line, const DecisionRecord& d) {
+  line += "\"values\": ";
+  append_values(line, d.values);
+  line += ", \"old_index\": ";
+  append_u64(line, d.old_index);
+  line += ", \"chosen\": ";
+  append_u64(line, d.chosen);
+}
+
+}  // namespace
+
+bool trace_format_by_name(const std::string& name, TraceFormat& out) noexcept {
+  if (name == "jsonl") {
+    out = TraceFormat::kJsonl;
+    return true;
+  }
+  if (name == "chrome") {
+    out = TraceFormat::kChrome;
+    return true;
+  }
+  return false;
+}
+
+Tracer::Tracer(std::ostream& out, TraceFormat format)
+    : out_(&out), format_(format), origin_(std::chrono::steady_clock::now()) {
+  if (format_ == TraceFormat::kChrome) {
+    // Header + process-name metadata. displayTimeUnit only affects the UI.
+    (*out_) << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+            << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+               "\"args\": {\"name\": \"simulation (sim time as us)\"}},\n"
+            << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
+               "\"args\": {\"name\": \"scheduler phases (wall time)\"}},\n"
+            << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 3, "
+               "\"args\": {\"name\": \"decider log (ordinal time)\"}}";
+    any_written_ = true;  // metadata already needs comma separation
+  }
+}
+
+Tracer::~Tracer() { close(); }
+
+std::unique_ptr<Tracer> Tracer::open_file(const std::string& path,
+                                          TraceFormat format) {
+  auto stream = std::make_unique<std::ofstream>(path);
+  if (!*stream) return nullptr;
+  // Construct against the stream, then hand over ownership.
+  auto tracer = std::unique_ptr<Tracer>(new Tracer(*stream, format));
+  tracer->owned_ = std::move(stream);
+  return tracer;
+}
+
+void Tracer::write_line(const std::string& line) {
+  DYNP_ASSERT(!closed_);
+  if (format_ == TraceFormat::kChrome && any_written_) (*out_) << ",\n";
+  (*out_) << line;
+  if (format_ == TraceFormat::kJsonl) (*out_) << "\n";
+  any_written_ = true;
+  ++records_;
+}
+
+std::uint32_t Tracer::thread_tid() {
+  // Caller holds mutex_.
+  const auto [it, inserted] = tids_.try_emplace(
+      std::this_thread::get_id(), static_cast<std::uint32_t>(tids_.size() + 1));
+  static_cast<void>(inserted);
+  return it->second;
+}
+
+void Tracer::event(const SchedEventRecord& r) {
+  std::string line;
+  line.reserve(256);
+  if (format_ == TraceFormat::kJsonl) {
+    line += "{\"type\": \"event\", \"seq\": ";
+    append_u64(line, r.seq);
+    line += ", \"t\": ";
+    append_double(line, r.sim_time);
+    line += r.submit ? ", \"kind\": \"submit\"" : ", \"kind\": \"finish\"";
+    line += ", \"queue_depth\": ";
+    append_u64(line, r.queue_depth);
+    line += ", \"started\": ";
+    append_u64(line, r.started);
+    if (r.tuned) {
+      line += ", ";
+      append_decision_fields(line, r.decision);
+      line += ", \"switched\": ";
+      line += r.switched ? "true" : "false";
+    }
+    line += ", \"full_plans\": ";
+    append_u64(line, r.full_plans);
+    line += ", \"incremental_plans\": ";
+    append_u64(line, r.incremental_plans);
+    line += ", \"jobs_placed\": ";
+    append_u64(line, r.jobs_placed);
+    line += ", \"jobs_replayed\": ";
+    append_u64(line, r.jobs_replayed);
+    line += ", \"profile_segments\": ";
+    append_u64(line, r.profile_segments);
+    line += "}";
+  } else {
+    // Sim time in seconds -> trace microseconds, so one trace-ms = one
+    // simulated millisecond.
+    const double sim_us = r.sim_time * 1e6;
+    line += "{\"name\": \"";
+    line += r.submit ? "submit" : "finish";
+    line += "\", \"ph\": \"i\", \"s\": \"p\", \"ts\": ";
+    append_double(line, sim_us);
+    line += ", \"pid\": 1, \"tid\": 1, \"args\": {\"seq\": ";
+    append_u64(line, r.seq);
+    line += ", \"queue_depth\": ";
+    append_u64(line, r.queue_depth);
+    line += ", \"started\": ";
+    append_u64(line, r.started);
+    if (r.tuned) {
+      line += ", ";
+      append_decision_fields(line, r.decision);
+      line += ", \"switched\": ";
+      line += r.switched ? "true" : "false";
+    }
+    line += ", \"full_plans\": ";
+    append_u64(line, r.full_plans);
+    line += ", \"incremental_plans\": ";
+    append_u64(line, r.incremental_plans);
+    line += ", \"jobs_placed\": ";
+    append_u64(line, r.jobs_placed);
+    line += ", \"jobs_replayed\": ";
+    append_u64(line, r.jobs_replayed);
+    line += ", \"profile_segments\": ";
+    append_u64(line, r.profile_segments);
+    line += "}},\n";
+    // Companion counter sample: queue depth over sim time as a track.
+    line += "{\"name\": \"queue_depth\", \"ph\": \"C\", \"ts\": ";
+    append_double(line, sim_us);
+    line += ", \"pid\": 1, \"args\": {\"jobs\": ";
+    append_u64(line, r.queue_depth);
+    line += "}}";
+  }
+  const std::lock_guard lock(mutex_);
+  if (closed_) return;
+  write_line(line);
+}
+
+void Tracer::decision(const DecisionRecord& r) {
+  std::string line;
+  line.reserve(128);
+  const std::lock_guard lock(mutex_);
+  if (closed_) return;
+  const std::uint64_t seq = ++decision_seq_;
+  if (format_ == TraceFormat::kJsonl) {
+    line += "{\"type\": \"decision\", \"seq\": ";
+    append_u64(line, seq);
+    line += ", ";
+    append_decision_fields(line, r);
+    line += "}";
+  } else {
+    line += "{\"name\": \"decision\", \"ph\": \"i\", \"s\": \"p\", \"ts\": ";
+    append_u64(line, seq);
+    line += ", \"pid\": 3, \"tid\": 1, \"args\": {";
+    append_decision_fields(line, r);
+    line += "}}";
+  }
+  write_line(line);
+}
+
+void Tracer::span(const char* name,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end) {
+  const double ts_us =
+      std::chrono::duration<double, std::micro>(start - origin_).count();
+  const double dur_us = std::chrono::duration<double, std::micro>(end - start)
+                            .count();
+  std::string line;
+  line.reserve(128);
+  const std::lock_guard lock(mutex_);
+  if (closed_) return;
+  const std::uint32_t tid = thread_tid();
+  if (format_ == TraceFormat::kJsonl) {
+    line += "{\"type\": \"span\", \"name\": \"";
+    line += name;
+    line += "\", \"ts_us\": ";
+    append_double(line, ts_us);
+    line += ", \"dur_us\": ";
+    append_double(line, dur_us);
+    line += ", \"tid\": ";
+    append_u64(line, tid);
+    line += "}";
+  } else {
+    line += "{\"name\": \"";
+    line += name;
+    line += "\", \"ph\": \"X\", \"ts\": ";
+    append_double(line, ts_us);
+    line += ", \"dur\": ";
+    append_double(line, dur_us);
+    line += ", \"pid\": 2, \"tid\": ";
+    append_u64(line, tid);
+    line += "}";
+  }
+  write_line(line);
+}
+
+void Tracer::close() {
+  const std::lock_guard lock(mutex_);
+  if (closed_) return;
+  if (format_ == TraceFormat::kChrome) (*out_) << "\n]}\n";
+  out_->flush();
+  closed_ = true;
+}
+
+std::uint64_t Tracer::records() const {
+  const std::lock_guard lock(mutex_);
+  return records_;
+}
+
+}  // namespace dynp::obs

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file trace.hpp
+/// Structured event tracer: one record per scheduling event (event kind, sim
+/// time, queue depth, per-policy candidate scores, decider verdict, planner
+/// re-plan statistics) plus phase-profiler spans, written in either of two
+/// formats:
+///
+///  * `kJsonl` — one JSON object per line (`{"type": "event" | "decision" |
+///    "span", ...}`), trivially greppable/parseable, streamed as the run
+///    progresses;
+///  * `kChrome` — the Chrome `trace_event` JSON format, so a run opens
+///    directly in `chrome://tracing` / Perfetto. Two synthetic processes
+///    keep the two timelines apart: pid 1 carries the *simulation-time*
+///    track (instant decision events + a queue-depth counter track), pid 2
+///    the *wall-time* phase spans (one tid per worker thread).
+///
+/// The tracer is thread-safe (one mutex around record emission; spans arrive
+/// from thread-pool workers) and purely observational: it only ever reads
+/// scheduler state handed to it by value.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace dynp::obs {
+
+/// Output encoding of a `Tracer`.
+enum class TraceFormat : std::uint8_t { kJsonl, kChrome };
+
+/// Parses "jsonl" / "chrome"; returns false on unknown names.
+[[nodiscard]] bool trace_format_by_name(const std::string& name,
+                                        TraceFormat& out) noexcept;
+
+/// One self-tuning decision: the candidate values (pool order), the
+/// previously active policy and the decider's pick. This is the shared
+/// record type of the tracer and `core::RecordingDecider` (which forwards
+/// its decision log here instead of keeping a private buffer).
+struct DecisionRecord {
+  std::vector<double> values;
+  std::size_t old_index = 0;
+  std::size_t chosen = 0;
+};
+
+/// One scheduling event, as the simulation saw it.
+struct SchedEventRecord {
+  std::uint64_t seq = 0;        ///< engine event ordinal (1-based)
+  double sim_time = 0;          ///< simulated seconds
+  bool submit = false;          ///< submit event (else: finish event)
+  std::size_t queue_depth = 0;  ///< waiting jobs after the pass
+  std::size_t started = 0;      ///< jobs that began executing at this event
+
+  bool tuned = false;           ///< a self-tuning step ran
+  DecisionRecord decision;      ///< valid iff `tuned`
+  bool switched = false;        ///< the decision changed the active policy
+
+  // Planner statistics for this event (replan semantics; all 0 otherwise).
+  std::uint64_t full_plans = 0;         ///< candidate plans built from scratch
+  std::uint64_t incremental_plans = 0;  ///< incremental replans
+  std::uint64_t jobs_placed = 0;        ///< feasibility query + allocation
+  std::uint64_t jobs_replayed = 0;      ///< prefix placements reused verbatim
+  std::size_t profile_segments = 0;     ///< base/live profile complexity
+};
+
+/// Streaming trace writer. All emission methods are thread-safe; `close`
+/// finalises the file (mandatory for `kChrome`, where the JSON array needs
+/// its footer — the destructor closes as a fallback).
+class Tracer {
+ public:
+  /// Writes to \p out (non-owning; must outlive the tracer or `close`).
+  Tracer(std::ostream& out, TraceFormat format);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  ~Tracer();
+
+  /// Opens \p path and returns a file-owning tracer, or nullptr on I/O
+  /// failure.
+  [[nodiscard]] static std::unique_ptr<Tracer> open_file(
+      const std::string& path, TraceFormat format);
+
+  [[nodiscard]] TraceFormat format() const noexcept { return format_; }
+
+  /// Emits one scheduling-event record.
+  void event(const SchedEventRecord& record);
+
+  /// Emits a standalone decision record (no simulation context — used by
+  /// `core::RecordingDecider`, which only sees `DecisionInput`s). Records
+  /// are numbered by arrival; in Chrome format they land on their own
+  /// ordinal-timed track (pid 3).
+  void decision(const DecisionRecord& record);
+
+  /// Emits one phase span. \p start / \p end are wall-clock instants; the
+  /// trace timestamp is relative to tracer construction.
+  void span(const char* name, std::chrono::steady_clock::time_point start,
+            std::chrono::steady_clock::time_point end);
+
+  /// Finalises the output (idempotent).
+  void close();
+
+  /// Records emitted so far (events + decisions + spans).
+  [[nodiscard]] std::uint64_t records() const;
+
+ private:
+  void write_line(const std::string& line);  ///< locked append + separator
+  [[nodiscard]] std::uint32_t thread_tid();  ///< caller's stable span tid
+
+  std::unique_ptr<std::ostream> owned_;  ///< set by `open_file` only
+  std::ostream* out_;
+  TraceFormat format_;
+  std::chrono::steady_clock::time_point origin_;
+
+  mutable std::mutex mutex_;
+  bool closed_ = false;
+  bool any_written_ = false;  ///< comma bookkeeping (kChrome)
+  std::uint64_t records_ = 0;
+  std::uint64_t decision_seq_ = 0;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+};
+
+}  // namespace dynp::obs

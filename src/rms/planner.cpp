@@ -120,6 +120,7 @@ void Planner::plan_into(const ResourceProfile& base, Time now,
                         const std::vector<workload::Job>& jobs,
                         PlanScratch& scratch, Schedule& out) {
   DYNP_EXPECTS(ordered_wait.size() <= jobs.size());
+  ++scratch.stats_.full_plans;
   scratch.profile_ = base;
   out.clear();
   prepare_scratch(scratch, base, jobs);
@@ -134,6 +135,7 @@ void Planner::plan_range(PlanScratch& scratch, Time now,
   ResourceProfile& profile = scratch.profile_;
   const PlanScratch::ClassTable& classes = scratch.classes_;
   const std::uint32_t epoch = scratch.epoch_;
+  scratch.stats_.jobs_placed += ordered_wait.size() - from;
 
   for (std::size_t w = from; w < ordered_wait.size(); ++w) {
     const JobId id = ordered_wait[w];
@@ -189,6 +191,8 @@ void Planner::replan_inserted_into(const ResourceProfile& base, Time now,
   DYNP_EXPECTS(pos < ordered_wait.size());
   DYNP_EXPECTS(out.size() + 1 == ordered_wait.size());
   DYNP_EXPECTS(scratch.classes_.job_class.size() == jobs.size());
+  ++scratch.stats_.incremental_plans;
+  scratch.stats_.jobs_replayed += pos;
 
   if (pos + 1 == ordered_wait.size()) {
     // Tail insertion (always the case under FCFS): the retained profile
@@ -198,6 +202,7 @@ void Planner::replan_inserted_into(const ResourceProfile& base, Time now,
     // simply not consulted.
     ResourceProfile& profile = scratch.profile_;
     const workload::Job& job = jobs[ordered_wait[pos]];
+    ++scratch.stats_.jobs_placed;
     Time first_fit;
     const Time start =
         profile.place(now, job.width, job.estimated_runtime, first_fit);

@@ -77,6 +77,18 @@ class Schedule {
   std::vector<PlannedJob> entries_;
 };
 
+/// Cheap per-scratch planning counters, maintained unconditionally (a
+/// handful of integer increments per planning *pass*, not per job — far
+/// below measurement noise). The observability layer snapshots them per
+/// scheduling event to attribute planner work to full vs incremental
+/// replans; they never influence planning decisions.
+struct PlanStats {
+  std::uint64_t full_plans = 0;        ///< `plan_into` passes
+  std::uint64_t incremental_plans = 0; ///< `replan_inserted_into` passes
+  std::uint64_t jobs_placed = 0;       ///< feasibility query + allocation
+  std::uint64_t jobs_replayed = 0;     ///< prefix placements reused verbatim
+};
+
 /// Reusable scratch state for `Planner::plan_into`: the planning profile
 /// buffer plus the query-acceleration tables. Reusing one scratch across
 /// calls (one per concurrent planning task) removes the per-candidate
@@ -103,6 +115,10 @@ class PlanScratch {
     std::uint32_t class_count = 0;
   };
 
+  /// Cumulative planning counters of this scratch (see `PlanStats`).
+  [[nodiscard]] const PlanStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = PlanStats{}; }
+
  private:
   friend class Planner;
 
@@ -122,6 +138,8 @@ class PlanScratch {
   std::vector<Time> width_dom_dur_;
   std::vector<Time> width_dom_start_;
   std::vector<std::uint32_t> width_dom_epoch_;
+
+  PlanStats stats_;
 };
 
 /// Stateless planning routine (a class only to cache the profile buffer

@@ -62,9 +62,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
+    Task entry{std::move(task), {}};
+    if (task_timer_) entry.enqueued = std::chrono::steady_clock::now();
+    queue_.push(std::move(entry));
   }
   cv_task_.notify_one();
+}
+
+void ThreadPool::set_task_timer(TaskTimer timer) {
+  const std::lock_guard lock(mutex_);
+  task_timer_ = std::move(timer);
 }
 
 void ThreadPool::wait_idle() {
@@ -74,7 +81,8 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    const TaskTimer* timer = nullptr;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -82,8 +90,25 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
       ++active_;
+      // The hook may only change while the pool is idle, so reading it once
+      // under the lock and invoking it after the task is race-free.
+      if (task_timer_) timer = &task_timer_;
     }
-    task();
+    if (timer != nullptr) {
+      using Clock = std::chrono::steady_clock;
+      using MicrosF = std::chrono::duration<double, std::micro>;
+      const Clock::time_point started = Clock::now();
+      task.fn();
+      const Clock::time_point finished = Clock::now();
+      // Tasks enqueued before the hook was installed carry no timestamp;
+      // report zero wait rather than a bogus epoch-relative duration.
+      const double wait_us = task.enqueued == Clock::time_point{}
+                                 ? 0.0
+                                 : MicrosF(started - task.enqueued).count();
+      (*timer)(wait_us, MicrosF(finished - started).count());
+    } else {
+      task.fn();
+    }
     {
       const std::lock_guard lock(mutex_);
       --active_;

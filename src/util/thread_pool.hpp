@@ -7,6 +7,7 @@
 /// mutable state between tasks (C++ Core Guidelines CP.2); the pool only
 /// partitions an index range.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -41,16 +42,34 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// Per-task timing hook for the observability layer: called on the worker
+  /// thread after each completed task with the task's queue wait and run
+  /// time in microseconds. The hook must be thread-safe (workers invoke it
+  /// concurrently); install or clear it only while the pool is idle. An
+  /// unset hook costs nothing — enqueue timestamps are only taken while a
+  /// hook is installed. Tasks that throw are not reported (the exception
+  /// propagates unchanged).
+  using TaskTimer = std::function<void(double wait_us, double run_us)>;
+  void set_task_timer(TaskTimer timer);
+
  private:
+  /// A queued task plus its enqueue instant (only stamped while a task
+  /// timer is installed; default-constructed otherwise).
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  TaskTimer task_timer_;  ///< null unless instrumentation installed one
 };
 
 /// Runs `body(i)` for every i in [0, count), distributing iterations over a

@@ -1,0 +1,196 @@
+/// Tests for the metrics registry: instrument semantics (counter, gauge,
+/// histogram bucket edges and quantiles), JSON snapshot shape, and exact
+/// cross-thread aggregation (the concurrency cases carry the `tsan` label
+/// through the test_obs binary).
+
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace dynp::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, BucketEdgesAreUpperInclusive) {
+  // Bucket i counts edges[i-1] < v <= edges[i]; one overflow bucket past the
+  // last edge.
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // bucket 0 (upper-inclusive)
+  h.observe(1.5);  // bucket 1
+  h.observe(2.0);  // bucket 1
+  h.observe(2.1);  // bucket 2
+  h.observe(4.0);  // bucket 2
+  h.observe(4.1);  // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 4.1);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 2.1 + 4.0 + 4.1, 1e-12);
+  EXPECT_NEAR(h.mean(), h.sum() / 7.0, 1e-12);
+}
+
+TEST(Histogram, EmptyReportsZeroesNotInfinities) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 100; ++i) h.observe(15.0);  // all in bucket (10, 20]
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  // The overflow bucket reports the observed maximum.
+  h.observe(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h({1.0});
+  h.observe(0.5);
+  h.observe(7.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  h.observe(0.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 0.25);
+}
+
+TEST(Registry, HandlesAreStableAndShared) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);  // same name -> same instrument
+  a.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+  Histogram& h1 = reg.histogram("h", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Registry, JsonSnapshotHasExpectedShape) {
+  Registry reg;
+  reg.counter("events").add(5);
+  reg.gauge("load").set(0.75);
+  reg.histogram("lat", {1.0, 2.0}).observe(1.5);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_counts\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\""), std::string::npos);
+}
+
+TEST(Registry, SummaryTableListsInstruments) {
+  Registry reg;
+  reg.counter("sim.events.submit").add(2);
+  reg.histogram("phase.plan_us", {1.0, 2.0}).observe(1.0);
+  const std::string table = reg.summary_table().to_string();
+  EXPECT_NE(table.find("sim.events.submit"), std::string::npos);
+  EXPECT_NE(table.find("phase.plan_us"), std::string::npos);
+}
+
+TEST(ExponentialEdges, GeometricProgression) {
+  const std::vector<double> edges = exponential_edges(1.0, 2.0, 4);
+  const std::vector<double> expect = {1.0, 2.0, 4.0, 8.0};
+  EXPECT_EQ(edges, expect);
+  EXPECT_EQ(default_latency_edges_us().size(), 23u);
+  EXPECT_TRUE(std::is_sorted(default_latency_edges_us().begin(),
+                             default_latency_edges_us().end()));
+}
+
+// --- cross-thread aggregation (runs under TSan via the tsan ctest label) ---
+
+TEST(RegistryConcurrency, CounterTotalsAreExactAcrossThreads) {
+  Registry reg;
+  Counter& c = reg.counter("shared");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10000;
+  util::parallel_for(
+      kThreads,
+      [&](std::size_t) {
+        for (std::size_t i = 0; i < kPerThread; ++i) c.add();
+      },
+      kThreads);
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(RegistryConcurrency, HistogramAggregatesExactlyAcrossThreads) {
+  Registry reg;
+  Histogram& h = reg.histogram("shared", exponential_edges(1.0, 2.0, 10));
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 5000;
+  util::parallel_for(
+      kThreads,
+      [&](std::size_t t) {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          h.observe(static_cast<double>(t * kPerThread + i % 700) + 0.5);
+        }
+      },
+      kThreads);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::uint64_t buckets = 0;
+  for (std::size_t i = 0; i <= h.edges().size(); ++i) {
+    buckets += h.bucket_count(i);
+  }
+  EXPECT_EQ(buckets, h.count());  // every observation landed in one bucket
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+}
+
+TEST(RegistryConcurrency, RegistrationFromManyThreadsYieldsOneInstrument) {
+  Registry reg;
+  std::atomic<std::uint64_t> distinct{0};
+  constexpr std::size_t kThreads = 8;
+  util::parallel_for(
+      kThreads,
+      [&](std::size_t) {
+        Counter& c = reg.counter("same-name");
+        c.add();
+        distinct.fetch_add(reinterpret_cast<std::uintptr_t>(&c) != 0 ? 0 : 1);
+      },
+      kThreads);
+  EXPECT_EQ(reg.counter("same-name").value(), kThreads);
+}
+
+}  // namespace
+}  // namespace dynp::obs

@@ -1,0 +1,212 @@
+/// Tests for the structured event tracer: JSONL record content, Chrome
+/// trace_event well-formedness (checked with a minimal JSON scanner — no
+/// parser dependency), format parsing, and the RecordingDecider dedup (its
+/// record type is the tracer's; its log can stream into a tracer).
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/decider.hpp"
+#include "core/recording_decider.hpp"
+
+namespace dynp::obs {
+namespace {
+
+using std::chrono::steady_clock;
+
+/// Minimal structural JSON checker: verifies quotes are balanced and every
+/// brace/bracket nests correctly. Catches the classic streaming-writer bugs
+/// (missing comma handling produces unbalanced structure only rarely, but a
+/// missing footer or stray quote always trips this).
+[[nodiscard]] bool json_well_formed(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+[[nodiscard]] SchedEventRecord sample_event() {
+  SchedEventRecord r;
+  r.seq = 7;
+  r.sim_time = 123.5;
+  r.submit = true;
+  r.queue_depth = 4;
+  r.started = 2;
+  r.tuned = true;
+  r.decision.values = {10.0, 8.5, 12.0};
+  r.decision.old_index = 0;
+  r.decision.chosen = 1;
+  r.switched = true;
+  r.full_plans = 3;
+  r.incremental_plans = 1;
+  r.jobs_placed = 40;
+  r.jobs_replayed = 12;
+  r.profile_segments = 9;
+  return r;
+}
+
+TEST(TraceFormatByName, ParsesKnownNamesOnly) {
+  TraceFormat f = TraceFormat::kChrome;
+  EXPECT_TRUE(trace_format_by_name("jsonl", f));
+  EXPECT_EQ(f, TraceFormat::kJsonl);
+  EXPECT_TRUE(trace_format_by_name("chrome", f));
+  EXPECT_EQ(f, TraceFormat::kChrome);
+  EXPECT_FALSE(trace_format_by_name("xml", f));
+}
+
+TEST(TracerJsonl, EventRecordsCarryTheSchedulerFields) {
+  std::ostringstream out;
+  Tracer tracer(out, TraceFormat::kJsonl);
+  tracer.event(sample_event());
+  tracer.close();
+  const std::string line = out.str();
+  EXPECT_TRUE(json_well_formed(line));
+  EXPECT_NE(line.find("\"type\": \"event\""), std::string::npos);
+  EXPECT_NE(line.find("\"kind\": \"submit\""), std::string::npos);
+  EXPECT_NE(line.find("\"queue_depth\": 4"), std::string::npos);
+  EXPECT_NE(line.find("\"chosen\": 1"), std::string::npos);
+  EXPECT_NE(line.find("\"switched\": true"), std::string::npos);
+  EXPECT_NE(line.find("\"jobs_replayed\": 12"), std::string::npos);
+}
+
+TEST(TracerJsonl, OneRecordPerLine) {
+  std::ostringstream out;
+  Tracer tracer(out, TraceFormat::kJsonl);
+  tracer.event(sample_event());
+  tracer.decision(DecisionRecord{{1.0, 2.0}, 1, 0});
+  const steady_clock::time_point t0 = steady_clock::now();
+  tracer.span("plan_full", t0, t0 + std::chrono::microseconds(5));
+  tracer.close();
+  EXPECT_EQ(tracer.records(), 3u);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(json_well_formed(line)) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(TracerChrome, ProducesWellFormedTraceEventJson) {
+  std::ostringstream out;
+  {
+    Tracer tracer(out, TraceFormat::kChrome);
+    tracer.event(sample_event());
+    tracer.decision(DecisionRecord{{3.0, 2.0, 1.0}, 2, 2});
+    const steady_clock::time_point t0 = steady_clock::now();
+    tracer.span("decide", t0, t0 + std::chrono::microseconds(3));
+    tracer.close();
+  }
+  const std::string json = out.str();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);  // process names
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);  // sim-time instant
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);  // queue counter
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);  // wall-time span
+}
+
+TEST(TracerChrome, CloseIsIdempotentAndDestructorCloses) {
+  std::ostringstream out;
+  {
+    Tracer tracer(out, TraceFormat::kChrome);
+    tracer.event(sample_event());
+    tracer.close();
+    tracer.close();  // no double footer
+  }
+  EXPECT_TRUE(json_well_formed(out.str()));
+}
+
+TEST(TracerChrome, EmptyTraceIsStillValid) {
+  std::ostringstream out;
+  {
+    Tracer tracer(out, TraceFormat::kChrome);
+    tracer.close();
+  }
+  EXPECT_TRUE(json_well_formed(out.str()));
+}
+
+TEST(TracerFile, OpenFileWritesAndFailsGracefully) {
+  const std::string path = ::testing::TempDir() + "/trace_test.jsonl";
+  {
+    std::unique_ptr<Tracer> tracer = Tracer::open_file(path, TraceFormat::kJsonl);
+    ASSERT_NE(tracer, nullptr);
+    tracer->event(sample_event());
+    tracer->close();
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(json_well_formed(line));
+  EXPECT_EQ(Tracer::open_file("/nonexistent-dir/x/y.trace", TraceFormat::kJsonl),
+            nullptr);
+}
+
+// --- RecordingDecider dedup: one DecisionRecord type, shared with core -----
+
+static_assert(std::is_same_v<core::DecisionRecord, obs::DecisionRecord>,
+              "core::RecordingDecider must reuse the tracer's record type");
+
+TEST(RecordingDecider, StreamsDecisionsIntoTheTracer) {
+  std::ostringstream out;
+  Tracer tracer(out, TraceFormat::kJsonl);
+  const core::RecordingDecider decider(core::make_simple_decider(), &tracer);
+  core::DecisionInput input;
+  input.values = {5.0, 3.0, 4.0};
+  input.old_index = 0;
+  const std::size_t chosen = decider.decide(input);
+  tracer.close();
+  ASSERT_EQ(decider.records().size(), 1u);
+  EXPECT_EQ(decider.records().front().chosen, chosen);
+  EXPECT_EQ(tracer.records(), 1u);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"type\": \"decision\""), std::string::npos);
+  EXPECT_TRUE(json_well_formed(line));
+}
+
+TEST(RecordingDecider, WorksWithoutATracer) {
+  const core::RecordingDecider decider(core::make_simple_decider());
+  core::DecisionInput input;
+  input.values = {1.0, 1.0, 1.0};
+  input.old_index = 0;  // all tied: the simple decider picks the first
+  (void)decider.decide(input);
+  EXPECT_EQ(decider.records().size(), 1u);
+  EXPECT_EQ(decider.stay_fraction(), 1.0);
+  EXPECT_EQ(decider.tie_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace dynp::obs

@@ -23,10 +23,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "obs/obs.hpp"
 #include "policies/policy.hpp"
 #include "util/cli.hpp"
 #include "workload/models.hpp"
@@ -78,13 +80,23 @@ struct Row {
   double sldwa = 0;
   std::uint64_t decisions = 0;
   std::uint64_t switches = 0;
+  std::string metrics_json;  ///< per-scenario obs::Registry snapshot
 };
 
 [[nodiscard]] Row run_scenario(const Scenario& s, std::size_t jobs) {
   const workload::JobSet set =
       workload::generate(workload::model_by_name(s.trace), jobs, 42)
           .with_shrinking_factor(s.factor);
-  const core::SimulationConfig config = make_config(s);
+  core::SimulationConfig config = make_config(s);
+
+  // Per-scenario metrics (planner phase histograms, event/decision counters)
+  // ride along in the report JSON. The scoped timers add single-digit
+  // nanoseconds per phase; with -DDYNP_OBS=OFF the hooks are compiled out
+  // and the embedded snapshot is all zeros.
+  obs::Registry registry;
+  obs::PhaseProfiler profiler(registry);
+  config.instruments.registry = &registry;
+  config.instruments.profiler = &profiler;
 
   const auto t0 = std::chrono::steady_clock::now();
   const core::SimulationResult r = core::simulate(set, config);
@@ -100,6 +112,9 @@ struct Row {
   row.sldwa = r.summary.sldwa;
   row.decisions = r.decisions;
   row.switches = r.switches;
+  std::ostringstream metrics;
+  registry.write_json(metrics, 6);
+  row.metrics_json = metrics.str();
   return row;
 }
 
@@ -153,12 +168,13 @@ int main(int argc, char** argv) {
         "    {\"name\": \"%s\", \"trace\": \"%s\", \"jobs\": %zu, "
         "\"scheduler\": \"%s\", \"semantics\": \"%s\", \"factor\": %g, "
         "\"events\": %llu, \"seconds\": %.3f, \"events_per_sec\": %.1f, "
-        "\"sldwa\": %.4f, \"decisions\": %llu, \"switches\": %llu}%s\n",
+        "\"sldwa\": %.4f, \"decisions\": %llu, \"switches\": %llu,\n"
+        "     \"metrics\":\n%s}%s\n",
         s.name, s.trace, r.jobs, s.scheduler, s.semantics, s.factor,
         static_cast<unsigned long long>(r.events), r.seconds,
         r.events_per_sec, r.sldwa,
         static_cast<unsigned long long>(r.decisions),
-        static_cast<unsigned long long>(r.switches),
+        static_cast<unsigned long long>(r.switches), r.metrics_json.c_str(),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]");

@@ -10,6 +10,8 @@
 ///   dynp_sim --trace KTH --jobs 5000 --factor 0.8 --scheduler dynp-sjf-pref
 ///   dynp_sim --swf CTC-SP2.swf --nodes 430 --scheduler sjf
 ///   dynp_sim --trace SDSC --scheduler fcfs --semantics easy --export /tmp
+///   dynp_sim --trace KTH --jobs 10000 --profile --metrics-out run.json
+///            --trace-out run.trace --trace-format chrome   (one line)
 
 #include <cstdio>
 #include <memory>
@@ -20,6 +22,7 @@
 #include "exp/ascii_plot.hpp"
 #include "exp/export.hpp"
 #include "metrics/validate.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/feitelson.hpp"
@@ -94,6 +97,18 @@ int main(int argc, char** argv) {
   cli.add_option("threshold", "0", "decider threshold in percent");
   cli.add_option("semantics", "replan", "replan|guarantee|easy");
   cli.add_option("export", "", "directory for outcome/timeline CSV export");
+  cli.add_option("metrics-out", "",
+                 "write the metrics-registry snapshot (counters, decider "
+                 "picks, phase histograms) to this JSON file");
+  cli.add_option("trace-out", "",
+                 "write a structured event trace to this file");
+  cli.add_option("trace-format", "jsonl",
+                 "trace encoding: jsonl (one record per line) or chrome "
+                 "(open in chrome://tracing / Perfetto)");
+  cli.add_flag("profile",
+               "time the pipeline phases (planner, decider, event loop) and "
+               "print a latency summary; implied histograms land in "
+               "--metrics-out");
   cli.add_flag("validate", "run the schedule validator on the result");
   cli.add_flag("audit", "run the schedule invariant auditor on every "
                "scheduling event (aborts on the first violation)");
@@ -156,7 +171,44 @@ int main(int argc, char** argv) {
   }
   config.audit = cli.get_flag("audit");
 
+  // --- instrumentation (obs layer) ---
+  const std::string metrics_out = cli.get("metrics-out");
+  const std::string trace_out = cli.get("trace-out");
+  const bool profile = cli.get_flag("profile");
+  obs::Registry registry;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::PhaseProfiler> profiler;
+  if (!metrics_out.empty() || !trace_out.empty() || profile) {
+    if (!obs::kEnabled) {
+      std::fprintf(stderr,
+                   "warning: this binary was built with -DDYNP_OBS=OFF; "
+                   "--metrics-out/--trace-out/--profile will produce empty "
+                   "output\n");
+    }
+    if (!trace_out.empty()) {
+      obs::TraceFormat format = obs::TraceFormat::kJsonl;
+      if (!obs::trace_format_by_name(cli.get("trace-format"), format)) {
+        std::fprintf(stderr, "unknown --trace-format '%s' (use jsonl|chrome)\n",
+                     cli.get("trace-format").c_str());
+        return 1;
+      }
+      tracer = obs::Tracer::open_file(trace_out, format);
+      if (tracer == nullptr) {
+        std::fprintf(stderr, "cannot open --trace-out %s\n", trace_out.c_str());
+        return 1;
+      }
+    }
+    if (profile || !metrics_out.empty()) {
+      profiler = std::make_unique<obs::PhaseProfiler>(registry, tracer.get());
+    }
+    config.instruments.registry = &registry;
+    config.instruments.tracer = tracer.get();
+    config.instruments.profiler = profiler.get();
+  }
+
   const core::SimulationResult r = core::simulate(jobs, config);
+
+  if (tracer != nullptr) tracer->close();
 
   // --- report ---
   util::TextTable t;
@@ -194,6 +246,26 @@ int main(int argc, char** argv) {
                 "0 violations\n",
                 static_cast<unsigned long long>(r.audit_events),
                 static_cast<unsigned long long>(r.audit_checks));
+  }
+
+  if (profile && !registry.empty()) {
+    std::printf("\nphase latency / metrics summary:\n%s",
+                registry.summary_table().to_string().c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!registry.write_json_file(metrics_out)) {
+      std::fprintf(stderr, "cannot write --metrics-out %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+  if (tracer != nullptr) {
+    std::printf("trace written to %s (%llu records, %s format)\n",
+                trace_out.c_str(),
+                static_cast<unsigned long long>(tracer->records()),
+                tracer->format() == obs::TraceFormat::kChrome ? "chrome"
+                                                              : "jsonl");
   }
 
   if (cli.get_flag("plot")) {

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Schema validator for the obs-layer artefacts.
+
+Checks the three file formats the instrumentation layer emits:
+
+  * metrics JSON   (dynp_sim --metrics-out, obs::Registry::write_json)
+  * JSONL traces   (dynp_sim --trace-out --trace-format jsonl)
+  * Chrome traces  (dynp_sim --trace-out --trace-format chrome;
+                    the chrome://tracing / Perfetto trace_event format)
+
+Usage:
+  validate_trace.py --metrics run.json
+  validate_trace.py --trace run.jsonl --format jsonl
+  validate_trace.py --trace run.trace --format chrome
+  validate_trace.py --run path/to/dynp_sim --workdir /tmp/x
+
+`--run` drives an end-to-end check (used as a ctest entry): it invokes the
+given dynp_sim binary once per trace format on a small workload and then
+validates everything the run produced.
+
+Exit status 0 = all checks passed; 1 = validation failure (details on
+stderr); 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+EVENT_REQUIRED = {"type", "seq", "t", "kind", "queue_depth", "started",
+                  "full_plans", "incremental_plans", "jobs_placed",
+                  "jobs_replayed", "profile_segments"}
+DECISION_REQUIRED = {"type", "seq", "values", "old_index", "chosen"}
+SPAN_REQUIRED = {"type", "name", "ts_us", "dur_us", "tid"}
+HISTOGRAM_REQUIRED = {"count", "sum", "min", "max", "mean", "p50", "p90",
+                      "p99", "le", "bucket_counts"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(key), dict):
+            return fail(f"{path}: missing object '{key}'")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            return fail(f"{path}: counter {name} is not a non-negative int")
+    for name, hist in doc["histograms"].items():
+        missing = HISTOGRAM_REQUIRED - hist.keys()
+        if missing:
+            return fail(f"{path}: histogram {name} missing {sorted(missing)}")
+        le, counts = hist["le"], hist["bucket_counts"]
+        if len(counts) != len(le) + 1:
+            return fail(f"{path}: histogram {name}: bucket_counts must have "
+                        f"len(le)+1 entries ({len(counts)} vs {len(le)}+1)")
+        if sorted(le) != le or len(set(le)) != len(le):
+            return fail(f"{path}: histogram {name}: le edges not strictly "
+                        "ascending")
+        if sum(counts) != hist["count"]:
+            return fail(f"{path}: histogram {name}: bucket counts sum to "
+                        f"{sum(counts)}, count says {hist['count']}")
+        if hist["count"] > 0 and not hist["min"] <= hist["mean"] <= hist["max"]:
+            return fail(f"{path}: histogram {name}: min <= mean <= max "
+                        "violated")
+    print(f"validate_trace: OK: {path} (metrics: "
+          f"{len(doc['counters'])} counters, "
+          f"{len(doc['histograms'])} histograms)")
+    return 0
+
+
+def validate_jsonl(path):
+    n, last_event_seq = 0, 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                return fail(f"{path}:{lineno}: not valid JSON: {e}")
+            kind = rec.get("type")
+            required = {"event": EVENT_REQUIRED,
+                        "decision": DECISION_REQUIRED,
+                        "span": SPAN_REQUIRED}.get(kind)
+            if required is None:
+                return fail(f"{path}:{lineno}: unknown record type {kind!r}")
+            missing = required - rec.keys()
+            if missing:
+                return fail(f"{path}:{lineno}: {kind} record missing "
+                            f"{sorted(missing)}")
+            if kind == "event":
+                if rec["seq"] < last_event_seq:
+                    return fail(f"{path}:{lineno}: event seq went backwards")
+                last_event_seq = rec["seq"]
+                if rec["kind"] not in ("submit", "finish"):
+                    return fail(f"{path}:{lineno}: bad event kind "
+                                f"{rec['kind']!r}")
+                if rec.get("tuned") and "chosen" not in rec:
+                    return fail(f"{path}:{lineno}: tuned event lacks decider "
+                                "verdict")
+            if kind == "span" and rec["dur_us"] < 0:
+                return fail(f"{path}:{lineno}: negative span duration")
+            n += 1
+    if n == 0:
+        return fail(f"{path}: empty trace")
+    print(f"validate_trace: OK: {path} (jsonl: {n} records)")
+    return 0
+
+
+def validate_chrome(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)  # raises (and we fail) on malformed JSON
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(f"{path}: no traceEvents array")
+    phases = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "C", "M"):
+            return fail(f"{path}: traceEvents[{i}]: unexpected ph {ph!r}")
+        phases[ph] = phases.get(ph, 0) + 1
+        if "pid" not in ev:
+            return fail(f"{path}: traceEvents[{i}]: missing pid")
+        if ph == "X" and (ev.get("dur", -1) < 0 or "ts" not in ev):
+            return fail(f"{path}: traceEvents[{i}]: complete event needs "
+                        "ts and non-negative dur")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            return fail(f"{path}: traceEvents[{i}]: counter event needs args")
+        if ph != "M" and "name" not in ev:
+            return fail(f"{path}: traceEvents[{i}]: missing name")
+    if phases.get("M", 0) < 1:
+        return fail(f"{path}: missing process_name metadata events")
+    print(f"validate_trace: OK: {path} (chrome: {len(events)} events, "
+          f"{phases})")
+    return 0
+
+
+def run_end_to_end(binary, workdir):
+    os.makedirs(workdir, exist_ok=True)
+    base = ["--trace", "KTH", "--jobs", "400", "--scheduler", "dynp-advanced",
+            "--factor", "0.7"]
+    metrics = os.path.join(workdir, "run_metrics.json")
+    jsonl = os.path.join(workdir, "run_trace.jsonl")
+    chrome = os.path.join(workdir, "run_trace_chrome.json")
+    for extra in (["--profile", "--metrics-out", metrics,
+                   "--trace-out", jsonl, "--trace-format", "jsonl"],
+                  ["--trace-out", chrome, "--trace-format", "chrome"]):
+        cmd = [binary] + base + extra
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout.decode(errors="replace"))
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}")
+    return (validate_metrics(metrics)
+            or validate_jsonl(jsonl)
+            or validate_chrome(chrome))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--metrics", help="metrics JSON file to validate")
+    ap.add_argument("--trace", help="trace file to validate")
+    ap.add_argument("--format", choices=("jsonl", "chrome"), default="jsonl",
+                    help="trace encoding of --trace")
+    ap.add_argument("--run", metavar="DYNP_SIM",
+                    help="run this dynp_sim binary end to end, then validate "
+                         "its outputs")
+    ap.add_argument("--workdir", default=".",
+                    help="output directory for --run")
+    args = ap.parse_args()
+
+    if args.run:
+        return run_end_to_end(args.run, args.workdir)
+    status = 0
+    ran = False
+    if args.metrics:
+        ran = True
+        status = status or validate_metrics(args.metrics)
+    if args.trace:
+        ran = True
+        validator = validate_jsonl if args.format == "jsonl" else validate_chrome
+        status = status or validator(args.trace)
+    if not ran:
+        ap.print_usage(sys.stderr)
+        return 2
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
