@@ -75,6 +75,12 @@ namespace {
   return first_argmin(v, v.size());
 }
 
+/// Shared empty outage list for the outage-free overloads.
+const std::vector<rms::RunningJob>& no_outages() {
+  static const std::vector<rms::RunningJob> empty;
+  return empty;
+}
+
 }  // namespace
 
 ScheduleAuditor::ScheduleAuditor(std::uint32_t capacity,
@@ -132,17 +138,27 @@ void ScheduleAuditor::check_queues(
 void ScheduleAuditor::check_feasible(
     const AuditEvent& ev, const char* policy, Time now,
     const std::vector<rms::RunningJob>& running,
-    const std::vector<rms::PlannedJob>& planned) {
+    const std::vector<rms::PlannedJob>& planned,
+    const std::vector<rms::RunningJob>& outages) {
   // Sweep line over reservation deltas, independent of ResourceProfile:
   // running jobs occupy [now, estimated_end), planned jobs
   // [start, start + estimate). Frees sort before claims at equal times,
-  // matching the profile's half-open interval semantics.
+  // matching the profile's half-open interval semantics. Node outages claim
+  // their width over [now, repair) — usage(t) <= capacity - down(t),
+  // i.e. the time-varying-capacity feasibility check.
   sweep_.clear();
   for (const rms::RunningJob& r : running) {
     if (r.estimated_end > now) {
       sweep_.emplace_back(now, static_cast<std::int64_t>(r.width));
       sweep_.emplace_back(r.estimated_end,
                           -static_cast<std::int64_t>(r.width));
+    }
+  }
+  for (const rms::RunningJob& o : outages) {
+    if (o.estimated_end > now) {
+      sweep_.emplace_back(now, static_cast<std::int64_t>(o.width));
+      sweep_.emplace_back(o.estimated_end,
+                          -static_cast<std::int64_t>(o.width));
     }
   }
   for (const rms::PlannedJob& p : planned) {
@@ -167,7 +183,8 @@ void ScheduleAuditor::check_feasible(
 void ScheduleAuditor::check_schedule(
     const AuditEvent& ev, const char* policy, Time now,
     const rms::Schedule& schedule, const std::vector<JobId>& queue_order,
-    const std::vector<rms::RunningJob>& running) {
+    const std::vector<rms::RunningJob>& running,
+    const std::vector<rms::RunningJob>& outages) {
   expect(schedule.size() == queue_order.size(),
          "schedule covers the whole policy queue", ev, policy, kNoJob);
   for (std::size_t i = 0; i < schedule.size(); ++i) {
@@ -178,12 +195,22 @@ void ScheduleAuditor::check_schedule(
     expect(p.start >= jobs_[p.id].submit, "planned start after submission",
            ev, policy, p.id);
   }
-  check_feasible(ev, policy, now, running, schedule.entries());
+  check_feasible(ev, policy, now, running, schedule.entries(), outages);
 
   // The determinism anchor: whatever incremental path produced this
   // schedule (retained scratch profile, replayed prefix, parallel worker),
-  // a from-scratch plan of the same queue must reproduce it byte for byte.
-  fresh_ = rms::Planner::plan(capacity_, now, running, queue_order, jobs_);
+  // a from-scratch plan of the same queue — on a base carrying the same
+  // outage claims — must reproduce it byte for byte. The scratch is local
+  // so no planning state survives between audited events.
+  rms::Planner::base_profile_into(capacity_, now, running, fresh_base_);
+  for (const rms::RunningJob& o : outages) {
+    if (o.estimated_end > now) {
+      fresh_base_.allocate(now, o.estimated_end - now, o.width);
+    }
+  }
+  rms::PlanScratch scratch;
+  rms::Planner::plan_into(fresh_base_, now, queue_order, jobs_, scratch,
+                          fresh_);
   bool identical = fresh_.size() == schedule.size();
   JobId offender = kNoJob;
   for (std::size_t i = 0; identical && i < fresh_.size(); ++i) {
@@ -235,6 +262,16 @@ void ScheduleAuditor::audit_replan_pass(
     const std::vector<policies::SortedQueue>& queues,
     const rms::ResourceProfile& base,
     const std::vector<const rms::Schedule*>& audited) {
+  audit_replan_pass(ev, running, waiting, queues, base, audited, no_outages());
+}
+
+void ScheduleAuditor::audit_replan_pass(
+    const AuditEvent& ev, const std::vector<rms::RunningJob>& running,
+    const std::vector<JobId>& waiting,
+    const std::vector<policies::SortedQueue>& queues,
+    const rms::ResourceProfile& base,
+    const std::vector<const rms::Schedule*>& audited,
+    const std::vector<rms::RunningJob>& outages) {
   DYNP_EXPECTS(audited.size() == queues.size() &&
                queues.size() == pool_.size());
   ++events_;
@@ -247,7 +284,7 @@ void ScheduleAuditor::audit_replan_pass(
   for (std::size_t slot = 0; slot < audited.size(); ++slot) {
     if (audited[slot] == nullptr) continue;
     check_schedule(ev, policies::name(pool_[slot]), ev.now, *audited[slot],
-                   queues[slot].ids(), running);
+                   queues[slot].ids(), running, outages);
   }
   if (ev.tuned && ev.decision != nullptr) check_decision(ev);
 }
@@ -257,6 +294,16 @@ void ScheduleAuditor::audit_guarantee_pass(
     const std::vector<JobId>& waiting,
     const std::vector<policies::SortedQueue>& queues,
     const rms::ResourceProfile& profile, const std::vector<Time>& reserved) {
+  audit_guarantee_pass(ev, running, waiting, queues, profile, reserved,
+                       no_outages());
+}
+
+void ScheduleAuditor::audit_guarantee_pass(
+    const AuditEvent& ev, const std::vector<rms::RunningJob>& running,
+    const std::vector<JobId>& waiting,
+    const std::vector<policies::SortedQueue>& queues,
+    const rms::ResourceProfile& profile, const std::vector<Time>& reserved,
+    const std::vector<rms::RunningJob>& outages) {
   DYNP_EXPECTS(reserved.size() == jobs_.size());
   ++events_;
   expect(profile.invariants_ok(),
@@ -272,7 +319,7 @@ void ScheduleAuditor::audit_guarantee_pass(
            policy, id);
     planned_scratch_.push_back(rms::PlannedJob{id, start});
   }
-  check_feasible(ev, policy, ev.now, running, planned_scratch_);
+  check_feasible(ev, policy, ev.now, running, planned_scratch_, outages);
   if (ev.tuned && ev.decision != nullptr) check_decision(ev);
 }
 
@@ -281,11 +328,25 @@ void ScheduleAuditor::audit_queueing_pass(
     const std::vector<JobId>& waiting,
     const std::vector<policies::SortedQueue>& queues,
     const std::vector<JobId>& due) {
+  audit_queueing_pass(ev, running, waiting, queues, due, no_outages());
+}
+
+void ScheduleAuditor::audit_queueing_pass(
+    const AuditEvent& ev, const std::vector<rms::RunningJob>& running,
+    const std::vector<JobId>& waiting,
+    const std::vector<policies::SortedQueue>& queues,
+    const std::vector<JobId>& due,
+    const std::vector<rms::RunningJob>& outages) {
   DYNP_EXPECTS(!queues.empty());
   ++events_;
   check_queues(ev, waiting, queues);
   std::int64_t used = 0;
   for (const rms::RunningJob& r : running) used += r.width;
+  // Down nodes are unavailable for the whole pass, so they count against
+  // capacity exactly like running width.
+  for (const rms::RunningJob& o : outages) {
+    if (o.estimated_end > ev.now) used += o.width;
+  }
   for (const JobId id : due) {
     const bool is_waiting =
         std::find(waiting.begin(), waiting.end(), id) != waiting.end();

@@ -69,6 +69,21 @@ class ScheduleAuditor {
                          const rms::ResourceProfile& base,
                          const std::vector<const rms::Schedule*>& audited);
 
+  /// Outage-aware variant: \p outages lists the active node outages as
+  /// pseudo-reservations (width nodes unavailable until `estimated_end`).
+  /// The feasibility sweep then verifies schedules against the
+  /// *time-varying* capacity — usage(t) must stay within capacity minus the
+  /// nodes down at t — and the from-scratch anchor plans on a base profile
+  /// carrying the same outage claims. The outage-free overloads delegate
+  /// here with an empty list and are byte-for-byte the original checks.
+  void audit_replan_pass(const AuditEvent& ev,
+                         const std::vector<rms::RunningJob>& running,
+                         const std::vector<JobId>& waiting,
+                         const std::vector<policies::SortedQueue>& queues,
+                         const rms::ResourceProfile& base,
+                         const std::vector<const rms::Schedule*>& audited,
+                         const std::vector<rms::RunningJob>& outages);
+
   /// Audits one guarantee-semantics pass after compression committed:
   /// profile representation invariants, every reservation at or after both
   /// `now` and the job's submit time, the running + reserved set jointly
@@ -80,6 +95,15 @@ class ScheduleAuditor {
                             const rms::ResourceProfile& profile,
                             const std::vector<Time>& reserved);
 
+  /// Outage-aware variant (see the replan overload).
+  void audit_guarantee_pass(const AuditEvent& ev,
+                            const std::vector<rms::RunningJob>& running,
+                            const std::vector<JobId>& waiting,
+                            const std::vector<policies::SortedQueue>& queues,
+                            const rms::ResourceProfile& profile,
+                            const std::vector<Time>& reserved,
+                            const std::vector<rms::RunningJob>& outages);
+
   /// Audits one EASY queueing pass before the due jobs start: queue order
   /// against a fresh sort, the due set a subset of the waiting queue, and
   /// running + due widths within machine capacity.
@@ -88,6 +112,14 @@ class ScheduleAuditor {
                            const std::vector<JobId>& waiting,
                            const std::vector<policies::SortedQueue>& queues,
                            const std::vector<JobId>& due);
+
+  /// Outage-aware variant: down nodes count against machine capacity.
+  void audit_queueing_pass(const AuditEvent& ev,
+                           const std::vector<rms::RunningJob>& running,
+                           const std::vector<JobId>& waiting,
+                           const std::vector<policies::SortedQueue>& queues,
+                           const std::vector<JobId>& due,
+                           const std::vector<rms::RunningJob>& outages);
 
   /// Scheduling passes audited.
   [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
@@ -106,16 +138,21 @@ class ScheduleAuditor {
                     const std::vector<JobId>& waiting,
                     const std::vector<policies::SortedQueue>& queues);
 
-  /// Joint feasibility of running jobs (clipped to now) and \p planned
-  /// intervals via an event sweep, independent of `ResourceProfile`.
+  /// Joint feasibility of running jobs (clipped to now), \p planned
+  /// intervals, and the capacity lost to \p outages via an event sweep,
+  /// independent of `ResourceProfile`. Counting an outage's width as a
+  /// claim over [now, repair) is exactly the time-varying-capacity check
+  /// usage(t) <= capacity - down(t).
   void check_feasible(const AuditEvent& ev, const char* policy, Time now,
                       const std::vector<rms::RunningJob>& running,
-                      const std::vector<rms::PlannedJob>& planned);
+                      const std::vector<rms::PlannedJob>& planned,
+                      const std::vector<rms::RunningJob>& outages);
 
   void check_schedule(const AuditEvent& ev, const char* policy, Time now,
                       const rms::Schedule& schedule,
                       const std::vector<JobId>& queue_order,
-                      const std::vector<rms::RunningJob>& running);
+                      const std::vector<rms::RunningJob>& running,
+                      const std::vector<rms::RunningJob>& outages);
 
   void check_decision(const AuditEvent& ev);
 
@@ -137,6 +174,7 @@ class ScheduleAuditor {
   std::vector<std::pair<Time, std::int64_t>> sweep_;  ///< (time, +/- width)
   std::vector<rms::PlannedJob> planned_scratch_;
   rms::Schedule fresh_;
+  rms::ResourceProfile fresh_base_{1};  ///< anchor base (running + outages)
   char ctx_[160] = {};
   char msg_[224] = {};
 };

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,15 @@ class Decider {
 
   /// Short display name ("simple", "advanced", "SJF-preferred", ...).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Pool index to fall back to when the scheduler's per-event planning
+  /// budget is exceeded and the self-tuning step degrades (no candidate
+  /// scoring, one policy planned directly). Mechanisms with a globally
+  /// preferred policy name it here; the default — no value — keeps the
+  /// currently active policy.
+  [[nodiscard]] virtual std::optional<std::size_t> fallback_index() const {
+    return std::nullopt;
+  }
 };
 
 /// Relative-epsilon comparison helpers shared by the deciders (exposed for
@@ -88,6 +98,11 @@ class PreferredDecider final : public Decider {
 
   [[nodiscard]] std::size_t decide(const DecisionInput& input) const override;
   [[nodiscard]] std::string name() const override { return name_; }
+
+  /// Degraded-mode fallback: the preferred policy.
+  [[nodiscard]] std::optional<std::size_t> fallback_index() const override {
+    return preferred_;
+  }
 
   [[nodiscard]] std::size_t preferred_index() const noexcept {
     return preferred_;

@@ -28,6 +28,15 @@ class SimulationObserver {
   virtual void on_job_finished(Time /*now*/, const workload::Job& /*job*/,
                                const metrics::JobOutcome& /*outcome*/) {}
 
+  /// A running job died mid-run (fault injection: its own failure or a node
+  /// loss). \p attempt is the 1-based execution attempt that failed; the
+  /// job either requeues after backoff or is dropped (see `on_job_dropped`).
+  virtual void on_job_failed(Time /*now*/, const workload::Job& /*job*/,
+                             std::uint32_t /*attempt*/) {}
+
+  /// A failed job exhausted its retries and was dropped.
+  virtual void on_job_dropped(Time /*now*/, const workload::Job& /*job*/) {}
+
   /// The self-tuning step decided (dynP only). \p input holds the candidate
   /// values (pool order) and the previously active index; \p chosen is the
   /// decider's pick.

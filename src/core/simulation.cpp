@@ -1,12 +1,14 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <thread>
 
 #include "core/audit.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "rms/planner.hpp"
 #include "sim/engine.hpp"
@@ -28,6 +30,22 @@ namespace {
   return config.audit;
 #endif
 }
+
+// The tracer mirrors the engine's event-kind encoding (the obs layer must
+// not depend on sim headers), so per-event records are stamped with a plain
+// cast. Keep the two enums value-aligned.
+static_assert(static_cast<int>(obs::TraceEventKind::kFinish) ==
+              static_cast<int>(sim::EventKind::kFinish));
+static_assert(static_cast<int>(obs::TraceEventKind::kJobFail) ==
+              static_cast<int>(sim::EventKind::kJobFail));
+static_assert(static_cast<int>(obs::TraceEventKind::kNodeDown) ==
+              static_cast<int>(sim::EventKind::kNodeDown));
+static_assert(static_cast<int>(obs::TraceEventKind::kNodeUp) ==
+              static_cast<int>(sim::EventKind::kNodeUp));
+static_assert(static_cast<int>(obs::TraceEventKind::kSubmit) ==
+              static_cast<int>(sim::EventKind::kSubmit));
+static_assert(static_cast<int>(obs::TraceEventKind::kRequeue) ==
+              static_cast<int>(sim::EventKind::kRequeue));
 
 }  // namespace
 
@@ -104,6 +122,13 @@ class SchedulerSim final : public sim::Process {
       candidates_.resize(1);
     }
     slot_reusable_.assign(candidates_.size(), 0);
+    if (config.faults.has_value() && config.faults->active()) {
+      DYNP_EXPECTS(config.faults->validate().empty());
+      injector_ = std::make_unique<fault::FaultInjector>(*config.faults,
+                                                         set.machine().nodes);
+      attempts_.assign(jobs_.size(), 0);
+      fail_at_.assign(jobs_.size(), -1.0);
+    }
     if (audit_enabled(config)) {
       // The auditor's pool mirrors the slot layout: the dynP pool, or the
       // single static policy at slot 0.
@@ -140,6 +165,19 @@ class SchedulerSim final : public sim::Process {
             &reg.histogram("sim.queue_depth", obs::exponential_edges(1, 2, 12));
         obs_->profile_segments = &reg.histogram(
             "planner.profile_segments", obs::exponential_edges(1, 2, 14));
+        // Fault counters exist only when injection is armed, so fault-free
+        // registry exports stay byte-identical to pre-fault-layer output.
+        if (injector_ != nullptr) {
+          obs_->node_failures = &reg.counter("fault.node.failures");
+          obs_->node_repairs = &reg.counter("fault.node.repairs");
+          obs_->job_failures = &reg.counter("fault.job.failures");
+          obs_->node_kills = &reg.counter("fault.job.node_kills");
+          obs_->requeues = &reg.counter("fault.job.requeues");
+          obs_->jobs_dropped = &reg.counter("fault.job.dropped");
+        }
+        if (config.plan_budget_us > 0) {
+          obs_->degraded = &reg.counter("sim.tuning.degraded");
+        }
       }
       if (obs_->profiler != nullptr && workers_ != nullptr) {
         obs::PhaseProfiler* prof = obs_->profiler;
@@ -153,12 +191,18 @@ class SchedulerSim final : public sim::Process {
   }
 
   [[nodiscard]] SimulationResult run() {
+    pending_jobs_ = jobs_.size();
     for (const workload::Job& job : jobs_) {
       engine_.schedule(job.submit, sim::EventKind::kSubmit, job.id);
+    }
+    if (injector_ != nullptr && injector_->node_faults() && !jobs_.empty()) {
+      engine_.schedule(injector_->next_failure_gap(),
+                       sim::EventKind::kNodeDown, 0);
     }
     engine_.run(*this);
     DYNP_ENSURES(waiting_.empty());
     DYNP_ENSURES(running_.empty());
+    DYNP_ENSURES(outages_.empty());
     result_.events = engine_.processed();
     if (auditor_ != nullptr) {
       result_.audit_events = auditor_->events();
@@ -183,42 +227,69 @@ class SchedulerSim final : public sim::Process {
     }
     if (guarantee_mode()) profile_.trim_before(now);
 
-    if (event.kind == sim::EventKind::kSubmit) {
-      waiting_.push_back(event.job);
-      insert_pos_.clear();
-      {
-        DYNP_OBS_SCOPED(profiler(), obs::Phase::kQueueInsert);
-        for (policies::SortedQueue& queue : queues_) {
-          insert_pos_.push_back(queue.insert(event.job));
+    // A scheduling pass follows unless the event turned out to be inert: a
+    // tombstoned (stale) finish/failure of an attempt that was killed in the
+    // meantime, or a node failure skipped at the concurrency cap. Stale
+    // entries exist because the calendar has no remove — a kill leaves the
+    // victim's pending finish/failure event behind.
+    bool pass = true;
+    switch (event.kind) {
+      case sim::EventKind::kSubmit:
+      case sim::EventKind::kRequeue:
+        admit_job(event.job, now, event.kind == sim::EventKind::kSubmit);
+        break;
+      case sim::EventKind::kFinish:
+        if (injector_ != nullptr &&
+            (running_slot_[event.job] == kNotRunning ||
+             outcomes_[event.job].end != now)) {
+          pass = false;
+        } else {
+          finish_job(event.job, now);
         }
-      }
-      if (guarantee_mode()) insert_reservation(event.job, now);
-      if (config_.observer != nullptr) {
-        config_.observer->on_job_submitted(now, jobs_[event.job]);
-      }
-    } else {
-      finish_job(event.job, now);
+        break;
+      case sim::EventKind::kJobFail:
+        if (running_slot_[event.job] == kNotRunning ||
+            fail_at_[event.job] != now) {
+          pass = false;
+        } else {
+          fail_job(event.job, now);
+        }
+        break;
+      case sim::EventKind::kNodeDown:
+        pass = handle_node_down(now);
+        break;
+      case sim::EventKind::kNodeUp:
+        handle_node_up(now);
+        break;
     }
 
+    if (pass) {
 #if !defined(DYNP_OBS_DISABLED)
-    // Waiting count going into the pass; the difference after it is the
-    // number of jobs that started at this event.
-    const std::size_t waiting_before = waiting_.size();
+      // Waiting count going into the pass; the difference after it is the
+      // number of jobs that started at this event.
+      const std::size_t waiting_before = waiting_.size();
 #endif
-    switch (config_.semantics) {
-      case PlannerSemantics::kGuarantee:
-        guarantee_pass(now, event.kind);
-        break;
-      case PlannerSemantics::kReplan:
-        replan_pass(now, event.kind);
-        break;
-      case PlannerSemantics::kQueueingEasy:
-        queueing_pass(now);
-        break;
+      switch (config_.semantics) {
+        case PlannerSemantics::kGuarantee:
+          guarantee_pass(now, event.kind);
+          break;
+        case PlannerSemantics::kReplan:
+          replan_pass(now, event.kind);
+          break;
+        case PlannerSemantics::kQueueingEasy:
+          queueing_pass(now);
+          break;
+      }
+#if !defined(DYNP_OBS_DISABLED)
+      if (obs_ != nullptr) {
+        finish_event_record(waiting_before - waiting_.size());
+      }
+#endif
+    } else {
+#if !defined(DYNP_OBS_DISABLED)
+      if (obs_ != nullptr) finish_event_record(0);
+#endif
     }
-#if !defined(DYNP_OBS_DISABLED)
-    if (obs_ != nullptr) finish_event_record(waiting_before - waiting_.size());
-#endif
   }
 
  private:
@@ -250,6 +321,16 @@ class SchedulerSim final : public sim::Process {
     obs::Counter* jobs_started = nullptr;
     obs::Counter* decisions = nullptr;
     obs::Counter* switches = nullptr;
+    // Fault-layer counters; registered only when injection is armed (the
+    // degradation counter only with a planning budget) so fault-free
+    // registry exports keep their exact pre-fault byte layout.
+    obs::Counter* node_failures = nullptr;
+    obs::Counter* node_repairs = nullptr;
+    obs::Counter* job_failures = nullptr;
+    obs::Counter* node_kills = nullptr;
+    obs::Counter* requeues = nullptr;
+    obs::Counter* jobs_dropped = nullptr;
+    obs::Counter* degraded = nullptr;
     std::vector<obs::Counter*> policy_picks;  ///< pool order (dynP only)
     obs::Histogram* queue_depth = nullptr;
     obs::Histogram* profile_segments = nullptr;
@@ -268,7 +349,7 @@ class SchedulerSim final : public sim::Process {
     r = obs::SchedEventRecord{};
     r.seq = engine_.processed();  // 1-based ordinal of the current event
     r.sim_time = now;
-    r.submit = event.kind == sim::EventKind::kSubmit;
+    r.kind = static_cast<obs::TraceEventKind>(event.kind);
   }
 
   /// Completes and emits the per-event record after the scheduling pass:
@@ -295,7 +376,11 @@ class SchedulerSim final : public sim::Process {
     r.profile_segments = guarantee_mode() ? profile_.segment_count()
                                           : base_profile_.segment_count();
     if (obs_->registry != nullptr) {
-      (r.submit ? obs_->submit_events : obs_->finish_events)->add();
+      if (r.kind == obs::TraceEventKind::kSubmit) {
+        obs_->submit_events->add();
+      } else if (r.kind == obs::TraceEventKind::kFinish) {
+        obs_->finish_events->add();
+      }
       if (started != 0) obs_->jobs_started->add(started);
       obs_->queue_depth->observe(static_cast<double>(r.queue_depth));
       obs_->profile_segments->observe(static_cast<double>(r.profile_segments));
@@ -308,10 +393,16 @@ class SchedulerSim final : public sim::Process {
     return config_.semantics == PlannerSemantics::kGuarantee;
   }
 
+  /// Submits and backoff retries both put one job into the waiting set.
+  [[nodiscard]] static bool arrival_event(sim::EventKind kind) noexcept {
+    return kind == sim::EventKind::kSubmit ||
+           kind == sim::EventKind::kRequeue;
+  }
+
   [[nodiscard]] bool tune_at(sim::EventKind trigger) const noexcept {
     if (config_.mode != SchedulerMode::kDynP) return false;
-    return trigger == sim::EventKind::kSubmit ? config_.tune_on_submit
-                                              : config_.tune_on_finish;
+    return arrival_event(trigger) ? config_.tune_on_submit
+                                  : config_.tune_on_finish;
   }
 
   [[nodiscard]] policies::PolicyKind active_policy() const noexcept {
@@ -343,14 +434,32 @@ class SchedulerSim final : public sim::Process {
     }
   }
 
-  void finish_job(JobId id, Time now) {
+  /// A job enters the waiting set: a fresh submission or a requeued retry.
+  void admit_job(JobId id, Time now, bool fresh) {
+    waiting_.push_back(id);
+    insert_pos_.clear();
+    {
+      DYNP_OBS_SCOPED(profiler(), obs::Phase::kQueueInsert);
+      for (policies::SortedQueue& queue : queues_) {
+        insert_pos_.push_back(queue.insert(id));
+      }
+    }
+    if (guarantee_mode()) insert_reservation(id, now);
+    if (fresh && config_.observer != nullptr) {
+      config_.observer->on_job_submitted(now, jobs_[id]);
+    }
+  }
+
+  /// Removes a running attempt (finish, fault death, or node kill) from the
+  /// running set, releasing its reservation tail in guarantee mode.
+  void remove_running(JobId id, Time now) {
     const std::uint32_t slot = running_slot_[id];
     DYNP_ASSERT(slot != kNotRunning && slot < running_.size());
-    const rms::RunningJob finished = running_[slot];
-    if (guarantee_mode() && finished.estimated_end > now) {
+    const rms::RunningJob gone = running_[slot];
+    if (guarantee_mode() && gone.estimated_end > now) {
       // Release the phantom tail of the reservation (actual < estimate):
       // this freed capacity is what compression harvests.
-      profile_.deallocate(now, finished.estimated_end - now, finished.width);
+      profile_.deallocate(now, gone.estimated_end - now, gone.width);
     }
     // Swap-remove: running-job order is irrelevant (the base profile is a
     // canonical merged representation whatever the allocation order).
@@ -358,9 +467,228 @@ class SchedulerSim final : public sim::Process {
     running_.pop_back();
     if (slot < running_.size()) running_slot_[running_[slot].id] = slot;
     running_slot_[id] = kNotRunning;
+  }
+
+  void finish_job(JobId id, Time now) {
+    remove_running(id, now);
     outcomes_[id].end = now;
+    ++result_.faults.jobs_completed;
+    --pending_jobs_;
     if (config_.observer != nullptr) {
       config_.observer->on_job_finished(now, jobs_[id], outcomes_[id]);
+    }
+  }
+
+  /// Emits one fault/resilience trace record (no-op without a tracer).
+  void trace_fault(const char* what, Time now,
+                   std::uint32_t job = obs::FaultRecord::kNoJob,
+                   double delay = 0) {
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ == nullptr || obs_->tracer == nullptr) return;
+    obs::FaultRecord r;
+    r.seq = engine_.processed();
+    r.sim_time = now;
+    r.what = what;
+    r.job = job;
+    r.down_nodes = down_nodes_;
+    if (job != obs::FaultRecord::kNoJob) r.attempt = attempts_[job];
+    r.delay = delay;
+    obs_->tracer->fault(r);
+#else
+    static_cast<void>(what);
+    static_cast<void>(now);
+    static_cast<void>(job);
+    static_cast<void>(delay);
+#endif
+  }
+
+  /// A running attempt died of its own injected fault: remove it, then
+  /// requeue with backoff or drop.
+  void fail_job(JobId id, Time now) {
+    remove_running(id, now);
+    fail_at_[id] = -1.0;
+    ++result_.faults.job_failures;
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ != nullptr && obs_->job_failures != nullptr) {
+      obs_->job_failures->add();
+    }
+#endif
+    trace_fault("job_fail", now, id);
+    if (config_.observer != nullptr) {
+      config_.observer->on_job_failed(now, jobs_[id], attempts_[id]);
+    }
+    requeue_or_drop(id, now);
+  }
+
+  /// After attempt `attempts_[id]` of job \p id died: schedule a capped
+  /// exponential-backoff retry, or drop the job once the retry budget
+  /// (`max_retries` requeues) is spent.
+  void requeue_or_drop(JobId id, Time now) {
+    if (attempts_[id] > injector_->config().max_retries) {
+      // The dropped outcome keeps the sentinel width 0 (no valid job has
+      // it); the summary and the validator skip such entries.
+      outcomes_[id] =
+          metrics::JobOutcome{id, jobs_[id].submit, now, now, 0, 0};
+      ++result_.faults.jobs_dropped;
+      --pending_jobs_;
+#if !defined(DYNP_OBS_DISABLED)
+      if (obs_ != nullptr && obs_->jobs_dropped != nullptr) {
+        obs_->jobs_dropped->add();
+      }
+#endif
+      trace_fault("drop", now, id);
+      if (config_.observer != nullptr) {
+        config_.observer->on_job_dropped(now, jobs_[id]);
+      }
+    } else {
+      const Time delay = injector_->backoff_delay(id, attempts_[id]);
+      engine_.schedule(now + delay, sim::EventKind::kRequeue, id);
+      ++result_.faults.requeues;
+#if !defined(DYNP_OBS_DISABLED)
+      if (obs_ != nullptr && obs_->requeues != nullptr) {
+        obs_->requeues->add();
+      }
+#endif
+      trace_fault("requeue", now, id, delay);
+    }
+  }
+
+  /// Kills running attempts until the survivors fit the remaining capacity:
+  /// youngest-started-first (the oldest work in progress survives — the
+  /// least re-execution waste), ties broken towards the larger id.
+  void kill_to_fit(Time now) {
+    const std::uint32_t avail = set_.machine().nodes - down_nodes_;
+    std::uint32_t used = 0;
+    for (const rms::RunningJob& r : running_) used += r.width;
+    while (used > avail) {
+      JobId victim = running_.front().id;
+      for (const rms::RunningJob& r : running_) {
+        if (outcomes_[r.id].start > outcomes_[victim].start ||
+            (outcomes_[r.id].start == outcomes_[victim].start &&
+             r.id > victim)) {
+          victim = r.id;
+        }
+      }
+      used -= jobs_[victim].width;
+      remove_running(victim, now);
+      fail_at_[victim] = -1.0;
+      ++result_.faults.node_kills;
+#if !defined(DYNP_OBS_DISABLED)
+      if (obs_ != nullptr && obs_->node_kills != nullptr) {
+        obs_->node_kills->add();
+      }
+#endif
+      trace_fault("node_kill", now, victim);
+      if (config_.observer != nullptr) {
+        config_.observer->on_job_failed(now, jobs_[victim],
+                                        attempts_[victim]);
+      }
+      requeue_or_drop(victim, now);
+    }
+  }
+
+  /// One node fails. Returns true when the failure actually happened (a
+  /// scheduling pass must follow); false when it was skipped — at the
+  /// concurrent-outage cap, or with the workload already drained (which is
+  /// also when the chain stops re-arming, letting the calendar empty).
+  bool handle_node_down(Time now) {
+    if (pending_jobs_ == 0) return false;
+    bool happened = false;
+    if (down_nodes_ < injector_->max_concurrent_down()) {
+      // The repair duration is drawn only for failures that happen, so the
+      // sequential node stream is consumed strictly in event order.
+      const Time end = now + injector_->repair_duration();
+      ++down_nodes_;
+      ++result_.faults.node_failures;
+      outages_.push_back(rms::RunningJob{kOutageId, 1, end});
+      engine_.schedule(end, sim::EventKind::kNodeUp, 0);
+#if !defined(DYNP_OBS_DISABLED)
+      if (obs_ != nullptr && obs_->node_failures != nullptr) {
+        obs_->node_failures->add();
+      }
+#endif
+      trace_fault("node_down", now);
+      kill_to_fit(now);
+      if (guarantee_mode()) {
+        // Schedule repair: reserve the outage in the live profile, evicting
+        // and incrementally re-placing only the guarantees in its way.
+        const rms::Planner::RepairResult repaired =
+            rms::Planner::repair_capacity_drop(
+                profile_, reserved_, ordered_wait(active_policy()), jobs_,
+                now, end, 1);
+        result_.faults.repair_evictions += repaired.evicted;
+      }
+      happened = true;
+    }
+    engine_.schedule(now + injector_->next_failure_gap(),
+                     sim::EventKind::kNodeDown, 0);
+    return happened;
+  }
+
+  /// A failed node returns: retire its outage. In guarantee mode the outage
+  /// reservation expires by itself at exactly this instant; the compression
+  /// in the following pass pulls guarantees forward onto the regained node.
+  void handle_node_up(Time now) {
+    bool found = false;
+    for (std::size_t i = 0; i < outages_.size(); ++i) {
+      if (outages_[i].estimated_end == now) {
+        outages_[i] = outages_.back();
+        outages_.pop_back();
+        found = true;
+        break;
+      }
+    }
+    DYNP_ASSERT(found && down_nodes_ >= 1);
+    --down_nodes_;
+    ++result_.faults.node_repairs;
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ != nullptr && obs_->node_repairs != nullptr) {
+      obs_->node_repairs->add();
+    }
+#endif
+    trace_fault("node_up", now);
+  }
+
+  /// Claims the active node outages in \p profile as width-1 blocks lasting
+  /// until their repair instants (no-op in fault-free runs).
+  void apply_outages(rms::ResourceProfile& profile, Time now) const {
+    for (const rms::RunningJob& outage : outages_) {
+      if (outage.estimated_end > now) {
+        profile.allocate(now, outage.estimated_end - now, outage.width);
+      }
+    }
+  }
+
+  /// Degraded-mode gate for one would-be self-tuning step: inside the
+  /// post-overrun window the step is skipped and the decider's fallback
+  /// policy takes over (recorded on the policy timeline, but not as a
+  /// decision — no candidate values exist).
+  [[nodiscard]] bool degraded(Time now) {
+    if (config_.plan_budget_us <= 0 ||
+        engine_.processed() > degrade_until_event_) {
+      return false;
+    }
+    ++result_.faults.degraded_tunings;
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ != nullptr && obs_->degraded != nullptr) obs_->degraded->add();
+#endif
+    const std::optional<std::size_t> fallback =
+        config_.decider->fallback_index();
+    if (fallback.has_value() && *fallback != policy_index_) {
+      result_.policy_timeline.push_back(
+          SimulationResult::PolicySwitch{now, policy_index_, *fallback});
+      policy_index_ = *fallback;
+    }
+    return true;
+  }
+
+  /// Arms the degradation window when a tuned pass blew the budget.
+  void note_tuning_cost(std::chrono::steady_clock::time_point start) {
+    const double spent_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    if (spent_us > config_.plan_budget_us) {
+      degrade_until_event_ = engine_.processed() + kDegradeWindow;
     }
   }
 
@@ -411,7 +739,24 @@ class SchedulerSim final : public sim::Process {
     running_slot_[id] = static_cast<std::uint32_t>(running_.size());
     running_.push_back(
         rms::RunningJob{id, job.width, now + job.estimated_runtime});
-    engine_.schedule(now + job.actual_runtime, sim::EventKind::kFinish, id);
+    if (injector_ != nullptr) {
+      // This attempt's fate is a pure function of (job, attempt), so fault
+      // histories replay identically whatever the planning path. A doomed
+      // attempt schedules only its failure — never a finish it cannot reach.
+      const std::uint32_t attempt = attempts_[id]++;
+      const Time offset =
+          injector_->failure_offset(id, attempt, job.actual_runtime);
+      if (offset >= 0) {
+        fail_at_[id] = now + offset;
+        engine_.schedule(now + offset, sim::EventKind::kJobFail, id);
+      } else {
+        fail_at_[id] = -1.0;
+        engine_.schedule(now + job.actual_runtime, sim::EventKind::kFinish,
+                         id);
+      }
+    } else {
+      engine_.schedule(now + job.actual_runtime, sim::EventKind::kFinish, id);
+    }
     if (config_.observer != nullptr) {
       config_.observer->on_job_started(now, job);
     }
@@ -471,18 +816,24 @@ class SchedulerSim final : public sim::Process {
       std::fill(slot_reusable_.begin(), slot_reusable_.end(), char{0});
       return;
     }
-    const bool tuned = tune_at(trigger);
-    const bool submit_event = trigger == sim::EventKind::kSubmit;
+    const bool tuned = tune_at(trigger) && !degraded(now);
+    const bool submit_event = arrival_event(trigger);
     // The running-jobs profile is identical for every candidate: build it
-    // once per event and let each candidate copy it.
+    // once per event and let each candidate copy it. Active node outages
+    // claim their nodes like running jobs, until repair.
     {
       DYNP_OBS_SCOPED(profiler(), obs::Phase::kBaseProfile);
       rms::Planner::base_profile_into(set_.machine().nodes, now, running_,
                                       base_profile_);
+      apply_outages(base_profile_, now);
     }
     std::size_t chosen;
     DecisionInput input;  // outlives decide() so the auditor can re-check it
     if (tuned) {
+      const bool budgeted = config_.plan_budget_us > 0;
+      const std::chrono::steady_clock::time_point tuning_start =
+          budgeted ? std::chrono::steady_clock::now()
+                   : std::chrono::steady_clock::time_point{};
       input.values.reserve(config_.pool.size());
       input.old_index = policy_index_;
       run_tuning_tasks([&](std::size_t i) {
@@ -494,6 +845,7 @@ class SchedulerSim final : public sim::Process {
       });
       for (const Candidate& c : candidates_) input.values.push_back(c.value);
       chosen = decide(input, now);
+      if (budgeted) note_tuning_cost(tuning_start);
     } else {
       // Static mode keeps its single queue/candidate at slot 0; a non-tuning
       // dynP pass uses the active policy's slot (queues_ is in pool order).
@@ -509,7 +861,8 @@ class SchedulerSim final : public sim::Process {
       auditor_->audit_replan_pass(
           AuditEvent{engine_.processed(), now, tuned, chosen,
                      tuned ? &input : nullptr},
-          running_, waiting_, queues_, base_profile_, audit_views_);
+          running_, waiting_, queues_, base_profile_, audit_views_,
+          outages_);
     }
 
     due_.clear();
@@ -596,10 +949,14 @@ class SchedulerSim final : public sim::Process {
   void guarantee_pass(Time now, sim::EventKind trigger) {
     if (waiting_.empty()) return;
 
-    const bool tuned = tune_at(trigger);
+    const bool tuned = tune_at(trigger) && !degraded(now);
     std::size_t chosen = policy_index_;
     DecisionInput input;  // outlives decide() so the auditor can re-check it
     if (tuned) {
+      const bool budgeted = config_.plan_budget_us > 0;
+      const std::chrono::steady_clock::time_point tuning_start =
+          budgeted ? std::chrono::steady_clock::now()
+                   : std::chrono::steady_clock::time_point{};
       // One compressed candidate per pool policy, each on its own copy of
       // the reservation state; the chosen candidate becomes reality.
       input.values.reserve(config_.pool.size());
@@ -622,6 +979,7 @@ class SchedulerSim final : public sim::Process {
       chosen = decide(input, now);
       profile_ = candidates_[chosen].profile;
       reserved_ = candidates_[chosen].reserved;
+      if (budgeted) note_tuning_cost(tuning_start);
     } else {
       DYNP_OBS_SCOPED(profiler(), obs::Phase::kCompress);
       compress(profile_, reserved_, ordered_wait(active_policy()), jobs_,
@@ -632,7 +990,7 @@ class SchedulerSim final : public sim::Process {
       auditor_->audit_guarantee_pass(
           AuditEvent{engine_.processed(), now, tuned, chosen,
                      tuned ? &input : nullptr},
-          running_, waiting_, queues_, profile_, reserved_);
+          running_, waiting_, queues_, profile_, reserved_, outages_);
     }
 
     // Jobs whose reservation came due start now; their allocation is already
@@ -659,7 +1017,9 @@ class SchedulerSim final : public sim::Process {
     const std::vector<JobId>& queue = ordered_wait(active_policy());
     due_.clear();
 
-    std::uint32_t used = 0;
+    // Down nodes are unavailable exactly like busy ones (`kill_to_fit` has
+    // already culled the running set to the reduced machine).
+    std::uint32_t used = down_nodes_;
     for (const rms::RunningJob& r : running_) used += r.width;
     const std::uint32_t capacity = set_.machine().nodes;
 
@@ -676,6 +1036,7 @@ class SchedulerSim final : public sim::Process {
       // Phase 2: reservation for the blocked head, then one backfill sweep.
       const workload::Job& blocked = jobs_[queue[head]];
       rms::Planner::base_profile_into(capacity, now, running_, base_profile_);
+      apply_outages(base_profile_, now);
       const Time shadow = base_profile_.earliest_start(
           now, blocked.width, blocked.estimated_runtime);
       const std::uint32_t free_at_shadow = base_profile_.free_at(shadow);
@@ -700,7 +1061,7 @@ class SchedulerSim final : public sim::Process {
     if (auditor_ != nullptr) {
       auditor_->audit_queueing_pass(
           AuditEvent{engine_.processed(), now, false, 0, nullptr}, running_,
-          waiting_, queues_, due_);
+          waiting_, queues_, due_, outages_);
     }
 
     start_due(now);
@@ -733,6 +1094,21 @@ class SchedulerSim final : public sim::Process {
   std::vector<std::size_t> insert_pos_;  // queue index -> insertion position
   std::vector<char> slot_reusable_;      // slot index -> plan still valid
   std::unique_ptr<util::ThreadPool> workers_;  // parallel tuning (optional)
+
+  // Fault-injection state (all inert without an injector): active node
+  // outages as width-1 pseudo-reservations until their repair instants,
+  // per-job started-attempt counts and pending failure instants (for
+  // tombstoning stale calendar entries), the not-yet-resolved job count that
+  // keeps the failure chain armed, and the degradation window bound.
+  static constexpr JobId kOutageId = std::numeric_limits<JobId>::max();
+  static constexpr std::uint64_t kDegradeWindow = 64;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<rms::RunningJob> outages_;
+  std::uint32_t down_nodes_ = 0;
+  std::vector<std::uint32_t> attempts_;  // JobId -> attempts started
+  std::vector<Time> fail_at_;            // JobId -> pending failure instant
+  std::size_t pending_jobs_ = 0;         // not yet completed or dropped
+  std::uint64_t degrade_until_event_ = 0;
 
   // Invariant auditor (null unless enabled; see `audit_enabled`) and its
   // per-event view of which candidate slots were planned this pass.

@@ -15,11 +15,13 @@
 /// materialise.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/decider.hpp"
 #include "core/observer.hpp"
+#include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "obs/instruments.hpp"
 #include "policies/policy.hpp"
@@ -122,6 +124,22 @@ struct SimulationConfig {
   /// every run when the library is built with `-DDYNP_AUDIT=ON`.
   bool audit = false;
 
+  /// Optional fault injection (node outages, mid-run job failures, requeue
+  /// with capped exponential backoff; see `fault/fault.hpp`). When absent —
+  /// or present but inactive — the scheduler takes exactly the fault-free
+  /// code paths, so results are byte-identical to a config without it. Must
+  /// pass `FaultConfig::validate` when active.
+  std::optional<fault::FaultConfig> faults;
+
+  /// Per-event wall-clock budget for the self-tuning step in microseconds
+  /// (0 = unlimited). When one tuned pass overruns the budget, self-tuning
+  /// degrades for a window of subsequent events: the candidate fan-out and
+  /// decider step are skipped and the decider's fallback policy
+  /// (`Decider::fallback_index`, or the currently active policy) plans
+  /// alone. Wall-clock-driven by design, so budgeted runs trade replay
+  /// determinism for bounded per-event latency.
+  double plan_budget_us = 0;
+
   /// Display label, e.g. "FCFS" or "dynP/SJF-preferred".
   [[nodiscard]] std::string label() const;
 };
@@ -163,6 +181,22 @@ struct SimulationResult {
   /// passed — the auditor aborts on the first violation).
   std::uint64_t audit_events = 0;
   std::uint64_t audit_checks = 0;
+
+  /// Fault-injection and resilience counters. All zero in a fault-free run
+  /// except `jobs_completed`, which always counts jobs that ran to
+  /// completion (== every job when nothing fails).
+  struct FaultStats {
+    std::uint64_t node_failures = 0;   ///< node-down events injected
+    std::uint64_t node_repairs = 0;    ///< node-up events processed
+    std::uint64_t job_failures = 0;    ///< attempts that died of a job fault
+    std::uint64_t node_kills = 0;      ///< attempts killed by a node outage
+    std::uint64_t requeues = 0;        ///< backoff retries scheduled
+    std::uint64_t jobs_dropped = 0;    ///< jobs that exhausted max_retries
+    std::uint64_t jobs_completed = 0;  ///< jobs that ran to completion
+    std::uint64_t repair_evictions = 0;  ///< guarantees moved by repair
+    std::uint64_t degraded_tunings = 0;  ///< tuning steps skipped over budget
+  };
+  FaultStats faults;
 };
 
 /// Runs \p config over \p set to completion. Deterministic: identical inputs

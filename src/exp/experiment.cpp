@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -25,23 +27,30 @@ CombinedPoint SweepRunner::run(double factor,
                                obs::Registry* registry) const {
   const std::size_t n = ensemble_.size();
   std::vector<core::SimulationResult> results(n);
+  const bool faulty = config.faults.has_value() && config.faults->active();
   util::parallel_for(
       n,
       [&](std::size_t i) {
-        const workload::JobSet scaled =
-            ensemble_[i].with_shrinking_factor(factor);
-        if (registry != nullptr) {
-          core::SimulationConfig run_config = config;
-          run_config.instruments.registry = registry;
-          results[i] = core::simulate(scaled, run_config);
-        } else {
-          results[i] = core::simulate(scaled, config);
+        workload::JobSet scaled = ensemble_[i].with_shrinking_factor(factor);
+        core::SimulationConfig run_config = config;
+        if (faulty) {
+          // Independent, reproducible failure history per ensemble set.
+          const std::uint64_t set_seed =
+              util::derive_seed(config.faults->seed, 0x5e7u, i);
+          run_config.faults->seed = set_seed;
+          if (config.faults->est_error_cv > 0) {
+            scaled = fault::perturb_estimates(
+                scaled, config.faults->est_error_cv, set_seed);
+          }
         }
+        if (registry != nullptr) run_config.instruments.registry = registry;
+        results[i] = core::simulate(scaled, run_config);
       },
       threads);
 
   CombinedPoint point;
   std::vector<double> bsld, resp, sw, dec;
+  std::vector<double> nf, jf, rq, jd;
   for (const core::SimulationResult& r : results) {
     point.sldwa_per_set.push_back(r.summary.sldwa);
     point.util_per_set.push_back(r.summary.utilization * 100.0);
@@ -49,6 +58,10 @@ CombinedPoint SweepRunner::run(double factor,
     resp.push_back(r.summary.avg_response);
     sw.push_back(static_cast<double>(r.switches));
     dec.push_back(static_cast<double>(r.decisions));
+    nf.push_back(static_cast<double>(r.faults.node_failures));
+    jf.push_back(static_cast<double>(r.faults.job_failures));
+    rq.push_back(static_cast<double>(r.faults.requeues));
+    jd.push_back(static_cast<double>(r.faults.jobs_dropped));
   }
   point.sldwa = util::trimmed_mean_drop_extremes(point.sldwa_per_set);
   point.utilization = util::trimmed_mean_drop_extremes(point.util_per_set);
@@ -61,6 +74,10 @@ CombinedPoint SweepRunner::run(double factor,
   point.avg_response = util::trimmed_mean_drop_extremes(resp);
   point.switches = util::mean(sw);
   point.decisions = util::mean(dec);
+  point.node_failures = util::mean(nf);
+  point.job_failures = util::mean(jf);
+  point.requeues = util::mean(rq);
+  point.jobs_dropped = util::mean(jd);
   return point;
 }
 

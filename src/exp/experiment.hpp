@@ -43,6 +43,11 @@ struct CombinedPoint {
   /// Per-set raw values (before trimming), for dispersion analysis.
   std::vector<double> sldwa_per_set;
   std::vector<double> util_per_set;
+  /// Mean fault/resilience counters per run (all zero in fault-free sweeps).
+  double node_failures = 0;
+  double job_failures = 0;
+  double requeues = 0;
+  double jobs_dropped = 0;
 };
 
 /// Pre-generates one trace's ensemble and runs sweep points against it.
@@ -65,6 +70,12 @@ class SweepRunner {
   /// per-set simulation aggregates its metrics into it (the obs instruments
   /// are thread-safe, so concurrent sets simply sum); tracers/profilers are
   /// per-run sinks and not wired here.
+  ///
+  /// Fault-aware sweeps: when `config.faults` is active, each ensemble set
+  /// runs with its own fault seed derived from the configured master seed
+  /// and the set index, so the sets see independent (but reproducible)
+  /// failure histories. A non-zero `est_error_cv` is applied to each set's
+  /// scaled workload (same per-set derived seed) before simulation.
   [[nodiscard]] CombinedPoint run(double factor,
                                   const core::SimulationConfig& config,
                                   std::size_t threads = 0,

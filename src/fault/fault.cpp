@@ -1,0 +1,111 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace dynp::fault {
+
+namespace {
+
+/// Stream labels for `derive_seed`; distinct per purpose so the streams are
+/// independent whatever the (id, attempt) arguments.
+constexpr std::uint64_t kNodeStream = 0xD01;
+constexpr std::uint64_t kJobStream = 0xD02;
+constexpr std::uint64_t kBackoffStream = 0xD03;
+constexpr std::uint64_t kEstimateStream = 0xD04;
+
+/// Whole seconds, at least one — fractional fault times would otherwise
+/// litter the resource profile with sliver segments.
+[[nodiscard]] Time round_delay(double seconds) noexcept {
+  return std::max(1.0, std::round(seconds));
+}
+
+}  // namespace
+
+std::string FaultConfig::validate() const {
+  if (node_mtbf < 0) return "node MTBF must be >= 0 (0 disables node faults)";
+  if (node_mtbf > 0 && node_mttr <= 0) {
+    return "node repair time must be > 0 when node faults are enabled";
+  }
+  if (job_fail_p < 0 || job_fail_p > 1) {
+    return "job failure probability must be in [0, 1]";
+  }
+  if (backoff_base <= 0) return "backoff base must be > 0";
+  if (backoff_cap < backoff_base) {
+    return "backoff cap must be >= the backoff base";
+  }
+  if (est_error_cv < 0) return "estimate error cv must be >= 0";
+  return {};
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint32_t nodes)
+    : config_(config),
+      nodes_(nodes),
+      node_rng_(util::derive_seed(config.seed, kNodeStream)) {
+  DYNP_EXPECTS(nodes >= 1);
+  DYNP_EXPECTS(config.validate().empty());
+}
+
+Time FaultInjector::next_failure_gap() {
+  DYNP_EXPECTS(node_faults());
+  return round_delay(util::Exponential(config_.node_mtbf).sample(node_rng_));
+}
+
+Time FaultInjector::repair_duration() {
+  DYNP_EXPECTS(node_faults());
+  return round_delay(util::Exponential(config_.node_mttr).sample(node_rng_));
+}
+
+JobFate FaultInjector::job_fate(JobId id, std::uint32_t attempt) const {
+  JobFate fate;
+  if (config_.job_fail_p <= 0) return fate;
+  util::Xoshiro256 rng(util::derive_seed(config_.seed, kJobStream, id,
+                                         attempt));
+  fate.fails = rng.next_double() < config_.job_fail_p;
+  // Die somewhere in the bulk of the run, away from the start/finish edges.
+  fate.fraction = 0.05 + 0.9 * rng.next_double();
+  return fate;
+}
+
+Time FaultInjector::failure_offset(JobId id, std::uint32_t attempt,
+                                   Time actual_runtime) const {
+  if (actual_runtime < 2) return -1;
+  const JobFate fate = job_fate(id, attempt);
+  if (!fate.fails) return -1;
+  return std::clamp(std::round(fate.fraction * actual_runtime), 1.0,
+                    actual_runtime - 1);
+}
+
+Time FaultInjector::backoff_delay(JobId id, std::uint32_t retry) const {
+  DYNP_EXPECTS(retry >= 1);
+  const double doublings =
+      std::min(static_cast<double>(retry - 1), 60.0);  // 2^60 caps anyway
+  const double delay = std::min(
+      config_.backoff_base * std::exp2(doublings), config_.backoff_cap);
+  util::Xoshiro256 rng(util::derive_seed(config_.seed, kBackoffStream, id,
+                                         retry));
+  const double jitter = 0.5 + rng.next_double();
+  return round_delay(delay * jitter);
+}
+
+workload::JobSet perturb_estimates(const workload::JobSet& set, double cv,
+                                   std::uint64_t seed) {
+  DYNP_EXPECTS(cv >= 0);
+  if (cv == 0) return set;
+  const util::Lognormal factor = util::Lognormal::from_mean_cv(1.0, cv);
+  std::vector<workload::Job> jobs = set.jobs();
+  for (workload::Job& job : jobs) {
+    util::Xoshiro256 rng(
+        util::derive_seed(seed, kEstimateStream, job.id));
+    const double perturbed =
+        std::round(job.estimated_runtime * factor.sample(rng));
+    job.estimated_runtime = std::max(perturbed, job.actual_runtime);
+  }
+  workload::Machine machine = set.machine();
+  return workload::JobSet{std::move(machine), std::move(jobs)};
+}
+
+}  // namespace dynp::fault

@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic, seed-driven fault injection for the scheduler simulation:
+/// node-down/node-up events, mid-run job failures, and PSBS-style
+/// multiplicative run-time-estimate error. All fault decisions flow through
+/// the single event calendar, so a faulty run stays single-clock and
+/// replayable — the same seed and configuration reproduce the exact same
+/// failure history, byte for byte, whatever the tuning thread count.
+///
+/// Randomness is split into independent derived streams (`util::derive_seed`)
+/// so the draws cannot interleave differently between runs:
+///
+///  * the **node chain** (inter-failure gaps, repair durations) uses one
+///    sequential generator consumed only from the single-threaded event loop,
+///    in event order;
+///  * **job fates** (does attempt k of job j die, and where in its run) and
+///    **backoff jitter** use a fresh generator per (job, attempt), making
+///    them order-independent — requeues and parallel tuning cannot shift
+///    them;
+///  * **estimate perturbation** draws one factor per job from a per-job
+///    stream, applied to the workload before the simulation starts.
+///
+/// All delays and durations are rounded to whole seconds (minimum 1 s),
+/// matching the integral-time convention of the shrinking-factor transform.
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+#include "workload/job.hpp"
+
+namespace dynp::fault {
+
+/// Configuration of the fault model. Default-constructed = everything off.
+struct FaultConfig {
+  /// Master seed; every fault stream derives from it.
+  std::uint64_t seed = 1;
+
+  /// Mean time between node failures in seconds (exponential); 0 disables
+  /// node faults. Failures are machine-wide single-node outages: one node
+  /// goes down, stays down for an exponential repair time, then returns.
+  double node_mtbf = 0;
+  /// Mean node repair time in seconds (exponential).
+  double node_mttr = 3600;
+
+  /// Probability that one execution attempt of a job dies mid-run (at a
+  /// uniformly sampled fraction of its actual run time); 0 disables job
+  /// failures. Independent per (job, attempt).
+  double job_fail_p = 0;
+
+  /// Failed jobs are requeued up to this many times before being dropped.
+  std::uint32_t max_retries = 3;
+  /// Base requeue backoff in seconds; doubles per retry.
+  double backoff_base = 60;
+  /// Backoff growth cap in seconds (applied before the deterministic
+  /// +/-50% per-attempt jitter).
+  double backoff_cap = 3600;
+
+  /// Coefficient of variation of the multiplicative lognormal estimate
+  /// error (PSBS-style); 0 leaves estimates untouched. Not consumed by the
+  /// simulation itself — apply `perturb_estimates` to the workload first.
+  double est_error_cv = 0;
+
+  /// True when the config injects any runtime fault (node or job failures).
+  [[nodiscard]] bool active() const noexcept {
+    return node_mtbf > 0 || job_fail_p > 0;
+  }
+
+  /// Returns an empty string when the configuration is sane, else a
+  /// one-line description of the first problem found.
+  [[nodiscard]] std::string validate() const;
+};
+
+/// What the fault model decided for one execution attempt of one job.
+struct JobFate {
+  bool fails = false;    ///< the attempt dies mid-run
+  double fraction = 0;   ///< at which fraction of the actual run time
+};
+
+/// Samples fault events for one simulation run. Construction is cheap; one
+/// injector per run (the node chain carries sequential generator state).
+class FaultInjector {
+ public:
+  /// \param config validated fault configuration
+  /// \param nodes  machine size (node faults need at least 2 nodes)
+  FaultInjector(const FaultConfig& config, std::uint32_t nodes);
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// Node faults are armed: an MTBF is configured and the machine can lose
+  /// a node without losing all capacity.
+  [[nodiscard]] bool node_faults() const noexcept {
+    return config_.node_mtbf > 0 && nodes_ >= 2;
+  }
+
+  /// At most half the machine may be down at once; further failures are
+  /// skipped (the chain keeps ticking) so jobs can always make progress.
+  [[nodiscard]] std::uint32_t max_concurrent_down() const noexcept {
+    return nodes_ / 2;
+  }
+
+  /// Next inter-failure gap in whole seconds (>= 1). Sequential: call only
+  /// from the event loop, in event order.
+  [[nodiscard]] Time next_failure_gap();
+
+  /// Repair duration of one outage in whole seconds (>= 1). Sequential,
+  /// like `next_failure_gap`.
+  [[nodiscard]] Time repair_duration();
+
+  /// Fate of execution attempt \p attempt (0-based) of job \p id. Pure in
+  /// (id, attempt): independent of call order.
+  [[nodiscard]] JobFate job_fate(JobId id, std::uint32_t attempt) const;
+
+  /// Offset after the attempt's start at which it dies, in whole seconds
+  /// within [1, actual_runtime - 1] — or a negative value when the attempt
+  /// runs to completion (also for sub-2-second jobs, which are too short to
+  /// die mid-run). Pure in (id, attempt).
+  [[nodiscard]] Time failure_offset(JobId id, std::uint32_t attempt,
+                                    Time actual_runtime) const;
+
+  /// Requeue delay before retry \p retry (1-based) of job \p id: capped
+  /// exponential backoff with deterministic per-(job, retry) jitter in
+  /// [0.5, 1.5), whole seconds (>= 1). Pure in (id, retry).
+  [[nodiscard]] Time backoff_delay(JobId id, std::uint32_t retry) const;
+
+ private:
+  FaultConfig config_;
+  std::uint32_t nodes_;
+  util::Xoshiro256 node_rng_;  ///< sequential node-chain stream
+};
+
+/// Applies the PSBS-style estimate error: every job's estimate is multiplied
+/// by an independent mean-1 lognormal factor with coefficient of variation
+/// \p cv (drawn from a per-job stream of \p seed), rounded to whole seconds
+/// and floored at the actual run time so the planning contract
+/// `actual <= estimate` survives. cv = 0 returns the set unchanged.
+[[nodiscard]] workload::JobSet perturb_estimates(const workload::JobSet& set,
+                                                 double cv,
+                                                 std::uint64_t seed);
+
+}  // namespace dynp::fault

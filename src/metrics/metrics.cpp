@@ -20,17 +20,24 @@ ScheduleSummary summarize(const std::vector<JobOutcome>& outcomes,
                           std::uint32_t nodes) {
   DYNP_EXPECTS(nodes >= 1);
   ScheduleSummary s;
-  s.jobs = outcomes.size();
-  if (outcomes.empty()) return s;
-
   double weighted_sld = 0, weight = 0;
   double sld_sum = 0, bsld_sum = 0, resp_sum = 0, wait_sum = 0;
   double width_resp = 0, width_sum = 0;
   double area_total = 0;
-  Time first_submit = outcomes.front().submit;
-  Time last_submit = outcomes.front().submit;
-  Time last_end = outcomes.front().end;
+  Time first_submit = 0;
+  Time last_submit = 0;
+  Time last_end = 0;
+  std::size_t completed = 0;
   for (const JobOutcome& o : outcomes) {
+    // Jobs dropped by fault injection (retries exhausted) carry the sentinel
+    // width 0 — no valid job has it — and count towards no aggregate.
+    if (o.width == 0) continue;
+    if (completed == 0) {
+      first_submit = o.submit;
+      last_submit = o.submit;
+      last_end = o.end;
+    }
+    ++completed;
     last_submit = std::max(last_submit, o.submit);
     const double sld = slowdown(o);
     const double a = o.area();
@@ -47,7 +54,9 @@ ScheduleSummary summarize(const std::vector<JobOutcome>& outcomes,
     first_submit = std::min(first_submit, o.submit);
     last_end = std::max(last_end, o.end);
   }
-  const auto n = static_cast<double>(outcomes.size());
+  s.jobs = completed;
+  if (completed == 0) return s;
+  const auto n = static_cast<double>(completed);
   s.sldwa = weight > 0 ? weighted_sld / weight : 0;
   s.avg_slowdown = sld_sum / n;
   s.avg_bounded_slowdown = bsld_sum / n;
@@ -63,6 +72,7 @@ ScheduleSummary summarize(const std::vector<JobOutcome>& outcomes,
   if (window > 0) {
     double used = 0;
     for (const JobOutcome& o : outcomes) {
+      if (o.width == 0) continue;
       const Time lo = std::max(o.start, first_submit);
       const Time hi = std::min(o.end, last_submit);
       if (hi > lo) used += static_cast<double>(o.width) * (hi - lo);

@@ -33,6 +33,9 @@ ValidationReport validate_outcomes(const workload::JobSet& set,
   for (std::size_t i = 0; i < n; ++i) {
     const JobOutcome& o = outcomes[i];
     const workload::Job& j = set[i];
+    // Sentinel width 0: the job was dropped by fault injection (retries
+    // exhausted) and never completed; none of the completion checks apply.
+    if (o.width == 0) continue;
     if (o.start < j.submit) {
       report.issues.push_back({ValidationIssue::Kind::kStartBeforeSubmit,
                                j.id, o.start,
@@ -56,6 +59,7 @@ ValidationReport validate_outcomes(const workload::JobSet& set,
   // Global capacity: sweep the start/end deltas.
   std::map<Time, std::int64_t> delta;
   for (std::size_t i = 0; i < n; ++i) {
+    if (outcomes[i].width == 0) continue;
     delta[outcomes[i].start] += outcomes[i].width;
     delta[outcomes[i].end] -= outcomes[i].width;
   }

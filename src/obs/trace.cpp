@@ -43,6 +43,18 @@ void append_decision_fields(std::string& line, const DecisionRecord& d) {
 
 }  // namespace
 
+const char* name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kFinish: return "finish";
+    case TraceEventKind::kJobFail: return "job_fail";
+    case TraceEventKind::kNodeDown: return "node_down";
+    case TraceEventKind::kNodeUp: return "node_up";
+    case TraceEventKind::kSubmit: return "submit";
+    case TraceEventKind::kRequeue: return "requeue";
+  }
+  return "unknown";
+}
+
 bool trace_format_by_name(const std::string& name, TraceFormat& out) noexcept {
   if (name == "jsonl") {
     out = TraceFormat::kJsonl;
@@ -107,7 +119,9 @@ void Tracer::event(const SchedEventRecord& r) {
     append_u64(line, r.seq);
     line += ", \"t\": ";
     append_double(line, r.sim_time);
-    line += r.submit ? ", \"kind\": \"submit\"" : ", \"kind\": \"finish\"";
+    line += ", \"kind\": \"";
+    line += name(r.kind);
+    line += '"';
     line += ", \"queue_depth\": ";
     append_u64(line, r.queue_depth);
     line += ", \"started\": ";
@@ -134,7 +148,7 @@ void Tracer::event(const SchedEventRecord& r) {
     // simulated millisecond.
     const double sim_us = r.sim_time * 1e6;
     line += "{\"name\": \"";
-    line += r.submit ? "submit" : "finish";
+    line += name(r.kind);
     line += "\", \"ph\": \"i\", \"s\": \"p\", \"ts\": ";
     append_double(line, sim_us);
     line += ", \"pid\": 1, \"tid\": 1, \"args\": {\"seq\": ";
@@ -165,6 +179,53 @@ void Tracer::event(const SchedEventRecord& r) {
     append_double(line, sim_us);
     line += ", \"pid\": 1, \"args\": {\"jobs\": ";
     append_u64(line, r.queue_depth);
+    line += "}}";
+  }
+  const std::lock_guard lock(mutex_);
+  if (closed_) return;
+  write_line(line);
+}
+
+void Tracer::fault(const FaultRecord& r) {
+  std::string line;
+  line.reserve(160);
+  if (format_ == TraceFormat::kJsonl) {
+    line += "{\"type\": \"fault\", \"seq\": ";
+    append_u64(line, r.seq);
+    line += ", \"t\": ";
+    append_double(line, r.sim_time);
+    line += ", \"what\": \"";
+    line += r.what;
+    line += '"';
+    if (r.job != FaultRecord::kNoJob) {
+      line += ", \"job\": ";
+      append_u64(line, r.job);
+      line += ", \"attempt\": ";
+      append_u64(line, r.attempt);
+    }
+    line += ", \"down_nodes\": ";
+    append_u64(line, r.down_nodes);
+    if (r.delay > 0) {
+      line += ", \"delay\": ";
+      append_double(line, r.delay);
+    }
+    line += "}";
+  } else {
+    // Instant event on the simulation-time track, like scheduling events.
+    line += "{\"name\": \"fault:";
+    line += r.what;
+    line += "\", \"ph\": \"i\", \"s\": \"p\", \"ts\": ";
+    append_double(line, r.sim_time * 1e6);
+    line += ", \"pid\": 1, \"tid\": 1, \"args\": {\"seq\": ";
+    append_u64(line, r.seq);
+    if (r.job != FaultRecord::kNoJob) {
+      line += ", \"job\": ";
+      append_u64(line, r.job);
+      line += ", \"attempt\": ";
+      append_u64(line, r.attempt);
+    }
+    line += ", \"down_nodes\": ";
+    append_u64(line, r.down_nodes);
     line += "}}";
   }
   const std::lock_guard lock(mutex_);

@@ -48,11 +48,26 @@ struct DecisionRecord {
   std::size_t chosen = 0;
 };
 
+/// What kind of scheduling event a record describes. Mirrors
+/// `sim::EventKind` value for value (statically asserted at the emission
+/// site) without making the obs layer depend on the sim headers.
+enum class TraceEventKind : std::uint8_t {
+  kFinish = 0,
+  kJobFail = 1,
+  kNodeDown = 2,
+  kNodeUp = 3,
+  kSubmit = 4,
+  kRequeue = 5,
+};
+
+/// JSONL/Chrome name of a trace event kind ("submit", "finish", ...).
+[[nodiscard]] const char* name(TraceEventKind kind) noexcept;
+
 /// One scheduling event, as the simulation saw it.
 struct SchedEventRecord {
   std::uint64_t seq = 0;        ///< engine event ordinal (1-based)
   double sim_time = 0;          ///< simulated seconds
-  bool submit = false;          ///< submit event (else: finish event)
+  TraceEventKind kind = TraceEventKind::kFinish;  ///< what happened
   std::size_t queue_depth = 0;  ///< waiting jobs after the pass
   std::size_t started = 0;      ///< jobs that began executing at this event
 
@@ -66,6 +81,23 @@ struct SchedEventRecord {
   std::uint64_t jobs_placed = 0;        ///< feasibility query + allocation
   std::uint64_t jobs_replayed = 0;      ///< prefix placements reused verbatim
   std::size_t profile_segments = 0;     ///< base/live profile complexity
+};
+
+/// One fault-injection or resilience action (`{"type": "fault", ...}` in
+/// JSONL). Emitted only when fault injection is active, so fault-free traces
+/// are byte-identical to pre-fault-layer output.
+struct FaultRecord {
+  std::uint64_t seq = 0;   ///< engine event ordinal of the triggering event
+  double sim_time = 0;     ///< simulated seconds
+  const char* what = "";   ///< "node_down" | "node_up" | "job_fail" |
+                           ///< "node_kill" | "requeue" | "drop"
+  /// Affected job, or `kNoJob` for node events.
+  std::uint32_t job = kNoJob;
+  std::uint32_t down_nodes = 0;  ///< nodes down after the action
+  std::uint32_t attempt = 0;     ///< execution attempt (job actions)
+  double delay = 0;              ///< requeue backoff delay in seconds
+
+  static constexpr std::uint32_t kNoJob = 0xffffffffu;
 };
 
 /// Streaming trace writer. All emission methods are thread-safe; `close`
@@ -90,6 +122,9 @@ class Tracer {
 
   /// Emits one scheduling-event record.
   void event(const SchedEventRecord& record);
+
+  /// Emits one fault/resilience record.
+  void fault(const FaultRecord& record);
 
   /// Emits a standalone decision record (no simulation context — used by
   /// `core::RecordingDecider`, which only sees `DecisionInput`s). Records

@@ -183,6 +183,67 @@ void Planner::plan_range(PlanScratch& scratch, Time now,
   }
 }
 
+Planner::RepairResult Planner::repair_capacity_drop(
+    ResourceProfile& profile, std::vector<Time>& reserved,
+    const std::vector<JobId>& order, const std::vector<workload::Job>& jobs,
+    Time now, Time outage_end, std::uint32_t width) {
+  const Time duration = outage_end - now;
+  DYNP_EXPECTS(duration > 0);
+  DYNP_EXPECTS(width >= 1);
+  RepairResult result;
+
+  const auto outage_fits = [&] {
+    return profile.earliest_start(now, width, duration) == now;
+  };
+
+  std::vector<JobId> evicted;
+  if (!outage_fits()) {
+    // Eviction candidates: waiting guarantees whose reservation interval
+    // overlaps the outage window (others cannot free it), oldest reserved
+    // start first so the cheapest-to-move newest guarantees survive.
+    std::vector<JobId> by_start;
+    for (const JobId id : order) {
+      const workload::Job& job = jobs[id];
+      if (reserved[id] < outage_end &&
+          reserved[id] + job.estimated_runtime > now) {
+        by_start.push_back(id);
+      }
+    }
+    std::sort(by_start.begin(), by_start.end(), [&](JobId a, JobId b) {
+      if (reserved[a] != reserved[b]) return reserved[a] < reserved[b];
+      return a < b;
+    });
+    for (const JobId id : by_start) {
+      const workload::Job& job = jobs[id];
+      profile.deallocate(reserved[id], job.estimated_runtime, job.width);
+      evicted.push_back(id);
+      if (outage_fits()) break;
+    }
+    // The running set was already culled to the reduced capacity, so once
+    // every overlapping guarantee is out the window must be free.
+    DYNP_ASSERT(outage_fits());
+  }
+  profile.allocate(now, duration, width);
+
+  if (!evicted.empty()) {
+    // Re-place the evicted guarantees in policy order: one earliest-start
+    // query + allocation each, on the live profile (the repair analogue of
+    // the incremental replan — untouched reservations never move).
+    for (const JobId id : order) {
+      if (std::find(evicted.begin(), evicted.end(), id) == evicted.end()) {
+        continue;
+      }
+      const workload::Job& job = jobs[id];
+      const Time start =
+          profile.earliest_start(now, job.width, job.estimated_runtime);
+      profile.allocate(start, job.estimated_runtime, job.width);
+      reserved[id] = start;
+    }
+    result.evicted = evicted.size();
+  }
+  return result;
+}
+
 void Planner::replan_inserted_into(const ResourceProfile& base, Time now,
                                    const std::vector<JobId>& ordered_wait,
                                    std::size_t pos,

@@ -212,6 +212,27 @@ class Planner {
                                    const std::vector<workload::Job>& jobs,
                                    PlanScratch& scratch, Schedule& out);
 
+  /// Outcome of `repair_capacity_drop`.
+  struct RepairResult {
+    std::size_t evicted = 0;  ///< guarantees that had to be re-placed
+  };
+
+  /// Schedule repair for the guarantee semantics when capacity drops: a node
+  /// outage needs \p width nodes over [\p now, \p outage_end) in the live
+  /// \p profile (which already holds the running reservations and every
+  /// waiting job's guarantee). If the outage does not fit as-is, waiting
+  /// guarantees overlapping the outage window are evicted oldest-start-first
+  /// (ties by id) — only until the window frees up, not wholesale — the
+  /// outage is reserved, and the evicted jobs are re-placed incrementally in
+  /// policy order (\p order), each at its earliest feasible start, rather
+  /// than by a from-scratch replan. Reservations of untouched jobs never
+  /// move. \p reserved (JobId -> guaranteed start) is updated in place.
+  static RepairResult repair_capacity_drop(
+      ResourceProfile& profile, std::vector<Time>& reserved,
+      const std::vector<JobId>& order,
+      const std::vector<workload::Job>& jobs, Time now, Time outage_end,
+      std::uint32_t width);
+
  private:
   /// Rebuilds `scratch`'s acceleration tables if the job table or machine
   /// changed, then opens a new floor epoch.

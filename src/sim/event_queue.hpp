@@ -8,7 +8,10 @@
 /// At equal times, job-finish events are processed before job-submit events
 /// so that a replan triggered by a submission already sees the freed
 /// resources — the same convention a real RMS's event loop realises by
-/// handling completion interrupts before queue insertions.
+/// handling completion interrupts before queue insertions. Fault events sort
+/// between the two: capacity-changing interrupts (job failures, node
+/// down/up) resolve before arrivals so a same-instant submission plans
+/// against the post-fault machine.
 
 #include <cstdint>
 #include <queue>
@@ -19,10 +22,17 @@
 
 namespace dynp::sim {
 
-/// What happened.
+/// What happened. The numeric values define the processing order at equal
+/// times (lower first): completions free resources first, then the fault
+/// interrupts mutate capacity and the running set, and only then do
+/// arrivals (fresh submits and requeued retries) plan against the result.
 enum class EventKind : std::uint8_t {
-  kFinish = 0,  ///< a running job completed (processed first at equal times)
-  kSubmit = 1,  ///< a new job arrived
+  kFinish = 0,    ///< a running job completed
+  kJobFail = 1,   ///< a running job died mid-run (fault injection)
+  kNodeDown = 2,  ///< a node failed (fault injection)
+  kNodeUp = 3,    ///< a failed node was repaired (fault injection)
+  kSubmit = 4,    ///< a new job arrived
+  kRequeue = 5,   ///< a failed job re-enters the queue after backoff
 };
 
 /// One calendar entry.

@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -100,6 +102,48 @@ double CliParser::get_double(const std::string& name) const {
 
 bool CliParser::get_flag(const std::string& name) const {
   return get(name) == "true";
+}
+
+std::optional<long long> CliParser::get_int_checked(const std::string& name,
+                                                    long long min,
+                                                    long long max) const {
+  const std::string value = get(name);
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "--%s: '%s' is not an integer (expected %lld..%lld)\n",
+                 name.c_str(), value.c_str(), min, max);
+    return std::nullopt;
+  }
+  if (parsed < min || parsed > max) {
+    std::fprintf(stderr, "--%s: %lld is out of range (expected %lld..%lld)\n",
+                 name.c_str(), parsed, min, max);
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::optional<double> CliParser::get_double_checked(const std::string& name,
+                                                    double min,
+                                                    double max) const {
+  const std::string value = get(name);
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    std::fprintf(stderr, "--%s: '%s' is not a number (expected %g..%g)\n",
+                 name.c_str(), value.c_str(), min, max);
+    return std::nullopt;
+  }
+  if (parsed < min || parsed > max) {
+    std::fprintf(stderr, "--%s: %g is out of range (expected %g..%g)\n",
+                 name.c_str(), parsed, min, max);
+    return std::nullopt;
+  }
+  return parsed;
 }
 
 std::string CliParser::help() const {

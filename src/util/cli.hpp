@@ -34,6 +34,16 @@ class CliParser {
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_flag(const std::string& name) const;
 
+  /// Validating accessors: parse the option's value strictly (the whole
+  /// token must be a number) and check it against [min, max]. On failure
+  /// they print a one-line actionable message to stderr — naming the option,
+  /// the offending value and the accepted range — and return `nullopt`, so
+  /// tools can refuse bad input instead of silently running on garbage.
+  [[nodiscard]] std::optional<long long> get_int_checked(
+      const std::string& name, long long min, long long max) const;
+  [[nodiscard]] std::optional<double> get_double_checked(
+      const std::string& name, double min, double max) const;
+
   /// Renders the help text.
   [[nodiscard]] std::string help() const;
 

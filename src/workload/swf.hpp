@@ -14,18 +14,40 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "workload/job.hpp"
 
 namespace dynp::workload {
 
+/// One skipped-line diagnostic: which input line, and why it was rejected.
+struct SwfDiagnostic {
+  std::size_t line = 0;  ///< 1-based line number in the input stream
+  std::string reason;    ///< one-line human-readable cause
+};
+
 /// Result of parsing an SWF stream.
 struct SwfParseResult {
   JobSet set;
-  /// Lines that looked like job records but had unusable fields.
+  /// Lines that looked like job records but were rejected (the sum of the
+  /// three category counters below).
   std::size_t skipped_records = 0;
+  /// Rejected: fewer whitespace-separated numeric fields than the job model
+  /// needs (a short or cut-off record).
+  std::size_t skipped_truncated = 0;
+  /// Rejected: a non-numeric token where a field was expected.
+  std::size_t skipped_malformed = 0;
+  /// Rejected: fields parsed but are unusable (negative submit/run time,
+  /// non-finite values, processor count out of range).
+  std::size_t skipped_unusable = 0;
   /// Header comment lines encountered.
   std::size_t header_lines = 0;
+  /// Per-line diagnostics for the first `kMaxDiagnostics` rejected records.
+  /// Capped so a multi-gigabyte corrupt log cannot balloon memory; the
+  /// counters above always reflect the full stream.
+  std::vector<SwfDiagnostic> diagnostics;
+  /// Cap on `diagnostics` entries retained.
+  static constexpr std::size_t kMaxDiagnostics = 20;
 };
 
 /// Parses SWF text from \p in for machine \p machine. Jobs wider than the

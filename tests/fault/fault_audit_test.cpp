@@ -1,0 +1,63 @@
+/// Capacity-aware audit at scale: a 10k-job KTH run with node outages and
+/// job failures, audited on every scheduling event. The auditor's sweep line
+/// counts active outages as capacity claims (usage(t) <= capacity - down(t))
+/// and re-plans every committed schedule from scratch on an outage-carrying
+/// base profile, so a green run here proves the repair/requeue machinery
+/// never oversubscribes the shrunken machine and never breaks the
+/// incremental-planning determinism anchor. Heavier than the unit suites —
+/// labeled `audit` so CI can schedule it separately.
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "metrics/validate.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::core {
+namespace {
+
+[[nodiscard]] workload::JobSet big_kth() {
+  return workload::generate(workload::model_by_name("KTH"), 10000, 42)
+      .with_shrinking_factor(0.8);
+}
+
+[[nodiscard]] fault::FaultConfig fault_mix() {
+  fault::FaultConfig config;
+  config.seed = 5;
+  config.node_mtbf = 100000;
+  config.node_mttr = 5000;
+  config.job_fail_p = 0.02;
+  config.max_retries = 50;
+  return config;
+}
+
+class FaultAudit : public ::testing::TestWithParam<PlannerSemantics> {};
+
+TEST_P(FaultAudit, TenThousandJobFaultRunIsAuditClean) {
+  const workload::JobSet set = big_kth();
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.semantics = GetParam();
+  config.faults = fault_mix();
+  config.audit = true;
+
+  // The auditor aborts through the contract machinery on the first
+  // violation, so a returned result is the assertion.
+  const SimulationResult r = simulate(set, config);
+  EXPECT_GT(r.audit_events, 0u);
+  EXPECT_GT(r.faults.node_failures, 0u);
+  EXPECT_GT(r.faults.job_failures, 0u);
+  EXPECT_EQ(r.faults.jobs_completed + r.faults.jobs_dropped, set.size());
+  EXPECT_TRUE(metrics::validate_outcomes(set, r.outcomes).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Semantics, FaultAudit,
+                         ::testing::Values(PlannerSemantics::kReplan,
+                                           PlannerSemantics::kGuarantee),
+                         [](const auto& param_info) {
+                           return param_info.param == PlannerSemantics::kReplan
+                                      ? "replan"
+                                      : "guarantee";
+                         });
+
+}  // namespace
+}  // namespace dynp::core

@@ -1,0 +1,188 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "workload/job.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::fault {
+namespace {
+
+[[nodiscard]] FaultConfig full_config() {
+  FaultConfig config;
+  config.seed = 7;
+  config.node_mtbf = 50000;
+  config.node_mttr = 2000;
+  config.job_fail_p = 0.1;
+  config.max_retries = 2;
+  config.backoff_base = 30;
+  config.backoff_cap = 600;
+  return config;
+}
+
+TEST(FaultConfig, DefaultIsInactiveAndValid) {
+  const FaultConfig config;
+  EXPECT_FALSE(config.active());
+  EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(FaultConfig, ValidateRejectsBadValues) {
+  FaultConfig config = full_config();
+  config.node_mtbf = -1;
+  EXPECT_FALSE(config.validate().empty());
+
+  config = full_config();
+  config.node_mttr = 0;
+  EXPECT_FALSE(config.validate().empty());
+
+  config = full_config();
+  config.job_fail_p = 1.5;
+  EXPECT_FALSE(config.validate().empty());
+
+  config = full_config();
+  config.backoff_base = 0;
+  EXPECT_FALSE(config.validate().empty());
+
+  config = full_config();
+  config.backoff_cap = config.backoff_base / 2;
+  EXPECT_FALSE(config.validate().empty());
+
+  config = full_config();
+  config.est_error_cv = -0.1;
+  EXPECT_FALSE(config.validate().empty());
+
+  EXPECT_TRUE(full_config().validate().empty());
+}
+
+TEST(FaultInjector, NodeFaultsNeedTwoNodes) {
+  EXPECT_FALSE(FaultInjector(full_config(), 1).node_faults());
+  EXPECT_TRUE(FaultInjector(full_config(), 2).node_faults());
+  EXPECT_EQ(FaultInjector(full_config(), 100).max_concurrent_down(), 50u);
+}
+
+TEST(FaultInjector, NodeChainIsWholeSecondsAndSeedDeterministic) {
+  FaultInjector a(full_config(), 64);
+  FaultInjector b(full_config(), 64);
+  for (int i = 0; i < 200; ++i) {
+    const Time gap = a.next_failure_gap();
+    EXPECT_EQ(gap, b.next_failure_gap());
+    EXPECT_GE(gap, 1.0);
+    EXPECT_EQ(gap, std::floor(gap));
+    const Time repair = a.repair_duration();
+    EXPECT_EQ(repair, b.repair_duration());
+    EXPECT_GE(repair, 1.0);
+    EXPECT_EQ(repair, std::floor(repair));
+  }
+}
+
+TEST(FaultInjector, JobFateIsPureInJobAndAttempt) {
+  const FaultInjector injector(full_config(), 64);
+  // Query in one order...
+  std::vector<JobFate> forward;
+  for (JobId id = 0; id < 50; ++id) {
+    for (std::uint32_t attempt = 0; attempt < 3; ++attempt) {
+      forward.push_back(injector.job_fate(id, attempt));
+    }
+  }
+  // ...then in reverse: every fate must be identical (order independence is
+  // what keeps requeues and parallel tuning from shifting the fault history).
+  std::size_t k = forward.size();
+  for (JobId id = 50; id-- > 0;) {
+    for (std::uint32_t attempt = 3; attempt-- > 0;) {
+      const JobFate fate = injector.job_fate(id, attempt);
+      --k;
+      EXPECT_EQ(fate.fails, forward[k].fails);
+      EXPECT_EQ(fate.fraction, forward[k].fraction);
+    }
+  }
+}
+
+TEST(FaultInjector, FailureRateTracksProbability) {
+  FaultConfig config = full_config();
+  config.job_fail_p = 0.25;
+  const FaultInjector injector(config, 64);
+  int failures = 0;
+  const int samples = 4000;
+  for (int i = 0; i < samples; ++i) {
+    if (injector.job_fate(static_cast<JobId>(i), 0).fails) ++failures;
+  }
+  const double rate = static_cast<double>(failures) / samples;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FaultInjector, FailureOffsetStaysInsideTheRun) {
+  const FaultInjector injector(full_config(), 64);
+  for (JobId id = 0; id < 300; ++id) {
+    const Time offset = injector.failure_offset(id, 0, 1000);
+    if (offset < 0) continue;  // attempt completes
+    EXPECT_GE(offset, 1.0);
+    EXPECT_LE(offset, 999.0);
+    EXPECT_EQ(offset, std::floor(offset));
+  }
+  // Jobs too short to die mid-run always complete.
+  for (JobId id = 0; id < 300; ++id) {
+    EXPECT_LT(injector.failure_offset(id, 0, 1.0), 0);
+  }
+}
+
+TEST(FaultInjector, BackoffGrowsAndIsCapped) {
+  FaultConfig config = full_config();
+  config.backoff_base = 100;
+  config.backoff_cap = 400;
+  const FaultInjector injector(config, 64);
+  for (JobId id = 0; id < 50; ++id) {
+    for (std::uint32_t retry = 1; retry <= 6; ++retry) {
+      const Time delay = injector.backoff_delay(id, retry);
+      EXPECT_GE(delay, 1.0);
+      // Capped growth, then +/-50% jitter.
+      EXPECT_LE(delay, 400 * 1.5);
+      EXPECT_EQ(delay, std::floor(delay));
+      EXPECT_EQ(delay, injector.backoff_delay(id, retry));
+    }
+  }
+}
+
+TEST(PerturbEstimates, ZeroCvIsIdentity) {
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 200, 3);
+  const workload::JobSet out = perturb_estimates(set, 0.0, 9);
+  ASSERT_EQ(out.size(), set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(out[i].estimated_runtime, set[i].estimated_runtime);
+  }
+}
+
+TEST(PerturbEstimates, KeepsPlanningContractAndIsDeterministic) {
+  const workload::JobSet set =
+      workload::generate(workload::kth_model(), 500, 3);
+  const workload::JobSet a = perturb_estimates(set, 0.5, 9);
+  const workload::JobSet b = perturb_estimates(set, 0.5, 9);
+  ASSERT_EQ(a.size(), set.size());
+  bool any_changed = false;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(a[i].estimated_runtime, b[i].estimated_runtime) << i;
+    // The planning-RMS contract survives perturbation; perturbed values are
+    // whole seconds unless the actual-runtime floor kicked in.
+    EXPECT_GE(a[i].estimated_runtime, a[i].actual_runtime) << i;
+    EXPECT_TRUE(a[i].estimated_runtime == std::floor(a[i].estimated_runtime) ||
+                a[i].estimated_runtime == a[i].actual_runtime)
+        << i;
+    any_changed =
+        any_changed || a[i].estimated_runtime != set[i].estimated_runtime;
+  }
+  EXPECT_TRUE(any_changed);
+  // Different seeds draw different factors.
+  const workload::JobSet c = perturb_estimates(set, 0.5, 10);
+  bool seed_matters = false;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    seed_matters =
+        seed_matters || a[i].estimated_runtime != c[i].estimated_runtime;
+  }
+  EXPECT_TRUE(seed_matters);
+}
+
+}  // namespace
+}  // namespace dynp::fault

@@ -1,0 +1,214 @@
+/// Resilience semantics of the fault-injected scheduler: failed attempts are
+/// requeued with backoff and eventually complete (or are dropped once the
+/// retry budget is spent), node outages kill overflowing jobs and shrink the
+/// machine until repair, guarantee-mode repair keeps reservations feasible,
+/// and an over-budget self-tuning step degrades to the fallback policy
+/// instead of stalling the event loop.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/simulation.hpp"
+#include "metrics/validate.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::core {
+namespace {
+
+[[nodiscard]] workload::JobSet test_jobs(std::size_t n = 600,
+                                         std::uint64_t seed = 7) {
+  return workload::generate(workload::model_by_name("KTH"), n, seed)
+      .with_shrinking_factor(0.7);
+}
+
+[[nodiscard]] fault::FaultConfig job_faults(double p,
+                                            std::uint32_t retries = 5) {
+  fault::FaultConfig config;
+  config.seed = 11;
+  config.job_fail_p = p;
+  config.max_retries = retries;
+  config.backoff_base = 30;
+  config.backoff_cap = 600;
+  return config;
+}
+
+[[nodiscard]] fault::FaultConfig node_faults(double mtbf, double mttr) {
+  fault::FaultConfig config;
+  config.seed = 11;
+  config.node_mtbf = mtbf;
+  config.node_mttr = mttr;
+  return config;
+}
+
+/// Every non-dropped outcome must be physically consistent; dropped jobs
+/// carry the width-0 sentinel and nothing else.
+void expect_consistent(const workload::JobSet& set,
+                       const SimulationResult& r) {
+  const auto report = metrics::validate_outcomes(set, r.outcomes);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty()
+                                   ? ""
+                                   : report.issues.front().detail);
+  std::uint64_t dropped = 0;
+  for (const auto& o : r.outcomes) {
+    if (o.width == 0) ++dropped;
+  }
+  EXPECT_EQ(dropped, r.faults.jobs_dropped);
+  EXPECT_EQ(r.faults.jobs_completed + r.faults.jobs_dropped,
+            r.outcomes.size());
+}
+
+TEST(Resilience, FailedJobsRetryAndComplete) {
+  const workload::JobSet set = test_jobs();
+  SimulationConfig config = static_config(policies::PolicyKind::kFcfs);
+  config.faults = job_faults(0.1, /*retries=*/20);
+  config.audit = true;
+  const SimulationResult r = simulate(set, config);
+
+  EXPECT_GT(r.faults.job_failures, 0u);
+  EXPECT_EQ(r.faults.requeues, r.faults.job_failures);
+  EXPECT_EQ(r.faults.jobs_dropped, 0u);
+  EXPECT_EQ(r.faults.jobs_completed, set.size());
+  EXPECT_EQ(r.faults.node_failures, 0u);
+  expect_consistent(set, r);
+}
+
+TEST(Resilience, ExhaustedRetriesDropTheJob) {
+  const workload::JobSet set = test_jobs(300);
+  SimulationConfig config = static_config(policies::PolicyKind::kFcfs);
+  // Every attempt of every job (long enough to die mid-run) fails, and no
+  // retries are allowed: those jobs must all be dropped, not spin forever.
+  config.faults = job_faults(1.0, /*retries=*/0);
+  const SimulationResult r = simulate(set, config);
+
+  EXPECT_GT(r.faults.jobs_dropped, 0u);
+  EXPECT_EQ(r.faults.requeues, 0u);
+  // Only sub-2-second jobs are too short to die mid-run.
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const bool droppable = set[i].actual_runtime >= 2;
+    EXPECT_EQ(r.outcomes[i].width == 0, droppable) << "job " << i;
+  }
+  expect_consistent(set, r);
+}
+
+TEST(Resilience, NodeOutagesKillAndRequeueButTheRunFinishes) {
+  const workload::JobSet set = test_jobs();
+  SimulationConfig config = static_config(policies::PolicyKind::kFcfs);
+  config.faults = node_faults(/*mtbf=*/20000, /*mttr=*/4000);
+  config.faults->max_retries = 50;
+  config.audit = true;
+  const SimulationResult r = simulate(set, config);
+
+  EXPECT_GT(r.faults.node_failures, 0u);
+  EXPECT_EQ(r.faults.node_repairs, r.faults.node_failures);
+  EXPECT_GT(r.faults.node_kills, 0u);
+  EXPECT_EQ(r.faults.jobs_completed, set.size());
+  expect_consistent(set, r);
+}
+
+TEST(Resilience, GuaranteeRepairKeepsReservationsAuditClean) {
+  const workload::JobSet set = test_jobs();
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  config.semantics = PlannerSemantics::kGuarantee;
+  config.faults = node_faults(/*mtbf=*/20000, /*mttr=*/4000);
+  config.faults->job_fail_p = 0.05;
+  config.faults->max_retries = 50;
+  config.audit = true;  // every post-repair pass re-verified
+  const SimulationResult r = simulate(set, config);
+
+  EXPECT_GT(r.faults.node_failures, 0u);
+  EXPECT_GT(r.faults.repair_evictions, 0u);
+  EXPECT_GT(r.audit_events, 0u);
+  EXPECT_EQ(r.faults.jobs_completed, set.size());
+  expect_consistent(set, r);
+}
+
+TEST(Resilience, EasyQueueingSurvivesFaults) {
+  const workload::JobSet set = test_jobs();
+  SimulationConfig config = static_config(policies::PolicyKind::kFcfs);
+  config.semantics = PlannerSemantics::kQueueingEasy;
+  config.faults = node_faults(/*mtbf=*/20000, /*mttr=*/4000);
+  config.faults->job_fail_p = 0.05;
+  config.faults->max_retries = 50;
+  config.audit = true;
+  const SimulationResult r = simulate(set, config);
+
+  EXPECT_GT(r.faults.node_failures, 0u);
+  EXPECT_EQ(r.faults.jobs_completed, set.size());
+  expect_consistent(set, r);
+}
+
+TEST(Resilience, InactiveFaultConfigIsIdenticalToNone) {
+  const workload::JobSet set = test_jobs(400);
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  const SimulationResult plain = simulate(set, config);
+
+  config.faults = fault::FaultConfig{};  // present but inactive
+  const SimulationResult gated = simulate(set, config);
+
+  ASSERT_EQ(plain.outcomes.size(), gated.outcomes.size());
+  for (std::size_t i = 0; i < plain.outcomes.size(); ++i) {
+    EXPECT_EQ(plain.outcomes[i].start, gated.outcomes[i].start) << i;
+    EXPECT_EQ(plain.outcomes[i].end, gated.outcomes[i].end) << i;
+  }
+  EXPECT_EQ(plain.decisions, gated.decisions);
+  EXPECT_EQ(plain.switches, gated.switches);
+  EXPECT_EQ(plain.summary.sldwa, gated.summary.sldwa);
+}
+
+/// Observer wiring: failed attempts and dropped jobs surface through the
+/// dedicated hooks, with attempt numbers that actually count up.
+class FaultObserver final : public SimulationObserver {
+ public:
+  void on_job_failed(Time /*now*/, const workload::Job& /*job*/,
+                     std::uint32_t attempt) override {
+    ++failed;
+    max_attempt = std::max(max_attempt, attempt);
+  }
+  void on_job_dropped(Time /*now*/, const workload::Job& /*job*/) override {
+    ++dropped;
+  }
+  int failed = 0;
+  int dropped = 0;
+  std::uint32_t max_attempt = 0;
+};
+
+TEST(Resilience, ObserverSeesFailuresAndDrops) {
+  const workload::JobSet set = test_jobs(300);
+  FaultObserver observer;
+  SimulationConfig config = static_config(policies::PolicyKind::kFcfs);
+  config.faults = job_faults(0.3, /*retries=*/1);
+  config.observer = &observer;
+  const SimulationResult r = simulate(set, config);
+
+  EXPECT_EQ(observer.failed,
+            static_cast<int>(r.faults.job_failures + r.faults.node_kills));
+  EXPECT_EQ(observer.dropped, static_cast<int>(r.faults.jobs_dropped));
+  EXPECT_GT(observer.failed, 0);
+  EXPECT_GT(observer.dropped, 0);
+  EXPECT_GE(observer.max_attempt, 1u);
+}
+
+TEST(Resilience, PlanBudgetDegradesTuningButCompletesTheRun) {
+  const workload::JobSet set = test_jobs(400);
+  SimulationConfig config = dynp_config(make_advanced_decider());
+  // A budget no real fan-out can meet: tuning must degrade (repeatedly),
+  // the decider is skipped there, and the run still completes and validates.
+  config.plan_budget_us = 0.001;
+  const SimulationResult r = simulate(set, config);
+
+  EXPECT_GT(r.faults.degraded_tunings, 0u);
+  EXPECT_EQ(r.faults.jobs_completed, set.size());
+  const auto report = metrics::validate_outcomes(set, r.outcomes);
+  EXPECT_TRUE(report.ok());
+
+  // Degraded events tune less: strictly fewer decisions than the unbudgeted
+  // run of the same workload.
+  SimulationConfig unlimited = dynp_config(make_advanced_decider());
+  const SimulationResult full = simulate(set, unlimited);
+  EXPECT_LT(r.decisions, full.decisions);
+}
+
+}  // namespace
+}  // namespace dynp::core

@@ -61,7 +61,7 @@ using std::chrono::steady_clock;
   SchedEventRecord r;
   r.seq = 7;
   r.sim_time = 123.5;
-  r.submit = true;
+  r.kind = TraceEventKind::kSubmit;
   r.queue_depth = 4;
   r.started = 2;
   r.tuned = true;
@@ -99,6 +99,46 @@ TEST(TracerJsonl, EventRecordsCarryTheSchedulerFields) {
   EXPECT_NE(line.find("\"chosen\": 1"), std::string::npos);
   EXPECT_NE(line.find("\"switched\": true"), std::string::npos);
   EXPECT_NE(line.find("\"jobs_replayed\": 12"), std::string::npos);
+}
+
+TEST(TracerJsonl, FaultRecordsCarryTheirFields) {
+  std::ostringstream out;
+  Tracer tracer(out, TraceFormat::kJsonl);
+  FaultRecord f;
+  f.seq = 11;
+  f.sim_time = 42.0;
+  f.what = "requeue";
+  f.job = 3;
+  f.attempt = 2;
+  f.down_nodes = 1;
+  f.delay = 120.0;
+  tracer.fault(f);
+  FaultRecord down;
+  down.seq = 12;
+  down.sim_time = 50.0;
+  down.what = "node_down";
+  down.down_nodes = 2;
+  tracer.fault(down);
+  tracer.close();
+  const std::string text = out.str();
+  EXPECT_TRUE(json_well_formed(text));
+  EXPECT_NE(text.find("\"type\": \"fault\""), std::string::npos);
+  EXPECT_NE(text.find("\"what\": \"requeue\""), std::string::npos);
+  EXPECT_NE(text.find("\"job\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"attempt\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"delay\": 120"), std::string::npos);
+  EXPECT_NE(text.find("\"what\": \"node_down\""), std::string::npos);
+  // Node events carry no job field.
+  EXPECT_EQ(text.find("\"job\": 4294967295"), std::string::npos);
+}
+
+TEST(TraceEventKindNames, CoverAllKinds) {
+  EXPECT_STREQ(name(TraceEventKind::kSubmit), "submit");
+  EXPECT_STREQ(name(TraceEventKind::kFinish), "finish");
+  EXPECT_STREQ(name(TraceEventKind::kJobFail), "job_fail");
+  EXPECT_STREQ(name(TraceEventKind::kNodeDown), "node_down");
+  EXPECT_STREQ(name(TraceEventKind::kNodeUp), "node_up");
+  EXPECT_STREQ(name(TraceEventKind::kRequeue), "requeue");
 }
 
 TEST(TracerJsonl, OneRecordPerLine) {

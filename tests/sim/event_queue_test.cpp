@@ -32,6 +32,26 @@ TEST(EventQueue, FinishBeforeSubmitAtEqualTime) {
   EXPECT_EQ(q.pop().kind, EventKind::kSubmit);
 }
 
+TEST(EventQueue, FaultKindsOrderBetweenFinishAndSubmitAtEqualTime) {
+  // At one instant: finishes free capacity first, then failures and node
+  // transitions mutate the machine, and only then do arrivals (submit,
+  // requeue) trigger the scheduling pass on the settled state.
+  EventQueue q;
+  q.push(10, EventKind::kRequeue, 5);
+  q.push(10, EventKind::kSubmit, 4);
+  q.push(10, EventKind::kNodeUp, 3);
+  q.push(10, EventKind::kNodeDown, 2);
+  q.push(10, EventKind::kJobFail, 1);
+  q.push(10, EventKind::kFinish, 0);
+  EXPECT_EQ(q.pop().kind, EventKind::kFinish);
+  EXPECT_EQ(q.pop().kind, EventKind::kJobFail);
+  EXPECT_EQ(q.pop().kind, EventKind::kNodeDown);
+  EXPECT_EQ(q.pop().kind, EventKind::kNodeUp);
+  EXPECT_EQ(q.pop().kind, EventKind::kSubmit);
+  EXPECT_EQ(q.pop().kind, EventKind::kRequeue);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, FifoAmongFullTies) {
   EventQueue q;
   q.push(5, EventKind::kSubmit, 10);

@@ -58,6 +58,50 @@ TEST(CliParser, PositionalArgumentFails) {
   EXPECT_FALSE(parse(cli, {"stray"}));
 }
 
+TEST(CliParser, CheckedIntAcceptsExactTokensInRange) {
+  CliParser cli("test");
+  cli.add_option("jobs", "100", "n jobs");
+  EXPECT_TRUE(parse(cli, {"--jobs", "250"}));
+  const auto v = cli.get_int_checked("jobs", 1, 1000);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 250);
+}
+
+TEST(CliParser, CheckedIntRejectsGarbageAndPartialTokens) {
+  for (const char* bad : {"5k", "2.5", "", "ten", "0x10", "1 2"}) {
+    CliParser cli("test");
+    cli.add_option("jobs", "100", "n jobs");
+    ASSERT_TRUE(parse(cli, {"--jobs", bad})) << bad;
+    EXPECT_FALSE(cli.get_int_checked("jobs", 1, 1000).has_value()) << bad;
+  }
+}
+
+TEST(CliParser, CheckedIntRejectsOutOfRange) {
+  CliParser cli("test");
+  cli.add_option("jobs", "100", "n jobs");
+  EXPECT_TRUE(parse(cli, {"--jobs", "5000"}));
+  EXPECT_FALSE(cli.get_int_checked("jobs", 1, 1000).has_value());
+  EXPECT_TRUE(cli.get_int_checked("jobs", 1, 5000).has_value());
+}
+
+TEST(CliParser, CheckedDoubleAcceptsNumbersInRange) {
+  CliParser cli("test");
+  cli.add_option("p", "0", "probability");
+  EXPECT_TRUE(parse(cli, {"--p", "0.25"}));
+  const auto v = cli.get_double_checked("p", 0.0, 1.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 0.25);
+}
+
+TEST(CliParser, CheckedDoubleRejectsGarbageRangeAndNonFinite) {
+  for (const char* bad : {"0.5x", "", "half", "nan", "inf", "1.5"}) {
+    CliParser cli("test");
+    cli.add_option("p", "0", "probability");
+    ASSERT_TRUE(parse(cli, {"--p", bad})) << bad;
+    EXPECT_FALSE(cli.get_double_checked("p", 0.0, 1.0).has_value()) << bad;
+  }
+}
+
 TEST(CliParser, HelpReturnsFalseAndListsOptions) {
   CliParser cli("my tool");
   cli.add_option("jobs", "100", "number of jobs");

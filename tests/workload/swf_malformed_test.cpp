@@ -1,0 +1,105 @@
+/// Hardened SWF parsing against the malformed-input corpus in
+/// `tests/workload/corpus/`: truncated records, non-numeric garbage and
+/// semantically unusable fields must be skipped (never crash, never produce
+/// a bogus job), counted per category, and reported with per-line
+/// diagnostics. `DYNP_CORPUS_DIR` points at the corpus in the source tree.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "workload/swf.hpp"
+
+namespace dynp::workload {
+namespace {
+
+[[nodiscard]] std::string corpus(const char* name) {
+  return std::string(DYNP_CORPUS_DIR) + "/" + name;
+}
+
+TEST(SwfMalformedCorpus, TruncatedRecordsAreSkippedAndCounted) {
+  const SwfParseResult r =
+      read_swf_file(corpus("truncated.swf"), Machine{"m", 64});
+  EXPECT_EQ(r.set.size(), 0u);
+  EXPECT_EQ(r.skipped_records, 4u);
+  EXPECT_EQ(r.skipped_truncated, 4u);
+  EXPECT_EQ(r.skipped_malformed, 0u);
+  EXPECT_EQ(r.skipped_unusable, 0u);
+  EXPECT_EQ(r.header_lines, 2u);
+}
+
+TEST(SwfMalformedCorpus, NonNumericTokensAreSkippedAndCounted) {
+  const SwfParseResult r =
+      read_swf_file(corpus("malformed.swf"), Machine{"m", 64});
+  EXPECT_EQ(r.set.size(), 0u);
+  EXPECT_EQ(r.skipped_records, 4u);
+  EXPECT_EQ(r.skipped_malformed, 4u);
+  EXPECT_EQ(r.skipped_truncated, 0u);
+  EXPECT_EQ(r.skipped_unusable, 0u);
+}
+
+TEST(SwfMalformedCorpus, UnusableFieldsAreSkippedAndCounted) {
+  const SwfParseResult r =
+      read_swf_file(corpus("unusable.swf"), Machine{"m", 64});
+  EXPECT_EQ(r.set.size(), 0u);
+  EXPECT_EQ(r.skipped_records, 6u);
+  EXPECT_EQ(r.skipped_unusable, 6u);
+  EXPECT_EQ(r.skipped_truncated, 0u);
+  EXPECT_EQ(r.skipped_malformed, 0u);
+}
+
+TEST(SwfMalformedCorpus, MixedFileKeepsOnlyTheValidJobs) {
+  const SwfParseResult r =
+      read_swf_file(corpus("mixed.swf"), Machine{"m", 64});
+  ASSERT_EQ(r.set.size(), 3u);
+  EXPECT_EQ(r.skipped_records, 4u);
+  EXPECT_EQ(r.skipped_truncated, 1u);
+  EXPECT_EQ(r.skipped_malformed, 2u);
+  EXPECT_EQ(r.skipped_unusable, 1u);
+  // The surviving jobs are lines 1, 4 and 7, in submit order.
+  EXPECT_EQ(r.set[0].submit, 100.0);
+  EXPECT_EQ(r.set[0].width, 4u);
+  EXPECT_EQ(r.set[1].submit, 250.0);
+  EXPECT_EQ(r.set[2].submit, 400.0);
+}
+
+TEST(SwfMalformedCorpus, DiagnosticsCarryLineNumbersAndReasons) {
+  const SwfParseResult r =
+      read_swf_file(corpus("mixed.swf"), Machine{"m", 64});
+  ASSERT_EQ(r.diagnostics.size(), 4u);
+  EXPECT_EQ(r.diagnostics[0].line, 4u);  // after the two header lines + job 1
+  EXPECT_NE(r.diagnostics[0].reason.find("truncated"), std::string::npos);
+  EXPECT_EQ(r.diagnostics[1].line, 5u);
+  EXPECT_NE(r.diagnostics[1].reason.find("malformed"), std::string::npos);
+  EXPECT_EQ(r.diagnostics[2].line, 7u);
+  EXPECT_NE(r.diagnostics[2].reason.find("unusable"), std::string::npos);
+  EXPECT_EQ(r.diagnostics[3].line, 8u);
+  EXPECT_NE(r.diagnostics[3].reason.find("malformed"), std::string::npos);
+}
+
+TEST(SwfMalformed, DiagnosticListIsCappedButCountersAreNot) {
+  std::ostringstream big;
+  for (int i = 0; i < 100; ++i) big << "garbage line " << i << "\n";
+  std::istringstream in(big.str());
+  const SwfParseResult r = read_swf(in, Machine{"m", 64});
+  EXPECT_EQ(r.skipped_records, 100u);
+  EXPECT_EQ(r.skipped_malformed, 100u);
+  EXPECT_EQ(r.diagnostics.size(), SwfParseResult::kMaxDiagnostics);
+}
+
+TEST(SwfMalformed, CategoriesAlwaysSumToTheTotal) {
+  std::istringstream in(
+      "1 100 -1 300 4 -1 -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 10\n"
+      "x y z\n"
+      "4 -5 -1 300 4 -1 -1 4 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const SwfParseResult r = read_swf(in, Machine{"m", 64});
+  EXPECT_EQ(r.set.size(), 1u);
+  EXPECT_EQ(r.skipped_records, 3u);
+  EXPECT_EQ(r.skipped_truncated + r.skipped_malformed + r.skipped_unusable,
+            r.skipped_records);
+}
+
+}  // namespace
+}  // namespace dynp::workload

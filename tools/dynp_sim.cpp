@@ -12,6 +12,8 @@
 ///   dynp_sim --trace SDSC --scheduler fcfs --semantics easy --export /tmp
 ///   dynp_sim --trace KTH --jobs 10000 --profile --metrics-out run.json
 ///            --trace-out run.trace --trace-format chrome   (one line)
+///   dynp_sim --trace KTH --jobs 5000 --faults --mtbf 86400 --job-fail-p 0.02
+///            --est-error 0.3 --audit                       (one line)
 
 #include <cstdio>
 #include <memory>
@@ -19,6 +21,7 @@
 
 #include "core/simulation.hpp"
 #include "exp/experiment.hpp"
+#include "fault/fault.hpp"
 #include "exp/ascii_plot.hpp"
 #include "exp/export.hpp"
 #include "metrics/validate.hpp"
@@ -96,6 +99,28 @@ int main(int argc, char** argv) {
                  "dynp-sjf-pref|dynp-threshold");
   cli.add_option("threshold", "0", "decider threshold in percent");
   cli.add_option("semantics", "replan", "replan|guarantee|easy");
+  cli.add_flag("faults",
+               "enable fault injection (node outages and/or job failures; "
+               "configure with --mtbf/--job-fail-p and friends)");
+  cli.add_option("fault-seed", "1", "master seed for all fault streams");
+  cli.add_option("mtbf", "0",
+                 "mean time between node failures in seconds (0 = no node "
+                 "faults)");
+  cli.add_option("repair", "3600", "mean node repair time in seconds");
+  cli.add_option("job-fail-p", "0",
+                 "probability that one execution attempt dies mid-run");
+  cli.add_option("max-retries", "3",
+                 "requeue attempts before a failed job is dropped");
+  cli.add_option("backoff", "60",
+                 "base requeue backoff in seconds (doubles per retry, capped "
+                 "at 60x)");
+  cli.add_option("est-error", "0",
+                 "coefficient of variation of the lognormal run-time-estimate "
+                 "error applied to the workload (0 = exact estimates)");
+  cli.add_option("plan-budget-ms", "0",
+                 "per-event wall-clock budget for the self-tuning step in "
+                 "milliseconds; overruns degrade to the fallback policy "
+                 "(0 = unlimited)");
   cli.add_option("export", "", "directory for outcome/timeline CSV export");
   cli.add_option("metrics-out", "",
                  "write the metrics-registry snapshot (counters, decider "
@@ -117,18 +142,52 @@ int main(int argc, char** argv) {
   cli.add_flag("stats", "print workload statistics before simulating");
   if (!cli.parse(argc, argv)) return 1;
 
+  // --- validated numeric options ---
+  // Every numeric option goes through the checked accessors: a typo like
+  // `--jobs 5k` or `--job-fail-p 1.5` refuses to run with a one-line error
+  // instead of silently simulating something else.
+  const auto nodes_opt = cli.get_int_checked("nodes", 0, 1u << 24);
+  const auto jobs_opt = cli.get_int_checked("jobs", 1, 100000000);
+  const auto seed_opt = cli.get_int_checked("seed", 0, 1LL << 62);
+  const auto factor_opt = cli.get_double_checked("factor", 1e-3, 1e3);
+  const auto threshold_opt = cli.get_double_checked("threshold", 0.0, 1e6);
+  const auto fault_seed_opt = cli.get_int_checked("fault-seed", 0, 1LL << 62);
+  const auto mtbf_opt = cli.get_double_checked("mtbf", 0.0, 1e12);
+  const auto repair_opt = cli.get_double_checked("repair", 1.0, 1e12);
+  const auto fail_p_opt = cli.get_double_checked("job-fail-p", 0.0, 1.0);
+  const auto retries_opt = cli.get_int_checked("max-retries", 0, 1000);
+  const auto backoff_opt = cli.get_double_checked("backoff", 1.0, 1e9);
+  const auto est_error_opt = cli.get_double_checked("est-error", 0.0, 10.0);
+  const auto budget_opt = cli.get_double_checked("plan-budget-ms", 0.0, 1e6);
+  if (!nodes_opt || !jobs_opt || !seed_opt || !factor_opt || !threshold_opt ||
+      !fault_seed_opt || !mtbf_opt || !repair_opt || !fail_p_opt ||
+      !retries_opt || !backoff_opt || !est_error_opt || !budget_opt) {
+    return 1;
+  }
+
   // --- workload ---
   workload::JobSet jobs;
   if (const std::string swf = cli.get("swf"); !swf.empty()) {
-    const auto nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+    const auto nodes = static_cast<std::uint32_t>(*nodes_opt);
     if (nodes == 0) {
       std::fprintf(stderr, "--swf input requires --nodes\n");
       return 1;
     }
     try {
       auto parsed = workload::read_swf_file(swf, workload::Machine{swf, nodes});
-      std::printf("read %zu jobs from %s (%zu records skipped)\n",
-                  parsed.set.size(), swf.c_str(), parsed.skipped_records);
+      std::printf("read %zu jobs from %s (%zu records skipped: %zu truncated, "
+                  "%zu malformed, %zu unusable)\n",
+                  parsed.set.size(), swf.c_str(), parsed.skipped_records,
+                  parsed.skipped_truncated, parsed.skipped_malformed,
+                  parsed.skipped_unusable);
+      for (const auto& d : parsed.diagnostics) {
+        std::fprintf(stderr, "%s:%zu: %s\n", swf.c_str(), d.line,
+                     d.reason.c_str());
+      }
+      if (parsed.skipped_records > parsed.diagnostics.size()) {
+        std::fprintf(stderr, "(%zu further skipped records not shown)\n",
+                     parsed.skipped_records - parsed.diagnostics.size());
+      }
       jobs = std::move(parsed.set);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
@@ -137,8 +196,8 @@ int main(int argc, char** argv) {
   } else if (cli.get("trace") == "feitelson") {
     workload::FeitelsonParams params;  // defaults; see feitelson.hpp
     jobs = workload::generate_feitelson(
-        params, static_cast<std::size_t>(cli.get_int("jobs")),
-        static_cast<std::uint64_t>(cli.get_int("seed")));
+        params, static_cast<std::size_t>(*jobs_opt),
+        static_cast<std::uint64_t>(*seed_opt));
   } else {
     workload::TraceModel model;
     try {
@@ -147,11 +206,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", e.what());
       return 1;
     }
-    jobs = workload::generate(model,
-                              static_cast<std::size_t>(cli.get_int("jobs")),
-                              static_cast<std::uint64_t>(cli.get_int("seed")));
+    jobs = workload::generate(model, static_cast<std::size_t>(*jobs_opt),
+                              static_cast<std::uint64_t>(*seed_opt));
   }
-  jobs = jobs.with_shrinking_factor(cli.get_double("factor"));
+  jobs = jobs.with_shrinking_factor(*factor_opt);
+  if (*est_error_opt > 0) {
+    jobs = fault::perturb_estimates(
+        jobs, *est_error_opt, static_cast<std::uint64_t>(*fault_seed_opt));
+  }
 
   if (cli.get_flag("stats")) {
     const workload::TraceStats s = workload::compute_stats(jobs);
@@ -165,11 +227,40 @@ int main(int argc, char** argv) {
 
   // --- scheduler ---
   core::SimulationConfig config;
-  if (!make_config(cli.get("scheduler"), cli.get("semantics"),
-                   cli.get_double("threshold"), config)) {
+  if (!make_config(cli.get("scheduler"), cli.get("semantics"), *threshold_opt,
+                   config)) {
     return 1;
   }
   config.audit = cli.get_flag("audit");
+  config.plan_budget_us = *budget_opt * 1000.0;
+
+  // --- fault injection ---
+  const bool faults_on = cli.get_flag("faults");
+  if (faults_on) {
+    fault::FaultConfig fc;
+    fc.seed = static_cast<std::uint64_t>(*fault_seed_opt);
+    fc.node_mtbf = *mtbf_opt;
+    fc.node_mttr = *repair_opt;
+    fc.job_fail_p = *fail_p_opt;
+    fc.max_retries = static_cast<std::uint32_t>(*retries_opt);
+    fc.backoff_base = *backoff_opt;
+    fc.backoff_cap = *backoff_opt * 60;
+    if (const std::string problem = fc.validate(); !problem.empty()) {
+      std::fprintf(stderr, "--faults: %s\n", problem.c_str());
+      return 1;
+    }
+    if (!fc.active()) {
+      std::fprintf(stderr,
+                   "--faults: nothing to inject; set --mtbf and/or "
+                   "--job-fail-p\n");
+      return 1;
+    }
+    config.faults = fc;
+  } else if (*mtbf_opt > 0 || *fail_p_opt > 0) {
+    std::fprintf(stderr,
+                 "--mtbf/--job-fail-p have no effect without --faults\n");
+    return 1;
+  }
 
   // --- instrumentation (obs layer) ---
   const std::string metrics_out = cli.get("metrics-out");
@@ -236,6 +327,20 @@ int main(int argc, char** argv) {
                                      std::max(1.0, r.summary.makespan),
                                  1)});
     }
+  }
+  if (faults_on) {
+    const auto& f = r.faults;
+    t.add_row({"node failures", std::to_string(f.node_failures)});
+    t.add_row({"node repairs", std::to_string(f.node_repairs)});
+    t.add_row({"job failures", std::to_string(f.job_failures)});
+    t.add_row({"node kills", std::to_string(f.node_kills)});
+    t.add_row({"requeues", std::to_string(f.requeues)});
+    t.add_row({"jobs dropped", std::to_string(f.jobs_dropped)});
+    t.add_row({"jobs completed", std::to_string(f.jobs_completed)});
+    t.add_row({"repair evictions", std::to_string(f.repair_evictions)});
+  }
+  if (config.plan_budget_us > 0) {
+    t.add_row({"degraded tunings", std::to_string(r.faults.degraded_tunings)});
   }
   std::printf("%s", t.to_string().c_str());
 

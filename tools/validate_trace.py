@@ -33,6 +33,11 @@ EVENT_REQUIRED = {"type", "seq", "t", "kind", "queue_depth", "started",
                   "jobs_replayed", "profile_segments"}
 DECISION_REQUIRED = {"type", "seq", "values", "old_index", "chosen"}
 SPAN_REQUIRED = {"type", "name", "ts_us", "dur_us", "tid"}
+FAULT_REQUIRED = {"type", "seq", "t", "what", "down_nodes"}
+EVENT_KINDS = ("submit", "finish", "job_fail", "node_down", "node_up",
+               "requeue")
+FAULT_WHATS = ("node_down", "node_up", "job_fail", "node_kill", "requeue",
+               "drop")
 HISTOGRAM_REQUIRED = {"count", "sum", "min", "max", "mean", "p50", "p90",
                       "p99", "le", "bucket_counts"}
 
@@ -88,7 +93,8 @@ def validate_jsonl(path):
             kind = rec.get("type")
             required = {"event": EVENT_REQUIRED,
                         "decision": DECISION_REQUIRED,
-                        "span": SPAN_REQUIRED}.get(kind)
+                        "span": SPAN_REQUIRED,
+                        "fault": FAULT_REQUIRED}.get(kind)
             if required is None:
                 return fail(f"{path}:{lineno}: unknown record type {kind!r}")
             missing = required - rec.keys()
@@ -99,12 +105,18 @@ def validate_jsonl(path):
                 if rec["seq"] < last_event_seq:
                     return fail(f"{path}:{lineno}: event seq went backwards")
                 last_event_seq = rec["seq"]
-                if rec["kind"] not in ("submit", "finish"):
+                if rec["kind"] not in EVENT_KINDS:
                     return fail(f"{path}:{lineno}: bad event kind "
                                 f"{rec['kind']!r}")
                 if rec.get("tuned") and "chosen" not in rec:
                     return fail(f"{path}:{lineno}: tuned event lacks decider "
                                 "verdict")
+            if kind == "fault":
+                if rec["what"] not in FAULT_WHATS:
+                    return fail(f"{path}:{lineno}: bad fault record "
+                                f"{rec['what']!r}")
+                if rec["down_nodes"] < 0:
+                    return fail(f"{path}:{lineno}: negative down_nodes")
             if kind == "span" and rec["dur_us"] < 0:
                 return fail(f"{path}:{lineno}: negative span duration")
             n += 1
@@ -149,9 +161,12 @@ def run_end_to_end(binary, workdir):
     metrics = os.path.join(workdir, "run_metrics.json")
     jsonl = os.path.join(workdir, "run_trace.jsonl")
     chrome = os.path.join(workdir, "run_trace_chrome.json")
+    fault_jsonl = os.path.join(workdir, "run_fault_trace.jsonl")
     for extra in (["--profile", "--metrics-out", metrics,
                    "--trace-out", jsonl, "--trace-format", "jsonl"],
-                  ["--trace-out", chrome, "--trace-format", "chrome"]):
+                  ["--trace-out", chrome, "--trace-format", "chrome"],
+                  ["--faults", "--mtbf", "40000", "--job-fail-p", "0.05",
+                   "--trace-out", fault_jsonl, "--trace-format", "jsonl"]):
         cmd = [binary] + base + extra
         proc = subprocess.run(cmd, stdout=subprocess.PIPE,
                               stderr=subprocess.STDOUT)
@@ -160,7 +175,8 @@ def run_end_to_end(binary, workdir):
             return fail(f"{' '.join(cmd)} exited {proc.returncode}")
     return (validate_metrics(metrics)
             or validate_jsonl(jsonl)
-            or validate_chrome(chrome))
+            or validate_chrome(chrome)
+            or validate_jsonl(fault_jsonl))
 
 
 def main():
