@@ -27,6 +27,11 @@ int main(int argc, char** argv) {
 
   const auto config = core::static_config(policies::PolicyKind::kFcfs);
 
+  // This ablation varies the *transform*, not the shrinking factor, so its
+  // cells are not addressable by the orchestrator's (trace, factor, config)
+  // point cache; it runs directly, reusing one simulation workspace.
+  core::SimWorkspace workspace;
+
   for (const auto& model : opt->traces) {
     const auto sets = workload::generate_ensemble(
         model, opt->scale.sets, opt->scale.jobs, opt->scale.seed);
@@ -53,7 +58,7 @@ int main(int argc, char** argv) {
     for (const Variant& v : variants) {
       std::vector<double> sldwa, bsld, util_pct, wait;
       for (const auto& base : sets) {
-        const auto r = core::simulate(v.apply(base), config);
+        const auto r = core::simulate(v.apply(base), config, workspace);
         sldwa.push_back(r.summary.sldwa);
         bsld.push_back(r.summary.avg_bounded_slowdown);
         util_pct.push_back(r.summary.utilization * 100);

@@ -29,8 +29,17 @@ int main(int argc, char** argv) {
               "(advanced decider; scale: %zu sets x %zu jobs)\n\n",
               opt->scale.sets, opt->scale.jobs);
 
-  for (const auto& model : opt->traces) {
-    const exp::SweepRunner runner(model, opt->scale);
+  std::vector<core::SimulationConfig> configs;
+  for (const auto m : previews) {
+    auto config = core::dynp_config(core::make_advanced_decider());
+    config.preview = m;
+    configs.push_back(std::move(config));
+  }
+  const exp::SweepGrid grid =
+      exp::run_bench_grid(*opt, exp::paper_shrinking_factors(), configs);
+
+  for (std::size_t trace = 0; trace < opt->traces.size(); ++trace) {
+    const auto& model = opt->traces[trace];
     util::TextTable t;
     std::vector<std::string> header = {"factor"};
     for (const auto m : previews) {
@@ -40,13 +49,12 @@ int main(int argc, char** argv) {
       header.push_back(std::string("util/") + metrics::name(m));
     }
     t.set_header(header, {util::Align::kLeft});
-    for (const double factor : exp::paper_shrinking_factors()) {
+    for (std::size_t f = 0; f < exp::paper_shrinking_factors().size(); ++f) {
+      const double factor = exp::paper_shrinking_factors()[f];
       std::vector<std::string> row = {util::fmt_fixed(factor, 1)};
       std::vector<std::string> utils;
-      for (const auto m : previews) {
-        auto config = core::dynp_config(core::make_advanced_decider());
-        config.preview = m;
-        const exp::CombinedPoint p = runner.run(factor, config, opt->threads);
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        const exp::CombinedPoint& p = grid.at(trace, f, c);
         row.push_back(util::fmt_fixed(p.sldwa, 2));
         utils.push_back(util::fmt_fixed(p.utilization, 1));
       }

@@ -38,8 +38,21 @@ int main(int argc, char** argv) {
   std::printf("Ablation F — RMS semantics (scale: %zu sets x %zu jobs)\n\n",
               opt->scale.sets, opt->scale.jobs);
 
-  for (const auto& model : opt->traces) {
-    const exp::SweepRunner runner(model, opt->scale);
+  // Policy-major config order: config index = policy * |semantics| + s.
+  const std::vector<double> factors = {1.0, 0.8, 0.6};
+  const std::size_t n_sem = std::size(semantics);
+  std::vector<core::SimulationConfig> configs;
+  for (const auto policy : policies::paper_pool()) {
+    for (const auto& s : semantics) {
+      auto config = core::static_config(policy);
+      config.semantics = s.value;
+      configs.push_back(std::move(config));
+    }
+  }
+  const exp::SweepGrid grid = exp::run_bench_grid(*opt, factors, configs);
+
+  for (std::size_t trace = 0; trace < opt->traces.size(); ++trace) {
+    const auto& model = opt->traces[trace];
     util::TextTable t;
     std::vector<std::string> header = {"factor", "policy"};
     for (const auto& s : semantics) {
@@ -50,16 +63,14 @@ int main(int argc, char** argv) {
     }
     t.set_header(header, {util::Align::kLeft, util::Align::kLeft});
 
-    for (const double factor : {1.0, 0.8, 0.6}) {
-      for (const auto policy : policies::paper_pool()) {
-        std::vector<std::string> row = {util::fmt_fixed(factor, 1),
-                                        policies::name(policy)};
+    for (std::size_t f = 0; f < factors.size(); ++f) {
+      const auto pool = policies::paper_pool();
+      for (std::size_t p_idx = 0; p_idx < pool.size(); ++p_idx) {
+        std::vector<std::string> row = {util::fmt_fixed(factors[f], 1),
+                                        policies::name(pool[p_idx])};
         std::vector<std::string> utils;
-        for (const auto& s : semantics) {
-          auto config = core::static_config(policy);
-          config.semantics = s.value;
-          const exp::CombinedPoint p =
-              runner.run(factor, config, opt->threads);
+        for (std::size_t s = 0; s < n_sem; ++s) {
+          const exp::CombinedPoint& p = grid.at(trace, f, p_idx * n_sem + s);
           row.push_back(util::fmt_fixed(p.sldwa, 2));
           utils.push_back(util::fmt_fixed(p.utilization, 1));
         }

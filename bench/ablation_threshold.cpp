@@ -25,8 +25,22 @@ int main(int argc, char** argv) {
               "sets x %zu jobs)\n\n",
               opt->scale.sets, opt->scale.jobs);
 
-  for (const auto& model : opt->traces) {
-    const exp::SweepRunner runner(model, opt->scale);
+  // Both decider families ride in one orchestrated grid: configs 0..4 are
+  // the SJF-preferred thresholds, 5..9 the fair threshold decider. The
+  // second config index is the fair offset.
+  std::vector<core::SimulationConfig> configs;
+  for (const double th : thresholds) {
+    configs.push_back(core::dynp_config(exp::sjf_preferred_decider(th)));
+  }
+  for (const double th : thresholds) {
+    configs.push_back(core::dynp_config(core::make_threshold_decider(th)));
+  }
+  const std::size_t fair_offset = thresholds.size();
+  const exp::SweepGrid grid =
+      exp::run_bench_grid(*opt, exp::paper_shrinking_factors(), configs);
+
+  for (std::size_t trace = 0; trace < opt->traces.size(); ++trace) {
+    const auto& model = opt->traces[trace];
     util::TextTable t;
     std::vector<std::string> header = {"factor"};
     for (const double th : thresholds) {
@@ -37,12 +51,12 @@ int main(int argc, char** argv) {
     }
     t.set_header(header, {util::Align::kLeft});
 
-    for (const double factor : exp::paper_shrinking_factors()) {
+    for (std::size_t f = 0; f < exp::paper_shrinking_factors().size(); ++f) {
+      const double factor = exp::paper_shrinking_factors()[f];
       std::vector<std::string> row = {util::fmt_fixed(factor, 1)};
       std::vector<std::string> switches;
-      for (const double th : thresholds) {
-        const auto config = core::dynp_config(exp::sjf_preferred_decider(th));
-        const exp::CombinedPoint p = runner.run(factor, config, opt->threads);
+      for (std::size_t c = 0; c < thresholds.size(); ++c) {
+        const exp::CombinedPoint& p = grid.at(trace, f, c);
         row.push_back(util::fmt_fixed(p.sldwa, 2));
         switches.push_back(util::fmt_fixed(p.switches, 0));
       }
@@ -56,12 +70,12 @@ int main(int argc, char** argv) {
     // policy is active instead of one globally preferred policy.
     util::TextTable tf;
     tf.set_header(header, {util::Align::kLeft});
-    for (const double factor : exp::paper_shrinking_factors()) {
+    for (std::size_t f = 0; f < exp::paper_shrinking_factors().size(); ++f) {
+      const double factor = exp::paper_shrinking_factors()[f];
       std::vector<std::string> row = {util::fmt_fixed(factor, 1)};
       std::vector<std::string> switches;
-      for (const double th : thresholds) {
-        const auto config = core::dynp_config(core::make_threshold_decider(th));
-        const exp::CombinedPoint p = runner.run(factor, config, opt->threads);
+      for (std::size_t c = 0; c < thresholds.size(); ++c) {
+        const exp::CombinedPoint& p = grid.at(trace, f, fair_offset + c);
         row.push_back(util::fmt_fixed(p.sldwa, 2));
         switches.push_back(util::fmt_fixed(p.switches, 0));
       }

@@ -30,21 +30,27 @@ int main(int argc, char** argv) {
               "(advanced decider; scale: %zu sets x %zu jobs)\n\n",
               opt->scale.sets, opt->scale.jobs);
 
-  for (const auto& model : opt->traces) {
-    const exp::SweepRunner runner(model, opt->scale);
+  std::vector<core::SimulationConfig> configs;
+  for (const Variant& v : variants) {
+    auto config = core::dynp_config(core::make_advanced_decider());
+    config.tune_on_submit = v.on_submit;
+    config.tune_on_finish = v.on_finish;
+    configs.push_back(std::move(config));
+  }
+  const exp::SweepGrid grid =
+      exp::run_bench_grid(*opt, exp::paper_shrinking_factors(), configs);
+
+  for (std::size_t trace = 0; trace < opt->traces.size(); ++trace) {
+    const auto& model = opt->traces[trace];
     util::TextTable t;
     t.set_header({"factor", "SLDwA s+f", "submit", "finish", "util% s+f",
                   "submit", "finish", "decisions s+f", "submit", "finish"},
                  {util::Align::kLeft});
-    for (const double factor : exp::paper_shrinking_factors()) {
+    for (std::size_t f = 0; f < exp::paper_shrinking_factors().size(); ++f) {
+      const double factor = exp::paper_shrinking_factors()[f];
       std::vector<std::string> row = {util::fmt_fixed(factor, 1)};
       std::array<exp::CombinedPoint, 3> p;
-      for (std::size_t v = 0; v < 3; ++v) {
-        auto config = core::dynp_config(core::make_advanced_decider());
-        config.tune_on_submit = variants[v].on_submit;
-        config.tune_on_finish = variants[v].on_finish;
-        p[v] = runner.run(factor, config, opt->threads);
-      }
+      for (std::size_t v = 0; v < 3; ++v) p[v] = grid.at(trace, f, v);
       for (const auto& point : p) row.push_back(util::fmt_fixed(point.sldwa, 2));
       for (const auto& point : p) {
         row.push_back(util::fmt_fixed(point.utilization, 2));

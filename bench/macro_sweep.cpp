@@ -1,0 +1,108 @@
+/// Macro benchmarks (google-benchmark): the sweep layer. Three ways of
+/// executing the same mini experiment grid —
+///
+///  * BM_SweepSerialBarrier: per-point `SweepRunner::run` calls, i.e. the
+///    pre-orchestrator discipline (parallel sets, hard barrier per point),
+///  * BM_SweepOrchestrator: one flat cell list on the work-stealing pool,
+///  * BM_SweepWarmCache: the orchestrator against a fully warm point cache
+///    (every point loads, nothing simulates).
+///
+/// items/sec = grid cells (one cell = one ensemble-set simulation), the
+/// sweep throughput metric of DESIGN.md §11. The thread-count argument is
+/// sweepable; on a single-core host the first two coincide and only the
+/// cache row shows the orders-of-magnitude step. For the checked-in JSON of
+/// the same shape (BENCH_sweep.json), see tools/bench_report --sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "exp/experiment.hpp"
+#include "exp/orchestrator.hpp"
+#include "workload/models.hpp"
+
+namespace {
+
+using namespace dynp;
+
+constexpr std::size_t kSets = 3;
+constexpr std::size_t kJobs = 300;
+
+[[nodiscard]] exp::ExperimentScale mini_scale() {
+  return exp::ExperimentScale{kSets, kJobs, 42};
+}
+
+[[nodiscard]] std::vector<double> mini_factors() { return {1.0, 0.8, 0.6}; }
+
+[[nodiscard]] std::vector<core::SimulationConfig> mini_configs() {
+  return {core::static_config(policies::PolicyKind::kSjf),
+          core::dynp_config(core::make_advanced_decider())};
+}
+
+[[nodiscard]] std::int64_t mini_cells() {
+  return static_cast<std::int64_t>(mini_factors().size() *
+                                   mini_configs().size() * kSets);
+}
+
+void BM_SweepSerialBarrier(benchmark::State& state) {
+  const exp::SweepRunner runner(workload::kth_model(), mini_scale());
+  const auto configs = mini_configs();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::int64_t cells = 0;
+  for (auto _ : state) {
+    for (const double factor : mini_factors()) {
+      for (const auto& config : configs) {
+        const exp::CombinedPoint p = runner.run(factor, config, threads);
+        benchmark::DoNotOptimize(p.sldwa);
+      }
+    }
+    cells += mini_cells();
+  }
+  state.SetItemsProcessed(cells);
+}
+
+void BM_SweepOrchestrator(benchmark::State& state) {
+  exp::OrchestratorOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  exp::SweepOrchestrator orchestrator({workload::kth_model()}, mini_scale(),
+                                      options);
+  std::int64_t cells = 0;
+  for (auto _ : state) {
+    const exp::SweepGrid grid =
+        orchestrator.run_grid(mini_factors(), mini_configs());
+    benchmark::DoNotOptimize(grid.points.front().sldwa);
+    cells += mini_cells();
+  }
+  state.SetItemsProcessed(cells);
+}
+
+void BM_SweepWarmCache(benchmark::State& state) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "dynp_macro_sweep_cache";
+  std::filesystem::remove_all(dir);
+  exp::OrchestratorOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.cache_dir = dir.string();
+  exp::SweepOrchestrator orchestrator({workload::kth_model()}, mini_scale(),
+                                      options);
+  // Populate outside the timing loop; every timed run is a pure warm load.
+  (void)orchestrator.run_grid(mini_factors(), mini_configs());
+  for (auto _ : state) {
+    const exp::SweepGrid grid =
+        orchestrator.run_grid(mini_factors(), mini_configs());
+    benchmark::DoNotOptimize(grid.points.front().sldwa);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * mini_cells());
+  std::filesystem::remove_all(dir);
+}
+
+BENCHMARK(BM_SweepSerialBarrier)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepOrchestrator)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepWarmCache)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -15,14 +15,9 @@ namespace {
 using namespace dynp;
 
 void run_trace(const workload::TraceModel& model,
-               const exp::PaperStaticTrace& ref, const exp::BenchOptions& opt,
-               util::CsvWriter& fig1, util::CsvWriter& fig2) {
-  const exp::SweepRunner runner(model, opt.scale);
-  const std::vector<core::SimulationConfig> configs = {
-      core::static_config(policies::PolicyKind::kFcfs),
-      core::static_config(policies::PolicyKind::kSjf),
-      core::static_config(policies::PolicyKind::kLjf)};
-
+               const exp::PaperStaticTrace& ref, const exp::SweepGrid& grid,
+               std::size_t trace, util::CsvWriter& fig1,
+               util::CsvWriter& fig2) {
   util::TextTable t;
   t.set_header({"factor", "SLDwA FCFS", "SJF", "LJF", "(paper F/S/L)",
                 "util% FCFS", "SJF", "LJF", "(paper F/S/L)"},
@@ -31,8 +26,8 @@ void run_trace(const workload::TraceModel& model,
   for (std::size_t f = 0; f < exp::paper_shrinking_factors().size(); ++f) {
     const double factor = exp::paper_shrinking_factors()[f];
     std::array<exp::CombinedPoint, 3> points;
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-      points[c] = runner.run(factor, configs[c], opt.threads);
+    for (std::size_t c = 0; c < points.size(); ++c) {
+      points[c] = grid.at(trace, f, c);
     }
     const exp::PaperStaticRow& prow = ref.rows[f];
     t.add_row({util::fmt_fixed(factor, 1),
@@ -76,13 +71,24 @@ int main(int argc, char** argv) {
               "%zu jobs; paper: 10 x 10000)\n\n",
               opt->scale.sets, opt->scale.jobs);
 
+  // One orchestrated grid covers every trace, factor and policy; the
+  // per-trace loop below only formats the finished points.
+  const std::vector<core::SimulationConfig> configs = {
+      core::static_config(policies::PolicyKind::kFcfs),
+      core::static_config(policies::PolicyKind::kSjf),
+      core::static_config(policies::PolicyKind::kLjf)};
+  const exp::SweepGrid grid =
+      exp::run_bench_grid(*opt, exp::paper_shrinking_factors(), configs);
+
   util::CsvWriter fig1({"trace", "factor", "sldwa_fcfs", "sldwa_sjf",
                         "sldwa_ljf"});
   util::CsvWriter fig2({"trace", "factor", "util_fcfs", "util_sjf",
                         "util_ljf"});
-  for (const auto& model : opt->traces) {
+  for (std::size_t t = 0; t < opt->traces.size(); ++t) {
     for (const auto& ref : exp::paper_table4()) {
-      if (model.name == ref.name) run_trace(model, ref, *opt, fig1, fig2);
+      if (opt->traces[t].name == ref.name) {
+        run_trace(opt->traces[t], ref, grid, t, fig1, fig2);
+      }
     }
   }
   if (!opt->csv_dir.empty()) {

@@ -16,14 +16,9 @@ namespace {
 using namespace dynp;
 
 void run_trace(const workload::TraceModel& model,
-               const exp::PaperDynpTrace& ref, const exp::BenchOptions& opt,
-               util::CsvWriter& fig3, util::CsvWriter& fig4) {
-  const exp::SweepRunner runner(model, opt.scale);
-  const std::vector<core::SimulationConfig> configs = {
-      core::static_config(policies::PolicyKind::kSjf),
-      core::dynp_config(core::make_advanced_decider()),
-      core::dynp_config(exp::sjf_preferred_decider())};
-
+               const exp::PaperDynpTrace& ref, const exp::SweepGrid& grid,
+               std::size_t trace, util::CsvWriter& fig3,
+               util::CsvWriter& fig4) {
   util::TextTable t;
   t.set_header({"factor", "SJF", "adv.", "SJF-pref.", "d%adv", "d%pref",
                 "(paper d%)", "util SJF", "adv.", "SJF-pref.", "dPPadv",
@@ -34,8 +29,8 @@ void run_trace(const workload::TraceModel& model,
   for (std::size_t f = 0; f < exp::paper_shrinking_factors().size(); ++f) {
     const double factor = exp::paper_shrinking_factors()[f];
     std::array<exp::CombinedPoint, 3> p;
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-      p[c] = runner.run(factor, configs[c], opt.threads);
+    for (std::size_t c = 0; c < p.size(); ++c) {
+      p[c] = grid.at(trace, f, c);
     }
     // Positive = dynP better (smaller slowdown), as the paper defines it.
     const double rel_adv = 100.0 * (p[0].sldwa - p[1].sldwa) / p[0].sldwa;
@@ -106,13 +101,24 @@ int main(int argc, char** argv) {
               "utilisation difference in percentage points\n\n",
               opt->scale.sets, opt->scale.jobs);
 
+  // One orchestrated grid covers every trace, factor and scheduler; the
+  // per-trace loop below only formats the finished points.
+  const std::vector<core::SimulationConfig> configs = {
+      core::static_config(policies::PolicyKind::kSjf),
+      core::dynp_config(core::make_advanced_decider()),
+      core::dynp_config(exp::sjf_preferred_decider())};
+  const exp::SweepGrid grid =
+      exp::run_bench_grid(*opt, exp::paper_shrinking_factors(), configs);
+
   util::CsvWriter fig3({"trace", "factor", "sldwa_sjf", "sldwa_advanced",
                         "sldwa_sjf_preferred"});
   util::CsvWriter fig4({"trace", "factor", "util_sjf", "util_advanced",
                         "util_sjf_preferred"});
-  for (const auto& model : opt->traces) {
+  for (std::size_t t = 0; t < opt->traces.size(); ++t) {
     for (const auto& ref : exp::paper_table5()) {
-      if (model.name == ref.name) run_trace(model, ref, *opt, fig3, fig4);
+      if (opt->traces[t].name == ref.name) {
+        run_trace(opt->traces[t], ref, grid, t, fig3, fig4);
+      }
     }
   }
   if (!opt->csv_dir.empty()) {

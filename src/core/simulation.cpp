@@ -73,6 +73,45 @@ SimulationConfig dynp_config(std::shared_ptr<const Decider> decider) {
   return config;
 }
 
+namespace detail {
+
+/// Per-pool-policy scratch, reused across events so the hot path stops
+/// allocating a fresh profile + schedule per candidate per event. Named
+/// (not scheduler-private) so `SimWorkspace::Impl` can store the slots
+/// across whole runs as well.
+struct TuningCandidate {
+  rms::PlanScratch scratch;         ///< planning scratch (replan only)
+  rms::ResourceProfile profile{1};  ///< profile copy (guarantee only)
+  rms::Schedule schedule;           ///< candidate (replan) or preview
+  std::vector<Time> reserved;       ///< reservation copy (guarantee only)
+  double value = 0;                 ///< preview-metric score
+};
+
+}  // namespace detail
+
+/// The buffers a run borrows from a workspace at construction and returns
+/// at destruction (see `SimWorkspace` in the header). Everything here is
+/// either re-`assign`ed or explicitly invalidated on adoption, so stale
+/// content can never leak between runs — only capacity survives.
+struct SimWorkspace::Impl {
+  std::vector<Time> reserved;
+  std::vector<std::uint32_t> running_slot;
+  std::vector<char> started_mark;
+  std::vector<JobId> waiting;
+  std::vector<JobId> due;
+  std::vector<std::size_t> insert_pos;
+  std::vector<char> slot_reusable;
+  std::vector<detail::TuningCandidate> candidates;
+  std::vector<policies::SortedQueue> queues;
+  rms::ResourceProfile profile{1};
+  rms::ResourceProfile base_profile{1};
+};
+
+SimWorkspace::SimWorkspace() : impl_(std::make_unique<Impl>()) {}
+SimWorkspace::~SimWorkspace() = default;
+SimWorkspace::SimWorkspace(SimWorkspace&&) noexcept = default;
+SimWorkspace& SimWorkspace::operator=(SimWorkspace&&) noexcept = default;
+
 namespace {
 
 /// The scheduler process: owns all mutable run state; one instance per
@@ -81,13 +120,15 @@ namespace {
 /// pool, each task confined to its own candidate slot.
 class SchedulerSim final : public sim::Process {
  public:
-  SchedulerSim(const workload::JobSet& set, const SimulationConfig& config)
+  SchedulerSim(const workload::JobSet& set, const SimulationConfig& config,
+               SimWorkspace::Impl* ws = nullptr)
       : set_(set),
         config_(config),
         jobs_(set.jobs()),
         policy_index_(config.initial_index),
-        profile_(set.machine().nodes, 0),
-        base_profile_(set.machine().nodes, 0) {
+        ws_(ws),
+        profile_(1),
+        base_profile_(1) {
     DYNP_EXPECTS(config.mode == SchedulerMode::kStatic ||
                  (config.decider != nullptr && !config.pool.empty() &&
                   config.initial_index < config.pool.size()));
@@ -95,6 +136,9 @@ class SchedulerSim final : public sim::Process {
     // dynP step is only defined on the planning semantics.
     DYNP_EXPECTS(config.semantics != PlannerSemantics::kQueueingEasy ||
                  config.mode == SchedulerMode::kStatic);
+    if (ws_ != nullptr) adopt_workspace();
+    profile_.reset(set.machine().nodes);
+    base_profile_.reset(set.machine().nodes);
     outcomes_.resize(jobs_.size());
     reserved_.assign(jobs_.size(), -1.0);
     running_slot_.assign(jobs_.size(), kNotRunning);
@@ -102,10 +146,7 @@ class SchedulerSim final : public sim::Process {
     if (config.mode == SchedulerMode::kDynP) {
       result_.decisions_per_policy.assign(config.pool.size(), 0);
       result_.time_in_policy.assign(config.pool.size(), 0.0);
-      queues_.reserve(config.pool.size());
-      for (const policies::PolicyKind kind : config.pool) {
-        queues_.emplace_back(kind, jobs_);
-      }
+      rebuild_queues(config.pool);
       candidates_.resize(config.pool.size());
       if (config.parallel_tuning && config.pool.size() > 1) {
         std::size_t threads = config.tuning_threads != 0
@@ -113,14 +154,23 @@ class SchedulerSim final : public sim::Process {
                                   : std::max<std::size_t>(
                                         1, std::thread::hardware_concurrency());
         threads = std::min(threads, config.pool.size());
+        if (config.thread_budget != 0) {
+          threads = std::min(threads, config.thread_budget);
+        }
         if (threads > 1) {
           workers_ = std::make_unique<util::ThreadPool>(threads);
         }
       }
     } else {
-      queues_.emplace_back(config.static_policy, jobs_);
+      if (queues_.size() == 1) {
+        queues_.front().rebind(config.static_policy, jobs_);
+      } else {
+        queues_.clear();
+        queues_.emplace_back(config.static_policy, jobs_);
+      }
       candidates_.resize(1);
     }
+    reset_candidates();
     slot_reusable_.assign(candidates_.size(), 0);
     if (config.faults.has_value() && config.faults->active()) {
       DYNP_EXPECTS(config.faults->validate().empty());
@@ -292,19 +342,78 @@ class SchedulerSim final : public sim::Process {
     }
   }
 
+  /// Returns the borrowed buffers to the workspace (capacity earned during
+  /// this run included). Only the `simulate` overload taking a workspace
+  /// calls this, after `run`; skipping it merely forfeits the reuse.
+  void release_workspace() {
+    if (ws_ == nullptr) return;
+    ws_->reserved = std::move(reserved_);
+    ws_->running_slot = std::move(running_slot_);
+    ws_->started_mark = std::move(started_mark_);
+    ws_->waiting = std::move(waiting_);
+    ws_->due = std::move(due_);
+    ws_->insert_pos = std::move(insert_pos_);
+    ws_->slot_reusable = std::move(slot_reusable_);
+    ws_->candidates = std::move(candidates_);
+    ws_->queues = std::move(queues_);
+    ws_->profile = std::move(profile_);
+    ws_->base_profile = std::move(base_profile_);
+    ws_ = nullptr;
+  }
+
  private:
   static constexpr std::uint32_t kNotRunning =
       std::numeric_limits<std::uint32_t>::max();
 
-  /// Per-pool-policy scratch, reused across events so the hot path stops
-  /// allocating a fresh profile + schedule per candidate per event.
-  struct Candidate {
-    rms::PlanScratch scratch;         ///< planning scratch (replan only)
-    rms::ResourceProfile profile{1};  ///< profile copy (guarantee only)
-    rms::Schedule schedule;           ///< candidate (replan) or preview
-    std::vector<Time> reserved;       ///< reservation copy (guarantee only)
-    double value = 0;                 ///< preview-metric score
-  };
+  using Candidate = detail::TuningCandidate;
+
+  /// Borrows the workspace buffers for this run (constructor only; every
+  /// buffer is re-assigned or invalidated below before use).
+  void adopt_workspace() {
+    reserved_ = std::move(ws_->reserved);
+    running_slot_ = std::move(ws_->running_slot);
+    started_mark_ = std::move(ws_->started_mark);
+    waiting_ = std::move(ws_->waiting);
+    due_ = std::move(ws_->due);
+    insert_pos_ = std::move(ws_->insert_pos);
+    slot_reusable_ = std::move(ws_->slot_reusable);
+    candidates_ = std::move(ws_->candidates);
+    queues_ = std::move(ws_->queues);
+    profile_ = std::move(ws_->profile);
+    base_profile_ = std::move(ws_->base_profile);
+    waiting_.clear();
+    due_.clear();
+    insert_pos_.clear();
+  }
+
+  /// Re-targets the per-policy queues at this run's pool and job table,
+  /// recycling adopted queue storage when the pool width matches.
+  void rebuild_queues(const std::vector<policies::PolicyKind>& kinds) {
+    if (queues_.size() == kinds.size()) {
+      for (std::size_t i = 0; i < kinds.size(); ++i) {
+        queues_[i].rebind(kinds[i], jobs_);
+      }
+      return;
+    }
+    queues_.clear();
+    queues_.reserve(kinds.size());
+    for (const policies::PolicyKind kind : kinds) {
+      queues_.emplace_back(kind, jobs_);
+    }
+  }
+
+  /// Clears cross-run candidate state after adoption/resize. The planner
+  /// scratch caches (width, estimate) job classes keyed only by table
+  /// *size*, so a recycled scratch facing a different same-size job table
+  /// must drop them; the cumulative plan-stats counters restart at zero so
+  /// the per-event attribution diffs in `finish_event_record` stay exact.
+  void reset_candidates() {
+    for (Candidate& c : candidates_) {
+      c.scratch.invalidate_classes();
+      c.scratch.reset_stats();
+      c.schedule.clear();
+    }
+  }
 
 #if !defined(DYNP_OBS_DISABLED)
   /// Pre-resolved instrument handles (one registry name lookup at
@@ -1095,6 +1204,9 @@ class SchedulerSim final : public sim::Process {
   std::vector<char> slot_reusable_;      // slot index -> plan still valid
   std::unique_ptr<util::ThreadPool> workers_;  // parallel tuning (optional)
 
+  // Borrowed buffer source (null without a workspace; nulled on release).
+  SimWorkspace::Impl* ws_;
+
   // Fault-injection state (all inert without an injector): active node
   // outages as width-1 pseudo-reservations until their repair instants,
   // per-job started-attempt counts and pending failure instants (for
@@ -1135,6 +1247,15 @@ SimulationResult simulate(const workload::JobSet& set,
                           const SimulationConfig& config) {
   SchedulerSim sim(set, config);
   return sim.run();
+}
+
+SimulationResult simulate(const workload::JobSet& set,
+                          const SimulationConfig& config,
+                          SimWorkspace& workspace) {
+  SchedulerSim sim(set, config, workspace.impl());
+  SimulationResult result = sim.run();
+  sim.release_workspace();
+  return result;
 }
 
 }  // namespace dynp::core

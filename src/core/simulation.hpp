@@ -116,6 +116,14 @@ struct SimulationConfig {
   /// the pool size). Ignored unless `parallel_tuning` is set.
   std::size_t tuning_threads = 0;
 
+  /// Upper bound on the worker threads any nested parallelism of this run
+  /// may spawn (0 = no bound). An outer scheduler that already saturates
+  /// every core — the sweep orchestrator — pins this to 1 so per-event
+  /// parallel tuning degrades to the sequential path instead of stacking a
+  /// pool per in-flight simulation on oversubscribed cores. Purely a
+  /// resource cap: candidate evaluation is bit-identical either way.
+  std::size_t thread_budget = 0;
+
   /// Runs the schedule invariant auditor (`core/audit.hpp`) after every
   /// scheduling event: candidate and committed schedules re-verified against
   /// from-scratch plans, incremental queues against fresh sorts, decider
@@ -199,9 +207,47 @@ struct SimulationResult {
   FaultStats faults;
 };
 
+/// Reusable per-worker scratch for `simulate`: owns the scheduler's
+/// job-count- and event-scaled buffers (reservation tables, per-policy
+/// sorted-queue storage, planning scratch + profile segment vectors,
+/// candidate slots) between runs, so a sweep worker that simulates
+/// thousands of cells stops paying the allocation cost of that state per
+/// cell. Opaque: the contents are an implementation detail of the
+/// simulation core.
+///
+/// Contract: one workspace per worker — a workspace must never be used by
+/// two simulations concurrently (runs borrow the buffers for their whole
+/// duration). Reuse across runs of *different* job sets, machines, pools or
+/// semantics is safe: adoption re-targets every buffer and invalidates all
+/// cross-run caches (notably the planner's job-class tables, which would
+/// otherwise go stale between same-size job tables). Results are
+/// bit-identical with and without a workspace.
+class SimWorkspace {
+ public:
+  SimWorkspace();
+  ~SimWorkspace();
+  SimWorkspace(SimWorkspace&&) noexcept;
+  SimWorkspace& operator=(SimWorkspace&&) noexcept;
+  SimWorkspace(const SimWorkspace&) = delete;
+  SimWorkspace& operator=(const SimWorkspace&) = delete;
+
+  /// Opaque storage, defined in simulation.cpp. Never null.
+  struct Impl;
+  [[nodiscard]] Impl* impl() const noexcept { return impl_.get(); }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Runs \p config over \p set to completion. Deterministic: identical inputs
 /// give identical results.
 [[nodiscard]] SimulationResult simulate(const workload::JobSet& set,
                                         const SimulationConfig& config);
+
+/// As above, but recycling \p workspace's buffers (see `SimWorkspace`).
+/// Bit-identical to the workspace-free overload.
+[[nodiscard]] SimulationResult simulate(const workload::JobSet& set,
+                                        const SimulationConfig& config,
+                                        SimWorkspace& workspace);
 
 }  // namespace dynp::core

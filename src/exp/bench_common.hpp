@@ -3,7 +3,10 @@
 /// \file bench_common.hpp
 /// Shared command-line handling for the table/figure bench binaries: every
 /// binary accepts the same scale options (--sets, --jobs, --seed, --full,
-/// --quick, --threads, --trace, --csv-dir) so runs are comparable.
+/// --quick, --threads, --trace, --csv-dir, --cache-dir) so runs are
+/// comparable, plus the shared `run_bench_grid` entry point that executes a
+/// whole `traces x factors x configs` grid through the `SweepOrchestrator`
+/// (work-stealing cell pool, persistent point cache).
 
 #include <cstdio>
 #include <optional>
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/orchestrator.hpp"
 #include "util/cli.hpp"
 #include "workload/models.hpp"
 
@@ -22,6 +26,7 @@ struct BenchOptions {
   std::size_t threads = 0;            ///< 0 = hardware concurrency
   std::vector<workload::TraceModel> traces;  ///< selected trace models
   std::string csv_dir;                ///< empty = no CSV output
+  std::string cache_dir;              ///< empty = point cache disabled
 };
 
 /// Registers the common options on \p cli.
@@ -32,6 +37,9 @@ inline void add_bench_options(util::CliParser& cli) {
   cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
   cli.add_option("trace", "all", "trace to run: CTC, KTH, LANL, SDSC or all");
   cli.add_option("csv-dir", "", "directory for figure CSV series (optional)");
+  cli.add_option("cache-dir", "",
+                 "persistent point-cache directory: finished sweep points "
+                 "are reused across runs (optional)");
   cli.add_flag("full", "paper scale: 10 sets x 10000 jobs (slow)");
   cli.add_flag("quick", "smoke-test scale: 3 sets x 400 jobs");
 }
@@ -48,6 +56,7 @@ inline std::optional<BenchOptions> read_bench_options(
   if (cli.get_flag("quick")) opt.scale = ExperimentScale{3, 400, opt.scale.seed};
   opt.threads = static_cast<std::size_t>(cli.get_int("threads"));
   opt.csv_dir = cli.get("csv-dir");
+  opt.cache_dir = cli.get("cache-dir");
 
   const std::string trace = cli.get("trace");
   if (trace == "all" || trace == "ALL") {
@@ -61,6 +70,33 @@ inline std::optional<BenchOptions> read_bench_options(
     }
   }
   return opt;
+}
+
+/// Runs the whole `opt.traces x factors x configs` grid through the
+/// `SweepOrchestrator` and returns it. The points are byte-identical to
+/// per-point `SweepRunner::run` calls, but the grid's cells share one
+/// work-stealing pool (no per-point barrier) and, with `--cache-dir`,
+/// finished points are served from the persistent cache. A one-line sweep
+/// summary goes to stderr so table output on stdout stays clean.
+inline SweepGrid run_bench_grid(
+    const BenchOptions& opt, const std::vector<double>& factors,
+    const std::vector<core::SimulationConfig>& configs) {
+  OrchestratorOptions options;
+  options.threads = opt.threads;
+  options.cache_dir = opt.cache_dir;
+  SweepOrchestrator orchestrator(opt.traces, opt.scale, std::move(options));
+  SweepGrid grid = orchestrator.run_grid(factors, configs);
+  const SweepStats& s = orchestrator.stats();
+  std::fprintf(stderr,
+               "[sweep] %zu points (%zu cached, %zu simulated as %zu cells) "
+               "in %.2fs, %.1f cells/s, %llu stolen cells\n",
+               s.points_total, s.cache_hits, s.cache_misses,
+               s.cells_simulated, s.seconds,
+               s.seconds > 0 ? static_cast<double>(s.cells_simulated) /
+                                   s.seconds
+                             : 0.0,
+               static_cast<unsigned long long>(s.stolen_tasks));
+  return grid;
 }
 
 }  // namespace dynp::exp

@@ -21,33 +21,62 @@ SweepRunner::SweepRunner(workload::TraceModel model, ExperimentScale scale)
       ensemble_(workload::generate_ensemble(model_, scale.sets, scale.jobs,
                                             scale.seed)) {}
 
+core::SimulationResult simulate_sweep_cell(const workload::JobSet& base,
+                                           double factor,
+                                           const core::SimulationConfig& config,
+                                           std::size_t set_index,
+                                           SweepWorkspace* workspace) {
+  workload::JobSet local;
+  workload::JobSet& scaled = workspace != nullptr ? workspace->scaled : local;
+  scaled.assign_scaled_from(base, factor);
+
+  const core::SimulationConfig* run_config = &config;
+  core::SimulationConfig patched;
+  if (config.faults.has_value() && config.faults->active()) {
+    // Independent, reproducible failure history per ensemble set; the
+    // per-cell config copy survives only on this path (the seed differs
+    // per set), everything else shares the caller's hoisted config.
+    const std::uint64_t set_seed =
+        util::derive_seed(config.faults->seed, 0x5e7u, set_index);
+    patched = config;
+    patched.faults->seed = set_seed;
+    if (config.faults->est_error_cv > 0) {
+      scaled =
+          fault::perturb_estimates(scaled, config.faults->est_error_cv,
+                                   set_seed);
+    }
+    run_config = &patched;
+  }
+  return workspace != nullptr
+             ? core::simulate(scaled, *run_config, workspace->sim)
+             : core::simulate(scaled, *run_config);
+}
+
 CombinedPoint SweepRunner::run(double factor,
                                const core::SimulationConfig& config,
                                std::size_t threads,
                                obs::Registry* registry) const {
   const std::size_t n = ensemble_.size();
   std::vector<core::SimulationResult> results(n);
-  const bool faulty = config.faults.has_value() && config.faults->active();
+  // One hoisted copy wires the registry; fault-free sweeps without one run
+  // straight off the caller's config with no per-set cloning at all.
+  const core::SimulationConfig* shared = &config;
+  core::SimulationConfig wired;
+  if (registry != nullptr) {
+    wired = config;
+    wired.instruments.registry = registry;
+    shared = &wired;
+  }
   util::parallel_for(
       n,
       [&](std::size_t i) {
-        workload::JobSet scaled = ensemble_[i].with_shrinking_factor(factor);
-        core::SimulationConfig run_config = config;
-        if (faulty) {
-          // Independent, reproducible failure history per ensemble set.
-          const std::uint64_t set_seed =
-              util::derive_seed(config.faults->seed, 0x5e7u, i);
-          run_config.faults->seed = set_seed;
-          if (config.faults->est_error_cv > 0) {
-            scaled = fault::perturb_estimates(
-                scaled, config.faults->est_error_cv, set_seed);
-          }
-        }
-        if (registry != nullptr) run_config.instruments.registry = registry;
-        results[i] = core::simulate(scaled, run_config);
+        results[i] = simulate_sweep_cell(ensemble_[i], factor, *shared, i);
       },
       threads);
+  return combine_results(results);
+}
 
+CombinedPoint combine_results(const std::vector<core::SimulationResult>& results) {
   CombinedPoint point;
   std::vector<double> bsld, resp, sw, dec;
   std::vector<double> nf, jf, rq, jd;

@@ -87,6 +87,35 @@ class SweepRunner {
   std::vector<workload::JobSet> ensemble_;
 };
 
+/// Reusable per-worker buffers for sweep cells: the scaled job-set storage
+/// plus the simulation core's workspace. One instance per worker thread;
+/// never shared between concurrent cells (see `core::SimWorkspace`).
+struct SweepWorkspace {
+  workload::JobSet scaled;
+  core::SimWorkspace sim;
+};
+
+/// Combines per-set simulation results into one sweep point with the
+/// paper's trimming rule (drop min and max, average the rest; §4.2).
+/// `results[i]` must be ensemble set i's result. Shared by
+/// `SweepRunner::run` and the sweep orchestrator, which keeps the two
+/// paths byte-identical by construction.
+[[nodiscard]] CombinedPoint combine_results(
+    const std::vector<core::SimulationResult>& results);
+
+/// Simulates ensemble set \p set_index (= \p base) scaled by \p factor
+/// under the already-hoisted \p config — the one simulation of a sweep
+/// cell. Fault-aware: when `config.faults` is active the run uses the
+/// per-set seed `derive_seed(config.faults->seed, 0x5e7, set_index)` (and
+/// applies `est_error_cv` estimate perturbation with it), exactly like
+/// `SweepRunner::run` always has. A non-null \p workspace recycles the
+/// scaled-set and scheduler buffers across calls; results are
+/// bit-identical with and without one.
+[[nodiscard]] core::SimulationResult simulate_sweep_cell(
+    const workload::JobSet& base, double factor,
+    const core::SimulationConfig& config, std::size_t set_index,
+    SweepWorkspace* workspace = nullptr);
+
 /// Builds the paper's SJF-preferred decider over the paper pool
 /// (index 1 = SJF), with optional threshold percentage.
 [[nodiscard]] std::shared_ptr<const core::Decider> sjf_preferred_decider(

@@ -1,0 +1,173 @@
+#include "exp/orchestrator.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dynp::exp {
+
+namespace {
+
+/// One not-yet-cached grid point: its slot in the output grid, its grid
+/// coordinates, its cache key (empty when uncacheable), and one result slot
+/// per ensemble set. Workers write disjoint `results[set]` slots; the
+/// combining thread reads them only after `wait_idle`.
+struct PendingPoint {
+  std::size_t index = 0;
+  std::size_t trace = 0;
+  std::size_t factor = 0;
+  std::size_t config = 0;
+  std::string key;
+  std::vector<core::SimulationResult> results;
+};
+
+}  // namespace
+
+SweepOrchestrator::SweepOrchestrator(std::vector<workload::TraceModel> models,
+                                     ExperimentScale scale,
+                                     OrchestratorOptions options)
+    : models_(std::move(models)),
+      scale_(scale),
+      options_(std::move(options)),
+      cache_(options_.cache_dir) {
+  ensembles_.resize(models_.size());
+  // Per-trace generation is independent and seed-derived, so building the
+  // ensembles in parallel yields exactly what serial construction would.
+  util::parallel_for(
+      models_.size(),
+      [&](std::size_t t) {
+        ensembles_[t] = workload::generate_ensemble(models_[t], scale_.sets,
+                                                    scale_.jobs, scale_.seed);
+      },
+      options_.threads);
+}
+
+SweepGrid SweepOrchestrator::run_grid(
+    const std::vector<double>& factors,
+    const std::vector<core::SimulationConfig>& configs) {
+  const auto started = std::chrono::steady_clock::now();
+  SweepGrid grid;
+  grid.traces = models_.size();
+  grid.factors = factors.size();
+  grid.configs = configs.size();
+  grid.points.resize(grid.traces * grid.factors * grid.configs);
+  stats_ = SweepStats{};
+  stats_.points_total = grid.points.size();
+
+  std::size_t threads = options_.threads != 0
+                            ? options_.threads
+                            : std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency());
+
+  // Hoist the per-cell config clone: one wired copy per grid config carries
+  // the registry and the nested-parallelism budget; the fault path inside
+  // `simulate_sweep_cell` is the only remaining per-cell copy (it must
+  // derive a per-set seed). With the cell pool already saturating every
+  // core, per-event parallel tuning inside a simulation could only stack
+  // pools on oversubscribed cores, so the budget pins it to the (bit-
+  // identical) sequential path.
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<core::SimulationConfig> wired(configs);
+  for (core::SimulationConfig& config : wired) {
+    if (options_.registry != nullptr) {
+      config.instruments.registry = options_.registry;
+    }
+    if (threads >= cores) config.thread_budget = 1;
+  }
+
+  // Cache probe (combining thread): hits fill their grid slot immediately,
+  // misses become cell tasks.
+  std::vector<PendingPoint> pending;
+  for (std::size_t t = 0; t < grid.traces; ++t) {
+    for (std::size_t f = 0; f < grid.factors; ++f) {
+      for (std::size_t c = 0; c < grid.configs; ++c) {
+        PendingPoint point;
+        point.index = grid.index(t, f, c);
+        point.trace = t;
+        point.factor = f;
+        point.config = c;
+        if (cache_.enabled() && PointCache::cacheable(wired[c])) {
+          point.key =
+              PointCache::key_string(models_[t], scale_, factors[f], wired[c]);
+          if (std::optional<CombinedPoint> hit = cache_.load(point.key)) {
+            grid.points[point.index] = std::move(*hit);
+            ++stats_.cache_hits;
+            continue;
+          }
+        }
+        ++stats_.cache_misses;
+        point.results.resize(scale_.sets);
+        pending.push_back(std::move(point));
+      }
+    }
+  }
+
+  if (!pending.empty()) {
+    // One flat cell list over one work-stealing pool: no barrier between
+    // points, so a long-tail set no longer strands the other workers — they
+    // steal cells of later points. Each worker recycles its own workspace;
+    // an external caller thread (not a pool worker) would get none.
+    util::ThreadPool pool(threads);
+    std::vector<SweepWorkspace> workspaces(pool.thread_count());
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    for (PendingPoint& point : pending) {
+      for (std::size_t s = 0; s < scale_.sets; ++s) {
+        pool.submit([this, &pool, &workspaces, &wired, &factors, &point, s,
+                     &error_mutex, &first_error] {
+          try {
+            const std::size_t worker = pool.worker_index();
+            SweepWorkspace* workspace = worker != util::ThreadPool::npos
+                                            ? &workspaces[worker]
+                                            : nullptr;
+            point.results[s] = simulate_sweep_cell(
+                ensembles_[point.trace][s], factors[point.factor],
+                wired[point.config], s, workspace);
+          } catch (...) {
+            const std::lock_guard lock(error_mutex);
+            if (first_error == nullptr) first_error = std::current_exception();
+          }
+        });
+      }
+    }
+    pool.wait_idle();
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+    stats_.cells_simulated = pending.size() * scale_.sets;
+    const util::ThreadPool::StealStats steals = pool.steal_stats();
+    stats_.steal_batches = steals.steal_batches;
+    stats_.stolen_tasks = steals.stolen_tasks;
+
+    // Deterministic combine: point order on this thread, each point over
+    // its sets in ensemble order — byte-identical to the serial path.
+    for (PendingPoint& point : pending) {
+      grid.points[point.index] = combine_results(point.results);
+      if (!point.key.empty()) {
+        cache_.store(point.key, grid.points[point.index]);
+      }
+    }
+  }
+
+  if (options_.registry != nullptr) {
+    obs::Registry& registry = *options_.registry;
+    if (stats_.cache_hits != 0) {
+      registry.counter("cache.hit").add(stats_.cache_hits);
+    }
+    if (stats_.cache_misses != 0) {
+      registry.counter("cache.miss").add(stats_.cache_misses);
+    }
+    if (stats_.stolen_tasks != 0) {
+      registry.counter("pool.steals").add(stats_.stolen_tasks);
+    }
+  }
+  stats_.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+  return grid;
+}
+
+}  // namespace dynp::exp

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file orchestrator.hpp
+/// Sweep-scale orchestration of the paper's experiment grid.
+///
+/// `SweepRunner::run` parallelises *within* one `(trace, factor, config)`
+/// point: N ensemble sets fan out, then a hard barrier joins them before
+/// the next point starts — so every point pays for its slowest set while
+/// the other workers idle (the barrier-idle analogue of the backfilling
+/// idle-width problem, replayed at the experiment layer). The
+/// `SweepOrchestrator` instead flattens the whole grid into one task list
+/// of `(trace, factor, config, set)` cells executed by a single
+/// work-stealing pool: a long-tail cell no longer strands workers, they
+/// steal cells of other points.
+///
+/// Determinism: cell results are slotted by `(point index, set index)` and
+/// combined on the calling thread in point order, so the returned
+/// `CombinedPoint`s are byte-identical to the serial `SweepRunner` path
+/// regardless of completion order, thread count, or cache state.
+///
+/// Each worker owns a `SweepWorkspace`, so the per-cell scaled-job-set copy
+/// and the scheduler's internal buffers are recycled instead of
+/// re-allocated thousands of times, and the per-point `SimulationConfig`
+/// clones are hoisted to one per grid config. Points already present in the
+/// persistent `PointCache` are skipped entirely (see point_cache.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/point_cache.hpp"
+#include "obs/registry.hpp"
+
+namespace dynp::exp {
+
+/// Execution knobs of a `SweepOrchestrator`.
+struct OrchestratorOptions {
+  /// Worker threads of the cell pool (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Persistent point-cache directory; empty disables caching.
+  std::string cache_dir;
+  /// Optional metrics registry: every simulation aggregates into it (as
+  /// with `SweepRunner::run`), and the orchestrator adds the `cache.hit` /
+  /// `cache.miss` / `pool.steals` counters.
+  obs::Registry* registry = nullptr;
+};
+
+/// Outcome counters of one `run_grid` call.
+struct SweepStats {
+  std::size_t points_total = 0;     ///< grid points requested
+  std::size_t cache_hits = 0;       ///< points served from the cache
+  std::size_t cache_misses = 0;     ///< points simulated (includes uncacheable)
+  std::size_t cells_simulated = 0;  ///< individual set simulations run
+  std::uint64_t steal_batches = 0;  ///< successful steal operations
+  std::uint64_t stolen_tasks = 0;   ///< cells moved between workers
+  double seconds = 0;               ///< wall time of the whole call
+};
+
+/// The combined grid: `points` holds trace-major, then factor, then config
+/// order — index `(trace * factors + factor) * configs + config`.
+struct SweepGrid {
+  std::size_t traces = 0;
+  std::size_t factors = 0;
+  std::size_t configs = 0;
+  std::vector<CombinedPoint> points;
+
+  [[nodiscard]] std::size_t index(std::size_t trace, std::size_t factor,
+                                  std::size_t config) const noexcept {
+    return (trace * factors + factor) * configs + config;
+  }
+  [[nodiscard]] const CombinedPoint& at(std::size_t trace, std::size_t factor,
+                                        std::size_t config) const {
+    return points[index(trace, factor, config)];
+  }
+};
+
+/// Pre-generates every trace's ensemble once, then executes experiment
+/// grids over them (see the file comment). Construction is the expensive
+/// part (ensemble generation); `run_grid` may be called repeatedly — e.g.
+/// by an ablation sweeping different config lists over the same ensembles.
+class SweepOrchestrator {
+ public:
+  SweepOrchestrator(std::vector<workload::TraceModel> models,
+                    ExperimentScale scale, OrchestratorOptions options = {});
+
+  [[nodiscard]] const std::vector<workload::TraceModel>& models()
+      const noexcept {
+    return models_;
+  }
+  [[nodiscard]] const ExperimentScale& scale() const noexcept {
+    return scale_;
+  }
+  [[nodiscard]] const OrchestratorOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Runs the full `models x factors x configs` grid and returns the
+  /// combined points (byte-identical to per-point `SweepRunner::run` calls
+  /// over the same ensembles, whatever the thread count or cache state).
+  /// Counters of the call are available via `stats()` afterwards.
+  [[nodiscard]] SweepGrid run_grid(
+      const std::vector<double>& factors,
+      const std::vector<core::SimulationConfig>& configs);
+
+  /// Counters of the most recent `run_grid` call.
+  [[nodiscard]] const SweepStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::vector<workload::TraceModel> models_;
+  ExperimentScale scale_;
+  OrchestratorOptions options_;
+  PointCache cache_;
+  std::vector<std::vector<workload::JobSet>> ensembles_;  ///< per trace
+  SweepStats stats_;
+};
+
+}  // namespace dynp::exp

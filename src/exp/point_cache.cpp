@@ -1,0 +1,315 @@
+#include "exp/point_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/fnv.hpp"
+
+namespace dynp::exp {
+
+namespace {
+
+/// `%.17g` round-trips every finite double exactly, which is what makes a
+/// warm cache load byte-identical to the cold computation.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_field(std::string& out, const char* name, double v) {
+  out += name;
+  out += '=';
+  append_double(out, v);
+  out += ';';
+}
+
+[[nodiscard]] const char* semantics_name(core::PlannerSemantics s) noexcept {
+  switch (s) {
+    case core::PlannerSemantics::kReplan: return "replan";
+    case core::PlannerSemantics::kGuarantee: return "guarantee";
+    case core::PlannerSemantics::kQueueingEasy: return "queueing-easy";
+  }
+  return "?";
+}
+
+/// Locates `"name":` and parses the number after it. The stored key string
+/// contains no quotes, so a field tag can never match inside it.
+[[nodiscard]] bool find_number(const std::string& text, const char* name,
+                               double& out) {
+  const std::string tag = std::string("\"") + name + "\":";
+  const std::size_t pos = text.find(tag);
+  if (pos == std::string::npos) return false;
+  const char* begin = text.c_str() + pos + tag.size();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  return end != begin;
+}
+
+[[nodiscard]] bool find_array(const std::string& text, const char* name,
+                              std::vector<double>& out) {
+  const std::string tag = std::string("\"") + name + "\":[";
+  const std::size_t pos = text.find(tag);
+  if (pos == std::string::npos) return false;
+  const char* p = text.c_str() + pos + tag.size();
+  out.clear();
+  if (*p == ']') return true;
+  for (;;) {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p) return false;
+    out.push_back(v);
+    p = end;
+    if (*p == ',') {
+      ++p;
+    } else {
+      return *p == ']';
+    }
+  }
+}
+
+void append_json_double(std::string& out, double v) { append_double(out, v); }
+
+void append_json_array(std::string& out, const char* name,
+                       const std::vector<double>& values) {
+  out += '"';
+  out += name;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_double(out, values[i]);
+  }
+  out += ']';
+}
+
+void append_json_field(std::string& out, const char* name, double v) {
+  out += '"';
+  out += name;
+  out += "\":";
+  append_json_double(out, v);
+}
+
+}  // namespace
+
+PointCache::PointCache(std::string dir) : dir_(std::move(dir)) {}
+
+bool PointCache::cacheable(const core::SimulationConfig& config) {
+  // Budgeted tuning degrades on wall-clock overruns, so the combined point
+  // is not a pure function of the key — never cache it.
+  return config.plan_budget_us <= 0;
+}
+
+std::string PointCache::key_string(const workload::TraceModel& model,
+                                   const ExperimentScale& scale, double factor,
+                                   const core::SimulationConfig& config) {
+  DYNP_EXPECTS(cacheable(config));
+  std::string key = kSchemaVersion;
+  key += "|model=";
+  key += model.name;
+  key += ";nodes=";
+  key += std::to_string(model.nodes);
+  key += ";widths=";
+  for (const auto& [value, weight] : model.width_values) {
+    append_double(key, value);
+    key += ':';
+    append_double(key, weight);
+    key += ',';
+  }
+  key += ';';
+  append_field(key, "width_mean", model.width_mean);
+  append_field(key, "est_min", model.est_min);
+  append_field(key, "est_max", model.est_max);
+  append_field(key, "est_mean", model.est_mean);
+  append_field(key, "est_cv", model.est_cv);
+  append_field(key, "p_est_max", model.p_est_max);
+  append_field(key, "est_round", model.est_round);
+  append_field(key, "p_full", model.p_full);
+  append_field(key, "runtime_fraction", model.runtime_fraction);
+  append_field(key, "act_max", model.act_max);
+  append_field(key, "area_correlation", model.area_correlation);
+  append_field(key, "ia_mean", model.ia_mean);
+  append_field(key, "ia_burst_prob", model.ia_burst_prob);
+  append_field(key, "ia_burst_mean", model.ia_burst_mean);
+  append_field(key, "load_calibration", model.load_calibration);
+  append_field(key, "diurnal_amplitude", model.diurnal_amplitude);
+  append_field(key, "weekend_factor", model.weekend_factor);
+
+  key += "|scale=";
+  key += std::to_string(scale.sets);
+  key += ',';
+  key += std::to_string(scale.jobs);
+  key += ',';
+  key += std::to_string(scale.seed);
+
+  key += "|factor=";
+  append_double(key, factor);
+
+  // Config fingerprint: only fields that can change the combined point.
+  // Execution knobs (parallel_tuning, tuning_threads, thread_budget, audit)
+  // and observation sinks (observer, instruments) are bit-identity-neutral
+  // by contract and deliberately excluded, so instrumented, audited and
+  // parallel runs share cache entries with bare ones. In static mode the
+  // dynP fields are inert and likewise excluded.
+  key += "|config=";
+  key += semantics_name(config.semantics);
+  key += ';';
+  if (config.mode == core::SchedulerMode::kStatic) {
+    key += "static=";
+    key += policies::name(config.static_policy);
+  } else {
+    key += "dynp;pool=";
+    for (const policies::PolicyKind kind : config.pool) {
+      key += policies::name(kind);
+      key += ',';
+    }
+    key += ";decider=";
+    key += config.decider != nullptr ? config.decider->name() : "?";
+    key += ";init=";
+    key += std::to_string(config.initial_index);
+    key += ";preview=";
+    key += metrics::name(config.preview);
+    key += ";tune=";
+    key += config.tune_on_submit ? '1' : '0';
+    key += ',';
+    key += config.tune_on_finish ? '1' : '0';
+  }
+
+  // A present-but-inactive fault config takes exactly the fault-free code
+  // paths (including skipping est_error_cv perturbation), so it keys as off.
+  if (config.faults.has_value() && config.faults->active()) {
+    const fault::FaultConfig& f = *config.faults;
+    key += "|faults=seed:";
+    key += std::to_string(f.seed);
+    key += ';';
+    append_field(key, "node_mtbf", f.node_mtbf);
+    append_field(key, "node_mttr", f.node_mttr);
+    append_field(key, "job_fail_p", f.job_fail_p);
+    key += "max_retries=";
+    key += std::to_string(f.max_retries);
+    key += ';';
+    append_field(key, "backoff_base", f.backoff_base);
+    append_field(key, "backoff_cap", f.backoff_cap);
+    append_field(key, "est_error_cv", f.est_error_cv);
+  } else {
+    key += "|faults=off";
+  }
+
+  // The entry format embeds the key as a JSON string verbatim; decider and
+  // trace names contain no characters that would need escaping.
+  DYNP_ENSURES(key.find('"') == std::string::npos &&
+               key.find('\\') == std::string::npos &&
+               key.find('\n') == std::string::npos);
+  return key;
+}
+
+std::string PointCache::file_name(const std::string& key) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "fnv1a-%016" PRIx64 ".json",
+                util::fnv1a64(key));
+  return buf;
+}
+
+std::optional<CombinedPoint> PointCache::load(const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  const std::filesystem::path path =
+      std::filesystem::path(dir_) / file_name(key);
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Verify the stored key verbatim: a hash collision (or truncated entry)
+  // must read as a miss, never as a wrong point.
+  const std::string key_tag = "\"key\":\"";
+  const std::size_t key_pos = text.find(key_tag);
+  if (key_pos == std::string::npos) return std::nullopt;
+  const std::size_t key_begin = key_pos + key_tag.size();
+  const std::size_t key_end = text.find('"', key_begin);
+  if (key_end == std::string::npos ||
+      text.compare(key_begin, key_end - key_begin, key) != 0 ||
+      key_end - key_begin != key.size()) {
+    return std::nullopt;
+  }
+
+  CombinedPoint point;
+  const bool ok =
+      find_number(text, "sldwa", point.sldwa) &&
+      find_number(text, "utilization", point.utilization) &&
+      find_number(text, "avg_bounded_slowdown", point.avg_bounded_slowdown) &&
+      find_number(text, "avg_response", point.avg_response) &&
+      find_number(text, "switches", point.switches) &&
+      find_number(text, "decisions", point.decisions) &&
+      find_number(text, "sldwa_stddev", point.sldwa_stddev) &&
+      find_number(text, "util_stddev", point.util_stddev) &&
+      find_number(text, "node_failures", point.node_failures) &&
+      find_number(text, "job_failures", point.job_failures) &&
+      find_number(text, "requeues", point.requeues) &&
+      find_number(text, "jobs_dropped", point.jobs_dropped) &&
+      find_array(text, "sldwa_per_set", point.sldwa_per_set) &&
+      find_array(text, "util_per_set", point.util_per_set);
+  if (!ok) return std::nullopt;
+  return point;
+}
+
+void PointCache::store(const std::string& key, const CombinedPoint& point) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;
+
+  std::string out = "{\"schema\":\"";
+  out += kSchemaVersion;
+  out += "\",\"key\":\"";
+  out += key;
+  out += "\",\"point\":{";
+  append_json_field(out, "sldwa", point.sldwa);
+  out += ',';
+  append_json_field(out, "utilization", point.utilization);
+  out += ',';
+  append_json_field(out, "avg_bounded_slowdown", point.avg_bounded_slowdown);
+  out += ',';
+  append_json_field(out, "avg_response", point.avg_response);
+  out += ',';
+  append_json_field(out, "switches", point.switches);
+  out += ',';
+  append_json_field(out, "decisions", point.decisions);
+  out += ',';
+  append_json_field(out, "sldwa_stddev", point.sldwa_stddev);
+  out += ',';
+  append_json_field(out, "util_stddev", point.util_stddev);
+  out += ',';
+  append_json_field(out, "node_failures", point.node_failures);
+  out += ',';
+  append_json_field(out, "job_failures", point.job_failures);
+  out += ',';
+  append_json_field(out, "requeues", point.requeues);
+  out += ',';
+  append_json_field(out, "jobs_dropped", point.jobs_dropped);
+  out += ',';
+  append_json_array(out, "sldwa_per_set", point.sldwa_per_set);
+  out += ',';
+  append_json_array(out, "util_per_set", point.util_per_set);
+  out += "}}\n";
+
+  const std::filesystem::path path =
+      std::filesystem::path(dir_) / file_name(key);
+  const std::filesystem::path tmp =
+      std::filesystem::path(dir_) / (file_name(key) + ".tmp");
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) return;
+    file << out;
+    if (!file) return;
+  }
+  // Atomic publish: concurrent readers see the old entry or the new one,
+  // never a torn write.
+  std::filesystem::rename(tmp, path, ec);
+}
+
+}  // namespace dynp::exp

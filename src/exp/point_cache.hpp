@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file point_cache.hpp
+/// Persistent content-addressed cache of combined sweep points. A full
+/// paper reproduction is thousands of independent simulations; caching the
+/// combined `(trace, scale, factor, config)` points makes re-runs of
+/// finished points free, which turns interrupted full-paper sweeps into
+/// resumable ones and incremental ablations into near-no-ops.
+///
+/// Addressing: each point's *key string* canonically serialises everything
+/// its result depends on — the full trace model, the experiment scale, the
+/// shrinking factor, the scheduler-config fingerprint (only fields that can
+/// change results: execution knobs like `parallel_tuning`, `thread_budget`
+/// or instrumentation sinks are excluded), the fault configuration (whose
+/// master seed derives every per-set seed) and a schema version. Doubles
+/// are printed with `%.17g`, which round-trips exactly, so a warm load is
+/// byte-identical to the cold computation. The file name is the FNV-1a hash
+/// of the key; the key itself is stored inside the entry and verified on
+/// load, so a hash collision degrades to a miss, never to a wrong point.
+///
+/// Versioning: bump `kSchemaVersion` whenever simulation semantics, the
+/// combining rule, the serialised fields, or the key layout change — stale
+/// entries then miss (different hash) instead of corrupting results.
+
+#include <optional>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "exp/experiment.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::exp {
+
+/// See the file comment. Thread-safe for concurrent `load`s; `store` must
+/// not race a `load`/`store` of the same key (the orchestrator only calls
+/// it from its combining thread).
+class PointCache {
+ public:
+  /// Schema tag mixed into every key; see the versioning rules above.
+  static constexpr const char* kSchemaVersion = "dynp-point-v1";
+
+  /// \p dir is the cache directory (created lazily on first store). An
+  /// empty \p dir disables the cache: every load misses, stores are no-ops.
+  explicit PointCache(std::string dir);
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// False when \p config's results are not a pure function of the key —
+  /// today exactly the budgeted-tuning runs (`plan_budget_us > 0`), whose
+  /// degradation windows depend on wall-clock time. Uncacheable points are
+  /// always simulated.
+  [[nodiscard]] static bool cacheable(const core::SimulationConfig& config);
+
+  /// Canonical key string of one sweep point (see the file comment).
+  /// Precondition: `cacheable(config)`.
+  [[nodiscard]] static std::string key_string(
+      const workload::TraceModel& model, const ExperimentScale& scale,
+      double factor, const core::SimulationConfig& config);
+
+  /// Entry file name for \p key: `fnv1a-<16 hex digits>.json`.
+  [[nodiscard]] static std::string file_name(const std::string& key);
+
+  /// Loads the point stored under \p key, or nullopt on miss (absent file,
+  /// unreadable entry, or stored key mismatch — hash collision).
+  [[nodiscard]] std::optional<CombinedPoint> load(const std::string& key) const;
+
+  /// Stores \p point under \p key (atomically: temp file + rename).
+  /// Best-effort — an unwritable directory loses the entry, not the sweep.
+  void store(const std::string& key, const CombinedPoint& point) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace dynp::exp

@@ -84,6 +84,16 @@ class SortedQueue {
   /// O(n) regardless of how many jobs start at once.
   void remove_marked(const std::vector<char>& mark);
 
+  /// Re-targets the queue at a (possibly different) policy and job table,
+  /// emptying it but keeping the member storage. Equivalent to constructing
+  /// `SortedQueue(kind, jobs)` except for the retained capacity; used by the
+  /// per-worker simulation workspaces to recycle queue storage across runs.
+  void rebind(PolicyKind kind, const std::vector<workload::Job>& jobs) {
+    kind_ = kind;
+    jobs_ = &jobs;
+    ids_.clear();
+  }
+
  private:
   PolicyKind kind_;
   const std::vector<workload::Job>* jobs_;

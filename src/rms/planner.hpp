@@ -119,6 +119,17 @@ class PlanScratch {
   [[nodiscard]] const PlanStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = PlanStats{}; }
 
+  /// Drops the cached (width, estimate) job classes so the next planning
+  /// pass rebuilds them. Required when a scratch is reused against a
+  /// *different* job table of the same size: the staleness check in
+  /// `prepare_scratch` compares sizes only, so without this call the old
+  /// classes would silently misclassify the new jobs (the workspace-reuse
+  /// path of `core::simulate` calls it between runs).
+  void invalidate_classes() noexcept {
+    classes_.job_class.clear();
+    classes_.class_count = 0;
+  }
+
  private:
   friend class Planner;
 

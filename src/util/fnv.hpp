@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file fnv.hpp
+/// FNV-1a 64-bit hashing over byte strings. Used for content-addressed file
+/// names (the sweep point cache): stable across platforms and runs, cheap,
+/// and good enough dispersion for a directory of cache entries — collisions
+/// are additionally guarded by storing and verifying the full key string
+/// inside each entry.
+
+#include <cstdint>
+#include <string_view>
+
+namespace dynp::util {
+
+/// FNV-1a over \p bytes with the standard 64-bit offset basis and prime.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace dynp::util

@@ -51,7 +51,12 @@ double mean(const std::vector<double>& values) noexcept {
 }
 
 double trimmed_mean_drop_extremes(std::vector<double> values) noexcept {
-  if (values.size() < 3) return mean(values);
+  // NaNs carry no ordering, so they can neither be trimmed as extremes nor
+  // averaged; reject them up front and trim what remains.
+  std::erase_if(values, [](double v) { return std::isnan(v); });
+  if (values.empty()) return 0.0;
+  if (values.size() == 1) return values.front();
+  if (values.size() == 2) return mean(values);
   std::sort(values.begin(), values.end());
   double sum = 0.0;
   for (std::size_t i = 1; i + 1 < values.size(); ++i) sum += values[i];

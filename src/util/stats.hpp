@@ -40,8 +40,12 @@ class OnlineStats {
 [[nodiscard]] double mean(const std::vector<double>& values) noexcept;
 
 /// The paper's combining rule: drop one minimum and one maximum observation,
-/// average the remainder. With fewer than three observations this degrades to
-/// the plain mean (there is nothing sensible to trim).
+/// average the remainder. NaN observations are rejected (dropped before
+/// trimming) — a NaN would otherwise poison the sum and defeat the
+/// comparison-based trim. Small inputs degrade explicitly, there is nothing
+/// sensible to trim below three observations:
+///   n == 0 -> 0, n == 1 -> the value, n == 2 -> plain mean of both
+/// (counts taken after NaN rejection).
 [[nodiscard]] double trimmed_mean_drop_extremes(std::vector<double> values) noexcept;
 
 /// Linear-interpolation quantile, q in [0, 1]. Sorts a copy.

@@ -1,9 +1,9 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <exception>
 #include <latch>
-#include <mutex>
+#include <utility>
 
 namespace dynp::util {
 
@@ -38,81 +38,183 @@ class FirstError {
   std::exception_ptr error_;
 };
 
+/// Worker identity: which pool the current thread belongs to (if any) and
+/// its index there. Distinct pool instances never confuse each other —
+/// `submit` and `worker_index` compare the pool pointer — so nested pools
+/// (an orchestrator worker driving a simulation with its own tuning pool)
+/// resolve correctly.
+thread_local const void* tl_pool = nullptr;
+thread_local std::size_t tl_index = ThreadPool::npos;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
   {
+    // Empty critical section: any worker between its predicate check and
+    // its wait is forced to observe `stopping_`.
     const std::lock_guard lock(mutex_);
-    stopping_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+std::size_t ThreadPool::worker_index() const noexcept {
+  return tl_pool == this ? tl_index : npos;
+}
+
+void ThreadPool::push_task(std::size_t queue_index, Task task) {
+  WorkerQueue& q = *queues_[queue_index];
+  {
+    const std::lock_guard lock(q.mutex);
+    q.tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
   {
     const std::lock_guard lock(mutex_);
-    Task entry{std::move(task), {}};
-    if (task_timer_) entry.enqueued = std::chrono::steady_clock::now();
-    queue_.push(std::move(entry));
   }
   cv_task_.notify_one();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  Task entry{std::move(task), {}};
+  if (timer_armed_.load(std::memory_order_relaxed)) {
+    entry.enqueued = std::chrono::steady_clock::now();
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  const std::size_t self = worker_index();
+  const std::size_t target =
+      self != npos
+          ? self
+          : submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                queues_.size();
+  push_task(target, std::move(entry));
 }
 
 void ThreadPool::set_task_timer(TaskTimer timer) {
   const std::lock_guard lock(mutex_);
   task_timer_ = std::move(timer);
+  timer_armed_.store(task_timer_ != nullptr, std::memory_order_relaxed);
+}
+
+ThreadPool::StealStats ThreadPool::steal_stats() const noexcept {
+  return StealStats{executed_.load(std::memory_order_relaxed),
+                    steal_batches_.load(std::memory_order_relaxed),
+                    stolen_tasks_.load(std::memory_order_relaxed)};
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  cv_idle_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    Task task;
-    const TaskTimer* timer = nullptr;
+bool ThreadPool::next_task(std::size_t self, Task& out) {
+  {
+    WorkerQueue& own = *queues_[self];
+    const std::lock_guard lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(self + k) % n];
+    std::deque<Task> loot;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
-      ++active_;
-      // The hook may only change while the pool is idle, so reading it once
-      // under the lock and invoking it after the task is race-free.
-      if (task_timer_) timer = &task_timer_;
+      const std::lock_guard lock(victim.mutex);
+      const std::size_t avail = victim.tasks.size();
+      if (avail == 0) continue;
+      // Steal the older half (front); the victim keeps its hot back end.
+      const std::size_t take = (avail + 1) / 2;
+      const auto end = victim.tasks.begin() +
+                       static_cast<std::ptrdiff_t>(take);
+      loot.insert(loot.end(), std::make_move_iterator(victim.tasks.begin()),
+                  std::make_move_iterator(end));
+      victim.tasks.erase(victim.tasks.begin(), end);
     }
-    if (timer != nullptr) {
-      using Clock = std::chrono::steady_clock;
-      using MicrosF = std::chrono::duration<double, std::micro>;
-      const Clock::time_point started = Clock::now();
-      task.fn();
-      const Clock::time_point finished = Clock::now();
-      // Tasks enqueued before the hook was installed carry no timestamp;
-      // report zero wait rather than a bogus epoch-relative duration.
-      const double wait_us = task.enqueued == Clock::time_point{}
-                                 ? 0.0
-                                 : MicrosF(started - task.enqueued).count();
-      (*timer)(wait_us, MicrosF(finished - started).count());
-    } else {
-      task.fn();
+    steal_batches_.fetch_add(1, std::memory_order_relaxed);
+    stolen_tasks_.fetch_add(loot.size(), std::memory_order_relaxed);
+    out = std::move(loot.front());
+    loot.pop_front();
+    queued_.fetch_sub(1, std::memory_order_release);
+    if (!loot.empty()) {
+      WorkerQueue& own = *queues_[self];
+      const std::lock_guard lock(own.mutex);
+      for (Task& t : loot) own.tasks.push_back(std::move(t));
+      // The moved tasks stay counted in `queued_`, and a worker only sleeps
+      // after observing `queued_ == 0`, so peers keep hunting; no extra
+      // notification is needed for correctness.
     }
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_task(Task& task) {
+  if (timer_armed_.load(std::memory_order_relaxed)) {
+    using Clock = std::chrono::steady_clock;
+    using MicrosF = std::chrono::duration<double, std::micro>;
+    const Clock::time_point started = Clock::now();
+    task.fn();
+    const Clock::time_point finished = Clock::now();
+    // The hook may only change while the pool is idle, so reading it here
+    // without the lock is race-free. Tasks enqueued before the hook was
+    // installed carry no timestamp; report zero wait rather than a bogus
+    // epoch-relative duration.
+    const double wait_us = task.enqueued == Clock::time_point{}
+                               ? 0.0
+                               : MicrosF(started - task.enqueued).count();
+    task_timer_(wait_us, MicrosF(finished - started).count());
+  } else {
+    task.fn();
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     {
       const std::lock_guard lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_index = index;
+  for (;;) {
+    Task task;
+    if (next_task(index, task)) {
+      run_task(task);
+      continue;
+    }
+    std::unique_lock lock(mutex_);
+    cv_task_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    // Like the pre-stealing pool, shutdown drains every queued task before
+    // the workers exit.
+    if (stopping_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
     }
   }
 }

@@ -1,18 +1,31 @@
 #pragma once
 
 /// \file thread_pool.hpp
-/// A small fixed-size thread pool plus a `parallel_for` helper used to run
-/// independent simulations (trace x factor x job-set x scheduler) in
+/// A fixed-size work-stealing thread pool plus a `parallel_for` helper used
+/// to run independent simulations (trace x factor x job-set x scheduler) in
 /// parallel. The simulation core itself is single-threaded and shares no
 /// mutable state between tasks (C++ Core Guidelines CP.2); the pool only
-/// partitions an index range.
+/// partitions work items.
+///
+/// Scheduling discipline: every worker owns a deque. Submissions from a
+/// worker thread go to its own deque; external submissions are distributed
+/// round-robin. A worker pops from the back of its own deque (LIFO — the
+/// freshest task is the cache-warmest) and, when empty, scans the other
+/// workers in a deterministic ring order and *steals half* of the first
+/// non-empty victim's deque from the front (the oldest tasks). Stealing in
+/// batches amortises the victim-lock cost and keeps a long task list from
+/// ping-ponging between thieves one task at a time — the standard remedy
+/// for the barrier-idle problem where one long-tail task strands the other
+/// workers (see the sweep orchestrator, `exp/orchestrator.hpp`).
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -32,23 +45,43 @@ class ThreadPool {
 
   ~ThreadPool();
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. Called from a worker of this pool, the
+  /// task lands in that worker's own deque (depth-first execution order);
+  /// from any other thread it is distributed round-robin across workers.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until all deques are empty and all workers are idle.
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
 
+  /// The calling worker's index in [0, thread_count()), or `npos` when the
+  /// caller is not a worker of *this* pool. Stable for the thread's
+  /// lifetime; used to index per-worker workspaces (one slot per worker, no
+  /// sharing) without threading an id through every task closure.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t worker_index() const noexcept;
+
+  /// Work-stealing traffic counters, summed over all workers. Exact once the
+  /// pool is idle (`wait_idle`); approximate while tasks are in flight
+  /// (relaxed atomics). `executed` counts completed tasks, `steal_batches`
+  /// successful steal operations, `stolen_tasks` tasks moved by them.
+  struct StealStats {
+    std::uint64_t executed = 0;
+    std::uint64_t steal_batches = 0;
+    std::uint64_t stolen_tasks = 0;
+  };
+  [[nodiscard]] StealStats steal_stats() const noexcept;
+
   /// Per-task timing hook for the observability layer: called on the worker
   /// thread after each completed task with the task's queue wait and run
   /// time in microseconds. The hook must be thread-safe (workers invoke it
   /// concurrently); install or clear it only while the pool is idle. An
-  /// unset hook costs nothing — enqueue timestamps are only taken while a
-  /// hook is installed. Tasks that throw are not reported (the exception
-  /// propagates unchanged).
+  /// unset hook costs one relaxed atomic load per task — enqueue timestamps
+  /// are only taken while a hook is installed. Tasks that throw are not
+  /// reported (the exception propagates unchanged).
   using TaskTimer = std::function<void(double wait_us, double run_us)>;
   void set_task_timer(TaskTimer timer);
 
@@ -60,15 +93,45 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void worker_loop();
+  /// One worker's deque. Owner pushes/pops at the back; thieves take a batch
+  /// from the front. The per-deque mutex is uncontended in the common case
+  /// (only the owner touches it), so this stays simple and TSan-friendly
+  /// without a lock-free Chase-Lev buffer.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  void push_task(std::size_t queue_index, Task task);
+  /// Pops the back of the worker's own deque, or steals half of the first
+  /// non-empty victim (ring scan from `self + 1`). False when every deque
+  /// was observed empty.
+  [[nodiscard]] bool next_task(std::size_t self, Task& out);
+  void run_task(Task& task);
 
   std::vector<std::thread> workers_;
-  std::queue<Task> queue_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<std::size_t> submit_cursor_{0};  ///< round-robin for externals
+
+  // `queued_` counts tasks sitting in deques (not yet popped); it is the
+  // workers' sleep predicate. `pending_` additionally includes tasks being
+  // executed; it is the `wait_idle` predicate. Both change outside the
+  // global mutex; sleepers re-check them under it, and every transition that
+  // could satisfy a waiter (submit, task completion) runs an empty critical
+  // section on `mutex_` before notifying, so no wakeup is lost.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> pending_{0};
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> steal_batches_{0};
+  std::atomic<std::uint64_t> stolen_tasks_{0};
+
+  std::atomic<bool> timer_armed_{false};
   TaskTimer task_timer_;  ///< null unless instrumentation installed one
 };
 

@@ -28,6 +28,15 @@ JobSet JobSet::with_shrinking_factor(double factor) const {
   return JobSet{machine_, std::move(scaled)};
 }
 
+void JobSet::assign_scaled_from(const JobSet& source, double factor) {
+  DYNP_EXPECTS(factor > 0);
+  DYNP_EXPECTS(this != &source);
+  machine_ = source.machine_;
+  jobs_ = source.jobs_;  // copy-assign reuses this set's capacity
+  for (Job& job : jobs_) job.submit = std::round(job.submit * factor);
+  normalize();
+}
+
 JobSet JobSet::with_runtime_scaling(double factor) const {
   DYNP_EXPECTS(factor > 0);
   std::vector<Job> scaled = jobs_;

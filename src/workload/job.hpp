@@ -89,6 +89,13 @@ class JobSet {
   /// the resource profile).
   [[nodiscard]] JobSet with_shrinking_factor(double factor) const;
 
+  /// In-place variant of `with_shrinking_factor` for the sweep hot path:
+  /// rebuilds *this* set as \p source scaled by \p factor, reusing the
+  /// existing job storage instead of allocating a fresh vector per cell.
+  /// Produces exactly the set `source.with_shrinking_factor(factor)` would.
+  /// \p source may not alias `*this`.
+  void assign_scaled_from(const JobSet& source, double factor);
+
   /// The second load-increasing approach from §4.2: scales both estimated
   /// and actual run times by \p factor (> 1 increases load, and unlike
   /// shrinking it changes the jobs' areas). Run times are rounded to whole

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -126,6 +127,46 @@ TEST(ParallelInvokeStress, InterleavedInvocationsCoverEveryIndexOnce) {
     EXPECT_EQ(a[i].load(), 1) << i;
     EXPECT_EQ(b[i].load(), 1) << i;
   }
+}
+
+TEST(WorkStealingStress, SkewedProducerIsDrainedByThieves) {
+  // One worker mass-produces tasks onto its own deque while the others sit
+  // empty — the stealing path (steal-half from the victim's front) is the
+  // only way the pool finishes in bounded time, and under TSan the only way
+  // the deque's synchronisation is exercised under real contention.
+  ThreadPool pool(4);
+  constexpr int kTasks = 2000;
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kTasks);
+  const ThreadPool::StealStats stats = pool.steal_stats();
+  EXPECT_EQ(stats.executed, static_cast<std::uint64_t>(kTasks) + 1);
+  EXPECT_LE(stats.steal_batches, stats.stolen_tasks);
+}
+
+TEST(WorkStealingStress, RecursiveSubmissionFromEveryWorker) {
+  // All workers produce and consume at once; steals flow in every direction.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] {
+      for (int j = 0; j < 16; ++j) {
+        pool.submit([&] {
+          for (int k = 0; k < 4; ++k) {
+            pool.submit(
+                [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+          }
+        });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 64 * 16 * 4);
 }
 
 }  // namespace

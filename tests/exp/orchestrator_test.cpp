@@ -1,0 +1,365 @@
+/// The sweep orchestrator's headline contracts, pinned at the byte level:
+/// the combined grid must be identical to per-point `SweepRunner::run`
+/// calls whatever the thread count, workspace reuse, or cache state — the
+/// orchestrator may only change *when* cells run, never *what* they
+/// compute. Plus the persistent point cache's addressing rules: exact
+/// round-trip, collision-degrades-to-miss, uncacheable configs, and the
+/// execution-knob-neutral key fingerprint.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "exp/experiment.hpp"
+#include "exp/orchestrator.hpp"
+#include "exp/point_cache.hpp"
+#include "obs/registry.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::exp {
+namespace {
+
+[[nodiscard]] ExperimentScale mini_scale() {
+  return ExperimentScale{3, 250, 11};
+}
+
+[[nodiscard]] std::vector<double> mini_factors() { return {1.0, 0.7}; }
+
+[[nodiscard]] std::vector<core::SimulationConfig> mini_configs() {
+  return {core::static_config(policies::PolicyKind::kSjf),
+          core::dynp_config(core::make_advanced_decider())};
+}
+
+/// Canonical `%.17g` render of a grid. Two grids whose renders compare
+/// equal are byte-identical in every double — the same guarantee the
+/// exported CSV/JSON artefacts inherit.
+[[nodiscard]] std::string render(const SweepGrid& grid) {
+  std::string out;
+  char buf[32];
+  const auto put = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g;", v);
+    out += buf;
+  };
+  for (const CombinedPoint& p : grid.points) {
+    put(p.sldwa);
+    put(p.utilization);
+    put(p.avg_bounded_slowdown);
+    put(p.avg_response);
+    put(p.switches);
+    put(p.decisions);
+    put(p.sldwa_stddev);
+    put(p.util_stddev);
+    put(p.node_failures);
+    put(p.job_failures);
+    put(p.requeues);
+    put(p.jobs_dropped);
+    for (const double v : p.sldwa_per_set) put(v);
+    for (const double v : p.util_per_set) put(v);
+    out += '\n';
+  }
+  return out;
+}
+
+/// Fresh scratch directory under the system temp dir, removed on scope exit.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const char* name)
+      : path(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+[[nodiscard]] SweepGrid run_grid(OrchestratorOptions options,
+                                 SweepStats* stats = nullptr) {
+  SweepOrchestrator orchestrator(
+      {workload::model_by_name("KTH"), workload::model_by_name("CTC")},
+      mini_scale(), std::move(options));
+  SweepGrid grid = orchestrator.run_grid(mini_factors(), mini_configs());
+  if (stats != nullptr) *stats = orchestrator.stats();
+  return grid;
+}
+
+TEST(SweepOrchestrator, MatchesSerialSweepRunnerByteForByte) {
+  OrchestratorOptions options;
+  options.threads = 4;
+  const SweepGrid grid = run_grid(options);
+
+  SweepGrid serial;
+  serial.traces = 2;
+  serial.factors = mini_factors().size();
+  serial.configs = mini_configs().size();
+  const std::vector<workload::TraceModel> models = {
+      workload::model_by_name("KTH"), workload::model_by_name("CTC")};
+  for (const auto& model : models) {
+    const SweepRunner runner(model, mini_scale());
+    for (const double factor : mini_factors()) {
+      for (const auto& config : mini_configs()) {
+        serial.points.push_back(runner.run(factor, config, 1));
+      }
+    }
+  }
+  EXPECT_EQ(render(serial), render(grid));
+}
+
+TEST(SweepOrchestrator, ThreadCountAndWarmCacheAreByteIdentical) {
+  TempDir cache("dynp_orchestrator_cache_test");
+
+  OrchestratorOptions one;
+  one.threads = 1;
+  const std::string t1 = render(run_grid(one));
+
+  OrchestratorOptions eight;
+  eight.threads = 8;
+  const std::string t8 = render(run_grid(eight));
+  EXPECT_EQ(t1, t8);
+
+  OrchestratorOptions cached;
+  cached.threads = 8;
+  cached.cache_dir = cache.path.string();
+  SweepStats cold_stats;
+  const std::string cold = render(run_grid(cached, &cold_stats));
+  EXPECT_EQ(cold_stats.cache_hits, 0u);
+  EXPECT_EQ(cold_stats.cache_misses, cold_stats.points_total);
+  EXPECT_EQ(t1, cold);
+
+  SweepStats warm_stats;
+  const std::string warm = render(run_grid(cached, &warm_stats));
+  EXPECT_EQ(warm_stats.cache_hits, warm_stats.points_total);
+  EXPECT_EQ(warm_stats.cache_misses, 0u);
+  EXPECT_EQ(warm_stats.cells_simulated, 0u);
+  EXPECT_EQ(t1, warm);
+}
+
+TEST(SweepOrchestrator, FaultSweepMatchesSerialPerSetSeeds) {
+  auto config = core::dynp_config(core::make_advanced_decider());
+  fault::FaultConfig faults;
+  faults.seed = 5;
+  faults.node_mtbf = 40000;
+  faults.node_mttr = 3000;
+  faults.job_fail_p = 0.03;
+  faults.est_error_cv = 0.2;
+  config.faults = faults;
+
+  SweepOrchestrator orchestrator({workload::model_by_name("KTH")},
+                                 mini_scale());
+  const SweepGrid grid = orchestrator.run_grid({0.8}, {config});
+
+  const SweepRunner runner(workload::model_by_name("KTH"), mini_scale());
+  const CombinedPoint serial = runner.run(0.8, config, 1);
+  ASSERT_EQ(grid.points.size(), 1u);
+  EXPECT_EQ(grid.points[0].sldwa, serial.sldwa);
+  EXPECT_EQ(grid.points[0].sldwa_per_set, serial.sldwa_per_set);
+  EXPECT_EQ(grid.points[0].job_failures, serial.job_failures);
+  EXPECT_EQ(grid.points[0].requeues, serial.requeues);
+  EXPECT_GT(grid.points[0].job_failures, 0.0);
+}
+
+TEST(SweepOrchestrator, BudgetedTuningIsNeverCached) {
+  TempDir cache("dynp_orchestrator_budget_cache_test");
+  auto config = core::dynp_config(core::make_advanced_decider());
+  config.plan_budget_us = 1e6;  // wall-clock dependent => uncacheable
+
+  OrchestratorOptions options;
+  options.threads = 1;
+  options.cache_dir = cache.path.string();
+  for (int pass = 0; pass < 2; ++pass) {
+    SweepOrchestrator orchestrator({workload::model_by_name("KTH")},
+                                   mini_scale(), options);
+    (void)orchestrator.run_grid({1.0}, {config});
+    EXPECT_EQ(orchestrator.stats().cache_hits, 0u) << "pass " << pass;
+    EXPECT_EQ(orchestrator.stats().cache_misses, 1u) << "pass " << pass;
+  }
+  EXPECT_TRUE(!std::filesystem::exists(cache.path) ||
+              std::filesystem::is_empty(cache.path));
+}
+
+TEST(SweepOrchestrator, RegistryReceivesCacheAndStealCounters) {
+  TempDir cache("dynp_orchestrator_registry_cache_test");
+  obs::Registry registry;
+  OrchestratorOptions options;
+  options.threads = 2;
+  options.cache_dir = cache.path.string();
+  options.registry = &registry;
+  SweepStats stats;
+  (void)run_grid(options, &stats);
+  (void)run_grid(options, &stats);
+  EXPECT_EQ(registry.counter("cache.miss").value(), stats.points_total);
+  EXPECT_EQ(registry.counter("cache.hit").value(), stats.points_total);
+}
+
+// --- workspace reuse ---------------------------------------------------
+
+TEST(SweepWorkspace, ReuseAcrossCellsMatchesFreshSimulations) {
+  const SweepRunner runner(workload::model_by_name("KTH"), mini_scale());
+  const auto configs = mini_configs();
+  SweepWorkspace workspace;
+  // Cycle the one workspace through different sets, factors and scheduler
+  // modes (static <-> dynP, so queue/scratch shapes change between
+  // adoptions) and compare against fresh-state runs.
+  for (const double factor : mini_factors()) {
+    for (const auto& config : configs) {
+      for (std::size_t s = 0; s < runner.ensemble().size(); ++s) {
+        const core::SimulationResult reused = simulate_sweep_cell(
+            runner.ensemble()[s], factor, config, s, &workspace);
+        const core::SimulationResult fresh = simulate_sweep_cell(
+            runner.ensemble()[s], factor, config, s, nullptr);
+        ASSERT_EQ(reused.summary.sldwa, fresh.summary.sldwa);
+        ASSERT_EQ(reused.summary.utilization, fresh.summary.utilization);
+        ASSERT_EQ(reused.events, fresh.events);
+        ASSERT_EQ(reused.decisions, fresh.decisions);
+        ASSERT_EQ(reused.switches, fresh.switches);
+      }
+    }
+  }
+}
+
+TEST(SweepWorkspace, EqualSizedDifferentJobSetsDoNotLeakScratchState) {
+  // Same job count, different content: the planner's per-job class table is
+  // only rebuilt on size changes, so workspace adoption must invalidate it
+  // explicitly. Two same-size sets back to back catch a stale table.
+  const workload::JobSet a =
+      workload::generate(workload::model_by_name("KTH"), 300, 1);
+  const workload::JobSet b =
+      workload::generate(workload::model_by_name("KTH"), 300, 2);
+  const auto config = core::dynp_config(core::make_advanced_decider());
+
+  SweepWorkspace workspace;
+  (void)simulate_sweep_cell(a, 1.0, config, 0, &workspace);
+  const core::SimulationResult reused =
+      simulate_sweep_cell(b, 1.0, config, 0, &workspace);
+  const core::SimulationResult fresh =
+      simulate_sweep_cell(b, 1.0, config, 0, nullptr);
+  EXPECT_EQ(reused.summary.sldwa, fresh.summary.sldwa);
+  EXPECT_EQ(reused.summary.utilization, fresh.summary.utilization);
+  EXPECT_EQ(reused.decisions, fresh.decisions);
+}
+
+TEST(ThreadBudget, ForcedSequentialTuningIsBitIdentical) {
+  const workload::JobSet set =
+      workload::generate(workload::model_by_name("KTH"), 400, 3);
+  auto sequential = core::dynp_config(core::make_advanced_decider());
+  auto budgeted = core::dynp_config(core::make_advanced_decider());
+  budgeted.parallel_tuning = true;
+  budgeted.tuning_threads = 4;
+  budgeted.thread_budget = 1;  // the orchestrator's saturation clamp
+
+  const core::SimulationResult a = core::simulate(set, sequential);
+  const core::SimulationResult b = core::simulate(set, budgeted);
+  EXPECT_EQ(a.summary.sldwa, b.summary.sldwa);
+  EXPECT_EQ(a.summary.utilization, b.summary.utilization);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.switches, b.switches);
+}
+
+// --- point cache -------------------------------------------------------
+
+TEST(PointCache, StoreLoadRoundTripsExactly) {
+  TempDir dir("dynp_point_cache_roundtrip_test");
+  PointCache cache(dir.path.string());
+  ASSERT_TRUE(cache.enabled());
+
+  CombinedPoint point;
+  point.sldwa = 3.14159265358979312;
+  point.utilization = 87.6543209876543;
+  point.avg_bounded_slowdown = 2.5;
+  point.avg_response = 12345.678;
+  point.switches = 17;
+  point.decisions = 431;
+  point.sldwa_stddev = 0.123456789012345678;
+  point.util_stddev = 1.25;
+  point.node_failures = 2;
+  point.job_failures = 3.5;
+  point.requeues = 7;
+  point.jobs_dropped = 0.5;
+  point.sldwa_per_set = {3.0, 3.25, 1.0 / 3.0};
+  point.util_per_set = {88.0, 87.5, 87.123456789};
+
+  const std::string key = PointCache::key_string(
+      workload::model_by_name("KTH"), mini_scale(), 0.8,
+      core::static_config(policies::PolicyKind::kSjf));
+  cache.store(key, point);
+  const auto loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sldwa, point.sldwa);
+  EXPECT_EQ(loaded->utilization, point.utilization);
+  EXPECT_EQ(loaded->sldwa_stddev, point.sldwa_stddev);
+  EXPECT_EQ(loaded->sldwa_per_set, point.sldwa_per_set);
+  EXPECT_EQ(loaded->util_per_set, point.util_per_set);
+  EXPECT_EQ(loaded->jobs_dropped, point.jobs_dropped);
+}
+
+TEST(PointCache, DisabledCacheLoadsNothingAndStoresNothing) {
+  PointCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  cache.store("some-key", CombinedPoint{});  // must be a no-op
+  EXPECT_FALSE(cache.load("some-key").has_value());
+}
+
+TEST(PointCache, StoredKeyMismatchReadsAsMiss) {
+  TempDir dir("dynp_point_cache_collision_test");
+  PointCache cache(dir.path.string());
+  const auto config = core::static_config(policies::PolicyKind::kSjf);
+  const std::string key_a = PointCache::key_string(
+      workload::model_by_name("KTH"), mini_scale(), 0.8, config);
+  const std::string key_b = PointCache::key_string(
+      workload::model_by_name("KTH"), mini_scale(), 0.7, config);
+  cache.store(key_a, CombinedPoint{});
+  // Simulate a hash collision: key_b's slot holds an entry recorded under
+  // key_a. The verbatim key check must turn that into a miss.
+  std::filesystem::rename(dir.path / PointCache::file_name(key_a),
+                          dir.path / PointCache::file_name(key_b));
+  EXPECT_FALSE(cache.load(key_b).has_value());
+}
+
+TEST(PointCache, KeyCoversResultAffectingFieldsOnly) {
+  const auto model = workload::model_by_name("KTH");
+  const auto scale = mini_scale();
+  const auto base = core::dynp_config(core::make_advanced_decider());
+  const std::string key = PointCache::key_string(model, scale, 0.8, base);
+
+  // Result-affecting changes must change the key.
+  EXPECT_NE(key, PointCache::key_string(model, scale, 0.7, base));
+  EXPECT_NE(key, PointCache::key_string(model, ExperimentScale{3, 250, 12},
+                                        0.8, base));
+  auto other_decider = core::dynp_config(core::make_simple_decider());
+  EXPECT_NE(key, PointCache::key_string(model, scale, 0.8, other_decider));
+  auto other_preview = base;
+  other_preview.preview = metrics::PreviewMetric::kAvgResponse;
+  EXPECT_NE(key, PointCache::key_string(model, scale, 0.8, other_preview));
+  auto faulty = base;
+  fault::FaultConfig faults;
+  faults.job_fail_p = 0.1;
+  faulty.faults = faults;
+  EXPECT_NE(key, PointCache::key_string(model, scale, 0.8, faulty));
+
+  // Execution knobs are bit-identity-neutral and must share the key.
+  auto knobs = base;
+  knobs.parallel_tuning = true;
+  knobs.tuning_threads = 8;
+  knobs.thread_budget = 1;
+  knobs.audit = true;
+  EXPECT_EQ(key, PointCache::key_string(model, scale, 0.8, knobs));
+
+  // A present-but-inactive fault config takes the fault-free code paths.
+  auto inert = base;
+  inert.faults = fault::FaultConfig{};
+  EXPECT_EQ(key, PointCache::key_string(model, scale, 0.8, inert));
+}
+
+TEST(PointCache, BudgetedConfigsAreUncacheable) {
+  auto config = core::dynp_config(core::make_advanced_decider());
+  EXPECT_TRUE(PointCache::cacheable(config));
+  config.plan_budget_us = 500;
+  EXPECT_FALSE(PointCache::cacheable(config));
+}
+
+}  // namespace
+}  // namespace dynp::exp

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -87,6 +88,21 @@ TEST(TrimmedMean, SmallInputsFallBackToMean) {
 
 TEST(TrimmedMean, ThreeValuesKeepsMiddle) {
   EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({10.0, 2.0, 30.0}), 10.0);
+}
+
+TEST(TrimmedMean, NansAreRejectedBeforeTrimming) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // After dropping the NaNs, {1, 5, 9} remains; the trim keeps the 5.
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({nan, 1.0, 5.0, nan, 9.0}), 5.0);
+  // NaN rejection may push the sample below the trim threshold.
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({nan, 2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({nan, 7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({nan, nan}), 0.0);
+}
+
+TEST(TrimmedMean, InfinitiesAreOrderedAndTrimmable) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({-inf, 3.0, 5.0, inf}), 4.0);
 }
 
 TEST(TrimmedMean, DuplicatedExtremesDropOnlyOneEach) {

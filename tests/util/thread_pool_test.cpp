@@ -37,6 +37,56 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPool, WorkerIndexIsNposOutsideAndStableInside) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_index(), ThreadPool::npos);
+  std::vector<std::atomic<int>> seen(pool.thread_count());
+  std::atomic<bool> out_of_range{false};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&] {
+      const std::size_t w = pool.worker_index();
+      if (w < seen.size()) {
+        seen[w].fetch_add(1);
+      } else {
+        out_of_range.store(true);
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_FALSE(out_of_range.load());
+  int total = 0;
+  for (auto& s : seen) total += s.load();
+  EXPECT_EQ(total, 200);
+}
+
+TEST(ThreadPool, StealStatsAccountForEveryExecutedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  // Tasks submitted from inside a worker land on that worker's own deque;
+  // the other three can only make progress by stealing.
+  pool.submit([&] {
+    for (int i = 0; i < 400; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 400);
+  const ThreadPool::StealStats stats = pool.steal_stats();
+  EXPECT_EQ(stats.executed, 401u);
+  EXPECT_LE(stats.stolen_tasks, stats.executed);
+  EXPECT_LE(stats.steal_batches, stats.stolen_tasks);
+}
+
+TEST(ThreadPool, SingleWorkerPoolNeverSteals) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+  EXPECT_EQ(pool.steal_stats().stolen_tasks, 0u);
+  EXPECT_EQ(pool.steal_stats().executed, 64u);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   constexpr std::size_t kN = 1000;
   std::vector<std::atomic<int>> hits(kN);

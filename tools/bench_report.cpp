@@ -8,6 +8,17 @@
 /// replan scheduler — is the headline workload of the incremental planning
 /// core; see DESIGN.md §7.
 ///
+/// A second mode, `--sweep`, measures the experiment-grid layer instead of
+/// one simulation: the mini paper sweep (2 traces x 5 factors x 4 configs x
+/// N sets) is executed through the serial per-point barrier path
+/// (`SweepRunner::run`), through the work-stealing `SweepOrchestrator` at
+/// several thread counts, and against a cold-then-warm persistent point
+/// cache; it verifies all paths produce bit-identical combined points and
+/// writes BENCH_sweep.json. Because barrier-idle only costs wall time when
+/// several workers exist, the report also contains a *projection* section:
+/// the measured per-cell durations are deterministically list-scheduled
+/// under barrier vs stealing discipline at simulated thread counts.
+///
 /// Examples:
 ///   bench_report                                # full run, BENCH_planner.json
 ///   bench_report --smoke                        # seconds-long sanity run
@@ -15,6 +26,11 @@
 ///   bench_report --baseline-seconds 14.3        # record a reference time
 ///                                               # (e.g. the pre-optimisation
 ///                                               # build) for scenario #1
+///   bench_report --sweep                        # grid report, BENCH_sweep.json
+///   bench_report --sweep --smoke --check        # ctest: warm pass must hit
+///                                               # >= 95% of points in cache
+///   bench_report --compare-base old.json --compare-to new.json
+///                                               # flag > 10% slowdowns
 ///
 /// `--smoke` shrinks every scenario to a few hundred jobs so the binary
 /// doubles as a ctest smoke target: it exercises every semantics and both
@@ -23,11 +39,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "exp/experiment.hpp"
+#include "exp/orchestrator.hpp"
 #include "obs/obs.hpp"
 #include "policies/policy.hpp"
 #include "util/cli.hpp"
@@ -118,6 +140,445 @@ struct Row {
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// --sweep mode
+// ---------------------------------------------------------------------------
+
+/// The mini paper sweep of DESIGN.md §11: two traces, the five shrinking
+/// factors, two static and two dynP schedulers.
+[[nodiscard]] std::vector<workload::TraceModel> sweep_models() {
+  return {workload::kth_model(), workload::ctc_model()};
+}
+
+[[nodiscard]] std::vector<core::SimulationConfig> sweep_configs() {
+  return {core::static_config(policies::PolicyKind::kFcfs),
+          core::static_config(policies::PolicyKind::kSjf),
+          core::dynp_config(core::make_advanced_decider()),
+          core::dynp_config(exp::sjf_preferred_decider())};
+}
+
+/// One measured execution of the grid.
+struct SweepRow {
+  std::string name;
+  const char* mode = "";   ///< serial-barrier | orchestrator | cache
+  std::size_t threads = 0;
+  std::size_t cells = 0;   ///< set-simulations actually run
+  double seconds = 0;
+  double cells_per_sec = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::uint64_t stolen_cells = 0;
+  double hit_rate = 0;
+};
+
+[[nodiscard]] SweepRow finish_row(SweepRow row) {
+  row.cells_per_sec =
+      row.seconds > 0 ? static_cast<double>(row.cells) / row.seconds : 0.0;
+  const std::size_t points = row.cache_hits + row.cache_misses;
+  row.hit_rate = points > 0
+                     ? static_cast<double>(row.cache_hits) /
+                           static_cast<double>(points)
+                     : 0.0;
+  return row;
+}
+
+/// Exact comparison: a warm cache load and any thread count must reproduce
+/// the serial points bit for bit, so `==` (not a tolerance) is the contract.
+[[nodiscard]] bool points_identical(const std::vector<exp::CombinedPoint>& a,
+                                    const std::vector<exp::CombinedPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const exp::CombinedPoint& x = a[i];
+    const exp::CombinedPoint& y = b[i];
+    if (x.sldwa != y.sldwa || x.utilization != y.utilization ||
+        x.sldwa_stddev != y.sldwa_stddev ||
+        x.util_stddev != y.util_stddev ||
+        x.avg_bounded_slowdown != y.avg_bounded_slowdown ||
+        x.avg_response != y.avg_response || x.switches != y.switches ||
+        x.decisions != y.decisions || x.sldwa_per_set != y.sldwa_per_set ||
+        x.util_per_set != y.util_per_set) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Greedy in-order list schedule of \p durations onto \p threads workers
+/// (each cell goes to the least-loaded worker); returns the makespan. This
+/// is how eager workers drain a shared list, so it projects both
+/// disciplines from the same measured per-cell durations.
+[[nodiscard]] double list_schedule_makespan(const std::vector<double>& durations,
+                                            std::size_t threads) {
+  std::vector<double> load(std::max<std::size_t>(1, threads), 0.0);
+  for (const double d : durations) {
+    *std::min_element(load.begin(), load.end()) += d;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+struct Projection {
+  std::size_t threads = 0;
+  double barrier_seconds = 0;    ///< sum of per-point makespans
+  double stealing_seconds = 0;   ///< one global list, no barriers
+  double speedup = 0;
+};
+
+[[nodiscard]] Projection project(
+    const std::vector<std::vector<double>>& cell_seconds_per_point,
+    std::size_t threads) {
+  Projection p;
+  p.threads = threads;
+  std::vector<double> all;
+  for (const auto& point : cell_seconds_per_point) {
+    p.barrier_seconds += list_schedule_makespan(point, threads);
+    all.insert(all.end(), point.begin(), point.end());
+  }
+  p.stealing_seconds = list_schedule_makespan(all, threads);
+  p.speedup =
+      p.stealing_seconds > 0 ? p.barrier_seconds / p.stealing_seconds : 0.0;
+  return p;
+}
+
+int run_sweep_report(bool smoke, bool check, const std::string& out_path,
+                     std::string cache_dir) {
+  const std::vector<workload::TraceModel> models = sweep_models();
+  const std::vector<core::SimulationConfig> configs = sweep_configs();
+  const std::vector<double> factors = exp::paper_shrinking_factors();
+  const exp::ExperimentScale scale{smoke ? 3u : 10u, smoke ? 200u : 600u, 42};
+  const std::size_t points =
+      models.size() * factors.size() * configs.size();
+  const std::size_t cells = points * scale.sets;
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  const bool own_cache = cache_dir.empty();
+  if (own_cache) {
+    cache_dir = (std::filesystem::temp_directory_path() /
+                 "dynp_bench_sweep_cache")
+                    .string();
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);  // guarantee a cold start
+  }
+
+  std::printf("sweep grid: %zu traces x %zu factors x %zu configs x %zu sets "
+              "= %zu cells (%zu jobs/set, host threads: %zu)\n\n",
+              models.size(), factors.size(), configs.size(), scale.sets,
+              cells, scale.jobs, hw);
+
+  std::vector<SweepRow> rows;
+  bool identical = true;
+
+  // Warm-up pass (untimed): stabilises CPU frequency, page cache and
+  // allocator state so run order does not bias the comparison below.
+  {
+    exp::OrchestratorOptions options;
+    options.threads = 1;
+    exp::SweepOrchestrator warmup(models, scale, options);
+    (void)warmup.run_grid(factors, configs);
+  }
+
+  // 1. The pre-orchestrator discipline: one SweepRunner per trace, one
+  //    barrier per point, at 1 and (if distinct) hw threads.
+  std::vector<exp::CombinedPoint> serial_points;
+  for (const std::size_t threads :
+       hw > 1 ? std::vector<std::size_t>{1, hw} : std::vector<std::size_t>{1}) {
+    std::vector<exp::CombinedPoint> result;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& model : models) {
+      const exp::SweepRunner runner(model, scale);
+      for (const double factor : factors) {
+        for (const auto& config : configs) {
+          result.push_back(runner.run(factor, config, threads));
+        }
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    SweepRow row;
+    row.name = "serial_barrier_t" + std::to_string(threads);
+    row.mode = "serial-barrier";
+    row.threads = threads;
+    row.cells = cells;
+    row.cache_misses = points;
+    row.seconds = std::chrono::duration<double>(t1 - t0).count();
+    rows.push_back(finish_row(row));
+    if (serial_points.empty()) {
+      serial_points = std::move(result);
+    } else {
+      identical = identical && points_identical(serial_points, result);
+    }
+  }
+
+  // 2. Instrumented serial pass: per-cell durations feed the projection;
+  //    its wall time also isolates the workspace-reuse win (same barrier
+  //    discipline as run 1 at one thread, zero per-cell allocation).
+  std::vector<std::vector<double>> cell_seconds;
+  {
+    std::vector<exp::CombinedPoint> result;
+    exp::SweepWorkspace workspace;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& model : models) {
+      const auto ensemble = workload::generate_ensemble(model, scale.sets,
+                                                        scale.jobs, scale.seed);
+      for (const double factor : factors) {
+        for (const auto& config : configs) {
+          std::vector<core::SimulationResult> results(scale.sets);
+          std::vector<double>& durations = cell_seconds.emplace_back();
+          for (std::size_t s = 0; s < scale.sets; ++s) {
+            const auto c0 = std::chrono::steady_clock::now();
+            results[s] = exp::simulate_sweep_cell(ensemble[s], factor, config,
+                                                  s, &workspace);
+            const auto c1 = std::chrono::steady_clock::now();
+            durations.push_back(
+                std::chrono::duration<double>(c1 - c0).count());
+          }
+          result.push_back(exp::combine_results(results));
+        }
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    SweepRow row;
+    row.name = "workspace_serial_t1";
+    row.mode = "serial-barrier";
+    row.threads = 1;
+    row.cells = cells;
+    row.cache_misses = points;
+    row.seconds = std::chrono::duration<double>(t1 - t0).count();
+    rows.push_back(finish_row(row));
+    identical = identical && points_identical(serial_points, result);
+  }
+
+  // 3. The orchestrator (no cache) at 1 / 2 / 4 threads.
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    exp::OrchestratorOptions options;
+    options.threads = threads;
+    exp::SweepOrchestrator orchestrator(models, scale, options);
+    const exp::SweepGrid grid = orchestrator.run_grid(factors, configs);
+    const exp::SweepStats& s = orchestrator.stats();
+    SweepRow row;
+    row.name = "orchestrator_t" + std::to_string(threads);
+    row.mode = "orchestrator";
+    row.threads = threads;
+    row.cells = s.cells_simulated;
+    row.seconds = s.seconds;
+    row.cache_misses = s.cache_misses;
+    row.stolen_cells = s.stolen_tasks;
+    rows.push_back(finish_row(row));
+    identical = identical && points_identical(serial_points, grid.points);
+  }
+
+  // 4. The persistent cache: one cold pass (stores every point), one warm
+  //    pass (everything loads, nothing simulates).
+  double cold_seconds = 0;
+  double warm_seconds = 0;
+  double warm_hit_rate = 0;
+  {
+    exp::OrchestratorOptions options;
+    options.threads = 1;
+    options.cache_dir = cache_dir;
+    exp::SweepOrchestrator orchestrator(models, scale, options);
+    for (const char* name : {"cache_cold_t1", "cache_warm_t1"}) {
+      const exp::SweepGrid grid = orchestrator.run_grid(factors, configs);
+      const exp::SweepStats& s = orchestrator.stats();
+      SweepRow row;
+      row.name = name;
+      row.mode = "cache";
+      row.threads = 1;
+      row.cells = s.cells_simulated;
+      row.seconds = s.seconds;
+      row.cache_hits = s.cache_hits;
+      row.cache_misses = s.cache_misses;
+      row.stolen_cells = s.stolen_tasks;
+      rows.push_back(finish_row(row));
+      identical = identical && points_identical(serial_points, grid.points);
+      if (rows.back().name == "cache_cold_t1") {
+        cold_seconds = s.seconds;
+      } else {
+        warm_seconds = s.seconds;
+        warm_hit_rate = rows.back().hit_rate;
+      }
+    }
+  }
+  if (own_cache) {
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+  }
+
+  std::printf("%-22s %-15s %3s %6s %9s %12s %8s %7s\n", "run", "mode", "thr",
+              "cells", "seconds", "cells/sec", "hits", "stolen");
+  for (const SweepRow& r : rows) {
+    std::printf("%-22s %-15s %3zu %6zu %9.3f %12.1f %8zu %7llu\n",
+                r.name.c_str(), r.mode, r.threads, r.cells, r.seconds,
+                r.cells_per_sec, r.cache_hits,
+                static_cast<unsigned long long>(r.stolen_cells));
+  }
+
+  const std::vector<Projection> projections = {
+      project(cell_seconds, 4), project(cell_seconds, 8),
+      project(cell_seconds, 16)};
+  std::printf("\nbarrier-idle projection from measured per-cell durations:\n");
+  for (const Projection& p : projections) {
+    std::printf("  %2zu threads: barrier %.3fs vs stealing %.3fs -> %.2fx\n",
+                p.threads, p.barrier_seconds, p.stealing_seconds, p.speedup);
+  }
+
+  const double serial_t1 = rows.front().seconds;
+  double orch_t1 = 0;
+  for (const SweepRow& r : rows) {
+    if (r.name == "orchestrator_t1") orch_t1 = r.seconds;
+  }
+  const double warm_speedup =
+      warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0;
+  std::printf("\nresults bit-identical across all paths: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("orchestrator vs serial barrier (1 thread, measured): %.2fx\n",
+              orch_t1 > 0 ? serial_t1 / orch_t1 : 0.0);
+  std::printf("cache warm vs cold: %.1fx (hit rate %.1f%%)\n", warm_speedup,
+              warm_hit_rate * 100);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"dynp sweep orchestration\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"host_threads\": %zu,\n", hw);
+  std::fprintf(out,
+               "  \"note\": \"serial-barrier = per-point SweepRunner::run; "
+               "orchestrator = one work-stealing cell list; all paths "
+               "verified bit-identical. On hosts with few cores the measured "
+               "orchestrator gain is workspace reuse and hoisted config "
+               "clones only; the projection section list-schedules the "
+               "measured per-cell durations under barrier vs stealing "
+               "discipline at simulated thread counts.\",\n");
+  std::fprintf(out,
+               "  \"grid\": {\"traces\": %zu, \"factors\": %zu, \"configs\": "
+               "%zu, \"sets\": %zu, \"jobs\": %zu, \"points\": %zu, "
+               "\"cells\": %zu},\n",
+               models.size(), factors.size(), configs.size(), scale.sets,
+               scale.jobs, points, cells);
+  std::fprintf(out, "  \"identical\": %s,\n", identical ? "true" : "false");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"mode\": \"%s\", \"threads\": %zu, "
+                 "\"cells\": %zu, \"seconds\": %.4f, \"cells_per_sec\": %.1f, "
+                 "\"cache_hits\": %zu, \"cache_misses\": %zu, "
+                 "\"stolen_cells\": %llu, \"hit_rate\": %.4f}%s\n",
+                 r.name.c_str(), r.mode, r.threads, r.cells, r.seconds,
+                 r.cells_per_sec, r.cache_hits, r.cache_misses,
+                 static_cast<unsigned long long>(r.stolen_cells), r.hit_rate,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"projection\": [\n");
+  for (std::size_t i = 0; i < projections.size(); ++i) {
+    const Projection& p = projections[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"barrier_seconds\": %.4f, "
+                 "\"stealing_seconds\": %.4f, \"speedup\": %.2f}%s\n",
+                 p.threads, p.barrier_seconds, p.stealing_seconds, p.speedup,
+                 i + 1 < projections.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"speedup_warm_vs_cold\": %.1f,\n  \"warm_hit_rate\": %.4f"
+               "\n}\n",
+               warm_speedup, warm_hit_rate);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: combined points differ between execution paths\n");
+    return 2;
+  }
+  if (check && warm_hit_rate < 0.95) {
+    std::fprintf(stderr, "FAIL: warm cache hit rate %.1f%% < 95%%\n",
+                 warm_hit_rate * 100);
+    return 2;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --compare mode
+// ---------------------------------------------------------------------------
+
+/// Pulls (name, seconds) pairs out of a report's "runs" array. The reports
+/// are written by this binary, so a tag scan is reliable enough.
+[[nodiscard]] std::vector<std::pair<std::string, double>> parse_run_seconds(
+    const std::string& text) {
+  std::vector<std::pair<std::string, double>> out;
+  const std::string name_tag = "\"name\": \"";
+  const std::string seconds_tag = "\"seconds\": ";
+  std::size_t pos = 0;
+  while ((pos = text.find(name_tag, pos)) != std::string::npos) {
+    const std::size_t name_begin = pos + name_tag.size();
+    const std::size_t name_end = text.find('"', name_begin);
+    if (name_end == std::string::npos) break;
+    const std::size_t next = text.find(name_tag, name_end);
+    const std::size_t sec = text.find(seconds_tag, name_end);
+    if (sec != std::string::npos && (next == std::string::npos || sec < next)) {
+      out.emplace_back(
+          text.substr(name_begin, name_end - name_begin),
+          std::strtod(text.c_str() + sec + seconds_tag.size(), nullptr));
+    }
+    pos = name_end;
+  }
+  return out;
+}
+
+int run_compare(const std::string& base_path, const std::string& to_path) {
+  const auto read = [](const std::string& path) -> std::optional<std::string> {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const auto base_text = read(base_path);
+  const auto to_text = read(to_path);
+  if (!base_text || !to_text) {
+    std::fprintf(stderr, "cannot read %s\n",
+                 !base_text ? base_path.c_str() : to_path.c_str());
+    return 1;
+  }
+  const auto base = parse_run_seconds(*base_text);
+  const auto to = parse_run_seconds(*to_text);
+
+  std::printf("%-24s %10s %10s %8s\n", "run", "base [s]", "new [s]", "delta");
+  std::size_t regressions = 0;
+  std::size_t compared = 0;
+  for (const auto& [name, base_seconds] : base) {
+    for (const auto& [to_name, to_seconds] : to) {
+      if (to_name != name) continue;
+      ++compared;
+      const double delta =
+          base_seconds > 0 ? to_seconds / base_seconds - 1.0 : 0.0;
+      const bool regressed = delta > 0.10;
+      if (regressed) ++regressions;
+      std::printf("%-24s %10.4f %10.4f %+7.1f%%%s\n", name.c_str(),
+                  base_seconds, to_seconds, delta * 100,
+                  regressed ? "  <-- REGRESSION" : "");
+      break;
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "no runs with matching names between the reports\n");
+    return 1;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "%zu run(s) regressed by more than 10%%\n",
+                 regressions);
+    return 2;
+  }
+  std::printf("no regressions above 10%% (%zu runs compared)\n", compared);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,11 +591,41 @@ int main(int argc, char** argv) {
                  "on the pre-optimisation build); recorded with the implied "
                  "speedup when non-zero");
   cli.add_flag("smoke", "shrink every scenario to a fast sanity run");
+  cli.add_flag("sweep",
+               "measure the experiment-grid layer (serial barrier vs "
+               "work-stealing orchestrator vs point cache) instead of "
+               "single simulations; writes BENCH_sweep.json");
+  cli.add_flag("check",
+               "with --sweep: fail unless the warm cache pass hits >= 95% "
+               "of points and all paths are bit-identical");
+  cli.add_option("cache-dir", "",
+                 "with --sweep: persistent cache directory (default: a "
+                 "fresh temp directory, removed afterwards)");
+  cli.add_option("compare-base", "",
+                 "baseline BENCH_sweep.json for --compare mode");
+  cli.add_option("compare-to", "",
+                 "candidate BENCH_sweep.json: runs slower than the baseline "
+                 "by more than 10% fail the comparison");
   if (!cli.parse(argc, argv)) return 1;
+
+  if (!cli.get("compare-base").empty() || !cli.get("compare-to").empty()) {
+    if (cli.get("compare-base").empty() || cli.get("compare-to").empty()) {
+      std::fprintf(stderr,
+                   "--compare-base and --compare-to must be given together\n");
+      return 1;
+    }
+    return run_compare(cli.get("compare-base"), cli.get("compare-to"));
+  }
 
   const bool smoke = cli.get_flag("smoke");
   const double baseline = cli.get_double("baseline-seconds");
-  const std::string out_path = cli.get("out");
+  std::string out_path = cli.get("out");
+
+  if (cli.get_flag("sweep")) {
+    if (out_path == "BENCH_planner.json") out_path = "BENCH_sweep.json";
+    return run_sweep_report(smoke, cli.get_flag("check"), out_path,
+                            cli.get("cache-dir"));
+  }
 
   std::printf("%-24s %6s %8s %9s %12s %8s\n", "scenario", "jobs", "events",
               "seconds", "events/sec", "SLDwA");

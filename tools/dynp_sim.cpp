@@ -21,6 +21,7 @@
 
 #include "core/simulation.hpp"
 #include "exp/experiment.hpp"
+#include "exp/orchestrator.hpp"
 #include "fault/fault.hpp"
 #include "exp/ascii_plot.hpp"
 #include "exp/export.hpp"
@@ -94,6 +95,17 @@ int main(int argc, char** argv) {
   cli.add_option("jobs", "5000", "jobs to generate (synthetic input)");
   cli.add_option("seed", "42", "random seed (synthetic input)");
   cli.add_option("factor", "1.0", "shrinking factor applied to submissions");
+  cli.add_flag("sweep",
+               "run the paper's full shrinking-factor sweep (1.0 .. 0.6) "
+               "over an ensemble of generated job sets through the sweep "
+               "orchestrator and report the combined metrics per factor");
+  cli.add_option("sets", "5", "ensemble size for --sweep (paper: 10)");
+  cli.add_option("threads", "0",
+                 "worker threads for --sweep (0 = hardware concurrency)");
+  cli.add_option("cache-dir", "",
+                 "persistent point-cache directory for --sweep: finished "
+                 "points are reused across runs, so an interrupted sweep "
+                 "resumes where it stopped");
   cli.add_option("scheduler", "dynp-sjf-pref",
                  "fcfs|sjf|ljf|saf|wf|dynp-simple|dynp-advanced|"
                  "dynp-sjf-pref|dynp-threshold");
@@ -159,9 +171,12 @@ int main(int argc, char** argv) {
   const auto backoff_opt = cli.get_double_checked("backoff", 1.0, 1e9);
   const auto est_error_opt = cli.get_double_checked("est-error", 0.0, 10.0);
   const auto budget_opt = cli.get_double_checked("plan-budget-ms", 0.0, 1e6);
+  const auto sets_opt = cli.get_int_checked("sets", 1, 100000);
+  const auto threads_opt = cli.get_int_checked("threads", 0, 4096);
   if (!nodes_opt || !jobs_opt || !seed_opt || !factor_opt || !threshold_opt ||
       !fault_seed_opt || !mtbf_opt || !repair_opt || !fail_p_opt ||
-      !retries_opt || !backoff_opt || !est_error_opt || !budget_opt) {
+      !retries_opt || !backoff_opt || !est_error_opt || !budget_opt ||
+      !sets_opt || !threads_opt) {
     return 1;
   }
 
@@ -260,6 +275,92 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--mtbf/--job-fail-p have no effect without --faults\n");
     return 1;
+  }
+
+  // --- sweep mode: the whole factor grid through the orchestrator ---
+  if (cli.get_flag("sweep")) {
+    if (!cli.get("swf").empty() || cli.get("trace") == "feitelson") {
+      std::fprintf(stderr,
+                   "--sweep generates its ensemble from a calibrated trace "
+                   "model; --swf and --trace feitelson are not supported\n");
+      return 1;
+    }
+    if (*est_error_opt > 0 && !faults_on) {
+      std::fprintf(stderr,
+                   "--sweep applies --est-error per ensemble set via the "
+                   "fault seed; combine it with --faults\n");
+      return 1;
+    }
+    if (faults_on) config.faults->est_error_cv = *est_error_opt;
+
+    workload::TraceModel model;
+    try {
+      model = workload::model_by_name(cli.get("trace"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+
+    obs::Registry sweep_registry;
+    exp::OrchestratorOptions options;
+    options.threads = static_cast<std::size_t>(*threads_opt);
+    options.cache_dir = cli.get("cache-dir");
+    if (!cli.get("metrics-out").empty()) options.registry = &sweep_registry;
+
+    const exp::ExperimentScale scale{
+        static_cast<std::size_t>(*sets_opt),
+        static_cast<std::size_t>(*jobs_opt),
+        static_cast<std::uint64_t>(*seed_opt)};
+    exp::SweepOrchestrator orchestrator({model}, scale, options);
+    const std::vector<double> factors = exp::paper_shrinking_factors();
+    const exp::SweepGrid grid = orchestrator.run_grid(factors, {config});
+
+    std::printf("sweep: %s on %s, %zu sets x %zu jobs, factors 1.0..0.6\n\n",
+                config.label().c_str(), model.name.c_str(), scale.sets,
+                scale.jobs);
+    util::TextTable t;
+    std::vector<std::string> header = {"factor",  "SLDwA",   "+-sd",
+                                       "bounded", "resp[s]", "util%",
+                                       "+-sd",    "switches"};
+    if (faults_on) {
+      header.insert(header.end(), {"node fail", "job fail", "requeues"});
+    }
+    t.set_header(header, {util::Align::kLeft});
+    for (std::size_t f = 0; f < factors.size(); ++f) {
+      const exp::CombinedPoint& p = grid.at(0, f, 0);
+      std::vector<std::string> row = {
+          util::fmt_fixed(factors[f], 1), util::fmt_fixed(p.sldwa, 2),
+          util::fmt_fixed(p.sldwa_stddev, 2),
+          util::fmt_fixed(p.avg_bounded_slowdown, 2),
+          util::fmt_fixed(p.avg_response, 0),
+          util::fmt_fixed(p.utilization, 2),
+          util::fmt_fixed(p.util_stddev, 2), util::fmt_fixed(p.switches, 0)};
+      if (faults_on) {
+        row.push_back(util::fmt_fixed(p.node_failures, 1));
+        row.push_back(util::fmt_fixed(p.job_failures, 1));
+        row.push_back(util::fmt_fixed(p.requeues, 1));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s", t.to_string().c_str());
+
+    const exp::SweepStats& stats = orchestrator.stats();
+    std::printf("\n%zu points: %zu from cache, %zu simulated (%zu cells) in "
+                "%.2fs (%.1f cells/s, %llu stolen cells)\n",
+                stats.points_total, stats.cache_hits, stats.cache_misses,
+                stats.cells_simulated, stats.seconds,
+                stats.seconds > 0
+                    ? static_cast<double>(stats.cells_simulated) / stats.seconds
+                    : 0.0,
+                static_cast<unsigned long long>(stats.stolen_tasks));
+    if (const std::string path = cli.get("metrics-out"); !path.empty()) {
+      if (!sweep_registry.write_json_file(path)) {
+        std::fprintf(stderr, "cannot write --metrics-out %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("metrics snapshot written to %s\n", path.c_str());
+    }
+    return 0;
   }
 
   // --- instrumentation (obs layer) ---
