@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/decider.hpp"
-#include "obs/trace.hpp"
+#include "obs/obs.hpp"
 
 namespace dynp::core {
 

@@ -14,6 +14,7 @@
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
+#include "util/wallclock.hpp"
 
 namespace dynp::core {
 
@@ -792,10 +793,8 @@ class SchedulerSim final : public sim::Process {
   }
 
   /// Arms the degradation window when a tuned pass blew the budget.
-  void note_tuning_cost(std::chrono::steady_clock::time_point start) {
-    const double spent_us = std::chrono::duration<double, std::micro>(
-                                std::chrono::steady_clock::now() - start)
-                                .count();
+  void note_tuning_cost(util::WallInstant start) {
+    const double spent_us = util::wall_micros_between(start, util::wall_now());
     if (spent_us > config_.plan_budget_us) {
       degrade_until_event_ = engine_.processed() + kDegradeWindow;
     }
@@ -940,9 +939,8 @@ class SchedulerSim final : public sim::Process {
     DecisionInput input;  // outlives decide() so the auditor can re-check it
     if (tuned) {
       const bool budgeted = config_.plan_budget_us > 0;
-      const std::chrono::steady_clock::time_point tuning_start =
-          budgeted ? std::chrono::steady_clock::now()
-                   : std::chrono::steady_clock::time_point{};
+      const util::WallInstant tuning_start =
+          budgeted ? util::wall_now() : util::WallInstant{};
       input.values.reserve(config_.pool.size());
       input.old_index = policy_index_;
       run_tuning_tasks([&](std::size_t i) {
@@ -1063,9 +1061,8 @@ class SchedulerSim final : public sim::Process {
     DecisionInput input;  // outlives decide() so the auditor can re-check it
     if (tuned) {
       const bool budgeted = config_.plan_budget_us > 0;
-      const std::chrono::steady_clock::time_point tuning_start =
-          budgeted ? std::chrono::steady_clock::now()
-                   : std::chrono::steady_clock::time_point{};
+      const util::WallInstant tuning_start =
+          budgeted ? util::wall_now() : util::WallInstant{};
       // One compressed candidate per pool policy, each on its own copy of
       // the reservation state; the chosen candidate becomes reality.
       input.values.reserve(config_.pool.size());

@@ -7,6 +7,7 @@
 
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
+#include "util/wallclock.hpp"
 
 namespace dynp::exp {
 
@@ -49,7 +50,9 @@ SweepOrchestrator::SweepOrchestrator(std::vector<workload::TraceModel> models,
 SweepGrid SweepOrchestrator::run_grid(
     const std::vector<double>& factors,
     const std::vector<core::SimulationConfig>& configs) {
-  const auto started = std::chrono::steady_clock::now();
+  DYNP_EXPECTS(!factors.empty());
+  DYNP_EXPECTS(!configs.empty());
+  const auto started = util::wall_now();
   SweepGrid grid;
   grid.traces = models_.size();
   grid.factors = factors.size();
@@ -164,9 +167,7 @@ SweepGrid SweepOrchestrator::run_grid(
       registry.counter("pool.steals").add(stats_.stolen_tasks);
     }
   }
-  stats_.seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - started)
-                       .count();
+  stats_.seconds = util::wall_seconds_between(started, util::wall_now());
   return grid;
 }
 

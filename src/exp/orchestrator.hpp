@@ -30,7 +30,7 @@
 
 #include "exp/experiment.hpp"
 #include "exp/point_cache.hpp"
-#include "obs/registry.hpp"
+#include "obs/obs.hpp"
 
 namespace dynp::exp {
 

@@ -106,7 +106,9 @@ double Histogram::quantile(double q) const noexcept {
 }
 
 void Histogram::reset() noexcept {
-  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(),

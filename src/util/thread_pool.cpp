@@ -93,7 +93,7 @@ void ThreadPool::push_task(std::size_t queue_index, Task task) {
 void ThreadPool::submit(std::function<void()> task) {
   Task entry{std::move(task), {}};
   if (timer_armed_.load(std::memory_order_relaxed)) {
-    entry.enqueued = std::chrono::steady_clock::now();
+    entry.enqueued = wall_now();
   }
   pending_.fetch_add(1, std::memory_order_release);
   const std::size_t self = worker_index();
@@ -171,19 +171,17 @@ bool ThreadPool::next_task(std::size_t self, Task& out) {
 
 void ThreadPool::run_task(Task& task) {
   if (timer_armed_.load(std::memory_order_relaxed)) {
-    using Clock = std::chrono::steady_clock;
-    using MicrosF = std::chrono::duration<double, std::micro>;
-    const Clock::time_point started = Clock::now();
+    const WallInstant started = wall_now();
     task.fn();
-    const Clock::time_point finished = Clock::now();
+    const WallInstant finished = wall_now();
     // The hook may only change while the pool is idle, so reading it here
     // without the lock is race-free. Tasks enqueued before the hook was
     // installed carry no timestamp; report zero wait rather than a bogus
     // epoch-relative duration.
-    const double wait_us = task.enqueued == Clock::time_point{}
+    const double wait_us = task.enqueued == WallInstant{}
                                ? 0.0
-                               : MicrosF(started - task.enqueued).count();
-    task_timer_(wait_us, MicrosF(finished - started).count());
+                               : wall_micros_between(task.enqueued, started);
+    task_timer_(wait_us, wall_micros_between(started, finished));
   } else {
     task.fn();
   }

@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/wallclock.hpp"
+
 namespace dynp::util {
 
 /// Fixed-size worker pool. Tasks are `std::function<void()>`; `wait_idle`
@@ -90,7 +92,7 @@ class ThreadPool {
   /// timer is installed; default-constructed otherwise).
   struct Task {
     std::function<void()> fn;
-    std::chrono::steady_clock::time_point enqueued;
+    WallInstant enqueued;
   };
 
   /// One worker's deque. Owner pushes/pops at the back; thieves take a batch

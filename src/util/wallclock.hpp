@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file wallclock.hpp
+/// The repo's single sanctioned wall-clock read. Simulation results must be
+/// a pure function of (trace, config, seed); the only legitimate uses of
+/// real time are self-measurement — tuning-pass budgets, task-timer
+/// instrumentation, sweep wall-clock stats. Funneling those reads through
+/// this header keeps `dynp_analyze`'s det-clock check meaningful: this file
+/// is the one impure-listed clock source (tools/analyze/purity.toml), so a
+/// `steady_clock` spelled anywhere else in src/ is a finding, not a style
+/// choice.
+///
+/// Durations are returned as doubles (µs or s) rather than chrono types so
+/// call sites never need to name a clock.
+
+#include <chrono>
+
+namespace dynp::util {
+
+/// An instant on the machine's monotonic clock. Comparable and
+/// default-constructible; a default-constructed instant means "never
+/// stamped" and compares unequal to any real reading.
+using WallInstant = std::chrono::steady_clock::time_point;
+
+/// Reads the monotonic wall clock. Never use this to influence scheduling
+/// decisions — only to measure how long the scheduler itself took.
+[[nodiscard]] inline WallInstant wall_now() noexcept {
+  return std::chrono::steady_clock::now();
+}
+
+/// Microseconds elapsed from \p start to \p end (negative if reversed).
+[[nodiscard]] inline double wall_micros_between(WallInstant start,
+                                                WallInstant end) noexcept {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// Seconds elapsed from \p start to \p end (negative if reversed).
+[[nodiscard]] inline double wall_seconds_between(WallInstant start,
+                                                 WallInstant end) noexcept {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace dynp::util

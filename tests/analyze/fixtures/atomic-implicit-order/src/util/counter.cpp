@@ -1,0 +1,7 @@
+#include <atomic>
+
+std::atomic<long> hits{0};
+
+void bump() { hits.store(1); }
+
+void bump_again() { ++hits; }

@@ -1,0 +1,5 @@
+#include <atomic>
+
+std::atomic<bool> done{false};
+
+void mark() { done.store(true, std::memory_order_relaxed); }

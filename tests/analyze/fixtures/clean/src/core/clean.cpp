@@ -1,0 +1,12 @@
+#include <atomic>
+#include <map>
+
+std::atomic<long> hits_{0};
+
+void record() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+double weight_total(const std::map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& entry : weights) sum += entry.second;
+  return sum;
+}

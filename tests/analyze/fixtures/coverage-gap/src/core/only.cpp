@@ -1,0 +1,1 @@
+int only() { return 1; }

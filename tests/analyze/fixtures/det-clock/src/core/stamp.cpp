@@ -1,0 +1,5 @@
+#include <chrono>
+
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

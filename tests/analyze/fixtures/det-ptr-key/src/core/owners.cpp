@@ -1,0 +1,8 @@
+#include <map>
+
+struct Job;
+
+int count_for(const std::map<const Job*, int>& by_job, const Job* job) {
+  const auto it = by_job.find(job);
+  return it == by_job.end() ? 0 : it->second;
+}

@@ -1,0 +1,3 @@
+#include <cstdlib>
+
+int pick(int n) { return std::rand() % n; }

@@ -1,0 +1,8 @@
+#include <sstream>
+#include <thread>
+
+unsigned worker_tag() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return static_cast<unsigned>(os.str().size());
+}

@@ -1,0 +1,7 @@
+#include <unordered_map>
+
+double total(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& entry : weights) sum += entry.second;
+  return sum;
+}

@@ -1,0 +1,9 @@
+#include <mutex>
+
+std::mutex a;
+std::mutex b;
+
+void both() {
+  const std::lock_guard first(a);
+  const std::lock_guard second(b);
+}

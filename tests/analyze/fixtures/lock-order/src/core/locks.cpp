@@ -1,0 +1,11 @@
+#include <mutex>
+
+std::mutex m_low;
+std::mutex m_high;
+
+void transfer() {
+  const std::lock_guard outer(m_high);
+  {
+    const std::lock_guard inner(m_low);
+  }
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "obs/registry.hpp"
+
+inline int probe() { return registry_size(); }

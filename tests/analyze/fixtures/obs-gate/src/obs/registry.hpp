@@ -1,0 +1,3 @@
+#pragma once
+
+inline int registry_size() { return 0; }

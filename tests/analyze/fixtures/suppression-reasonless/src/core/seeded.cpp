@@ -1,0 +1,4 @@
+#include <cstdlib>
+
+// dynp-analyze: allow(det-rand)
+int roll() { return std::rand() % 6; }

@@ -1,0 +1,2 @@
+// dynp-analyze: allow(det-random, "typo in the check name")
+int six() { return 6; }

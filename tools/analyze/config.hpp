@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file config.hpp
+/// Checked-in configuration of dynp_analyze: the purity map (which files the
+/// determinism checks cover), the atomics discipline table (every relaxed
+/// access must be listed with a reason; mutexes carry lock-hierarchy levels)
+/// and the layer DAG for include hygiene. Parsed from a small TOML subset —
+/// `[section]` / `[[array-of-tables]]` headers, `key = "string"`,
+/// `key = integer` and `key = ["a", "b"]` — which is all the three files
+/// use; no third-party TOML dependency.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynp::analyze {
+
+/// One `[[...]]` table (or the single table of a plain `[section]`).
+struct TomlTable {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, long> integers;
+  std::map<std::string, std::vector<std::string>> arrays;
+
+  [[nodiscard]] std::string get(const std::string& key) const {
+    const auto it = strings.find(key);
+    return it == strings.end() ? std::string() : it->second;
+  }
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = integers.find(key);
+    return it == integers.end() ? fallback : it->second;
+  }
+};
+
+/// Parsed file: section name -> tables in declaration order (a plain
+/// `[section]` yields one table, `[[section]]` one per header).
+struct TomlFile {
+  std::map<std::string, std::vector<TomlTable>> sections;
+
+  /// Parses \p path. On success returns true; on I/O or syntax errors
+  /// returns false with a one-line description in \p error.
+  [[nodiscard]] bool load(const std::string& path, std::string& error);
+};
+
+/// Purity map: which repo-relative paths the determinism checks apply to.
+struct PurityMap {
+  std::vector<std::string> pure_dirs;  ///< directory prefixes, e.g. "src/core"
+  std::map<std::string, std::string> impure_files;  ///< file -> reason
+
+  /// True when \p rel_path lives under a pure directory and is not listed
+  /// impure. Every impure listing must carry a reason (load() enforces it).
+  [[nodiscard]] bool is_pure(const std::string& rel_path) const;
+};
+
+/// One documented relaxed-atomic access: the file the access appears in,
+/// the object identifier it is performed on, and why relaxed is safe there.
+struct RelaxedEntry {
+  std::string file;
+  std::string symbol;
+  std::string reason;
+};
+
+/// One lock-hierarchy member: a mutex identifier as it appears at
+/// acquisition sites in \p file, with its level. While a level-L mutex is
+/// held, only strictly-greater levels may be acquired.
+struct MutexEntry {
+  std::string file;
+  std::string symbol;
+  long level = 0;
+  std::string reason;
+};
+
+struct AtomicsTable {
+  std::vector<RelaxedEntry> relaxed;
+  std::vector<MutexEntry> mutexes;
+
+  [[nodiscard]] const RelaxedEntry* find_relaxed(
+      const std::string& file, const std::string& symbol) const;
+  [[nodiscard]] const MutexEntry* find_mutex(const std::string& file,
+                                             const std::string& symbol) const;
+};
+
+/// Layer DAG over src/ subdirectories: layer -> layers it may include
+/// (itself is always allowed). Directories outside src/ are unrestricted.
+struct LayerMap {
+  std::map<std::string, std::vector<std::string>> allowed;
+
+  [[nodiscard]] bool known(const std::string& layer) const {
+    return allowed.find(layer) != allowed.end();
+  }
+  [[nodiscard]] bool may_include(const std::string& from,
+                                 const std::string& to) const;
+};
+
+/// Loads the three config files from \p config_dir (purity.toml,
+/// atomics.toml, layers.toml). Returns false with \p error set when a file
+/// is missing, malformed, or an entry violates the written-reason policy.
+struct AnalyzerConfig {
+  PurityMap purity;
+  AtomicsTable atomics;
+  LayerMap layers;
+
+  [[nodiscard]] bool load(const std::string& config_dir, std::string& error);
+};
+
+}  // namespace dynp::analyze

@@ -1,0 +1,183 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace dynp::analyze {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character operators the checks care about, longest first so maximal
+/// munch keeps `>>` and `==` single tokens (the template scanner treats `>>`
+/// as two closes; the assignment check must not confuse `==` with `=`).
+constexpr const char* kOperators[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",
+};
+
+/// True when the previous token allows a `/` to begin a literal (crude but
+/// sufficient: the repo has no regex-like code; division is rare in checks'
+/// pattern space anyway).
+[[nodiscard]] bool line_has_code_before(const std::string& src,
+                                        std::size_t comment_start) {
+  std::size_t i = comment_start;
+  while (i > 0) {
+    const char c = src[i - 1];
+    if (c == '\n') return false;
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return true;
+    --i;
+  }
+  return false;
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  LexedFile out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance_over = [&](std::size_t end) {
+    for (; i < end && i < n; ++i) {
+      if (source[i] == '\n') line += 1;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+
+    if (c == '\n') {
+      line += 1;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: extract #include, then feed the remainder of
+    // the directive through the normal tokenizer (macro bodies matter).
+    if (c == '#' && at_line_start) {
+      std::size_t j = i + 1;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) ++j;
+      std::size_t k = j;
+      while (k < n && ident_char(source[k])) ++k;
+      if (source.compare(j, k - j, "include") == 0) {
+        std::size_t p = k;
+        while (p < n && (source[p] == ' ' || source[p] == '\t')) ++p;
+        if (p < n && (source[p] == '"' || source[p] == '<')) {
+          const char close = source[p] == '<' ? '>' : '"';
+          const std::size_t end = source.find(close, p + 1);
+          if (end != std::string::npos) {
+            out.includes.push_back(IncludeDirective{
+                source.substr(p + 1, end - p - 1), line, close == '>'});
+            advance_over(end + 1);
+            at_line_start = false;
+            continue;
+          }
+        }
+      }
+      at_line_start = false;
+      ++i;
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      std::size_t end = source.find('\n', i);
+      if (end == std::string::npos) end = n;
+      out.comments.push_back(Comment{source.substr(i + 2, end - i - 2), line,
+                                     line, line_has_code_before(source, i)});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      std::size_t end = source.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      Comment comment{source.substr(i + 2, end - i - 2), line, line,
+                      line_has_code_before(source, i)};
+      advance_over(end + 2 <= n ? end + 2 : n);
+      comment.last_line = line;
+      out.comments.push_back(std::move(comment));
+      continue;
+    }
+
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && source[p] != '(') delim.push_back(source[p++]);
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = source.find(closer, p);
+      end = end == std::string::npos ? n : end + closer.size();
+      out.tokens.push_back(Token{TokenKind::kString, "\"\"", line});
+      advance_over(end);
+      continue;
+    }
+
+    // String / char literal (handles escapes; content is discarded).
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && source[j] != c) {
+        j += source[j] == '\\' ? std::size_t{2} : std::size_t{1};
+      }
+      out.tokens.push_back(Token{TokenKind::kString, "\"\"", line});
+      advance_over(j < n ? j + 1 : n);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(source[j])) ++j;
+      out.tokens.push_back(
+          Token{TokenKind::kIdentifier, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(source[j]) || source[j] == '.' ||
+                       ((source[j] == '+' || source[j] == '-') &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back(
+          Token{TokenKind::kNumber, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Operators, longest first.
+    bool matched = false;
+    for (const char* op : kOperators) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (source.compare(i, len, op) == 0) {
+        out.tokens.push_back(Token{TokenKind::kPunct, op, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    out.tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace dynp::analyze

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file lexer.hpp
+/// Minimal C++ tokenizer for dynp_analyze. Not a compiler front end: it
+/// produces the token stream the repo-specific checks pattern-match against
+/// (identifiers, numbers, multi-character operators, punctuation), strips
+/// string/character literals (their text can never trigger a finding) and
+/// collects comments separately so the suppression engine can parse
+/// reasoned allow() annotations. `#include` directives are
+/// extracted by a raw line scan, which keeps the tokenizer free of
+/// preprocessor state while macro bodies still land in the token stream
+/// (checks must see through convenience macros).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dynp::analyze {
+
+enum class TokenKind : unsigned char {
+  kIdentifier,
+  kNumber,
+  kString,  ///< string/char literal, text replaced by `""`
+  kPunct,   ///< operator or punctuation, multi-char ops fused ("::", "->")
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// A comment with its source position; `text` excludes the `//` / `/* */`
+/// markers. `last_line` differs from `line` for multi-line block comments.
+struct Comment {
+  std::string text;
+  int line = 0;
+  int last_line = 0;
+  bool trailing = false;  ///< code precedes the comment on its first line
+};
+
+/// One `#include` directive. `angled` distinguishes `<...>` system includes
+/// from `"..."` repo includes (only the latter feed the layering checks).
+struct IncludeDirective {
+  std::string path;
+  int line = 0;
+  bool angled = false;
+};
+
+/// Everything the checks need from one source file.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Tokenizes \p source. Never fails: unrecognized bytes become single-char
+/// punctuation tokens, unterminated literals run to end of file.
+[[nodiscard]] LexedFile lex(const std::string& source);
+
+}  // namespace dynp::analyze

@@ -1,0 +1,132 @@
+/// \file main.cpp
+/// dynp_analyze — repo-native determinism & concurrency static analysis.
+///
+/// Usage:
+///   dynp_analyze --root <repo> [--config-dir <dir>]
+///                [--compile-commands <build>/compile_commands.json]
+///                [--paths a.cpp,b.hpp ...] [--list-checks]
+///
+/// With no --paths, scans every .cpp/.hpp under src/, bench/ and tools/.
+/// Exit codes: 0 clean, 1 findings, 2 driver/config errors.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "config.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void split_into(const std::string& csv, std::vector<std::string>& out) {
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > pos) out.push_back(csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+}
+
+[[nodiscard]] std::vector<std::string> default_file_walk(
+    const std::string& root) {
+  std::vector<std::string> files;
+  for (const char* top : {"src", "bench", "tools"}) {
+    const fs::path base = fs::path(root) / top;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      files.push_back(
+          fs::relative(entry.path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string config_dir;
+  std::string compile_commands;
+  std::vector<std::string> paths;
+  bool list_checks = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "dynp_analyze: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value();
+    } else if (arg == "--config-dir") {
+      config_dir = value();
+    } else if (arg == "--compile-commands") {
+      compile_commands = value();
+    } else if (arg == "--paths") {
+      split_into(value(), paths);
+    } else if (arg == "--list-checks") {
+      list_checks = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dynp_analyze --root <repo> [--config-dir <dir>]\n"
+                   "                    [--compile-commands <file>]\n"
+                   "                    [--paths a.cpp,b.hpp] [--list-checks]\n";
+      return 0;
+    } else {
+      std::cerr << "dynp_analyze: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+
+  if (list_checks) {
+    for (const std::string& name : dynp::analyze::check_names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+
+  if (config_dir.empty()) config_dir = root + "/tools/analyze";
+  dynp::analyze::AnalyzerConfig config;
+  std::string error;
+  if (!config.load(config_dir, error)) {
+    std::cerr << "dynp_analyze: " << error << "\n";
+    return 2;
+  }
+
+  if (paths.empty()) paths = default_file_walk(root);
+  if (paths.empty()) {
+    std::cerr << "dynp_analyze: nothing to scan under " << root << "\n";
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+
+  dynp::analyze::Analyzer analyzer(root, config);
+  std::vector<dynp::analyze::Finding> findings = analyzer.run(paths);
+  if (!compile_commands.empty()) {
+    analyzer.check_compile_commands(compile_commands, findings);
+  }
+
+  for (const dynp::analyze::Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
+              << f.message << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "dynp_analyze: clean (" << analyzer.files_scanned()
+              << " file(s), " << analyzer.suppressions_honored()
+              << " suppression(s) honored)\n";
+    return 0;
+  }
+  std::cout << "dynp_analyze: " << findings.size() << " finding(s)\n";
+  return 1;
+}

@@ -5,7 +5,8 @@ Machine-enforces the invariant style the codebase relies on (see
 docs/architecture.md, "Correctness tooling"):
 
   R1 contract-missing   Public mutating methods of classes declared in
-                        src/rms and src/core — non-const non-static methods,
+                        src/rms, src/core, src/fault and src/exp — non-const
+                        non-static methods,
                         plus static methods taking a non-const reference
                         (out-parameter style) — must check at least one
                         DYNP_EXPECTS / DYNP_ENSURES / DYNP_ASSERT /
@@ -29,7 +30,12 @@ docs/architecture.md, "Correctness tooling"):
                         queue, policy) must not pull in iostream-family or
                         cstdio headers.
 
-Usage: lint_contracts.py [repo-root]   (exit 0 = clean, 1 = findings)
+Usage: lint_contracts.py [repo-root]                (exit 0 = clean, 1 = findings)
+       lint_contracts.py --check-coverage [repo-root]
+                         self-test: every src/ subdirectory wired into the
+                         build (add_subdirectory in src/CMakeLists.txt) must
+                         be walked by this lint, and every R1 contract dir
+                         must be one of the built subdirectories.
 """
 
 from __future__ import annotations
@@ -41,8 +47,9 @@ from pathlib import Path
 CONTRACT_RE = re.compile(r"\bDYNP_(EXPECTS|ENSURES|ASSERT|CHECK_CTX)\s*\(")
 WAIVER = "lint: no-contract"
 
-# R1 scope: the planning core and the scheduler core.
-CONTRACT_DIRS = ("src/rms", "src/core")
+# R1 scope: the planning core, the scheduler core, the fault-injection
+# layer and the sweep orchestration layer.
+CONTRACT_DIRS = ("src/rms", "src/core", "src/fault", "src/exp")
 
 # R5 scope and ban list.
 HOT_HEADERS = (
@@ -294,7 +301,53 @@ def lint_hot_header_includes(path: Path, raw: str,
                 f"formatting out of the planning core"))
 
 
+def built_src_subdirs(root: Path) -> list[str]:
+    """Subdirectories src/CMakeLists.txt wires into the build."""
+    cmakelists = root / "src" / "CMakeLists.txt"
+    return re.findall(r"^\s*add_subdirectory\s*\(\s*(\w+)\s*\)",
+                      cmakelists.read_text(encoding="utf-8"), re.MULTILINE)
+
+
+def check_coverage(root: Path) -> int:
+    """Asserts the lint walks every src/ subdirectory the build compiles.
+
+    Guards against the failure mode where a new layer (src/fault, src/exp,
+    ...) is added to the build but silently escapes linting because a scope
+    tuple above was never extended.
+    """
+    problems: list[str] = []
+    subdirs = built_src_subdirs(root)
+    if not subdirs:
+        problems.append("no add_subdirectory entries found in "
+                        "src/CMakeLists.txt — parser out of date?")
+    walked = sorted(root.glob("src/*/*.hpp")) + sorted(root.glob("src/*/*.cpp"))
+    walked_dirs = {p.parent.relative_to(root).as_posix() for p in walked}
+    for sub in subdirs:
+        rel = f"src/{sub}"
+        if not (root / rel).is_dir():
+            problems.append(f"{rel} is built but does not exist")
+        elif rel not in walked_dirs:
+            problems.append(f"{rel} is built but contributes no .hpp/.cpp "
+                            f"to the lint walk")
+    for d in CONTRACT_DIRS:
+        if d.removeprefix("src/") not in subdirs:
+            problems.append(f"R1 contract dir {d} is not an "
+                            f"add_subdirectory of src/CMakeLists.txt")
+    for p in problems:
+        print(f"lint_contracts --check-coverage: {p}")
+    if problems:
+        return 1
+    print(f"lint_contracts --check-coverage: clean "
+          f"({len(subdirs)} built src/ subdirectories, "
+          f"{len(CONTRACT_DIRS)} under R1 contract scope)")
+    return 0
+
+
 def main(argv: list[str]) -> int:
+    if "--check-coverage" in argv:
+        rest = [a for a in argv[1:] if a != "--check-coverage"]
+        return check_coverage(Path(rest[0]) if rest
+                              else Path(__file__).resolve().parents[1])
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
     src = root / "src"
     if not src.is_dir():
