@@ -198,6 +198,16 @@ class SchedulerSim final : public sim::Process {
       obs_->registry = config.instruments.registry;
       obs_->tracer = config.instruments.tracer;
       obs_->profiler = config.instruments.profiler;
+      obs_->provenance = config.instruments.provenance;
+      if (obs_->provenance != nullptr &&
+          config.mode == SchedulerMode::kDynP) {
+        std::vector<std::string> pool_names;
+        pool_names.reserve(config.pool.size());
+        for (const policies::PolicyKind kind : config.pool) {
+          pool_names.emplace_back(policies::name(kind));
+        }
+        obs_->provenance->set_pool(std::move(pool_names));
+      }
       if (obs_->registry != nullptr) {
         obs::Registry& reg = *obs_->registry;
         obs_->submit_events = &reg.counter("sim.events.submit");
@@ -229,6 +239,25 @@ class SchedulerSim final : public sim::Process {
         if (config.plan_budget_us > 0) {
           obs_->degraded = &reg.counter("sim.tuning.degraded");
         }
+        // Windowed time series over the event-ordinal domain (window k =
+        // events [256k, 256(k+1))): deterministic keys, wall-time values
+        // for the two latencies, fully deterministic queue depth.
+        obs::SeriesOptions latency_options;
+        latency_options.window = kSeriesWindowEvents;
+        latency_options.capacity = kSeriesCapacity;
+        latency_options.edges = obs::default_series_edges_us();
+        obs::SeriesOptions depth_options;
+        depth_options.window = kSeriesWindowEvents;
+        depth_options.capacity = kSeriesCapacity;
+        depth_options.edges = obs::exponential_edges(1, 2, 12);
+        if (config.mode == SchedulerMode::kDynP) {
+          obs_->decision_latency =
+              &reg.series("series.decision_latency_us", latency_options);
+        }
+        obs_->plan_latency =
+            &reg.series("series.plan_latency_us", latency_options);
+        obs_->queue_depth_series =
+            &reg.series("series.queue_depth", depth_options);
       }
       if (obs_->profiler != nullptr && workers_ != nullptr) {
         obs::PhaseProfiler* prof = obs_->profiler;
@@ -319,6 +348,12 @@ class SchedulerSim final : public sim::Process {
       // Waiting count going into the pass; the difference after it is the
       // number of jobs that started at this event.
       const std::size_t waiting_before = waiting_.size();
+      // Pass-latency self-measurement (observational only; the read never
+      // influences scheduling, so instrumented runs stay byte-identical).
+      const bool timed_pass =
+          obs_ != nullptr && obs_->plan_latency != nullptr;
+      const util::WallInstant pass_start =
+          timed_pass ? util::wall_now() : util::WallInstant{};
 #endif
       switch (config_.semantics) {
         case PlannerSemantics::kGuarantee:
@@ -332,6 +367,11 @@ class SchedulerSim final : public sim::Process {
           break;
       }
 #if !defined(DYNP_OBS_DISABLED)
+      if (timed_pass) {
+        obs_->plan_latency->observe(
+            static_cast<double>(engine_.processed()),
+            util::wall_micros_between(pass_start, util::wall_now()));
+      }
       if (obs_ != nullptr) {
         finish_event_record(waiting_before - waiting_.size());
       }
@@ -445,9 +485,23 @@ class SchedulerSim final : public sim::Process {
     obs::Histogram* queue_depth = nullptr;
     obs::Histogram* profile_segments = nullptr;
 
+    // Windowed time series (registered only with a registry wired): wall
+    // latencies of the tuned decision step and of the whole per-event
+    // scheduling pass, and the per-event queue depth, all keyed by event
+    // ordinal so the window structure replays deterministically.
+    obs::WindowedSeries* decision_latency = nullptr;
+    obs::WindowedSeries* plan_latency = nullptr;
+    obs::WindowedSeries* queue_depth_series = nullptr;
+
+    obs::ProvenanceTracer* provenance = nullptr;  ///< span emitter (optional)
+
     obs::SchedEventRecord record;  ///< scratch for the in-flight event
     rms::PlanStats plan_seen;      ///< cumulative totals at the last event
   };
+
+  /// Event-ordinal window width and ring capacity of the per-run series.
+  static constexpr double kSeriesWindowEvents = 256;
+  static constexpr std::size_t kSeriesCapacity = 64;
 
   [[nodiscard]] obs::PhaseProfiler* profiler() const noexcept {
     return obs_ != nullptr ? obs_->profiler : nullptr;
@@ -494,8 +548,27 @@ class SchedulerSim final : public sim::Process {
       if (started != 0) obs_->jobs_started->add(started);
       obs_->queue_depth->observe(static_cast<double>(r.queue_depth));
       obs_->profile_segments->observe(static_cast<double>(r.profile_segments));
+      if (obs_->queue_depth_series != nullptr) {
+        obs_->queue_depth_series->observe(static_cast<double>(r.seq),
+                                          static_cast<double>(r.queue_depth));
+      }
     }
     if (obs_->tracer != nullptr) obs_->tracer->event(r);
+    if (obs_->provenance != nullptr && (r.tuned || started != 0)) {
+      // The pass chain references the run spans opened by this event's
+      // `on_start` hooks, so it is emitted last. `due_` still holds this
+      // event's started jobs (it is cleared at the next pass).
+      obs::PassRecord pass;
+      pass.seq = r.seq;
+      pass.sim_time = r.sim_time;
+      pass.tuned = r.tuned;
+      pass.values = r.decision.values;
+      pass.old_index = r.decision.old_index;
+      pass.chosen = r.decision.chosen;
+      pass.switched = r.switched;
+      if (started != 0) pass.started.assign(due_.begin(), due_.end());
+      obs_->provenance->on_pass(pass);
+    }
   }
 #endif
 
@@ -544,8 +617,24 @@ class SchedulerSim final : public sim::Process {
     }
   }
 
+  /// Forwards one job-lifecycle stage to the provenance tracer (no-op
+  /// without one). Purely observational, like `trace_fault`.
+  template <typename Hook>
+  void trace_lifecycle(Hook&& hook) {
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ != nullptr && obs_->provenance != nullptr) {
+      hook(*obs_->provenance);
+    }
+#else
+    static_cast<void>(hook);
+#endif
+  }
+
   /// A job enters the waiting set: a fresh submission or a requeued retry.
   void admit_job(JobId id, Time now, bool fresh) {
+    trace_lifecycle([&](obs::ProvenanceTracer& prov) {
+      prov.on_admit(id, now, engine_.processed(), fresh);
+    });
     waiting_.push_back(id);
     insert_pos_.clear();
     {
@@ -584,6 +673,9 @@ class SchedulerSim final : public sim::Process {
     outcomes_[id].end = now;
     ++result_.faults.jobs_completed;
     --pending_jobs_;
+    trace_lifecycle([&](obs::ProvenanceTracer& prov) {
+      prov.on_finish(id, now, engine_.processed());
+    });
     if (config_.observer != nullptr) {
       config_.observer->on_job_finished(now, jobs_[id], outcomes_[id]);
     }
@@ -618,6 +710,9 @@ class SchedulerSim final : public sim::Process {
     remove_running(id, now);
     fail_at_[id] = -1.0;
     ++result_.faults.job_failures;
+    trace_lifecycle([&](obs::ProvenanceTracer& prov) {
+      prov.on_attempt_failed(id, now, engine_.processed(), "job_fail");
+    });
 #if !defined(DYNP_OBS_DISABLED)
     if (obs_ != nullptr && obs_->job_failures != nullptr) {
       obs_->job_failures->add();
@@ -641,6 +736,9 @@ class SchedulerSim final : public sim::Process {
           metrics::JobOutcome{id, jobs_[id].submit, now, now, 0, 0};
       ++result_.faults.jobs_dropped;
       --pending_jobs_;
+      trace_lifecycle([&](obs::ProvenanceTracer& prov) {
+        prov.on_drop(id, now, engine_.processed());
+      });
 #if !defined(DYNP_OBS_DISABLED)
       if (obs_ != nullptr && obs_->jobs_dropped != nullptr) {
         obs_->jobs_dropped->add();
@@ -654,6 +752,9 @@ class SchedulerSim final : public sim::Process {
       const Time delay = injector_->backoff_delay(id, attempts_[id]);
       engine_.schedule(now + delay, sim::EventKind::kRequeue, id);
       ++result_.faults.requeues;
+      trace_lifecycle([&](obs::ProvenanceTracer& prov) {
+        prov.on_backoff(id, now, engine_.processed(), delay);
+      });
 #if !defined(DYNP_OBS_DISABLED)
       if (obs_ != nullptr && obs_->requeues != nullptr) {
         obs_->requeues->add();
@@ -683,6 +784,9 @@ class SchedulerSim final : public sim::Process {
       remove_running(victim, now);
       fail_at_[victim] = -1.0;
       ++result_.faults.node_kills;
+      trace_lifecycle([&](obs::ProvenanceTracer& prov) {
+        prov.on_attempt_failed(victim, now, engine_.processed(), "node_kill");
+      });
 #if !defined(DYNP_OBS_DISABLED)
       if (obs_ != nullptr && obs_->node_kills != nullptr) {
         obs_->node_kills->add();
@@ -792,12 +896,30 @@ class SchedulerSim final : public sim::Process {
     return true;
   }
 
-  /// Arms the degradation window when a tuned pass blew the budget.
+  /// True when this run self-measures its tuned decision step: for the
+  /// degraded-mode budget, for the decision-latency series, or both (one
+  /// clock read pair serves both consumers).
+  [[nodiscard]] bool timed_tuning() const noexcept {
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ != nullptr && obs_->decision_latency != nullptr) return true;
+#endif
+    return config_.plan_budget_us > 0;
+  }
+
+  /// Consumes one tuned-step measurement: arms the degradation window when
+  /// a budget is set and the pass blew it, and feeds the decision-latency
+  /// series when one is registered.
   void note_tuning_cost(util::WallInstant start) {
     const double spent_us = util::wall_micros_between(start, util::wall_now());
-    if (spent_us > config_.plan_budget_us) {
+    if (config_.plan_budget_us > 0 && spent_us > config_.plan_budget_us) {
       degrade_until_event_ = engine_.processed() + kDegradeWindow;
     }
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ != nullptr && obs_->decision_latency != nullptr) {
+      obs_->decision_latency->observe(static_cast<double>(engine_.processed()),
+                                      spent_us);
+    }
+#endif
   }
 
   /// Records a decision and returns the chosen pool index.
@@ -840,6 +962,9 @@ class SchedulerSim final : public sim::Process {
   }
 
   void record_start(JobId id, Time now) {
+    trace_lifecycle([&](obs::ProvenanceTracer& prov) {
+      prov.on_start(id, now, engine_.processed());
+    });
     const workload::Job& job = jobs_[id];
     outcomes_[id] = metrics::JobOutcome{
         id,        job.submit,          now, now + job.actual_runtime,
@@ -938,9 +1063,9 @@ class SchedulerSim final : public sim::Process {
     std::size_t chosen;
     DecisionInput input;  // outlives decide() so the auditor can re-check it
     if (tuned) {
-      const bool budgeted = config_.plan_budget_us > 0;
+      const bool timed = timed_tuning();
       const util::WallInstant tuning_start =
-          budgeted ? util::wall_now() : util::WallInstant{};
+          timed ? util::wall_now() : util::WallInstant{};
       input.values.reserve(config_.pool.size());
       input.old_index = policy_index_;
       run_tuning_tasks([&](std::size_t i) {
@@ -952,7 +1077,7 @@ class SchedulerSim final : public sim::Process {
       });
       for (const Candidate& c : candidates_) input.values.push_back(c.value);
       chosen = decide(input, now);
-      if (budgeted) note_tuning_cost(tuning_start);
+      if (timed) note_tuning_cost(tuning_start);
     } else {
       // Static mode keeps its single queue/candidate at slot 0; a non-tuning
       // dynP pass uses the active policy's slot (queues_ is in pool order).
@@ -1060,9 +1185,9 @@ class SchedulerSim final : public sim::Process {
     std::size_t chosen = policy_index_;
     DecisionInput input;  // outlives decide() so the auditor can re-check it
     if (tuned) {
-      const bool budgeted = config_.plan_budget_us > 0;
+      const bool timed = timed_tuning();
       const util::WallInstant tuning_start =
-          budgeted ? util::wall_now() : util::WallInstant{};
+          timed ? util::wall_now() : util::WallInstant{};
       // One compressed candidate per pool policy, each on its own copy of
       // the reservation state; the chosen candidate becomes reality.
       input.values.reserve(config_.pool.size());
@@ -1085,7 +1210,7 @@ class SchedulerSim final : public sim::Process {
       chosen = decide(input, now);
       profile_ = candidates_[chosen].profile;
       reserved_ = candidates_[chosen].reserved;
-      if (budgeted) note_tuning_cost(tuning_start);
+      if (timed) note_tuning_cost(tuning_start);
     } else {
       DYNP_OBS_SCOPED(profiler(), obs::Phase::kCompress);
       compress(profile_, reserved_, ordered_wait(active_policy()), jobs_,

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -117,20 +118,47 @@ SweepGrid SweepOrchestrator::run_grid(
     // an external caller thread (not a pool worker) would get none.
     util::ThreadPool pool(threads);
     std::vector<SweepWorkspace> workspaces(pool.thread_count());
+    // Per-worker cell-latency series: each worker observes into its own
+    // slot (keyed by the deterministic global cell ordinal, valued by the
+    // cell's wall time), and the combining thread merges the slots into the
+    // shared registry in worker-index order after `wait_idle` — one fixed
+    // merge order whatever the stealing assignment was. The trailing slot
+    // catches the (workspace-less) external-caller case.
+    const bool time_cells = options_.registry != nullptr;
+    const obs::SeriesOptions cell_options{
+        64.0, 64, obs::default_series_edges_us()};
+    std::vector<std::unique_ptr<obs::WindowedSeries>> cell_series;
+    if (time_cells) {
+      cell_series.reserve(pool.thread_count() + 1);
+      for (std::size_t w = 0; w <= pool.thread_count(); ++w) {
+        cell_series.push_back(
+            std::make_unique<obs::WindowedSeries>(cell_options));
+      }
+    }
     std::mutex error_mutex;
     std::exception_ptr first_error;
     for (PendingPoint& point : pending) {
       for (std::size_t s = 0; s < scale_.sets; ++s) {
         pool.submit([this, &pool, &workspaces, &wired, &factors, &point, s,
-                     &error_mutex, &first_error] {
+                     time_cells, &cell_series, &error_mutex, &first_error] {
           try {
             const std::size_t worker = pool.worker_index();
             SweepWorkspace* workspace = worker != util::ThreadPool::npos
                                             ? &workspaces[worker]
                                             : nullptr;
+            const util::WallInstant cell_t0 =
+                time_cells ? util::wall_now() : util::WallInstant{};
             point.results[s] = simulate_sweep_cell(
                 ensembles_[point.trace][s], factors[point.factor],
                 wired[point.config], s, workspace);
+            if (time_cells) {
+              const std::size_t slot = worker != util::ThreadPool::npos
+                                           ? worker
+                                           : cell_series.size() - 1;
+              cell_series[slot]->observe(
+                  static_cast<double>(point.index * scale_.sets + s),
+                  util::wall_micros_between(cell_t0, util::wall_now()));
+            }
           } catch (...) {
             const std::lock_guard lock(error_mutex);
             if (first_error == nullptr) first_error = std::current_exception();
@@ -151,6 +179,14 @@ SweepGrid SweepOrchestrator::run_grid(
       grid.points[point.index] = combine_results(point.results);
       if (!point.key.empty()) {
         cache_.store(point.key, grid.points[point.index]);
+      }
+    }
+
+    if (time_cells) {
+      obs::WindowedSeries& merged =
+          options_.registry->series("sweep.cell_us", cell_options);
+      for (const std::unique_ptr<obs::WindowedSeries>& s : cell_series) {
+        merged.merge(*s);
       }
     }
   }

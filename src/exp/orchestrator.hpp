@@ -42,7 +42,9 @@ struct OrchestratorOptions {
   std::string cache_dir;
   /// Optional metrics registry: every simulation aggregates into it (as
   /// with `SweepRunner::run`), and the orchestrator adds the `cache.hit` /
-  /// `cache.miss` / `pool.steals` counters.
+  /// `cache.miss` / `pool.steals` counters plus the `sweep.cell_us`
+  /// windowed series (per-cell wall time keyed by global cell ordinal,
+  /// accumulated per worker and merged in worker-index order).
   obs::Registry* registry = nullptr;
 };
 

@@ -41,6 +41,29 @@ std::string FaultConfig::validate() const {
   return {};
 }
 
+std::string FaultConfig::describe() const {
+  if (!active() && est_error_cv <= 0) return "off";
+  std::string out = "seed=" + std::to_string(seed);
+  const auto num = [](double v) {
+    std::string s = std::to_string(v);
+    // Trim trailing zeros (and a bare trailing '.') from the fixed-notation
+    // default so "0.010000" reads as "0.01" and "60.000000" as "60".
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+  };
+  if (node_mtbf > 0) {
+    out += " node_mtbf=" + num(node_mtbf) + "s mttr=" + num(node_mttr) + "s";
+  }
+  if (job_fail_p > 0) out += " job_fail_p=" + num(job_fail_p);
+  if (active()) {
+    out += " retries=" + std::to_string(max_retries);
+    out += " backoff=" + num(backoff_base) + ".." + num(backoff_cap) + "s";
+  }
+  if (est_error_cv > 0) out += " est_cv=" + num(est_error_cv);
+  return out;
+}
+
 FaultInjector::FaultInjector(const FaultConfig& config, std::uint32_t nodes)
     : config_(config),
       nodes_(nodes),

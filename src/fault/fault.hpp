@@ -70,6 +70,13 @@ struct FaultConfig {
   /// Returns an empty string when the configuration is sane, else a
   /// one-line description of the first problem found.
   [[nodiscard]] std::string validate() const;
+
+  /// One-line human-readable summary of the active fault model, for trace
+  /// metadata and bench-report run stamps — e.g.
+  /// `"seed=7 node_mtbf=86400s mttr=3600s job_fail_p=0.01 retries=3
+  /// backoff=60..3600s est_cv=0.5"`, or `"off"` when nothing is enabled.
+  /// Pure formatting; a deterministic function of the fields.
+  [[nodiscard]] std::string describe() const;
 };
 
 /// What the fault model decided for one execution attempt of one job.

@@ -11,6 +11,7 @@ namespace dynp::obs {
 class Registry;
 class Tracer;
 class PhaseProfiler;
+class ProvenanceTracer;
 
 /// Whether the instrumentation hooks are compiled into this build. With
 /// `-DDYNP_OBS=OFF` every hook (metric updates, trace records, phase
@@ -31,9 +32,14 @@ struct RunInstruments {
   Registry* registry = nullptr;
   Tracer* tracer = nullptr;
   PhaseProfiler* profiler = nullptr;
+  /// Decision-provenance span emitter (lifecycle + pass-chain spans; see
+  /// obs/provenance.hpp). Needs a tracer-backed sink; give each traced run
+  /// its own, like the tracer.
+  ProvenanceTracer* provenance = nullptr;
 
   [[nodiscard]] bool any() const noexcept {
-    return registry != nullptr || tracer != nullptr || profiler != nullptr;
+    return registry != nullptr || tracer != nullptr || profiler != nullptr ||
+           provenance != nullptr;
   }
 };
 

@@ -2,12 +2,15 @@
 
 /// \file obs.hpp
 /// Umbrella header of the instrumentation layer: metrics registry
-/// (`obs/registry.hpp`), structured event tracer (`obs/trace.hpp`), phase
-/// profiler (`obs/profiler.hpp`) and the `RunInstruments` seam
-/// (`obs/instruments.hpp`). See DESIGN.md §9 for the architecture and the
-/// zero-overhead-when-disabled guarantees.
+/// (`obs/registry.hpp`), windowed time series (`obs/timeseries.hpp`),
+/// structured event tracer (`obs/trace.hpp`), decision provenance spans
+/// (`obs/provenance.hpp`), phase profiler (`obs/profiler.hpp`) and the
+/// `RunInstruments` seam (`obs/instruments.hpp`). See DESIGN.md §9 and §13
+/// for the architecture and the zero-overhead-when-disabled guarantees.
 
 #include "obs/instruments.hpp"
 #include "obs/profiler.hpp"
+#include "obs/provenance.hpp"
 #include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"

@@ -1,0 +1,419 @@
+#include "obs/provenance.hpp"
+
+#include <cstdio>
+
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace dynp::obs {
+
+namespace {
+
+void append_double(std::string& line, double v) {
+  if (v != v || v > 1e300 || v < -1e300) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  line += buf;
+}
+
+void append_u64(std::string& line, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  line += buf;
+}
+
+}  // namespace
+
+ProvenanceTracer::ProvenanceTracer(Tracer& sink) : sink_(&sink) {}
+
+std::uint64_t ProvenanceTracer::job_trace_id(std::uint32_t job) noexcept {
+  // FNV-1a over the four JobId bytes, seeded with a domain tag so job trace
+  // ids never collide with the small span-id counter values.
+  std::uint64_t h = 14695981039346656037ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (const char c : {'j', 'o', 'b', ':'}) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * kPrime;
+  }
+  for (int shift = 0; shift < 32; shift += 8) {
+    h = (h ^ ((job >> shift) & 0xffu)) * kPrime;
+  }
+  return h;
+}
+
+void ProvenanceTracer::set_pool(std::vector<std::string> names) {
+  pool_ = std::move(names);
+}
+
+ProvenanceTracer::JobState& ProvenanceTracer::state(std::uint32_t job) {
+  if (job >= jobs_.size()) jobs_.resize(job + 1);
+  return jobs_[job];
+}
+
+void ProvenanceTracer::emit(const Span& s) {
+  std::string line;
+  line.reserve(224);
+  if (sink_->format() == TraceFormat::kJsonl) {
+    line += "{\"type\": \"jspan\", \"name\": \"";
+    line += s.name;
+    line += "\", \"id\": ";
+    append_u64(line, s.id);
+    line += ", \"parent\": ";
+    append_u64(line, s.parent);
+    if (s.trace != 0) {
+      line += ", \"trace\": ";
+      append_u64(line, s.trace);
+    }
+    line += ", \"seq\": ";
+    append_u64(line, s.seq);
+    line += ", \"t0\": ";
+    append_double(line, s.t0);
+    line += ", \"t1\": ";
+    append_double(line, s.t1);
+    if (s.job != kNoJob) {
+      line += ", \"job\": ";
+      append_u64(line, s.job);
+    }
+    if (s.attempt >= 0) {
+      line += ", \"attempt\": ";
+      append_u64(line, static_cast<std::uint64_t>(s.attempt));
+    }
+    if (s.outcome != nullptr) {
+      line += ", \"outcome\": \"";
+      line += s.outcome;
+      line += '"';
+    }
+    if (s.delay >= 0) {
+      line += ", \"delay\": ";
+      append_double(line, s.delay);
+    }
+    if (s.step >= 0) {
+      line += ", \"step\": ";
+      append_u64(line, static_cast<std::uint64_t>(s.step));
+    }
+    if (s.value != kNoValue) {
+      line += ", \"value\": ";
+      append_double(line, s.value);
+    }
+    line += "}";
+  } else {
+    // Chrome: complete events; job spans on pid 4 (one tid per job), pass
+    // chains on the sim-time track pid 1, tid 2. Instants get dur 0.
+    line += "{\"name\": \"";
+    line += s.name;
+    line += "\", \"ph\": \"X\", \"ts\": ";
+    append_double(line, s.t0 * 1e6);
+    line += ", \"dur\": ";
+    append_double(line, (s.t1 - s.t0) * 1e6);
+    if (s.job != kNoJob) {
+      line += ", \"pid\": 4, \"tid\": ";
+      append_u64(line, s.job);
+    } else {
+      line += ", \"pid\": 1, \"tid\": 2";
+    }
+    line += ", \"args\": {\"id\": ";
+    append_u64(line, s.id);
+    line += ", \"parent\": ";
+    append_u64(line, s.parent);
+    if (s.trace != 0) {
+      line += ", \"trace\": ";
+      append_u64(line, s.trace);
+    }
+    line += ", \"seq\": ";
+    append_u64(line, s.seq);
+    if (s.attempt >= 0) {
+      line += ", \"attempt\": ";
+      append_u64(line, static_cast<std::uint64_t>(s.attempt));
+    }
+    if (s.outcome != nullptr) {
+      line += ", \"outcome\": \"";
+      line += s.outcome;
+      line += '"';
+    }
+    if (s.delay >= 0) {
+      line += ", \"delay\": ";
+      append_double(line, s.delay);
+    }
+    if (s.step >= 0) {
+      line += ", \"step\": ";
+      append_u64(line, static_cast<std::uint64_t>(s.step));
+    }
+    if (s.value != kNoValue) {
+      line += ", \"value\": ";
+      append_double(line, s.value);
+    }
+    line += "}}";
+  }
+  sink_->raw_record(line);
+  ++spans_;
+}
+
+void ProvenanceTracer::emit_flow(std::uint64_t from, std::uint64_t to,
+                                 std::uint32_t job, double t,
+                                 std::uint64_t seq) {
+  std::string line;
+  line.reserve(160);
+  if (sink_->format() == TraceFormat::kJsonl) {
+    line += "{\"type\": \"jflow\", \"from\": ";
+    append_u64(line, from);
+    line += ", \"to\": ";
+    append_u64(line, to);
+    line += ", \"job\": ";
+    append_u64(line, job);
+    line += ", \"seq\": ";
+    append_u64(line, seq);
+    line += ", \"t\": ";
+    append_double(line, t);
+    line += "}";
+    sink_->raw_record(line);
+  } else {
+    // One flow per started job, id'ed by the run span: s at the commit on
+    // the sim-time track, f on the job's lifecycle row.
+    line += "{\"name\": \"commit\", \"ph\": \"s\", \"id\": ";
+    append_u64(line, to);
+    line += ", \"ts\": ";
+    append_double(line, t * 1e6);
+    line += ", \"pid\": 1, \"tid\": 2, \"args\": {\"job\": ";
+    append_u64(line, job);
+    line += "}}";
+    sink_->raw_record(line);
+    line.clear();
+    line += "{\"name\": \"commit\", \"ph\": \"f\", \"bp\": \"e\", \"id\": ";
+    append_u64(line, to);
+    line += ", \"ts\": ";
+    append_double(line, t * 1e6);
+    line += ", \"pid\": 4, \"tid\": ";
+    append_u64(line, job);
+    line += ", \"args\": {\"seq\": ";
+    append_u64(line, seq);
+    line += "}}";
+    sink_->raw_record(line);
+  }
+}
+
+void ProvenanceTracer::on_admit(std::uint32_t job, double now,
+                                std::uint64_t seq, bool fresh) {
+  JobState& s = state(job);
+  if (fresh) {
+    DYNP_ASSERT(s.root == 0);
+    s.root = next_id();
+    s.submit_time = now;
+    Span submit;
+    submit.trace = job_trace_id(job);
+    submit.id = next_id();
+    submit.parent = s.root;
+    submit.name = "submit";
+    submit.seq = seq;
+    submit.t0 = submit.t1 = now;
+    submit.job = job;
+    emit(submit);
+  } else if (s.backoff != 0) {
+    Span backoff;
+    backoff.trace = job_trace_id(job);
+    backoff.id = s.backoff;
+    backoff.parent = s.root;
+    backoff.name = "backoff";
+    backoff.seq = seq;
+    backoff.t0 = s.backoff_t0;
+    backoff.t1 = now;
+    backoff.job = job;
+    backoff.attempt = s.attempt;
+    backoff.delay = s.backoff_delay;
+    emit(backoff);
+    s.backoff = 0;
+    s.backoff_delay = -1;
+  }
+  Span insert;
+  insert.trace = job_trace_id(job);
+  insert.id = next_id();
+  insert.parent = s.root;
+  insert.name = "queue_insert";
+  insert.seq = seq;
+  insert.t0 = insert.t1 = now;
+  insert.job = job;
+  insert.attempt = s.attempt;
+  emit(insert);
+  s.wait = next_id();
+  s.wait_t0 = now;
+}
+
+void ProvenanceTracer::on_start(std::uint32_t job, double now,
+                                std::uint64_t seq) {
+  JobState& s = state(job);
+  DYNP_ASSERT(s.wait != 0);
+  Span wait;
+  wait.trace = job_trace_id(job);
+  wait.id = s.wait;
+  wait.parent = s.root;
+  wait.name = "wait";
+  wait.seq = seq;
+  wait.t0 = s.wait_t0;
+  wait.t1 = now;
+  wait.job = job;
+  wait.attempt = s.attempt;
+  emit(wait);
+  s.wait = 0;
+  s.run = next_id();
+  s.run_t0 = now;
+  ++s.attempt;
+}
+
+void ProvenanceTracer::on_finish(std::uint32_t job, double now,
+                                 std::uint64_t seq) {
+  JobState& s = state(job);
+  DYNP_ASSERT(s.run != 0);
+  Span run;
+  run.trace = job_trace_id(job);
+  run.id = s.run;
+  run.parent = s.root;
+  run.name = "run";
+  run.seq = seq;
+  run.t0 = s.run_t0;
+  run.t1 = now;
+  run.job = job;
+  run.attempt = s.attempt - 1;
+  run.outcome = "finished";
+  emit(run);
+  s.run = 0;
+  Span root;
+  root.trace = job_trace_id(job);
+  root.id = s.root;
+  root.parent = 0;
+  root.name = "job";
+  root.seq = seq;
+  root.t0 = s.submit_time;
+  root.t1 = now;
+  root.job = job;
+  root.attempt = s.attempt;
+  root.outcome = "finished";
+  emit(root);
+}
+
+void ProvenanceTracer::on_attempt_failed(std::uint32_t job, double now,
+                                         std::uint64_t seq,
+                                         const char* what) {
+  JobState& s = state(job);
+  DYNP_ASSERT(s.run != 0);
+  Span run;
+  run.trace = job_trace_id(job);
+  run.id = s.run;
+  run.parent = s.root;
+  run.name = "run";
+  run.seq = seq;
+  run.t0 = s.run_t0;
+  run.t1 = now;
+  run.job = job;
+  run.attempt = s.attempt - 1;
+  run.outcome = what;
+  emit(run);
+  s.run = 0;
+}
+
+void ProvenanceTracer::on_backoff(std::uint32_t job, double now,
+                                  std::uint64_t seq, double delay) {
+  static_cast<void>(seq);  // the span is emitted (with seq) when it closes
+  JobState& s = state(job);
+  s.backoff = next_id();
+  s.backoff_t0 = now;
+  s.backoff_delay = delay;
+}
+
+void ProvenanceTracer::on_drop(std::uint32_t job, double now,
+                               std::uint64_t seq) {
+  JobState& s = state(job);
+  Span drop;
+  drop.trace = job_trace_id(job);
+  drop.id = next_id();
+  drop.parent = s.root;
+  drop.name = "drop";
+  drop.seq = seq;
+  drop.t0 = drop.t1 = now;
+  drop.job = job;
+  drop.attempt = s.attempt;
+  emit(drop);
+  Span root;
+  root.trace = job_trace_id(job);
+  root.id = s.root;
+  root.parent = 0;
+  root.name = "job";
+  root.seq = seq;
+  root.t0 = s.submit_time;
+  root.t1 = now;
+  root.job = job;
+  root.attempt = s.attempt;
+  root.outcome = "dropped";
+  emit(root);
+}
+
+void ProvenanceTracer::on_pass(const PassRecord& r) {
+  if (!r.tuned && r.started.empty()) return;
+  Span pass;
+  pass.id = next_id();
+  pass.name = "pass";
+  pass.seq = r.seq;
+  pass.t0 = pass.t1 = r.sim_time;
+  emit(pass);
+  int step = 0;
+  if (r.tuned) {
+    Span base;
+    base.id = next_id();
+    base.parent = pass.id;
+    base.name = "base_profile";
+    base.seq = r.seq;
+    base.t0 = base.t1 = r.sim_time;
+    base.step = step++;
+    emit(base);
+    std::string plan_name;
+    for (std::size_t i = 0; i < r.values.size(); ++i) {
+      plan_name = "plan:";
+      plan_name += i < pool_.size() ? pool_[i] : "policy" + std::to_string(i);
+      Span plan;
+      plan.id = next_id();
+      plan.parent = pass.id;
+      plan.name = plan_name.c_str();
+      plan.seq = r.seq;
+      plan.t0 = plan.t1 = r.sim_time;
+      plan.step = step++;
+      plan.value = r.values[i];
+      emit(plan);
+    }
+    Span preview;
+    preview.id = next_id();
+    preview.parent = pass.id;
+    preview.name = "preview_score";
+    preview.seq = r.seq;
+    preview.t0 = preview.t1 = r.sim_time;
+    preview.step = step++;
+    emit(preview);
+    std::string decide_name = "decide:";
+    decide_name +=
+        r.chosen < pool_.size() ? pool_[r.chosen] : std::to_string(r.chosen);
+    Span decide;
+    decide.id = next_id();
+    decide.parent = pass.id;
+    decide.name = decide_name.c_str();
+    decide.seq = r.seq;
+    decide.t0 = decide.t1 = r.sim_time;
+    decide.step = step++;
+    decide.outcome = r.switched ? "switched" : "kept";
+    emit(decide);
+  }
+  if (!r.started.empty()) {
+    Span commit;
+    commit.id = next_id();
+    commit.parent = pass.id;
+    commit.name = "commit";
+    commit.seq = r.seq;
+    commit.t0 = commit.t1 = r.sim_time;
+    commit.step = step;
+    emit(commit);
+    for (const std::uint32_t job : r.started) {
+      const JobState& s = state(job);
+      // The run span opened at this event (`on_start` precedes `on_pass`).
+      if (s.run != 0) {
+        emit_flow(commit.id, s.run, job, r.sim_time, r.seq);
+      }
+    }
+  }
+}
+
+}  // namespace dynp::obs

@@ -1,0 +1,154 @@
+#pragma once
+
+/// \file provenance.hpp
+/// Decision provenance: parent-linked causal spans over the life of every
+/// job and every tuned scheduling pass, layered on top of the `Tracer`.
+///
+/// Each job gets a deterministic trace id (an FNV-1a hash of its JobId, so
+/// the same job carries the same id across runs and configurations) and a
+/// root span from submission to resolution. Lifecycle stages become child
+/// spans of that root: `submit` and `queue_insert` instants, a `wait` span
+/// per admission, a `run` span per execution attempt (outcome `finished`,
+/// `job_fail` or `node_kill`), a `backoff` span per fault-layer requeue
+/// delay, and terminal `finish`/`drop` instants. Tuned passes emit their own
+/// chain — `pass` → `base_profile` → `plan:<policy>` → `preview_score` →
+/// `decide` → `commit` — and `commit` is flow-linked to the `run` spans it
+/// starts, so "why did job J start here" is one edge walk.
+///
+/// All span timestamps are *simulated* time and all ids derive from event
+/// order, so a provenance trace is a pure function of (trace, config, seed)
+/// — byte-identical across replays, which is what the golden-output
+/// `dynp_tracectl` test pins. Records are emitted through
+/// `Tracer::raw_record` in both formats: JSONL as `{"type": "jspan" |
+/// "jflow", ...}` lines, Chrome as `X` complete events (job spans on pid 4,
+/// one tid per job; pass chains on the sim-time track pid 1, tid 2) plus
+/// `s`/`f` flow events.
+///
+/// Not thread-safe: hooks fire from the single-threaded simulation event
+/// loop only (the sink tracer serialises against concurrent phase spans).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynp::obs {
+
+class Tracer;
+
+/// One tuned (or job-starting) scheduling pass, as handed to `on_pass`.
+struct PassRecord {
+  std::uint64_t seq = 0;  ///< engine event ordinal (1-based)
+  double sim_time = 0;
+  bool tuned = false;             ///< decision chain present
+  std::vector<double> values;     ///< candidate scores (pool order)
+  std::size_t old_index = 0;      ///< active policy before the decision
+  std::size_t chosen = 0;         ///< decider's pick
+  bool switched = false;          ///< the pick changed the active policy
+  std::vector<std::uint32_t> started;  ///< jobs that began executing
+};
+
+/// Span/flow emitter for one simulation run. Construction binds the sink;
+/// `set_pool` names the candidate policies (for `plan:<policy>` spans).
+class ProvenanceTracer {
+ public:
+  explicit ProvenanceTracer(Tracer& sink);
+
+  ProvenanceTracer(const ProvenanceTracer&) = delete;
+  ProvenanceTracer& operator=(const ProvenanceTracer&) = delete;
+
+  /// Deterministic per-job trace id: FNV-1a over the JobId bytes. Stable
+  /// across runs, configurations and machines.
+  [[nodiscard]] static std::uint64_t job_trace_id(std::uint32_t job) noexcept;
+
+  /// Candidate policy names in pool order (empty for static runs).
+  void set_pool(std::vector<std::string> names);
+
+  /// Spans emitted so far (jspan records; flows not counted).
+  [[nodiscard]] std::uint64_t spans() const noexcept { return spans_; }
+
+  // ---- job lifecycle hooks (single-threaded event loop only) ----
+
+  /// A job entered the waiting set: fresh submission (`fresh`) or requeued
+  /// retry. Opens the root span on first sight, closes a pending backoff
+  /// span on a retry, emits the submit/queue_insert instants and opens the
+  /// wait span.
+  void on_admit(std::uint32_t job, double now, std::uint64_t seq, bool fresh);
+
+  /// The job's next attempt started: closes the wait span, opens a run span.
+  void on_start(std::uint32_t job, double now, std::uint64_t seq);
+
+  /// The attempt completed: closes the run span (`finished`), emits the
+  /// finish instant and closes the root span.
+  void on_finish(std::uint32_t job, double now, std::uint64_t seq);
+
+  /// The attempt died (\p what is "job_fail" or "node_kill"): closes the
+  /// run span with that outcome.
+  void on_attempt_failed(std::uint32_t job, double now, std::uint64_t seq,
+                         const char* what);
+
+  /// The fault layer scheduled a retry after \p delay seconds: opens the
+  /// backoff span (closed by the retry's `on_admit`).
+  void on_backoff(std::uint32_t job, double now, std::uint64_t seq,
+                  double delay);
+
+  /// The retry budget is spent: emits the drop instant and closes the root
+  /// span with outcome `dropped`.
+  void on_drop(std::uint32_t job, double now, std::uint64_t seq);
+
+  // ---- per-event decision chain ----
+
+  /// Emits the pass chain for one event: nothing unless the pass tuned or
+  /// started jobs; `commit` flow-links to the started jobs' run spans, so
+  /// call after the `on_start` hooks of the same event.
+  void on_pass(const PassRecord& record);
+
+ private:
+  /// Per-job open-span bookkeeping. Ids are 0 when no such span is open.
+  struct JobState {
+    std::uint64_t root = 0;
+    double submit_time = 0;
+    std::uint64_t wait = 0;
+    double wait_t0 = 0;
+    std::uint64_t run = 0;
+    double run_t0 = 0;
+    std::uint64_t backoff = 0;
+    double backoff_t0 = 0;
+    double backoff_delay = -1;
+    std::uint32_t attempt = 0;  ///< attempts started so far
+  };
+
+  [[nodiscard]] JobState& state(std::uint32_t job);
+  [[nodiscard]] std::uint64_t next_id() noexcept { return ++last_id_; }
+
+  /// Emits one span record (both formats; see the file comment). Instants
+  /// pass `t0 == t1`. Optional fields are skipped when empty/negative.
+  struct Span {
+    std::uint64_t trace = 0;   ///< 0 = pass chain (no job trace)
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;  ///< 0 = root
+    const char* name = "";
+    std::uint64_t seq = 0;
+    double t0 = 0;
+    double t1 = 0;
+    std::uint32_t job = kNoJob;
+    std::int64_t attempt = -1;
+    const char* outcome = nullptr;
+    double delay = -1;
+    int step = -1;             ///< ordinal inside a pass chain
+    double value = kNoValue;   ///< preview score (plan spans)
+  };
+  static constexpr std::uint32_t kNoJob = 0xffffffffu;
+  static constexpr double kNoValue = -1e308;
+
+  void emit(const Span& span);
+  void emit_flow(std::uint64_t from, std::uint64_t to, std::uint32_t job,
+                 double t, std::uint64_t seq);
+
+  Tracer* sink_;
+  std::vector<std::string> pool_;
+  std::vector<JobState> jobs_;
+  std::uint64_t last_id_ = 0;
+  std::uint64_t spans_ = 0;
+};
+
+}  // namespace dynp::obs

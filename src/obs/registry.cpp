@@ -143,9 +143,28 @@ Histogram& Registry::histogram(const std::string& name,
   return *slot;
 }
 
+WindowedSeries& Registry::series(const std::string& name,
+                                 const SeriesOptions& options) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = series_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<WindowedSeries>(options);
+  } else {
+    DYNP_EXPECTS(slot->options() == options);
+  }
+  return *slot;
+}
+
+const WindowedSeries* Registry::find_series(const std::string& name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
 bool Registry::empty() const {
   const std::lock_guard lock(mutex_);
-  return counters_.empty() && gauges_.empty() && histograms_.empty();
+  return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+         series_.empty();
 }
 
 void Registry::write_json(std::ostream& out, int indent) const {
@@ -197,8 +216,22 @@ void Registry::write_json(std::ostream& out, int indent) const {
     out << "]\n" << pad << "    }";
     first = false;
   }
-  out << (first ? "" : "\n" + pad + "  ") << "}\n";
-  out << pad << "}";
+  out << (first ? "" : "\n" + pad + "  ") << "}";
+
+  // Emitted only when present, so series-free snapshots keep their exact
+  // pre-series byte layout (the obs-off CSV/JSON diffs depend on it).
+  if (!series_.empty()) {
+    out << ",\n" << pad << "  \"series\": {";
+    first = true;
+    for (const auto& [name, s] : series_) {
+      out << (first ? "\n" : ",\n") << pad << "    \"" << json_escape(name)
+          << "\":\n";
+      s->write_json(out, indent + 4);
+      first = false;
+    }
+    out << "\n" << pad << "  }";
+  }
+  out << "\n" << pad << "}";
 }
 
 bool Registry::write_json_file(const std::string& path) const {

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.hpp"
 #include "util/table.hpp"
 
 namespace dynp::obs {
@@ -129,11 +130,26 @@ class Registry {
   [[nodiscard]] Histogram& histogram(const std::string& name,
                                      const std::vector<double>& upper_edges);
 
+  /// As `histogram`, for windowed time series: repeat registrations under
+  /// one name must pass identical options. Concurrent simulations sharing
+  /// the registry fold into one series (observation keys stay deterministic
+  /// per run; the fold is commutative).
+  [[nodiscard]] WindowedSeries& series(const std::string& name,
+                                       const SeriesOptions& options);
+
+  /// The series registered under \p name, or null when absent (read-side
+  /// lookup for reporting tools).
+  [[nodiscard]] const WindowedSeries* find_series(
+      const std::string& name) const;
+
   [[nodiscard]] bool empty() const;
 
   /// Writes the full snapshot as a JSON object:
   /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-  /// min, max, mean, p50, p90, p99, le: [...], bucket_counts: [...]}}}`.
+  /// min, max, mean, p50, p90, p99, le: [...], bucket_counts: [...]}},
+  /// "series": {name: {window, capacity, late, total, windows}}}` (the
+  /// `series` key appears only when at least one series is registered, so
+  /// series-free snapshots keep their exact pre-series byte layout).
   /// Every line is prefixed with \p indent spaces so the object can be
   /// embedded in a larger handwritten JSON document (see tools/bench_report).
   void write_json(std::ostream& out, int indent = 0) const;
@@ -150,6 +166,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedSeries>> series_;
 };
 
 /// Geometric bucket edges: first, first*factor, first*factor^2, ...

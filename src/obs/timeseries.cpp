@@ -1,0 +1,241 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "obs/registry.hpp"
+#include "util/assert.hpp"
+
+namespace dynp::obs {
+
+namespace {
+
+[[nodiscard]] std::string fmt_double(double v) {
+  if (v != v || v > 1e300 || v < -1e300) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double bucket_quantile(const std::vector<double>& edges,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t count, double min, double max,
+                       double q) noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double below = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (below + in_bucket >= target && in_bucket > 0) {
+      if (i == buckets.size() - 1) return max;  // overflow bucket
+      const double hi = edges[i];
+      const double lo = i == 0 ? std::min(min, hi) : edges[i - 1];
+      const double frac = (target - below) / in_bucket;
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    below += in_bucket;
+  }
+  return max;
+}
+
+WindowedSeries::WindowedSeries(SeriesOptions options)
+    : options_(std::move(options)) {
+  DYNP_EXPECTS(options_.window > 0);
+  DYNP_EXPECTS(options_.capacity > 0);
+  DYNP_EXPECTS(!options_.edges.empty());
+  DYNP_EXPECTS(std::is_sorted(options_.edges.begin(), options_.edges.end()));
+  DYNP_EXPECTS(std::adjacent_find(options_.edges.begin(),
+                                  options_.edges.end()) ==
+               options_.edges.end());
+  total_.buckets.assign(options_.edges.size() + 1, 0);
+}
+
+WindowedSeries::Window* WindowedSeries::window_for_locked(std::int64_t index) {
+  // Windows stay sorted by index; the common case appends at the back.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), index,
+      [](const Window& w, std::int64_t i) { return w.index < i; });
+  if (it != ring_.end() && it->index == index) return &*it;
+  if (!ring_.empty() && index < ring_.front().index &&
+      ring_.size() >= options_.capacity) {
+    return nullptr;  // older than the retained ring
+  }
+  Window w;
+  w.index = index;
+  w.buckets.assign(options_.edges.size() + 1, 0);
+  it = ring_.insert(it, std::move(w));
+  if (ring_.size() > options_.capacity) {
+    // Evict the oldest window; its observations live on in the totals.
+    const std::size_t evicted = static_cast<std::size_t>(it - ring_.begin());
+    ring_.erase(ring_.begin());
+    if (evicted == 0) return nullptr;  // the new window itself was oldest
+    it = ring_.begin() + static_cast<std::ptrdiff_t>(evicted - 1);
+  }
+  return &*it;
+}
+
+void WindowedSeries::fold_locked(std::int64_t index, double value,
+                                 std::uint64_t count, double sum, double min,
+                                 double max,
+                                 const std::vector<std::uint64_t>* buckets) {
+  auto fold = [&](Window& w) {
+    if (w.count == 0) {
+      w.min = min;
+      w.max = max;
+    } else {
+      w.min = std::min(w.min, min);
+      w.max = std::max(w.max, max);
+    }
+    w.count += count;
+    w.sum += sum;
+    if (buckets != nullptr) {
+      for (std::size_t i = 0; i < w.buckets.size(); ++i) {
+        w.buckets[i] += (*buckets)[i];
+      }
+    } else {
+      const auto it = std::lower_bound(options_.edges.begin(),
+                                       options_.edges.end(), value);
+      w.buckets[static_cast<std::size_t>(it - options_.edges.begin())] +=
+          count;
+    }
+  };
+  fold(total_);
+  if (Window* w = window_for_locked(index)) {
+    fold(*w);
+  } else {
+    late_ += count;
+  }
+}
+
+void WindowedSeries::observe(double key, double value) {
+  const std::int64_t index =
+      static_cast<std::int64_t>(std::floor(key / options_.window));
+  const std::lock_guard lock(mutex_);
+  fold_locked(index, value, 1, value, value, value, nullptr);
+}
+
+std::uint64_t WindowedSeries::late_count() const {
+  const std::lock_guard lock(mutex_);
+  return late_;
+}
+
+WindowAggregate WindowedSeries::aggregate_locked(const Window& w) const {
+  WindowAggregate a;
+  a.index = w.index;
+  a.count = w.count;
+  a.sum = w.sum;
+  a.min = w.count == 0 ? 0.0 : w.min;
+  a.max = w.count == 0 ? 0.0 : w.max;
+  a.p50 = bucket_quantile(options_.edges, w.buckets, w.count, a.min, a.max,
+                          0.50);
+  a.p95 = bucket_quantile(options_.edges, w.buckets, w.count, a.min, a.max,
+                          0.95);
+  a.p99 = bucket_quantile(options_.edges, w.buckets, w.count, a.min, a.max,
+                          0.99);
+  a.p999 = bucket_quantile(options_.edges, w.buckets, w.count, a.min, a.max,
+                           0.999);
+  return a;
+}
+
+WindowAggregate WindowedSeries::total() const {
+  const std::lock_guard lock(mutex_);
+  WindowAggregate a = aggregate_locked(total_);
+  a.index = 0;
+  return a;
+}
+
+std::vector<WindowAggregate> WindowedSeries::windows() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<WindowAggregate> out;
+  out.reserve(ring_.size());
+  for (const Window& w : ring_) out.push_back(aggregate_locked(w));
+  return out;
+}
+
+void WindowedSeries::merge(const WindowedSeries& other) {
+  DYNP_EXPECTS(&other != this);
+  DYNP_EXPECTS(other.options() == options_);
+  // Snapshot the source first so the two locks never nest (merge is called
+  // with both series live; a fixed single-lock order avoids any deadlock
+  // question).
+  std::vector<Window> source;
+  Window source_total;
+  std::uint64_t source_late = 0;
+  {
+    const std::lock_guard lock(other.mutex_);
+    source = other.ring_;
+    source_total = other.total_;
+    source_late = other.late_;
+  }
+  const std::lock_guard lock(mutex_);
+  late_ += source_late;
+  // Fold the foreign totals directly (they already include that series'
+  // evicted windows), then the retained windows index by index. Window
+  // folds must not re-touch the totals, so splice them in by hand.
+  auto fold_into = [](Window& dst, const Window& src) {
+    if (src.count == 0) return;
+    if (dst.count == 0) {
+      dst.min = src.min;
+      dst.max = src.max;
+    } else {
+      dst.min = std::min(dst.min, src.min);
+      dst.max = std::max(dst.max, src.max);
+    }
+    dst.count += src.count;
+    dst.sum += src.sum;
+    for (std::size_t i = 0; i < dst.buckets.size(); ++i) {
+      dst.buckets[i] += src.buckets[i];
+    }
+  };
+  fold_into(total_, source_total);
+  for (const Window& src : source) {
+    if (Window* dst = window_for_locked(src.index)) {
+      fold_into(*dst, src);
+    } else {
+      late_ += src.count;
+    }
+  }
+}
+
+void WindowedSeries::write_json(std::ostream& out, int indent) const {
+  const std::lock_guard lock(mutex_);
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  auto write_aggregate = [&](const WindowAggregate& a, bool with_index) {
+    out << "{";
+    if (with_index) out << "\"k\": " << a.index << ", ";
+    out << "\"count\": " << a.count << ", \"sum\": " << fmt_double(a.sum)
+        << ", \"min\": " << fmt_double(a.min)
+        << ", \"max\": " << fmt_double(a.max)
+        << ", \"p50\": " << fmt_double(a.p50)
+        << ", \"p95\": " << fmt_double(a.p95)
+        << ", \"p99\": " << fmt_double(a.p99)
+        << ", \"p999\": " << fmt_double(a.p999) << "}";
+  };
+  out << pad << "{\n";
+  out << pad << "  \"window\": " << fmt_double(options_.window)
+      << ", \"capacity\": " << options_.capacity << ", \"late\": " << late_
+      << ",\n";
+  out << pad << "  \"total\": ";
+  WindowAggregate t = aggregate_locked(total_);
+  t.index = 0;
+  write_aggregate(t, false);
+  out << ",\n" << pad << "  \"windows\": [";
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << pad << "    ";
+    write_aggregate(aggregate_locked(ring_[i]), true);
+  }
+  out << (ring_.empty() ? "" : "\n" + pad + "  ") << "]\n";
+  out << pad << "}";
+}
+
+const std::vector<double>& default_series_edges_us() {
+  return default_latency_edges_us();
+}
+
+}  // namespace dynp::obs

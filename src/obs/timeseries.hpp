@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file timeseries.hpp
+/// Windowed time-series aggregation for the instrumentation layer: a
+/// `WindowedSeries` partitions a deterministic key domain (event ordinals or
+/// simulated seconds — never wall time) into fixed-width windows and keeps a
+/// fixed-capacity ring of per-window aggregates (count/sum/min/max plus a
+/// log-bucketed histogram), so a run can answer "what was p99 decision
+/// latency over the last N events" without retaining per-observation data.
+///
+/// Determinism contract: the *key* of every observation must be a pure
+/// function of (trace, config, seed) — the window structure of a snapshot is
+/// then replayable byte for byte. The *values* may be wall-clock
+/// self-measurements (decision latency, plan latency); those are
+/// observational only and must be read through the `util/wallclock.hpp`
+/// facade at the call site — this file itself never touches a clock, which
+/// keeps it inside `dynp_analyze`'s pure set (tools/analyze/purity.toml).
+///
+/// Thread safety: `observe` and the snapshot accessors are mutex-guarded
+/// (the series sit on cold paths — one observation per scheduling event, not
+/// per profile query). `merge` folds another series in commutatively, so
+/// per-worker series merged in a fixed index order yield the same aggregate
+/// whatever the work-stealing assignment was.
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace dynp::obs {
+
+/// Shape of a `WindowedSeries`: key-domain window width, ring capacity, and
+/// the histogram bucket edges shared by every window.
+struct SeriesOptions {
+  /// Window width in key units (e.g. 256 -> window k covers keys
+  /// [256k, 256(k+1))). Must be > 0.
+  double window = 256;
+  /// Retained windows; older windows are evicted (their observations stay
+  /// in the cumulative totals). Must be > 0.
+  std::size_t capacity = 64;
+  /// Histogram upper edges, strictly ascending, non-empty (one implicit
+  /// overflow bucket is appended).
+  std::vector<double> edges;
+
+  friend bool operator==(const SeriesOptions& a,
+                         const SeriesOptions& b) noexcept {
+    return a.window == b.window && a.capacity == b.capacity &&
+           a.edges == b.edges;
+  }
+};
+
+/// Aggregate of one window (or of the whole series, for `total`).
+struct WindowAggregate {
+  std::int64_t index = 0;  ///< window ordinal: floor(key / window)
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< 0 when empty
+  double max = 0;  ///< 0 when empty
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+
+/// Fixed-capacity ring of windowed aggregates over a deterministic key
+/// domain. See the file comment for the determinism and threading contract.
+class WindowedSeries {
+ public:
+  explicit WindowedSeries(SeriesOptions options);
+
+  WindowedSeries(const WindowedSeries&) = delete;
+  WindowedSeries& operator=(const WindowedSeries&) = delete;
+
+  [[nodiscard]] const SeriesOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Folds \p value into the window covering \p key and into the cumulative
+  /// totals. Keys may arrive out of order; a key older than the oldest
+  /// retained window is counted only into the totals (and `late_count`).
+  void observe(double key, double value);
+
+  /// Observations whose key predated the retained ring at arrival.
+  [[nodiscard]] std::uint64_t late_count() const;
+
+  /// Cumulative aggregate over every observation ever made (evicted windows
+  /// included). `index` is 0 and meaningless here.
+  [[nodiscard]] WindowAggregate total() const;
+
+  /// Retained windows in ascending window-index order. Quantiles are
+  /// interpolated inside the covering bucket; the overflow bucket reports
+  /// the window max.
+  [[nodiscard]] std::vector<WindowAggregate> windows() const;
+
+  /// Folds \p other into this series: totals add, windows merge by index
+  /// (evicting from the low end if the union overflows the capacity).
+  /// Commutative up to ring eviction, so merging per-worker series in a
+  /// fixed order is deterministic. Both series must share identical options.
+  void merge(const WindowedSeries& other);
+
+  /// Writes the series as a JSON object
+  /// `{"window": ..., "capacity": ..., "late": ..., "total": {...},
+  ///   "windows": [{"k": ..., ...}, ...]}` with every line prefixed by
+  /// \p indent spaces (embeddable, like `Registry::write_json`).
+  void write_json(std::ostream& out, int indent = 0) const;
+
+ private:
+  /// One live window: aggregate moments plus per-bucket counts
+  /// (`edges.size() + 1` slots, the last one overflow).
+  struct Window {
+    std::int64_t index = 0;
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+
+  void fold_locked(std::int64_t index, double value, std::uint64_t count,
+                   double sum, double min, double max,
+                   const std::vector<std::uint64_t>* buckets);
+  [[nodiscard]] Window* window_for_locked(std::int64_t index);
+  [[nodiscard]] WindowAggregate aggregate_locked(const Window& w) const;
+
+  SeriesOptions options_;
+  mutable std::mutex mutex_;
+  /// Retained windows, ascending by `index` (sparse: only observed windows
+  /// exist). Kept sorted; eviction drops from the front.
+  std::vector<Window> ring_;
+  Window total_;  ///< cumulative aggregate (index unused)
+  std::uint64_t late_ = 0;
+};
+
+/// The default windowed-latency bucketing: 1 us doubling up to ~4.2 s, the
+/// same span as `default_latency_edges_us` (a tuning pass up to a full
+/// 10k-job planning sweep).
+[[nodiscard]] const std::vector<double>& default_series_edges_us();
+
+/// Quantile estimate over explicit bucket counts: linear interpolation
+/// inside the covering bucket, overflow bucket reports \p max, 0 when empty.
+/// Shared by `WindowedSeries` and tests; mirrors `Histogram::quantile`.
+[[nodiscard]] double bucket_quantile(const std::vector<double>& edges,
+                                     const std::vector<std::uint64_t>& buckets,
+                                     std::uint64_t count, double min,
+                                     double max, double q) noexcept;
+
+}  // namespace dynp::obs

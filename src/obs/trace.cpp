@@ -1,12 +1,52 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <vector>
 
 #include "util/assert.hpp"
 
 namespace dynp::obs {
+
+/// Live-tracer directory for the crash-safe flush: every tracer registers
+/// here for its lifetime, and a `util/assert.hpp` failure observer flushes
+/// them all before a contract violation is reported. Both the directory and
+/// each tracer are taken with try-lock on the failure path — a tracer whose
+/// lock is held by the failing thread is skipped rather than deadlocked on.
+namespace {
+std::mutex g_live_mutex;
+std::vector<Tracer*> g_live_tracers;
+}  // namespace
+
+void flush_live_tracers_for_failure() noexcept {
+  const std::unique_lock lock(g_live_mutex, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  for (Tracer* tracer : g_live_tracers) tracer->flush_for_failure();
+}
+
+namespace {
+
+void register_live(Tracer* tracer) {
+  const std::lock_guard lock(g_live_mutex);
+  if (g_live_tracers.empty()) {
+    // Process-lifetime observer; installing once is idempotent enough (the
+    // previous observer, if any, is foreign and restored on last removal).
+    set_failure_observer(&flush_live_tracers_for_failure);
+  }
+  g_live_tracers.push_back(tracer);
+}
+
+void unregister_live(Tracer* tracer) {
+  const std::lock_guard lock(g_live_mutex);
+  g_live_tracers.erase(
+      std::remove(g_live_tracers.begin(), g_live_tracers.end(), tracer),
+      g_live_tracers.end());
+  if (g_live_tracers.empty()) set_failure_observer(nullptr);
+}
+
+}  // namespace
 
 namespace {
 
@@ -77,12 +117,19 @@ Tracer::Tracer(std::ostream& out, TraceFormat format)
             << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
                "\"args\": {\"name\": \"scheduler phases (wall time)\"}},\n"
             << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 3, "
-               "\"args\": {\"name\": \"decider log (ordinal time)\"}}";
+               "\"args\": {\"name\": \"decider log (ordinal time)\"}},\n"
+            << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 4, "
+               "\"args\": {\"name\": \"job lifecycles (sim time as us)\"}}";
     any_written_ = true;  // metadata already needs comma separation
   }
+  buffer_.reserve(kFlushBytes + 512);
+  register_live(this);
 }
 
-Tracer::~Tracer() { close(); }
+Tracer::~Tracer() {
+  close();
+  unregister_live(this);
+}
 
 std::unique_ptr<Tracer> Tracer::open_file(const std::string& path,
                                           TraceFormat format) {
@@ -96,11 +143,32 @@ std::unique_ptr<Tracer> Tracer::open_file(const std::string& path,
 
 void Tracer::write_line(const std::string& line) {
   DYNP_ASSERT(!closed_);
-  if (format_ == TraceFormat::kChrome && any_written_) (*out_) << ",\n";
-  (*out_) << line;
-  if (format_ == TraceFormat::kJsonl) (*out_) << "\n";
+  if (format_ == TraceFormat::kChrome && any_written_) buffer_ += ",\n";
+  buffer_ += line;
+  if (format_ == TraceFormat::kJsonl) buffer_ += '\n';
   any_written_ = true;
   ++records_;
+  if (buffer_.size() >= kFlushBytes) flush_locked();
+}
+
+void Tracer::flush_locked() {
+  if (!buffer_.empty()) {
+    (*out_) << buffer_;
+    buffer_.clear();
+  }
+  out_->flush();
+}
+
+void Tracer::flush() {
+  const std::lock_guard lock(mutex_);
+  if (closed_) return;
+  flush_locked();
+}
+
+void Tracer::flush_for_failure() noexcept {
+  const std::unique_lock lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock() || closed_) return;
+  flush_locked();
 }
 
 std::uint32_t Tracer::thread_tid() {
@@ -291,11 +359,17 @@ void Tracer::span(const char* name,
   write_line(line);
 }
 
+void Tracer::raw_record(const std::string& json_object) {
+  const std::lock_guard lock(mutex_);
+  if (closed_) return;
+  write_line(json_object);
+}
+
 void Tracer::close() {
   const std::lock_guard lock(mutex_);
   if (closed_) return;
-  if (format_ == TraceFormat::kChrome) (*out_) << "\n]}\n";
-  out_->flush();
+  if (format_ == TraceFormat::kChrome) buffer_ += "\n]}\n";
+  flush_locked();
   closed_ = true;
 }
 

@@ -137,6 +137,22 @@ class Tracer {
   void span(const char* name, std::chrono::steady_clock::time_point start,
             std::chrono::steady_clock::time_point end);
 
+  /// Emits one preformatted record: \p json_object must be a complete
+  /// single-line JSON object in the tracer's format (no trailing newline or
+  /// separator). Escape hatch for layered emitters — the provenance tracer
+  /// formats its span/flow records itself and funnels them through here so
+  /// they interleave correctly with event/fault records.
+  void raw_record(const std::string& json_object);
+
+  /// Writes everything buffered so far through to the underlying stream and
+  /// flushes it. Records are normally held in a bounded buffer (flushed
+  /// whenever it exceeds a fixed threshold) so emission is one string
+  /// append, not one stream write, per record; `flush` makes the trace
+  /// durable mid-run. Every live tracer is additionally flushed before a
+  /// contract violation is reported (see `util/assert.hpp`'s failure
+  /// observer), so a trace survives an abort up to the failing event.
+  void flush();
+
   /// Finalises the output (idempotent).
   void close();
 
@@ -145,7 +161,16 @@ class Tracer {
 
  private:
   void write_line(const std::string& line);  ///< locked append + separator
+  void flush_locked();                       ///< caller holds mutex_
+  void flush_for_failure() noexcept;  ///< try-lock flush (failure path)
   [[nodiscard]] std::uint32_t thread_tid();  ///< caller's stable span tid
+
+  /// Buffered bytes that trigger an automatic flush. Bounds memory to a
+  /// fixed ceiling however long the run: the buffer never accumulates the
+  /// whole trace.
+  static constexpr std::size_t kFlushBytes = 64 * 1024;
+
+  friend void flush_live_tracers_for_failure() noexcept;
 
   std::unique_ptr<std::ostream> owned_;  ///< set by `open_file` only
   std::ostream* out_;
@@ -155,6 +180,7 @@ class Tracer {
   mutable std::mutex mutex_;
   bool closed_ = false;
   bool any_written_ = false;  ///< comma bookkeeping (kChrome)
+  std::string buffer_;        ///< pending bytes, <= kFlushBytes + one record
   std::uint64_t records_ = 0;
   std::uint64_t decision_seq_ = 0;
   std::unordered_map<std::thread::id, std::uint32_t> tids_;

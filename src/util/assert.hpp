@@ -70,6 +70,13 @@ class ContractViolationError : public std::logic_error {
 /// from parallel tuning workers too.
 using ContractHandler = void (*)(const ContractViolation&);
 
+/// Called before any contract violation is reported (handler or default
+/// diagnostic), so buffered observers can make their data durable first —
+/// the trace layer registers a flush of all live tracers here. Must be
+/// noexcept and must not trip further contracts (it runs on the failure
+/// path; the tracer uses try-lock for exactly that reason).
+using FailureObserver = void (*)() noexcept;
+
 namespace detail {
 
 /// Installed handler; null selects the default print-and-abort behaviour.
@@ -77,11 +84,18 @@ namespace detail {
 /// test (re)installs a handler.
 inline std::atomic<ContractHandler> g_contract_handler{nullptr};
 
+/// Installed pre-failure observer; null = none.
+inline std::atomic<FailureObserver> g_failure_observer{nullptr};
+
 [[noreturn]] inline void contract_violation_ex(const char* kind,
                                                const char* expr,
                                                const char* file, int line,
                                                const char* detail) {
   const ContractViolation v{kind, expr, file, line, detail};
+  if (FailureObserver observer =
+          g_failure_observer.load(std::memory_order_acquire)) {
+    observer();
+  }
   if (ContractHandler handler =
           g_contract_handler.load(std::memory_order_acquire)) {
     handler(v);  // may throw; a returning handler aborts below
@@ -102,6 +116,13 @@ inline std::atomic<ContractHandler> g_contract_handler{nullptr};
 /// one (null = default print-and-abort). Pass null to restore the default.
 inline ContractHandler set_contract_handler(ContractHandler handler) noexcept {
   return detail::g_contract_handler.exchange(handler,
+                                             std::memory_order_acq_rel);
+}
+
+/// Installs \p observer to run before any contract violation is reported
+/// and returns the previous one (null = none). Pass null to remove.
+inline FailureObserver set_failure_observer(FailureObserver observer) noexcept {
+  return detail::g_failure_observer.exchange(observer,
                                              std::memory_order_acq_rel);
 }
 

@@ -67,11 +67,15 @@ TEST(FaultDeterminism, SameSeedGivesByteIdenticalCsvAndTrace) {
   const RunArtifacts a = run_and_render(set, config, /*with_trace=*/true);
   const RunArtifacts b = run_and_render(set, config, /*with_trace=*/true);
   EXPECT_FALSE(a.csv.empty());
-  EXPECT_FALSE(a.trace.empty());
   EXPECT_EQ(a.csv, b.csv);
   EXPECT_EQ(a.trace, b.trace);
-  // The trace actually contains fault records (not just vacuous equality).
-  EXPECT_NE(a.trace.find("\"type\": \"fault\""), std::string::npos);
+  // The trace actually contains fault records (not just vacuous equality) —
+  // unless the obs hooks are compiled out, where both traces are empty and
+  // only the byte equality above is meaningful.
+  if (obs::kEnabled) {
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_NE(a.trace.find("\"type\": \"fault\""), std::string::npos);
+  }
 }
 
 TEST(FaultDeterminism, ParallelTuningDoesNotShiftTheFaultHistory) {

@@ -58,10 +58,12 @@ TEST_P(ObsDeterminism, InstrumentedRunIsByteIdentical) {
   std::ostringstream trace_out;
   obs::Tracer tracer(trace_out, obs::TraceFormat::kJsonl);
   obs::PhaseProfiler profiler(registry, &tracer);
+  obs::ProvenanceTracer provenance(tracer);
   core::SimulationConfig wired = plain;
   wired.instruments.registry = &registry;
   wired.instruments.tracer = &tracer;
   wired.instruments.profiler = &profiler;
+  wired.instruments.provenance = &provenance;
   const core::SimulationResult instrumented = core::simulate(jobs, wired);
   tracer.close();
 
@@ -79,6 +81,17 @@ TEST_P(ObsDeterminism, InstrumentedRunIsByteIdentical) {
               instrumented.switches);
     EXPECT_EQ(registry.counter("sim.jobs.started").value(), jobs.size());
     EXPECT_GE(tracer.records(), instrumented.events);
+    // The provenance spans and the windowed series rode along without
+    // perturbing anything either.
+    EXPECT_GT(provenance.spans(), 0u);
+    const obs::WindowedSeries* decision =
+        registry.find_series("series.decision_latency_us");
+    ASSERT_NE(decision, nullptr);
+    EXPECT_EQ(decision->total().count, instrumented.decisions);
+    const obs::WindowedSeries* depth =
+        registry.find_series("series.queue_depth");
+    ASSERT_NE(depth, nullptr);
+    EXPECT_EQ(depth->total().count, instrumented.events);
   } else {
     // -DDYNP_OBS=OFF: the hooks are compiled out; nothing observed anything.
     EXPECT_EQ(registry.counter("sim.events.submit").value(), 0u);

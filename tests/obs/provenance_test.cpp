@@ -1,0 +1,217 @@
+/// Tests for the decision-provenance tracer: span lifecycle reconstruction
+/// over a fault-injected run (parent links resolve, spans nest inside their
+/// job root, every lifecycle terminates, requeue chains carry backoff
+/// spans), trace-id stability, and the commit -> run causality flows.
+
+#include "obs/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "obs/trace.hpp"
+#include "workload/models.hpp"
+
+namespace dynp {
+namespace {
+
+/// Minimal jspan/jflow line reader (the writer emits one flat JSON object
+/// per line with a fixed key order, so a tag scan is exact).
+[[nodiscard]] std::optional<double> field(const std::string& line,
+                                          const char* key) {
+  const std::string tag = std::string("\"") + key + "\": ";
+  const std::size_t pos = line.find(tag);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtod(line.c_str() + pos + tag.size(), nullptr);
+}
+
+/// 64-bit ids (notably the FNV trace ids) do not round-trip through a
+/// double, so integer fields get their own exact parser.
+[[nodiscard]] std::uint64_t u64_field(const std::string& line,
+                                      const char* key) {
+  const std::string tag = std::string("\"") + key + "\": ";
+  const std::size_t pos = line.find(tag);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + pos + tag.size(), nullptr, 10);
+}
+
+[[nodiscard]] std::optional<std::string> text_field(const std::string& line,
+                                                    const char* key) {
+  const std::string tag = std::string("\"") + key + "\": \"";
+  const std::size_t begin = line.find(tag);
+  if (begin == std::string::npos) return std::nullopt;
+  const std::size_t start = begin + tag.size();
+  return line.substr(start, line.find('"', start) - start);
+}
+
+struct Span {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t trace = 0;
+  double t0 = 0;
+  double t1 = 0;
+  long long job = -1;
+  std::string outcome;
+};
+
+struct ParsedTrace {
+  std::vector<Span> spans;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> flows;  ///< from, to
+};
+
+[[nodiscard]] ParsedTrace parse(const std::string& text) {
+  ParsedTrace out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto type = text_field(line, "type");
+    if (type == "jspan") {
+      Span s;
+      s.name = text_field(line, "name").value_or("");
+      s.id = u64_field(line, "id");
+      s.parent = u64_field(line, "parent");
+      s.trace = u64_field(line, "trace");
+      s.t0 = field(line, "t0").value_or(0);
+      s.t1 = field(line, "t1").value_or(0);
+      const auto job = field(line, "job");
+      if (job) s.job = static_cast<long long>(*job);
+      s.outcome = text_field(line, "outcome").value_or("");
+      out.spans.push_back(std::move(s));
+    } else if (type == "jflow") {
+      out.flows.emplace_back(u64_field(line, "from"), u64_field(line, "to"));
+    }
+  }
+  return out;
+}
+
+/// One fault-injected dynP run with the provenance tracer wired; returns
+/// the emitted trace text and the simulation result.
+[[nodiscard]] std::pair<ParsedTrace, core::SimulationResult> traced_run() {
+  const workload::JobSet jobs =
+      workload::generate(workload::model_by_name("KTH"), 300, 7)
+          .with_shrinking_factor(0.5);
+  core::SimulationConfig config =
+      core::dynp_config(core::make_advanced_decider());
+  fault::FaultConfig faults;
+  faults.seed = 11;
+  faults.job_fail_p = 0.05;
+  faults.max_retries = 2;
+  config.faults = faults;
+
+  std::ostringstream out;
+  obs::Tracer tracer(out, obs::TraceFormat::kJsonl);
+  obs::ProvenanceTracer provenance(tracer);
+  config.instruments.tracer = &tracer;
+  config.instruments.provenance = &provenance;
+  const core::SimulationResult r = core::simulate(jobs, config);
+  tracer.close();
+  return {parse(out.str()), r};
+}
+
+TEST(Provenance, JobTraceIdsAreStableAndDistinct) {
+  EXPECT_EQ(obs::ProvenanceTracer::job_trace_id(0),
+            obs::ProvenanceTracer::job_trace_id(0));
+  EXPECT_NE(obs::ProvenanceTracer::job_trace_id(0),
+            obs::ProvenanceTracer::job_trace_id(1));
+  // Large ids stay outside the small span-id counter range (domain tag).
+  EXPECT_GT(obs::ProvenanceTracer::job_trace_id(0), 1u << 20);
+}
+
+TEST(Provenance, FaultInjectedLifecyclesTerminateAndNest) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs hooks compiled out";
+  const auto [trace, r] = traced_run();
+  ASSERT_FALSE(trace.spans.empty());
+
+  // Every span id is unique; every parent resolves to an emitted span (or 0
+  // for the roots and the pass chain anchors).
+  std::set<std::uint64_t> ids;
+  for (const Span& s : trace.spans) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate span id " << s.id;
+  }
+  for (const Span& s : trace.spans) {
+    if (s.parent != 0) {
+      EXPECT_TRUE(ids.count(s.parent) != 0)
+          << s.name << " parent " << s.parent << " unresolved";
+    }
+    EXPECT_LE(s.t0, s.t1) << s.name;
+  }
+
+  // Exactly one terminal root per job, and its [t0, t1] covers every child.
+  std::map<long long, const Span*> roots;
+  for (const Span& s : trace.spans) {
+    if (s.name != "job") continue;
+    EXPECT_TRUE(roots.emplace(s.job, &s).second)
+        << "job " << s.job << " has two terminal spans";
+    EXPECT_TRUE(s.outcome == "finished" || s.outcome == "dropped") << s.job;
+  }
+  EXPECT_EQ(roots.size(), 300u);
+  std::size_t dropped = 0;
+  for (const auto& [job, root] : roots) {
+    if (root->outcome == "dropped") ++dropped;
+  }
+  EXPECT_EQ(dropped, r.faults.jobs_dropped);
+
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const Span& s : trace.spans) by_id[s.id] = &s;
+  std::size_t backoffs = 0;
+  for (const Span& s : trace.spans) {
+    if (s.job < 0 || s.name == "job") continue;
+    const auto root = roots.find(s.job);
+    ASSERT_NE(root, roots.end()) << "span for job without root: " << s.job;
+    EXPECT_EQ(s.parent, root->second->id) << s.name;
+    EXPECT_EQ(s.trace, obs::ProvenanceTracer::job_trace_id(
+                           static_cast<std::uint32_t>(s.job)));
+    EXPECT_GE(s.t0, root->second->t0) << s.name;
+    EXPECT_LE(s.t1, root->second->t1) << s.name;
+    if (s.name == "backoff") ++backoffs;
+  }
+  // Requeue-after-failure chains: one backoff span per requeue.
+  EXPECT_EQ(backoffs, r.faults.requeues);
+  EXPECT_GT(r.faults.requeues, 0u)
+      << "fault config did not exercise the requeue path";
+
+  // Commit -> run causality flows point at real spans, and the target is a
+  // run span of the started job.
+  EXPECT_FALSE(trace.flows.empty());
+  for (const auto& [from, to] : trace.flows) {
+    ASSERT_TRUE(by_id.count(from) != 0);
+    ASSERT_TRUE(by_id.count(to) != 0);
+    EXPECT_EQ(by_id.at(from)->name, "commit");
+    EXPECT_EQ(by_id.at(to)->name, "run");
+  }
+}
+
+TEST(Provenance, PassChainsCarryThePolicyPool) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs hooks compiled out";
+  const auto [trace, r] = traced_run();
+  std::size_t decides = 0;
+  std::size_t switched = 0;
+  std::set<std::uint64_t> pass_ids;
+  for (const Span& s : trace.spans) {
+    if (s.name == "pass") pass_ids.insert(s.id);
+  }
+  for (const Span& s : trace.spans) {
+    if (s.name.rfind("decide:", 0) == 0) {
+      ++decides;
+      if (s.outcome == "switched") ++switched;
+      EXPECT_TRUE(pass_ids.count(s.parent) != 0);
+    }
+    if (s.name.rfind("plan:", 0) == 0 || s.name == "base_profile" ||
+        s.name == "preview_score" || s.name == "commit") {
+      EXPECT_TRUE(pass_ids.count(s.parent) != 0) << s.name;
+    }
+  }
+  EXPECT_EQ(decides, r.decisions);
+  EXPECT_EQ(switched, r.switches);
+}
+
+}  // namespace
+}  // namespace dynp

@@ -92,6 +92,25 @@ TEST(Histogram, ResetClearsEverything) {
   EXPECT_DOUBLE_EQ(h.max(), 0.25);
 }
 
+TEST(Histogram, SingleSampleQuantilesStayInItsBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(3.0);  // bucket (2, 4]
+  for (const double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_GE(h.quantile(q), 2.0) << "q=" << q;
+    EXPECT_LE(h.quantile(q), 4.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(Histogram, AllObservationsInOverflowReportMax) {
+  Histogram h({1.0});
+  h.observe(50.0);
+  h.observe(100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 100.0);
+}
+
 TEST(Registry, HandlesAreStableAndShared) {
   Registry reg;
   Counter& a = reg.counter("x");
@@ -119,6 +138,27 @@ TEST(Registry, JsonSnapshotHasExpectedShape) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"bucket_counts\""), std::string::npos);
   EXPECT_NE(json.find("\"le\""), std::string::npos);
+}
+
+TEST(Registry, SeriesKeyAppearsOnlyWhenRegistered) {
+  Registry reg;
+  reg.counter("events").add(1);
+  std::ostringstream without;
+  reg.write_json(without);
+  // No series registered -> the snapshot keeps the pre-series byte layout.
+  EXPECT_EQ(without.str().find("\"series\""), std::string::npos);
+
+  SeriesOptions options;
+  options.edges = {1.0, 2.0};
+  WindowedSeries& a = reg.series("lat", options);
+  WindowedSeries& b = reg.series("lat", options);
+  EXPECT_EQ(&a, &b);  // same name -> same series
+  a.observe(3.0, 1.5);
+  std::ostringstream with;
+  reg.write_json(with);
+  EXPECT_NE(with.str().find("\"series\""), std::string::npos);
+  EXPECT_NE(with.str().find("\"lat\""), std::string::npos);
+  EXPECT_NE(with.str().find("\"windows\""), std::string::npos);
 }
 
 TEST(Registry, SummaryTableListsInstruments) {

@@ -1,0 +1,276 @@
+/// Tests for the windowed time-series engine: window assignment, ring
+/// eviction and late-arrival accounting, bucket-quantile edge cases, and
+/// the merge determinism the per-worker sweep series rely on (the
+/// concurrency cases carry the `tsan` label through the test_obs binary).
+
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dynp::obs {
+namespace {
+
+[[nodiscard]] SeriesOptions small_options() {
+  SeriesOptions options;
+  options.window = 10;
+  options.capacity = 4;
+  options.edges = {1.0, 10.0, 100.0};
+  return options;
+}
+
+TEST(WindowedSeries, AssignsKeysToWindows) {
+  WindowedSeries s(small_options());
+  s.observe(0, 5.0);    // window 0
+  s.observe(9.5, 7.0);  // window 0
+  s.observe(10, 2.0);   // window 1
+  s.observe(25, 50.0);  // window 2
+
+  const std::vector<WindowAggregate> windows = s.windows();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(windows[0].sum, 12.0);
+  EXPECT_DOUBLE_EQ(windows[0].min, 5.0);
+  EXPECT_DOUBLE_EQ(windows[0].max, 7.0);
+  EXPECT_EQ(windows[1].index, 1);
+  EXPECT_EQ(windows[1].count, 1u);
+  EXPECT_EQ(windows[2].index, 2);
+  EXPECT_DOUBLE_EQ(windows[2].max, 50.0);
+
+  const WindowAggregate total = s.total();
+  EXPECT_EQ(total.count, 4u);
+  EXPECT_DOUBLE_EQ(total.sum, 64.0);
+  EXPECT_DOUBLE_EQ(total.min, 2.0);
+  EXPECT_DOUBLE_EQ(total.max, 50.0);
+  EXPECT_EQ(s.late_count(), 0u);
+}
+
+TEST(WindowedSeries, EvictsOldWindowsIntoTotalsAndCountsLateKeys) {
+  SeriesOptions options = small_options();
+  options.capacity = 2;
+  WindowedSeries s(options);
+  for (int w = 0; w < 4; ++w) {
+    s.observe(w * 10.0, 1.0 + w);
+  }
+  // Ring capacity 2: windows 0 and 1 were evicted, 2 and 3 remain.
+  const std::vector<WindowAggregate> windows = s.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].index, 2);
+  EXPECT_EQ(windows[1].index, 3);
+  // Evicted observations stay in the cumulative totals.
+  EXPECT_EQ(s.total().count, 4u);
+  EXPECT_DOUBLE_EQ(s.total().sum, 1.0 + 2.0 + 3.0 + 4.0);
+
+  // A key older than the oldest retained window folds into the totals only.
+  s.observe(5.0, 100.0);
+  EXPECT_EQ(s.late_count(), 1u);
+  EXPECT_EQ(s.total().count, 5u);
+  EXPECT_DOUBLE_EQ(s.total().max, 100.0);
+  EXPECT_EQ(s.windows().size(), 2u);
+}
+
+TEST(WindowedSeries, OutOfOrderKeysWithinTheRingStillLand) {
+  WindowedSeries s(small_options());
+  s.observe(35, 1.0);  // window 3
+  s.observe(5, 2.0);   // window 0, out of order but within capacity 4
+  const std::vector<WindowAggregate> windows = s.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[1].index, 3);
+  EXPECT_EQ(s.late_count(), 0u);
+}
+
+// --- bucket_quantile edge cases (mirrors Histogram::quantile) ---
+
+TEST(BucketQuantile, EmptyReportsZero) {
+  const std::vector<double> edges = {1.0, 2.0};
+  const std::vector<std::uint64_t> buckets = {0, 0, 0};
+  EXPECT_EQ(bucket_quantile(edges, buckets, 0, 0, 0, 0.5), 0.0);
+}
+
+TEST(BucketQuantile, SingleSampleInterpolatesInsideItsBucket) {
+  const std::vector<double> edges = {1.0, 2.0, 4.0};
+  // One observation of 3.0 lands in bucket (2, 4].
+  const std::vector<std::uint64_t> buckets = {0, 0, 1, 0};
+  const double p50 = bucket_quantile(edges, buckets, 1, 3.0, 3.0, 0.5);
+  EXPECT_DOUBLE_EQ(p50, 3.0);  // lo 2 + (4 - 2) * 0.5
+  EXPECT_GE(bucket_quantile(edges, buckets, 1, 3.0, 3.0, 0.999), 2.0);
+  EXPECT_LE(bucket_quantile(edges, buckets, 1, 3.0, 3.0, 0.999), 4.0);
+}
+
+TEST(BucketQuantile, AllInOneBucketIsLinear) {
+  const std::vector<double> edges = {10.0, 20.0, 40.0};
+  const std::vector<std::uint64_t> buckets = {0, 100, 0, 0};
+  EXPECT_DOUBLE_EQ(bucket_quantile(edges, buckets, 100, 15.0, 15.0, 0.25),
+                   12.5);
+  EXPECT_DOUBLE_EQ(bucket_quantile(edges, buckets, 100, 15.0, 15.0, 0.75),
+                   17.5);
+}
+
+TEST(BucketQuantile, OverflowBucketReportsMax) {
+  const std::vector<double> edges = {1.0};
+  const std::vector<std::uint64_t> buckets = {0, 2};
+  EXPECT_DOUBLE_EQ(bucket_quantile(edges, buckets, 2, 50.0, 100.0, 0.5),
+                   100.0);
+  EXPECT_DOUBLE_EQ(bucket_quantile(edges, buckets, 2, 50.0, 100.0, 0.999),
+                   100.0);
+}
+
+TEST(WindowedSeries, WindowQuantilesStayInsideBucketBounds) {
+  WindowedSeries s(small_options());
+  for (int i = 0; i < 100; ++i) {
+    s.observe(static_cast<double>(i % 10), 5.0);  // window 0, bucket (1, 10]
+  }
+  const std::vector<WindowAggregate> windows = s.windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_GE(windows[0].p50, 1.0);
+  EXPECT_LE(windows[0].p50, 10.0);
+  EXPECT_GE(windows[0].p999, windows[0].p50);
+}
+
+// --- merge determinism ---
+
+TEST(WindowedSeries, MergeMatchesSerialObservation) {
+  const SeriesOptions options = small_options();
+  WindowedSeries serial(options);
+  WindowedSeries a(options);
+  WindowedSeries b(options);
+  for (int i = 0; i < 40; ++i) {
+    const double key = i;
+    const double value = 1.0 + (i % 7);
+    serial.observe(key, value);
+    (i % 2 == 0 ? a : b).observe(key, value);
+  }
+  a.merge(b);
+
+  const std::vector<WindowAggregate> expect = serial.windows();
+  const std::vector<WindowAggregate> got = a.windows();
+  ASSERT_EQ(expect.size(), got.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(expect[i].index, got[i].index);
+    EXPECT_EQ(expect[i].count, got[i].count);
+    EXPECT_DOUBLE_EQ(expect[i].sum, got[i].sum);
+    EXPECT_DOUBLE_EQ(expect[i].min, got[i].min);
+    EXPECT_DOUBLE_EQ(expect[i].max, got[i].max);
+    // Quantiles derive from integer bucket counts + min/max, so they are
+    // exactly equal whatever the observation partition was.
+    EXPECT_EQ(expect[i].p50, got[i].p50);
+    EXPECT_EQ(expect[i].p99, got[i].p99);
+    EXPECT_EQ(expect[i].p999, got[i].p999);
+  }
+  EXPECT_EQ(serial.total().count, a.total().count);
+  EXPECT_EQ(serial.late_count(), a.late_count());
+}
+
+TEST(WindowedSeries, MergeIsIndependentOfWorkerCount) {
+  // The orchestrator contract: partition the same observations over W
+  // per-worker series, merge in worker-index order — every integer aggregate
+  // and every quantile must be identical for any W.
+  const SeriesOptions options = small_options();
+  constexpr int kObservations = 200;
+  std::vector<std::vector<WindowAggregate>> results;
+  std::vector<WindowAggregate> totals;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    std::vector<std::unique_ptr<WindowedSeries>> per_worker;
+    for (std::size_t w = 0; w < workers; ++w) {
+      per_worker.push_back(std::make_unique<WindowedSeries>(options));
+    }
+    for (int i = 0; i < kObservations; ++i) {
+      per_worker[static_cast<std::size_t>(i) % workers]->observe(
+          static_cast<double>(i % 40), 1.0 + (i % 11));
+    }
+    WindowedSeries merged(options);
+    for (const auto& series : per_worker) merged.merge(*series);
+    results.push_back(merged.windows());
+    totals.push_back(merged.total());
+  }
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[0].size(), results[r].size());
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      EXPECT_EQ(results[0][i].index, results[r][i].index);
+      EXPECT_EQ(results[0][i].count, results[r][i].count);
+      EXPECT_DOUBLE_EQ(results[0][i].min, results[r][i].min);
+      EXPECT_DOUBLE_EQ(results[0][i].max, results[r][i].max);
+      EXPECT_EQ(results[0][i].p50, results[r][i].p50);
+      EXPECT_EQ(results[0][i].p99, results[r][i].p99);
+    }
+    EXPECT_EQ(totals[0].count, totals[r].count);
+    EXPECT_DOUBLE_EQ(totals[0].min, totals[r].min);
+    EXPECT_DOUBLE_EQ(totals[0].max, totals[r].max);
+  }
+}
+
+TEST(WindowedSeries, WriteJsonHasExpectedShape) {
+  WindowedSeries s(small_options());
+  s.observe(3, 2.0);
+  s.observe(15, 20.0);
+  std::ostringstream out;
+  s.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\""), std::string::npos);
+  EXPECT_NE(json.find("\"late\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\""), std::string::npos);
+  EXPECT_NE(json.find("\"windows\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"k\": 1"), std::string::npos);
+}
+
+TEST(WindowedSeries, DefaultEdgesMatchTheLatencyEdges) {
+  EXPECT_EQ(default_series_edges_us(), default_latency_edges_us());
+}
+
+// --- concurrency (runs under TSan via the tsan ctest label) ---
+
+TEST(WindowedSeriesConcurrency, ConcurrentObservationIsExact) {
+  SeriesOptions options = small_options();
+  options.capacity = 64;
+  WindowedSeries s(options);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 5000;
+  util::parallel_for(
+      kThreads,
+      [&](std::size_t t) {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          // Every thread hits every window; integer aggregates must be exact
+          // whatever the interleaving.
+          s.observe(static_cast<double>(i % 300), 1.0 + (t % 3));
+        }
+      },
+      kThreads);
+  EXPECT_EQ(s.total().count, kThreads * kPerThread);
+  std::uint64_t windowed = 0;
+  for (const WindowAggregate& w : s.windows()) windowed += w.count;
+  // Keys span 30 windows against capacity 64: nothing evicted, nothing late.
+  EXPECT_EQ(windowed, kThreads * kPerThread);
+  EXPECT_EQ(s.late_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.total().min, 1.0);
+  EXPECT_DOUBLE_EQ(s.total().max, 3.0);
+}
+
+TEST(WindowedSeriesConcurrency, RegistrySeriesSharedAcrossThreads) {
+  Registry reg;
+  SeriesOptions options = small_options();
+  constexpr std::size_t kThreads = 8;
+  util::parallel_for(
+      kThreads,
+      [&](std::size_t t) {
+        WindowedSeries& s = reg.series("shared", options);
+        s.observe(static_cast<double>(t), 1.0);
+      },
+      kThreads);
+  const WindowedSeries* s = reg.find_series("shared");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->total().count, kThreads);
+  EXPECT_EQ(reg.find_series("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace dynp::obs

@@ -17,6 +17,7 @@
 
 #include "core/decider.hpp"
 #include "core/recording_decider.hpp"
+#include "util/assert.hpp"
 
 namespace dynp::obs {
 namespace {
@@ -158,6 +159,37 @@ TEST(TracerJsonl, OneRecordPerLine) {
     ++n;
   }
   EXPECT_EQ(n, 3u);
+}
+
+TEST(TracerJsonl, RecordsBufferUntilFlushThenReachTheStream) {
+  std::ostringstream out;
+  Tracer tracer(out, TraceFormat::kJsonl);
+  tracer.event(sample_event());
+  // Emission appends to the tracer's bounded buffer; one small record stays
+  // below the auto-flush threshold, so the stream is still empty.
+  EXPECT_TRUE(out.str().empty());
+  tracer.flush();
+  const std::string flushed = out.str();
+  EXPECT_NE(flushed.find("\"type\": \"event\""), std::string::npos);
+  // flush() is durable mid-run: close() adds nothing it already wrote.
+  tracer.event(sample_event());
+  tracer.close();
+  EXPECT_EQ(out.str().compare(0, flushed.size(), flushed), 0);
+  EXPECT_GT(out.str().size(), flushed.size());
+}
+
+TEST(TracerJsonl, ContractFailureFlushesLiveTracers) {
+  std::ostringstream out;
+  Tracer tracer(out, TraceFormat::kJsonl);
+  tracer.event(sample_event());
+  EXPECT_TRUE(out.str().empty());
+  // A contract violation anywhere must make buffered traces durable before
+  // the failure is reported (the tracer registers a failure observer for
+  // its lifetime). The throwing handler keeps the test process alive.
+  ScopedContractThrower thrower;
+  EXPECT_THROW(DYNP_EXPECTS(false), ContractViolationError);
+  EXPECT_NE(out.str().find("\"type\": \"event\""), std::string::npos);
+  tracer.close();
 }
 
 TEST(TracerChrome, ProducesWellFormedTraceEventJson) {

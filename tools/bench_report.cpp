@@ -42,6 +42,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -58,6 +59,29 @@
 namespace {
 
 using namespace dynp;
+
+// Run-metadata stamp baked in at configure time (see tools/CMakeLists.txt):
+// the git SHA, compiler and build type travel with every BENCH_*.json so a
+// committed report is attributable to the build that produced it. The SHA
+// is HEAD of the last CMake configure — an incremental build can lag the
+// work tree; CI configures fresh.
+#if !defined(DYNP_BENCH_GIT_SHA)
+#define DYNP_BENCH_GIT_SHA "unknown"
+#endif
+#if !defined(DYNP_BENCH_COMPILER)
+#define DYNP_BENCH_COMPILER "unknown"
+#endif
+#if !defined(DYNP_BENCH_BUILD)
+#define DYNP_BENCH_BUILD "unknown"
+#endif
+
+void write_meta(std::FILE* out) {
+  std::fprintf(out,
+               "  \"meta\": {\"git_sha\": \"%s\", \"compiler\": \"%s\", "
+               "\"build\": \"%s\", \"obs\": %s},\n",
+               DYNP_BENCH_GIT_SHA, DYNP_BENCH_COMPILER, DYNP_BENCH_BUILD,
+               obs::kEnabled ? "true" : "false");
+}
 
 struct Scenario {
   const char* name;
@@ -347,9 +371,15 @@ int run_sweep_report(bool smoke, bool check, const std::string& out_path,
     identical = identical && points_identical(serial_points, result);
   }
 
-  // 3. The orchestrator (no cache) at 1 / 2 / 4 threads.
+  // 3. The orchestrator (no cache) at 1 / 2 / 4 threads. The shared
+  //    registry aggregates across the three runs; its snapshot (decision /
+  //    plan latency and queue-depth series from inside the cells, plus the
+  //    per-cell `sweep.cell_us` series merged in worker-index order) is
+  //    embedded in the report below.
+  obs::Registry sweep_registry;
   for (const std::size_t threads : {1u, 2u, 4u}) {
     exp::OrchestratorOptions options;
+    options.registry = &sweep_registry;
     options.threads = threads;
     exp::SweepOrchestrator orchestrator(models, scale, options);
     const exp::SweepGrid grid = orchestrator.run_grid(factors, configs);
@@ -442,6 +472,7 @@ int run_sweep_report(bool smoke, bool check, const std::string& out_path,
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"dynp sweep orchestration\",\n");
+  write_meta(out);
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"host_threads\": %zu,\n", hw);
   std::fprintf(out,
@@ -483,6 +514,11 @@ int run_sweep_report(bool smoke, bool check, const std::string& out_path,
                  i + 1 < projections.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  {
+    std::ostringstream metrics;
+    sweep_registry.write_json(metrics, 2);
+    std::fprintf(out, "  \"metrics\":\n%s,\n", metrics.str().c_str());
+  }
   std::fprintf(out,
                "  \"speedup_warm_vs_cold\": %.1f,\n  \"warm_hit_rate\": %.4f"
                "\n}\n",
@@ -501,6 +537,179 @@ int run_sweep_report(bool smoke, bool check, const std::string& out_path,
     return 2;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --sentinel mode (BENCH_obs.json + perf-regression gate)
+// ---------------------------------------------------------------------------
+
+/// Reads a whole file, or nullopt when it cannot be opened.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// First number following `"key": ` in \p text, or nullopt. The sentinel
+/// reports are written by this binary with one scalar per key, so a tag
+/// scan is reliable (same approach as `parse_run_seconds`).
+[[nodiscard]] std::optional<double> find_number(const std::string& text,
+                                                const std::string& key) {
+  const std::string tag = "\"" + key + "\": ";
+  const std::size_t pos = text.find(tag);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtod(text.c_str() + pos + tag.size(), nullptr);
+}
+
+/// The latency series the sentinel gates on (queue depth is deterministic
+/// and not a latency, so it is reported but never gated).
+constexpr const char* kSentinelSeries[] = {"decision_latency_us",
+                                           "plan_latency_us"};
+
+/// One summarised series in the "sentinel" block of BENCH_obs.json.
+void write_sentinel_series(std::FILE* out, const char* prefix,
+                           const obs::WindowedSeries* series, bool last) {
+  const obs::WindowAggregate t =
+      series != nullptr ? series->total() : obs::WindowAggregate{};
+  std::fprintf(out,
+               "    \"%s_count\": %llu, \"%s_p50\": %.3f, \"%s_p95\": %.3f, "
+               "\"%s_p99\": %.3f, \"%s_p999\": %.3f, \"%s_max\": %.3f%s\n",
+               prefix, static_cast<unsigned long long>(t.count), prefix, t.p50,
+               prefix, t.p95, prefix, t.p99, prefix, t.p999, prefix, t.max,
+               last ? "" : ",");
+}
+
+/// Compares the gated p99 keys of two sentinel reports; > 10% slower fails.
+/// Shared by `--sentinel --check` (fresh run vs committed baseline) and the
+/// pure file-vs-file mode (`--sentinel --compare-base --compare-to`), which
+/// the regression-gate ctest drives with committed fixtures.
+int compare_sentinel_texts(const std::string& base_text,
+                           const std::string& to_text) {
+  std::printf("%-24s %12s %12s %8s\n", "series", "base p99", "new p99",
+              "delta");
+  std::size_t regressions = 0;
+  std::size_t compared = 0;
+  for (const char* series : kSentinelSeries) {
+    const std::string key = std::string(series) + "_p99";
+    const auto base = find_number(base_text, key);
+    const auto to = find_number(to_text, key);
+    if (!base || !to || *base <= 0) continue;
+    ++compared;
+    const double delta = *to / *base - 1.0;
+    const bool regressed = delta > 0.10;
+    if (regressed) ++regressions;
+    std::printf("%-24s %12.3f %12.3f %+7.1f%%%s\n", series, *base, *to,
+                delta * 100, regressed ? "  <-- REGRESSION" : "");
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "no gateable p99 keys found in both reports\n");
+    return 1;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "%zu series regressed by more than 10%% at p99\n",
+                 regressions);
+    return 2;
+  }
+  std::printf("no p99 regressions above 10%% (%zu series compared)\n",
+              compared);
+  return 0;
+}
+
+/// Runs the headline scenario (10k KTH jobs through the self-tuning replan
+/// scheduler) with the windowed time series wired, writes BENCH_obs.json
+/// (run metadata, p50/p95/p99/p999 decision/plan-latency summary, the full
+/// registry snapshot with the per-window series), and — with `--check` —
+/// gates the p99 latencies against a committed baseline report.
+int run_obs_sentinel(bool smoke, bool check, const std::string& out_path,
+                     const std::string& baseline_path) {
+  const Scenario& s = kScenarios[0];
+  const std::size_t jobs = smoke ? std::min<std::size_t>(s.jobs, 300) : s.jobs;
+  if (!obs::kEnabled) {
+    std::fprintf(stderr,
+                 "warning: built with -DDYNP_OBS=OFF; the sentinel series "
+                 "will be empty\n");
+  }
+  const workload::JobSet set =
+      workload::generate(workload::model_by_name(s.trace), jobs, 42)
+          .with_shrinking_factor(s.factor);
+  core::SimulationConfig config = make_config(s);
+  obs::Registry registry;
+  config.instruments.registry = &registry;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::SimulationResult r = core::simulate(set, config);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  const obs::WindowedSeries* decision =
+      registry.find_series("series.decision_latency_us");
+  const obs::WindowedSeries* plan =
+      registry.find_series("series.plan_latency_us");
+  const obs::WindowedSeries* depth =
+      registry.find_series("series.queue_depth");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"dynp obs sentinel\",\n");
+  write_meta(out);
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out,
+               "  \"note\": \"windowed time-series telemetry of the headline "
+               "scenario; keys are event ordinals (deterministic windows), "
+               "values are wall-clock self-measurements. The *_p99 keys in "
+               "'sentinel' are the regression gate: --check fails when they "
+               "exceed the committed baseline by more than 10%%.\",\n");
+  std::fprintf(out,
+               "  \"scenario\": {\"name\": \"%s\", \"trace\": \"%s\", "
+               "\"jobs\": %zu, \"scheduler\": \"%s\", \"semantics\": \"%s\", "
+               "\"factor\": %g},\n",
+               s.name, s.trace, jobs, s.scheduler, s.semantics, s.factor);
+  std::fprintf(out, "  \"events\": %llu,\n",
+               static_cast<unsigned long long>(r.events));
+  std::fprintf(out, "  \"seconds\": %.3f,\n", seconds);
+  std::fprintf(out, "  \"sentinel\": {\n");
+  write_sentinel_series(out, "decision_latency_us", decision, false);
+  write_sentinel_series(out, "plan_latency_us", plan, false);
+  write_sentinel_series(out, "queue_depth", depth, true);
+  std::fprintf(out, "  },\n");
+  {
+    std::ostringstream metrics;
+    registry.write_json(metrics, 2);
+    std::fprintf(out, "  \"metrics\":\n%s\n", metrics.str().c_str());
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (decision != nullptr) {
+    const obs::WindowAggregate t = decision->total();
+    std::printf("decision latency (us): n=%llu p50=%.1f p99=%.1f p999=%.1f\n",
+                static_cast<unsigned long long>(t.count), t.p50, t.p99,
+                t.p999);
+  }
+
+  if (!check) return 0;
+  if (baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "--sentinel --check needs --sentinel-baseline <report>\n");
+    return 1;
+  }
+  const auto base_text = read_file(baseline_path);
+  if (!base_text) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 1;
+  }
+  const auto to_text = read_file(out_path);
+  if (!to_text) {
+    std::fprintf(stderr, "cannot re-read %s\n", out_path.c_str());
+    return 1;
+  }
+  return compare_sentinel_texts(*base_text, *to_text);
 }
 
 // ---------------------------------------------------------------------------
@@ -597,7 +806,17 @@ int main(int argc, char** argv) {
                "single simulations; writes BENCH_sweep.json");
   cli.add_flag("check",
                "with --sweep: fail unless the warm cache pass hits >= 95% "
-               "of points and all paths are bit-identical");
+               "of points and all paths are bit-identical; with --sentinel: "
+               "fail on a > 10% p99 latency regression vs the baseline");
+  cli.add_flag("sentinel",
+               "run the headline scenario with windowed time-series "
+               "telemetry and write the latency-percentile report "
+               "(BENCH_obs.json); combine with --check + "
+               "--sentinel-baseline to gate, or with --compare-base/"
+               "--compare-to to diff two existing reports");
+  cli.add_option("sentinel-baseline", "",
+                 "committed BENCH_obs.json to gate against with --sentinel "
+                 "--check");
   cli.add_option("cache-dir", "",
                  "with --sweep: persistent cache directory (default: a "
                  "fresh temp directory, removed afterwards)");
@@ -614,12 +833,29 @@ int main(int argc, char** argv) {
                    "--compare-base and --compare-to must be given together\n");
       return 1;
     }
+    if (cli.get_flag("sentinel")) {
+      const auto base_text = read_file(cli.get("compare-base"));
+      const auto to_text = read_file(cli.get("compare-to"));
+      if (!base_text || !to_text) {
+        std::fprintf(stderr, "cannot read %s\n",
+                     !base_text ? cli.get("compare-base").c_str()
+                                : cli.get("compare-to").c_str());
+        return 1;
+      }
+      return compare_sentinel_texts(*base_text, *to_text);
+    }
     return run_compare(cli.get("compare-base"), cli.get("compare-to"));
   }
 
   const bool smoke = cli.get_flag("smoke");
   const double baseline = cli.get_double("baseline-seconds");
   std::string out_path = cli.get("out");
+
+  if (cli.get_flag("sentinel")) {
+    if (out_path == "BENCH_planner.json") out_path = "BENCH_obs.json";
+    return run_obs_sentinel(smoke, cli.get_flag("check"), out_path,
+                            cli.get("sentinel-baseline"));
+  }
 
   if (cli.get_flag("sweep")) {
     if (out_path == "BENCH_planner.json") out_path = "BENCH_sweep.json";
@@ -646,6 +882,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"dynp macro simulation throughput\",\n");
+  write_meta(out);
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out,
                "  \"note\": \"one simulate() per scenario, steady_clock wall "

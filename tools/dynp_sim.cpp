@@ -142,6 +142,10 @@ int main(int argc, char** argv) {
   cli.add_option("trace-format", "jsonl",
                  "trace encoding: jsonl (one record per line) or chrome "
                  "(open in chrome://tracing / Perfetto)");
+  cli.add_flag("trace-provenance",
+               "emit decision-provenance spans (per-job lifecycle, tuning "
+               "pass chains, commit flows) into the --trace-out stream; "
+               "slice them with dynp_tracectl");
   cli.add_flag("profile",
                "time the pipeline phases (planner, decider, event loop) and "
                "print a latency summary; implied histograms land in "
@@ -367,9 +371,15 @@ int main(int argc, char** argv) {
   const std::string metrics_out = cli.get("metrics-out");
   const std::string trace_out = cli.get("trace-out");
   const bool profile = cli.get_flag("profile");
+  const bool trace_provenance = cli.get_flag("trace-provenance");
+  if (trace_provenance && trace_out.empty()) {
+    std::fprintf(stderr, "--trace-provenance requires --trace-out\n");
+    return 1;
+  }
   obs::Registry registry;
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::PhaseProfiler> profiler;
+  std::unique_ptr<obs::ProvenanceTracer> provenance;
   if (!metrics_out.empty() || !trace_out.empty() || profile) {
     if (!obs::kEnabled) {
       std::fprintf(stderr,
@@ -389,6 +399,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cannot open --trace-out %s\n", trace_out.c_str());
         return 1;
       }
+      if (trace_provenance) {
+        provenance = std::make_unique<obs::ProvenanceTracer>(*tracer);
+      }
     }
     if (profile || !metrics_out.empty()) {
       profiler = std::make_unique<obs::PhaseProfiler>(registry, tracer.get());
@@ -396,6 +409,7 @@ int main(int argc, char** argv) {
     config.instruments.registry = &registry;
     config.instruments.tracer = tracer.get();
     config.instruments.profiler = profiler.get();
+    config.instruments.provenance = provenance.get();
   }
 
   const core::SimulationResult r = core::simulate(jobs, config);

@@ -1,0 +1,357 @@
+/// dynp_tracectl — slice and summarise decision-provenance traces.
+///
+/// Consumes the JSONL traces written by `dynp_sim --trace-out run.trace
+/// --trace-provenance` (see src/obs/provenance.hpp for the record schema)
+/// and answers the questions a scheduler post-mortem starts with: what
+/// happened to job N (its full span lifecycle, requeue chains included),
+/// what did the decider do around event K, and how long did it stick with
+/// each policy before switching.
+///
+/// Examples:
+///   dynp_tracectl --in run.trace                      # whole-trace summary
+///   dynp_tracectl --in run.trace --job 17             # one job's lifecycle
+///   dynp_tracectl --in run.trace --timeline           # every job's lifecycle
+///   dynp_tracectl --in run.trace --streaks            # decider switch streaks
+///   dynp_tracectl --in run.trace --policy SJF --streaks
+///   dynp_tracectl --in run.trace --seq-min 100 --seq-max 200 --spans
+///
+/// Only the JSONL encoding is supported: the Chrome encoding is for
+/// chrome://tracing / Perfetto, which already are the slicing UI.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace {
+
+/// One parsed "jspan" record. Optional fields keep their sentinel when the
+/// record omits them (the writer omits a key whenever it carries no info).
+struct SpanRec {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t seq = 0;
+  double t0 = 0;
+  double t1 = 0;
+  long long job = -1;
+  long long attempt = -1;
+  std::string outcome;
+  double delay = -1;
+  long long step = -1;
+};
+
+/// One parsed "jflow" record (commit -> run causality edge).
+struct FlowRec {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  std::uint64_t job = 0;
+  std::uint64_t seq = 0;
+  double t = 0;
+};
+
+/// Everything sliced out of one trace file.
+struct Trace {
+  std::vector<SpanRec> spans;
+  std::vector<FlowRec> flows;
+  std::size_t lines = 0;          ///< total lines read
+  std::size_t other_records = 0;  ///< non-provenance records (tracer events)
+};
+
+[[nodiscard]] std::optional<double> find_number(const std::string& line,
+                                                const char* key) {
+  const std::string tag = std::string("\"") + key + "\": ";
+  const std::size_t pos = line.find(tag);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtod(line.c_str() + pos + tag.size(), nullptr);
+}
+
+[[nodiscard]] std::optional<std::string> find_string(const std::string& line,
+                                                     const char* key) {
+  const std::string tag = std::string("\"") + key + "\": \"";
+  const std::size_t begin = line.find(tag);
+  if (begin == std::string::npos) return std::nullopt;
+  const std::size_t start = begin + tag.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(start, end - start);
+}
+
+[[nodiscard]] std::uint64_t u64_or(const std::optional<double>& v,
+                                   std::uint64_t fallback) {
+  return v ? static_cast<std::uint64_t>(*v) : fallback;
+}
+
+/// Parses the provenance records out of a JSONL trace; every other record
+/// type (the tracer's own scheduler events, metadata) is counted and
+/// skipped, so mixed traces work.
+[[nodiscard]] std::optional<Trace> read_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  Trace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++trace.lines;
+    if (trace.lines == 1 && line[0] == '[') {
+      std::fprintf(stderr,
+                   "%s looks like a Chrome trace; dynp_tracectl reads the "
+                   "jsonl encoding (dynp_sim --trace-format jsonl)\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+    const auto type = find_string(line, "type");
+    if (type && *type == "jspan") {
+      SpanRec s;
+      const auto name = find_string(line, "name");
+      if (!name) continue;
+      s.name = *name;
+      s.id = u64_or(find_number(line, "id"), 0);
+      s.parent = u64_or(find_number(line, "parent"), 0);
+      s.trace = u64_or(find_number(line, "trace"), 0);
+      s.seq = u64_or(find_number(line, "seq"), 0);
+      s.t0 = find_number(line, "t0").value_or(0);
+      s.t1 = find_number(line, "t1").value_or(0);
+      const auto job = find_number(line, "job");
+      if (job) s.job = static_cast<long long>(*job);
+      const auto attempt = find_number(line, "attempt");
+      if (attempt) s.attempt = static_cast<long long>(*attempt);
+      s.outcome = find_string(line, "outcome").value_or("");
+      s.delay = find_number(line, "delay").value_or(-1);
+      const auto step = find_number(line, "step");
+      if (step) s.step = static_cast<long long>(*step);
+      trace.spans.push_back(std::move(s));
+    } else if (type && *type == "jflow") {
+      FlowRec f;
+      f.from = u64_or(find_number(line, "from"), 0);
+      f.to = u64_or(find_number(line, "to"), 0);
+      f.job = u64_or(find_number(line, "job"), 0);
+      f.seq = u64_or(find_number(line, "seq"), 0);
+      f.t = find_number(line, "t").value_or(0);
+      trace.flows.push_back(f);
+    } else {
+      ++trace.other_records;
+    }
+  }
+  return trace;
+}
+
+/// Formats one span as a stable single line (used by --spans and the
+/// per-job timelines; golden tests compare this output byte for byte).
+void print_span(const SpanRec& s, const char* indent) {
+  std::printf("%sseq=%llu t0=%g t1=%g %s", indent,
+              static_cast<unsigned long long>(s.seq), s.t0, s.t1,
+              s.name.c_str());
+  if (s.attempt >= 0) std::printf(" attempt=%lld", s.attempt);
+  if (!s.outcome.empty()) std::printf(" outcome=%s", s.outcome.c_str());
+  if (s.delay >= 0) std::printf(" delay=%g", s.delay);
+  if (s.step >= 0) std::printf(" step=%lld", s.step);
+  std::printf("\n");
+}
+
+/// One job's lifecycle: the root "job" span as the header, every child span
+/// in id order (ids are allocated in open order, so this is chronological).
+void print_job_timeline(long long job, std::vector<SpanRec> spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRec& a, const SpanRec& b) { return a.id < b.id; });
+  const SpanRec* root = nullptr;
+  for (const SpanRec& s : spans) {
+    if (s.name == "job") root = &s;
+  }
+  if (root != nullptr) {
+    std::printf("job %lld: outcome=%s attempts=%lld submit=%g end=%g "
+                "spans=%zu\n",
+                job, root->outcome.empty() ? "?" : root->outcome.c_str(),
+                root->attempt, root->t0, root->t1, spans.size());
+  } else {
+    std::printf("job %lld: (no terminal span — job still open at end of "
+                "trace) spans=%zu\n",
+                job, spans.size());
+  }
+  for (const SpanRec& s : spans) {
+    if (&s == root) continue;
+    print_span(s, "  ");
+  }
+}
+
+/// Decider switch streaks: consecutive tuning passes that kept the same
+/// policy, reconstructed from the `decide:<policy>` spans in seq order.
+void print_streaks(const std::vector<SpanRec>& spans,
+                   const std::string& policy_filter) {
+  struct Decision {
+    std::uint64_t seq = 0;
+    std::string policy;
+    bool switched = false;
+  };
+  std::vector<Decision> decisions;
+  for (const SpanRec& s : spans) {
+    if (s.name.rfind("decide:", 0) != 0) continue;
+    decisions.push_back(
+        {s.seq, s.name.substr(std::strlen("decide:")), s.outcome == "switched"});
+  }
+  std::sort(decisions.begin(), decisions.end(),
+            [](const Decision& a, const Decision& b) { return a.seq < b.seq; });
+  std::size_t switches = 0;
+  for (const Decision& d : decisions) {
+    if (d.switched) ++switches;
+  }
+  std::printf("decider stream: %zu decisions, %zu switches\n",
+              decisions.size(), switches);
+  struct Streak {
+    std::string policy;
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+    std::size_t length = 0;
+  };
+  std::vector<Streak> streaks;
+  for (const Decision& d : decisions) {
+    if (streaks.empty() || streaks.back().policy != d.policy) {
+      streaks.push_back({d.policy, d.seq, d.seq, 1});
+    } else {
+      streaks.back().to = d.seq;
+      ++streaks.back().length;
+    }
+  }
+  std::map<std::string, std::size_t> longest;
+  for (const Streak& s : streaks) {
+    longest[s.policy] = std::max(longest[s.policy], s.length);
+    if (!policy_filter.empty() && s.policy != policy_filter) continue;
+    std::printf("  policy=%s from_seq=%llu to_seq=%llu decisions=%zu\n",
+                s.policy.c_str(), static_cast<unsigned long long>(s.from),
+                static_cast<unsigned long long>(s.to), s.length);
+  }
+  std::printf("longest streak per policy:\n");
+  for (const auto& [policy, length] : longest) {
+    std::printf("  %s %zu\n", policy.c_str(), length);
+  }
+}
+
+void print_summary(const Trace& trace, const std::vector<SpanRec>& spans) {
+  std::map<std::string, std::size_t> by_name;
+  std::map<long long, std::size_t> jobs;
+  std::size_t finished = 0;
+  std::size_t dropped = 0;
+  for (const SpanRec& s : spans) {
+    // Group the policy-parameterised names so the table stays small.
+    std::string key = s.name;
+    if (key.rfind("decide:", 0) == 0) key = "decide:*";
+    if (key.rfind("plan:", 0) == 0) key = "plan:*";
+    ++by_name[key];
+    if (s.job >= 0) ++jobs[s.job];
+    if (s.name == "job") {
+      if (s.outcome == "finished") ++finished;
+      if (s.outcome == "dropped") ++dropped;
+    }
+  }
+  std::printf("trace: %zu lines (%zu provenance spans, %zu flows, %zu other "
+              "records)\n",
+              trace.lines, spans.size(), trace.flows.size(),
+              trace.other_records);
+  std::printf("jobs: %zu seen, %zu finished, %zu dropped\n", jobs.size(),
+              finished, dropped);
+  std::printf("spans by name:\n");
+  for (const auto& [name, count] : by_name) {
+    std::printf("  %-16s %zu\n", name.c_str(), count);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dynp::util::CliParser cli(
+      "dynp_tracectl — slice decision-provenance traces (jsonl): per-job "
+      "lifecycle timelines, decider switch streaks, event-range filters");
+  cli.add_option("in", "", "input trace file (jsonl; required)");
+  cli.add_option("job", "-1", "show the lifecycle timeline of this job id");
+  cli.add_option("policy", "",
+                 "restrict --streaks / --spans to this policy name (matches "
+                 "decide:<name> and plan:<name> spans)");
+  cli.add_option("seq-min", "0", "drop records before this event ordinal");
+  cli.add_option("seq-max", "-1",
+                 "drop records after this event ordinal (-1 = no limit)");
+  cli.add_flag("timeline", "print every job's lifecycle timeline");
+  cli.add_flag("streaks", "print decider switch streaks");
+  cli.add_flag("spans", "dump the filtered spans verbatim");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string in_path = cli.get("in");
+  if (in_path.empty()) {
+    std::fprintf(stderr, "--in <trace.jsonl> is required\n");
+    return 1;
+  }
+  const auto job_opt = cli.get_int_checked("job", -1, 1LL << 32);
+  const auto seq_min_opt = cli.get_int_checked("seq-min", 0, 1LL << 62);
+  const auto seq_max_opt = cli.get_int_checked("seq-max", -1, 1LL << 62);
+  if (!job_opt || !seq_min_opt || !seq_max_opt) return 1;
+
+  std::optional<Trace> trace = read_trace(in_path);
+  if (!trace) {
+    std::fprintf(stderr, "cannot read trace %s\n", in_path.c_str());
+    return 1;
+  }
+
+  // --- event-range + policy slicing ---
+  const std::uint64_t seq_min = static_cast<std::uint64_t>(*seq_min_opt);
+  const std::uint64_t seq_max = *seq_max_opt < 0
+                                    ? ~0ull
+                                    : static_cast<std::uint64_t>(*seq_max_opt);
+  const std::string policy = cli.get("policy");
+  std::vector<SpanRec> spans;
+  for (SpanRec& s : trace->spans) {
+    if (s.seq < seq_min || s.seq > seq_max) continue;
+    spans.push_back(std::move(s));
+  }
+
+  const long long job = *job_opt;
+  if (job >= 0) {
+    std::vector<SpanRec> job_spans;
+    for (const SpanRec& s : spans) {
+      if (s.job == job) job_spans.push_back(s);
+    }
+    if (job_spans.empty()) {
+      std::fprintf(stderr, "no spans for job %lld in the selected range\n",
+                   job);
+      return 1;
+    }
+    print_job_timeline(job, std::move(job_spans));
+    return 0;
+  }
+
+  if (cli.get_flag("timeline")) {
+    std::map<long long, std::vector<SpanRec>> by_job;
+    for (const SpanRec& s : spans) {
+      if (s.job >= 0) by_job[s.job].push_back(s);
+    }
+    for (auto& [id, job_spans] : by_job) {
+      print_job_timeline(id, std::move(job_spans));
+    }
+    return 0;
+  }
+
+  if (cli.get_flag("streaks")) {
+    print_streaks(spans, policy);
+    return 0;
+  }
+
+  if (cli.get_flag("spans")) {
+    for (const SpanRec& s : spans) {
+      if (!policy.empty() && s.name.rfind("decide:" + policy, 0) != 0 &&
+          s.name.rfind("plan:" + policy, 0) != 0) {
+        continue;
+      }
+      print_span(s, "");
+    }
+    return 0;
+  }
+
+  print_summary(*trace, spans);
+  return 0;
+}

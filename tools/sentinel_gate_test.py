@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Exit-code contract test for the perf-regression sentinel gate.
+
+Drives `bench_report --sentinel --compare-base A --compare-to B` over the
+committed fixtures in tools/fixtures/ and asserts the exact exit codes:
+
+  * base vs base            -> 0 (clean: no p99 moved)
+  * base vs regressed       -> 2 (the injected 25% decision-latency p99
+                                  regression trips the 10% gate)
+  * base vs /dev/null-ish   -> 1 (no gateable keys: usage/structure error,
+                                  distinct from a regression verdict)
+
+A plain ctest WILL_FAIL would accept any non-zero code; CI scripts branch
+on 2-means-regression, so the codes themselves are the contract.
+
+Usage: sentinel_gate_test.py --bench-report <binary> --fixtures <dir>
+Exit status 0 = contract holds; 1 = violation (details on stderr).
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def gate(binary, base, to):
+    proc = subprocess.run(
+        [binary, "--sentinel", "--compare-base", base, "--compare-to", to],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    sys.stdout.write(proc.stdout.decode(errors="replace"))
+    return proc.returncode
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench-report", required=True,
+                    help="path to the bench_report binary")
+    ap.add_argument("--fixtures", required=True,
+                    help="directory holding sentinel_base.json and "
+                         "sentinel_regressed.json")
+    args = ap.parse_args()
+
+    base = os.path.join(args.fixtures, "sentinel_base.json")
+    regressed = os.path.join(args.fixtures, "sentinel_regressed.json")
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as empty:
+        empty.write('{"benchmark": "dynp obs sentinel", "sentinel": {}}\n')
+        keyless = empty.name
+    try:
+        failures = 0
+        for label, to, want in (("clean (base vs base)", base, 0),
+                                ("regression injected", regressed, 2),
+                                ("no gateable keys", keyless, 1)):
+            got = gate(args.bench_report, base, to)
+            if got != want:
+                print(f"sentinel_gate_test: FAIL: {label}: exit {got}, "
+                      f"expected {want}", file=sys.stderr)
+                failures += 1
+            else:
+                print(f"sentinel_gate_test: OK: {label} -> exit {got}")
+        return 1 if failures else 0
+    finally:
+        os.unlink(keyless)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

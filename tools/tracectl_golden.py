@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Golden-output test for dynp_tracectl lifecycle reconstruction.
+
+Replays a fixed, seeded fault-injected run (KTH, 300 jobs, job-failure
+injection with retries) through dynp_sim --trace-provenance, slices the
+resulting trace with dynp_tracectl, and compares the output byte for byte
+against the committed golden file. The sliced views are:
+
+  * the full lifecycle of job 10, which fails on attempt 0 and finishes on
+    attempt 1 — the requeue-after-failure chain (submit -> queue_insert ->
+    wait -> run[job_fail] -> backoff -> queue_insert -> wait ->
+    run[finished]) must reconstruct exactly;
+  * the decider switch-streak report over the whole run.
+
+Everything tracectl prints here derives from sim-time and event ordinals,
+so the output is deterministic for a fixed workload. The workload itself
+comes from the synthetic KTH model whose sampling goes through libm;
+goldens are generated on the CI platform (Linux) via --update.
+
+Usage:
+  tracectl_golden.py --sim <dynp_sim> --tracectl <dynp_tracectl>
+                     --golden <file> --workdir <dir> [--update]
+
+Exit status 0 = output matches golden (or --update rewrote it);
+1 = mismatch or a tool failed; 2 = usage error.
+"""
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+
+RUN_ARGS = ["--trace", "KTH", "--jobs", "300", "--seed", "7",
+            "--factor", "0.5", "--scheduler", "dynp-advanced",
+            "--faults", "--fault-seed", "11", "--job-fail-p", "0.05",
+            "--max-retries", "2", "--trace-format", "jsonl",
+            "--trace-provenance"]
+SLICES = (["--job", "10"], ["--streaks"])
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT)
+    text = proc.stdout.decode(errors="replace")
+    if proc.returncode != 0:
+        sys.stderr.write(text)
+        print(f"tracectl_golden: FAIL: {' '.join(cmd)} exited "
+              f"{proc.returncode}", file=sys.stderr)
+        return None
+    return text
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sim", required=True, help="dynp_sim binary")
+    ap.add_argument("--tracectl", required=True, help="dynp_tracectl binary")
+    ap.add_argument("--golden", required=True, help="committed golden file")
+    ap.add_argument("--workdir", default=".", help="scratch directory")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the golden file instead of comparing")
+    args = ap.parse_args()
+
+    os.makedirs(args.workdir, exist_ok=True)
+    trace = os.path.join(args.workdir, "golden_trace.jsonl")
+    if run([args.sim] + RUN_ARGS + ["--trace-out", trace]) is None:
+        return 1
+
+    parts = []
+    for extra in SLICES:
+        cmd = [args.tracectl, "--in", trace] + extra
+        out = run(cmd)
+        if out is None:
+            return 1
+        parts.append(f"$ dynp_tracectl {' '.join(extra)}\n{out}")
+    actual = "\n".join(parts)
+
+    if args.update:
+        with open(args.golden, "w", encoding="utf-8") as f:
+            f.write(actual)
+        print(f"tracectl_golden: wrote {args.golden}")
+        return 0
+
+    with open(args.golden, encoding="utf-8") as f:
+        expected = f.read()
+    if actual == expected:
+        print(f"tracectl_golden: OK: output matches {args.golden} "
+              f"({len(actual.splitlines())} lines)")
+        return 0
+    sys.stderr.writelines(difflib.unified_diff(
+        expected.splitlines(keepends=True), actual.splitlines(keepends=True),
+        fromfile=args.golden, tofile="actual"))
+    print("tracectl_golden: FAIL: output diverged from golden "
+          "(regenerate with --update if the change is intended)",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,21 @@
 
 Checks the three file formats the instrumentation layer emits:
 
-  * metrics JSON   (dynp_sim --metrics-out, obs::Registry::write_json)
-  * JSONL traces   (dynp_sim --trace-out --trace-format jsonl)
+  * metrics JSON   (dynp_sim --metrics-out, obs::Registry::write_json;
+                    including the windowed time-series snapshots)
+  * JSONL traces   (dynp_sim --trace-out --trace-format jsonl; including
+                    the provenance jspan/jflow records emitted under
+                    --trace-provenance)
   * Chrome traces  (dynp_sim --trace-out --trace-format chrome;
                     the chrome://tracing / Perfetto trace_event format)
+
+Provenance traces get a structural pass on top of the per-record schema
+check: span ids must be unique, parent ids must resolve, child spans must
+nest inside their job's terminal root span, every job lifecycle must
+terminate (exactly one `job` root with a finished/dropped outcome), and
+flow records must connect a commit span to a run span. The checks run
+collect-then-verify because root spans are emitted when the lifecycle
+*closes*, i.e. after all of their children.
 
 Usage:
   validate_trace.py --metrics run.json
@@ -40,6 +51,12 @@ FAULT_WHATS = ("node_down", "node_up", "job_fail", "node_kill", "requeue",
                "drop")
 HISTOGRAM_REQUIRED = {"count", "sum", "min", "max", "mean", "p50", "p90",
                       "p99", "le", "bucket_counts"}
+JSPAN_REQUIRED = {"type", "name", "id", "parent", "seq", "t0", "t1"}
+JFLOW_REQUIRED = {"type", "from", "to", "job", "seq", "t"}
+SERIES_REQUIRED = {"window", "capacity", "late", "total", "windows"}
+AGGREGATE_REQUIRED = {"count", "sum", "min", "max", "p50", "p95", "p99",
+                      "p999"}
+SPAN_OUTCOMES = ("finished", "dropped")
 
 
 def fail(msg):
@@ -73,14 +90,95 @@ def validate_metrics(path):
         if hist["count"] > 0 and not hist["min"] <= hist["mean"] <= hist["max"]:
             return fail(f"{path}: histogram {name}: min <= mean <= max "
                         "violated")
+    # The "series" key is optional: registries without windowed series keep
+    # the pre-series snapshot layout.
+    series = doc.get("series", {})
+    if not isinstance(series, dict):
+        return fail(f"{path}: 'series' is not an object")
+    for name, s in series.items():
+        missing = SERIES_REQUIRED - s.keys()
+        if missing:
+            return fail(f"{path}: series {name} missing {sorted(missing)}")
+        for where, agg in [("total", s["total"])] + [
+                (f"windows[{i}]", w) for i, w in enumerate(s["windows"])]:
+            missing = AGGREGATE_REQUIRED - agg.keys()
+            if missing:
+                return fail(f"{path}: series {name} {where} missing "
+                            f"{sorted(missing)}")
+            if agg["count"] > 0 and not (agg["min"] <= agg["p50"]
+                                         <= agg["p95"] <= agg["p99"]
+                                         <= agg["p999"]):
+                return fail(f"{path}: series {name} {where}: quantiles not "
+                            "monotone")
+        keys = [w["k"] for w in s["windows"]]
+        if sorted(keys) != keys or len(set(keys)) != len(keys):
+            return fail(f"{path}: series {name}: window indices not strictly "
+                        "ascending")
+        if len(keys) > s["capacity"]:
+            return fail(f"{path}: series {name}: more windows than capacity")
+        # Evicted windows fold into the totals, so the retained ring plus the
+        # late-arrival counter can never exceed the cumulative count.
+        windowed = sum(w["count"] for w in s["windows"])
+        if windowed + s["late"] > s["total"]["count"]:
+            return fail(f"{path}: series {name}: windowed+late "
+                        f"({windowed}+{s['late']}) exceeds total count "
+                        f"{s['total']['count']}")
     print(f"validate_trace: OK: {path} (metrics: "
           f"{len(doc['counters'])} counters, "
-          f"{len(doc['histograms'])} histograms)")
+          f"{len(doc['histograms'])} histograms, "
+          f"{len(series)} series)")
+    return 0
+
+
+def validate_provenance(path, spans, flows):
+    """Structural pass over collected jspan/jflow records (see module doc)."""
+    by_id = {}
+    for lineno, rec in spans:
+        if rec["id"] in by_id:
+            return fail(f"{path}:{lineno}: duplicate span id {rec['id']}")
+        by_id[rec["id"]] = rec
+    roots = {}
+    for lineno, rec in spans:
+        if rec["parent"] != 0 and rec["parent"] not in by_id:
+            return fail(f"{path}:{lineno}: span parent {rec['parent']} "
+                        "unresolved")
+        if rec["t1"] < rec["t0"]:
+            return fail(f"{path}:{lineno}: span {rec['name']} closes before "
+                        "it opens")
+        if rec["name"] == "job":
+            if rec["job"] in roots:
+                return fail(f"{path}:{lineno}: job {rec['job']} has two "
+                            "terminal spans")
+            if rec.get("outcome") not in SPAN_OUTCOMES:
+                return fail(f"{path}:{lineno}: job {rec['job']} lifecycle "
+                            f"ended with {rec.get('outcome')!r}")
+            roots[rec["job"]] = rec
+    for lineno, rec in spans:
+        if rec.get("job") is None or rec["name"] == "job":
+            continue
+        root = roots.get(rec["job"])
+        if root is None:
+            return fail(f"{path}:{lineno}: span for job {rec['job']} but its "
+                        "lifecycle never terminated")
+        if rec["parent"] != root["id"]:
+            return fail(f"{path}:{lineno}: {rec['name']} span does not "
+                        f"parent to job {rec['job']}'s root")
+        if not root["t0"] <= rec["t0"] <= rec["t1"] <= root["t1"]:
+            return fail(f"{path}:{lineno}: {rec['name']} span escapes job "
+                        f"{rec['job']}'s root interval")
+    for lineno, rec in flows:
+        src, dst = by_id.get(rec["from"]), by_id.get(rec["to"])
+        if src is None or dst is None:
+            return fail(f"{path}:{lineno}: flow endpoints do not resolve")
+        if src["name"] != "commit" or dst["name"] != "run":
+            return fail(f"{path}:{lineno}: flow is not commit -> run "
+                        f"({src['name']} -> {dst['name']})")
     return 0
 
 
 def validate_jsonl(path):
     n, last_event_seq = 0, 0
+    prov_spans, prov_flows = [], []
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -94,13 +192,19 @@ def validate_jsonl(path):
             required = {"event": EVENT_REQUIRED,
                         "decision": DECISION_REQUIRED,
                         "span": SPAN_REQUIRED,
-                        "fault": FAULT_REQUIRED}.get(kind)
+                        "fault": FAULT_REQUIRED,
+                        "jspan": JSPAN_REQUIRED,
+                        "jflow": JFLOW_REQUIRED}.get(kind)
             if required is None:
                 return fail(f"{path}:{lineno}: unknown record type {kind!r}")
             missing = required - rec.keys()
             if missing:
                 return fail(f"{path}:{lineno}: {kind} record missing "
                             f"{sorted(missing)}")
+            if kind == "jspan":
+                prov_spans.append((lineno, rec))
+            if kind == "jflow":
+                prov_flows.append((lineno, rec))
             if kind == "event":
                 if rec["seq"] < last_event_seq:
                     return fail(f"{path}:{lineno}: event seq went backwards")
@@ -122,7 +226,12 @@ def validate_jsonl(path):
             n += 1
     if n == 0:
         return fail(f"{path}: empty trace")
-    print(f"validate_trace: OK: {path} (jsonl: {n} records)")
+    if prov_spans or prov_flows:
+        status = validate_provenance(path, prov_spans, prov_flows)
+        if status:
+            return status
+    print(f"validate_trace: OK: {path} (jsonl: {n} records, "
+          f"{len(prov_spans)} spans, {len(prov_flows)} flows)")
     return 0
 
 
@@ -162,11 +271,18 @@ def run_end_to_end(binary, workdir):
     jsonl = os.path.join(workdir, "run_trace.jsonl")
     chrome = os.path.join(workdir, "run_trace_chrome.json")
     fault_jsonl = os.path.join(workdir, "run_fault_trace.jsonl")
+    prov_jsonl = os.path.join(workdir, "run_provenance_trace.jsonl")
     for extra in (["--profile", "--metrics-out", metrics,
                    "--trace-out", jsonl, "--trace-format", "jsonl"],
                   ["--trace-out", chrome, "--trace-format", "chrome"],
                   ["--faults", "--mtbf", "40000", "--job-fail-p", "0.05",
-                   "--trace-out", fault_jsonl, "--trace-format", "jsonl"]):
+                   "--trace-out", fault_jsonl, "--trace-format", "jsonl"],
+                  # Fault-injected provenance run: job lifecycles must
+                  # terminate and nest even across fail -> backoff -> requeue
+                  # chains.
+                  ["--faults", "--job-fail-p", "0.08", "--max-retries", "2",
+                   "--trace-out", prov_jsonl, "--trace-format", "jsonl",
+                   "--trace-provenance"]):
         cmd = [binary] + base + extra
         proc = subprocess.run(cmd, stdout=subprocess.PIPE,
                               stderr=subprocess.STDOUT)
@@ -176,7 +292,8 @@ def run_end_to_end(binary, workdir):
     return (validate_metrics(metrics)
             or validate_jsonl(jsonl)
             or validate_chrome(chrome)
-            or validate_jsonl(fault_jsonl))
+            or validate_jsonl(fault_jsonl)
+            or validate_jsonl(prov_jsonl))
 
 
 def main():
