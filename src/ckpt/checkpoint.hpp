@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Crash-consistent checkpointing knobs for `core::simulate`. All default
+/// values leave checkpointing off; a fresh, un-checkpointed run is
+/// byte-identical whether this struct exists or not (the run loop only
+/// branches when `armed()`).
+
+#include <cstdint>
+#include <string>
+
+namespace dynp::ckpt {
+
+/// Checkpoint/restore configuration of one simulation run.
+struct CheckpointOptions {
+  /// Snapshot every N processed events into `dir` (0 = no periodic
+  /// snapshots). Snapshots are only ever taken *between* events, where the
+  /// scheduler state is quiescent.
+  std::uint64_t every = 0;
+
+  /// Directory for snapshots (`ckpt-<seq>.snap`) and the write-ahead event
+  /// journal (`journal.wal`). Created on demand.
+  std::string dir;
+
+  /// Restore source: a snapshot file, or a checkpoint directory in which
+  /// the newest *valid* snapshot is selected (torn/truncated files are
+  /// detected via the content hash and skipped — rollback to the previous
+  /// good checkpoint). Empty = fresh run.
+  std::string restore_from;
+
+  /// Crash-injection test hook: raise SIGKILL immediately after processing
+  /// event N (0 = off). Used by tools/dynp_chaos to die at deterministic,
+  /// seed-derived event offsets instead of racing an external kill.
+  std::uint64_t kill_after_event = 0;
+
+  /// Binary identity stamp written into snapshot headers (git SHA,
+  /// compiler, build type — see `dynp_sim --version`). Informational only;
+  /// restore never compares it.
+  std::string build_tag;
+
+  /// Anything to do at all?
+  [[nodiscard]] bool armed() const noexcept {
+    return (every > 0 && !dir.empty()) || !restore_from.empty() ||
+           kill_after_event > 0;
+  }
+
+  /// Periodic snapshots requested (and a directory to put them in)?
+  [[nodiscard]] bool snapshots_armed() const noexcept {
+    return every > 0 && !dir.empty();
+  }
+};
+
+}  // namespace dynp::ckpt

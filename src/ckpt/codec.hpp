@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file codec.hpp
+/// Fixed little-endian byte codec shared by the snapshot and journal
+/// formats. The encoding is fully specified (no struct dumps, no host
+/// endianness, doubles as IEEE-754 bit patterns), so a snapshot written on
+/// one machine decodes bit-exactly on any other — the same portability bar
+/// the simulator itself meets.
+///
+/// `ByteReader` never aborts on malformed input: every read checks bounds
+/// and latches `ok() == false` on overrun, because torn or corrupt files
+/// are an *expected* input of the restore path (crash mid-write) and must
+/// be rejected gracefully, not trip a contract.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dynp::ckpt {
+
+/// Append-only little-endian encoder over a growable byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { append_le(v, 1); }
+  void u32(std::uint32_t v) { append_le(v, 4); }
+  void u64(std::uint64_t v) { append_le(v, 8); }
+  void f64(double v) { append_le(std::bit_cast<std::uint64_t>(v), 8); }
+
+  /// Length-prefixed byte string.
+  void str(std::string_view s) { append_str(s); }
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void append_le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+    }
+  }
+  void append_str(std::string_view s) {
+    append_le(s.size(), 8);
+    buf_.append(s.data(), s.size());
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder over a byte view. After an overrun
+/// every further read returns zero values and `ok()` stays false.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) noexcept : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// All bytes consumed and no overrun — a complete, exact parse.
+  [[nodiscard]] bool done() const noexcept {
+    return ok_ && pos_ == data_.size();
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take_le(1)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take_le(4)); }
+  std::uint64_t u64() { return take_le(8); }
+  double f64() { return std::bit_cast<double>(take_le(8)); }
+
+  /// Length-prefixed byte string (empty on overrun).
+  std::string str() { return take_str(); }
+
+ private:
+  [[nodiscard]] std::uint64_t take_le(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  [[nodiscard]] std::string take_str() {
+    const std::uint64_t n = take_le(8);
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace dynp::ckpt

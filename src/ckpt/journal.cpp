@@ -1,0 +1,125 @@
+#include "ckpt/journal.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#include "ckpt/codec.hpp"
+#include "util/assert.hpp"
+#include "util/fnv.hpp"
+
+namespace dynp::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'Y', 'N', 'P', 'W', 'A', 'L', '0'};
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::uint64_t kChainSeed = 0x6a6f75726e616c31ULL;  // "journal1"
+
+/// Serialized size of one record: ordinal + time + kind + job + chain.
+constexpr std::size_t kRecordBytes = 8 + 8 + 1 + 4 + 8;
+
+/// Encodes the hash-covered part of a record (everything but the chain).
+void encode_body(ByteWriter& w, const JournalRecord& r) {
+  w.u64(r.ordinal);
+  w.f64(r.time);
+  w.u8(r.kind);
+  w.u32(r.job);
+}
+
+/// Advances the hash chain over one record body.
+[[nodiscard]] std::uint64_t chain_next(std::uint64_t chain,
+                                       std::string_view body) {
+  ByteWriter w;
+  w.u64(chain);
+  std::string covered = w.bytes();
+  covered.append(body);
+  return util::fnv1a64(covered);
+}
+
+}  // namespace
+
+bool Journal::open_fresh(const std::string& path,
+                         std::uint64_t config_fingerprint,
+                         std::uint64_t base_seq) {
+  DYNP_EXPECTS(!path.empty());
+  close();
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return false;
+  chain_ = kChainSeed;
+  ByteWriter w;
+  w.str(std::string_view(kMagic, sizeof kMagic));
+  w.u32(kJournalVersion);
+  w.u64(config_fingerprint);
+  w.u64(base_seq);
+  const bool ok =
+      std::fwrite(w.bytes().data(), 1, w.size(), file_) == w.size() &&
+      std::fflush(file_) == 0;
+  if (!ok) close();
+  return ok;
+}
+
+void Journal::append(const JournalRecord& record) {
+  DYNP_EXPECTS(file_ != nullptr);
+  ByteWriter body;
+  encode_body(body, record);
+  chain_ = chain_next(chain_, body.bytes());
+  ByteWriter w;
+  encode_body(w, record);
+  w.u64(chain_);
+  // Short writes or flush failures leave at most a torn tail, which the
+  // reader's chain check drops — journaling must never abort the run.
+  (void)std::fwrite(w.bytes().data(), 1, w.size(), file_);
+  (void)std::fflush(file_);
+}
+
+void Journal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::optional<Journal::Contents> Journal::read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return std::nullopt;
+  std::string data;
+  char buf[1 << 14];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, in);
+    data.append(buf, n);
+    if (n < sizeof buf) break;
+  }
+  const bool read_ok = std::ferror(in) == 0;
+  std::fclose(in);
+  if (!read_ok) return std::nullopt;
+
+  ByteReader r(data);
+  if (r.str() != std::string_view(kMagic, sizeof kMagic)) return std::nullopt;
+  if (r.u32() != kJournalVersion) return std::nullopt;
+  Contents contents;
+  contents.config_fingerprint = r.u64();
+  contents.base_seq = r.u64();
+  if (!r.ok()) return std::nullopt;
+
+  std::uint64_t chain = kChainSeed;
+  while (r.remaining() >= kRecordBytes) {
+    JournalRecord rec;
+    rec.ordinal = r.u64();
+    rec.time = r.f64();
+    rec.kind = r.u8();
+    rec.job = r.u32();
+    const std::uint64_t stored_chain = r.u64();
+    ByteWriter body;
+    encode_body(body, rec);
+    chain = chain_next(chain, body.bytes());
+    if (!r.ok() || stored_chain != chain) break;  // torn tail — drop
+    contents.records.push_back(rec);
+  }
+  return contents;
+}
+
+}  // namespace dynp::ckpt

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file journal.hpp
+/// Write-ahead event journal: one fixed-size record is appended (and pushed
+/// to the OS) *before* each scheduling event is handled, so after a crash
+/// the journal names exactly the events processed since the last snapshot.
+/// Restore replays only that suffix — the simulation regenerates the events
+/// deterministically from the snapshotted calendar, and each replayed event
+/// is verified record-by-record against the journal. A divergence is a
+/// nondeterminism bug and fails loudly through the contract machinery.
+///
+/// Torn tails (a crash mid-append) are detected by a rolling FNV-1a hash
+/// chain over the records: the reader stops at the first record whose chain
+/// value does not verify, dropping the torn bytes. The journal is rotated
+/// (truncated, new base) at every snapshot so it stays bounded by the
+/// snapshot interval.
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynp::ckpt {
+
+/// One write-ahead record: the identity of a scheduling event about to be
+/// handled. `ordinal` is the engine's processed-events count at dispatch
+/// (1-based), the same number trace records carry as `seq`.
+struct JournalRecord {
+  std::uint64_t ordinal = 0;
+  double time = 0;
+  std::uint8_t kind = 0;  ///< sim::EventKind value
+  std::uint32_t job = 0;
+
+  [[nodiscard]] bool operator==(const JournalRecord&) const = default;
+};
+
+/// Append-side of the journal. Not copyable (owns the FILE handle).
+class Journal {
+ public:
+  Journal() = default;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal() { close(); }
+
+  /// (Re)creates the journal at \p path with a fresh header binding it to a
+  /// configuration fingerprint and a base snapshot seq (records that follow
+  /// are the events after that snapshot). Returns false on I/O failure.
+  [[nodiscard]] bool open_fresh(const std::string& path,
+                                std::uint64_t config_fingerprint,
+                                std::uint64_t base_seq);
+
+  /// Appends one record ahead of processing and flushes it to the OS, so a
+  /// SIGKILL can lose at most a torn tail (which the reader drops).
+  void append(const JournalRecord& record);
+
+  [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+
+  void close();
+
+  /// Parsed journal contents; `records` stops before any torn tail.
+  struct Contents {
+    std::uint64_t config_fingerprint = 0;
+    std::uint64_t base_seq = 0;
+    std::vector<JournalRecord> records;
+  };
+
+  /// Reads a journal file, validating the header and the per-record hash
+  /// chain. nullopt when the file is absent or its header is damaged.
+  [[nodiscard]] static std::optional<Contents> read_file(
+      const std::string& path);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t chain_ = 0;
+};
+
+}  // namespace dynp::ckpt

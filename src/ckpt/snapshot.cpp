@@ -1,0 +1,170 @@
+#include "ckpt/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "ckpt/codec.hpp"
+#include "util/assert.hpp"
+#include "util/fnv.hpp"
+
+namespace dynp::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'Y', 'N', 'P', 'S', 'N', 'A', 'P'};
+constexpr const char* kSnapshotSuffix = ".snap";
+constexpr const char* kSnapshotPrefix = "ckpt-";
+
+/// Reads a whole file in binary mode; nullopt when it cannot be opened.
+std::optional<std::string> slurp(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return std::nullopt;
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, in);
+    data.append(buf, n);
+    if (n < sizeof buf) break;
+  }
+  const bool ok = std::ferror(in) == 0;
+  std::fclose(in);
+  if (!ok) return std::nullopt;
+  return data;
+}
+
+/// All `ckpt-*.snap` paths under \p dir, newest seq first (name-encoded
+/// seqs are zero-padded, so string order is numeric order). Sorted
+/// explicitly because directory iteration order is filesystem-dependent.
+std::vector<std::string> snapshot_paths_newest_first(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with(kSnapshotPrefix) && name.ends_with(kSnapshotSuffix)) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end(), std::greater<>());
+  std::vector<std::string> paths;
+  paths.reserve(names.size());
+  for (const std::string& name : names) {
+    paths.push_back((std::filesystem::path(dir) / name).string());
+  }
+  return paths;
+}
+
+void prune_snapshots(const std::string& dir, std::size_t keep) {
+  const std::vector<std::string> paths = snapshot_paths_newest_first(dir);
+  for (std::size_t i = keep; i < paths.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(paths[i], ec);
+  }
+}
+
+}  // namespace
+
+std::string snapshot_file_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%012llu%s", kSnapshotPrefix,
+                static_cast<unsigned long long>(seq), kSnapshotSuffix);
+  return buf;
+}
+
+bool write_snapshot(const std::string& dir, const SnapshotMeta& meta,
+                    const std::string& payload, std::size_t keep,
+                    std::uint64_t* bytes_out) {
+  DYNP_EXPECTS(!dir.empty());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  ByteWriter w;
+  w.str(std::string_view(kMagic, sizeof kMagic));
+  w.u32(kSnapshotVersion);
+  w.str(meta.build);
+  w.u64(meta.config_fingerprint);
+  w.u64(meta.seq);
+  w.f64(meta.sim_time);
+  w.u64(payload.size());
+  w.u64(util::fnv1a64(payload));
+
+  const std::filesystem::path target =
+      std::filesystem::path(dir) / snapshot_file_name(meta.seq);
+  const std::filesystem::path temp = target.string() + ".tmp";
+  std::FILE* out = std::fopen(temp.string().c_str(), "wb");
+  if (out == nullptr) return false;
+  bool ok = std::fwrite(w.bytes().data(), 1, w.size(), out) == w.size();
+  ok = ok &&
+       std::fwrite(payload.data(), 1, payload.size(), out) == payload.size();
+  // fflush pushes the bytes to the OS: a SIGKILL after the rename below can
+  // no longer tear this file (page-cache durability is all a process kill
+  // needs; power loss is out of scope).
+  ok = ok && std::fflush(out) == 0;
+  std::fclose(out);
+  if (!ok) {
+    std::filesystem::remove(temp, ec);
+    return false;
+  }
+  std::filesystem::rename(temp, target, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return false;
+  }
+  if (bytes_out != nullptr) *bytes_out = w.size() + payload.size();
+  prune_snapshots(dir, keep);
+  return true;
+}
+
+std::optional<LoadedSnapshot> read_snapshot(const std::string& path) {
+  const std::optional<std::string> data = slurp(path);
+  if (!data) return std::nullopt;
+  ByteReader r(*data);
+  if (r.str() != std::string_view(kMagic, sizeof kMagic)) return std::nullopt;
+  if (r.u32() != kSnapshotVersion) return std::nullopt;
+  LoadedSnapshot loaded;
+  loaded.meta.build = r.str();
+  loaded.meta.config_fingerprint = r.u64();
+  loaded.meta.seq = r.u64();
+  loaded.meta.sim_time = r.f64();
+  const std::uint64_t payload_size = r.u64();
+  const std::uint64_t payload_hash = r.u64();
+  if (!r.ok() || r.remaining() != payload_size) return std::nullopt;
+  loaded.payload.assign(data->data() + (data->size() - r.remaining()),
+                        payload_size);
+  if (util::fnv1a64(loaded.payload) != payload_hash) return std::nullopt;
+  loaded.path = path;
+  return loaded;
+}
+
+RestoreScan find_restore_source(const std::string& path_or_dir,
+                                std::uint64_t config_fingerprint) {
+  RestoreScan scan;
+  const auto accept = [&](const std::string& path) {
+    std::optional<LoadedSnapshot> loaded = read_snapshot(path);
+    if (loaded && (config_fingerprint == 0 ||
+                   loaded->meta.config_fingerprint == config_fingerprint)) {
+      scan.snapshot = std::move(loaded);
+      return true;
+    }
+    scan.rejected.push_back(path);
+    return false;
+  };
+
+  std::error_code ec;
+  std::string dir = path_or_dir;
+  if (!std::filesystem::is_directory(path_or_dir, ec)) {
+    if (accept(path_or_dir)) return scan;
+    // A named-but-invalid file rolls back to its siblings: scan the parent
+    // directory for the previous good checkpoint.
+    dir = std::filesystem::path(path_or_dir).parent_path().string();
+    if (dir.empty()) return scan;
+  }
+  for (const std::string& path : snapshot_paths_newest_first(dir)) {
+    if (path == path_or_dir) continue;  // already rejected above
+    if (accept(path)) return scan;
+  }
+  return scan;
+}
+
+}  // namespace dynp::ckpt

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Versioned snapshot files with torn-write detection. A snapshot is a
+/// small self-describing header (magic, format version, build stamp,
+/// configuration fingerprint, event ordinal, sim time) followed by an
+/// opaque payload whose FNV-1a 64 content hash is stamped into the header.
+/// Files are published atomically (temp + rename in the same directory), so
+/// a reader only ever sees absent, whole, or *externally* damaged files —
+/// and the hash catches the damaged ones, which the restore scan then rolls
+/// back past to the previous good checkpoint.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynp::ckpt {
+
+/// Snapshot format version; bumped on any layout change so old binaries
+/// reject new files (and vice versa) instead of misdecoding them.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Self-describing header of one snapshot file.
+struct SnapshotMeta {
+  std::uint64_t config_fingerprint = 0;  ///< run identity (see state.hpp)
+  std::uint64_t seq = 0;                 ///< events processed at capture
+  double sim_time = 0;                   ///< engine clock at capture
+  std::string build;                     ///< binary stamp (informational)
+};
+
+/// `ckpt-<seq, 12 digits>.snap` — zero-padded so lexicographic order is
+/// numeric order.
+[[nodiscard]] std::string snapshot_file_name(std::uint64_t seq);
+
+/// Writes `dir/ckpt-<seq>.snap` atomically (temp + rename), creating the
+/// directory if needed, then prunes all but the \p keep newest snapshots.
+/// Returns false on I/O failure. \p bytes_out (optional) receives the full
+/// file size.
+[[nodiscard]] bool write_snapshot(const std::string& dir,
+                                  const SnapshotMeta& meta,
+                                  const std::string& payload,
+                                  std::size_t keep = 3,
+                                  std::uint64_t* bytes_out = nullptr);
+
+/// One successfully validated snapshot.
+struct LoadedSnapshot {
+  SnapshotMeta meta;
+  std::string payload;
+  std::string path;
+};
+
+/// Reads and validates one snapshot file: magic, version, header shape,
+/// payload length against the actual file size, and the payload hash.
+/// nullopt on any mismatch (torn write, truncation, corruption, foreign
+/// file).
+[[nodiscard]] std::optional<LoadedSnapshot> read_snapshot(
+    const std::string& path);
+
+/// Result of a restore scan: the chosen snapshot (if any) plus every
+/// candidate file that existed but failed validation or belonged to a
+/// different configuration — surfaced so callers can report the rollback.
+struct RestoreScan {
+  std::optional<LoadedSnapshot> snapshot;
+  std::vector<std::string> rejected;
+};
+
+/// Resolves a restore source. \p path_or_dir may name a single snapshot
+/// file or a checkpoint directory; directories (and invalid files, falling
+/// back to their siblings) are scanned newest-seq-first for the first valid
+/// snapshot whose fingerprint matches \p config_fingerprint (0 = accept
+/// any).
+[[nodiscard]] RestoreScan find_restore_source(
+    const std::string& path_or_dir, std::uint64_t config_fingerprint);
+
+}  // namespace dynp::ckpt

@@ -1,0 +1,227 @@
+#include "ckpt/state.hpp"
+
+#include "ckpt/codec.hpp"
+
+namespace dynp::ckpt {
+
+namespace {
+
+/// Sanity cap on decoded element counts: rejects garbage length prefixes
+/// before they turn into multi-gigabyte allocations. Far above any real
+/// workload (the biggest vectors scale with job count).
+constexpr std::uint64_t kMaxElements = 1ULL << 28;
+
+template <typename T, typename Fn>
+void write_vec(ByteWriter& w, const std::vector<T>& v, Fn&& element) {
+  w.u64(v.size());
+  for (const T& e : v) element(w, e);
+}
+
+template <typename T, typename Fn>
+[[nodiscard]] bool read_vec(ByteReader& r, std::vector<T>& v, Fn&& element) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > kMaxElements) return false;
+  v.clear();
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    T e{};
+    element(r, e);
+    v.push_back(e);
+  }
+  return r.ok();
+}
+
+void write_u32s(ByteWriter& w, const std::vector<std::uint32_t>& v) {
+  write_vec(w, v, [](ByteWriter& o, std::uint32_t e) { o.u32(e); });
+}
+void write_u64s(ByteWriter& w, const std::vector<std::uint64_t>& v) {
+  write_vec(w, v, [](ByteWriter& o, std::uint64_t e) { o.u64(e); });
+}
+void write_f64s(ByteWriter& w, const std::vector<double>& v) {
+  write_vec(w, v, [](ByteWriter& o, double e) { o.f64(e); });
+}
+bool read_u32s(ByteReader& r, std::vector<std::uint32_t>& v) {
+  return read_vec(r, v, [](ByteReader& i, std::uint32_t& e) { e = i.u32(); });
+}
+bool read_u64s(ByteReader& r, std::vector<std::uint64_t>& v) {
+  return read_vec(r, v, [](ByteReader& i, std::uint64_t& e) { e = i.u64(); });
+}
+bool read_f64s(ByteReader& r, std::vector<double>& v) {
+  return read_vec(r, v, [](ByteReader& i, double& e) { e = i.f64(); });
+}
+
+void write_running(ByteWriter& w, const std::vector<RunningRec>& v) {
+  write_vec(w, v, [](ByteWriter& o, const RunningRec& e) {
+    o.u32(e.id);
+    o.u32(e.width);
+    o.f64(e.estimated_end);
+  });
+}
+bool read_running(ByteReader& r, std::vector<RunningRec>& v) {
+  return read_vec(r, v, [](ByteReader& i, RunningRec& e) {
+    e.id = i.u32();
+    e.width = i.u32();
+    e.estimated_end = i.f64();
+  });
+}
+
+}  // namespace
+
+std::string SimState::encode() const {
+  ByteWriter w;
+  w.f64(now);
+  w.u64(processed);
+  w.u64(next_seq);
+  w.f64(last_popped_time);
+  write_vec(w, events, [](ByteWriter& o, const EventRec& e) {
+    o.f64(e.time);
+    o.u8(e.kind);
+    o.u32(e.job);
+    o.u64(e.seq);
+  });
+
+  w.u64(policy_index);
+  w.f64(last_event_time);
+  write_u32s(w, waiting);
+  write_running(w, running);
+  write_vec(w, outcomes, [](ByteWriter& o, const OutcomeRec& e) {
+    o.u32(e.id);
+    o.f64(e.submit);
+    o.f64(e.start);
+    o.f64(e.end);
+    o.u32(e.width);
+    o.f64(e.actual_runtime);
+  });
+  write_vec(w, candidates, [](ByteWriter& o, const CandidateRec& e) {
+    o.u8(e.reusable);
+    write_vec(o, e.plan, [](ByteWriter& p, const PlannedRec& j) {
+      p.u32(j.id);
+      p.f64(j.start);
+    });
+    if (e.reusable != 0) {
+      o.u32(e.profile_capacity);
+      write_f64s(o, e.profile_starts);
+      write_u32s(o, e.profile_frees);
+    }
+  });
+  w.u64(pending_jobs);
+  w.u64(degrade_until_event);
+
+  w.u64(decisions);
+  w.u64(switches);
+  write_u64s(w, decisions_per_policy);
+  write_f64s(w, time_in_policy);
+  write_vec(w, timeline, [](ByteWriter& o, const SwitchRec& e) {
+    o.f64(e.when);
+    o.u64(e.from);
+    o.u64(e.to);
+  });
+  for (const std::uint64_t v : fault_stats) w.u64(v);
+
+  w.u8(has_profile);
+  if (has_profile != 0) {
+    w.u32(profile_capacity);
+    write_f64s(w, profile_starts);
+    write_u32s(w, profile_frees);
+    write_f64s(w, reserved);
+  }
+
+  w.u8(has_faults);
+  if (has_faults != 0) {
+    for (const std::uint64_t v : node_rng) w.u64(v);
+    write_u32s(w, attempts);
+    write_f64s(w, fail_at);
+    write_running(w, outages);
+    w.u32(down_nodes);
+  }
+  return w.bytes();
+}
+
+bool SimState::decode(std::string_view payload, SimState& out) {
+  ByteReader r(payload);
+  out = SimState{};
+  out.now = r.f64();
+  out.processed = r.u64();
+  out.next_seq = r.u64();
+  out.last_popped_time = r.f64();
+  if (!read_vec(r, out.events, [](ByteReader& i, EventRec& e) {
+        e.time = i.f64();
+        e.kind = i.u8();
+        e.job = i.u32();
+        e.seq = i.u64();
+      })) {
+    return false;
+  }
+
+  out.policy_index = r.u64();
+  out.last_event_time = r.f64();
+  if (!read_u32s(r, out.waiting)) return false;
+  if (!read_running(r, out.running)) return false;
+  if (!read_vec(r, out.outcomes, [](ByteReader& i, OutcomeRec& e) {
+        e.id = i.u32();
+        e.submit = i.f64();
+        e.start = i.f64();
+        e.end = i.f64();
+        e.width = i.u32();
+        e.actual_runtime = i.f64();
+      })) {
+    return false;
+  }
+  {
+    const std::uint64_t n = r.u64();
+    if (!r.ok() || n > kMaxElements) return false;
+    out.candidates.clear();
+    out.candidates.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t c = 0; c < n; ++c) {
+      CandidateRec rec;
+      rec.reusable = r.u8();
+      if (!read_vec(r, rec.plan, [](ByteReader& i, PlannedRec& j) {
+            j.id = i.u32();
+            j.start = i.f64();
+          })) {
+        return false;
+      }
+      if (rec.reusable != 0) {
+        rec.profile_capacity = r.u32();
+        if (!read_f64s(r, rec.profile_starts)) return false;
+        if (!read_u32s(r, rec.profile_frees)) return false;
+      }
+      out.candidates.push_back(std::move(rec));
+    }
+  }
+  out.pending_jobs = r.u64();
+  out.degrade_until_event = r.u64();
+
+  out.decisions = r.u64();
+  out.switches = r.u64();
+  if (!read_u64s(r, out.decisions_per_policy)) return false;
+  if (!read_f64s(r, out.time_in_policy)) return false;
+  if (!read_vec(r, out.timeline, [](ByteReader& i, SwitchRec& e) {
+        e.when = i.f64();
+        e.from = i.u64();
+        e.to = i.u64();
+      })) {
+    return false;
+  }
+  for (std::uint64_t& v : out.fault_stats) v = r.u64();
+
+  out.has_profile = r.u8();
+  if (out.has_profile != 0) {
+    out.profile_capacity = r.u32();
+    if (!read_f64s(r, out.profile_starts)) return false;
+    if (!read_u32s(r, out.profile_frees)) return false;
+    if (!read_f64s(r, out.reserved)) return false;
+  }
+
+  out.has_faults = r.u8();
+  if (out.has_faults != 0) {
+    for (std::uint64_t& v : out.node_rng) v = r.u64();
+    if (!read_u32s(r, out.attempts)) return false;
+    if (!read_f64s(r, out.fail_at)) return false;
+    if (!read_running(r, out.outages)) return false;
+    out.down_nodes = r.u32();
+  }
+  return r.done();
+}
+
+}  // namespace dynp::ckpt

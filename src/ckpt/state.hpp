@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file state.hpp
+/// The serialized shape of one quiescent simulation: plain-data mirrors of
+/// every piece of state `core::simulate` cannot rebuild deterministically
+/// from its inputs. The scheduler core fills/applies this struct; this
+/// layer only defines the canonical byte encoding (see codec.hpp), so the
+/// ckpt layer stays below sim/core in the include DAG.
+///
+/// What is deliberately *not* here, and why restore is still byte-exact:
+///
+///  * per-policy sorted queues — `SortedQueue` maintains a unique total
+///    order (audit-verified), so re-inserting the waiting set in any order
+///    rebuilds them exactly;
+///  * planner acceleration tables (class/width floors) — epoch-stamped
+///    caches that every planning pass provably re-derives; the one piece of
+///    scratch state that is NOT re-derivable — the retained pass-end
+///    profile a reusable candidate's tail-insertion replan extends — is
+///    captured per candidate (`CandidateRec`);
+///  * the event heap's array layout — the comparator is a strict total
+///    order, so any heap over the same element set pops identically.
+///
+/// Candidate schedules and their reuse flags *are* captured: the
+/// incremental replanner attributes work to full vs incremental plans, and
+/// trace records expose that attribution, so byte-identical stitched traces
+/// require resuming the reuse state rather than falling back to full
+/// replans (which would produce the same schedules but different planner
+/// statistics).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynp::ckpt {
+
+/// Mirror of `sim::Event` (kind as its numeric value).
+struct EventRec {
+  double time = 0;
+  std::uint8_t kind = 0;
+  std::uint32_t job = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Mirror of `rms::RunningJob`.
+struct RunningRec {
+  std::uint32_t id = 0;
+  std::uint32_t width = 0;
+  double estimated_end = 0;
+};
+
+/// Mirror of `metrics::JobOutcome`.
+struct OutcomeRec {
+  std::uint32_t id = 0;
+  double submit = 0;
+  double start = 0;
+  double end = 0;
+  std::uint32_t width = 0;
+  double actual_runtime = 0;
+};
+
+/// Mirror of `core::PolicySwitch`.
+struct SwitchRec {
+  double when = 0;
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+};
+
+/// One planned job of a candidate schedule.
+struct PlannedRec {
+  std::uint32_t id = 0;
+  double start = 0;
+};
+
+/// One per-policy candidate slot: its adopted schedule and whether the
+/// incremental replanner may reuse it next event. A reusable slot also
+/// carries the planner scratch's retained pass-end profile — the state the
+/// tail-insertion fast path of `rms::Planner::replan_inserted_into` extends
+/// directly, which a restored run must therefore reconstruct exactly.
+struct CandidateRec {
+  std::uint8_t reusable = 0;
+  std::vector<PlannedRec> plan;
+  std::uint32_t profile_capacity = 0;      ///< present iff `reusable`
+  std::vector<double> profile_starts;      ///< segment start times
+  std::vector<std::uint32_t> profile_frees;  ///< free nodes per segment
+};
+
+/// Everything a restored run needs to continue byte-identically.
+struct SimState {
+  // Engine calendar. `events` is serialized in pop order (time, kind, seq)
+  // so equal states encode to equal bytes regardless of heap layout.
+  double now = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t next_seq = 0;
+  double last_popped_time = 0;
+  std::vector<EventRec> events;
+
+  // Scheduler state.
+  std::uint64_t policy_index = 0;
+  double last_event_time = 0;
+  std::vector<std::uint32_t> waiting;  ///< arrival order
+  std::vector<RunningRec> running;     ///< exact vector order
+  std::vector<OutcomeRec> outcomes;    ///< full table (size = job count)
+  std::vector<CandidateRec> candidates;
+  std::uint64_t pending_jobs = 0;
+  std::uint64_t degrade_until_event = 0;
+
+  // Partial result counters (decider/tuning state: the active policy above
+  // plus these per-policy totals and the switch timeline).
+  std::uint64_t decisions = 0;
+  std::uint64_t switches = 0;
+  std::vector<std::uint64_t> decisions_per_policy;
+  std::vector<double> time_in_policy;
+  std::vector<SwitchRec> timeline;
+  std::array<std::uint64_t, 9> fault_stats{};
+
+  // Guarantee-semantics reservation state (absent under replan/queueing).
+  std::uint8_t has_profile = 0;
+  std::uint32_t profile_capacity = 0;
+  std::vector<double> profile_starts;
+  std::vector<std::uint32_t> profile_frees;
+  std::vector<double> reserved;
+
+  // Fault-injector state (absent when fault injection is off). The node
+  // RNG is the injector's only sequential stream; job fates are pure
+  // functions of (job, attempt) and need no state.
+  std::uint8_t has_faults = 0;
+  std::array<std::uint64_t, 4> node_rng{};
+  std::vector<std::uint32_t> attempts;
+  std::vector<double> fail_at;
+  std::vector<RunningRec> outages;
+  std::uint32_t down_nodes = 0;
+
+  /// Canonical byte encoding (see codec.hpp).
+  [[nodiscard]] std::string encode() const;
+
+  /// Exact inverse of `encode`; false on any malformed payload (the caller
+  /// treats that as a rejected snapshot).
+  // lint: no-contract(decoders consume untrusted bytes; malformed input is an expected result, not a precondition violation)
+  [[nodiscard]] static bool decode(std::string_view payload, SimState& out);
+};
+
+}  // namespace dynp::ckpt

@@ -2,17 +2,23 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <thread>
 
+#include "ckpt/codec.hpp"
+#include "ckpt/journal.hpp"
+#include "ckpt/snapshot.hpp"
+#include "ckpt/state.hpp"
 #include "core/audit.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "rms/planner.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
+#include "util/fnv.hpp"
 #include "util/thread_pool.hpp"
 #include "util/wallclock.hpp"
 
@@ -47,6 +53,42 @@ static_assert(static_cast<int>(obs::TraceEventKind::kSubmit) ==
               static_cast<int>(sim::EventKind::kSubmit));
 static_assert(static_cast<int>(obs::TraceEventKind::kRequeue) ==
               static_cast<int>(sim::EventKind::kRequeue));
+
+/// Identity of one (workload, configuration) pair for checkpoint purposes:
+/// a snapshot may only be restored into a run that would deterministically
+/// re-produce it. Everything that influences the event stream is hashed —
+/// scheduler mode/semantics/pool/decider, tuning switches, the fault model
+/// and the full job table; purely observational knobs (instruments, audit,
+/// thread counts) are deliberately excluded, since they never change a
+/// scheduling decision.
+[[nodiscard]] std::uint64_t checkpoint_fingerprint(
+    const workload::JobSet& set, const SimulationConfig& config) {
+  ckpt::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(config.mode));
+  w.u8(static_cast<std::uint8_t>(config.semantics));
+  w.u8(static_cast<std::uint8_t>(config.static_policy));
+  w.u64(config.pool.size());
+  for (const policies::PolicyKind kind : config.pool) {
+    w.u8(static_cast<std::uint8_t>(kind));
+  }
+  w.str(config.decider != nullptr ? config.decider->name() : "");
+  w.u64(config.initial_index);
+  w.u8(static_cast<std::uint8_t>(config.preview));
+  w.u8(config.tune_on_submit ? 1 : 0);
+  w.u8(config.tune_on_finish ? 1 : 0);
+  w.f64(config.plan_budget_us);
+  w.str(config.faults.has_value() ? config.faults->describe() : "off");
+  w.u32(set.machine().nodes);
+  w.u64(set.jobs().size());
+  for (const workload::Job& job : set.jobs()) {
+    w.u32(job.id);
+    w.f64(job.submit);
+    w.u32(job.width);
+    w.f64(job.estimated_runtime);
+    w.f64(job.actual_runtime);
+  }
+  return util::fnv1a64(w.bytes());
+}
 
 }  // namespace
 
@@ -192,6 +234,10 @@ class SchedulerSim final : public sim::Process {
           config.decider.get());
       audit_views_.resize(candidates_.size());
     }
+    if (config.checkpoint.armed()) {
+      ckpt_ = std::make_unique<Ckpt>();
+      ckpt_->fingerprint = checkpoint_fingerprint(set, config);
+    }
 #if !defined(DYNP_OBS_DISABLED)
     if (config.instruments.any()) {
       obs_ = std::make_unique<Instruments>();
@@ -239,6 +285,16 @@ class SchedulerSim final : public sim::Process {
         if (config.plan_budget_us > 0) {
           obs_->degraded = &reg.counter("sim.tuning.degraded");
         }
+        // Checkpoint/recovery metrics exist only when checkpointing is
+        // armed, so un-checkpointed registry exports keep their exact
+        // byte layout.
+        if (ckpt_ != nullptr) {
+          obs_->ckpt_snapshots = &reg.counter("ckpt.snapshots");
+          obs_->ckpt_bytes = &reg.counter("ckpt.bytes");
+          obs_->replayed_events = &reg.counter("recover.replayed_events");
+          obs_->ckpt_write_us = &reg.histogram(
+              "ckpt.write_us", obs::exponential_edges(1, 2, 20));
+        }
         // Windowed time series over the event-ordinal domain (window k =
         // events [256k, 256(k+1))): deterministic keys, wall-time values
         // for the two latencies, fully deterministic queue depth.
@@ -271,15 +327,31 @@ class SchedulerSim final : public sim::Process {
   }
 
   [[nodiscard]] SimulationResult run() {
-    pending_jobs_ = jobs_.size();
-    for (const workload::Job& job : jobs_) {
-      engine_.schedule(job.submit, sim::EventKind::kSubmit, job.id);
+    bool restored = false;
+    if (ckpt_ != nullptr && !config_.checkpoint.restore_from.empty()) {
+      restored = try_restore();
     }
-    if (injector_ != nullptr && injector_->node_faults() && !jobs_.empty()) {
-      engine_.schedule(injector_->next_failure_gap(),
-                       sim::EventKind::kNodeDown, 0);
+    if (!restored) {
+      pending_jobs_ = jobs_.size();
+      for (const workload::Job& job : jobs_) {
+        engine_.schedule(job.submit, sim::EventKind::kSubmit, job.id);
+      }
+      if (injector_ != nullptr && injector_->node_faults() && !jobs_.empty()) {
+        engine_.schedule(injector_->next_failure_gap(),
+                         sim::EventKind::kNodeDown, 0);
+      }
     }
-    engine_.run(*this);
+    if (ckpt_ != nullptr && config_.checkpoint.snapshots_armed()) {
+      // Fresh journal in both cases. After a restore the re-processed
+      // events are re-appended as they are replay-verified, rebuilding the
+      // journal the crashed run left behind record by record.
+      open_journal(engine_.processed());
+    }
+    if (ckpt_ != nullptr) {
+      run_checkpointed();
+    } else {
+      engine_.run(*this);
+    }
     DYNP_ENSURES(waiting_.empty());
     DYNP_ENSURES(running_.empty());
     DYNP_ENSURES(outages_.empty());
@@ -297,6 +369,7 @@ class SchedulerSim final : public sim::Process {
   void handle(const sim::Event& event) override {
     DYNP_OBS_SCOPED(profiler(), obs::Phase::kEvent);
     const Time now = engine_.now();
+    if (ckpt_ != nullptr) journal_event(event, now);
 #if !defined(DYNP_OBS_DISABLED)
     if (obs_ != nullptr) begin_event_record(event, now);
 #endif
@@ -481,6 +554,12 @@ class SchedulerSim final : public sim::Process {
     obs::Counter* requeues = nullptr;
     obs::Counter* jobs_dropped = nullptr;
     obs::Counter* degraded = nullptr;
+    // Checkpoint/recovery metrics; registered only when checkpointing is
+    // armed (same byte-layout-preservation rule as the fault counters).
+    obs::Counter* ckpt_snapshots = nullptr;
+    obs::Counter* ckpt_bytes = nullptr;
+    obs::Counter* replayed_events = nullptr;
+    obs::Histogram* ckpt_write_us = nullptr;
     std::vector<obs::Counter*> policy_picks;  ///< pool order (dynP only)
     obs::Histogram* queue_depth = nullptr;
     obs::Histogram* profile_segments = nullptr;
@@ -1298,6 +1377,360 @@ class SchedulerSim final : public sim::Process {
     start_due(now);
   }
 
+  // ----- Crash-consistent checkpoint/restore (src/ckpt) -------------------
+
+  /// Live checkpoint state (null unless `config.checkpoint.armed()`): the
+  /// run-identity fingerprint, the write-ahead journal, and the journal
+  /// suffix a restored run replay-verifies.
+  struct Ckpt {
+    std::uint64_t fingerprint = 0;
+    ckpt::Journal journal;
+    std::vector<ckpt::JournalRecord> replay;
+    std::size_t replay_next = 0;
+  };
+
+  static constexpr std::size_t kSnapshotsKept = 3;
+
+  [[nodiscard]] std::string journal_path() const {
+    return config_.checkpoint.dir + "/journal.wal";
+  }
+
+  void open_journal(std::uint64_t base_seq) {
+    // Journal I/O failure is never fatal: the run continues, only crash
+    // recovery past the last snapshot degrades.
+    (void)ckpt_->journal.open_fresh(journal_path(), ckpt_->fingerprint,
+                                    base_seq);
+  }
+
+  /// Restores from `checkpoint.restore_from` (a snapshot file or a
+  /// checkpoint directory). Returns false when no valid snapshot exists —
+  /// the run then starts fresh; rejected (torn, corrupt, foreign) files are
+  /// still reported through the result so callers can surface the rollback.
+  [[nodiscard]] bool try_restore() {
+    ckpt::RestoreScan scan = ckpt::find_restore_source(
+        config_.checkpoint.restore_from, ckpt_->fingerprint);
+    result_.recovery.rejected_snapshots = std::move(scan.rejected);
+    if (!scan.snapshot.has_value()) return false;
+    ckpt::LoadedSnapshot& snap = *scan.snapshot;
+    ckpt::SimState state;
+    if (!ckpt::SimState::decode(snap.payload, state)) {
+      // Hash-valid but undecodable: written by an incompatible binary.
+      result_.recovery.rejected_snapshots.push_back(snap.path);
+      return false;
+    }
+    load_replay_journal(snap);
+    apply_state(state);
+    result_.recovery.restored_from = snap.path;
+    result_.recovery.restored_seq = snap.meta.seq;
+    return true;
+  }
+
+  /// Reads the write-ahead journal next to the restored snapshot; its
+  /// record suffix becomes the replay-verification script for the
+  /// re-processed events. A journal based on a different snapshot (e.g.
+  /// rotated at a newer, torn snapshot we rolled back past) or a different
+  /// configuration is ignored — there is nothing sound to verify against.
+  void load_replay_journal(const ckpt::LoadedSnapshot& snap) {
+    const std::size_t slash = snap.path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? std::string(".") : snap.path.substr(0, slash);
+    const std::optional<ckpt::Journal::Contents> journal =
+        ckpt::Journal::read_file(dir + "/journal.wal");
+    if (!journal.has_value() ||
+        journal->config_fingerprint != ckpt_->fingerprint ||
+        journal->base_seq != snap.meta.seq) {
+      return;
+    }
+    ckpt_->replay = journal->records;
+  }
+
+  /// Write-ahead hook, first thing in `handle`: the event about to be
+  /// processed is appended and pushed to the OS before any state mutates,
+  /// so after a crash the journal names exactly the events since the last
+  /// snapshot. While a restored run is inside the replayed suffix, each
+  /// regenerated event is additionally verified against the crashed run's
+  /// journal — a mismatch would be a determinism bug.
+  void journal_event(const sim::Event& event, Time now) {
+    const ckpt::JournalRecord rec{engine_.processed(), now,
+                                  static_cast<std::uint8_t>(event.kind),
+                                  event.job};
+    if (ckpt_->replay_next < ckpt_->replay.size()) {
+      DYNP_ASSERT(rec == ckpt_->replay[ckpt_->replay_next]);
+      ++ckpt_->replay_next;
+      ++result_.recovery.replayed_events;
+#if !defined(DYNP_OBS_DISABLED)
+      if (obs_ != nullptr && obs_->replayed_events != nullptr) {
+        obs_->replayed_events->add();
+      }
+#endif
+    }
+    if (ckpt_->journal.is_open()) ckpt_->journal.append(rec);
+  }
+
+  /// The checkpointed main loop: runs the engine in bounded chunks so the
+  /// quiescent inter-event boundaries line up with snapshot instants (every
+  /// N events) and with the chaos harness's SIGKILL crash hook.
+  void run_checkpointed() {
+    const ckpt::CheckpointOptions& co = config_.checkpoint;
+    constexpr std::uint64_t kNoStop =
+        std::numeric_limits<std::uint64_t>::max();
+    for (;;) {
+      std::uint64_t stop = kNoStop;
+      if (co.snapshots_armed()) {
+        stop = std::min(stop, (engine_.processed() / co.every + 1) * co.every);
+      }
+      if (co.kill_after_event > engine_.processed()) {
+        stop = std::min(stop, co.kill_after_event);
+      }
+      if (stop == kNoStop) {
+        engine_.run(*this);
+        return;
+      }
+      const bool drained =
+          engine_.run_bounded(*this, stop - engine_.processed());
+      if (co.kill_after_event != 0 &&
+          engine_.processed() >= co.kill_after_event) {
+        // Chaos crash hook: die exactly as an external SIGKILL would — no
+        // flushing, no destructors. Unreachable code past this point.
+        (void)std::raise(SIGKILL);
+      }
+      if (drained) return;
+      if (co.snapshots_armed() && engine_.processed() % co.every == 0) {
+        take_snapshot();
+      }
+    }
+  }
+
+  /// Captures and atomically publishes one snapshot, then rotates the
+  /// journal (records before the snapshot retire with the older snapshots).
+  void take_snapshot() {
+#if !defined(DYNP_OBS_DISABLED)
+    // Make the trace durable up to the snapshot point: a later crash then
+    // loses at most the torn tail of the post-snapshot trace suffix.
+    if (obs_ != nullptr && obs_->tracer != nullptr) obs_->tracer->flush();
+    const bool timed = obs_ != nullptr && obs_->ckpt_write_us != nullptr;
+    const util::WallInstant start =
+        timed ? util::wall_now() : util::WallInstant{};
+#endif
+    ckpt::SnapshotMeta meta;
+    meta.config_fingerprint = ckpt_->fingerprint;
+    meta.seq = engine_.processed();
+    meta.sim_time = engine_.now();
+    meta.build = config_.checkpoint.build_tag;
+    std::uint64_t bytes = 0;
+    const std::string payload = capture_state().encode();
+    if (!ckpt::write_snapshot(config_.checkpoint.dir, meta, payload,
+                              kSnapshotsKept, &bytes)) {
+      return;  // I/O failure: keep running, just un-checkpointed
+    }
+    ++result_.recovery.snapshots_written;
+    open_journal(meta.seq);
+#if !defined(DYNP_OBS_DISABLED)
+    if (obs_ != nullptr && obs_->ckpt_snapshots != nullptr) {
+      obs_->ckpt_snapshots->add();
+      obs_->ckpt_bytes->add(bytes);
+      if (timed) {
+        obs_->ckpt_write_us->observe(
+            util::wall_micros_between(start, util::wall_now()));
+      }
+    }
+#endif
+  }
+
+  /// Serializes the full quiescent state. Called between events only; the
+  /// event-scoped scratch (`due_`, `insert_pos_`, base profile, planner
+  /// caches) is excluded by design — see `ckpt::SimState`.
+  [[nodiscard]] ckpt::SimState capture_state() const {
+    ckpt::SimState s;
+    s.now = engine_.now();
+    s.processed = engine_.processed();
+    s.next_seq = engine_.queue().next_seq();
+    s.last_popped_time = engine_.queue().last_popped_time();
+    const std::vector<sim::Event> pending = engine_.queue().sorted_events();
+    s.events.reserve(pending.size());
+    for (const sim::Event& e : pending) {
+      s.events.push_back(ckpt::EventRec{
+          e.time, static_cast<std::uint8_t>(e.kind), e.job, e.seq});
+    }
+    s.policy_index = policy_index_;
+    s.last_event_time = last_event_time_;
+    s.waiting = waiting_;
+    s.running.reserve(running_.size());
+    for (const rms::RunningJob& r : running_) {
+      s.running.push_back(ckpt::RunningRec{r.id, r.width, r.estimated_end});
+    }
+    s.outcomes.reserve(outcomes_.size());
+    for (const metrics::JobOutcome& o : outcomes_) {
+      s.outcomes.push_back(ckpt::OutcomeRec{o.id, o.submit, o.start, o.end,
+                                            o.width, o.actual_runtime});
+    }
+    s.candidates.reserve(candidates_.size());
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      ckpt::CandidateRec c;
+      c.reusable = static_cast<std::uint8_t>(slot_reusable_[i]);
+      for (const rms::PlannedJob& p : candidates_[i].schedule.entries()) {
+        c.plan.push_back(ckpt::PlannedRec{p.id, p.start});
+      }
+      if (c.reusable != 0) {
+        // A reusable slot's next replan may extend the scratch's retained
+        // pass-end profile in place (tail insertion), so that profile is
+        // part of the resumable state, not a re-derivable cache.
+        const rms::ResourceProfile& retained =
+            candidates_[i].scratch.retained_profile();
+        c.profile_capacity = retained.capacity();
+        c.profile_starts = retained.segment_starts();
+        c.profile_frees = retained.segment_frees();
+      }
+      s.candidates.push_back(std::move(c));
+    }
+    s.pending_jobs = pending_jobs_;
+    s.degrade_until_event = degrade_until_event_;
+    s.decisions = result_.decisions;
+    s.switches = result_.switches;
+    s.decisions_per_policy = result_.decisions_per_policy;
+    s.time_in_policy = result_.time_in_policy;
+    s.timeline.reserve(result_.policy_timeline.size());
+    for (const SimulationResult::PolicySwitch& sw : result_.policy_timeline) {
+      s.timeline.push_back(ckpt::SwitchRec{sw.when, sw.from, sw.to});
+    }
+    s.fault_stats = {
+        result_.faults.node_failures,    result_.faults.node_repairs,
+        result_.faults.job_failures,     result_.faults.node_kills,
+        result_.faults.requeues,         result_.faults.jobs_dropped,
+        result_.faults.jobs_completed,   result_.faults.repair_evictions,
+        result_.faults.degraded_tunings};
+    if (guarantee_mode()) {
+      s.has_profile = 1;
+      s.profile_capacity = profile_.capacity();
+      s.profile_starts = profile_.segment_starts();
+      s.profile_frees = profile_.segment_frees();
+      s.reserved = reserved_;
+    }
+    if (injector_ != nullptr) {
+      s.has_faults = 1;
+      s.node_rng = injector_->node_rng_state();
+      s.attempts = attempts_;
+      s.fail_at = fail_at_;
+      s.outages.reserve(outages_.size());
+      for (const rms::RunningJob& o : outages_) {
+        s.outages.push_back(ckpt::RunningRec{o.id, o.width, o.estimated_end});
+      }
+      s.down_nodes = down_nodes_;
+    }
+    return s;
+  }
+
+  /// Reinstates a decoded snapshot; the exact inverse of `capture_state`,
+  /// applied to a fresh scheduler before any event. The payload already
+  /// passed content-hash and fingerprint validation, so structural
+  /// mismatches here are bugs, not bad input — they trip contracts. The
+  /// per-policy sorted queues are rebuilt by re-inserting the waiting set
+  /// (their order is unique and audit-verified, so re-insertion in any
+  /// order reproduces them exactly).
+  void apply_state(const ckpt::SimState& s) {
+    DYNP_EXPECTS(s.outcomes.size() == jobs_.size());
+    DYNP_EXPECTS(s.candidates.size() == candidates_.size());
+    std::vector<sim::Event> events;
+    events.reserve(s.events.size());
+    for (const ckpt::EventRec& e : s.events) {
+      events.push_back(sim::Event{
+          e.time, static_cast<sim::EventKind>(e.kind), e.job, e.seq});
+    }
+    engine_.restore(s.now, s.processed, events, s.next_seq,
+                    s.last_popped_time);
+    policy_index_ = s.policy_index;
+    DYNP_EXPECTS(config_.mode == SchedulerMode::kStatic ||
+                 policy_index_ < config_.pool.size());
+    last_event_time_ = s.last_event_time;
+    waiting_ = s.waiting;
+    running_.clear();
+    running_.reserve(s.running.size());
+    for (const ckpt::RunningRec& r : s.running) {
+      running_.push_back(rms::RunningJob{r.id, r.width, r.estimated_end});
+    }
+    for (std::size_t i = 0; i < s.outcomes.size(); ++i) {
+      const ckpt::OutcomeRec& o = s.outcomes[i];
+      outcomes_[i] = metrics::JobOutcome{o.id,  o.submit, o.start,
+                                         o.end, o.width,  o.actual_runtime};
+    }
+    std::fill(running_slot_.begin(), running_slot_.end(), kNotRunning);
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      DYNP_EXPECTS(running_[i].id < running_slot_.size());
+      running_slot_[running_[i].id] = static_cast<std::uint32_t>(i);
+    }
+    for (policies::SortedQueue& queue : queues_) {
+      for (const JobId id : waiting_) {
+        DYNP_EXPECTS(id < jobs_.size());
+        queue.insert(id);
+      }
+    }
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const ckpt::CandidateRec& c = s.candidates[i];
+      rms::Schedule& schedule = candidates_[i].schedule;
+      schedule.clear();
+      for (const ckpt::PlannedRec& p : c.plan) {
+        schedule.push_back(rms::PlannedJob{p.id, p.start});
+      }
+      slot_reusable_[i] = static_cast<char>(c.reusable);
+      if (c.reusable != 0) {
+        // Re-prime the scratch the reusable flag points at: the next event
+        // may route straight into the tail-insertion replan, which extends
+        // this profile without a rebuilding pass.
+        rms::ResourceProfile retained(1);
+        retained.restore_segments(c.profile_capacity, c.profile_starts,
+                                  c.profile_frees);
+        rms::Planner::adopt_retained(candidates_[i].scratch,
+                                     std::move(retained), jobs_);
+      }
+    }
+    pending_jobs_ = s.pending_jobs;
+    degrade_until_event_ = s.degrade_until_event;
+    result_.decisions = s.decisions;
+    result_.switches = s.switches;
+    if (config_.mode == SchedulerMode::kDynP) {
+      DYNP_EXPECTS(s.decisions_per_policy.size() == config_.pool.size() &&
+                   s.time_in_policy.size() == config_.pool.size());
+      result_.decisions_per_policy = s.decisions_per_policy;
+      result_.time_in_policy = s.time_in_policy;
+    }
+    result_.policy_timeline.clear();
+    for (const ckpt::SwitchRec& sw : s.timeline) {
+      result_.policy_timeline.push_back(SimulationResult::PolicySwitch{
+          sw.when, static_cast<std::size_t>(sw.from),
+          static_cast<std::size_t>(sw.to)});
+    }
+    result_.faults.node_failures = s.fault_stats[0];
+    result_.faults.node_repairs = s.fault_stats[1];
+    result_.faults.job_failures = s.fault_stats[2];
+    result_.faults.node_kills = s.fault_stats[3];
+    result_.faults.requeues = s.fault_stats[4];
+    result_.faults.jobs_dropped = s.fault_stats[5];
+    result_.faults.jobs_completed = s.fault_stats[6];
+    result_.faults.repair_evictions = s.fault_stats[7];
+    result_.faults.degraded_tunings = s.fault_stats[8];
+    DYNP_EXPECTS((s.has_profile != 0) == guarantee_mode());
+    if (s.has_profile != 0) {
+      DYNP_EXPECTS(s.reserved.size() == jobs_.size());
+      profile_.restore_segments(s.profile_capacity, s.profile_starts,
+                                s.profile_frees);
+      reserved_ = s.reserved;
+    }
+    DYNP_EXPECTS((s.has_faults != 0) == (injector_ != nullptr));
+    if (s.has_faults != 0) {
+      DYNP_EXPECTS(s.attempts.size() == jobs_.size() &&
+                   s.fail_at.size() == jobs_.size());
+      injector_->set_node_rng_state(s.node_rng);
+      attempts_ = s.attempts;
+      fail_at_ = s.fail_at;
+      outages_.clear();
+      outages_.reserve(s.outages.size());
+      for (const ckpt::RunningRec& o : s.outages) {
+        outages_.push_back(rms::RunningJob{o.id, o.width, o.estimated_end});
+      }
+      down_nodes_ = s.down_nodes;
+    }
+  }
+
   const workload::JobSet& set_;
   const SimulationConfig& config_;
   const std::vector<workload::Job>& jobs_;
@@ -1343,6 +1776,9 @@ class SchedulerSim final : public sim::Process {
   std::vector<Time> fail_at_;            // JobId -> pending failure instant
   std::size_t pending_jobs_ = 0;         // not yet completed or dropped
   std::uint64_t degrade_until_event_ = 0;
+
+  // Checkpoint/restore state (null unless `config.checkpoint.armed()`).
+  std::unique_ptr<Ckpt> ckpt_;
 
   // Invariant auditor (null unless enabled; see `audit_enabled`) and its
   // per-event view of which candidate slots were planned this pass.

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "core/decider.hpp"
 #include "core/observer.hpp"
 #include "fault/fault.hpp"
@@ -148,6 +149,13 @@ struct SimulationConfig {
   /// determinism for bounded per-event latency.
   double plan_budget_us = 0;
 
+  /// Crash-consistent checkpointing (see `ckpt/checkpoint.hpp`): periodic
+  /// snapshots + a write-ahead event journal, restore from a snapshot file
+  /// or directory, and an optional SIGKILL crash hook for the chaos soak.
+  /// Default-constructed = fully disarmed; the scheduler then takes exactly
+  /// the checkpoint-free code paths and results stay byte-identical.
+  ckpt::CheckpointOptions checkpoint;
+
   /// Display label, e.g. "FCFS" or "dynP/SJF-preferred".
   [[nodiscard]] std::string label() const;
 };
@@ -205,6 +213,23 @@ struct SimulationResult {
     std::uint64_t degraded_tunings = 0;  ///< tuning steps skipped over budget
   };
   FaultStats faults;
+
+  /// Crash-recovery provenance (all empty/zero unless the run restored from
+  /// a checkpoint). The core never prints; `dynp_sim` surfaces these.
+  struct RecoveryInfo {
+    /// Path of the snapshot the run restored from ("" = fresh run).
+    std::string restored_from;
+    /// Event ordinal of the restored snapshot (events already processed).
+    std::uint64_t restored_seq = 0;
+    /// Journal records replayed and verified after the snapshot point.
+    std::uint64_t replayed_events = 0;
+    /// Snapshot files rejected during restore (torn, hash-mismatched, or
+    /// config-mismatched) before a good one was found, newest first.
+    std::vector<std::string> rejected_snapshots;
+    /// Snapshots written by this run.
+    std::uint64_t snapshots_written = 0;
+  };
+  RecoveryInfo recovery;
 };
 
 /// Reusable per-worker scratch for `simulate`: owns the scheduler's

@@ -25,7 +25,8 @@ core::SimulationResult simulate_sweep_cell(const workload::JobSet& base,
                                            double factor,
                                            const core::SimulationConfig& config,
                                            std::size_t set_index,
-                                           SweepWorkspace* workspace) {
+                                           SweepWorkspace* workspace,
+                                           const ckpt::CheckpointOptions* checkpoint) {
   workload::JobSet local;
   workload::JobSet& scaled = workspace != nullptr ? workspace->scaled : local;
   scaled.assign_scaled_from(base, factor);
@@ -46,6 +47,13 @@ core::SimulationResult simulate_sweep_cell(const workload::JobSet& base,
                                    set_seed);
     }
     run_config = &patched;
+  }
+  if (checkpoint != nullptr) {
+    if (run_config != &patched) {
+      patched = *run_config;
+      run_config = &patched;
+    }
+    patched.checkpoint = *checkpoint;
   }
   return workspace != nullptr
              ? core::simulate(scaled, *run_config, workspace->sim)

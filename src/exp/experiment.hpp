@@ -110,11 +110,15 @@ struct SweepWorkspace {
 /// applies `est_error_cv` estimate perturbation with it), exactly like
 /// `SweepRunner::run` always has. A non-null \p workspace recycles the
 /// scaled-set and scheduler buffers across calls; results are
-/// bit-identical with and without one.
+/// bit-identical with and without one. A non-null \p checkpoint overlays
+/// crash-consistent checkpointing onto the run (restore-then-snapshot; see
+/// src/ckpt); checkpointed, resumed and plain cells all produce identical
+/// bytes, which is what lets the orchestrator cache resumed points.
 [[nodiscard]] core::SimulationResult simulate_sweep_cell(
     const workload::JobSet& base, double factor,
     const core::SimulationConfig& config, std::size_t set_index,
-    SweepWorkspace* workspace = nullptr);
+    SweepWorkspace* workspace = nullptr,
+    const ckpt::CheckpointOptions* checkpoint = nullptr);
 
 /// Builds the paper's SJF-preferred decider over the paper pool
 /// (index 1 = SJF), with optional threshold percentage.

@@ -1,12 +1,17 @@
 #include "exp/orchestrator.hpp"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "ckpt/checkpoint.hpp"
 #include "util/assert.hpp"
+#include "util/fnv.hpp"
 #include "util/thread_pool.hpp"
 #include "util/wallclock.hpp"
 
@@ -28,6 +33,20 @@ struct PendingPoint {
 };
 
 }  // namespace
+
+std::string SweepOrchestrator::cell_checkpoint_dir(const std::string& cache_dir,
+                                                   const std::string& key,
+                                                   std::size_t set) {
+  std::string tagged = key;
+  tagged += "|set=";
+  tagged += std::to_string(set);
+  char name[24];
+  std::snprintf(name, sizeof name, "%016" PRIx64, util::fnv1a64(tagged));
+  std::string dir = cache_dir;
+  dir += "/ckpt/";
+  dir += name;
+  return dir;
+}
 
 SweepOrchestrator::SweepOrchestrator(std::vector<workload::TraceModel> models,
                                      ExperimentScale scale,
@@ -98,11 +117,16 @@ SweepGrid SweepOrchestrator::run_grid(
         if (cache_.enabled() && PointCache::cacheable(wired[c])) {
           point.key =
               PointCache::key_string(models_[t], scale_, factors[f], wired[c]);
-          if (std::optional<CombinedPoint> hit = cache_.load(point.key)) {
+          bool corrupt = false;
+          if (std::optional<CombinedPoint> hit =
+                  cache_.load(point.key, &corrupt)) {
             grid.points[point.index] = std::move(*hit);
             ++stats_.cache_hits;
             continue;
           }
+          // A corrupt entry (torn write, truncation, stale schema) is a
+          // miss that re-simulates and overwrites — never a sweep abort.
+          if (corrupt) ++stats_.cache_corrupt;
         }
         ++stats_.cache_misses;
         point.results.resize(scale_.sets);
@@ -148,9 +172,28 @@ SweepGrid SweepOrchestrator::run_grid(
                                             : nullptr;
             const util::WallInstant cell_t0 =
                 time_cells ? util::wall_now() : util::WallInstant{};
+            // Mid-trace resume: cacheable cells snapshot as they go and
+            // restore from whatever a killed previous sweep left behind.
+            // Restore-then-run is byte-identical to straight-through, so
+            // the combined point (and hence the cache entry) is unchanged.
+            ckpt::CheckpointOptions cell_ckpt;
+            if (options_.checkpoint_every != 0 && !point.key.empty()) {
+              cell_ckpt.every = options_.checkpoint_every;
+              cell_ckpt.dir = cell_checkpoint_dir(options_.cache_dir,
+                                                  point.key, s);
+              cell_ckpt.restore_from = cell_ckpt.dir;
+            }
             point.results[s] = simulate_sweep_cell(
                 ensembles_[point.trace][s], factors[point.factor],
-                wired[point.config], s, workspace);
+                wired[point.config], s, workspace,
+                cell_ckpt.armed() ? &cell_ckpt : nullptr);
+            if (cell_ckpt.armed()) {
+              // The cell finished; its snapshots have nothing left to
+              // resume. Best-effort removal — a leftover directory only
+              // costs disk until the next completed run of the same cell.
+              std::error_code ec;
+              std::filesystem::remove_all(cell_ckpt.dir, ec);
+            }
             if (time_cells) {
               const std::size_t slot = worker != util::ThreadPool::npos
                                            ? worker
@@ -176,6 +219,9 @@ SweepGrid SweepOrchestrator::run_grid(
     // Deterministic combine: point order on this thread, each point over
     // its sets in ensemble order — byte-identical to the serial path.
     for (PendingPoint& point : pending) {
+      for (const core::SimulationResult& result : point.results) {
+        if (!result.recovery.restored_from.empty()) ++stats_.cells_resumed;
+      }
       grid.points[point.index] = combine_results(point.results);
       if (!point.key.empty()) {
         cache_.store(point.key, grid.points[point.index]);
@@ -198,6 +244,9 @@ SweepGrid SweepOrchestrator::run_grid(
     }
     if (stats_.cache_misses != 0) {
       registry.counter("cache.miss").add(stats_.cache_misses);
+    }
+    if (stats_.cache_corrupt != 0) {
+      registry.counter("cache.corrupt").add(stats_.cache_corrupt);
     }
     if (stats_.stolen_tasks != 0) {
       registry.counter("pool.steals").add(stats_.stolen_tasks);

@@ -40,6 +40,14 @@ struct OrchestratorOptions {
   std::size_t threads = 0;
   /// Persistent point-cache directory; empty disables caching.
   std::string cache_dir;
+  /// Snapshot every N simulation events inside each cacheable cell
+  /// (0 disables). Cells checkpoint into `<cache_dir>/ckpt/<cell hash>/`,
+  /// resume from the newest valid snapshot when a previous sweep died
+  /// mid-cell, and delete their checkpoint directory once the finished
+  /// point reaches the cache — so a completed sweep leaves no snapshots
+  /// behind. Requires a cache_dir; ignored without one (there is nowhere
+  /// durable to put the snapshots, and nothing to resume into).
+  std::uint64_t checkpoint_every = 0;
   /// Optional metrics registry: every simulation aggregates into it (as
   /// with `SweepRunner::run`), and the orchestrator adds the `cache.hit` /
   /// `cache.miss` / `pool.steals` counters plus the `sweep.cell_us`
@@ -53,7 +61,9 @@ struct SweepStats {
   std::size_t points_total = 0;     ///< grid points requested
   std::size_t cache_hits = 0;       ///< points served from the cache
   std::size_t cache_misses = 0;     ///< points simulated (includes uncacheable)
+  std::size_t cache_corrupt = 0;    ///< corrupt entries quarantined as misses
   std::size_t cells_simulated = 0;  ///< individual set simulations run
+  std::size_t cells_resumed = 0;    ///< cells restored from a mid-run snapshot
   std::uint64_t steal_batches = 0;  ///< successful steal operations
   std::uint64_t stolen_tasks = 0;   ///< cells moved between workers
   double seconds = 0;               ///< wall time of the whole call
@@ -107,6 +117,15 @@ class SweepOrchestrator {
 
   /// Counters of the most recent `run_grid` call.
   [[nodiscard]] const SweepStats& stats() const noexcept { return stats_; }
+
+  /// Checkpoint directory of one sweep cell: `<cache_dir>/ckpt/<hash>`,
+  /// where the hash covers the point's cache key and the set index — the
+  /// same addressing discipline as the point cache itself, so a changed
+  /// config or trace can never resume from a stale snapshot (the cell
+  /// fingerprint embedded in each snapshot header is a second, independent
+  /// guard). Exposed for the resume tests.
+  [[nodiscard]] static std::string cell_checkpoint_dir(
+      const std::string& cache_dir, const std::string& key, std::size_t set);
 
  private:
   std::vector<workload::TraceModel> models_;

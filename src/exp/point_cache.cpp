@@ -214,7 +214,24 @@ std::string PointCache::file_name(const std::string& key) {
   return buf;
 }
 
-std::optional<CombinedPoint> PointCache::load(const std::string& key) const {
+namespace {
+
+/// Quarantines an unusable entry out of the lookup path: renamed to
+/// `<name>.corrupt` (clobbering any earlier quarantine) so the next store
+/// of the key publishes cleanly and repeated sweeps do not re-parse the
+/// same damage. Removal is the fallback when rename fails (e.g. the
+/// quarantine name is somehow a directory); both are best-effort.
+void quarantine_entry(const std::filesystem::path& path, bool* corrupt) {
+  std::error_code ec;
+  std::filesystem::rename(path, path.string() + ".corrupt", ec);
+  if (ec) std::filesystem::remove(path, ec);
+  if (corrupt != nullptr) *corrupt = true;
+}
+
+}  // namespace
+
+std::optional<CombinedPoint> PointCache::load(const std::string& key,
+                                              bool* corrupt) const {
   if (!enabled()) return std::nullopt;
   const std::filesystem::path path =
       std::filesystem::path(dir_) / file_name(key);
@@ -224,16 +241,21 @@ std::optional<CombinedPoint> PointCache::load(const std::string& key) const {
   buffer << in.rdbuf();
   const std::string text = buffer.str();
 
-  // Verify the stored key verbatim: a hash collision (or truncated entry)
-  // must read as a miss, never as a wrong point.
+  // Verify the stored key verbatim: a hash collision, truncated entry or
+  // foreign-schema file must read as a miss, never as a wrong point. (The
+  // schema version is a key prefix, so this also rejects stale schemas.)
   const std::string key_tag = "\"key\":\"";
   const std::size_t key_pos = text.find(key_tag);
-  if (key_pos == std::string::npos) return std::nullopt;
+  if (key_pos == std::string::npos) {
+    quarantine_entry(path, corrupt);
+    return std::nullopt;
+  }
   const std::size_t key_begin = key_pos + key_tag.size();
   const std::size_t key_end = text.find('"', key_begin);
   if (key_end == std::string::npos ||
       text.compare(key_begin, key_end - key_begin, key) != 0 ||
       key_end - key_begin != key.size()) {
+    quarantine_entry(path, corrupt);
     return std::nullopt;
   }
 
@@ -253,7 +275,10 @@ std::optional<CombinedPoint> PointCache::load(const std::string& key) const {
       find_number(text, "jobs_dropped", point.jobs_dropped) &&
       find_array(text, "sldwa_per_set", point.sldwa_per_set) &&
       find_array(text, "util_per_set", point.util_per_set);
-  if (!ok) return std::nullopt;
+  if (!ok) {
+    quarantine_entry(path, corrupt);
+    return std::nullopt;
+  }
   return point;
 }
 

@@ -61,9 +61,16 @@ class PointCache {
   /// Entry file name for \p key: `fnv1a-<16 hex digits>.json`.
   [[nodiscard]] static std::string file_name(const std::string& key);
 
-  /// Loads the point stored under \p key, or nullopt on miss (absent file,
-  /// unreadable entry, or stored key mismatch — hash collision).
-  [[nodiscard]] std::optional<CombinedPoint> load(const std::string& key) const;
+  /// Loads the point stored under \p key, or nullopt on miss. A present
+  /// but unusable entry — torn write, truncation, schema mismatch, stored
+  /// key mismatch — is quarantined (renamed to `<name>.corrupt`, replacing
+  /// any earlier quarantine of the same entry) and reported through
+  /// \p corrupt when non-null, so the caller can count it; the sweep then
+  /// re-simulates and overwrites the slot. A missing file leaves \p corrupt
+  /// untouched. Corruption is never fatal: the worst possible outcome of a
+  /// damaged cache directory is a cold re-computation.
+  [[nodiscard]] std::optional<CombinedPoint> load(
+      const std::string& key, bool* corrupt = nullptr) const;
 
   /// Stores \p point under \p key (atomically: temp file + rename).
   /// Best-effort — an unwritable directory loses the entry, not the sweep.

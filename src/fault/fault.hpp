@@ -24,6 +24,7 @@
 /// All delays and durations are rounded to whole seconds (minimum 1 s),
 /// matching the integral-time convention of the shrinking-factor transform.
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -130,6 +131,19 @@ class FaultInjector {
   /// exponential backoff with deterministic per-(job, retry) jitter in
   /// [0.5, 1.5), whole seconds (>= 1). Pure in (id, retry).
   [[nodiscard]] Time backoff_delay(JobId id, std::uint32_t retry) const;
+
+  /// Raw state of the sequential node-chain stream — the injector's only
+  /// mutable state (job fates, failure offsets and backoff are pure in
+  /// their arguments). Snapshotting this plus the pending calendar fully
+  /// checkpoints the fault model.
+  [[nodiscard]] std::array<std::uint64_t, 4> node_rng_state() const noexcept {
+    return node_rng_.state();
+  }
+
+  /// Reinstates a node-chain state captured by `node_rng_state()`.
+  void set_node_rng_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    node_rng_.set_state(s);
+  }
 
  private:
   FaultConfig config_;

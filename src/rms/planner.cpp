@@ -115,6 +115,16 @@ void Planner::prepare_scratch(PlanScratch& scratch,
   }
 }
 
+void Planner::adopt_retained(PlanScratch& scratch, ResourceProfile profile,
+                             const std::vector<workload::Job>& jobs) {
+  DYNP_EXPECTS(profile.capacity() >= 1);
+  build_job_classes(scratch.classes_, jobs);
+  scratch.class_floor_.assign(scratch.classes_.class_count, 0);
+  scratch.class_epoch_.assign(scratch.classes_.class_count, 0);
+  scratch.epoch_ = 0;
+  scratch.profile_ = std::move(profile);
+}
+
 void Planner::plan_into(const ResourceProfile& base, Time now,
                         const std::vector<JobId>& ordered_wait,
                         const std::vector<workload::Job>& jobs,

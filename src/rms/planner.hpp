@@ -130,6 +130,15 @@ class PlanScratch {
     classes_.class_count = 0;
   }
 
+  /// The profile this scratch retained from its last planning pass — the
+  /// machine state *after* every planned allocation of that pass. This is
+  /// exactly the state `replan_inserted_into`'s tail-insertion fast path
+  /// extends, so a checkpoint must capture it for every candidate whose
+  /// reuse flag is set (see `Planner::adopt_retained` for the restore side).
+  [[nodiscard]] const ResourceProfile& retained_profile() const noexcept {
+    return profile_;
+  }
+
  private:
   friend class Planner;
 
@@ -222,6 +231,19 @@ class Planner {
                                    std::size_t pos,
                                    const std::vector<workload::Job>& jobs,
                                    PlanScratch& scratch, Schedule& out);
+
+  /// Re-primes \p scratch after a checkpoint restore so that a following
+  /// `replan_inserted_into` behaves exactly as it would have without the
+  /// interruption: installs \p profile as the retained pass-end profile
+  /// (the serialized value of `PlanScratch::retained_profile()`) and
+  /// rebuilds the (width, estimate) class table from \p jobs — the same
+  /// deterministic function of the job table `prepare_scratch` computes, so
+  /// its precondition `job_class.size() == jobs.size()` holds again. The
+  /// acceleration floors stay unstamped (epoch 0): the tail-insertion fast
+  /// path never reads them, and every other path runs `prepare_scratch`
+  /// first, which re-stamps before use.
+  static void adopt_retained(PlanScratch& scratch, ResourceProfile profile,
+                             const std::vector<workload::Job>& jobs);
 
   /// Outcome of `repair_capacity_drop`.
   struct RepairResult {

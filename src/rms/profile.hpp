@@ -97,6 +97,18 @@ class ResourceProfile {
   /// assertions.
   [[nodiscard]] bool invariants_ok() const noexcept;
 
+  /// Reinstates a profile from snapshotted segments (as reported by
+  /// `segment_starts`/`segment_frees`). The segments must satisfy the
+  /// representation invariants — checked, since they may come from a file.
+  void restore_segments(std::uint32_t capacity, std::vector<Time> starts,
+                        std::vector<std::uint32_t> frees) {
+    capacity_ = capacity;
+    starts_ = std::move(starts);
+    frees_ = std::move(frees);
+    cursor_ = 0;
+    DYNP_EXPECTS(invariants_ok());
+  }
+
  private:
   /// Index of the segment containing time \p t.
   [[nodiscard]] std::size_t segment_index(Time t) const;

@@ -62,6 +62,18 @@ class Engine {
 
   [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
 
+  /// Reinstates a snapshotted engine: clock, processed-events count and the
+  /// full calendar (see `EventQueue::restore`). Only meaningful on a fresh
+  /// engine before any event was dispatched.
+  void restore(Time now, std::uint64_t processed,
+               const std::vector<Event>& events, std::uint64_t next_seq,
+               Time last_popped_time) {
+    DYNP_EXPECTS(processed_ == 0 && queue_.empty());
+    now_ = now;
+    processed_ = processed;
+    queue_.restore(events, next_seq, last_popped_time);
+  }
+
  private:
   EventQueue queue_;
   Time now_ = 0;

@@ -13,8 +13,8 @@
 /// down/up) resolve before arrivals so a same-instant submission plans
 /// against the post-fault machine.
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -52,13 +52,18 @@ struct EventAfter {
   }
 };
 
-/// Deterministic event calendar.
+/// Deterministic event calendar. Implemented as an explicit vector +
+/// `std::push_heap`/`pop_heap` (the exact operations `std::priority_queue`
+/// is specified as) so the pending set can be snapshotted and restored —
+/// the comparator is a strict *total* order, so any heap over the same
+/// element set pops in the same sequence regardless of array layout.
 class EventQueue {
  public:
   /// Inserts an event; the queue assigns the tie-breaking sequence number.
   void push(Time time, EventKind kind, JobId job) {
     DYNP_EXPECTS(time >= last_popped_time_);
-    heap_.push(Event{time, kind, job, next_seq_++});
+    heap_.push_back(Event{time, kind, job, next_seq_++});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
@@ -66,21 +71,53 @@ class EventQueue {
 
   [[nodiscard]] const Event& top() const {
     DYNP_EXPECTS(!heap_.empty());
-    return heap_.top();
+    return heap_.front();
   }
 
   /// Removes and returns the earliest event. Time never goes backwards.
   Event pop() {
     DYNP_EXPECTS(!heap_.empty());
-    Event e = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event e = heap_.back();
+    heap_.pop_back();
     DYNP_ENSURES(e.time >= last_popped_time_);
     last_popped_time_ = e.time;
     return e;
   }
 
+  /// The pending events sorted in pop order (time, kind, seq) — the
+  /// canonical serialization of the calendar: equal queues yield equal
+  /// vectors whatever their heap layouts.
+  [[nodiscard]] std::vector<Event> sorted_events() const {
+    std::vector<Event> events = heap_;
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) {
+                return EventAfter{}(b, a);  // "b after a" = ascending
+              });
+    return events;
+  }
+
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] Time last_popped_time() const noexcept {
+    return last_popped_time_;
+  }
+
+  /// Reinstates a snapshotted calendar: pending events (any order),
+  /// the sequence counter and the pop-time floor. Every event must be
+  /// poppable (at or after the floor) and carry a seq below the counter.
+  void restore(const std::vector<Event>& events, std::uint64_t next_seq,
+               Time last_popped_time) {
+    for (const Event& e : events) {
+      DYNP_EXPECTS(e.time >= last_popped_time && e.seq < next_seq);
+    }
+    heap_ = events;
+    std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
+    next_seq_ = next_seq;
+    last_popped_time_ = last_popped_time;
+  }
+
  private:
-  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   Time last_popped_time_ = 0;
 };

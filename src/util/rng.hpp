@@ -71,6 +71,17 @@ class Xoshiro256 {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
   }
 
+  /// The raw 256-bit state, for checkpointing a generator mid-stream.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+
+  /// Reinstates a state captured by `state()`; the generator continues the
+  /// exact sequence it would have produced uninterrupted.
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
   /// Uniform integer in [0, bound) without modulo bias (Lemire's method
   /// simplified to rejection on the multiply-shift range).
   constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {

@@ -1,0 +1,439 @@
+/// Crash-consistent checkpoint/restore. The layer's contract has two
+/// halves, and these tests pin both:
+///
+///  * the file formats — snapshots (versioned header, content hash, atomic
+///    publish, rotation) and the write-ahead journal (hash-chained records,
+///    torn tails dropped, header damage rejected) — must detect every
+///    torn/corrupt/foreign file instead of misdecoding it;
+///  * restore must be *byte-identical* to never having stopped: a run that
+///    snapshots as it goes, restored from any of its snapshots, produces
+///    exactly the outcome table of the uninterrupted run — across planner
+///    semantics, fault injection on/off and parallel tuning on/off (hence
+///    the tsan label), and even when the newest snapshot was torn and the
+///    restore rolled back to an older one.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/codec.hpp"
+#include "ckpt/journal.hpp"
+#include "ckpt/snapshot.hpp"
+#include "ckpt/state.hpp"
+#include "core/simulation.hpp"
+#include "exp/export.hpp"
+#include "workload/models.hpp"
+
+namespace dynp::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under the gtest temp root.
+[[nodiscard]] std::string scratch_dir(const char* name) {
+  const fs::path dir = fs::path(testing::TempDir()) / "dynp_ckpt" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+[[nodiscard]] std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void truncate_to(const std::string& path, std::uintmax_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  ASSERT_FALSE(ec) << path;
+}
+
+// ---------------------------------------------------------------------------
+// codec
+// ---------------------------------------------------------------------------
+
+TEST(Codec, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(-1234.5678);
+  w.f64(0.0);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.f64(), -1234.5678);
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, ReadPastEndIsSticky) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes());
+  (void)r.u64();  // longer than the buffer
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // further reads return zero, never UB
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Codec, SimStateEncodeIsStableAndRoundTrips) {
+  SimState s;
+  s.now = 123.5;
+  s.processed = 42;
+  s.next_seq = 99;
+  s.events.push_back(EventRec{130.0, 1, 7, 43});
+  s.waiting = {3, 9};
+  s.running.push_back(RunningRec{5, 16, 140.0});
+  s.outcomes.push_back(OutcomeRec{0, 1.0, 2.0, 3.0, 8, 1.5});
+  CandidateRec cand;
+  cand.reusable = 1;
+  cand.plan.push_back(PlannedRec{3, 131.0});
+  cand.profile_capacity = 100;
+  cand.profile_starts = {123.5, 140.0};
+  cand.profile_frees = {84, 100};
+  s.candidates.push_back(cand);
+  s.decisions_per_policy = {4, 2};
+  s.time_in_policy = {100.0, 23.5};
+  s.fault_stats[0] = 11;
+
+  const std::string bytes = s.encode();
+  SimState back;
+  ASSERT_TRUE(SimState::decode(bytes, back));
+  EXPECT_EQ(back.encode(), bytes);
+  ASSERT_EQ(back.candidates.size(), 1u);
+  EXPECT_EQ(back.candidates[0].profile_capacity, 100u);
+  EXPECT_EQ(back.candidates[0].profile_starts, cand.profile_starts);
+  EXPECT_EQ(back.candidates[0].profile_frees, cand.profile_frees);
+}
+
+TEST(Codec, DecodeRejectsTruncationAtEveryPrefix) {
+  SimState s;
+  s.events.push_back(EventRec{1.0, 0, 0, 1});
+  s.waiting = {1, 2, 3};
+  const std::string bytes = s.encode();
+  SimState back;
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(SimState::decode(bytes.substr(0, cut), back))
+        << "prefix of " << cut << " bytes decoded";
+  }
+  EXPECT_TRUE(SimState::decode(bytes, back));
+}
+
+// ---------------------------------------------------------------------------
+// snapshot files
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, WriteReadRoundTrip) {
+  const std::string dir = scratch_dir("roundtrip");
+  SnapshotMeta meta;
+  meta.config_fingerprint = 0xFEEDu;
+  meta.seq = 250;
+  meta.sim_time = 4096.5;
+  meta.build = "test-build";
+  const std::string payload = "payload bytes \x00\x01\x02 with nul";
+  std::uint64_t bytes = 0;
+  ASSERT_TRUE(write_snapshot(dir, meta, payload, 3, &bytes));
+  EXPECT_GT(bytes, payload.size());
+
+  const std::string path = dir + "/" + snapshot_file_name(250);
+  const std::optional<LoadedSnapshot> loaded = read_snapshot(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->meta.config_fingerprint, 0xFEEDu);
+  EXPECT_EQ(loaded->meta.seq, 250u);
+  EXPECT_EQ(loaded->meta.sim_time, 4096.5);
+  EXPECT_EQ(loaded->payload, payload);
+}
+
+TEST(Snapshot, CorruptionAndTruncationAreDetected) {
+  const std::string dir = scratch_dir("corrupt");
+  SnapshotMeta meta;
+  meta.seq = 10;
+  ASSERT_TRUE(write_snapshot(dir, meta, std::string(500, 'x')));
+  const std::string path = dir + "/" + snapshot_file_name(10);
+  const std::string original = slurp(path);
+
+  // Flip one payload byte: the content hash must catch it.
+  {
+    std::string damaged = original;
+    damaged[damaged.size() - 7] ^= 0x01;
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << damaged;
+    EXPECT_FALSE(read_snapshot(path).has_value());
+  }
+  // Truncate mid-payload: the length check must catch it.
+  {
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << original;
+    truncate_to(path, original.size() / 2);
+    EXPECT_FALSE(read_snapshot(path).has_value());
+  }
+  // A foreign file is rejected on the magic, not misdecoded.
+  {
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << "not a snapshot at all";
+    EXPECT_FALSE(read_snapshot(path).has_value());
+  }
+}
+
+TEST(Snapshot, RotationKeepsTheNewest) {
+  const std::string dir = scratch_dir("rotate");
+  for (const std::uint64_t seq : {100ULL, 200ULL, 300ULL, 400ULL, 500ULL}) {
+    SnapshotMeta meta;
+    meta.seq = seq;
+    ASSERT_TRUE(write_snapshot(dir, meta, "p", /*keep=*/3));
+  }
+  std::vector<std::string> names;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    names.push_back(e.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{snapshot_file_name(300),
+                                             snapshot_file_name(400),
+                                             snapshot_file_name(500)}));
+}
+
+TEST(Snapshot, RestoreScanRollsBackPastTornAndForeignFingerprints) {
+  const std::string dir = scratch_dir("scan");
+  for (const std::uint64_t seq : {100ULL, 200ULL, 300ULL}) {
+    SnapshotMeta meta;
+    meta.seq = seq;
+    meta.config_fingerprint = 0xAA;
+    ASSERT_TRUE(write_snapshot(dir, meta, "payload-" + std::to_string(seq)));
+  }
+  // Tear the newest; the scan must fall back to seq 200.
+  const std::string newest = dir + "/" + snapshot_file_name(300);
+  truncate_to(newest, fs::file_size(newest) / 2);
+
+  RestoreScan scan = find_restore_source(dir, 0xAA);
+  ASSERT_TRUE(scan.snapshot.has_value());
+  EXPECT_EQ(scan.snapshot->meta.seq, 200u);
+  ASSERT_EQ(scan.rejected.size(), 1u);
+  EXPECT_EQ(scan.rejected[0], newest);
+
+  // A fingerprint mismatch rejects everything (restoring another run's
+  // state would silently change results).
+  scan = find_restore_source(dir, 0xBB);
+  EXPECT_FALSE(scan.snapshot.has_value());
+  EXPECT_EQ(scan.rejected.size(), 3u);
+
+  // Fingerprint 0 accepts any run identity (tooling escape hatch).
+  scan = find_restore_source(dir, 0);
+  ASSERT_TRUE(scan.snapshot.has_value());
+  EXPECT_EQ(scan.snapshot->meta.seq, 200u);
+}
+
+// ---------------------------------------------------------------------------
+// write-ahead journal
+// ---------------------------------------------------------------------------
+
+TEST(Journal, RoundTripAndTornTail) {
+  const std::string dir = scratch_dir("journal");
+  const std::string path = dir + "/journal.wal";
+  std::vector<JournalRecord> records;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    records.push_back(
+        JournalRecord{100 + i, 10.0 * static_cast<double>(i),
+                      static_cast<std::uint8_t>(i % 3),
+                      static_cast<std::uint32_t>(i)});
+  }
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open_fresh(path, 0xC0FFEE, 100));
+    for (const JournalRecord& r : records) journal.append(r);
+  }
+  std::optional<Journal::Contents> contents = Journal::read_file(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->config_fingerprint, 0xC0FFEEu);
+  EXPECT_EQ(contents->base_seq, 100u);
+  EXPECT_EQ(contents->records, records);
+
+  // A torn tail (crash mid-append) drops the damaged record, keeps the rest.
+  truncate_to(path, fs::file_size(path) - 3);
+  contents = Journal::read_file(path);
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->records.size(), 4u);
+  EXPECT_EQ(contents->records[3], records[3]);
+
+  // Garbage appended after valid records must also stop the chain.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "garbage bytes that are no record";
+  }
+  contents = Journal::read_file(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->records.size(), 4u);
+
+  // Header damage rejects the whole file.
+  truncate_to(path, 4);
+  EXPECT_FALSE(Journal::read_file(path).has_value());
+  EXPECT_FALSE(Journal::read_file(dir + "/absent.wal").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// restore == straight-through (the actual crash-consistency contract)
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] workload::JobSet ckpt_jobs() {
+  return workload::generate(workload::model_by_name("KTH"), 400, 7)
+      .with_shrinking_factor(0.7);
+}
+
+[[nodiscard]] fault::FaultConfig ckpt_faults() {
+  fault::FaultConfig f;
+  f.seed = 13;
+  f.node_mtbf = 30000;
+  f.node_mttr = 4000;
+  f.job_fail_p = 0.05;
+  f.max_retries = 50;
+  return f;
+}
+
+[[nodiscard]] std::string outcomes_csv(const core::SimulationResult& r) {
+  std::ostringstream out;
+  exp::write_outcomes_csv(out, r.outcomes);
+  return out.str();
+}
+
+/// One grid cell of the determinism matrix: run straight through with
+/// periodic snapshots, then restore (newest snapshot + journal replay) and
+/// compare the final outcome table byte for byte.
+void expect_restore_matches(core::SimulationConfig config,
+                            const std::string& dir) {
+  const workload::JobSet set = ckpt_jobs();
+  config.checkpoint.every = 40;
+  config.checkpoint.dir = dir;
+  const core::SimulationResult straight = core::simulate(set, config);
+  ASSERT_GT(straight.recovery.snapshots_written, 2u);
+
+  core::SimulationConfig resumed = config;
+  resumed.checkpoint.restore_from = dir;
+  const core::SimulationResult restored = core::simulate(set, resumed);
+  EXPECT_FALSE(restored.recovery.restored_from.empty());
+  EXPECT_GT(restored.recovery.restored_seq, 0u);
+  EXPECT_EQ(outcomes_csv(restored), outcomes_csv(straight));
+  EXPECT_EQ(restored.decisions, straight.decisions);
+  EXPECT_EQ(restored.switches, straight.switches);
+  EXPECT_EQ(restored.faults.job_failures, straight.faults.job_failures);
+}
+
+TEST(CheckpointDeterminism, RestoreMatchesStraightThroughAcrossConfigs) {
+  struct Cell {
+    const char* name;
+    bool faults;
+    bool parallel;
+    std::size_t threads;
+  };
+  const Cell grid[] = {{"seq", false, false, 0},
+                       {"seq_faults", true, false, 0},
+                       {"par2", false, true, 2},
+                       {"par3_faults", true, true, 3}};
+  for (const Cell& cell : grid) {
+    SCOPED_TRACE(cell.name);
+    core::SimulationConfig config =
+        core::dynp_config(core::make_advanced_decider());
+    if (cell.faults) config.faults = ckpt_faults();
+    config.parallel_tuning = cell.parallel;
+    config.tuning_threads = cell.threads;
+    expect_restore_matches(config, scratch_dir(cell.name));
+  }
+}
+
+TEST(CheckpointDeterminism, MidTraceSnapshotRestoresExactly) {
+  // Restore from the *oldest retained* snapshot (not the newest) so the
+  // replayed stretch is long and crosses many scheduling decisions.
+  const workload::JobSet set = ckpt_jobs();
+  const std::string dir = scratch_dir("midtrace");
+  core::SimulationConfig config =
+      core::dynp_config(core::make_advanced_decider());
+  config.faults = ckpt_faults();
+  config.checkpoint.every = 30;
+  config.checkpoint.dir = dir;
+  const core::SimulationResult straight = core::simulate(set, config);
+
+  std::vector<std::string> snaps;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".snap") snaps.push_back(e.path().string());
+  }
+  ASSERT_GE(snaps.size(), 2u);
+  std::sort(snaps.begin(), snaps.end());
+
+  core::SimulationConfig resumed = config;
+  resumed.checkpoint.every = 0;
+  resumed.checkpoint.dir.clear();
+  resumed.checkpoint.restore_from = snaps.front();
+  const core::SimulationResult restored = core::simulate(set, resumed);
+  EXPECT_EQ(restored.recovery.restored_from, snaps.front());
+  EXPECT_EQ(outcomes_csv(restored), outcomes_csv(straight));
+}
+
+TEST(CheckpointDeterminism, TornNewestSnapshotRollsBackAndStillMatches) {
+  const workload::JobSet set = ckpt_jobs();
+  const std::string dir = scratch_dir("torn");
+  core::SimulationConfig config =
+      core::dynp_config(core::make_advanced_decider());
+  config.checkpoint.every = 40;
+  config.checkpoint.dir = dir;
+  const core::SimulationResult straight = core::simulate(set, config);
+
+  std::vector<std::string> snaps;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".snap") snaps.push_back(e.path().string());
+  }
+  ASSERT_GE(snaps.size(), 2u);
+  std::sort(snaps.begin(), snaps.end());
+  truncate_to(snaps.back(), fs::file_size(snaps.back()) / 2);
+
+  core::SimulationConfig resumed = config;
+  resumed.checkpoint.restore_from = dir;
+  const core::SimulationResult restored = core::simulate(set, resumed);
+  EXPECT_EQ(restored.recovery.restored_from,
+            snaps[snaps.size() - 2]);  // rolled back one checkpoint
+  ASSERT_EQ(restored.recovery.rejected_snapshots.size(), 1u);
+  EXPECT_EQ(restored.recovery.rejected_snapshots[0], snaps.back());
+  EXPECT_EQ(outcomes_csv(restored), outcomes_csv(straight));
+}
+
+TEST(CheckpointDeterminism, RestoredRunPassesTheFullAudit) {
+  const workload::JobSet set = ckpt_jobs();
+  const std::string dir = scratch_dir("audit");
+  core::SimulationConfig config =
+      core::dynp_config(core::make_advanced_decider());
+  config.audit = true;
+  config.checkpoint.every = 50;
+  config.checkpoint.dir = dir;
+  const core::SimulationResult straight = core::simulate(set, config);
+  ASSERT_GT(straight.audit_events, 0u);
+
+  core::SimulationConfig resumed = config;
+  resumed.checkpoint.restore_from = dir;
+  // The auditor aborts through the contract machinery on any violation, so
+  // completing the run *is* the assertion; the outcome check is icing.
+  const core::SimulationResult restored = core::simulate(set, resumed);
+  EXPECT_GT(restored.audit_events, 0u);
+  EXPECT_EQ(outcomes_csv(restored), outcomes_csv(straight));
+}
+
+TEST(CheckpointDeterminism, EmptyDirectoryFallsBackToAFreshRun) {
+  const workload::JobSet set = ckpt_jobs();
+  core::SimulationConfig config =
+      core::dynp_config(core::make_advanced_decider());
+  const core::SimulationResult baseline = core::simulate(set, config);
+
+  core::SimulationConfig resumed = config;
+  resumed.checkpoint.restore_from = scratch_dir("fresh");
+  const core::SimulationResult restored = core::simulate(set, resumed);
+  EXPECT_TRUE(restored.recovery.restored_from.empty());
+  EXPECT_EQ(outcomes_csv(restored), outcomes_csv(baseline));
+}
+
+}  // namespace
+}  // namespace dynp::ckpt

@@ -10,9 +10,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "core/simulation.hpp"
 #include "exp/experiment.hpp"
 #include "exp/orchestrator.hpp"
@@ -359,6 +361,112 @@ TEST(PointCache, BudgetedConfigsAreUncacheable) {
   EXPECT_TRUE(PointCache::cacheable(config));
   config.plan_budget_us = 500;
   EXPECT_FALSE(PointCache::cacheable(config));
+}
+
+TEST(PointCache, CorruptEntryIsQuarantinedAndTheSlotRecovers) {
+  TempDir dir("dynp_point_cache_corrupt_test");
+  PointCache cache(dir.path.string());
+  const std::string key = PointCache::key_string(
+      workload::model_by_name("KTH"), mini_scale(), 0.8,
+      core::static_config(policies::PolicyKind::kSjf));
+  CombinedPoint point;
+  point.sldwa = 2.5;
+  cache.store(key, point);
+
+  // Truncate the entry mid-file (a torn write): the load must miss, report
+  // corruption, and move the damage out of the lookup path.
+  const std::filesystem::path entry = dir.path / PointCache::file_name(key);
+  std::filesystem::resize_file(entry, std::filesystem::file_size(entry) / 2);
+  bool corrupt = false;
+  EXPECT_FALSE(cache.load(key, &corrupt).has_value());
+  EXPECT_TRUE(corrupt);
+  EXPECT_FALSE(std::filesystem::exists(entry));
+  EXPECT_TRUE(std::filesystem::exists(entry.string() + ".corrupt"));
+
+  // A missing file is a plain miss, not corruption.
+  corrupt = false;
+  EXPECT_FALSE(cache.load(key, &corrupt).has_value());
+  EXPECT_FALSE(corrupt);
+
+  // Re-storing publishes cleanly over the quarantined slot.
+  cache.store(key, point);
+  corrupt = false;
+  const auto reloaded = cache.load(key, &corrupt);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_FALSE(corrupt);
+  EXPECT_EQ(reloaded->sldwa, 2.5);
+}
+
+TEST(SweepOrchestrator, CorruptCacheEntryResimulatesInsteadOfAborting) {
+  TempDir cache("dynp_orchestrator_corrupt_cache_test");
+  OrchestratorOptions options;
+  options.threads = 4;
+  options.cache_dir = cache.path.string();
+  SweepStats cold_stats;
+  const std::string cold = render(run_grid(options, &cold_stats));
+  ASSERT_EQ(cold_stats.cache_misses, cold_stats.points_total);
+
+  // Smash one committed entry with garbage of the right name.
+  std::filesystem::path victim;
+  for (const auto& e : std::filesystem::directory_iterator(cache.path)) {
+    if (e.path().extension() == ".json") {
+      victim = e.path();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  std::ofstream(victim, std::ios::trunc) << "{\"key\":\"not the real key\"}";
+
+  SweepStats warm_stats;
+  const std::string warm = render(run_grid(options, &warm_stats));
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(warm_stats.cache_corrupt, 1u);
+  EXPECT_EQ(warm_stats.cache_misses, 1u);
+  EXPECT_EQ(warm_stats.cache_hits, warm_stats.points_total - 1);
+  // The damaged bytes were quarantined and the slot re-published.
+  EXPECT_TRUE(std::filesystem::exists(victim.string() + ".corrupt"));
+  EXPECT_TRUE(std::filesystem::exists(victim));
+}
+
+TEST(SweepOrchestrator, CellResumesMidTraceFromALeftoverCheckpoint) {
+  TempDir cache("dynp_orchestrator_cell_resume_test");
+  const std::uint64_t every = 40;
+
+  // Manufacture what a killed sweep leaves behind: a partially-run cell's
+  // checkpoint directory. Run the cell standalone with snapshots on; its
+  // retained snapshots are exactly a mid-trace interruption point.
+  const workload::TraceModel model = workload::model_by_name("KTH");
+  const core::SimulationConfig cell_config = mini_configs()[1];
+  const std::string key =
+      PointCache::key_string(model, mini_scale(), mini_factors()[0],
+                             cell_config);
+  const std::string cell_dir = SweepOrchestrator::cell_checkpoint_dir(
+      cache.path.string(), key, 0);
+  {
+    const std::vector<workload::JobSet> ensemble = workload::generate_ensemble(
+        model, mini_scale().sets, mini_scale().jobs, mini_scale().seed);
+    ckpt::CheckpointOptions seed_ckpt;
+    seed_ckpt.every = every;
+    seed_ckpt.dir = cell_dir;
+    (void)simulate_sweep_cell(ensemble[0], mini_factors()[0], cell_config, 0,
+                              nullptr, &seed_ckpt);
+  }
+  ASSERT_FALSE(std::filesystem::is_empty(cell_dir));
+
+  OrchestratorOptions options;
+  options.threads = 4;
+  options.cache_dir = cache.path.string();
+  options.checkpoint_every = every;
+  SweepStats stats;
+  const std::string resumed = render(run_grid(options, &stats));
+  // The pre-seeded cell restored mid-trace; byte-identity with the
+  // checkpoint-free grid is the crash-consistency contract.
+  EXPECT_GE(stats.cells_resumed, 1u);
+  OrchestratorOptions plain;
+  plain.threads = 4;
+  EXPECT_EQ(resumed, render(run_grid(plain)));
+  // Completed cells clean up their checkpoint directories.
+  EXPECT_FALSE(std::filesystem::exists(cell_dir));
 }
 
 }  // namespace

@@ -604,8 +604,43 @@ int compare_sentinel_texts(const std::string& base_text,
                 delta * 100, regressed ? "  <-- REGRESSION" : "");
   }
   if (compared == 0) {
-    std::fprintf(stderr, "no gateable p99 keys found in both reports\n");
-    return 1;
+    // A baseline that predates the sentinel block (older report schema)
+    // carries no *_p99 keys. When the candidate has them, the baseline is
+    // merely old, not broken: warn and degrade to the wall-clock "seconds"
+    // key both schemas carry, passing when even that is absent. Exit 1
+    // stays reserved for a candidate that itself lacks the gate keys — a
+    // broken fresh run must never slip through as "old baseline".
+    bool candidate_has_keys = false;
+    for (const char* series : kSentinelSeries) {
+      if (find_number(to_text, std::string(series) + "_p99")) {
+        candidate_has_keys = true;
+        break;
+      }
+    }
+    if (!candidate_has_keys) {
+      std::fprintf(stderr, "no gateable p99 keys found in both reports\n");
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "warning: baseline has no sentinel p99 keys (pre-sentinel "
+                 "report schema); degrading to the wall-clock gate\n");
+    const auto base_s = find_number(base_text, "seconds");
+    const auto to_s = find_number(to_text, "seconds");
+    if (!base_s || !to_s || *base_s <= 0) {
+      std::fprintf(stderr,
+                   "warning: no comparable \"seconds\" key either; nothing "
+                   "left to gate on — passing\n");
+      return 0;
+    }
+    const double delta = *to_s / *base_s - 1.0;
+    std::printf("%-24s %12.3f %12.3f %+7.1f%%%s\n", "seconds", *base_s, *to_s,
+                delta * 100, delta > 0.10 ? "  <-- REGRESSION" : "");
+    if (delta > 0.10) {
+      std::fprintf(stderr, "wall-clock seconds regressed by more than 10%%\n");
+      return 2;
+    }
+    std::printf("no regression above 10%% (degraded wall-clock gate)\n");
+    return 0;
   }
   if (regressions > 0) {
     std::fprintf(stderr, "%zu series regressed by more than 10%% at p99\n",

@@ -1,0 +1,402 @@
+/// dynp_chaos — kill-and-resume chaos soak over dynp_sim's checkpointing.
+///
+/// Protocol (see DESIGN.md §15):
+///
+///  1. Run one uninterrupted, fault-injected reference simulation with CSV
+///     export and a JSONL event trace; its last event ordinal sizes the
+///     kill schedule.
+///  2. Re-run the same configuration with periodic snapshots and the
+///     `--kill-at-event` crash hook, SIGKILLing the process at N strictly
+///     increasing seed-derived event offsets; every restart resumes with
+///     `--restore` from the newest valid snapshot. Crashing this way is
+///     exactly an external `kill -9` (no flushing, no destructors) minus
+///     the race over *where* it lands.
+///  3. Twice during the soak the newest snapshot is deliberately truncated:
+///     once mid-soak (the next restart must roll back past it — verified by
+///     the resume point in its trace) and once before the final run (which
+///     survives to print the `checkpoint rejected:` provenance line).
+///  4. The final run completes with `--audit --validate` and exports CSVs.
+///     The harness then asserts the exported CSVs are byte-identical to the
+///     reference's, and stitches the per-segment traces (each segment owns
+///     the event window up to the next segment's resume point) into a file
+///     that must equal the reference trace byte for byte.
+///
+/// Exit 0 on a clean soak; 1 with a diagnostic on the first divergence.
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "dynp_chaos: %s\n", message.c_str());
+  std::exit(1);
+}
+
+struct ChildStatus {
+  bool exited = false;
+  int exit_code = -1;
+  bool signaled = false;
+  int signal = 0;
+};
+
+/// Runs \p args (args[0] = binary) with stdout+stderr redirected to
+/// \p log_path and waits for it.
+ChildStatus run_child(const std::vector<std::string>& args,
+                      const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid < 0) die("fork failed");
+  if (pid == 0) {
+    const int fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+      ::close(fd);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::_Exit(127);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) die("waitpid failed");
+  ChildStatus result;
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Splits \p text into complete lines; a torn final line (no trailing
+/// newline — the crash hit mid-write) is dropped, exactly what restore's
+/// journal reader does with torn record tails.
+[[nodiscard]] std::vector<std::string> complete_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) break;  // no newline: incomplete tail
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+/// Event ordinal of one JSONL trace record (every event/fault record
+/// carries `"seq":`).
+[[nodiscard]] std::optional<unsigned long long> record_seq(
+    const std::string& line) {
+  const std::size_t pos = line.find("\"seq\":");
+  if (pos == std::string::npos) return std::nullopt;
+  const char* begin = line.c_str() + pos + 6;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(begin, &end, 10);
+  if (end == begin) return std::nullopt;
+  return value;
+}
+
+struct SnapshotFile {
+  std::string path;
+  unsigned long long seq = 0;
+};
+
+/// Newest published snapshot in \p dir by embedded sequence number.
+/// Publication is atomic (temp + rename), so every `.snap` file present was
+/// completely written — unless this harness tore it on purpose.
+[[nodiscard]] std::optional<SnapshotFile> newest_snapshot(
+    const std::string& dir) {
+  std::optional<SnapshotFile> best;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 22 || name.rfind("ckpt-", 0) != 0 ||
+        name.find(".snap", 17) != 17) {
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long seq = std::strtoull(name.c_str() + 5, &end, 10);
+    if (end != name.c_str() + 17) continue;
+    if (!best.has_value() || seq > best->seq) {
+      best = SnapshotFile{entry.path().string(), seq};
+    }
+  }
+  return best;
+}
+
+/// Tears the newest snapshot in half — a classic torn write. Restore must
+/// reject it via the content hash and roll back to the previous snapshot.
+[[nodiscard]] SnapshotFile tear_newest_snapshot(const std::string& dir) {
+  const std::optional<SnapshotFile> victim = newest_snapshot(dir);
+  if (!victim.has_value()) die("no snapshot to tear in " + dir);
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(victim->path, ec);
+  if (ec) die("cannot stat " + victim->path);
+  fs::resize_file(victim->path, size > 32 ? size / 2 : 1, ec);
+  if (ec) die("cannot truncate " + victim->path);
+  return *victim;
+}
+
+/// One soak segment's durable output.
+struct Segment {
+  std::vector<std::string> lines;
+  unsigned long long first_seq = 0;
+  bool any = false;
+};
+
+[[nodiscard]] Segment load_segment(const std::string& trace_path) {
+  Segment segment;
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) return segment;  // killed before the first flush: empty window
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  segment.lines = complete_lines(buffer.str());
+  if (!segment.lines.empty()) {
+    const std::optional<unsigned long long> seq = record_seq(segment.lines[0]);
+    if (!seq.has_value()) die("unparsable trace record in " + trace_path);
+    segment.first_seq = *seq;
+    segment.any = true;
+  }
+  return segment;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dynp::util::CliParser cli(
+      "dynp_chaos — SIGKILL a checkpointed dynp_sim run at seed-derived "
+      "event offsets, resume from snapshots, and verify the stitched output "
+      "is byte-identical to an uninterrupted run");
+  cli.add_option("sim", "", "path to the dynp_sim binary (required)");
+  cli.add_option("workdir", "", "scratch directory (recreated; required)");
+  cli.add_option("kills", "10", "number of SIGKILL points");
+  cli.add_option("seed", "7", "seed of the kill schedule");
+  cli.add_option("jobs", "600", "workload size of the soaked run");
+  if (!cli.parse(argc, argv)) return 1;
+  const std::string sim = cli.get("sim");
+  const std::string workdir = cli.get("workdir");
+  if (sim.empty() || workdir.empty()) die("--sim and --workdir are required");
+  const auto kills_opt = cli.get_int_checked("kills", 1, 1000);
+  const auto seed_opt = cli.get_int_checked("seed", 0, 1LL << 62);
+  const auto jobs_opt = cli.get_int_checked("jobs", 50, 1000000);
+  if (!kills_opt || !seed_opt || !jobs_opt) return 1;
+  const std::size_t kills = static_cast<std::size_t>(*kills_opt);
+
+  std::error_code ec;
+  fs::remove_all(workdir, ec);
+  const std::string ref_dir = workdir + "/ref";
+  const std::string out_dir = workdir + "/out";
+  const std::string ckpt_dir = workdir + "/ckpt";
+  fs::create_directories(ref_dir, ec);
+  fs::create_directories(out_dir, ec);
+  if (ec) die("cannot create " + workdir);
+
+  // The soaked configuration: dynP self-tuning with replan semantics plus
+  // node outages, mid-run job failures and requeue chains — the state-richest
+  // path through the scheduler (decider, fault RNG chains, pending outage
+  // timelines all live across the kill points).
+  const std::vector<std::string> base = {
+      sim,           "--trace",       "KTH",
+      "--jobs",      std::to_string(*jobs_opt),
+      "--seed",      "42",
+      "--factor",    "0.7",
+      "--scheduler", "dynp-advanced",
+      "--semantics", "replan",
+      "--faults",    "--fault-seed",  "3",
+      "--mtbf",      "200000",
+      "--repair",    "4000",
+      "--job-fail-p", "0.02",
+      "--max-retries", "50",
+      "--audit"};
+
+  // 1. Uninterrupted reference run.
+  std::vector<std::string> ref_args = base;
+  ref_args.insert(ref_args.end(),
+                  {"--validate", "--export", ref_dir, "--trace-out",
+                   workdir + "/ref.trace", "--trace-format", "jsonl"});
+  const ChildStatus ref = run_child(ref_args, workdir + "/ref.log");
+  if (!ref.exited || ref.exit_code != 0) {
+    die("reference run failed (see " + workdir + "/ref.log)");
+  }
+  const std::vector<std::string> ref_lines =
+      complete_lines(read_file(workdir + "/ref.trace"));
+  unsigned long long total_events = 0;
+  for (const std::string& line : ref_lines) {
+    const std::optional<unsigned long long> seq = record_seq(line);
+    if (!seq.has_value()) die("unparsable record in reference trace");
+    total_events = std::max(total_events, *seq);
+  }
+  if (total_events < 50 * kills) {
+    die("reference run too short (" + std::to_string(total_events) +
+        " events) for " + std::to_string(kills) + " kills");
+  }
+
+  // 2. Seed-derived, strictly increasing kill schedule across the middle
+  // 80% of the run, with several snapshots between consecutive kills.
+  const unsigned long long every =
+      std::max<unsigned long long>(8, total_events / 100);
+  dynp::util::Xoshiro256 rng(static_cast<std::uint64_t>(*seed_opt));
+  std::vector<unsigned long long> kill_at;
+  const unsigned long long span = total_events * 8 / 10;
+  for (std::size_t i = 0; i < kills; ++i) {
+    const unsigned long long slot_base =
+        total_events / 10 + span * i / kills;
+    const unsigned long long jitter =
+        rng.next_below(std::max<unsigned long long>(1, span / kills / 2));
+    unsigned long long k = slot_base + jitter;
+    if (!kill_at.empty()) k = std::max(k, kill_at.back() + 2);
+    kill_at.push_back(k);
+  }
+
+  const std::vector<std::string> ckpt_args = {
+      "--checkpoint-dir", ckpt_dir, "--checkpoint-every",
+      std::to_string(every), "--restore", ckpt_dir};
+
+  std::vector<Segment> segments;
+  std::optional<SnapshotFile> torn;  // mid-soak tear awaiting verification
+  std::size_t rollbacks_verified = 0;
+  for (std::size_t i = 0; i < kills; ++i) {
+    const std::string trace_path =
+        workdir + "/seg_" + std::to_string(i) + ".trace";
+    std::vector<std::string> args = base;
+    args.insert(args.end(), ckpt_args.begin(), ckpt_args.end());
+    args.insert(args.end(), {"--kill-at-event", std::to_string(kill_at[i]),
+                             "--trace-out", trace_path, "--trace-format",
+                             "jsonl"});
+    const ChildStatus status =
+        run_child(args, workdir + "/seg_" + std::to_string(i) + ".log");
+    if (!status.signaled || status.signal != SIGKILL) {
+      die("segment " + std::to_string(i) + " was not SIGKILLed at event " +
+          std::to_string(kill_at[i]) + " (see its .log)");
+    }
+    Segment segment = load_segment(trace_path);
+    if (torn.has_value() && segment.any) {
+      // The first durable trace after the tear pins the resume point; a
+      // rollback means it resumed strictly before the torn snapshot.
+      if (segment.first_seq > torn->seq) {
+        die("restart after torn snapshot " + torn->path + " resumed at " +
+            std::to_string(segment.first_seq) + ", past the tear");
+      }
+      ++rollbacks_verified;
+      torn.reset();
+    }
+    segments.push_back(std::move(segment));
+    if (i == kills / 2) torn = tear_newest_snapshot(ckpt_dir);
+  }
+
+  // 3. Second deliberate tear right before the final run, which survives to
+  // print the rejection and restore provenance.
+  const SnapshotFile final_torn = tear_newest_snapshot(ckpt_dir);
+
+  // 4. Final run: resume, finish, audit, validate, export.
+  const std::string final_trace = workdir + "/seg_final.trace";
+  const std::string final_log = workdir + "/seg_final.log";
+  std::vector<std::string> final_args = base;
+  final_args.insert(final_args.end(), ckpt_args.begin(), ckpt_args.end());
+  final_args.insert(final_args.end(),
+                    {"--validate", "--export", out_dir, "--trace-out",
+                     final_trace, "--trace-format", "jsonl"});
+  const ChildStatus fin = run_child(final_args, final_log);
+  if (!fin.exited || fin.exit_code != 0) {
+    die("final resumed run failed (see " + final_log + ")");
+  }
+  const std::string final_out = read_file(final_log);
+  const std::string reject_line =
+      "checkpoint rejected: " + final_torn.path;
+  if (final_out.find(reject_line) == std::string::npos) {
+    die("final run did not reject the torn snapshot (" + final_torn.path +
+        "); see " + final_log);
+  }
+  if (final_out.find("restored from ") == std::string::npos) {
+    die("final run did not restore from a snapshot; see " + final_log);
+  }
+  Segment final_segment = load_segment(final_trace);
+  if (!final_segment.any) die("final run produced an empty trace");
+  if (final_segment.first_seq > final_torn.seq) {
+    die("final run resumed at " + std::to_string(final_segment.first_seq) +
+        ", past the torn snapshot " + final_torn.path);
+  }
+  ++rollbacks_verified;
+  segments.push_back(std::move(final_segment));
+
+  // 5. Stitch: each segment owns the event window up to the next segment's
+  // resume point (the next durable trace's first ordinal); the final
+  // segment owns the rest. Restore re-processes — and re-traces — the
+  // journal-replayed suffix, so consecutive windows meet exactly.
+  std::string stitched;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (!segments[i].any) continue;
+    unsigned long long window_end =
+        std::numeric_limits<unsigned long long>::max();
+    for (std::size_t j = i + 1; j < segments.size(); ++j) {
+      if (segments[j].any) {
+        window_end = segments[j].first_seq;
+        break;
+      }
+    }
+    for (const std::string& line : segments[i].lines) {
+      const std::optional<unsigned long long> seq = record_seq(line);
+      if (!seq.has_value()) die("unparsable trace record in segment");
+      if (*seq < window_end) {
+        stitched += line;
+        stitched += '\n';
+      }
+    }
+  }
+  const std::string reference = read_file(workdir + "/ref.trace");
+  if (stitched != reference) {
+    const std::string stitched_path = workdir + "/stitched.trace";
+    std::ofstream(stitched_path, std::ios::binary) << stitched;
+    die("stitched trace differs from the uninterrupted run (compare " +
+        stitched_path + " against " + workdir + "/ref.trace)");
+  }
+
+  for (const char* name : {"/outcomes.csv", "/policy_timeline.csv"}) {
+    if (read_file(out_dir + name) != read_file(ref_dir + name)) {
+      die(std::string("resumed export ") + name +
+          " differs from the uninterrupted run");
+    }
+  }
+
+  std::printf(
+      "chaos soak clean: %zu SIGKILLs over %llu events (snapshot every "
+      "%llu), %zu torn-snapshot rollbacks, stitched trace (%zu lines) and "
+      "exported CSVs byte-identical to the uninterrupted run\n",
+      kills, total_events, every, rollbacks_verified, ref_lines.size());
+  return 0;
+}

@@ -16,6 +16,7 @@
 ///            --est-error 0.3 --audit                       (one line)
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -83,9 +84,34 @@ using namespace dynp;
   return true;
 }
 
+// Build identity, stamped at configure time (see tools/CMakeLists.txt);
+// printed by --version and written into snapshot headers.
+#if !defined(DYNP_BENCH_GIT_SHA)
+#define DYNP_BENCH_GIT_SHA "unknown"
+#endif
+#if !defined(DYNP_BENCH_COMPILER)
+#define DYNP_BENCH_COMPILER "unknown"
+#endif
+#if !defined(DYNP_BENCH_BUILD)
+#define DYNP_BENCH_BUILD "unknown"
+#endif
+
+[[nodiscard]] std::string build_tag() {
+  return std::string("git ") + DYNP_BENCH_GIT_SHA + ", " DYNP_BENCH_COMPILER
+         ", " DYNP_BENCH_BUILD;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --version short-circuits option parsing so scripts can always probe the
+  // binary identity, whatever other flags the wrapper would require.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("dynp_sim (%s)\n", build_tag().c_str());
+      return 0;
+    }
+  }
   util::CliParser cli(
       "dynp_sim — simulate a job scheduler over an SWF trace or a synthetic "
       "workload");
@@ -150,6 +176,20 @@ int main(int argc, char** argv) {
                "time the pipeline phases (planner, decider, event loop) and "
                "print a latency summary; implied histograms land in "
                "--metrics-out");
+  cli.add_option("checkpoint-every", "0",
+                 "snapshot the full simulation state every N events into "
+                 "--checkpoint-dir (0 = off); a write-ahead event journal "
+                 "makes the run resumable after a crash");
+  cli.add_option("checkpoint-dir", "",
+                 "directory for checkpoint snapshots and the event journal "
+                 "(with --sweep: per-cell checkpoints under the --cache-dir)");
+  cli.add_option("restore", "",
+                 "resume from a snapshot file, or from the newest valid "
+                 "snapshot in a checkpoint directory (torn snapshots are "
+                 "detected and rolled back past)");
+  cli.add_option("kill-at-event", "0",
+                 "crash-injection hook: raise SIGKILL right after event N "
+                 "(0 = off; used by the chaos soak harness)");
   cli.add_flag("validate", "run the schedule validator on the result");
   cli.add_flag("audit", "run the schedule invariant auditor on every "
                "scheduling event (aborts on the first violation)");
@@ -177,10 +217,18 @@ int main(int argc, char** argv) {
   const auto budget_opt = cli.get_double_checked("plan-budget-ms", 0.0, 1e6);
   const auto sets_opt = cli.get_int_checked("sets", 1, 100000);
   const auto threads_opt = cli.get_int_checked("threads", 0, 4096);
+  const auto ckpt_every_opt =
+      cli.get_int_checked("checkpoint-every", 0, 1LL << 40);
+  const auto kill_at_opt = cli.get_int_checked("kill-at-event", 0, 1LL << 40);
   if (!nodes_opt || !jobs_opt || !seed_opt || !factor_opt || !threshold_opt ||
       !fault_seed_opt || !mtbf_opt || !repair_opt || !fail_p_opt ||
       !retries_opt || !backoff_opt || !est_error_opt || !budget_opt ||
-      !sets_opt || !threads_opt) {
+      !sets_opt || !threads_opt || !ckpt_every_opt || !kill_at_opt) {
+    return 1;
+  }
+  if (*ckpt_every_opt > 0 && cli.get("checkpoint-dir").empty() &&
+      !cli.get_flag("sweep")) {
+    std::fprintf(stderr, "--checkpoint-every requires --checkpoint-dir\n");
     return 1;
   }
 
@@ -283,6 +331,13 @@ int main(int argc, char** argv) {
 
   // --- sweep mode: the whole factor grid through the orchestrator ---
   if (cli.get_flag("sweep")) {
+    if (!cli.get("restore").empty() || *kill_at_opt > 0) {
+      std::fprintf(stderr,
+                   "--restore/--kill-at-event apply to single runs; --sweep "
+                   "resumes interrupted cells automatically from their "
+                   "per-cell checkpoints (--checkpoint-every + --cache-dir)\n");
+      return 1;
+    }
     if (!cli.get("swf").empty() || cli.get("trace") == "feitelson") {
       std::fprintf(stderr,
                    "--sweep generates its ensemble from a calibrated trace "
@@ -309,6 +364,7 @@ int main(int argc, char** argv) {
     exp::OrchestratorOptions options;
     options.threads = static_cast<std::size_t>(*threads_opt);
     options.cache_dir = cli.get("cache-dir");
+    options.checkpoint_every = static_cast<std::uint64_t>(*ckpt_every_opt);
     if (!cli.get("metrics-out").empty()) options.registry = &sweep_registry;
 
     const exp::ExperimentScale scale{
@@ -367,6 +423,13 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // --- crash-consistent checkpointing (single-run path) ---
+  config.checkpoint.every = static_cast<std::uint64_t>(*ckpt_every_opt);
+  config.checkpoint.dir = cli.get("checkpoint-dir");
+  config.checkpoint.restore_from = cli.get("restore");
+  config.checkpoint.kill_after_event = static_cast<std::uint64_t>(*kill_at_opt);
+  config.checkpoint.build_tag = build_tag();
+
   // --- instrumentation (obs layer) ---
   const std::string metrics_out = cli.get("metrics-out");
   const std::string trace_out = cli.get("trace-out");
@@ -415,6 +478,23 @@ int main(int argc, char** argv) {
   const core::SimulationResult r = core::simulate(jobs, config);
 
   if (tracer != nullptr) tracer->close();
+
+  // --- recovery provenance (parsed by tools/dynp_chaos; keep the format) ---
+  for (const std::string& rejected : r.recovery.rejected_snapshots) {
+    std::printf("checkpoint rejected: %s\n", rejected.c_str());
+  }
+  if (!r.recovery.restored_from.empty()) {
+    std::printf("restored from %s at event %llu (replayed %llu journal "
+                "events)\n",
+                r.recovery.restored_from.c_str(),
+                static_cast<unsigned long long>(r.recovery.restored_seq),
+                static_cast<unsigned long long>(r.recovery.replayed_events));
+  }
+  if (r.recovery.snapshots_written > 0) {
+    std::printf("%llu checkpoint(s) written to %s\n",
+                static_cast<unsigned long long>(r.recovery.snapshots_written),
+                config.checkpoint.dir.c_str());
+  }
 
   // --- report ---
   util::TextTable t;

@@ -49,7 +49,7 @@ WAIVER = "lint: no-contract"
 
 # R1 scope: the planning core, the scheduler core, the fault-injection
 # layer and the sweep orchestration layer.
-CONTRACT_DIRS = ("src/rms", "src/core", "src/fault", "src/exp")
+CONTRACT_DIRS = ("src/rms", "src/core", "src/fault", "src/exp", "src/ckpt")
 
 # R5 scope and ban list.
 HOT_HEADERS = (

@@ -10,6 +10,13 @@ committed fixtures in tools/fixtures/ and asserts the exact exit codes:
   * base vs /dev/null-ish   -> 1 (no gateable keys: usage/structure error,
                                   distinct from a regression verdict)
 
+plus the graceful-degradation contract for baselines that predate the
+sentinel schema (no *_p99 keys) against a candidate that has them:
+
+  * legacy(seconds) vs candidate within 10%   -> 0 (degraded seconds gate)
+  * legacy(seconds) vs candidate 20% slower   -> 2 (degraded gate trips)
+  * legacy without seconds vs candidate       -> 0 (nothing to gate: warn)
+
 A plain ctest WILL_FAIL would accept any non-zero code; CI scripts branch
 on 2-means-regression, so the codes themselves are the contract.
 
@@ -43,16 +50,36 @@ def main():
 
     base = os.path.join(args.fixtures, "sentinel_base.json")
     regressed = os.path.join(args.fixtures, "sentinel_regressed.json")
-    with tempfile.NamedTemporaryFile("w", suffix=".json",
-                                     delete=False) as empty:
-        empty.write('{"benchmark": "dynp obs sentinel", "sentinel": {}}\n')
-        keyless = empty.name
+    with open(base) as f:
+        base_text = f.read()
+
+    def temp_json(text):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            f.write(text)
+            return f.name
+
+    def with_seconds(seconds):
+        # The candidate side of the degraded gate: the real base fixture
+        # (which has *_p99 keys) with a top-level "seconds" grafted in.
+        return base_text.replace("{", '{\n  "seconds": %.1f,' % seconds, 1)
+
+    keyless = temp_json('{"benchmark": "dynp obs sentinel", "sentinel": {}}\n')
+    legacy = temp_json('{"benchmark": "dynp obs sentinel", "seconds": 10.0}\n')
+    legacy_bare = temp_json('{"benchmark": "dynp obs sentinel"}\n')
+    cand_ok = temp_json(with_seconds(10.5))
+    cand_slow = temp_json(with_seconds(12.0))
+    temps = [keyless, legacy, legacy_bare, cand_ok, cand_slow]
     try:
         failures = 0
-        for label, to, want in (("clean (base vs base)", base, 0),
-                                ("regression injected", regressed, 2),
-                                ("no gateable keys", keyless, 1)):
-            got = gate(args.bench_report, base, to)
+        for label, frm, to, want in (
+                ("clean (base vs base)", base, base, 0),
+                ("regression injected", base, regressed, 2),
+                ("no gateable keys", base, keyless, 1),
+                ("legacy baseline, seconds within 10%", legacy, cand_ok, 0),
+                ("legacy baseline, seconds regressed", legacy, cand_slow, 2),
+                ("legacy baseline without seconds", legacy_bare, base, 0)):
+            got = gate(args.bench_report, frm, to)
             if got != want:
                 print(f"sentinel_gate_test: FAIL: {label}: exit {got}, "
                       f"expected {want}", file=sys.stderr)
@@ -61,7 +88,8 @@ def main():
                 print(f"sentinel_gate_test: OK: {label} -> exit {got}")
         return 1 if failures else 0
     finally:
-        os.unlink(keyless)
+        for path in temps:
+            os.unlink(path)
 
 
 if __name__ == "__main__":
