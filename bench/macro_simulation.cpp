@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/simulation.hpp"
+#include "rms/profile.hpp"
 #include "workload/models.hpp"
 
 namespace {
@@ -64,6 +65,50 @@ BENCHMARK_CAPTURE(BM_Macro, sdsc_replan_dynp, workload::sdsc_model(), 1000,
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Macro, lanl_replan_dynp, workload::lanl_model(), 1000,
                   1.0, dynp(core::PlannerSemantics::kReplan))
+    ->Unit(benchmark::kMillisecond);
+
+// ---- million-job scale path ----
+//
+// Federation-scale shape (see workload::scale_machine): a 10000x KTH machine
+// whose persistent guarantee-mode profile carries tens of thousands of
+// segments, so every submit-time placement search and every finish-time
+// reservation release runs at the depth the hierarchical profile was built
+// for. The tree/flat pair is the A/B of BENCH_planner.json's acceptance
+// scenario; the 1M-job run is the headline scale target. Generation is
+// hoisted out of the timing loop; the profile backend is switched per
+// benchmark and restored afterwards.
+
+void BM_MacroScaled(benchmark::State& state, std::size_t jobs, double factor,
+                    std::uint32_t machine_scale, rms::ProfileImpl impl) {
+  const workload::JobSet set =
+      workload::generate(
+          workload::scale_machine(workload::kth_model(), machine_scale), jobs,
+          42)
+          .with_shrinking_factor(factor);
+  const core::SimulationConfig config = fcfs(core::PlannerSemantics::kGuarantee);
+  const rms::ProfileImpl saved = rms::ResourceProfile::default_impl();
+  rms::ResourceProfile::set_default_impl(impl);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const core::SimulationResult r = core::simulate(set, config);
+    events += r.events;
+    benchmark::DoNotOptimize(r.summary.sldwa);
+  }
+  rms::ResourceProfile::set_default_impl(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+BENCHMARK_CAPTURE(BM_MacroScaled, kth_x10k_100k_tree, 100000, 0.3, 10000,
+                  rms::ProfileImpl::kTree)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroScaled, kth_x10k_100k_flat, 100000, 0.3, 10000,
+                  rms::ProfileImpl::kFlat)
+    ->Unit(benchmark::kMillisecond);
+// The 1M-job run needs a 100000x machine: at 10000x its aggregate width
+// demand would exceed the whole federation and guarantee-mode compression
+// over a million-deep backlog is quadratic for either backend.
+BENCHMARK_CAPTURE(BM_MacroScaled, kth_x100k_1m_tree, 1000000, 0.3, 100000,
+                  rms::ProfileImpl::kTree)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -66,10 +66,10 @@ void BM_PlannerFullPass(benchmark::State& state) {
   std::vector<JobId> waiting(n);
   for (std::size_t i = 0; i < n; ++i) waiting[i] = static_cast<JobId>(i);
   const auto ordered =
-      policies::order(policies::PolicyKind::kSjf, waiting, set.jobs());
+      policies::order(policies::PolicyKind::kSjf, waiting, set.table());
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        rms::Planner::plan(430, 0, {}, ordered, set.jobs()));
+        rms::Planner::plan(430, 0, {}, ordered, set.table()));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
@@ -84,7 +84,7 @@ void BM_PolicyOrder(benchmark::State& state) {
   for (std::size_t i = 0; i < n; ++i) waiting[i] = static_cast<JobId>(i);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        policies::order(policies::PolicyKind::kSjf, waiting, set.jobs()));
+        policies::order(policies::PolicyKind::kSjf, waiting, set.table()));
   }
 }
 BENCHMARK(BM_PolicyOrder)->Arg(100)->Arg(2000);

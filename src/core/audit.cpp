@@ -84,7 +84,7 @@ const std::vector<rms::RunningJob>& no_outages() {
 }  // namespace
 
 ScheduleAuditor::ScheduleAuditor(std::uint32_t capacity,
-                                 const std::vector<workload::Job>& jobs,
+                                 const workload::JobTable& jobs,
                                  std::vector<policies::PolicyKind> pool,
                                  const Decider* decider)
     : capacity_(capacity),
@@ -162,11 +162,11 @@ void ScheduleAuditor::check_feasible(
     }
   }
   for (const rms::PlannedJob& p : planned) {
-    const workload::Job& job = jobs_[p.id];
-    if (job.estimated_runtime <= 0) continue;
-    sweep_.emplace_back(p.start, static_cast<std::int64_t>(job.width));
-    sweep_.emplace_back(p.start + job.estimated_runtime,
-                        -static_cast<std::int64_t>(job.width));
+    const Time estimate = jobs_.estimate(p.id);
+    if (estimate <= 0) continue;
+    sweep_.emplace_back(p.start, static_cast<std::int64_t>(jobs_.width(p.id)));
+    sweep_.emplace_back(p.start + estimate,
+                        -static_cast<std::int64_t>(jobs_.width(p.id)));
   }
   std::sort(sweep_.begin(), sweep_.end());
   std::int64_t used = 0;
@@ -192,7 +192,7 @@ void ScheduleAuditor::check_schedule(
     expect(p.id == queue_order[i], "schedule follows policy order", ev,
            policy, p.id);
     expect(p.start >= now, "planned start not in the past", ev, policy, p.id);
-    expect(p.start >= jobs_[p.id].submit, "planned start after submission",
+    expect(p.start >= jobs_.submit(p.id), "planned start after submission",
            ev, policy, p.id);
   }
   check_feasible(ev, policy, now, running, schedule.entries(), outages);
@@ -315,7 +315,7 @@ void ScheduleAuditor::audit_guarantee_pass(
   for (const JobId id : waiting) {
     const Time start = reserved[id];
     expect(start >= ev.now, "reservation not in the past", ev, policy, id);
-    expect(start >= jobs_[id].submit, "reservation after submission", ev,
+    expect(start >= jobs_.submit(id), "reservation after submission", ev,
            policy, id);
     planned_scratch_.push_back(rms::PlannedJob{id, start});
   }
@@ -351,7 +351,7 @@ void ScheduleAuditor::audit_queueing_pass(
     const bool is_waiting =
         std::find(waiting.begin(), waiting.end(), id) != waiting.end();
     expect(is_waiting, "started job was waiting", ev, nullptr, id);
-    used += jobs_[id].width;
+    used += jobs_.width(id);
   }
   expect(used <= static_cast<std::int64_t>(capacity_),
          "started jobs fit the free machine", ev, nullptr, kNoJob);

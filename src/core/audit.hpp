@@ -50,7 +50,7 @@ class ScheduleAuditor {
   /// \param pool     the scheduler's policy pool (pool order = slot order)
   /// \param decider  decider under audit (null in static mode)
   ScheduleAuditor(std::uint32_t capacity,
-                  const std::vector<workload::Job>& jobs,
+                  const workload::JobTable& jobs,
                   std::vector<policies::PolicyKind> pool,
                   const Decider* decider);
 
@@ -161,7 +161,7 @@ class ScheduleAuditor {
               const char* policy, JobId job);
 
   std::uint32_t capacity_;
-  const std::vector<workload::Job>& jobs_;
+  const workload::JobTable& jobs_;
   std::vector<policies::PolicyKind> pool_;
   const Decider* decider_;
 

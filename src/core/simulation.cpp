@@ -168,6 +168,7 @@ class SchedulerSim final : public sim::Process {
       : set_(set),
         config_(config),
         jobs_(set.jobs()),
+        table_(set.table()),
         policy_index_(config.initial_index),
         ws_(ws),
         profile_(1),
@@ -206,10 +207,10 @@ class SchedulerSim final : public sim::Process {
       }
     } else {
       if (queues_.size() == 1) {
-        queues_.front().rebind(config.static_policy, jobs_);
+        queues_.front().rebind(config.static_policy, table_);
       } else {
         queues_.clear();
-        queues_.emplace_back(config.static_policy, jobs_);
+        queues_.emplace_back(config.static_policy, table_);
       }
       candidates_.resize(1);
     }
@@ -230,7 +231,7 @@ class SchedulerSim final : public sim::Process {
               ? config.pool
               : std::vector<policies::PolicyKind>{config.static_policy};
       auditor_ = std::make_unique<ScheduleAuditor>(
-          set.machine().nodes, jobs_, std::move(audit_pool),
+          set.machine().nodes, table_, std::move(audit_pool),
           config.decider.get());
       audit_views_.resize(candidates_.size());
     }
@@ -505,14 +506,14 @@ class SchedulerSim final : public sim::Process {
   void rebuild_queues(const std::vector<policies::PolicyKind>& kinds) {
     if (queues_.size() == kinds.size()) {
       for (std::size_t i = 0; i < kinds.size(); ++i) {
-        queues_[i].rebind(kinds[i], jobs_);
+        queues_[i].rebind(kinds[i], table_);
       }
       return;
     }
     queues_.clear();
     queues_.reserve(kinds.size());
     for (const policies::PolicyKind kind : kinds) {
-      queues_.emplace_back(kind, jobs_);
+      queues_.emplace_back(kind, table_);
     }
   }
 
@@ -859,7 +860,7 @@ class SchedulerSim final : public sim::Process {
           victim = r.id;
         }
       }
-      used -= jobs_[victim].width;
+      used -= table_.width(victim);
       remove_running(victim, now);
       fail_at_[victim] = -1.0;
       ++result_.faults.node_kills;
@@ -907,7 +908,7 @@ class SchedulerSim final : public sim::Process {
         // and incrementally re-placing only the guarantees in its way.
         const rms::Planner::RepairResult repaired =
             rms::Planner::repair_capacity_drop(
-                profile_, reserved_, ordered_wait(active_policy()), jobs_,
+                profile_, reserved_, ordered_wait(active_policy()), table_,
                 now, end, 1);
         result_.faults.repair_evictions += repaired.evicted;
       }
@@ -1114,11 +1115,11 @@ class SchedulerSim final : public sim::Process {
     if (submit_event && slot_reusable_[i] != 0 && replayable_at(c, now)) {
       DYNP_OBS_SCOPED(profiler(), obs::Phase::kPlanIncremental);
       rms::Planner::replan_inserted_into(base_profile_, now, queues_[i].ids(),
-                                         insert_pos_[i], jobs_, c.scratch,
+                                         insert_pos_[i], table_, c.scratch,
                                          c.schedule);
     } else {
       DYNP_OBS_SCOPED(profiler(), obs::Phase::kPlanFull);
-      rms::Planner::plan_into(base_profile_, now, queues_[i].ids(), jobs_,
+      rms::Planner::plan_into(base_profile_, now, queues_[i].ids(), table_,
                               c.scratch, c.schedule);
     }
   }
@@ -1152,7 +1153,7 @@ class SchedulerSim final : public sim::Process {
         plan_candidate(i, now, submit_event);
         DYNP_OBS_SCOPED(profiler(), obs::Phase::kPreviewScore);
         c.value = metrics::evaluate_preview(config_.preview, c.schedule,
-                                            jobs_, now);
+                                            table_, now);
       });
       for (const Candidate& c : candidates_) input.values.push_back(c.value);
       chosen = decide(input, now);
@@ -1200,10 +1201,10 @@ class SchedulerSim final : public sim::Process {
   /// Places a newly submitted job at its earliest feasible start without
   /// moving any existing reservation; this start is the job's guarantee.
   void insert_reservation(JobId id, Time now) {
-    const workload::Job& job = jobs_[id];
-    const Time start =
-        profile_.earliest_start(now, job.width, job.estimated_runtime);
-    profile_.allocate(start, job.estimated_runtime, job.width);
+    const std::uint32_t width = table_.width(id);
+    const Time estimate = table_.estimate(id);
+    const Time start = profile_.earliest_start(now, width, estimate);
+    profile_.allocate(start, estimate, width);
     reserved_[id] = start;
   }
 
@@ -1214,21 +1215,20 @@ class SchedulerSim final : public sim::Process {
   static std::size_t compress_once(rms::ResourceProfile& profile,
                                    std::vector<Time>& reserved,
                                    const std::vector<JobId>& order,
-                                   const std::vector<workload::Job>& jobs,
-                                   Time now) {
+                                   const workload::JobTable& jobs, Time now) {
     std::size_t moves = 0;
     for (const JobId id : order) {
-      const workload::Job& job = jobs[id];
+      const std::uint32_t width = jobs.width(id);
+      const Time estimate = jobs.estimate(id);
       DYNP_ASSERT(reserved[id] >= now);
-      profile.deallocate(reserved[id], job.estimated_runtime, job.width);
-      const Time start =
-          profile.earliest_start(now, job.width, job.estimated_runtime);
+      profile.deallocate(reserved[id], estimate, width);
+      const Time start = profile.earliest_start(now, width, estimate);
       DYNP_ASSERT(start <= reserved[id]);
       if (start < reserved[id]) {
         reserved[id] = start;
         ++moves;
       }
-      profile.allocate(start, job.estimated_runtime, job.width);
+      profile.allocate(start, estimate, width);
     }
     return moves;
   }
@@ -1240,7 +1240,7 @@ class SchedulerSim final : public sim::Process {
   static void compress(rms::ResourceProfile& profile,
                        std::vector<Time>& reserved,
                        const std::vector<JobId>& order,
-                       const std::vector<workload::Job>& jobs, Time now) {
+                       const workload::JobTable& jobs, Time now) {
     constexpr int kMaxSweeps = 64;
     for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
       if (compress_once(profile, reserved, order, jobs, now) == 0) break;
@@ -1278,12 +1278,12 @@ class SchedulerSim final : public sim::Process {
         {
           DYNP_OBS_SCOPED(profiler(), obs::Phase::kCompress);
           compress(c.profile, c.reserved, ordered_wait(config_.pool[i]),
-                   jobs_, now);
+                   table_, now);
         }
         preview_into(c.reserved, c.schedule);
         DYNP_OBS_SCOPED(profiler(), obs::Phase::kPreviewScore);
         c.value = metrics::evaluate_preview(config_.preview, c.schedule,
-                                            jobs_, now);
+                                            table_, now);
       });
       for (const Candidate& c : candidates_) input.values.push_back(c.value);
       chosen = decide(input, now);
@@ -1292,7 +1292,7 @@ class SchedulerSim final : public sim::Process {
       if (timed) note_tuning_cost(tuning_start);
     } else {
       DYNP_OBS_SCOPED(profiler(), obs::Phase::kCompress);
-      compress(profile_, reserved_, ordered_wait(active_policy()), jobs_,
+      compress(profile_, reserved_, ordered_wait(active_policy()), table_,
                now);
     }
 
@@ -1336,34 +1336,35 @@ class SchedulerSim final : public sim::Process {
     std::size_t head = 0;
     // Phase 1: the queue drains in policy order while jobs fit.
     while (head < queue.size() &&
-           jobs_[queue[head]].width <= capacity - used) {
-      used += jobs_[queue[head]].width;
+           table_.width(queue[head]) <= capacity - used) {
+      used += table_.width(queue[head]);
       due_.push_back(queue[head]);
       ++head;
     }
 
     if (head < queue.size()) {
       // Phase 2: reservation for the blocked head, then one backfill sweep.
-      const workload::Job& blocked = jobs_[queue[head]];
+      const std::uint32_t blocked_width = table_.width(queue[head]);
       rms::Planner::base_profile_into(capacity, now, running_, base_profile_);
       apply_outages(base_profile_, now);
       const Time shadow = base_profile_.earliest_start(
-          now, blocked.width, blocked.estimated_runtime);
+          now, blocked_width, table_.estimate(queue[head]));
       const std::uint32_t free_at_shadow = base_profile_.free_at(shadow);
       std::uint32_t extra =
-          free_at_shadow >= blocked.width ? free_at_shadow - blocked.width : 0;
+          free_at_shadow >= blocked_width ? free_at_shadow - blocked_width : 0;
 
       for (std::size_t i = head + 1; i < queue.size(); ++i) {
-        const workload::Job& job = jobs_[queue[i]];
-        if (job.width > capacity - used) continue;
-        const bool ends_before_shadow = now + job.estimated_runtime <= shadow;
-        const bool fits_extra = job.width <= extra;
+        const std::uint32_t width = table_.width(queue[i]);
+        if (width > capacity - used) continue;
+        const bool ends_before_shadow =
+            now + table_.estimate(queue[i]) <= shadow;
+        const bool fits_extra = width <= extra;
         if (ends_before_shadow || fits_extra) {
-          used += job.width;
+          used += width;
           due_.push_back(queue[i]);
           // A backfill running past the shadow time consumes the slack the
           // head job leaves at its reservation.
-          if (!ends_before_shadow) extra -= job.width;
+          if (!ends_before_shadow) extra -= width;
         }
       }
     }
@@ -1680,7 +1681,7 @@ class SchedulerSim final : public sim::Process {
         retained.restore_segments(c.profile_capacity, c.profile_starts,
                                   c.profile_frees);
         rms::Planner::adopt_retained(candidates_[i].scratch,
-                                     std::move(retained), jobs_);
+                                     std::move(retained), table_);
       }
     }
     pending_jobs_ = s.pending_jobs;
@@ -1733,7 +1734,11 @@ class SchedulerSim final : public sim::Process {
 
   const workload::JobSet& set_;
   const SimulationConfig& config_;
+  /// AoS job records: observer callbacks, outcomes and fault bookkeeping.
   const std::vector<workload::Job>& jobs_;
+  /// SoA view of the same jobs: everything the planner, policies, metrics
+  /// and audit layers touch per event reads the dense columns instead.
+  const workload::JobTable& table_;
 
   sim::Engine engine_;
   std::vector<JobId> waiting_;  // in arrival order

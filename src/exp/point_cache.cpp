@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "rms/profile.hpp"
 #include "util/assert.hpp"
 #include "util/fnv.hpp"
 
@@ -148,6 +149,15 @@ std::string PointCache::key_string(const workload::TraceModel& model,
 
   key += "|factor=";
   append_double(key, factor);
+
+  // The profile backend is a process-wide switch, not part of the config
+  // struct; both implementations must agree bit-for-bit, but cached points
+  // still record which one produced them so a backend regression can never
+  // hide behind (or poison) entries written by the other.
+  key += "|profile=";
+  key += rms::ResourceProfile::default_impl() == rms::ProfileImpl::kTree
+             ? "tree"
+             : "flat";
 
   // Config fingerprint: only fields that can change the combined point.
   // Execution knobs (parallel_tuning, tuning_threads, thread_budget, audit)

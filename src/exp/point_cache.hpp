@@ -37,7 +37,9 @@ namespace dynp::exp {
 class PointCache {
  public:
   /// Schema tag mixed into every key; see the versioning rules above.
-  static constexpr const char* kSchemaVersion = "dynp-point-v1";
+  /// v2: key gained the resource-profile implementation field (flat/tree),
+  /// so points simulated with different profile backends never alias.
+  static constexpr const char* kSchemaVersion = "dynp-point-v2";
 
   /// \p dir is the cache directory (created lazily on first store). An
   /// empty \p dir disables the cache: every load misses, stores are no-ops.

@@ -95,19 +95,19 @@ const char* name(PreviewMetric metric) noexcept {
 }
 
 double evaluate_preview(PreviewMetric metric, const rms::Schedule& schedule,
-                        const std::vector<workload::Job>& jobs, Time now) {
+                        const workload::JobTable& jobs, Time now) {
   if (schedule.empty()) return 0.0;
 
   double acc = 0, weight = 0, max_completion = now;
   for (const rms::PlannedJob& p : schedule.entries()) {
     DYNP_EXPECTS(p.id < jobs.size());
-    const workload::Job& job = jobs[p.id];
-    const double est = std::max(job.estimated_runtime, 1.0);
-    const double completion = p.start + job.estimated_runtime;
-    const double response = completion - job.submit;
+    const Time estimate = jobs.estimate(p.id);
+    const double est = std::max(estimate, 1.0);
+    const double completion = p.start + estimate;
+    const double response = completion - jobs.submit(p.id);
     switch (metric) {
       case PreviewMetric::kSldwa: {
-        const double area = job.estimated_area();
+        const double area = jobs.estimated_area(p.id);
         acc += area * (response / est);
         weight += area;
         break;
@@ -125,8 +125,8 @@ double evaluate_preview(PreviewMetric metric, const rms::Schedule& schedule,
         weight += 1;
         break;
       case PreviewMetric::kArtww:
-        acc += static_cast<double>(job.width) * response;
-        weight += static_cast<double>(job.width);
+        acc += static_cast<double>(jobs.width(p.id)) * response;
+        weight += static_cast<double>(jobs.width(p.id));
         break;
       case PreviewMetric::kMaxCompletion:
         max_completion = std::max(max_completion, completion);

@@ -94,7 +94,7 @@ enum class PreviewMetric : std::uint8_t {
 /// Planned response of job j = planned start + estimated run time - submit.
 [[nodiscard]] double evaluate_preview(PreviewMetric metric,
                                       const rms::Schedule& schedule,
-                                      const std::vector<workload::Job>& jobs,
+                                      const workload::JobTable& jobs,
                                       Time now);
 
 }  // namespace dynp::metrics

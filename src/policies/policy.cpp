@@ -66,10 +66,40 @@ bool precedes(PolicyKind kind, const workload::Job& a,
   return false;
 }
 
+bool precedes(PolicyKind kind, const workload::JobTable& jobs, JobId a,
+              JobId b) noexcept {
+  // Primary key per policy, then (submit, id) — the same strict total order
+  // as the `Job&` overload, expressed over the SoA columns.
+  switch (kind) {
+    case PolicyKind::kFcfs:
+      break;
+    case PolicyKind::kSjf:
+      if (jobs.estimate(a) != jobs.estimate(b)) {
+        return jobs.estimate(a) < jobs.estimate(b);
+      }
+      break;
+    case PolicyKind::kLjf:
+      if (jobs.estimate(a) != jobs.estimate(b)) {
+        return jobs.estimate(a) > jobs.estimate(b);
+      }
+      break;
+    case PolicyKind::kSaf:
+      if (jobs.estimated_area(a) != jobs.estimated_area(b)) {
+        return jobs.estimated_area(a) < jobs.estimated_area(b);
+      }
+      break;
+    case PolicyKind::kWf:
+      if (jobs.width(a) != jobs.width(b)) return jobs.width(a) > jobs.width(b);
+      break;
+  }
+  if (jobs.submit(a) != jobs.submit(b)) return jobs.submit(a) < jobs.submit(b);
+  return a < b;
+}
+
 std::vector<JobId> order(PolicyKind kind, std::vector<JobId> waiting,
-                         const std::vector<workload::Job>& jobs) {
+                         const workload::JobTable& jobs) {
   std::sort(waiting.begin(), waiting.end(), [&](JobId x, JobId y) {
-    return precedes(kind, jobs[x], jobs[y]);
+    return precedes(kind, jobs, x, y);
   });
   return waiting;
 }
@@ -77,7 +107,7 @@ std::vector<JobId> order(PolicyKind kind, std::vector<JobId> waiting,
 std::size_t SortedQueue::insert(JobId id) {
   const auto it = std::lower_bound(
       ids_.begin(), ids_.end(), id, [&](JobId member, JobId value) {
-        return precedes(kind_, (*jobs_)[member], (*jobs_)[value]);
+        return precedes(kind_, *jobs_, member, value);
       });
   const std::size_t pos = static_cast<std::size_t>(it - ids_.begin());
   ids_.insert(it, id);
@@ -89,7 +119,7 @@ void SortedQueue::remove(JobId id) {
   // member (no equal-range scan needed).
   const auto it = std::lower_bound(
       ids_.begin(), ids_.end(), id, [&](JobId member, JobId value) {
-        return precedes(kind_, (*jobs_)[member], (*jobs_)[value]);
+        return precedes(kind_, *jobs_, member, value);
       });
   DYNP_EXPECTS(it != ids_.end() && *it == id);
   ids_.erase(it);

@@ -41,12 +41,17 @@ enum class PolicyKind : std::uint8_t {
 /// deterministic.
 [[nodiscard]] std::vector<JobId> order(PolicyKind kind,
                                        std::vector<JobId> waiting,
-                                       const std::vector<workload::Job>& jobs);
+                                       const workload::JobTable& jobs);
 
 /// Three-way priority comparison used by `order` (exposed for tests):
 /// returns true when job \p a precedes job \p b under \p kind.
 [[nodiscard]] bool precedes(PolicyKind kind, const workload::Job& a,
                             const workload::Job& b) noexcept;
+
+/// Id-based variant over the SoA job table — the form the sort and the
+/// incremental queues use (identical order to the `Job&` overload).
+[[nodiscard]] bool precedes(PolicyKind kind, const workload::JobTable& jobs,
+                            JobId a, JobId b) noexcept;
 
 /// An incrementally maintained policy-ordered waiting queue.
 ///
@@ -63,7 +68,7 @@ enum class PolicyKind : std::uint8_t {
 class SortedQueue {
  public:
   /// \p jobs must outlive the queue (ids index into it).
-  SortedQueue(PolicyKind kind, const std::vector<workload::Job>& jobs)
+  SortedQueue(PolicyKind kind, const workload::JobTable& jobs)
       : kind_(kind), jobs_(&jobs) {}
 
   [[nodiscard]] PolicyKind kind() const noexcept { return kind_; }
@@ -88,7 +93,7 @@ class SortedQueue {
   /// emptying it but keeping the member storage. Equivalent to constructing
   /// `SortedQueue(kind, jobs)` except for the retained capacity; used by the
   /// per-worker simulation workspaces to recycle queue storage across runs.
-  void rebind(PolicyKind kind, const std::vector<workload::Job>& jobs) {
+  void rebind(PolicyKind kind, const workload::JobTable& jobs) {
     kind_ = kind;
     jobs_ = &jobs;
     ids_.clear();
@@ -96,7 +101,7 @@ class SortedQueue {
 
  private:
   PolicyKind kind_;
-  const std::vector<workload::Job>* jobs_;
+  const workload::JobTable* jobs_;
   std::vector<JobId> ids_;
 };
 

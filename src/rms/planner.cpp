@@ -42,7 +42,7 @@ void Planner::base_profile_into(std::uint32_t capacity, Time now,
 Schedule Planner::plan(std::uint32_t capacity, Time now,
                        const std::vector<RunningJob>& running,
                        const std::vector<JobId>& ordered_wait,
-                       const std::vector<workload::Job>& jobs) {
+                       const workload::JobTable& jobs) {
   ResourceProfile base = base_profile(capacity, now, running);
   PlanScratch scratch;
   Schedule schedule;
@@ -56,24 +56,23 @@ namespace {
 /// class are interchangeable for the planner, so within a pass a class's
 /// previous result lower-bounds its next one.
 void build_job_classes(PlanScratch::ClassTable& table,
-                       const std::vector<workload::Job>& jobs) {
+                       const workload::JobTable& jobs) {
   table.job_class.resize(jobs.size());
+  const std::vector<std::uint32_t>& widths = jobs.widths();
+  const std::vector<Time>& estimates = jobs.estimates();
   std::vector<std::uint32_t> by_shape(jobs.size());
   std::iota(by_shape.begin(), by_shape.end(), 0);
   std::sort(by_shape.begin(), by_shape.end(),
             [&](std::uint32_t a, std::uint32_t b) {
-              const workload::Job& ja = jobs[a];
-              const workload::Job& jb = jobs[b];
-              if (ja.width != jb.width) return ja.width < jb.width;
-              return ja.estimated_runtime < jb.estimated_runtime;
+              if (widths[a] != widths[b]) return widths[a] < widths[b];
+              return estimates[a] < estimates[b];
             });
   std::uint32_t next_class = 0;
   for (std::size_t i = 0; i < by_shape.size(); ++i) {
     if (i > 0) {
-      const workload::Job& prev = jobs[by_shape[i - 1]];
-      const workload::Job& cur = jobs[by_shape[i]];
-      if (prev.width != cur.width ||
-          prev.estimated_runtime != cur.estimated_runtime) {
+      const std::uint32_t prev = by_shape[i - 1];
+      const std::uint32_t cur = by_shape[i];
+      if (widths[prev] != widths[cur] || estimates[prev] != estimates[cur]) {
         ++next_class;
       }
     }
@@ -86,7 +85,7 @@ void build_job_classes(PlanScratch::ClassTable& table,
 
 void Planner::prepare_scratch(PlanScratch& scratch,
                               const ResourceProfile& base,
-                              const std::vector<workload::Job>& jobs) {
+                              const workload::JobTable& jobs) {
   // (Re)build the acceleration tables when the job table or machine changed.
   PlanScratch::ClassTable& classes = scratch.classes_;
   if (classes.job_class.size() != jobs.size()) {
@@ -116,7 +115,7 @@ void Planner::prepare_scratch(PlanScratch& scratch,
 }
 
 void Planner::adopt_retained(PlanScratch& scratch, ResourceProfile profile,
-                             const std::vector<workload::Job>& jobs) {
+                             const workload::JobTable& jobs) {
   DYNP_EXPECTS(profile.capacity() >= 1);
   build_job_classes(scratch.classes_, jobs);
   scratch.class_floor_.assign(scratch.classes_.class_count, 0);
@@ -127,7 +126,7 @@ void Planner::adopt_retained(PlanScratch& scratch, ResourceProfile profile,
 
 void Planner::plan_into(const ResourceProfile& base, Time now,
                         const std::vector<JobId>& ordered_wait,
-                        const std::vector<workload::Job>& jobs,
+                        const workload::JobTable& jobs,
                         PlanScratch& scratch, Schedule& out) {
   DYNP_EXPECTS(ordered_wait.size() <= jobs.size());
   ++scratch.stats_.full_plans;
@@ -140,7 +139,7 @@ void Planner::plan_into(const ResourceProfile& base, Time now,
 void Planner::plan_range(PlanScratch& scratch, Time now,
                          const std::vector<JobId>& ordered_wait,
                          std::size_t from,
-                         const std::vector<workload::Job>& jobs,
+                         const workload::JobTable& jobs,
                          Schedule& out) {
   ResourceProfile& profile = scratch.profile_;
   const PlanScratch::ClassTable& classes = scratch.classes_;
@@ -150,8 +149,8 @@ void Planner::plan_range(PlanScratch& scratch, Time now,
   for (std::size_t w = from; w < ordered_wait.size(); ++w) {
     const JobId id = ordered_wait[w];
     DYNP_EXPECTS(id < jobs.size());
-    const workload::Job& job = jobs[id];
-    const std::uint32_t width = job.width;
+    const std::uint32_t width = jobs.width(id);
+    const Time estimate = jobs.estimate(id);
     const std::uint32_t cls = classes.job_class[id];
 
     // Seed the query with the sound lower bounds gathered earlier in this
@@ -163,7 +162,7 @@ void Planner::plan_range(PlanScratch& scratch, Time now,
     }
     const Time width_seed = seed;
     if (scratch.width_dom_epoch_[width] == epoch &&
-        job.estimated_runtime >= scratch.width_dom_dur_[width]) {
+        estimate >= scratch.width_dom_dur_[width]) {
       seed = std::max(seed, scratch.width_dom_start_[width]);
     }
     if (scratch.class_epoch_[cls] == epoch) {
@@ -171,8 +170,7 @@ void Planner::plan_range(PlanScratch& scratch, Time now,
     }
 
     Time first_fit;
-    const Time start =
-        profile.place(seed, width, job.estimated_runtime, first_fit);
+    const Time start = profile.place(seed, width, estimate, first_fit);
     // The first-fit report is only a valid width floor if the scan started
     // no later than the true width-w first fit — i.e. if the class floor
     // (which encodes a duration constraint) did not push the seed past it.
@@ -183,8 +181,8 @@ void Planner::plan_range(PlanScratch& scratch, Time now,
     scratch.class_floor_[cls] = start;
     scratch.class_epoch_[cls] = epoch;
     if (scratch.width_dom_epoch_[width] != epoch ||
-        job.estimated_runtime >= scratch.width_dom_dur_[width]) {
-      scratch.width_dom_dur_[width] = job.estimated_runtime;
+        estimate >= scratch.width_dom_dur_[width]) {
+      scratch.width_dom_dur_[width] = estimate;
       scratch.width_dom_start_[width] = start;
       scratch.width_dom_epoch_[width] = epoch;
     }
@@ -195,7 +193,7 @@ void Planner::plan_range(PlanScratch& scratch, Time now,
 
 Planner::RepairResult Planner::repair_capacity_drop(
     ResourceProfile& profile, std::vector<Time>& reserved,
-    const std::vector<JobId>& order, const std::vector<workload::Job>& jobs,
+    const std::vector<JobId>& order, const workload::JobTable& jobs,
     Time now, Time outage_end, std::uint32_t width) {
   const Time duration = outage_end - now;
   DYNP_EXPECTS(duration > 0);
@@ -213,9 +211,8 @@ Planner::RepairResult Planner::repair_capacity_drop(
     // start first so the cheapest-to-move newest guarantees survive.
     std::vector<JobId> by_start;
     for (const JobId id : order) {
-      const workload::Job& job = jobs[id];
       if (reserved[id] < outage_end &&
-          reserved[id] + job.estimated_runtime > now) {
+          reserved[id] + jobs.estimate(id) > now) {
         by_start.push_back(id);
       }
     }
@@ -224,8 +221,7 @@ Planner::RepairResult Planner::repair_capacity_drop(
       return a < b;
     });
     for (const JobId id : by_start) {
-      const workload::Job& job = jobs[id];
-      profile.deallocate(reserved[id], job.estimated_runtime, job.width);
+      profile.deallocate(reserved[id], jobs.estimate(id), jobs.width(id));
       evicted.push_back(id);
       if (outage_fits()) break;
     }
@@ -243,10 +239,9 @@ Planner::RepairResult Planner::repair_capacity_drop(
       if (std::find(evicted.begin(), evicted.end(), id) == evicted.end()) {
         continue;
       }
-      const workload::Job& job = jobs[id];
       const Time start =
-          profile.earliest_start(now, job.width, job.estimated_runtime);
-      profile.allocate(start, job.estimated_runtime, job.width);
+          profile.earliest_start(now, jobs.width(id), jobs.estimate(id));
+      profile.allocate(start, jobs.estimate(id), jobs.width(id));
       reserved[id] = start;
     }
     result.evicted = evicted.size();
@@ -257,7 +252,7 @@ Planner::RepairResult Planner::repair_capacity_drop(
 void Planner::replan_inserted_into(const ResourceProfile& base, Time now,
                                    const std::vector<JobId>& ordered_wait,
                                    std::size_t pos,
-                                   const std::vector<workload::Job>& jobs,
+                                   const workload::JobTable& jobs,
                                    PlanScratch& scratch, Schedule& out) {
   DYNP_EXPECTS(pos < ordered_wait.size());
   DYNP_EXPECTS(out.size() + 1 == ordered_wait.size());
@@ -272,11 +267,11 @@ void Planner::replan_inserted_into(const ResourceProfile& base, Time now,
     // single query. The floors stay stamped with the previous epoch and are
     // simply not consulted.
     ResourceProfile& profile = scratch.profile_;
-    const workload::Job& job = jobs[ordered_wait[pos]];
+    const JobId id = ordered_wait[pos];
     ++scratch.stats_.jobs_placed;
     Time first_fit;
     const Time start =
-        profile.place(now, job.width, job.estimated_runtime, first_fit);
+        profile.place(now, jobs.width(id), jobs.estimate(id), first_fit);
     out.push_back(PlannedJob{ordered_wait[pos], start});
     return;
   }
@@ -288,8 +283,9 @@ void Planner::replan_inserted_into(const ResourceProfile& base, Time now,
   prepare_scratch(scratch, base, jobs);
   const std::uint32_t epoch = scratch.epoch_;
   for (const PlannedJob& p : out.entries()) {
-    const workload::Job& job = jobs[p.id];
-    scratch.profile_.allocate(p.start, job.estimated_runtime, job.width);
+    const std::uint32_t width = jobs.width(p.id);
+    const Time estimate = jobs.estimate(p.id);
+    scratch.profile_.allocate(p.start, estimate, width);
     // The replayed starts are exactly what this pass would have planned, so
     // they seed the class floors just as a fresh pass would. (The width
     // floors need the first-fit report of a real query; leaving them
@@ -297,11 +293,11 @@ void Planner::replan_inserted_into(const ResourceProfile& base, Time now,
     const std::uint32_t cls = scratch.classes_.job_class[p.id];
     scratch.class_floor_[cls] = p.start;
     scratch.class_epoch_[cls] = epoch;
-    if (scratch.width_dom_epoch_[job.width] != epoch ||
-        job.estimated_runtime >= scratch.width_dom_dur_[job.width]) {
-      scratch.width_dom_dur_[job.width] = job.estimated_runtime;
-      scratch.width_dom_start_[job.width] = p.start;
-      scratch.width_dom_epoch_[job.width] = epoch;
+    if (scratch.width_dom_epoch_[width] != epoch ||
+        estimate >= scratch.width_dom_dur_[width]) {
+      scratch.width_dom_dur_[width] = estimate;
+      scratch.width_dom_start_[width] = p.start;
+      scratch.width_dom_epoch_[width] = epoch;
     }
   }
   plan_range(scratch, now, ordered_wait, pos, jobs, out);

@@ -176,7 +176,7 @@ class Planner {
   [[nodiscard]] static Schedule plan(std::uint32_t capacity, Time now,
                                      const std::vector<RunningJob>& running,
                                      const std::vector<JobId>& ordered_wait,
-                                     const std::vector<workload::Job>& jobs);
+                                     const workload::JobTable& jobs);
 
   /// Allocation-free planning entry point for the self-tuning hot path:
   /// plans `ordered_wait` on top of a prebuilt running-jobs \p base profile
@@ -190,7 +190,7 @@ class Planner {
   /// different table of equal size).
   static void plan_into(const ResourceProfile& base, Time now,
                         const std::vector<JobId>& ordered_wait,
-                        const std::vector<workload::Job>& jobs,
+                        const workload::JobTable& jobs,
                         PlanScratch& scratch, Schedule& out);
 
   /// Builds the profile of running-job reservations only (exposed for tests
@@ -229,7 +229,7 @@ class Planner {
   static void replan_inserted_into(const ResourceProfile& base, Time now,
                                    const std::vector<JobId>& ordered_wait,
                                    std::size_t pos,
-                                   const std::vector<workload::Job>& jobs,
+                                   const workload::JobTable& jobs,
                                    PlanScratch& scratch, Schedule& out);
 
   /// Re-primes \p scratch after a checkpoint restore so that a following
@@ -243,7 +243,7 @@ class Planner {
   /// path never reads them, and every other path runs `prepare_scratch`
   /// first, which re-stamps before use.
   static void adopt_retained(PlanScratch& scratch, ResourceProfile profile,
-                             const std::vector<workload::Job>& jobs);
+                             const workload::JobTable& jobs);
 
   /// Outcome of `repair_capacity_drop`.
   struct RepairResult {
@@ -263,7 +263,7 @@ class Planner {
   static RepairResult repair_capacity_drop(
       ResourceProfile& profile, std::vector<Time>& reserved,
       const std::vector<JobId>& order,
-      const std::vector<workload::Job>& jobs, Time now, Time outage_end,
+      const workload::JobTable& jobs, Time now, Time outage_end,
       std::uint32_t width);
 
  private:
@@ -271,7 +271,7 @@ class Planner {
   /// changed, then opens a new floor epoch.
   static void prepare_scratch(PlanScratch& scratch,
                               const ResourceProfile& base,
-                              const std::vector<workload::Job>& jobs);
+                              const workload::JobTable& jobs);
 
   /// Plans `ordered_wait[from..]` onto `scratch.profile_`, appending to
   /// \p out (the shared tail loop of `plan_into` and
@@ -279,7 +279,7 @@ class Planner {
   static void plan_range(PlanScratch& scratch, Time now,
                          const std::vector<JobId>& ordered_wait,
                          std::size_t from,
-                         const std::vector<workload::Job>& jobs,
+                         const workload::JobTable& jobs,
                          Schedule& out);
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <limits>
 
 #if defined(__SSE2__)
@@ -11,6 +12,8 @@
 namespace dynp::rms {
 
 namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
 
 /// First index in [i, n) with frees[i] >= width (n if none). This is one
 /// half of the planner's innermost loop — at high load most of the profile
@@ -66,23 +69,91 @@ std::size_t find_fit(const std::uint32_t* frees, std::size_t i, std::size_t n,
   return i;
 }
 
+/// Process-wide default representation; mutated only during startup, before
+/// planning threads exist (same discipline as the contract handler).
+ProfileImpl g_default_impl = ProfileImpl::kTree;
+
 }  // namespace
 
+void ResourceProfile::set_default_impl(ProfileImpl impl) noexcept {
+  g_default_impl = impl;
+}
+
+ProfileImpl ResourceProfile::default_impl() noexcept { return g_default_impl; }
+
 ResourceProfile::ResourceProfile(std::uint32_t capacity, Time origin)
-    : capacity_(capacity) {
+    : ResourceProfile(capacity, origin, g_default_impl) {}
+
+ResourceProfile::ResourceProfile(std::uint32_t capacity, Time origin,
+                                 ProfileImpl impl)
+    : capacity_(capacity), impl_(impl) {
   DYNP_EXPECTS(capacity >= 1);
-  starts_.push_back(origin);
-  frees_.push_back(capacity);
+  if (impl_ == ProfileImpl::kFlat) {
+    starts_.push_back(origin);
+    frees_.push_back(capacity);
+  } else {
+    tree_init(capacity, origin);
+  }
+}
+
+ResourceProfile::ResourceProfile(const ResourceProfile& other)
+    : capacity_(other.capacity_), impl_(other.impl_) {
+  copy_from(other);
+}
+
+ResourceProfile& ResourceProfile::operator=(const ResourceProfile& other) {
+  if (this == &other) return *this;
+  capacity_ = other.capacity_;
+  impl_ = other.impl_;
+  copy_from(other);
+  return *this;
+}
+
+void ResourceProfile::copy_from(const ResourceProfile& other) {
+  if (other.impl_ == ProfileImpl::kFlat) {
+    starts_ = other.starts_;
+    frees_ = other.frees_;
+    cursor_ = other.cursor_;
+    mirror_fresh_ = true;
+    pool_.clear();
+    order_.clear();
+    spare_.clear();
+    return;
+  }
+  // Compacting copy: live blocks land in timeline order, so repeatedly
+  // copied candidates stay dense whatever churn the source went through.
+  const std::size_t blocks = other.order_.size();
+  pool_.resize(blocks);
+  order_.resize(blocks);
+  for (std::size_t p = 0; p < blocks; ++p) {
+    pool_[p] = other.pool_[other.order_[p]];
+    order_[p] = static_cast<std::uint32_t>(p);
+  }
+  spare_.clear();
+  head_starts_ = other.head_starts_;
+  tree_min_ = other.tree_min_;
+  tree_max_ = other.tree_max_;
+  leaves_ = other.leaves_;
+  segments_ = other.segments_;
+  // Skip the mirror: copies are planning scratch, snapshots re-materialise.
+  starts_.clear();
+  frees_.clear();
+  mirror_fresh_ = false;
+  cursor_ = 0;
 }
 
 void ResourceProfile::reset(std::uint32_t capacity, Time origin) {
   DYNP_EXPECTS(capacity >= 1);
   capacity_ = capacity;
   cursor_ = 0;
-  starts_.clear();
-  frees_.clear();
-  starts_.push_back(origin);
-  frees_.push_back(capacity);
+  if (impl_ == ProfileImpl::kFlat) {
+    starts_.clear();
+    frees_.clear();
+    starts_.push_back(origin);
+    frees_.push_back(capacity);
+  } else {
+    tree_init(capacity, origin);
+  }
 }
 
 std::size_t ResourceProfile::segment_index(Time t) const {
@@ -106,7 +177,9 @@ std::size_t ResourceProfile::segment_index(Time t) const {
 }
 
 std::uint32_t ResourceProfile::free_at(Time t) const {
-  return frees_[segment_index(t)];
+  if (impl_ == ProfileImpl::kFlat) return frees_[segment_index(t)];
+  const TreePos p = tree_locate(t);
+  return effective(block_at(p.pos), p.slot);
 }
 
 Time ResourceProfile::earliest_start(Time earliest, std::uint32_t width,
@@ -119,9 +192,11 @@ Time ResourceProfile::earliest_start(Time earliest, std::uint32_t width,
                                      Time duration, Time& first_fit) const {
   DYNP_EXPECTS(width >= 1 && width <= capacity_);
   DYNP_EXPECTS(duration >= 0);
+  if (impl_ == ProfileImpl::kTree) {
+    return tree_earliest_start(earliest, width, duration, first_fit);
+  }
   earliest = std::max(earliest, starts_.front());
 
-  constexpr Time kInf = std::numeric_limits<Time>::infinity();
   const std::size_t n = starts_.size();
   first_fit = kInf;
   std::size_t i = segment_index(earliest);
@@ -154,9 +229,16 @@ Time ResourceProfile::place(Time earliest, std::uint32_t width, Time duration,
                             Time& first_fit) {
   DYNP_EXPECTS(width >= 1 && width <= capacity_);
   DYNP_EXPECTS(duration >= 0);
+  if (impl_ == ProfileImpl::kTree) {
+    const Time start = tree_earliest_start(earliest, width, duration,
+                                           first_fit);
+    if (duration > 0) {
+      tree_apply(start, start + duration, -static_cast<std::int64_t>(width));
+    }
+    return start;
+  }
   earliest = std::max(earliest, starts_.front());
 
-  constexpr Time kInf = std::numeric_limits<Time>::infinity();
   const std::size_t n = starts_.size();
   first_fit = kInf;
   std::size_t i = segment_index(earliest);
@@ -259,16 +341,28 @@ void ResourceProfile::merge_range(std::size_t first, std::size_t last) {
 
 void ResourceProfile::allocate(Time start, Time duration, std::uint32_t width) {
   DYNP_EXPECTS(width <= capacity_);
+  if (impl_ == ProfileImpl::kTree) {
+    tree_apply(start, start + duration, -static_cast<std::int64_t>(width));
+    return;
+  }
   apply(start, start + duration, -static_cast<std::int64_t>(width));
 }
 
 void ResourceProfile::deallocate(Time start, Time duration,
                                  std::uint32_t width) {
   DYNP_EXPECTS(width <= capacity_);
+  if (impl_ == ProfileImpl::kTree) {
+    tree_apply(start, start + duration, static_cast<std::int64_t>(width));
+    return;
+  }
   apply(start, start + duration, static_cast<std::int64_t>(width));
 }
 
 void ResourceProfile::trim_before(Time t) {
+  if (impl_ == ProfileImpl::kTree) {
+    tree_trim_before(t);
+    return;
+  }
   DYNP_EXPECTS(!starts_.empty());
   if (t <= starts_.front()) return;
   const std::size_t i = segment_index(t);
@@ -284,7 +378,36 @@ void ResourceProfile::trim_before(Time t) {
   DYNP_ENSURES(frees_.back() == capacity_);
 }
 
+const std::vector<Time>& ResourceProfile::segment_starts() const {
+  if (impl_ == ProfileImpl::kTree) sync_mirror();
+  return starts_;
+}
+
+const std::vector<std::uint32_t>& ResourceProfile::segment_frees() const {
+  if (impl_ == ProfileImpl::kTree) sync_mirror();
+  return frees_;
+}
+
+void ResourceProfile::restore_segments(std::uint32_t capacity,
+                                       std::vector<Time> starts,
+                                       std::vector<std::uint32_t> frees) {
+  capacity_ = capacity;
+  cursor_ = 0;
+  if (impl_ == ProfileImpl::kTree) {
+    tree_build_from(std::move(starts), std::move(frees));
+  } else {
+    starts_ = std::move(starts);
+    frees_ = std::move(frees);
+  }
+  DYNP_EXPECTS(invariants_ok());
+}
+
 bool ResourceProfile::invariants_ok() const noexcept {
+  return impl_ == ProfileImpl::kFlat ? flat_invariants_ok()
+                                     : tree_invariants_ok();
+}
+
+bool ResourceProfile::flat_invariants_ok() const noexcept {
   if (starts_.empty() || starts_.size() != frees_.size()) return false;
   for (std::size_t i = 0; i < starts_.size(); ++i) {
     if (frees_[i] > capacity_) return false;
@@ -292,6 +415,473 @@ bool ResourceProfile::invariants_ok() const noexcept {
     if (i > 0 && frees_[i] == frees_[i - 1]) return false;
   }
   return frees_.back() == capacity_;
+}
+
+// ----- tree representation -------------------------------------------------
+
+void ResourceProfile::tree_init(std::uint32_t capacity, Time origin) {
+  pool_.clear();
+  spare_.clear();
+  pool_.emplace_back();
+  Block& b = pool_.front();
+  b.start[0] = origin;
+  b.free[0] = capacity;
+  b.count = 1;
+  b.delta = 0;
+  b.min_free = capacity;
+  b.max_free = capacity;
+  order_.assign(1, 0);
+  segments_ = 1;
+  tree_rebuild_index();
+  starts_.assign(1, origin);
+  frees_.assign(1, capacity);
+  mirror_fresh_ = true;
+}
+
+std::uint32_t ResourceProfile::alloc_block() {
+  if (!spare_.empty()) {
+    const std::uint32_t id = spare_.back();
+    spare_.pop_back();
+    return id;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void ResourceProfile::recompute_minmax(Block& b) {
+  std::uint32_t lo = b.free[0];
+  std::uint32_t hi = b.free[0];
+  for (std::uint32_t s = 1; s < b.count; ++s) {
+    lo = std::min(lo, b.free[s]);
+    hi = std::max(hi, b.free[s]);
+  }
+  b.min_free = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(lo) + b.delta);
+  b.max_free = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(hi) + b.delta);
+}
+
+void ResourceProfile::flush_delta(Block& b) {
+  if (b.delta == 0) return;
+  for (std::uint32_t s = 0; s < b.count; ++s) {
+    b.free[s] = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(b.free[s]) + b.delta);
+  }
+  b.delta = 0;
+}
+
+void ResourceProfile::tree_rebuild_index() {
+  const std::size_t blocks = order_.size();
+  head_starts_.resize(blocks);
+  for (std::size_t p = 0; p < blocks; ++p) {
+    head_starts_[p] = pool_[order_[p]].start[0];
+  }
+  leaves_ = std::bit_ceil(std::max<std::size_t>(blocks, 1));
+  tree_min_.assign(2 * leaves_, std::numeric_limits<std::uint32_t>::max());
+  tree_max_.assign(2 * leaves_, 0);
+  for (std::size_t p = 0; p < blocks; ++p) {
+    const Block& b = pool_[order_[p]];
+    tree_min_[leaves_ + p] = b.min_free;
+    tree_max_[leaves_ + p] = b.max_free;
+  }
+  for (std::size_t i = leaves_ - 1; i >= 1; --i) {
+    tree_min_[i] = std::min(tree_min_[2 * i], tree_min_[2 * i + 1]);
+    tree_max_[i] = std::max(tree_max_[2 * i], tree_max_[2 * i + 1]);
+  }
+}
+
+void ResourceProfile::tree_point_update(std::uint32_t pos) {
+  const Block& b = block_at(pos);
+  std::size_t i = leaves_ + pos;
+  tree_min_[i] = b.min_free;
+  tree_max_[i] = b.max_free;
+  for (i /= 2; i >= 1; i /= 2) {
+    tree_min_[i] = std::min(tree_min_[2 * i], tree_min_[2 * i + 1]);
+    tree_max_[i] = std::max(tree_max_[2 * i], tree_max_[2 * i + 1]);
+  }
+}
+
+void ResourceProfile::tree_rebuild_interval(std::size_t lo, std::size_t hi) {
+  if (lo >= hi) return;
+  std::size_t l = leaves_ + lo;
+  std::size_t r = leaves_ + hi - 1;
+  while (l > 1) {
+    l /= 2;
+    r /= 2;
+    for (std::size_t i = l; i <= r; ++i) {
+      tree_min_[i] = std::min(tree_min_[2 * i], tree_min_[2 * i + 1]);
+      tree_max_[i] = std::max(tree_max_[2 * i], tree_max_[2 * i + 1]);
+    }
+  }
+}
+
+std::uint32_t ResourceProfile::tree_first_ge(std::uint32_t from,
+                                             std::uint32_t width) const {
+  const std::size_t n = order_.size();
+  if (from >= n) return kNoPos;
+  std::size_t i = leaves_ + from;
+  if (tree_max_[i] >= width) return from;
+  for (;;) {
+    while ((i & 1u) != 0) i >>= 1;  // right child: the subtree is exhausted
+    if (i == 0) return kNoPos;      // climbed off the root's right spine
+    ++i;                            // right sibling covers the next range
+    if (tree_max_[i] >= width) {
+      while (i < leaves_) {
+        i *= 2;
+        if (tree_max_[i] < width) ++i;
+      }
+      const std::size_t pos = i - leaves_;
+      return pos < n ? static_cast<std::uint32_t>(pos) : kNoPos;
+    }
+  }
+}
+
+std::uint32_t ResourceProfile::tree_first_lt(std::uint32_t from,
+                                             std::uint32_t width) const {
+  const std::size_t n = order_.size();
+  if (from >= n) return kNoPos;
+  std::size_t i = leaves_ + from;
+  if (tree_min_[i] < width) return from;
+  for (;;) {
+    while ((i & 1u) != 0) i >>= 1;
+    if (i == 0) return kNoPos;
+    ++i;
+    if (tree_min_[i] < width) {
+      while (i < leaves_) {
+        i *= 2;
+        if (tree_min_[i] >= width) ++i;
+      }
+      const std::size_t pos = i - leaves_;
+      return pos < n ? static_cast<std::uint32_t>(pos) : kNoPos;
+    }
+  }
+}
+
+ResourceProfile::TreePos ResourceProfile::tree_locate(Time t) const {
+  DYNP_EXPECTS(t >= head_starts_.front());
+  const auto head_it =
+      std::upper_bound(head_starts_.begin(), head_starts_.end(), t);
+  const auto pos =
+      static_cast<std::uint32_t>(head_it - head_starts_.begin() - 1);
+  const Block& b = block_at(pos);
+  const auto slot_it = std::upper_bound(b.start.begin(),
+                                        b.start.begin() + b.count, t);
+  const auto slot = static_cast<std::uint32_t>(slot_it - b.start.begin() - 1);
+  return TreePos{pos, slot};
+}
+
+ResourceProfile::TreePos ResourceProfile::tree_next(TreePos p) const {
+  const Block& b = block_at(p.pos);
+  if (p.slot + 1 < b.count) return TreePos{p.pos, p.slot + 1};
+  if (static_cast<std::size_t>(p.pos) + 1 < order_.size()) {
+    return TreePos{p.pos + 1, 0};
+  }
+  return TreePos{kNoPos, 0};
+}
+
+ResourceProfile::TreePos ResourceProfile::tree_fit_from(
+    TreePos p, std::uint32_t width) const {
+  if (p.pos == kNoPos) return p;
+  const Block& b = block_at(p.pos);
+  if (b.max_free >= width) {
+    const std::int64_t thr = static_cast<std::int64_t>(width) - b.delta;
+    for (std::uint32_t s = p.slot; s < b.count; ++s) {
+      if (static_cast<std::int64_t>(b.free[s]) >= thr) return TreePos{p.pos, s};
+    }
+  }
+  const std::uint32_t pos = tree_first_ge(p.pos + 1, width);
+  if (pos == kNoPos) return TreePos{kNoPos, 0};
+  const Block& hit = block_at(pos);
+  const std::int64_t thr = static_cast<std::int64_t>(width) - hit.delta;
+  for (std::uint32_t s = 0; s < hit.count; ++s) {
+    if (static_cast<std::int64_t>(hit.free[s]) >= thr) return TreePos{pos, s};
+  }
+  DYNP_ASSERT(false);  // max_free promised a fit in this block
+  return TreePos{kNoPos, 0};
+}
+
+ResourceProfile::TreePos ResourceProfile::tree_below_from(
+    TreePos p, std::uint32_t width) const {
+  if (p.pos == kNoPos) return p;
+  const Block& b = block_at(p.pos);
+  if (b.min_free < width) {
+    const std::int64_t thr = static_cast<std::int64_t>(width) - b.delta;
+    for (std::uint32_t s = p.slot; s < b.count; ++s) {
+      if (static_cast<std::int64_t>(b.free[s]) < thr) return TreePos{p.pos, s};
+    }
+  }
+  const std::uint32_t pos = tree_first_lt(p.pos + 1, width);
+  if (pos == kNoPos) return TreePos{kNoPos, 0};
+  const Block& hit = block_at(pos);
+  const std::int64_t thr = static_cast<std::int64_t>(width) - hit.delta;
+  for (std::uint32_t s = 0; s < hit.count; ++s) {
+    if (static_cast<std::int64_t>(hit.free[s]) < thr) return TreePos{pos, s};
+  }
+  DYNP_ASSERT(false);  // min_free promised a sub-width slot in this block
+  return TreePos{kNoPos, 0};
+}
+
+Time ResourceProfile::tree_earliest_start(Time earliest, std::uint32_t width,
+                                          Time duration,
+                                          Time& first_fit) const {
+  earliest = std::max(earliest, head_starts_.front());
+  first_fit = kInf;
+  // Same window walk as the flat scan, expressed over the aggregates: the
+  // max-tree descends to the first segment that fits, the min-tree to the
+  // first later segment that breaks the feasible run. The window end stays
+  // an addition (`window_start + duration <= window_end`) so feasibility
+  // matches `allocate`'s boundary split to the ulp — see the flat variant.
+  TreePos i = tree_fit_from(tree_locate(earliest), width);
+  for (;;) {
+    // The final segment always has the full machine free, so a fit exists.
+    DYNP_ASSERT(i.pos != kNoPos);
+    const Time window_start = std::max(earliest, tree_start(i));
+    if (first_fit == kInf) first_fit = window_start;
+    const TreePos brk = tree_below_from(tree_next(i), width);
+    const Time window_end = brk.pos == kNoPos ? kInf : tree_start(brk);
+    if (window_start + duration <= window_end) return window_start;
+    i = tree_fit_from(tree_next(brk), width);
+  }
+}
+
+void ResourceProfile::tree_split_block(std::uint32_t pos) {
+  const std::uint32_t lo_id = order_[pos];
+  const std::uint32_t hi_id = alloc_block();  // may move pool_: re-index after
+  Block& lo = pool_[lo_id];
+  Block& hi = pool_[hi_id];
+  constexpr std::uint32_t kHalf = kBlockCap / 2;
+  std::copy(lo.start.begin() + kHalf, lo.start.end(), hi.start.begin());
+  std::copy(lo.free.begin() + kHalf, lo.free.end(), hi.free.begin());
+  hi.count = kBlockCap - kHalf;
+  hi.delta = lo.delta;
+  lo.count = kHalf;
+  recompute_minmax(lo);
+  recompute_minmax(hi);
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(pos) + 1, hi_id);
+  tree_rebuild_index();
+}
+
+void ResourceProfile::tree_split_at(Time t) {
+  TreePos p = tree_locate(t);
+  if (block_at(p.pos).start[p.slot] == t) return;
+  if (block_at(p.pos).count == kBlockCap) {
+    tree_split_block(p.pos);
+    p = tree_locate(t);
+  }
+  Block& b = block_at(p.pos);
+  DYNP_ASSERT(b.count < kBlockCap);
+  for (std::uint32_t s = b.count; s > p.slot + 1; --s) {
+    b.start[s] = b.start[s - 1];
+    b.free[s] = b.free[s - 1];
+  }
+  b.start[p.slot + 1] = t;
+  b.free[p.slot + 1] = b.free[p.slot];  // same raw value: same block delta
+  ++b.count;
+  ++segments_;
+  // A duplicated value leaves min/max (and the tree) untouched.
+  mirror_fresh_ = false;
+}
+
+void ResourceProfile::tree_remove(TreePos p) {
+  Block& b = block_at(p.pos);
+  for (std::uint32_t s = p.slot; s + 1 < b.count; ++s) {
+    b.start[s] = b.start[s + 1];
+    b.free[s] = b.free[s + 1];
+  }
+  --b.count;
+  --segments_;
+  mirror_fresh_ = false;
+  if (b.count == 0) {
+    spare_.push_back(order_[p.pos]);
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(p.pos));
+    tree_rebuild_index();
+    return;
+  }
+  if (p.slot == 0) head_starts_[p.pos] = b.start[0];
+  recompute_minmax(b);
+  tree_point_update(p.pos);
+}
+
+void ResourceProfile::tree_merge_at(Time t) {
+  const TreePos p = tree_locate(t);
+  DYNP_ASSERT(tree_start(p) == t);
+  if (p.pos == 0 && p.slot == 0) return;  // no predecessor
+  const TreePos prev =
+      p.slot > 0 ? TreePos{p.pos, p.slot - 1}
+                 : TreePos{p.pos - 1, block_at(p.pos - 1).count - 1};
+  if (effective(block_at(prev.pos), prev.slot) ==
+      effective(block_at(p.pos), p.slot)) {
+    tree_remove(p);
+  }
+}
+
+void ResourceProfile::edge_update(std::uint32_t pos, std::uint32_t begin,
+                                  std::uint32_t end, std::int64_t delta) {
+  if (begin >= end) return;
+  Block& b = block_at(pos);
+  flush_delta(b);
+  for (std::uint32_t s = begin; s < end; ++s) {
+    const std::int64_t updated = static_cast<std::int64_t>(b.free[s]) + delta;
+    DYNP_ASSERT(updated >= 0 &&
+                updated <= static_cast<std::int64_t>(capacity_));
+    b.free[s] = static_cast<std::uint32_t>(updated);
+  }
+  recompute_minmax(b);
+  tree_point_update(pos);
+}
+
+void ResourceProfile::tree_apply(Time start, Time end, std::int64_t delta) {
+  if (end <= start) return;
+  // Split end first: splitting at start could split the block holding both
+  // boundaries, and the later re-locates want settled structure.
+  tree_split_at(end);
+  tree_split_at(start);
+  const TreePos sp = tree_locate(start);
+  const TreePos ep = tree_locate(end);
+  DYNP_ASSERT(tree_start(sp) == start && tree_start(ep) == end);
+  if (sp.pos == ep.pos) {
+    edge_update(sp.pos, sp.slot, ep.slot, delta);
+  } else {
+    edge_update(sp.pos, sp.slot, block_at(sp.pos).count, delta);
+    // Interior blocks take the delta lazily; their ancestors are rebuilt in
+    // one O(blocks + log) interval pass instead of one root walk per block
+    // (the root walks made wide deallocations — the per-finish phantom-tail
+    // release over tens of thousands of segments — O(B log B)).
+    for (std::uint32_t pos = sp.pos + 1; pos < ep.pos; ++pos) {
+      Block& b = block_at(pos);
+      const std::int64_t lo = static_cast<std::int64_t>(b.min_free) + delta;
+      const std::int64_t hi = static_cast<std::int64_t>(b.max_free) + delta;
+      DYNP_ASSERT(lo >= 0 && hi <= static_cast<std::int64_t>(capacity_));
+      b.delta += delta;
+      b.min_free = static_cast<std::uint32_t>(lo);
+      b.max_free = static_cast<std::uint32_t>(hi);
+      tree_min_[leaves_ + pos] = b.min_free;
+      tree_max_[leaves_ + pos] = b.max_free;
+    }
+    tree_rebuild_interval(sp.pos, ep.pos + 1);
+    edge_update(ep.pos, 0, ep.slot, delta);
+  }
+  // A constant delta keeps interior neighbours distinct (both sides moved by
+  // the same amount), so only the two boundary pairs can merge. End first:
+  // removing a later segment leaves the start boundary's address intact in
+  // time, which is how it is re-located.
+  tree_merge_at(end);
+  tree_merge_at(start);
+  mirror_fresh_ = false;
+}
+
+void ResourceProfile::tree_trim_before(Time t) {
+  DYNP_EXPECTS(!order_.empty());
+  if (t <= head_starts_.front()) return;
+  const TreePos p = tree_locate(t);
+  for (std::uint32_t pos = 0; pos < p.pos; ++pos) {
+    segments_ -= block_at(pos).count;
+    spare_.push_back(order_[pos]);
+  }
+  Block& b = block_at(p.pos);
+  if (p.slot > 0) {
+    for (std::uint32_t s = 0; s + p.slot < b.count; ++s) {
+      b.start[s] = b.start[s + p.slot];
+      b.free[s] = b.free[s + p.slot];
+    }
+    b.count -= p.slot;
+    segments_ -= p.slot;
+    recompute_minmax(b);
+  }
+  b.start[0] = t;
+  order_.erase(order_.begin(),
+               order_.begin() + static_cast<std::ptrdiff_t>(p.pos));
+  tree_rebuild_index();
+  mirror_fresh_ = false;
+  // The unbounded tail keeps the whole machine free whatever was dropped.
+  DYNP_ENSURES(block_at(static_cast<std::uint32_t>(order_.size() - 1))
+                   .max_free == capacity_);
+}
+
+void ResourceProfile::tree_build_from(std::vector<Time>&& starts,
+                                      std::vector<std::uint32_t>&& frees) {
+  const std::size_t n = starts.size();
+  DYNP_EXPECTS(n >= 1 && n == frees.size());
+  // Half-filled blocks leave insertion headroom so the first splits after a
+  // restore do not immediately rebuild the order index.
+  constexpr std::uint32_t kFill = kBlockCap / 2;
+  const std::size_t blocks = (n + kFill - 1) / kFill;
+  pool_.clear();
+  pool_.resize(blocks);
+  spare_.clear();
+  order_.resize(blocks);
+  for (std::size_t p = 0; p < blocks; ++p) {
+    Block& b = pool_[p];
+    const std::size_t from = p * kFill;
+    const std::size_t to = std::min(from + kFill, n);
+    b.count = static_cast<std::uint32_t>(to - from);
+    b.delta = 0;
+    std::copy(starts.begin() + static_cast<std::ptrdiff_t>(from),
+              starts.begin() + static_cast<std::ptrdiff_t>(to),
+              b.start.begin());
+    std::copy(frees.begin() + static_cast<std::ptrdiff_t>(from),
+              frees.begin() + static_cast<std::ptrdiff_t>(to),
+              b.free.begin());
+    recompute_minmax(b);
+    order_[p] = static_cast<std::uint32_t>(p);
+  }
+  segments_ = n;
+  tree_rebuild_index();
+  starts_ = std::move(starts);
+  frees_ = std::move(frees);
+  mirror_fresh_ = true;
+}
+
+void ResourceProfile::sync_mirror() const {
+  if (mirror_fresh_) return;
+  starts_.clear();
+  frees_.clear();
+  starts_.reserve(segments_);
+  frees_.reserve(segments_);
+  for (const std::uint32_t id : order_) {
+    const Block& b = pool_[id];
+    for (std::uint32_t s = 0; s < b.count; ++s) {
+      starts_.push_back(b.start[s]);
+      frees_.push_back(effective(b, s));
+    }
+  }
+  mirror_fresh_ = true;
+}
+
+bool ResourceProfile::tree_invariants_ok() const noexcept {
+  if (order_.empty() || head_starts_.size() != order_.size()) return false;
+  std::size_t total = 0;
+  bool have_prev = false;
+  Time prev_start = 0;
+  std::uint32_t prev_free = 0;
+  std::uint32_t last_free = 0;
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    const Block& b = pool_[order_[p]];
+    if (b.count == 0 || b.count > kBlockCap) return false;
+    if (head_starts_[p] != b.start[0]) return false;
+    std::uint32_t lo = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t hi = 0;
+    for (std::uint32_t s = 0; s < b.count; ++s) {
+      const std::uint32_t eff = effective(b, s);
+      if (eff > capacity_) return false;
+      if (have_prev && b.start[s] <= prev_start) return false;
+      if (have_prev && eff == prev_free) return false;
+      have_prev = true;
+      prev_start = b.start[s];
+      prev_free = eff;
+      last_free = eff;
+      lo = std::min(lo, eff);
+      hi = std::max(hi, eff);
+    }
+    if (b.min_free != lo || b.max_free != hi) return false;
+    if (leaves_ == 0 || p >= leaves_) return false;
+    if (tree_min_[leaves_ + p] != lo || tree_max_[leaves_ + p] != hi) {
+      return false;
+    }
+    total += b.count;
+  }
+  if (total != segments_) return false;
+  return last_free == capacity_;
 }
 
 }  // namespace dynp::rms

@@ -7,15 +7,34 @@
 /// and with it implicit backfilling — possible (paper §3; Hovestadt et al.,
 /// "Queuing vs. Planning", JSSPP 2003).
 ///
-/// Representation: two parallel sorted vectors (segment start times, free
-/// node counts); each segment extends to the next one's start, the last to
-/// infinity. Because all allocations are finite, the final segment always
-/// has the full machine free, so every query terminates. The
-/// structure-of-arrays split exists for the planner's hot path: the
-/// "earliest feasible start" scan spends most of its time skipping segments
-/// with too few free nodes, which over a dense `free` array is a branchless
-/// (and on x86, SIMD) sweep instead of a strided pointer chase.
+/// Two interchangeable representations sit behind one API (selected per
+/// instance at construction, process-wide default via `set_default_impl`):
+///
+/// - `ProfileImpl::kFlat` — two parallel sorted vectors (segment start
+///   times, free node counts); each segment extends to the next one's start,
+///   the last to infinity. The "earliest feasible start" scan is a
+///   branchless (and on x86, SIMD) sweep over the dense free array. Linear
+///   in segment count, unbeatable for small profiles, and the reference
+///   oracle for the tree.
+///
+/// - `ProfileImpl::kTree` — the million-job scale path: segments live in
+///   fixed-capacity blocks (timeline-ordered via an indirection vector), and
+///   an implicit segment tree over the block sequence carries subtree-min
+///   and subtree-max free counts. `earliest_start` descends the max-tree to
+///   the first feasible window and the min-tree to the window's end, making
+///   queries O(log n · block); `allocate`/`place`/`deallocate` are range
+///   updates that touch two edge blocks elementwise and interior blocks via
+///   an O(1) lazy per-block delta. Segment inserts shift at most one block
+///   instead of the whole timeline.
+///
+/// Because all allocations are finite, the final segment always has the full
+/// machine free, so every query terminates. Both representations produce
+/// byte-identical segment sequences for identical operation sequences
+/// (enforced by the differential fuzz suite in tests/rms), so checkpoint
+/// snapshots, the audit sweep-line and `segment_starts`/`segment_frees`
+/// consumers never observe which one is active.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -24,12 +43,37 @@
 
 namespace dynp::rms {
 
+/// Representation choice for `ResourceProfile` (see the file comment).
+enum class ProfileImpl : std::uint8_t { kFlat = 0, kTree = 1 };
+
 /// Piecewise-constant free-capacity timeline.
 class ResourceProfile {
  public:
   /// A profile for a machine with \p capacity nodes, entirely free from
-  /// \p origin onwards.
+  /// \p origin onwards, using the process-wide default representation.
   explicit ResourceProfile(std::uint32_t capacity, Time origin = 0);
+
+  /// As above with an explicit representation (tests and the differential
+  /// fuzz oracle pin `kFlat` regardless of the process default).
+  ResourceProfile(std::uint32_t capacity, Time origin, ProfileImpl impl);
+
+  /// Copies adopt the source's representation; tree copies compact the
+  /// block pool into timeline order (profiles are copied per candidate per
+  /// event, so the copy is also the defragmentation point).
+  ResourceProfile(const ResourceProfile& other);
+  ResourceProfile& operator=(const ResourceProfile& other);
+  ResourceProfile(ResourceProfile&&) = default;
+  ResourceProfile& operator=(ResourceProfile&&) = default;
+  ~ResourceProfile() = default;
+
+  /// Process-wide default representation for new profiles. Set once at
+  /// startup (before any planning thread spawns — the flag is unsynchronised
+  /// by design, like the contract-handler installation).
+  static void set_default_impl(ProfileImpl impl) noexcept;
+  [[nodiscard]] static ProfileImpl default_impl() noexcept;
+
+  /// This instance's representation (fixed at construction/assignment).
+  [[nodiscard]] ProfileImpl impl() const noexcept { return impl_; }
 
   [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
 
@@ -78,38 +122,33 @@ class ResourceProfile {
 
   /// Number of segments (profile complexity; O(active reservations)).
   [[nodiscard]] std::size_t segment_count() const noexcept {
-    return starts_.size();
+    return impl_ == ProfileImpl::kFlat ? starts_.size() : segments_;
   }
 
   /// Segment start times, sorted ascending (parallel to `segment_frees`).
-  [[nodiscard]] const std::vector<Time>& segment_starts() const noexcept {
-    return starts_;
-  }
+  /// Cold path: under `kTree` this materialises a flat mirror on demand
+  /// (checkpoint capture and tests; planners never call it).
+  [[nodiscard]] const std::vector<Time>& segment_starts() const;
 
   /// Free node count per segment (parallel to `segment_starts`).
-  [[nodiscard]] const std::vector<std::uint32_t>& segment_frees()
-      const noexcept {
-    return frees_;
-  }
+  [[nodiscard]] const std::vector<std::uint32_t>& segment_frees() const;
 
   /// Checks the representation invariants (sorted, merged, bounded free
-  /// counts, full capacity in the unbounded tail). Used by tests and debug
-  /// assertions.
+  /// counts, full capacity in the unbounded tail; under `kTree` also the
+  /// block/tree aggregates). Used by tests and debug assertions.
   [[nodiscard]] bool invariants_ok() const noexcept;
 
   /// Reinstates a profile from snapshotted segments (as reported by
   /// `segment_starts`/`segment_frees`). The segments must satisfy the
   /// representation invariants — checked, since they may come from a file.
+  /// The instance keeps its representation: a tree profile rebuilds its
+  /// blocks from the flat snapshot, so checkpoints stay format-stable.
   void restore_segments(std::uint32_t capacity, std::vector<Time> starts,
-                        std::vector<std::uint32_t> frees) {
-    capacity_ = capacity;
-    starts_ = std::move(starts);
-    frees_ = std::move(frees);
-    cursor_ = 0;
-    DYNP_EXPECTS(invariants_ok());
-  }
+                        std::vector<std::uint32_t> frees);
 
  private:
+  // ----- flat representation ---------------------------------------------
+
   /// Index of the segment containing time \p t.
   [[nodiscard]] std::size_t segment_index(Time t) const;
 
@@ -127,9 +166,108 @@ class ResourceProfile {
   /// Merges equal neighbours over the touched range [first-1, last].
   void merge_range(std::size_t first, std::size_t last);
 
+  [[nodiscard]] bool flat_invariants_ok() const noexcept;
+
+  // ----- tree representation ---------------------------------------------
+
+  /// Segments per block. 64 keeps a whole block's frees in two cache lines
+  /// and makes in-block scans a short contiguous loop; profiles under 64
+  /// segments (the common small case) stay in a single block with no tree
+  /// overhead beyond one indirection.
+  static constexpr std::uint32_t kBlockCap = 64;
+
+  /// One run of consecutive segments. `free` stores raw counts; the
+  /// effective count of slot s is `free[s] + delta` (the lazy range-update
+  /// tag). `min_free`/`max_free` are maintained as *effective* values so
+  /// tree descents never touch the tag.
+  struct Block {
+    std::array<Time, kBlockCap> start;
+    std::array<std::uint32_t, kBlockCap> free;
+    std::uint32_t count = 0;
+    std::int64_t delta = 0;
+    std::uint32_t min_free = 0;
+    std::uint32_t max_free = 0;
+  };
+
+  /// A segment's address: block position in timeline order + slot within.
+  struct TreePos {
+    std::uint32_t pos;
+    std::uint32_t slot;
+  };
+  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+  [[nodiscard]] Block& block_at(std::uint32_t pos) {
+    return pool_[order_[pos]];
+  }
+  [[nodiscard]] const Block& block_at(std::uint32_t pos) const {
+    return pool_[order_[pos]];
+  }
+  [[nodiscard]] static std::uint32_t effective(const Block& b,
+                                               std::uint32_t slot) {
+    return static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(b.free[slot]) + b.delta);
+  }
+  [[nodiscard]] Time tree_start(TreePos p) const {
+    return block_at(p.pos).start[p.slot];
+  }
+  [[nodiscard]] TreePos tree_next(TreePos p) const;
+
+  void tree_init(std::uint32_t capacity, Time origin);
+  [[nodiscard]] TreePos tree_locate(Time t) const;
+  [[nodiscard]] Time tree_earliest_start(Time earliest, std::uint32_t width,
+                                         Time duration,
+                                         Time& first_fit) const;
+  void tree_apply(Time start, Time end, std::int64_t delta);
+  void tree_split_at(Time t);
+  void tree_split_block(std::uint32_t pos);
+  void tree_merge_at(Time t);
+  void tree_remove(TreePos p);
+  void tree_trim_before(Time t);
+  void tree_build_from(std::vector<Time>&& starts,
+                       std::vector<std::uint32_t>&& frees);
+  [[nodiscard]] bool tree_invariants_ok() const noexcept;
+
+  /// First segment at/after \p p with effective free >= width (kNoPos pos
+  /// if none): in-block scan, then a max-tree descent over later blocks.
+  [[nodiscard]] TreePos tree_fit_from(TreePos p, std::uint32_t width) const;
+  /// First segment at/after \p p with effective free < width.
+  [[nodiscard]] TreePos tree_below_from(TreePos p, std::uint32_t width) const;
+
+  /// First block position >= from with max_free >= width (kNoPos if none).
+  [[nodiscard]] std::uint32_t tree_first_ge(std::uint32_t from,
+                                            std::uint32_t width) const;
+  /// First block position >= from with min_free < width (kNoPos if none).
+  [[nodiscard]] std::uint32_t tree_first_lt(std::uint32_t from,
+                                            std::uint32_t width) const;
+
+  static void recompute_minmax(Block& b);
+  void tree_point_update(std::uint32_t pos);
+  void tree_rebuild_index();
+  /// Recomputes the internal min/max nodes above leaf interval [lo, hi) in
+  /// one bottom-up pass: O(hi - lo + log) total, vs one O(log) root walk
+  /// per leaf.
+  void tree_rebuild_interval(std::size_t lo, std::size_t hi);
+  void edge_update(std::uint32_t pos, std::uint32_t begin, std::uint32_t end,
+                   std::int64_t delta);
+  static void flush_delta(Block& b);
+  std::uint32_t alloc_block();
+
+  /// Rebuilds the flat mirror (`starts_`/`frees_`) from the blocks.
+  void sync_mirror() const;
+
+  void copy_from(const ResourceProfile& other);
+
+  // ----- state -----------------------------------------------------------
+
   std::uint32_t capacity_;
-  std::vector<Time> starts_;          ///< segment start times (sorted)
-  std::vector<std::uint32_t> frees_;  ///< free nodes per segment
+  ProfileImpl impl_;
+
+  /// Flat storage under `kFlat`; the lazily materialised mirror under
+  /// `kTree` (mutable: rebuilding it on access is not an observable
+  /// mutation).
+  mutable std::vector<Time> starts_;          ///< segment start times (sorted)
+  mutable std::vector<std::uint32_t> frees_;  ///< free nodes per segment
+  mutable bool mirror_fresh_ = true;          ///< kTree: mirror matches blocks
 
   /// Last segment index a query or edit touched — a pure search hint
   /// (validated before use, so staleness never changes results). Queries
@@ -138,6 +276,16 @@ class ResourceProfile {
   /// concurrent queries on one instance are a data race; give each
   /// concurrent planning task its own profile (planners already do).
   mutable std::size_t cursor_ = 0;
+
+  // Tree storage (empty under kFlat).
+  std::vector<Block> pool_;             ///< block storage (ids are indices)
+  std::vector<std::uint32_t> order_;    ///< block ids in timeline order
+  std::vector<std::uint32_t> spare_;    ///< free-listed block ids
+  std::vector<Time> head_starts_;       ///< first start per order position
+  std::vector<std::uint32_t> tree_min_; ///< implicit seg-tree over blocks
+  std::vector<std::uint32_t> tree_max_; ///< implicit seg-tree over blocks
+  std::size_t leaves_ = 0;              ///< bit_ceil(order_.size())
+  std::size_t segments_ = 1;            ///< total live segments
 };
 
 }  // namespace dynp::rms

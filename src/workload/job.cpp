@@ -19,6 +19,22 @@ void JobSet::normalize() {
     DYNP_ENSURES(jobs_[i].valid());
     DYNP_ENSURES(jobs_[i].width <= machine_.nodes);
   }
+  table_.assign(jobs_);
+}
+
+void JobTable::assign(const std::vector<Job>& jobs) {
+  const std::size_t n = jobs.size();
+  submit_.resize(n);
+  width_.resize(n);
+  estimate_.resize(n);
+  actual_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DYNP_EXPECTS(jobs[i].id == static_cast<JobId>(i));
+    submit_[i] = jobs[i].submit;
+    width_[i] = jobs[i].width;
+    estimate_[i] = jobs[i].estimated_runtime;
+    actual_[i] = jobs[i].actual_runtime;
+  }
 }
 
 JobSet JobSet::with_shrinking_factor(double factor) const {

@@ -64,6 +64,57 @@ struct Machine {
   std::uint32_t nodes = 1;
 };
 
+/// Structure-of-arrays job table: the planner-facing view of a job set.
+/// Hot planning loops touch one or two attributes of many jobs (width and
+/// estimate per placement, submit per policy comparison); parallel arrays
+/// keyed by the dense JobId turn those walks into contiguous loads instead
+/// of striding over full `Job` records. Built once per `JobSet` (by
+/// `normalize`) and immutable afterwards, like the job vector it mirrors.
+class JobTable {
+ public:
+  JobTable() = default;
+  explicit JobTable(const std::vector<Job>& jobs) { assign(jobs); }
+
+  /// Rebuilds the columns from \p jobs (requires `jobs[i].id == i`).
+  void assign(const std::vector<Job>& jobs);
+
+  [[nodiscard]] std::size_t size() const noexcept { return width_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return width_.empty(); }
+
+  // Per-job accessors; \p id must be a dense id below `size()`.
+  [[nodiscard]] Time submit(JobId id) const noexcept { return submit_[id]; }
+  [[nodiscard]] std::uint32_t width(JobId id) const noexcept {
+    return width_[id];
+  }
+  [[nodiscard]] Time estimate(JobId id) const noexcept {
+    return estimate_[id];
+  }
+  [[nodiscard]] Time actual(JobId id) const noexcept { return actual_[id]; }
+  [[nodiscard]] double estimated_area(JobId id) const noexcept {
+    return estimate_[id] * static_cast<double>(width_[id]);
+  }
+
+  // Whole columns, for vectorisable passes.
+  [[nodiscard]] const std::vector<Time>& submits() const noexcept {
+    return submit_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& widths() const noexcept {
+    return width_;
+  }
+  [[nodiscard]] const std::vector<Time>& estimates() const noexcept {
+    return estimate_;
+  }
+  [[nodiscard]] const std::vector<Time>& actuals() const noexcept {
+    return actual_;
+  }
+
+ private:
+  std::vector<Time> submit_;
+  std::vector<std::uint32_t> width_;
+  std::vector<Time> estimate_;
+  std::vector<Time> actual_;
+};
+
 /// An ordered collection of jobs for one machine. Invariant: jobs are sorted
 /// by submit time (ties keep insertion order) and `jobs[i].id == i`.
 class JobSet {
@@ -73,6 +124,8 @@ class JobSet {
 
   [[nodiscard]] const Machine& machine() const noexcept { return machine_; }
   [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  /// SoA view of the same jobs, rebuilt whenever the set changes.
+  [[nodiscard]] const JobTable& table() const noexcept { return table_; }
   [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
   [[nodiscard]] bool empty() const noexcept { return jobs_.empty(); }
   [[nodiscard]] const Job& operator[](std::size_t i) const {
@@ -115,6 +168,7 @@ class JobSet {
 
   Machine machine_;
   std::vector<Job> jobs_;
+  JobTable table_;
 };
 
 /// Repairs raw jobs that violate the planning-RMS contract (used when

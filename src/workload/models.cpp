@@ -399,6 +399,21 @@ TraceModel model_by_name(const std::string& name) {
   throw std::invalid_argument("unknown trace model: " + name);
 }
 
+TraceModel scale_machine(TraceModel model, std::uint32_t machine_scale) {
+  DYNP_EXPECTS(machine_scale >= 1);
+  model.nodes *= machine_scale;
+  model.load_calibration *= machine_scale;
+  // The arrival process of a federation is the superposition of the member
+  // machines' streams: every gap compresses by the scale, within-burst gaps
+  // included (this also keeps the sampler's requirement that the burst
+  // branch cannot exceed the overall rate target satisfied at any scale).
+  model.ia_burst_mean /= machine_scale;
+  if (machine_scale > 1) {
+    model.name += "-x" + std::to_string(machine_scale);
+  }
+  return model;
+}
+
 struct CalibratedSampler::Impl {
   TraceModel model;
   TraceSampler sampler;
@@ -441,14 +456,23 @@ JobSet generate(const TraceModel& model, std::size_t n_jobs,
 std::vector<JobSet> generate_ensemble(const TraceModel& model,
                                       std::size_t n_sets, std::size_t n_jobs,
                                       std::uint64_t master_seed) {
-  const CalibratedSampler sampler(model);
   std::vector<JobSet> sets;
   sets.reserve(n_sets);
-  for (std::size_t s = 0; s < n_sets; ++s) {
-    sets.push_back(
-        sampler.generate(n_jobs, util::derive_seed(master_seed, 0x77, s)));
-  }
+  generate_ensemble_streamed(
+      model, n_sets, n_jobs, master_seed,
+      [&sets](std::size_t, JobSet&& set) { sets.push_back(std::move(set)); });
   return sets;
+}
+
+void generate_ensemble_streamed(
+    const TraceModel& model, std::size_t n_sets, std::size_t n_jobs,
+    std::uint64_t master_seed,
+    const std::function<void(std::size_t, JobSet&&)>& consume) {
+  const CalibratedSampler sampler(model);
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    consume(s,
+            sampler.generate(n_jobs, util::derive_seed(master_seed, 0x77, s)));
+  }
 }
 
 }  // namespace dynp::workload

@@ -33,6 +33,7 @@
 ///             these cycles from the logs).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,6 +107,18 @@ struct TraceModel {
 /// `std::invalid_argument` for unknown names.
 [[nodiscard]] TraceModel model_by_name(const std::string& name);
 
+/// Scales \p model to a machine \p machine_scale times larger while keeping
+/// its utilisation target: `nodes` and `load_calibration` are both multiplied
+/// by the scale (arrivals target `ia_mean / load_calibration`, so the arrival
+/// rate grows with the machine and the offered load per node is unchanged).
+/// Per-job width and run-time distributions are untouched, which means the
+/// number of *concurrently running* jobs — and with it the resource-profile
+/// segment count the planner must search — grows linearly with the scale.
+/// This is the federation-scale stress shape used by the million-job
+/// benchmarks; `machine_scale` must be >= 1.
+[[nodiscard]] TraceModel scale_machine(TraceModel model,
+                                       std::uint32_t machine_scale);
+
 /// A trace model after its deterministic calibration passes (width-mean
 /// rebalance, correlation-exponent bisection, post-truncation mean fitting,
 /// arrival-scale fitting). Construction costs a few milliseconds; reuse one
@@ -143,5 +156,15 @@ class CalibratedSampler {
                                                     std::size_t n_sets,
                                                     std::size_t n_jobs,
                                                     std::uint64_t master_seed);
+
+/// Streaming variant of `generate_ensemble` for large scales (100k–1M jobs
+/// per set): calibrates once, then generates one set at a time and hands it
+/// to \p consume(set_index, set). Peak memory is a single set no matter how
+/// many sets the ensemble has, and set `s` is identical to
+/// `generate_ensemble(model, n_sets, n_jobs, master_seed)[s]`.
+void generate_ensemble_streamed(
+    const TraceModel& model, std::size_t n_sets, std::size_t n_jobs,
+    std::uint64_t master_seed,
+    const std::function<void(std::size_t, JobSet&&)>& consume);
 
 }  // namespace dynp::workload

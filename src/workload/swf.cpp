@@ -1,12 +1,14 @@
 #include "workload/swf.hpp"
 
+#include <algorithm>
 #include <array>
+#include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <limits>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace dynp::workload {
 namespace {
@@ -30,41 +32,105 @@ void reject(SwfParseResult& result, std::size_t* category, std::size_t line,
   }
 }
 
-}  // namespace
+[[nodiscard]] constexpr bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
 
-SwfParseResult read_swf(std::istream& in, Machine machine) {
+/// Characters that can continue a decimal/exponent number token. A number
+/// immediately followed by one of these was really a single larger token
+/// that is not a valid number ("1e", "3.."), so the field fails as a whole
+/// instead of being split mid-token.
+[[nodiscard]] constexpr bool is_number_atom(char c) noexcept {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F') || c == 'p' || c == 'P' || c == 'x' ||
+         c == 'X' || c == '+' || c == '-' || c == '.';
+}
+
+/// Extracts the next whitespace-separated numeric field starting at \p pos.
+/// On success stores the value, advances \p pos past the token and returns
+/// true. On failure (end of line, or a token that is not a complete number)
+/// leaves \p pos at the first non-whitespace character and returns false.
+[[nodiscard]] bool parse_field(std::string_view line, std::size_t& pos,
+                               double& out) {
+  while (pos < line.size() && is_space(line[pos])) ++pos;
+  if (pos >= line.size()) return false;
+
+  std::size_t start = pos;
+  // std::from_chars accepts a leading '-' but not '+'; SWF writers emit
+  // both. A lone sign must not count as progress into the token.
+  if (line[start] == '+') {
+    if (start + 1 >= line.size()) return false;
+    const char next = line[start + 1];
+    if (!((next >= '0' && next <= '9') || next == '.')) return false;
+    ++start;
+  }
+  // from_chars parses "inf"/"nan"; the field grammar here is strictly
+  // numeric, so alphabetic tokens fail like any other garbage.
+  {
+    std::size_t digit = start + (line[start] == '-' ? 1u : 0u);
+    if (digit >= line.size() ||
+        !((line[digit] >= '0' && line[digit] <= '9') || line[digit] == '.')) {
+      return false;
+    }
+  }
+
+  double v = 0;
+  const char* const end = line.data() + line.size();
+  const std::from_chars_result r = std::from_chars(line.data() + start, end, v);
+  if (r.ec != std::errc{}) return false;
+  // "1e" parses as 1 with 'e' left over; a real tokenizer would have taken
+  // "1e" as one (invalid) token. Reject when the leftover continues the
+  // number token.
+  if (r.ptr != end && is_number_atom(*r.ptr)) return false;
+
+  out = v;
+  pos = static_cast<std::size_t>(r.ptr - line.data());
+  return true;
+}
+
+/// Streaming parse state: jobs accumulated so far plus the line counter.
+/// One instance lives across all chunks of a stream.
+struct SwfParser {
   SwfParseResult result;
   std::vector<Job> jobs;
-  std::string line;
   std::size_t line_no = 0;
-  while (std::getline(in, line)) {
+
+  /// Consumes one input line (without its terminating newline).
+  void consume_line(std::string_view line) {
     ++line_no;
-    if (line.empty()) continue;
+    if (line.empty()) return;
     if (line.front() == ';') {
       ++result.header_lines;
-      continue;
+      return;
     }
-    std::istringstream fields(line);
+
     std::array<double, kFieldCount> value{};
     value.fill(-1.0);
     std::size_t n = 0;
-    double v = 0;
-    while (n < kFieldCount && fields >> v) value[n++] = v;
+    std::size_t pos = 0;
+    bool ok = true;
+    while (n < kFieldCount && ok) {
+      double v = 0;
+      if (parse_field(line, pos, v)) {
+        value[n++] = v;
+      } else {
+        ok = false;
+      }
+    }
     if (n <= kFieldReqProcs) {
       // Too few numeric fields. Distinguish a record that simply ends early
       // from one cut short by a non-numeric token: if anything but
-      // whitespace remains, extraction stopped on garbage.
-      fields.clear();
-      std::string rest;
-      fields >> rest;
-      if (rest.empty()) {
+      // whitespace remains, field extraction stopped on garbage.
+      std::size_t rest = pos;
+      while (rest < line.size() && is_space(line[rest])) ++rest;
+      if (rest >= line.size()) {
         reject(result, &result.skipped_truncated, line_no,
                "truncated record: too few fields");
       } else {
         reject(result, &result.skipped_malformed, line_no,
                "malformed record: non-numeric field");
       }
-      continue;
+      return;
     }
 
     const double submit = value[kFieldSubmit];
@@ -78,18 +144,18 @@ SwfParseResult read_swf(std::istream& in, Machine machine) {
         !std::isfinite(procs) || !std::isfinite(req_time)) {
       reject(result, &result.skipped_unusable, line_no,
              "unusable record: non-finite field value");
-      continue;
+      return;
     }
     if (submit < 0 || run_time < 0 || procs < 1 || req_time < 0) {
       reject(result, &result.skipped_unusable, line_no,
              "unusable record: negative or missing submit/run time/width");
-      continue;
+      return;
     }
     if (procs >
         static_cast<double>(std::numeric_limits<std::uint32_t>::max())) {
       reject(result, &result.skipped_unusable, line_no,
              "unusable record: processor count out of range");
-      continue;
+      return;
     }
 
     Job job;
@@ -99,15 +165,54 @@ SwfParseResult read_swf(std::istream& in, Machine machine) {
     job.actual_runtime = run_time;
     jobs.push_back(job);
   }
-  jobs = sanitize_jobs(std::move(jobs), machine);
+};
+
+}  // namespace
+
+SwfParseResult read_swf(std::istream& in, Machine machine,
+                        const SwfReadOptions& options) {
+  SwfParser parser;
+  // The only text held at any moment: one fixed chunk plus the partial line
+  // carried across its trailing edge. Memory use is independent of stream
+  // length.
+  std::vector<char> chunk(std::max<std::size_t>(options.chunk_bytes, 1));
+  std::string carry;
+  while (in) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    std::string_view data(chunk.data(), static_cast<std::size_t>(got));
+    std::size_t pos = 0;
+    while (pos <= data.size()) {
+      const std::size_t nl = data.find('\n', pos);
+      if (nl == std::string_view::npos) {
+        carry.append(data.substr(pos));
+        break;
+      }
+      if (carry.empty()) {
+        parser.consume_line(data.substr(pos, nl - pos));
+      } else {
+        carry.append(data.substr(pos, nl - pos));
+        parser.consume_line(carry);
+        carry.clear();
+      }
+      pos = nl + 1;
+    }
+  }
+  // A final line without a terminating newline still counts.
+  if (!carry.empty()) parser.consume_line(carry);
+
+  SwfParseResult result = std::move(parser.result);
+  std::vector<Job> jobs = sanitize_jobs(std::move(parser.jobs), machine);
   result.set = JobSet{std::move(machine), std::move(jobs)};
   return result;
 }
 
-SwfParseResult read_swf_file(const std::string& path, Machine machine) {
-  std::ifstream in(path);
+SwfParseResult read_swf_file(const std::string& path, Machine machine,
+                             const SwfReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open SWF file: " + path);
-  return read_swf(in, std::move(machine));
+  return read_swf(in, std::move(machine), options);
 }
 
 void write_swf(std::ostream& out, const JobSet& set) {

@@ -20,6 +20,15 @@
 
 namespace dynp::workload {
 
+/// Tuning knobs for the streaming SWF reader.
+struct SwfReadOptions {
+  /// Size of the fixed read buffer. The reader never materializes the whole
+  /// stream: peak text memory is one chunk plus the longest line straddling
+  /// a chunk boundary. The default keeps multi-GB logs well under a couple
+  /// of megabytes of transient text.
+  std::size_t chunk_bytes = 1u << 20;
+};
+
 /// One skipped-line diagnostic: which input line, and why it was rejected.
 struct SwfDiagnostic {
   std::size_t line = 0;  ///< 1-based line number in the input stream
@@ -53,12 +62,17 @@ struct SwfParseResult {
 /// Parses SWF text from \p in for machine \p machine. Jobs wider than the
 /// machine or with actual > estimated run time are sanitized per the
 /// planning-RMS contract (width capped, actual clamped to the estimate).
-[[nodiscard]] SwfParseResult read_swf(std::istream& in, Machine machine);
+/// Reads the stream in fixed-size chunks (see `SwfReadOptions`); parse
+/// results are identical for every chunk size, down to the per-line
+/// diagnostics.
+[[nodiscard]] SwfParseResult read_swf(std::istream& in, Machine machine,
+                                      const SwfReadOptions& options = {});
 
 /// Convenience overload reading from a file. Throws `std::runtime_error`
 /// when the file cannot be opened.
 [[nodiscard]] SwfParseResult read_swf_file(const std::string& path,
-                                           Machine machine);
+                                           Machine machine,
+                                           const SwfReadOptions& options = {});
 
 /// Writes \p set in SWF (18 fields; unknown fields emitted as -1), with a
 /// small comment header recording the machine. Round-trips through

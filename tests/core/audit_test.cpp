@@ -34,16 +34,15 @@ using rms::Schedule;
 constexpr std::uint32_t kCapacity = 8;
 
 /// Three width-2 jobs submitted at t=0 (ids 0..2), FCFS order = id order.
-std::vector<workload::Job> make_jobs(std::uint32_t width = 2,
-                                     Time submit2 = 0) {
-  return {
+workload::JobTable make_jobs(std::uint32_t width = 2, Time submit2 = 0) {
+  return workload::JobTable(std::vector<workload::Job>{
       {0, 0, width, 100, 100},
       {1, 0, width, 100, 100},
       {2, submit2, width, 100, 100},
-  };
+  });
 }
 
-SortedQueue make_queue(PolicyKind kind, const std::vector<workload::Job>& jobs,
+SortedQueue make_queue(PolicyKind kind, const workload::JobTable& jobs,
                        const std::vector<JobId>& members) {
   SortedQueue queue(kind, jobs);
   for (const JobId id : members) queue.insert(id);
@@ -53,7 +52,7 @@ SortedQueue make_queue(PolicyKind kind, const std::vector<workload::Job>& jobs,
 AuditEvent plain_event(Time now = 0) { return AuditEvent{1, now, false, 0}; }
 
 TEST(ScheduleAuditor, ConsistentReplanStatePasses) {
-  const std::vector<workload::Job> jobs = make_jobs();
+  const workload::JobTable jobs = make_jobs();
   ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
   const std::vector<JobId> waiting = {0, 1, 2};
   const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
@@ -69,7 +68,7 @@ TEST(ScheduleAuditor, ConsistentReplanStatePasses) {
 }
 
 TEST(ScheduleAuditor, DetectsStaleIncrementalQueue) {
-  const std::vector<workload::Job> jobs = make_jobs();
+  const workload::JobTable jobs = make_jobs();
   ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
   // The queue lost job 1: a fresh sort of the waiting set disagrees.
   const std::vector<JobId> waiting = {0, 1, 2};
@@ -92,7 +91,7 @@ TEST(ScheduleAuditor, DetectsStaleIncrementalQueue) {
 
 TEST(ScheduleAuditor, DetectsInfeasiblePacking) {
   // Three width-4 jobs all planned at t=0 on an 8-node machine: 12 > 8.
-  const std::vector<workload::Job> jobs = make_jobs(/*width=*/4);
+  const workload::JobTable jobs = make_jobs(/*width=*/4);
   ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
   const std::vector<JobId> waiting = {0, 1, 2};
   const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
@@ -115,7 +114,7 @@ TEST(ScheduleAuditor, DetectsInfeasiblePacking) {
 
 TEST(ScheduleAuditor, DetectsStartBeforeSubmission) {
   // Job 2 is submitted at t=50 but the schedule starts it at t=0.
-  const std::vector<workload::Job> jobs = make_jobs(/*width=*/2,
+  const workload::JobTable jobs = make_jobs(/*width=*/2,
                                                     /*submit2=*/50);
   ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
   const std::vector<JobId> waiting = {0, 1, 2};
@@ -141,7 +140,8 @@ TEST(ScheduleAuditor, DetectsDivergenceFromFreshPlan) {
   // A delayed-but-feasible start: every local check holds, only the
   // bit-identical comparison against a from-scratch plan catches it. This
   // is the check that guards the incremental replanner.
-  const std::vector<workload::Job> jobs = {{0, 0, 2, 100, 100}};
+  const workload::JobTable jobs(
+      std::vector<workload::Job>{{0, 0, 2, 100, 100}});
   ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
   const std::vector<JobId> waiting = {0};
   const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
@@ -177,7 +177,7 @@ class DeciderAuditFixture : public ::testing::Test {
                                {&empty_, &empty_, &empty_});
   }
 
-  std::vector<workload::Job> jobs_;
+  workload::JobTable jobs_;
   std::shared_ptr<const Decider> decider_;
   ScheduleAuditor auditor_;
   std::vector<SortedQueue> queues_;
@@ -206,7 +206,7 @@ TEST_F(DeciderAuditFixture, DetectsArgminInconsistentChoice) {
 }
 
 TEST(ScheduleAuditor, GuaranteePassAcceptsValidReservations) {
-  const std::vector<workload::Job> jobs = make_jobs();
+  const workload::JobTable jobs = make_jobs();
   ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
   const std::vector<JobId> waiting = {1, 2};
   const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
@@ -222,7 +222,7 @@ TEST(ScheduleAuditor, GuaranteePassAcceptsValidReservations) {
 }
 
 TEST(ScheduleAuditor, GuaranteePassDetectsReservationInThePast) {
-  const std::vector<workload::Job> jobs = make_jobs();
+  const workload::JobTable jobs = make_jobs();
   ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
   const std::vector<JobId> waiting = {1, 2};
   const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
@@ -242,7 +242,7 @@ TEST(ScheduleAuditor, GuaranteePassDetectsReservationInThePast) {
 }
 
 TEST(ScheduleAuditor, QueueingPassDetectsStartOfNonWaitingJob) {
-  const std::vector<workload::Job> jobs = make_jobs();
+  const workload::JobTable jobs = make_jobs();
   ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
   const std::vector<JobId> waiting = {0};
   const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);
@@ -259,7 +259,7 @@ TEST(ScheduleAuditor, QueueingPassDetectsStartOfNonWaitingJob) {
 }
 
 TEST(ScheduleAuditor, QueueingPassDetectsOversubscribedStart) {
-  const std::vector<workload::Job> jobs = make_jobs(/*width=*/4);
+  const workload::JobTable jobs = make_jobs(/*width=*/4);
   ScheduleAuditor auditor(kCapacity, jobs, {PolicyKind::kFcfs}, nullptr);
   const std::vector<JobId> waiting = {1};
   const SortedQueue queue = make_queue(PolicyKind::kFcfs, jobs, waiting);

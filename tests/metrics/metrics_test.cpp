@@ -159,7 +159,7 @@ TEST(Summarize, ArtwwWeightsByWidth) {
 
 // --- preview metrics ---
 
-[[nodiscard]] std::vector<workload::Job> preview_jobs() {
+[[nodiscard]] workload::JobTable preview_jobs() {
   using workload::Job;
   // job 0: submit 0, width 2, est 100; job 1: submit 50, width 1, est 200.
   Job a;
@@ -174,7 +174,7 @@ TEST(Summarize, ArtwwWeightsByWidth) {
   b.width = 1;
   b.estimated_runtime = 200;
   b.actual_runtime = 200;
-  return {a, b};
+  return workload::JobTable(std::vector<workload::Job>{a, b});
 }
 
 TEST(PreviewMetric, EmptyScheduleScoresZero) {

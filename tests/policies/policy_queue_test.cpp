@@ -41,9 +41,10 @@ TEST_P(SortedQueueProperty, MatchesFreshOrderUnderRandomOps) {
   const PolicyKind kind = GetParam();
   const std::vector<workload::Job> jobs =
       random_jobs(120, 9001 + static_cast<std::uint64_t>(kind));
+  const workload::JobTable table(jobs);
   util::Xoshiro256 rng(17);
 
-  SortedQueue queue(kind, jobs);
+  SortedQueue queue(kind, table);
   std::vector<JobId> members;  // reference membership, insertion order
   std::vector<JobId> pool;     // ids not currently in the queue
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -83,7 +84,7 @@ TEST_P(SortedQueueProperty, MatchesFreshOrderUnderRandomOps) {
       queue.remove_marked(mark);
       members = kept;
     }
-    ASSERT_EQ(queue.ids(), order(kind, members, jobs)) << "step " << step;
+    ASSERT_EQ(queue.ids(), order(kind, members, table)) << "step " << step;
   }
 }
 

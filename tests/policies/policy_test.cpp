@@ -6,6 +6,7 @@ namespace dynp::policies {
 namespace {
 
 using workload::Job;
+using workload::JobTable;
 
 [[nodiscard]] Job make_job(JobId id, Time submit, std::uint32_t width,
                            Time est) {
@@ -26,38 +27,39 @@ class PolicyOrdering : public ::testing::Test {
   // width:   4    1    8    2
   std::vector<Job> jobs_ = {make_job(0, 0, 4, 50), make_job(1, 10, 1, 200),
                             make_job(2, 20, 8, 50), make_job(3, 30, 2, 10)};
+  JobTable table_{jobs_};
   std::vector<JobId> all_ = {0, 1, 2, 3};
 };
 
 TEST_F(PolicyOrdering, FcfsBySubmitTime) {
-  EXPECT_EQ(order(PolicyKind::kFcfs, {3, 1, 0, 2}, jobs_),
+  EXPECT_EQ(order(PolicyKind::kFcfs, {3, 1, 0, 2}, table_),
             (std::vector<JobId>{0, 1, 2, 3}));
 }
 
 TEST_F(PolicyOrdering, SjfByEstimateThenSubmit) {
   // est: 3(10) < 0(50) = 2(50) < 1(200); tie 0 vs 2 resolved by submit.
-  EXPECT_EQ(order(PolicyKind::kSjf, all_, jobs_),
+  EXPECT_EQ(order(PolicyKind::kSjf, all_, table_),
             (std::vector<JobId>{3, 0, 2, 1}));
 }
 
 TEST_F(PolicyOrdering, LjfByEstimateDescThenSubmit) {
-  EXPECT_EQ(order(PolicyKind::kLjf, all_, jobs_),
+  EXPECT_EQ(order(PolicyKind::kLjf, all_, table_),
             (std::vector<JobId>{1, 0, 2, 3}));
 }
 
 TEST_F(PolicyOrdering, SafBySmallestEstimatedArea) {
   // areas: 0:200, 1:200, 2:400, 3:20 -> 3, then 0 vs 1 tie by submit.
-  EXPECT_EQ(order(PolicyKind::kSaf, all_, jobs_),
+  EXPECT_EQ(order(PolicyKind::kSaf, all_, table_),
             (std::vector<JobId>{3, 0, 1, 2}));
 }
 
 TEST_F(PolicyOrdering, WfByWidthDesc) {
-  EXPECT_EQ(order(PolicyKind::kWf, all_, jobs_),
+  EXPECT_EQ(order(PolicyKind::kWf, all_, table_),
             (std::vector<JobId>{2, 0, 3, 1}));
 }
 
 TEST_F(PolicyOrdering, EmptyQueue) {
-  EXPECT_TRUE(order(PolicyKind::kSjf, {}, jobs_).empty());
+  EXPECT_TRUE(order(PolicyKind::kSjf, {}, table_).empty());
 }
 
 TEST_F(PolicyOrdering, PrecedesIsStrictWeakOrdering) {

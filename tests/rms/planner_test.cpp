@@ -10,6 +10,7 @@ namespace dynp::rms {
 namespace {
 
 using workload::Job;
+using workload::JobTable;
 
 [[nodiscard]] Job make_job(JobId id, Time submit, std::uint32_t width,
                            Time est, Time act) {
@@ -30,7 +31,7 @@ TEST(Planner, EmptyQueueGivesEmptySchedule) {
 
 TEST(Planner, SingleJobStartsImmediately) {
   const std::vector<Job> jobs = {make_job(0, 0, 4, 100, 50)};
-  const Schedule s = Planner::plan(8, 0, {}, {0}, jobs);
+  const Schedule s = Planner::plan(8, 0, {}, {0}, JobTable(jobs));
   ASSERT_EQ(s.size(), 1u);
   EXPECT_DOUBLE_EQ(s.entries()[0].start, 0.0);
   EXPECT_EQ(s.starting_at(0), std::vector<JobId>{0});
@@ -39,7 +40,7 @@ TEST(Planner, SingleJobStartsImmediately) {
 TEST(Planner, RunningJobsBlockResources) {
   const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100)};
   const std::vector<RunningJob> running = {{99, 8, 500}};
-  const Schedule s = Planner::plan(8, 0, running, {0}, jobs);
+  const Schedule s = Planner::plan(8, 0, running, {0}, JobTable(jobs));
   // The machine is fully occupied until the running job's estimated end.
   EXPECT_DOUBLE_EQ(s.entries()[0].start, 500.0);
   EXPECT_TRUE(s.starting_at(0).empty());
@@ -49,14 +50,14 @@ TEST(Planner, RunningJobPastItsEstimateReservesNothing) {
   const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100)};
   // estimated_end == now: the reservation is empty, the waiting job plans now.
   const std::vector<RunningJob> running = {{99, 8, 1000}};
-  const Schedule s = Planner::plan(8, 1000, running, {0}, jobs);
+  const Schedule s = Planner::plan(8, 1000, running, {0}, JobTable(jobs));
   EXPECT_DOUBLE_EQ(s.entries()[0].start, 1000.0);
 }
 
 TEST(Planner, SequentialPackingWhenTooWideTogether) {
   const std::vector<Job> jobs = {make_job(0, 0, 6, 100, 100),
                                  make_job(1, 0, 6, 100, 100)};
-  const Schedule s = Planner::plan(8, 0, {}, {0, 1}, jobs);
+  const Schedule s = Planner::plan(8, 0, {}, {0, 1}, JobTable(jobs));
   EXPECT_DOUBLE_EQ(s.entries()[0].start, 0.0);
   EXPECT_DOUBLE_EQ(s.entries()[1].start, 100.0);
 }
@@ -68,7 +69,7 @@ TEST(Planner, ImplicitBackfilling) {
   const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100),
                                  make_job(1, 0, 2, 50, 50)};
   const std::vector<RunningJob> running = {{99, 4, 100}};  // 4 busy until 100
-  const Schedule s = Planner::plan(8, 0, running, {0, 1}, jobs);
+  const Schedule s = Planner::plan(8, 0, running, {0, 1}, JobTable(jobs));
   ASSERT_EQ(s.size(), 2u);
   EXPECT_DOUBLE_EQ(s.entries()[0].start, 100.0);  // wide job waits
   EXPECT_DOUBLE_EQ(s.entries()[1].start, 0.0);    // short job backfills now
@@ -81,7 +82,7 @@ TEST(Planner, BackfillNeverDelaysHigherPriorityJob) {
   const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100),
                                  make_job(1, 0, 2, 500, 500)};
   const std::vector<RunningJob> running = {{99, 4, 100}};
-  const Schedule s = Planner::plan(8, 0, running, {0, 1}, jobs);
+  const Schedule s = Planner::plan(8, 0, running, {0, 1}, JobTable(jobs));
   EXPECT_DOUBLE_EQ(s.entries()[0].start, 100.0);
   // Hole [0,100) is only 100 long; the 500-long job starts after the wide
   // job completes (there are 0 free nodes left during [100, 200)).
@@ -90,15 +91,15 @@ TEST(Planner, BackfillNeverDelaysHigherPriorityJob) {
 
 TEST(Planner, PlanNeverStartsBeforeNow) {
   const std::vector<Job> jobs = {make_job(0, 0, 1, 10, 10)};
-  const Schedule s = Planner::plan(8, 12345, {}, {0}, jobs);
+  const Schedule s = Planner::plan(8, 12345, {}, {0}, JobTable(jobs));
   EXPECT_GE(s.entries()[0].start, 12345.0);
 }
 
 TEST(Planner, OrderDeterminesPlacement) {
   const std::vector<Job> jobs = {make_job(0, 0, 8, 100, 100),
                                  make_job(1, 0, 8, 50, 50)};
-  const Schedule forward = Planner::plan(8, 0, {}, {0, 1}, jobs);
-  const Schedule backward = Planner::plan(8, 0, {}, {1, 0}, jobs);
+  const Schedule forward = Planner::plan(8, 0, {}, {0, 1}, JobTable(jobs));
+  const Schedule backward = Planner::plan(8, 0, {}, {1, 0}, JobTable(jobs));
   EXPECT_DOUBLE_EQ(forward.entries()[0].start, 0.0);    // job 0 first
   EXPECT_DOUBLE_EQ(forward.entries()[1].start, 100.0);  // job 1 after
   EXPECT_DOUBLE_EQ(backward.entries()[0].start, 0.0);   // job 1 first
@@ -127,6 +128,7 @@ TEST(Planner, PlanIntoReusedScratchMatchesPlan) {
         static_cast<Time>(60 * (1 + rng.next_below(8))), 0));
   }
 
+  const JobTable table(jobs);
   PlanScratch scratch;
   Schedule got;
   for (int round = 0; round < 30; ++round) {
@@ -153,8 +155,8 @@ TEST(Planner, PlanIntoReusedScratchMatchesPlan) {
 
     const ResourceProfile base =
         Planner::base_profile(kCapacity, now, running);
-    Planner::plan_into(base, now, wait, jobs, scratch, got);
-    const Schedule want = Planner::plan(kCapacity, now, running, wait, jobs);
+    Planner::plan_into(base, now, wait, table, scratch, got);
+    const Schedule want = Planner::plan(kCapacity, now, running, wait, table);
     ASSERT_EQ(got.size(), want.size()) << "round " << round;
     for (std::size_t i = 0; i < want.size(); ++i) {
       EXPECT_EQ(got.entries()[i].id, want.entries()[i].id) << "round " << round;
@@ -177,6 +179,7 @@ TEST(Planner, ReplanInsertedMatchesFreshPlan) {
         i, 0, 1 + static_cast<std::uint32_t>(rng.next_below(kCapacity)),
         static_cast<Time>(60 * (1 + rng.next_below(8))), 0));
   }
+  const JobTable table(jobs);
   const std::vector<RunningJob> running = {{100, 5, 300}, {101, 9, 120}};
   const Time now = 0;
   const ResourceProfile base = Planner::base_profile(kCapacity, now, running);
@@ -184,16 +187,16 @@ TEST(Planner, ReplanInsertedMatchesFreshPlan) {
   PlanScratch inc_scratch;
   Schedule inc;
   std::vector<JobId> wait;
-  Planner::plan_into(base, now, wait, jobs, inc_scratch, inc);
+  Planner::plan_into(base, now, wait, table, inc_scratch, inc);
 
   PlanScratch fresh_scratch;
   Schedule fresh;
   for (std::uint32_t id = 0; id < jobs.size(); ++id) {
     const auto pos = static_cast<std::size_t>(rng.next_below(wait.size() + 1));
     wait.insert(wait.begin() + static_cast<std::ptrdiff_t>(pos), id);
-    Planner::replan_inserted_into(base, now, wait, pos, jobs, inc_scratch,
+    Planner::replan_inserted_into(base, now, wait, pos, table, inc_scratch,
                                   inc);
-    Planner::plan_into(base, now, wait, jobs, fresh_scratch, fresh);
+    Planner::plan_into(base, now, wait, table, fresh_scratch, fresh);
     ASSERT_EQ(inc.size(), fresh.size()) << "insert #" << id;
     for (std::size_t i = 0; i < fresh.size(); ++i) {
       EXPECT_EQ(inc.entries()[i].id, fresh.entries()[i].id)

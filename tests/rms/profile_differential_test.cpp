@@ -1,0 +1,204 @@
+/// Differential fuzz: the tree-backed ResourceProfile against the flat
+/// representation kept as a reference oracle. Both instances replay one
+/// random operation sequence — allocate, deallocate, earliest_start, the
+/// fused place, trim_before, restore round-trips and copies — and must stay
+/// identical segment-for-segment after every step. This is the contract that
+/// lets checkpoints, the audit sweep-line and `Planner::adopt_retained`
+/// ignore which representation is active.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rms/profile.hpp"
+#include "util/rng.hpp"
+
+namespace dynp::rms {
+namespace {
+
+/// Fractional times exercise the ulp-sensitive window arithmetic that
+/// integer-second tests never reach.
+Time random_time(util::Xoshiro256& rng) {
+  return static_cast<Time>(rng.next_below(2000)) +
+         static_cast<Time>(rng.next_below(16)) / 16.0;
+}
+
+struct LiveAlloc {
+  Time start;
+  Time duration;
+  std::uint32_t width;
+};
+
+struct DiffCase {
+  std::uint64_t seed;
+  std::uint32_t capacity;
+  int operations;
+};
+
+class ProfileDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+void expect_identical(const ResourceProfile& tree, const ResourceProfile& flat,
+                      int op) {
+  ASSERT_EQ(tree.segment_count(), flat.segment_count()) << "op #" << op;
+  ASSERT_EQ(tree.segment_starts(), flat.segment_starts()) << "op #" << op;
+  ASSERT_EQ(tree.segment_frees(), flat.segment_frees()) << "op #" << op;
+  ASSERT_TRUE(tree.invariants_ok()) << "op #" << op;
+  ASSERT_TRUE(flat.invariants_ok()) << "op #" << op;
+}
+
+TEST_P(ProfileDifferential, TreeMatchesFlatOracle) {
+  const DiffCase param = GetParam();
+  util::Xoshiro256 rng(param.seed);
+
+  ResourceProfile tree(param.capacity, 0, ProfileImpl::kTree);
+  ResourceProfile flat(param.capacity, 0, ProfileImpl::kFlat);
+  ASSERT_EQ(tree.impl(), ProfileImpl::kTree);
+  ASSERT_EQ(flat.impl(), ProfileImpl::kFlat);
+
+  std::vector<LiveAlloc> live;
+  Time origin = 0;
+
+  for (int op = 0; op < param.operations; ++op) {
+    switch (rng.next_below(10)) {
+      case 0:
+      case 1:
+      case 2: {  // query + allocate (the planner's two-step form)
+        const auto width =
+            static_cast<std::uint32_t>(1 + rng.next_below(param.capacity));
+        const Time duration = static_cast<Time>(1 + rng.next_below(80));
+        const Time earliest = origin + random_time(rng);
+        Time tree_fit = -1;
+        Time flat_fit = -1;
+        const Time tree_start =
+            tree.earliest_start(earliest, width, duration, tree_fit);
+        const Time flat_start =
+            flat.earliest_start(earliest, width, duration, flat_fit);
+        ASSERT_DOUBLE_EQ(tree_start, flat_start) << "op #" << op;
+        ASSERT_DOUBLE_EQ(tree_fit, flat_fit) << "op #" << op;
+        tree.allocate(tree_start, duration, width);
+        flat.allocate(flat_start, duration, width);
+        live.push_back({tree_start, duration, width});
+        break;
+      }
+      case 3:
+      case 4:
+      case 5: {  // fused place
+        const auto width =
+            static_cast<std::uint32_t>(1 + rng.next_below(param.capacity));
+        const Time duration = static_cast<Time>(rng.next_below(80));
+        const Time earliest = origin + random_time(rng);
+        Time tree_fit = -1;
+        Time flat_fit = -1;
+        const Time tree_start = tree.place(earliest, width, duration, tree_fit);
+        const Time flat_start = flat.place(earliest, width, duration, flat_fit);
+        ASSERT_DOUBLE_EQ(tree_start, flat_start) << "op #" << op;
+        ASSERT_DOUBLE_EQ(tree_fit, flat_fit) << "op #" << op;
+        if (duration > 0) live.push_back({tree_start, duration, width});
+        break;
+      }
+      case 6:
+      case 7: {  // release a random live reservation
+        if (live.empty()) break;
+        const std::size_t pick = rng.next_below(live.size());
+        const LiveAlloc a = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        tree.deallocate(a.start, a.duration, a.width);
+        flat.deallocate(a.start, a.duration, a.width);
+        break;
+      }
+      case 8: {  // pure query at a random instant
+        const Time t = origin + random_time(rng);
+        ASSERT_EQ(tree.free_at(t), flat.free_at(t)) << "op #" << op;
+        break;
+      }
+      case 9: {  // advance the origin past finished reservations
+        // Deallocations replay at their original start times, so only trim
+        // to a point no live reservation precedes.
+        const Time t = origin + static_cast<Time>(rng.next_below(8));
+        bool safe = true;
+        for (const LiveAlloc& a : live) safe = safe && a.start >= t;
+        if (!safe) break;
+        tree.trim_before(t);
+        flat.trim_before(t);
+        origin = t;
+        break;
+      }
+      default:
+        break;
+    }
+    expect_identical(tree, flat, op);
+  }
+
+  // Snapshot round-trip: a tree profile restored from the flat snapshot (and
+  // vice versa) must reproduce the segments exactly — the checkpoint path.
+  ResourceProfile restored_tree(1, 0, ProfileImpl::kTree);
+  restored_tree.restore_segments(param.capacity,
+                                 std::vector<Time>(flat.segment_starts()),
+                                 std::vector<std::uint32_t>(
+                                     flat.segment_frees()));
+  expect_identical(restored_tree, flat, param.operations);
+
+  ResourceProfile restored_flat(1, 0, ProfileImpl::kFlat);
+  restored_flat.restore_segments(param.capacity,
+                                 std::vector<Time>(tree.segment_starts()),
+                                 std::vector<std::uint32_t>(
+                                     tree.segment_frees()));
+  expect_identical(tree, restored_flat, param.operations);
+
+  // Copies adopt the source representation and keep answering identically.
+  const ResourceProfile tree_copy(tree);
+  ASSERT_EQ(tree_copy.impl(), ProfileImpl::kTree);
+  expect_identical(tree_copy, flat, param.operations);
+  ResourceProfile assigned(1, 0, ProfileImpl::kFlat);
+  assigned = tree;
+  ASSERT_EQ(assigned.impl(), ProfileImpl::kTree);
+  expect_identical(assigned, flat, param.operations);
+
+  // Drain every remaining reservation: both must compact to one segment.
+  for (const LiveAlloc& a : live) {
+    tree.deallocate(a.start, a.duration, a.width);
+    flat.deallocate(a.start, a.duration, a.width);
+  }
+  expect_identical(tree, flat, param.operations + 1);
+  EXPECT_EQ(tree.segment_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSequences, ProfileDifferential,
+    ::testing::Values(DiffCase{11, 1, 400}, DiffCase{12, 2, 600},
+                      DiffCase{13, 5, 800}, DiffCase{14, 16, 1000},
+                      DiffCase{15, 64, 1200}, DiffCase{16, 333, 1200},
+                      DiffCase{17, 1024, 1500}, DiffCase{18, 4096, 1500},
+                      // Enough churn to force block splits, block frees and
+                      // order-index rebuilds many times over.
+                      DiffCase{19, 128, 4000}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_cap" +
+             std::to_string(info.param.capacity);
+    });
+
+TEST(ProfileDifferentialExtra, DefaultImplIsProcessWideAndSwitchable) {
+  const ProfileImpl saved = ResourceProfile::default_impl();
+  ResourceProfile::set_default_impl(ProfileImpl::kFlat);
+  EXPECT_EQ(ResourceProfile(8).impl(), ProfileImpl::kFlat);
+  ResourceProfile::set_default_impl(ProfileImpl::kTree);
+  EXPECT_EQ(ResourceProfile(8).impl(), ProfileImpl::kTree);
+  ResourceProfile::set_default_impl(saved);
+}
+
+TEST(ProfileDifferentialExtra, ResetKeepsRepresentation) {
+  ResourceProfile p(16, 0, ProfileImpl::kTree);
+  Time fit = -1;
+  (void)p.place(0, 4, 10, fit);
+  p.reset(32, 5);
+  EXPECT_EQ(p.impl(), ProfileImpl::kTree);
+  EXPECT_EQ(p.capacity(), 32u);
+  EXPECT_EQ(p.segment_count(), 1u);
+  EXPECT_EQ(p.free_at(5), 32u);
+  EXPECT_TRUE(p.invariants_ok());
+}
+
+}  // namespace
+}  // namespace dynp::rms

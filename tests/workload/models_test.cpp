@@ -210,6 +210,34 @@ TEST(Models, CalibratedSamplerIsReusableAndMovable) {
   EXPECT_DOUBLE_EQ(third[0].estimated_runtime, first[0].estimated_runtime);
 }
 
+TEST(Models, ScaleMachineMultipliesNodesAndArrivalRate) {
+  const TraceModel base = kth_model();
+  const TraceModel scaled = scale_machine(kth_model(), 50);
+  EXPECT_EQ(scaled.nodes, base.nodes * 50);
+  EXPECT_EQ(scaled.name, base.name + "-x50");
+  // Arrivals target ia_mean / load_calibration, so the realised mean gap
+  // must shrink by the scale while per-job width/runtime shapes persist.
+  const TraceStats s = compute_stats(generate(scaled, 20000, 7));
+  const double target = scaled.ia_mean / scaled.load_calibration;
+  EXPECT_NEAR(s.interarrival.mean(), target, target * 0.05);
+  const TraceStats b = compute_stats(generate(base, 20000, 7));
+  EXPECT_NEAR(s.width.mean(), b.width.mean(), b.width.mean() * 0.05);
+}
+
+TEST(Models, ScaleMachineByOneIsIdentity) {
+  const TraceModel base = kth_model();
+  const TraceModel same = scale_machine(kth_model(), 1);
+  EXPECT_EQ(same.nodes, base.nodes);
+  EXPECT_EQ(same.name, base.name);
+  const JobSet a = generate(base, 500, 3);
+  const JobSet b = generate(same, 500, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].submit, b[i].submit);
+    EXPECT_EQ(a[i].width, b[i].width);
+  }
+}
+
 TEST(Models, OfferedLoadIsInPlausibleBand) {
   // The area correlation targets were chosen so that offered load at factor
   // 1.0 lands near the paper's utilisation (Table 4, shrink 1.0).

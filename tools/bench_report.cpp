@@ -53,8 +53,10 @@
 #include "exp/orchestrator.hpp"
 #include "obs/obs.hpp"
 #include "policies/policy.hpp"
+#include "rms/profile.hpp"
 #include "util/cli.hpp"
 #include "workload/models.hpp"
+#include "workload/swf.hpp"
 
 namespace {
 
@@ -90,16 +92,32 @@ struct Scenario {
   const char* scheduler;  ///< dynp-advanced | fcfs | sjf
   const char* semantics;  ///< replan | guarantee | easy
   double factor;          ///< arrival shrinking factor
+  std::uint32_t machine_scale;  ///< workload::scale_machine factor (1 = off)
+  const char* profile;    ///< resource-profile backend: tree | flat
 };
 
 /// The first row is the acceptance workload of the incremental planning
-/// work; the rest cover the remaining semantics and the queueing baseline.
+/// work; the middle rows cover the remaining semantics and the queueing
+/// baseline; the final A/B pair is the federation-scale acceptance workload
+/// of the hierarchical profile — 100k jobs on a 10000x KTH machine (1M
+/// nodes) under guarantee semantics, where every submit searches and every
+/// finish releases a reservation tail across tens of thousands of profile
+/// segments. The tree backend must beat the flat linear scan by >= 5x
+/// events/sec on this pair (bit-identical results; the differential suite
+/// pins that, this pair re-checks it end to end via identical SLDwA).
 constexpr Scenario kScenarios[] = {
-    {"dynp_replan_kth_10k", "KTH", 10000, "dynp-advanced", "replan", 0.5},
-    {"dynp_replan_ctc", "CTC", 2000, "dynp-advanced", "replan", 1.0},
-    {"dynp_guarantee_kth", "KTH", 2000, "dynp-advanced", "guarantee", 0.5},
-    {"static_sjf_replan_sdsc", "SDSC", 2000, "sjf", "replan", 1.0},
-    {"queueing_easy_fcfs_kth", "KTH", 2000, "fcfs", "easy", 1.0},
+    {"dynp_replan_kth_10k", "KTH", 10000, "dynp-advanced", "replan", 0.5, 1,
+     "tree"},
+    {"dynp_replan_ctc", "CTC", 2000, "dynp-advanced", "replan", 1.0, 1,
+     "tree"},
+    {"dynp_guarantee_kth", "KTH", 2000, "dynp-advanced", "guarantee", 0.5, 1,
+     "tree"},
+    {"static_sjf_replan_sdsc", "SDSC", 2000, "sjf", "replan", 1.0, 1, "tree"},
+    {"queueing_easy_fcfs_kth", "KTH", 2000, "fcfs", "easy", 1.0, 1, "tree"},
+    {"fcfs_guarantee_kth_x10k_100k", "KTH", 100000, "fcfs", "guarantee", 0.3,
+     10000, "tree"},
+    {"fcfs_guarantee_kth_x10k_100k_flat", "KTH", 100000, "fcfs", "guarantee",
+     0.3, 10000, "flat"},
 };
 
 [[nodiscard]] core::SimulationConfig make_config(const Scenario& s) {
@@ -126,14 +144,31 @@ struct Row {
   double sldwa = 0;
   std::uint64_t decisions = 0;
   std::uint64_t switches = 0;
+  double segments_peak = 0;        ///< max base-profile segment count seen
+  double base_profile_p999_us = 0; ///< p999 of the base-profile build phase
   std::string metrics_json;  ///< per-scenario obs::Registry snapshot
+};
+
+/// Restores the process-wide profile backend on scope exit so a flat A/B
+/// scenario cannot leak its backend into the scenarios that follow it.
+struct ProfileImplGuard {
+  rms::ProfileImpl saved = rms::ResourceProfile::default_impl();
+  ~ProfileImplGuard() { rms::ResourceProfile::set_default_impl(saved); }
 };
 
 [[nodiscard]] Row run_scenario(const Scenario& s, std::size_t jobs) {
   const workload::JobSet set =
-      workload::generate(workload::model_by_name(s.trace), jobs, 42)
+      workload::generate(
+          workload::scale_machine(workload::model_by_name(s.trace),
+                                  s.machine_scale),
+          jobs, 42)
           .with_shrinking_factor(s.factor);
   core::SimulationConfig config = make_config(s);
+
+  const ProfileImplGuard impl_guard;
+  rms::ResourceProfile::set_default_impl(std::string(s.profile) == "flat"
+                                             ? rms::ProfileImpl::kFlat
+                                             : rms::ProfileImpl::kTree);
 
   // Per-scenario metrics (planner phase histograms, event/decision counters)
   // ride along in the report JSON. The scoped timers add single-digit
@@ -158,9 +193,79 @@ struct Row {
   row.sldwa = r.summary.sldwa;
   row.decisions = r.decisions;
   row.switches = r.switches;
+  // `histogram()` is create-or-get keyed on (name, edges); passing the same
+  // edges the simulation/profiler registered with returns their instances
+  // (all-zero under -DDYNP_OBS=OFF, where the feed sites compile out).
+  row.segments_peak =
+      registry
+          .histogram("planner.profile_segments",
+                     obs::exponential_edges(1, 2, 14))
+          .max();
+  row.base_profile_p999_us =
+      registry
+          .histogram("phase.base_profile_us", obs::default_latency_edges_us())
+          .quantile(0.999);
   std::ostringstream metrics;
   registry.write_json(metrics, 6);
   row.metrics_json = metrics.str();
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming-ingestion benchmark (the million-job SWF path)
+// ---------------------------------------------------------------------------
+
+struct IngestRow {
+  std::size_t jobs = 0;          ///< jobs written to (and read back from) SWF
+  double write_seconds = 0;
+  double read_seconds = 0;
+  double read_jobs_per_sec = 0;
+  std::size_t chunk_bytes = 0;   ///< streaming-reader chunk size
+  std::uintmax_t file_bytes = 0; ///< on-disk trace size
+  bool round_trip_ok = false;    ///< read-back job count matches
+};
+
+/// Generates \p n_jobs KTH jobs, writes them as an SWF trace, then times
+/// `read_swf_file`'s chunked streaming parse of it. Peak parser memory is
+/// one chunk plus one carried line regardless of trace size — that bound,
+/// not the throughput, is what makes the 1M-job path viable; the throughput
+/// is recorded so regressions in the parser show up in the committed report.
+[[nodiscard]] IngestRow run_ingest(std::size_t n_jobs) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "dynp_bench_ingest.swf";
+  IngestRow row;
+  row.jobs = n_jobs;
+  row.chunk_bytes = workload::SwfReadOptions{}.chunk_bytes;
+
+  workload::JobSet generated;
+  workload::generate_ensemble_streamed(
+      workload::kth_model(), 1, n_jobs, 42,
+      [&generated](std::size_t, workload::JobSet&& set) {
+        generated = std::move(set);
+      });
+  const workload::Machine machine = generated.machine();
+
+  const auto w0 = std::chrono::steady_clock::now();
+  const bool wrote = workload::write_swf_file(path.string(), generated);
+  const auto w1 = std::chrono::steady_clock::now();
+  row.write_seconds = std::chrono::duration<double>(w1 - w0).count();
+  if (!wrote) return row;
+  generated = workload::JobSet{};  // the reader must not benefit from it
+  std::error_code ec;
+  row.file_bytes = std::filesystem::file_size(path, ec);
+
+  const auto r0 = std::chrono::steady_clock::now();
+  const workload::SwfParseResult parsed =
+      workload::read_swf_file(path.string(), machine);
+  const auto r1 = std::chrono::steady_clock::now();
+  row.read_seconds = std::chrono::duration<double>(r1 - r0).count();
+  row.read_jobs_per_sec =
+      row.read_seconds > 0
+          ? static_cast<double>(parsed.set.size()) / row.read_seconds
+          : 0.0;
+  row.round_trip_ok =
+      parsed.set.size() == n_jobs && parsed.skipped_records == 0;
+  std::filesystem::remove(path, ec);
   return row;
 }
 
@@ -898,17 +1003,31 @@ int main(int argc, char** argv) {
                             cli.get("cache-dir"));
   }
 
-  std::printf("%-24s %6s %8s %9s %12s %8s\n", "scenario", "jobs", "events",
-              "seconds", "events/sec", "SLDwA");
+  std::printf("%-34s %7s %8s %9s %12s %8s %9s %12s\n", "scenario", "jobs",
+              "events", "seconds", "events/sec", "SLDwA", "seg_peak",
+              "bp_p999_us");
   std::vector<Row> rows;
   for (const Scenario& s : kScenarios) {
     const std::size_t jobs = smoke ? std::min<std::size_t>(s.jobs, 300) : s.jobs;
     const Row row = run_scenario(s, jobs);
-    std::printf("%-24s %6zu %8llu %9.3f %12.0f %8.3f\n", s.name, row.jobs,
-                static_cast<unsigned long long>(row.events), row.seconds,
-                row.events_per_sec, row.sldwa);
+    std::printf("%-34s %7zu %8llu %9.3f %12.0f %8.3f %9.0f %12.1f\n", s.name,
+                row.jobs, static_cast<unsigned long long>(row.events),
+                row.seconds, row.events_per_sec, row.sldwa, row.segments_peak,
+                row.base_profile_p999_us);
     rows.push_back(row);
   }
+
+  // The streaming-ingestion leg: 1M jobs through write_swf + the chunked
+  // reader. Smoke keeps it to a few thousand jobs so the ctest target stays
+  // seconds-long.
+  const IngestRow ingest = run_ingest(smoke ? 5000 : 1000000);
+  std::printf(
+      "swf_ingest_%s %zu jobs, %.1f MB: write %.3fs, streamed read %.3fs "
+      "(%.0f jobs/sec, chunk %zu KB)%s\n",
+      smoke ? "smoke" : "1m", ingest.jobs,
+      static_cast<double>(ingest.file_bytes) / (1024.0 * 1024.0),
+      ingest.write_seconds, ingest.read_seconds, ingest.read_jobs_per_sec,
+      ingest.chunk_bytes / 1024, ingest.round_trip_ok ? "" : "  ROUND-TRIP MISMATCH");
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -930,17 +1049,30 @@ int main(int argc, char** argv) {
         out,
         "    {\"name\": \"%s\", \"trace\": \"%s\", \"jobs\": %zu, "
         "\"scheduler\": \"%s\", \"semantics\": \"%s\", \"factor\": %g, "
+        "\"machine_scale\": %u, \"profile\": \"%s\", "
         "\"events\": %llu, \"seconds\": %.3f, \"events_per_sec\": %.1f, "
-        "\"sldwa\": %.4f, \"decisions\": %llu, \"switches\": %llu,\n"
+        "\"sldwa\": %.4f, \"decisions\": %llu, \"switches\": %llu, "
+        "\"segments_peak\": %.0f, \"base_profile_p999_us\": %.1f,\n"
         "     \"metrics\":\n%s}%s\n",
         s.name, s.trace, r.jobs, s.scheduler, s.semantics, s.factor,
+        s.machine_scale, s.profile,
         static_cast<unsigned long long>(r.events), r.seconds,
         r.events_per_sec, r.sldwa,
         static_cast<unsigned long long>(r.decisions),
-        static_cast<unsigned long long>(r.switches), r.metrics_json.c_str(),
+        static_cast<unsigned long long>(r.switches), r.segments_peak,
+        r.base_profile_p999_us, r.metrics_json.c_str(),
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(
+      out,
+      "  \"ingest\": {\"jobs\": %zu, \"file_bytes\": %llu, "
+      "\"write_seconds\": %.3f, \"read_seconds\": %.3f, "
+      "\"read_jobs_per_sec\": %.1f, \"chunk_bytes\": %zu, "
+      "\"round_trip_ok\": %s}",
+      ingest.jobs, static_cast<unsigned long long>(ingest.file_bytes),
+      ingest.write_seconds, ingest.read_seconds, ingest.read_jobs_per_sec,
+      ingest.chunk_bytes, ingest.round_trip_ok ? "true" : "false");
   if (baseline > 0 && !rows.empty() && rows.front().seconds > 0) {
     std::fprintf(out,
                  ",\n  \"baseline\": {\"scenario\": \"%s\", \"seconds\": "

@@ -28,6 +28,7 @@
 #include "exp/export.hpp"
 #include "metrics/validate.hpp"
 #include "obs/obs.hpp"
+#include "rms/profile.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/feitelson.hpp"
@@ -119,6 +120,9 @@ int main(int argc, char** argv) {
   cli.add_option("nodes", "0", "machine size for --swf input (required there)");
   cli.add_option("trace", "KTH", "synthetic trace model: CTC, KTH, LANL, SDSC or feitelson");
   cli.add_option("jobs", "5000", "jobs to generate (synthetic input)");
+  cli.add_option("machine-scale", "1",
+                 "multiply machine size and arrival rate by this factor "
+                 "(synthetic input; federation-scale stress shape)");
   cli.add_option("seed", "42", "random seed (synthetic input)");
   cli.add_option("factor", "1.0", "shrinking factor applied to submissions");
   cli.add_flag("sweep",
@@ -190,6 +194,9 @@ int main(int argc, char** argv) {
   cli.add_option("kill-at-event", "0",
                  "crash-injection hook: raise SIGKILL right after event N "
                  "(0 = off; used by the chaos soak harness)");
+  cli.add_option("profile-impl", "tree",
+                 "resource-profile backend: tree (hierarchical, default) or "
+                 "flat (linear scan; same results bit-for-bit)");
   cli.add_flag("validate", "run the schedule validator on the result");
   cli.add_flag("audit", "run the schedule invariant auditor on every "
                "scheduling event (aborts on the first violation)");
@@ -204,6 +211,7 @@ int main(int argc, char** argv) {
   // instead of silently simulating something else.
   const auto nodes_opt = cli.get_int_checked("nodes", 0, 1u << 24);
   const auto jobs_opt = cli.get_int_checked("jobs", 1, 100000000);
+  const auto machine_scale_opt = cli.get_int_checked("machine-scale", 1, 100000);
   const auto seed_opt = cli.get_int_checked("seed", 0, 1LL << 62);
   const auto factor_opt = cli.get_double_checked("factor", 1e-3, 1e3);
   const auto threshold_opt = cli.get_double_checked("threshold", 0.0, 1e6);
@@ -220,7 +228,8 @@ int main(int argc, char** argv) {
   const auto ckpt_every_opt =
       cli.get_int_checked("checkpoint-every", 0, 1LL << 40);
   const auto kill_at_opt = cli.get_int_checked("kill-at-event", 0, 1LL << 40);
-  if (!nodes_opt || !jobs_opt || !seed_opt || !factor_opt || !threshold_opt ||
+  if (!nodes_opt || !jobs_opt || !machine_scale_opt || !seed_opt ||
+      !factor_opt || !threshold_opt ||
       !fault_seed_opt || !mtbf_opt || !repair_opt || !fail_p_opt ||
       !retries_opt || !backoff_opt || !est_error_opt || !budget_opt ||
       !sets_opt || !threads_opt || !ckpt_every_opt || !kill_at_opt) {
@@ -229,6 +238,18 @@ int main(int argc, char** argv) {
   if (*ckpt_every_opt > 0 && cli.get("checkpoint-dir").empty() &&
       !cli.get_flag("sweep")) {
     std::fprintf(stderr, "--checkpoint-every requires --checkpoint-dir\n");
+    return 1;
+  }
+
+  // Process-wide profile backend switch. Both backends are bit-identical by
+  // contract (the differential fuzz suite enforces it); the flag exists for
+  // A/B perf runs and for byte-identity spot checks against exported CSVs.
+  if (const std::string impl = cli.get("profile-impl"); impl == "flat") {
+    rms::ResourceProfile::set_default_impl(rms::ProfileImpl::kFlat);
+  } else if (impl == "tree") {
+    rms::ResourceProfile::set_default_impl(rms::ProfileImpl::kTree);
+  } else {
+    std::fprintf(stderr, "--profile-impl must be tree or flat\n");
     return 1;
   }
 
@@ -273,6 +294,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", e.what());
       return 1;
     }
+    model = workload::scale_machine(
+        model, static_cast<std::uint32_t>(*machine_scale_opt));
     jobs = workload::generate(model, static_cast<std::size_t>(*jobs_opt),
                               static_cast<std::uint64_t>(*seed_opt));
   }
